@@ -1,0 +1,60 @@
+// Command ocqa-bench runs the reproduction's experiment suite — one
+// experiment per paper artefact (both figures, every theorem/lemma with
+// empirical content) — and prints each experiment's table. EXPERIMENTS.md
+// records a full run.
+//
+// Usage:
+//
+//	ocqa-bench [-quick] [-seed N] [-only E06]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller instances and sample counts")
+		seed  = flag.Int64("seed", 42, "random seed")
+		only  = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+
+	exps := experiments.All()
+	if *only != "" {
+		e, ok := experiments.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ocqa-bench: unknown experiment %q\n", *only)
+			os.Exit(1)
+		}
+		exps = []experiments.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		start := time.Now()
+		tab, err := e.Run(cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocqa-bench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(tab.Format())
+		fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+		if !tab.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ocqa-bench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments passed")
+}

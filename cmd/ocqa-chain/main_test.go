@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaultExample(t *testing.T) {
+	for _, gen := range []string{"ur", "us", "uo"} {
+		if err := run("", "", gen, false, 100000, false); err != nil {
+			t.Fatalf("generator %s: %v", gen, err)
+		}
+	}
+}
+
+func TestRunSingleton(t *testing.T) {
+	if err := run("", "", "us", true, 100000, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run("", "", "uo", false, 100000, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomFiles(t *testing.T) {
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "facts.txt")
+	fds := filepath.Join(dir, "fds.txt")
+	if err := os.WriteFile(facts, []byte("R(a,x)\nR(a,y)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fds, []byte("R: A1 -> A2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(facts, fds, "ur", false, 1000, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", "zz", false, 1000, false); err == nil {
+		t.Error("bad generator accepted")
+	}
+	if err := run("/nonexistent", "/nonexistent", "ur", false, 1000, false); err == nil {
+		t.Error("missing files accepted")
+	}
+	dir := t.TempDir()
+	facts := filepath.Join(dir, "facts.txt")
+	if err := os.WriteFile(facts, []byte("R(a,x)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(facts, "", "ur", false, 1000, false); err == nil {
+		t.Error("-facts without -fds accepted")
+	}
+	// Node limit too small.
+	fds := filepath.Join(dir, "fds.txt")
+	if err := os.WriteFile(fds, []byte("R: A1 -> A2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(facts, []byte("R(a,x)\nR(a,y)\nR(a,z)\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(facts, fds, "ur", false, 2, false); err == nil {
+		t.Error("tiny node limit should fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command ocqa answers conjunctive queries over inconsistent databases
+// under the paper's uniform operational semantics.
+//
+// Usage:
+//
+//	ocqa -facts facts.txt -fds fds.txt -query "Ans(x) :- R(x,'v')" \
+//	     [-generator ur|us|uo] [-singleton] [-mode exact|approx] \
+//	     [-tuple "a,b"] [-eps 0.1] [-delta 0.05] [-seed 1] [-force] [-limit N]
+//
+// With -tuple, the probability of that single tuple is computed;
+// otherwise every consistent answer is reported with its probability.
+// Exact mode uses the ♯P-hard engines (bounded by -limit states);
+// approx mode uses the paper's samplers and refuses generator /
+// constraint-class pairs without an FPRAS unless -force is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ocqa "repro"
+)
+
+func main() {
+	var (
+		factsPath = flag.String("facts", "", "path to the facts file (R(a,b) per line)")
+		fdsPath   = flag.String("fds", "", "path to the FD file (R: A1 -> A2 per line)")
+		queryText = flag.String("query", "", "conjunctive query, e.g. \"Ans(x) :- R(x,'v')\"")
+		tupleText = flag.String("tuple", "", "candidate answer tuple (omit to list all answers)")
+		genName   = flag.String("generator", "ur", "Markov chain generator: ur, us or uo")
+		singleton = flag.Bool("singleton", false, "restrict to singleton operations (M^{·,1})")
+		mode      = flag.String("mode", "exact", "exact or approx")
+		eps       = flag.Float64("eps", 0.1, "approx: multiplicative error ε")
+		delta     = flag.Float64("delta", 0.05, "approx: failure probability δ")
+		seed      = flag.Int64("seed", 1, "approx: random seed")
+		force     = flag.Bool("force", false, "approx: sample even without an FPRAS guarantee")
+		limit     = flag.Int("limit", 2_000_000, "exact: state budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*factsPath, *fdsPath, *queryText, *tupleText, *genName,
+		*singleton, *mode, *eps, *delta, *seed, *force, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "ocqa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(factsPath, fdsPath, queryText, tupleText, genName string,
+	singleton bool, mode string, eps, delta float64, seed int64, force bool, limit int) error {
+	if factsPath == "" || fdsPath == "" || queryText == "" {
+		return fmt.Errorf("need -facts, -fds and -query")
+	}
+	facts, err := os.ReadFile(factsPath)
+	if err != nil {
+		return err
+	}
+	fds, err := os.ReadFile(fdsPath)
+	if err != nil {
+		return err
+	}
+	inst, err := ocqa.NewInstanceFromText(string(facts), string(fds))
+	if err != nil {
+		return err
+	}
+	q, err := ocqa.ParseQuery(queryText)
+	if err != nil {
+		return err
+	}
+
+	var gen ocqa.Generator
+	switch genName {
+	case "ur":
+		gen = ocqa.UniformRepairs
+	case "us":
+		gen = ocqa.UniformSequences
+	case "uo":
+		gen = ocqa.UniformOperations
+	default:
+		return fmt.Errorf("unknown generator %q (want ur, us or uo)", genName)
+	}
+	m := ocqa.Mode{Gen: gen, Singleton: singleton}
+
+	fmt.Printf("database: %d facts, Σ: %s (%v)\n", inst.DB().Len(), inst.Sigma(), inst.Class())
+	fmt.Printf("generator: %s (%s)\n", m.Symbol(), m)
+	if inst.IsConsistent() {
+		fmt.Println("database is consistent: probabilities are 0/1 query answers")
+	}
+	status, cite := ocqa.Approximability(m, inst.Class())
+	fmt.Printf("approximability: %v [%s]\n", status, cite)
+
+	switch mode {
+	case "exact":
+		if tupleText != "" || len(q.AnswerVars) == 0 {
+			c := ocqa.ParseTuple(tupleText)
+			p, err := inst.ExactProbability(m, q, c, limit)
+			if err != nil {
+				return fmt.Errorf("exact computation failed (%v); try -mode approx", err)
+			}
+			f, _ := p.Float64()
+			fmt.Printf("P[%s%v] = %s ≈ %.6f\n", q, c, p.RatString(), f)
+			return nil
+		}
+		answers, err := inst.ConsistentAnswers(m, q, limit)
+		if err != nil {
+			return fmt.Errorf("exact computation failed (%v); try -mode approx", err)
+		}
+		for _, a := range answers {
+			f, _ := a.Prob.Float64()
+			fmt.Printf("  %v  %s ≈ %.6f\n", a.Tuple, a.Prob.RatString(), f)
+		}
+		return nil
+	case "approx":
+		opts := ocqa.ApproxOptions{Epsilon: eps, Delta: delta, Seed: seed, Force: force}
+		if tupleText != "" || len(q.AnswerVars) == 0 {
+			c := ocqa.ParseTuple(tupleText)
+			est, err := inst.Approximate(m, q, c, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("P[%s%v] ≈ %.6f (ε=%.3g, δ=%.3g, %d samples, converged=%v)\n",
+				q, c, est.Value, est.Epsilon, est.Delta, est.Samples, est.Converged)
+			return nil
+		}
+		answers, err := inst.ApproximateAnswers(m, q, opts)
+		if err != nil {
+			return err
+		}
+		for _, a := range answers {
+			fmt.Printf("  %v  ≈ %.6f (%d samples)\n", a.Tuple, a.Estimate.Value, a.Estimate.Samples)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (want exact or approx)", mode)
+	}
+}

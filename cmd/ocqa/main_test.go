@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fixtures(t *testing.T) (facts, fds string) {
+	t.Helper()
+	facts = writeTemp(t, "facts.txt", "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)\n")
+	fds = writeTemp(t, "fds.txt", "Emp: A1 -> A2\n")
+	return facts, fds
+}
+
+func TestRunExactAllAnswers(t *testing.T) {
+	facts, fds := fixtures(t)
+	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "exact", 0.1, 0.05, 1, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExactSingleTuple(t *testing.T) {
+	facts, fds := fixtures(t)
+	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "Alice", "us",
+		false, "exact", 0.1, 0.05, 1, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBooleanQuery(t *testing.T) {
+	facts, fds := fixtures(t)
+	err := run(facts, fds, "Ans() :- Emp(i, 'Alice')", "", "uo",
+		false, "exact", 0.1, 0.05, 1, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunApprox(t *testing.T) {
+	facts, fds := fixtures(t)
+	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "approx", 0.2, 0.1, 7, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunApproxSingletonUO(t *testing.T) {
+	facts, fds := fixtures(t)
+	err := run(facts, fds, "Ans() :- Emp(i, 'Tom')", "", "uo",
+		true, "approx", 0.2, 0.1, 7, false, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	facts, fds := fixtures(t)
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"missing args", func() error {
+			return run("", "", "", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+		}},
+		{"bad generator", func() error {
+			return run(facts, fds, "Ans() :- Emp(x,y)", "", "zz", false, "exact", 0.1, 0.05, 1, false, 0)
+		}},
+		{"bad mode", func() error {
+			return run(facts, fds, "Ans() :- Emp(x,y)", "", "ur", false, "banana", 0.1, 0.05, 1, false, 0)
+		}},
+		{"bad query", func() error {
+			return run(facts, fds, "nonsense", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+		}},
+		{"missing facts file", func() error {
+			return run(facts+".nope", fds, "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+		}},
+		{"missing fds file", func() error {
+			return run(facts, fds+".nope", "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.call(); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestRunRefusesFDApprox(t *testing.T) {
+	facts := writeTemp(t, "facts.txt", "R(a1,b1,c1)\nR(a1,b2,c2)\nR(a2,b1,c2)\n")
+	fds := writeTemp(t, "fds.txt", "R: A1 -> A2\nR: A3 -> A2\n")
+	err := run(facts, fds, "Ans() :- R(x,'b1',y)", "", "ur",
+		false, "approx", 0.1, 0.05, 1, false, 0)
+	if err == nil {
+		t.Fatal("M^ur over FDs must be refused")
+	}
+}

@@ -1,0 +1,81 @@
+package ocqa_test
+
+import (
+	"fmt"
+
+	ocqa "repro"
+)
+
+// The introduction's data-integration scenario: exact consistent
+// answers with probabilities.
+func ExampleInstance_ConsistentAnswers() {
+	inst, _ := ocqa.NewInstanceFromText(
+		"Emp(1, Alice)\nEmp(1, Tom)\nEmp(2, Bob)",
+		"Emp: A1 -> A2")
+	q, _ := ocqa.ParseQuery("Ans(name) :- Emp(id, name)")
+	answers, _ := inst.ConsistentAnswers(ocqa.Mode{Gen: ocqa.UniformRepairs}, q, 0)
+	for _, a := range answers {
+		fmt.Printf("%v %s\n", a.Tuple, a.Prob.RatString())
+	}
+	// Output:
+	// (Alice) 1/3
+	// (Bob) 1
+	// (Tom) 1/3
+}
+
+// Figure 2 of the paper: counting repairs and repairing sequences.
+func ExampleInstance_CountSequences() {
+	inst, _ := ocqa.NewInstanceFromText(
+		"R(a1,b1)\nR(a1,b2)\nR(a1,b3)\nR(a2,b1)\nR(a3,b1)\nR(a3,b2)",
+		"R: A1 -> A2")
+	repairs := inst.CountRepairs(false)
+	sequences, _ := inst.CountSequences(false, 0)
+	fmt.Println(repairs, sequences)
+	// Output: 12 99
+}
+
+// The approximability matrix: what the paper proves for each
+// generator/constraint-class pair.
+func ExampleApproximability() {
+	for _, mode := range []ocqa.Mode{
+		{Gen: ocqa.UniformRepairs},
+		{Gen: ocqa.UniformOperations},
+		{Gen: ocqa.UniformOperations, Singleton: true},
+	} {
+		status, cite := ocqa.Approximability(mode, ocqa.GeneralFDs)
+		fmt.Printf("%s: %v [%s]\n", mode.Symbol(), status, cite)
+	}
+	// Output:
+	// M^ur: no FPRAS (unless RP = NP) [Theorem 5.1(3)]
+	// M^uo: heuristic (sampler without guarantee) [open; Monte Carlo fails (Proposition D.6)]
+	// M^uo,1: FPRAS [Theorem 7.5]
+}
+
+// Exact operational semantics of the running example (Example 3.6)
+// under uniform repairs: five equally likely repairs.
+func ExampleInstance_Semantics() {
+	inst, _ := ocqa.NewInstanceFromText(
+		"R(a1,b1,c1)\nR(a1,b2,c2)\nR(a2,b1,c2)",
+		"R: A1 -> A2\nR: A3 -> A2")
+	sem, _ := inst.Semantics(ocqa.Mode{Gen: ocqa.UniformRepairs}, 0)
+	for _, rp := range sem {
+		fmt.Printf("%s %s\n", inst.RepairOf(rp), rp.Prob.RatString())
+	}
+	// Output:
+	// {} 1/5
+	// {R(a1,b1,c1)} 1/5
+	// {R(a1,b2,c2)} 1/5
+	// {R(a2,b1,c2)} 1/5
+	// {R(a1,b1,c1), R(a2,b1,c2)} 1/5
+}
+
+// Probability of a specific answer under M^us: Example C.3's 24/99.
+func ExampleInstance_ExactProbability() {
+	inst, _ := ocqa.NewInstanceFromText(
+		"R(a1,b1)\nR(a1,b2)\nR(a1,b3)\nR(a2,b1)\nR(a3,b1)\nR(a3,b2)",
+		"R: A1 -> A2")
+	q, _ := ocqa.ParseQuery("Ans(x) :- R('a1', x)")
+	p, _ := inst.ExactProbability(ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.Tuple{"b1"}, 0)
+	fmt.Println(p.RatString())
+	// Output: 8/33
+}

@@ -1,0 +1,67 @@
+package core
+
+import "fmt"
+
+// Generator selects one of the paper's uniform repairing Markov chain
+// generators (Section 4).
+type Generator int
+
+const (
+	// UniformRepairs is M^ur: the leaf distribution is uniform over the
+	// candidate operational repairs CORep(D,Σ) (Definition A.1).
+	UniformRepairs Generator = iota
+	// UniformSequences is M^us: the leaf distribution is uniform over
+	// the complete repairing sequences CRS(D,Σ) (Definition A.3).
+	UniformSequences
+	// UniformOperations is M^uo: every available operation at a step is
+	// equally likely (Definition A.5).
+	UniformOperations
+)
+
+// String names the generator as the paper does.
+func (g Generator) String() string {
+	switch g {
+	case UniformRepairs:
+		return "uniform repairs"
+	case UniformSequences:
+		return "uniform sequences"
+	case UniformOperations:
+		return "uniform operations"
+	default:
+		return fmt.Sprintf("Generator(%d)", int(g))
+	}
+}
+
+// Mode is a generator together with the operation-space restriction: if
+// Singleton is set, only operations removing a single fact are
+// considered (the M^{·,1} generators of Section 7 and Appendix E).
+type Mode struct {
+	Gen       Generator
+	Singleton bool
+}
+
+// Symbol renders the mode in the paper's superscript notation, e.g.
+// "M^ur" or "M^uo,1".
+func (m Mode) Symbol() string {
+	s := "M^u"
+	switch m.Gen {
+	case UniformRepairs:
+		s += "r"
+	case UniformSequences:
+		s += "s"
+	case UniformOperations:
+		s += "o"
+	}
+	if m.Singleton {
+		s += ",1"
+	}
+	return s
+}
+
+// String renders a human-readable description.
+func (m Mode) String() string {
+	if m.Singleton {
+		return m.Gen.String() + " (singleton operations)"
+	}
+	return m.Gen.String()
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/rel"
+)
+
+// This file exposes the exact OCQA problem (Section 3): computing
+// P_{M_Σ,Q}(D, c̄) for the uniform generators, and the operational
+// consistent answers. All functions take a state budget (limit, 0 =
+// unlimited) and return StateLimitError when exact computation is
+// infeasible; the polynomial path is sampling (internal/sampler +
+// internal/fpras).
+
+// EntailPred builds the predicate "c̄ ∈ Q(D')" over subsets of D.
+func (inst *Instance) EntailPred(q *cq.Query, c cq.Tuple) func(rel.Subset) bool {
+	return func(s rel.Subset) bool {
+		return q.HasAnswer(inst.D.Restrict(s), c)
+	}
+}
+
+// ExactProbability computes P_{M,Q}(D, c̄) exactly under the given mode:
+//
+//   - UniformRepairs: the repair relative frequency rrfreq (the
+//     restatement of Section 5, justified by Proposition A.2);
+//   - UniformSequences: the sequence relative frequency srfreq
+//     (Section 6, Proposition A.4);
+//   - UniformOperations: the leaf-distribution sum over the state DAG
+//     (Proposition A.6).
+func (inst *Instance) ExactProbability(mode Mode, q *cq.Query, c cq.Tuple, limit int) (*big.Rat, error) {
+	pred := inst.EntailPred(q, c)
+	switch mode.Gen {
+	case UniformRepairs:
+		return inst.RRFreq(mode.Singleton, limit, pred)
+	case UniformSequences:
+		return inst.SRFreq(mode.Singleton, limit, pred)
+	case UniformOperations:
+		return inst.ProbUO(mode.Singleton, limit, pred)
+	default:
+		panic("core: unknown generator")
+	}
+}
+
+// Semantics computes the operational semantics [[D]]_M exactly under
+// the given mode.
+func (inst *Instance) Semantics(mode Mode, limit int) ([]RepairProb, error) {
+	switch mode.Gen {
+	case UniformRepairs:
+		return inst.SemanticsUR(mode.Singleton, limit)
+	case UniformSequences:
+		return inst.SemanticsUS(mode.Singleton, limit)
+	case UniformOperations:
+		return inst.SemanticsUO(mode.Singleton, limit)
+	default:
+		panic("core: unknown generator")
+	}
+}
+
+// ConsistentAnswer pairs an answer tuple with its probability.
+type ConsistentAnswer struct {
+	Tuple cq.Tuple
+	Prob  *big.Rat
+}
+
+// ConsistentAnswers computes the operational consistent answers to Q
+// over D under the given mode: every tuple of Q(D) together with its
+// probability (tuples outside Q(D) have probability 0 by monotonicity
+// of CQs and are omitted). Results are sorted by tuple.
+func (inst *Instance) ConsistentAnswers(mode Mode, q *cq.Query, limit int) ([]ConsistentAnswer, error) {
+	candidates := q.Answers(inst.D)
+	out := make([]ConsistentAnswer, 0, len(candidates))
+	for _, c := range candidates {
+		p, err := inst.ExactProbability(mode, q, c, limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ConsistentAnswer{Tuple: c, Prob: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Key() < out[j].Tuple.Key() })
+	return out, nil
+}
+
+// WitnessPred builds a fast entailment predicate by precomputing the
+// homomorphic images h(Q) ⊆ D with h(x̄) = c̄ as index subsets: by CQ
+// monotonicity, c̄ ∈ Q(D') for D' ⊆ D iff some image is contained in
+// D'. The predicate costs O(#images · ‖Q‖) per call — no database
+// materialisation — which matters in the Monte-Carlo hot loop. It
+// returns ok=false (and a nil predicate) when the number of images
+// exceeds maxImages (0 means 4096); callers then fall back to
+// EntailPred.
+func (inst *Instance) WitnessPred(q *cq.Query, c cq.Tuple, maxImages int) (func(rel.Subset) bool, bool) {
+	if maxImages <= 0 {
+		maxImages = 4096
+	}
+	if len(c) != len(q.AnswerVars) {
+		return func(rel.Subset) bool { return false }, true
+	}
+	type witness []int
+	var witnesses []witness
+	seen := make(map[string]bool)
+	overflow := false
+	q.Homomorphisms(inst.D, func(h cq.Homomorphism) bool {
+		for i, v := range q.AnswerVars {
+			if h[v] != c[i] {
+				return true
+			}
+		}
+		img := q.Image(h)
+		k := img.String()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		w := make(witness, 0, img.Len())
+		for _, f := range img.Facts() {
+			idx := inst.D.IndexOf(f)
+			if idx < 0 {
+				return true // image leaves D (constants in Q): not a witness
+			}
+			w = append(w, idx)
+		}
+		witnesses = append(witnesses, w)
+		if len(witnesses) > maxImages {
+			overflow = true
+			return false
+		}
+		return true
+	})
+	if overflow {
+		return nil, false
+	}
+	return func(s rel.Subset) bool {
+		for _, w := range witnesses {
+			all := true
+			for _, idx := range w {
+				if !s.Has(idx) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}, true
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// introInstance is the introduction's example: Emp(1, Alice) and
+// Emp(1, Tom) violating the key on the first attribute.
+func introInstance() *Instance {
+	sch := rel.MustSchema(rel.NewRelation("Emp", 2))
+	sigma := fd.MustSet(sch, fd.New("Emp", []int{0}, []int{1}))
+	d := rel.NewDatabase(
+		rel.NewFact("Emp", "1", "Alice"),
+		rel.NewFact("Emp", "1", "Tom"),
+	)
+	return NewInstance(d, sigma)
+}
+
+func introWeightFn() WeightFn {
+	return func(d *rel.Database, _ rel.Subset, op Op) *big.Rat {
+		if op.Singleton() {
+			return big.NewRat(3, 8)
+		}
+		return big.NewRat(1, 4)
+	}
+}
+
+func TestWeightedIntroExample(t *testing.T) {
+	inst := introInstance()
+	sem, err := inst.SemanticsWeighted(introWeightFn(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sem) != 3 {
+		t.Fatalf("repairs = %d, want 3", len(sem))
+	}
+	// ∅ with 1/4, {Alice} with 3/8 (removing Tom), {Tom} with 3/8.
+	for _, rp := range sem {
+		var want *big.Rat
+		switch rp.Repair.Count() {
+		case 0:
+			want = big.NewRat(1, 4)
+		case 1:
+			want = big.NewRat(3, 8)
+		default:
+			t.Fatalf("unexpected repair %v", rp.Repair.Indices())
+		}
+		if rp.Prob.Cmp(want) != 0 {
+			t.Fatalf("repair %v prob = %s, want %s", rp.Repair.Indices(), rp.Prob.RatString(), want.RatString())
+		}
+	}
+}
+
+func TestWeightedUniformMatchesUO(t *testing.T) {
+	inst := runningExample()
+	pred := func(s rel.Subset) bool { return s.Has(0) }
+	want, err := inst.ProbUO(false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.ProbWeighted(UniformWeights, false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("weighted(1) = %s, uo = %s", got.RatString(), want.RatString())
+	}
+	semUO, err := inst.SemanticsUO(false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	semW, err := inst.SemanticsWeighted(UniformWeights, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(semUO) != len(semW) {
+		t.Fatal("distribution supports differ")
+	}
+	for i := range semUO {
+		if semUO[i].Prob.Cmp(semW[i].Prob) != 0 {
+			t.Fatalf("repair %d: %s vs %s", i, semUO[i].Prob.RatString(), semW[i].Prob.RatString())
+		}
+	}
+}
+
+func TestTrustWeightsBiasTowardDistrusted(t *testing.T) {
+	inst := introInstance()
+	// Alice's fact (index 0 after sorting: Emp(1,Alice) < Emp(1,Tom))
+	// is barely trusted; Tom's is solid.
+	trust := func(f rel.Fact) *big.Rat {
+		if f.Arg(1) == "Alice" {
+			return big.NewRat(1, 10)
+		}
+		return big.NewRat(9, 10)
+	}
+	sem, err := inst.SemanticsWeighted(TrustWeights(trust), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := map[int]*big.Rat{}
+	for _, rp := range sem {
+		probs[rp.Repair.Count()] = rp.Prob
+		if rp.Repair.Count() == 1 {
+			// Which fact survived?
+			if rp.Repair.Has(1) { // Tom survived (Alice removed)
+				probs[-1] = rp.Prob
+			} else {
+				probs[-2] = rp.Prob // Alice survived
+			}
+		}
+	}
+	// Weights: -Alice: 9/10, -Tom: 1/10, -both: 9/100 → Tom-survives
+	// must dominate Alice-survives.
+	if probs[-1].Cmp(probs[-2]) <= 0 {
+		t.Fatalf("Tom-survives %s should exceed Alice-survives %s",
+			probs[-1].RatString(), probs[-2].RatString())
+	}
+}
+
+func TestSampleWeightedMatchesExact(t *testing.T) {
+	inst := runningExample()
+	// A deliberately skewed weight: pairs weigh 5, singletons 1.
+	weights := func(_ *rel.Database, _ rel.Subset, op Op) *big.Rat {
+		if op.Singleton() {
+			return big.NewRat(1, 1)
+		}
+		return big.NewRat(5, 1)
+	}
+	want, err := inst.SemanticsWeighted(weights, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(197))
+	const n = 60000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		seq, res := inst.SampleWeighted(weights, false, rng)
+		if !inst.IsComplete(seq, false) {
+			t.Fatal("weighted walk produced an incomplete sequence")
+		}
+		counts[res.Key()]++
+	}
+	for _, rp := range want {
+		p, _ := rp.Prob.Float64()
+		got := float64(counts[rp.Repair.Key()]) / n
+		sigma := math.Sqrt(p*(1-p)/n) + 1e-12
+		if math.Abs(got-p) > 5*sigma {
+			t.Errorf("repair %v: sampled %.4f, exact %.4f", rp.Repair.Indices(), got, p)
+		}
+	}
+}
+
+func TestWeightedPanicsOnNonPositive(t *testing.T) {
+	inst := introInstance()
+	bad := func(*rel.Database, rel.Subset, Op) *big.Rat { return new(big.Rat) }
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero weight")
+		}
+	}()
+	_, _ = inst.ProbWeighted(bad, false, 0, func(rel.Subset) bool { return true })
+}
+
+func TestWeightedSingletonMode(t *testing.T) {
+	inst := runningExample()
+	pred := func(s rel.Subset) bool { return s.Has(0) }
+	want, err := inst.ProbUO(true, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.ProbWeighted(UniformWeights, true, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(want) != 0 {
+		t.Fatalf("weighted singleton = %s, uo,1 = %s", got.RatString(), want.RatString())
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// This file implements the constructive direction (⊇) of Lemma 5.4
+// (and Lemma E.4 for singleton operations): given a candidate repair
+// D' — an independent set of each conflict component, with trivial
+// facts kept — it builds an explicit complete repairing sequence s with
+// s(D) = D'. The construction is the proof's stratification: per
+// component, facts are layered by distance from the kept set (or from
+// an arbitrary anchor fact when the component is emptied), and removed
+// farthest-layer first, so every removal is justified by a conflict
+// with a not-yet-removed fact one layer closer.
+//
+// The resulting sequence doubles as an *explanation*: it exhibits the
+// operational process that produces a given repair.
+
+// WitnessSequence constructs a complete repairing sequence whose
+// result is the given candidate repair, or ok=false when the subset is
+// not a candidate repair for the operation space (IsCandidateRepair
+// fails). With singleton set, the sequence uses only single-fact
+// removals (possible exactly when the repair leaves every nontrivial
+// component non-empty, per Lemma E.4).
+func (inst *Instance) WitnessSequence(repair rel.Subset, singleton bool) (Sequence, bool) {
+	if !inst.IsCandidateRepair(repair, singleton) {
+		return nil, false
+	}
+	g := inst.ConflictGraph()
+	var seq Sequence
+	for _, comp := range g.Components() {
+		if len(comp) == 1 && g.Degree(comp[0]) == 0 {
+			continue // trivial component: nothing to remove
+		}
+		var kept []int
+		for _, f := range comp {
+			if repair.Has(f) {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) > 0 {
+			seq = append(seq, inst.stratifiedRemoval(g, comp, kept, -1)...)
+			continue
+		}
+		// Empty the component: anchor at its smallest fact (Case 2 of
+		// the Lemma 5.4 proof); only reachable with pair operations.
+		seq = append(seq, inst.stratifiedRemoval(g, comp, []int{comp[0]}, comp[0])...)
+	}
+	return seq, true
+}
+
+// stratifiedRemoval removes every fact of the component outside the
+// kept layer L0, farthest stratum first. When anchor ≥ 0, the kept
+// "layer" is the single anchor fact which must itself be removed at
+// the end, paired with the last fact of stratum L1.
+func (inst *Instance) stratifiedRemoval(g interface {
+	Neighbors(int) []int
+}, comp []int, l0 []int, anchor int) Sequence {
+	inComp := make(map[int]bool, len(comp))
+	for _, f := range comp {
+		inComp[f] = true
+	}
+	layer := make(map[int]int, len(comp))
+	for _, f := range l0 {
+		layer[f] = 0
+	}
+	// BFS strata over the conflict graph restricted to the component.
+	frontier := append([]int(nil), l0...)
+	var strata [][]int
+	for depth := 1; len(frontier) > 0; depth++ {
+		var next []int
+		for _, f := range frontier {
+			for _, nb := range g.Neighbors(f) {
+				if !inComp[nb] {
+					continue
+				}
+				if _, seen := layer[nb]; !seen {
+					layer[nb] = depth
+					next = append(next, nb)
+				}
+			}
+		}
+		sort.Ints(next)
+		if len(next) > 0 {
+			strata = append(strata, next)
+		}
+		frontier = next
+	}
+	var seq Sequence
+	// Remove strata L_n .. L_2 (and L_1 entirely when anchor < 0).
+	last := 0
+	if anchor >= 0 {
+		last = 1
+	}
+	for i := len(strata) - 1; i >= last; i-- {
+		for _, f := range strata[i] {
+			seq = append(seq, Op{I: f, J: -1})
+		}
+	}
+	if anchor >= 0 {
+		// L_1 exists because the component is nontrivially connected.
+		l1 := strata[0]
+		for _, f := range l1[:len(l1)-1] {
+			seq = append(seq, Op{I: f, J: -1})
+		}
+		seq = append(seq, pairOpOf(l1[len(l1)-1], anchor))
+	}
+	return seq
+}
+
+func pairOpOf(a, b int) Op {
+	if a > b {
+		a, b = b, a
+	}
+	return Op{I: a, J: b}
+}

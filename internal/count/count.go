@@ -1,0 +1,287 @@
+// Package count implements the polynomial-time counting results the
+// paper's samplers rely on, for sets of primary keys:
+//
+//   - the closed-form per-block sequence counts S^{ne,i}_m and S^{e,i}_m
+//     of Lemma C.1;
+//   - |CRS(D,Σ)| via two independent dynamic programs: the paper's
+//     triple-index interleaving DP (P^{k,i}_j) and a re-derived
+//     binomial-convolution DP over per-block length-indexed weights
+//     (tested equal everywhere);
+//   - closed forms for |CORep|, |CORep^1| and |CRS^1|.
+//
+// Everything is exact big-integer arithmetic: the counts grow
+// factorially in ‖D‖.
+package count
+
+import (
+	"math/big"
+	"sync"
+)
+
+var (
+	factMu    sync.Mutex
+	factCache = []*big.Int{big.NewInt(1)} // factCache[i] = i!
+)
+
+// Factorial returns n! (n ≥ 0), cached.
+func Factorial(n int) *big.Int {
+	if n < 0 {
+		panic("count: negative factorial")
+	}
+	factMu.Lock()
+	defer factMu.Unlock()
+	for len(factCache) <= n {
+		k := len(factCache)
+		next := new(big.Int).Mul(factCache[k-1], big.NewInt(int64(k)))
+		factCache = append(factCache, next)
+	}
+	return new(big.Int).Set(factCache[n])
+}
+
+// Binomial returns C(n, k), 0 when k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(int64(n), int64(k))
+}
+
+// pow2 returns 2^i.
+func pow2(i int) *big.Int { return new(big.Int).Lsh(big.NewInt(1), uint(i)) }
+
+// SneBlock computes S^{ne,i}_m (Lemma C.1): the number of complete
+// repairing sequences of a single block of m ≥ 2 key-equal facts whose
+// result is non-empty (keeps exactly one fact) and that use exactly i
+// pair removals:
+//
+//	S^{ne,i}_m = m! · (m−i−1)! / (2^i · i! · (m−2i−1)!)
+//
+// and 0 when the parameters are out of range (e.g. i = m/2 for even m).
+func SneBlock(m, i int) *big.Int {
+	if m < 2 || i < 0 || m-2*i-1 < 0 {
+		return big.NewInt(0)
+	}
+	num := new(big.Int).Mul(Factorial(m), Factorial(m-i-1))
+	den := new(big.Int).Mul(pow2(i), Factorial(i))
+	den.Mul(den, Factorial(m-2*i-1))
+	return num.Div(num, den)
+}
+
+// SeBlock computes S^{e,i}_m (Lemma C.1): the number of complete
+// repairing sequences of a single block of m ≥ 2 facts whose result is
+// empty and that use exactly i ≥ 1 pair removals:
+//
+//	S^{e,i}_m = m! · (m−i−1)! / (2^i · (i−1)! · (m−2i)!)
+//
+// and 0 when out of range (in particular S^{e,0}_m = 0: an empty result
+// needs a final pair removal).
+func SeBlock(m, i int) *big.Int {
+	if m < 2 || i < 1 || m-2*i < 0 || m-i-1 < 0 {
+		return big.NewInt(0)
+	}
+	num := new(big.Int).Mul(Factorial(m), Factorial(m-i-1))
+	den := new(big.Int).Mul(pow2(i), Factorial(i-1))
+	den.Mul(den, Factorial(m-2*i))
+	return num.Div(num, den)
+}
+
+// BlockLengthWeights returns W with W[ℓ] = the number of complete
+// repairing sequences of length ℓ for a single block of m facts. With
+// singleton set, only single-fact removals are counted (so the block
+// keeps exactly one fact via a sequence of length m−1). Blocks of size
+// ≤ 1 admit only the empty sequence.
+func BlockLengthWeights(m int, singleton bool) []*big.Int {
+	if m <= 1 {
+		return []*big.Int{big.NewInt(1)}
+	}
+	if singleton {
+		w := make([]*big.Int, m)
+		for i := range w {
+			w[i] = big.NewInt(0)
+		}
+		// Choose the surviving fact (m ways) and an order of the m−1
+		// removals: m · (m−1)! = m! sequences, all of length m−1.
+		w[m-1] = Factorial(m)
+		return w
+	}
+	w := make([]*big.Int, m+1)
+	for i := range w {
+		w[i] = big.NewInt(0)
+	}
+	for i := 0; 2*i <= m; i++ {
+		// Non-empty result: i pair removals, length m−i−1.
+		if l := m - i - 1; l >= 0 {
+			w[l].Add(w[l], SneBlock(m, i))
+		}
+		// Empty result: i ≥ 1 pair removals, length m−i.
+		if i >= 1 {
+			w[m-i].Add(w[m-i], SeBlock(m, i))
+		}
+	}
+	return w
+}
+
+// CRSPrimaryKeys computes |CRS(D,Σ)| for a database whose blocks (w.r.t.
+// a set of primary keys) have the given sizes, by the binomial-
+// convolution interleaving DP:
+//
+//	U_j[L] = Σ_ℓ U_{j-1}[L−ℓ] · W_j[ℓ] · C(L, ℓ)
+//
+// where W_j are the per-block length weights. Sequences for different
+// blocks are independent and interleave freely (proof of Lemma C.1),
+// and C(L, ℓ) counts the interleavings of a length-ℓ block sequence
+// into a combined sequence of length L.
+func CRSPrimaryKeys(blockSizes []int, singleton bool) *big.Int {
+	u := []*big.Int{big.NewInt(1)} // U_0: only the empty sequence, length 0
+	for _, m := range blockSizes {
+		if m <= 1 {
+			continue
+		}
+		w := BlockLengthWeights(m, singleton)
+		nu := make([]*big.Int, len(u)+len(w)-1)
+		for i := range nu {
+			nu[i] = big.NewInt(0)
+		}
+		for a, ua := range u {
+			if ua.Sign() == 0 {
+				continue
+			}
+			for l, wl := range w {
+				if wl.Sign() == 0 {
+					continue
+				}
+				term := new(big.Int).Mul(ua, wl)
+				term.Mul(term, Binomial(a+l, l))
+				nu[a+l].Add(nu[a+l], term)
+			}
+		}
+		u = nu
+	}
+	total := big.NewInt(0)
+	for _, v := range u {
+		total.Add(total, v)
+	}
+	return total
+}
+
+// CRSPrimaryKeysPaperDP computes |CRS(D,Σ)| with the paper's own
+// triple-index dynamic program from the proof of Lemma C.1, tracking
+// P^{k,i}_j — the number of sequences over the first j blocks with
+// exactly i pair removals leaving exactly k of those blocks non-empty.
+// It exists to validate the convolution DP against the published
+// formulas; both must agree everywhere.
+func CRSPrimaryKeysPaperDP(blockSizes []int) *big.Int {
+	// Keep only blocks with at least two facts.
+	var ms []int
+	maxPairs := 0
+	totalFacts := 0
+	for _, m := range blockSizes {
+		if m >= 2 {
+			ms = append(ms, m)
+			maxPairs += m / 2
+			totalFacts += m
+		}
+	}
+	n := len(ms)
+	if n == 0 {
+		return big.NewInt(1)
+	}
+	// p[k][i] for the first j blocks.
+	p := make([][]*big.Int, n+1)
+	for k := range p {
+		p[k] = make([]*big.Int, maxPairs+1)
+		for i := range p[k] {
+			p[k][i] = big.NewInt(0)
+		}
+	}
+	for i := 0; i <= ms[0]/2; i++ {
+		p[0][i].Set(SeBlock(ms[0], i))
+		p[1][i].Set(SneBlock(ms[0], i))
+	}
+	prefix := ms[0]
+	for j := 1; j < n; j++ {
+		mj := ms[j]
+		np := make([][]*big.Int, n+1)
+		for k := range np {
+			np[k] = make([]*big.Int, maxPairs+1)
+			for i := range np[k] {
+				np[k][i] = big.NewInt(0)
+			}
+		}
+		for k := 0; k <= j+1; k++ {
+			for i := 0; i <= maxPairs; i++ {
+				acc := big.NewInt(0)
+				for i2 := 0; i2 <= mj/2 && i2 <= i; i2++ {
+					i1 := i - i2
+					// Term 1: block j ends empty; k blocks kept among
+					// the first j-1.
+					se := SeBlock(mj, i2)
+					if se.Sign() != 0 && p[k][i1].Sign() != 0 {
+						lenAll := prefix + mj - i1 - i2 - k
+						lenLeft := prefix - i1 - k
+						lenRight := mj - i2
+						if lenLeft >= 0 && lenRight >= 0 {
+							t := new(big.Int).Mul(p[k][i1], se)
+							t.Mul(t, interleavings(lenAll, lenLeft, lenRight))
+							acc.Add(acc, t)
+						}
+					}
+					// Term 2: block j ends non-empty; k−1 blocks kept
+					// among the first j-1.
+					if k >= 1 {
+						sne := SneBlock(mj, i2)
+						if sne.Sign() != 0 && p[k-1][i1].Sign() != 0 {
+							lenAll := prefix + mj - i1 - i2 - k
+							lenLeft := prefix - i1 - (k - 1)
+							lenRight := mj - i2 - 1
+							if lenLeft >= 0 && lenRight >= 0 {
+								t := new(big.Int).Mul(p[k-1][i1], sne)
+								t.Mul(t, interleavings(lenAll, lenLeft, lenRight))
+								acc.Add(acc, t)
+							}
+						}
+					}
+				}
+				np[k][i] = acc
+			}
+		}
+		p = np
+		prefix += mj
+	}
+	total := big.NewInt(0)
+	for k := 0; k <= n; k++ {
+		for i := 0; i <= maxPairs; i++ {
+			total.Add(total, p[k][i])
+		}
+	}
+	return total
+}
+
+// interleavings returns all!/(left!·right!) with all = left + right, the
+// multinomial factor of the paper's DP.
+func interleavings(all, left, right int) *big.Int {
+	if all != left+right || left < 0 || right < 0 {
+		return big.NewInt(0)
+	}
+	num := Factorial(all)
+	den := new(big.Int).Mul(Factorial(left), Factorial(right))
+	return num.Div(num, den)
+}
+
+// CORepPrimaryKeys computes |CORep(D,Σ)| = Π (|B|+1) over blocks of
+// size ≥ 2 (proof of Lemma 5.2), or |CORep^1(D,Σ)| = Π |B| with
+// singleton set (proof of Lemma E.2).
+func CORepPrimaryKeys(blockSizes []int, singleton bool) *big.Int {
+	total := big.NewInt(1)
+	for _, m := range blockSizes {
+		if m <= 1 {
+			continue
+		}
+		if singleton {
+			total.Mul(total, big.NewInt(int64(m)))
+		} else {
+			total.Mul(total, big.NewInt(int64(m+1)))
+		}
+	}
+	return total
+}

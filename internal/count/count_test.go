@@ -1,0 +1,260 @@
+package count
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := Factorial(n); got.Int64() != w {
+			t.Errorf("%d! = %v, want %d", n, got, w)
+		}
+	}
+	// Cache must return fresh values that callers can mutate safely.
+	a := Factorial(5)
+	a.SetInt64(999)
+	if Factorial(5).Int64() != 120 {
+		t.Fatal("Factorial cache corrupted by caller mutation")
+	}
+}
+
+func TestFactorialPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Factorial(-1)
+}
+
+func TestBinomial(t *testing.T) {
+	if Binomial(5, 2).Int64() != 10 {
+		t.Error("C(5,2) != 10")
+	}
+	if Binomial(5, 6).Sign() != 0 || Binomial(5, -1).Sign() != 0 {
+		t.Error("out-of-range binomials must be 0")
+	}
+	if Binomial(0, 0).Int64() != 1 {
+		t.Error("C(0,0) != 1")
+	}
+}
+
+// TestSneSeExampleC2 checks the worked values of Example C.2:
+// S^{ne,0}_3 = 6, S^{ne,1}_3 = 3, S^{e,0}_3 = 0, S^{e,1}_3 = 3,
+// S^{ne,0}_2 = 2, S^{ne,1}_2 = 0, S^{e,0}_2 = 0, S^{e,1}_2 = 1.
+func TestSneSeExampleC2(t *testing.T) {
+	cases := []struct {
+		m, i   int
+		ne, e  int64
+		within string
+	}{
+		{3, 0, 6, 0, "m=3,i=0"},
+		{3, 1, 3, 3, "m=3,i=1"},
+		{2, 0, 2, 0, "m=2,i=0"},
+		{2, 1, 0, 1, "m=2,i=1"},
+	}
+	for _, c := range cases {
+		if got := SneBlock(c.m, c.i); got.Int64() != c.ne {
+			t.Errorf("Sne(%s) = %v, want %d", c.within, got, c.ne)
+		}
+		if got := SeBlock(c.m, c.i); got.Int64() != c.e {
+			t.Errorf("Se(%s) = %v, want %d", c.within, got, c.e)
+		}
+	}
+}
+
+func TestSneEvenBlockFullPairing(t *testing.T) {
+	// Even m with i = m/2 pair removals cannot leave a non-empty result.
+	if SneBlock(4, 2).Sign() != 0 {
+		t.Error("Sne(4,2) must be 0")
+	}
+	// But the empty result is achievable: Se(4,2) > 0.
+	if SeBlock(4, 2).Sign() <= 0 {
+		t.Error("Se(4,2) must be positive")
+	}
+}
+
+// blockDB builds a single-relation database whose blocks (w.r.t. the
+// primary key A1 → A2) have the given sizes.
+func blockDB(sizes []int) (*rel.Database, *fd.Set) {
+	var facts []rel.Fact
+	for b, m := range sizes {
+		for j := 0; j < m; j++ {
+			facts = append(facts, rel.NewFact("R", fmt.Sprintf("a%d", b), fmt.Sprintf("b%d", j)))
+		}
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	return rel.NewDatabase(facts...), fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+}
+
+func TestCRSPrimaryKeysExampleC2(t *testing.T) {
+	// Blocks of sizes 3, 1, 2 (Figure 2): |CRS| = 99.
+	if got := CRSPrimaryKeys([]int{3, 1, 2}, false); got.Int64() != 99 {
+		t.Fatalf("|CRS| = %v, want 99", got)
+	}
+	if got := CRSPrimaryKeysPaperDP([]int{3, 1, 2}); got.Int64() != 99 {
+		t.Fatalf("paper DP |CRS| = %v, want 99", got)
+	}
+	// Singleton: 3!·2!·C(3,1) = 36.
+	if got := CRSPrimaryKeys([]int{3, 1, 2}, true); got.Int64() != 36 {
+		t.Fatalf("|CRS^1| = %v, want 36", got)
+	}
+}
+
+func TestCRSSingleBlock(t *testing.T) {
+	// One block of size 2: sequences -f, -g, -{f,g}: 3.
+	if got := CRSPrimaryKeys([]int{2}, false); got.Int64() != 3 {
+		t.Fatalf("got %v, want 3", got)
+	}
+	// One block of size 3: 12 (listed in Example C.2).
+	if got := CRSPrimaryKeys([]int{3}, false); got.Int64() != 12 {
+		t.Fatalf("got %v, want 12", got)
+	}
+	// Consistent database: only ε.
+	if got := CRSPrimaryKeys([]int{1, 1, 1}, false); got.Int64() != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+	if got := CRSPrimaryKeys(nil, false); got.Int64() != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+}
+
+func TestCORepPrimaryKeys(t *testing.T) {
+	// Figure 2: (3+1)(2+1) = 12; singleton: 3·2 = 6.
+	if got := CORepPrimaryKeys([]int{3, 1, 2}, false); got.Int64() != 12 {
+		t.Fatalf("|CORep| = %v, want 12", got)
+	}
+	if got := CORepPrimaryKeys([]int{3, 1, 2}, true); got.Int64() != 6 {
+		t.Fatalf("|CORep^1| = %v, want 6", got)
+	}
+}
+
+func TestBlockLengthWeights(t *testing.T) {
+	// m=3, pair ops: W[1] = Sne(3,1) = 3; W[2] = Sne(3,0) + Se(3,1) = 9.
+	w := BlockLengthWeights(3, false)
+	if w[0].Sign() != 0 || w[1].Int64() != 3 || w[2].Int64() != 9 || w[3].Sign() != 0 {
+		t.Fatalf("W(3) = %v", w)
+	}
+	// Singleton m=3: all 6 sequences have length 2.
+	w1 := BlockLengthWeights(3, true)
+	if w1[2].Int64() != 6 || w1[0].Sign() != 0 || w1[1].Sign() != 0 {
+		t.Fatalf("W1(3) = %v", w1)
+	}
+	// Size-1 block: only the empty sequence.
+	if w := BlockLengthWeights(1, false); len(w) != 1 || w[0].Int64() != 1 {
+		t.Fatalf("W(1) = %v", w)
+	}
+}
+
+// TestQuickDPMatchesBruteForce validates both DPs against the exact DAG
+// engine on random block databases.
+func TestQuickDPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	prop := func() bool {
+		nBlocks := 1 + rng.Intn(3)
+		sizes := make([]int, nBlocks)
+		total := 0
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(4)
+			total += sizes[i]
+		}
+		if total > 9 {
+			return true // keep the brute force fast
+		}
+		d, sigma := blockDB(sizes)
+		inst := core.NewInstance(d, sigma)
+		for _, singleton := range []bool{false, true} {
+			want, err := inst.CountCRS(singleton, 0)
+			if err != nil {
+				return false
+			}
+			if CRSPrimaryKeys(sizes, singleton).Cmp(want) != 0 {
+				return false
+			}
+			if !singleton && CRSPrimaryKeysPaperDP(sizes).Cmp(want) != 0 {
+				return false
+			}
+			if CORepPrimaryKeys(sizes, singleton).Cmp(inst.CountCandidateRepairs(singleton)) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTwoDPsAgree checks the convolution DP against the paper's DP
+// on larger block profiles where brute force is impossible.
+func TestQuickTwoDPsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	prop := func() bool {
+		n := 1 + rng.Intn(5)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(7)
+		}
+		return CRSPrimaryKeys(sizes, false).Cmp(CRSPrimaryKeysPaperDP(sizes)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSneSeMatchEnumeration validates the closed forms against an
+// explicit tree enumeration of a single block, split by pair-removal
+// count and result emptiness.
+func TestQuickSneSeMatchEnumeration(t *testing.T) {
+	for m := 2; m <= 5; m++ {
+		d, sigma := blockDB([]int{m})
+		inst := core.NewInstance(d, sigma)
+		tree, err := inst.BuildTree(false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotNE := map[int]int64{}
+		gotE := map[int]int64{}
+		for _, leaf := range tree.Leaves {
+			seq := tree.SequenceOf(leaf)
+			pairs := 0
+			for _, op := range seq {
+				if !op.Singleton() {
+					pairs++
+				}
+			}
+			if leaf.State.Count() == 0 {
+				gotE[pairs]++
+			} else {
+				gotNE[pairs]++
+			}
+		}
+		for i := 0; 2*i <= m; i++ {
+			if SneBlock(m, i).Int64() != gotNE[i] {
+				t.Errorf("m=%d i=%d: Sne = %v, enumeration = %d", m, i, SneBlock(m, i), gotNE[i])
+			}
+			if SeBlock(m, i).Int64() != gotE[i] {
+				t.Errorf("m=%d i=%d: Se = %v, enumeration = %d", m, i, SeBlock(m, i), gotE[i])
+			}
+		}
+	}
+}
+
+func TestCRSGrowsFactorially(t *testing.T) {
+	// Sanity: the count for 6 blocks of size 4 is astronomically larger
+	// than for 3 blocks, and both DPs stay exact (big.Int).
+	small := CRSPrimaryKeys([]int{4, 4, 4}, false)
+	large := CRSPrimaryKeys([]int{4, 4, 4, 4, 4, 4}, false)
+	if large.Cmp(new(big.Int).Mul(small, small)) < 0 {
+		t.Fatalf("expected super-multiplicative growth: %v vs %v", small, large)
+	}
+}

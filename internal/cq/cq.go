@@ -1,0 +1,394 @@
+// Package cq implements conjunctive queries (Section 2 of the paper):
+// atoms over constants and variables, homomorphism-based semantics, and
+// answer enumeration Q(D). It also exposes the "query as a set of atoms"
+// view the appendix proofs use (homomorphic images h(Q)).
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Term is a variable or a constant appearing in a query atom.
+type Term struct {
+	// Value is the variable name or the constant.
+	Value string
+	// IsVar distinguishes variables from constants.
+	IsVar bool
+}
+
+// Var builds a variable term.
+func Var(name string) Term { return Term{Value: name, IsVar: true} }
+
+// Const builds a constant term.
+func Const(c string) Term { return Term{Value: c} }
+
+// String renders variables bare and constants quoted.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Value
+	}
+	return "'" + t.Value + "'"
+}
+
+// Atom is a relational atom R(t1,...,tn).
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(relName string, terms ...Term) Atom {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	return Atom{Rel: relName, Terms: cp}
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Rel, strings.Join(parts, ","))
+}
+
+// Query is a conjunctive query Ans(x̄) :- R1(ȳ1), ..., Rn(ȳn).
+type Query struct {
+	// AnswerVars is the tuple x̄ of answer variables. Empty for Boolean
+	// queries.
+	AnswerVars []string
+	// Atoms is the body of the query.
+	Atoms []Atom
+}
+
+// New builds a query, checking that every answer variable occurs in the
+// body (the safety condition of Section 2).
+func New(answerVars []string, atoms ...Atom) (*Query, error) {
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("cq: query with empty body")
+	}
+	q := &Query{AnswerVars: append([]string(nil), answerVars...), Atoms: append([]Atom(nil), atoms...)}
+	body := q.Variables()
+	inBody := make(map[string]bool, len(body))
+	for _, v := range body {
+		inBody[v] = true
+	}
+	for _, v := range q.AnswerVars {
+		if !inBody[v] {
+			return nil, fmt.Errorf("cq: answer variable %q does not occur in the body", v)
+		}
+	}
+	return q, nil
+}
+
+// MustNew is like New but panics on error.
+func MustNew(answerVars []string, atoms ...Atom) *Query {
+	q, err := New(answerVars, atoms...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// IsBoolean reports whether the query has no answer variables.
+func (q *Query) IsBoolean() bool { return len(q.AnswerVars) == 0 }
+
+// IsAtomic reports whether the query has a single body atom.
+func (q *Query) IsAtomic() bool { return len(q.Atoms) == 1 }
+
+// Size reports |Q|, the number of atoms in the body. The paper's lower
+// bounds (Lemmas 5.3, 6.3, D.8, ...) are stated in terms of this size.
+func (q *Query) Size() int { return len(q.Atoms) }
+
+// Variables returns var(Q), the sorted set of variables in the body.
+func (q *Query) Variables() []string {
+	set := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, t := range a.Terms {
+			if t.IsVar {
+				set[t.Value] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constants returns const(Q), the sorted set of constants in the body.
+func (q *Query) Constants() []string {
+	set := make(map[string]bool)
+	for _, a := range q.Atoms {
+		for _, t := range a.Terms {
+			if !t.IsVar {
+				set[t.Value] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the query in the paper's rule syntax.
+func (q *Query) String() string {
+	body := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		body[i] = a.String()
+	}
+	return fmt.Sprintf("Ans(%s) :- %s", strings.Join(q.AnswerVars, ","), strings.Join(body, ", "))
+}
+
+// Validate checks arities against a schema.
+func (q *Query) Validate(s *rel.Schema) error {
+	for _, a := range q.Atoms {
+		r, ok := s.Relation(a.Rel)
+		if !ok {
+			return fmt.Errorf("cq: unknown relation %q", a.Rel)
+		}
+		if len(a.Terms) != r.Arity() {
+			return fmt.Errorf("cq: atom %s has %d terms, relation has arity %d", a, len(a.Terms), r.Arity())
+		}
+	}
+	return nil
+}
+
+// Homomorphism is a mapping from the variables of a query to constants.
+type Homomorphism map[string]string
+
+// Image returns h(Q): the database of facts obtained by applying the
+// homomorphism to every body atom. It panics if some variable is unbound.
+func (q *Query) Image(h Homomorphism) *rel.Database {
+	facts := make([]rel.Fact, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		args := make([]string, len(a.Terms))
+		for i, t := range a.Terms {
+			if t.IsVar {
+				c, ok := h[t.Value]
+				if !ok {
+					panic(fmt.Sprintf("cq: unbound variable %q", t.Value))
+				}
+				args[i] = c
+			} else {
+				args[i] = t.Value
+			}
+		}
+		facts = append(facts, rel.NewFact(a.Rel, args...))
+	}
+	return rel.NewDatabase(facts...)
+}
+
+// evalState carries the backtracking state of homomorphism search.
+type evalState struct {
+	q     *Query
+	d     *rel.Database
+	byRel map[string][]rel.Fact
+	// order is the atom evaluation order (most selective first).
+	order []int
+	yield func(Homomorphism) bool // returns false to stop enumeration
+}
+
+// planOrder orders atoms so that atoms sharing variables with already
+// planned atoms come early, preferring atoms with more constants. This is
+// a greedy bound-variables-first join order.
+func planOrder(q *Query) []int {
+	n := len(q.Atoms)
+	used := make([]bool, n)
+	bound := make(map[string]bool)
+	order := make([]int, 0, n)
+	score := func(i int) int {
+		s := 0
+		for _, t := range q.Atoms[i].Terms {
+			if !t.IsVar || bound[t.Value] {
+				s++
+			}
+		}
+		return s
+	}
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if sc := score(i); sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, t := range q.Atoms[best].Terms {
+			if t.IsVar {
+				bound[t.Value] = true
+			}
+		}
+	}
+	return order
+}
+
+func (st *evalState) search(depth int, h Homomorphism) bool {
+	if depth == len(st.order) {
+		cp := make(Homomorphism, len(h))
+		for k, v := range h {
+			cp[k] = v
+		}
+		return st.yield(cp)
+	}
+	a := st.q.Atoms[st.order[depth]]
+	for _, f := range st.byRel[a.Rel] {
+		if len(f.Args) != len(a.Terms) {
+			continue
+		}
+		// Try to unify the atom with the fact under the current binding.
+		var newly []string
+		ok := true
+		for i, t := range a.Terms {
+			c := f.Arg(i)
+			if !t.IsVar {
+				if t.Value != c {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, bound := h[t.Value]; bound {
+				if prev != c {
+					ok = false
+					break
+				}
+				continue
+			}
+			h[t.Value] = c
+			newly = append(newly, t.Value)
+		}
+		if ok {
+			if !st.search(depth+1, h) {
+				for _, v := range newly {
+					delete(h, v)
+				}
+				return false
+			}
+		}
+		for _, v := range newly {
+			delete(h, v)
+		}
+	}
+	return true
+}
+
+// Homomorphisms enumerates every homomorphism from Q to D, invoking
+// yield for each; enumeration stops early if yield returns false.
+func (q *Query) Homomorphisms(d *rel.Database, yield func(Homomorphism) bool) {
+	byRel := make(map[string][]rel.Fact)
+	for _, f := range d.Facts() {
+		byRel[f.Rel] = append(byRel[f.Rel], f)
+	}
+	st := &evalState{q: q, d: d, byRel: byRel, order: planOrder(q), yield: yield}
+	st.search(0, Homomorphism{})
+}
+
+// Entails reports whether D |= Q for a Boolean query (or, for a
+// non-Boolean query, whether Q has at least one answer over D).
+func (q *Query) Entails(d *rel.Database) bool {
+	found := false
+	q.Homomorphisms(d, func(Homomorphism) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Tuple is an answer tuple c̄ ∈ dom(D)^{|x̄|}.
+type Tuple []string
+
+// Key returns a canonical encoding of the tuple.
+func (t Tuple) Key() string { return strings.Join(t, "\x00") }
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(c1,...,ck)".
+func (t Tuple) String() string { return "(" + strings.Join(t, ",") + ")" }
+
+// Answers computes Q(D), the sorted set of answer tuples.
+func (q *Query) Answers(d *rel.Database) []Tuple {
+	seen := make(map[string]bool)
+	var out []Tuple
+	q.Homomorphisms(d, func(h Homomorphism) bool {
+		tup := make(Tuple, len(q.AnswerVars))
+		for i, v := range q.AnswerVars {
+			tup[i] = h[v]
+		}
+		if k := tup.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, tup)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// HasAnswer reports whether c̄ ∈ Q(D).
+func (q *Query) HasAnswer(d *rel.Database, c Tuple) bool {
+	if len(c) != len(q.AnswerVars) {
+		return false
+	}
+	found := false
+	q.Homomorphisms(d, func(h Homomorphism) bool {
+		for i, v := range q.AnswerVars {
+			if h[v] != c[i] {
+				return true // keep searching
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// WitnessImages enumerates the distinct images h(Q) over all
+// homomorphisms h from Q to D with h(x̄) = c̄. The appendix lower-bound
+// proofs quantify over such images; the experiments use them to locate a
+// consistent witness (an h with h(Q) |= Σ).
+func (q *Query) WitnessImages(d *rel.Database, c Tuple) []*rel.Database {
+	if len(c) != len(q.AnswerVars) {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []*rel.Database
+	q.Homomorphisms(d, func(h Homomorphism) bool {
+		for i, v := range q.AnswerVars {
+			if h[v] != c[i] {
+				return true
+			}
+		}
+		img := q.Image(h)
+		if k := img.String(); !seen[k] {
+			seen[k] = true
+			out = append(out, img)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/fpras"
+	"repro/internal/sampler"
+	"repro/internal/workload"
+)
+
+// This file implements E12 (lower-bound tightness sweep across Lemmas
+// 5.3, 6.3, E.3, E.10 and D.8), E13 (polynomial-time sampler scaling,
+// Lemmas 5.2/6.2/7.2) and E14 (exact-vs-FPRAS wall-clock crossover —
+// the motivation of Sections 1 and 4).
+
+func init() {
+	register("E12", "Lower-bound tightness sweep (Lemmas 5.3, 6.3, E.3, E.10, D.8)", runE12)
+	register("E13", "Sampler and counting-DP scaling (Lemmas 5.2, 6.2, 7.2, C.1)", runE13)
+	register("E14", "Exact vs FPRAS wall-clock crossover", runE14)
+}
+
+func runE12(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E12",
+		Title:  "Lower bounds on positive probabilities",
+		Claim:  "every positive frequency/probability observed over random instances respects the paper's lower bound; the minimum observed ratio measured/bound stays ≥ 1",
+		Header: Row{"lemma", "quantity", "instances", "min measured", "bound at min", "min ratio", "holds"},
+		OK:     true,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 12))
+	trials := 40
+	if cfg.Quick {
+		trials = 12
+	}
+
+	type sweep struct {
+		lemma, quantity string
+		bound           func(dbSize, qSize int) float64
+		measure         func(w workload.Instance) (float64, int, bool) // value, dbSize, ok
+	}
+	sweeps := []sweep{
+		{
+			lemma: "5.3", quantity: "rrfreq (primary keys)",
+			bound: fpras.LowerBoundRRFreqPrimary,
+			measure: func(w workload.Instance) (float64, int, bool) {
+				inst := w.Core()
+				r, err := inst.RRFreq(false, 100000, inst.EntailPred(w.Query, w.Tuple))
+				if err != nil {
+					return 0, 0, false
+				}
+				f, _ := r.Float64()
+				return f, inst.D.Len(), true
+			},
+		},
+		{
+			lemma: "6.3", quantity: "srfreq (primary keys)",
+			bound: fpras.LowerBoundRRFreqPrimary, // same bound as 5.3
+			measure: func(w workload.Instance) (float64, int, bool) {
+				inst := w.Core()
+				r, err := inst.SRFreq(false, 100000, inst.EntailPred(w.Query, w.Tuple))
+				if err != nil {
+					return 0, 0, false
+				}
+				f, _ := r.Float64()
+				return f, inst.D.Len(), true
+			},
+		},
+		{
+			lemma: "E.3", quantity: "rrfreq¹ (primary keys)",
+			bound: fpras.LowerBoundSingletonPrimary,
+			measure: func(w workload.Instance) (float64, int, bool) {
+				inst := w.Core()
+				r, err := inst.RRFreq(true, 100000, inst.EntailPred(w.Query, w.Tuple))
+				if err != nil {
+					return 0, 0, false
+				}
+				f, _ := r.Float64()
+				return f, inst.D.Len(), true
+			},
+		},
+		{
+			lemma: "E.10", quantity: "srfreq¹ (primary keys)",
+			bound: fpras.LowerBoundSingletonPrimary,
+			measure: func(w workload.Instance) (float64, int, bool) {
+				inst := w.Core()
+				r, err := inst.SRFreq(true, 100000, inst.EntailPred(w.Query, w.Tuple))
+				if err != nil {
+					return 0, 0, false
+				}
+				f, _ := r.Float64()
+				return f, inst.D.Len(), true
+			},
+		},
+	}
+	for _, sw := range sweeps {
+		minVal, boundAtMin, minRatio := math.Inf(1), 0.0, math.Inf(1)
+		used := 0
+		for i := 0; i < trials; i++ {
+			w := workload.HotBlockDatabase(rng, workload.BlockSpec{
+				Blocks: 2 + rng.Intn(3), MinSize: 2, MaxSize: 3, ValueSkew: 0.4,
+			})
+			v, dbSize, ok := sw.measure(w)
+			if !ok || v == 0 {
+				continue
+			}
+			used++
+			b := sw.bound(dbSize, w.Query.Size())
+			if v < minVal {
+				minVal, boundAtMin = v, b
+			}
+			if r := v / b; r < minRatio {
+				minRatio = r
+			}
+		}
+		holds := minRatio >= 1
+		if !holds {
+			t.OK = false
+		}
+		t.Rows = append(t.Rows, Row{
+			sw.lemma, sw.quantity, fmt.Sprint(used),
+			f2s(minVal), f2s(boundAtMin), f2s(minRatio), b2s(holds),
+		})
+	}
+
+	// Lemma D.8: M^{uo,1} over general FDs.
+	minVal, boundAtMin, minRatio := math.Inf(1), 0.0, math.Inf(1)
+	used := 0
+	for i := 0; i < trials; i++ {
+		w := workload.FDChainDatabase(rng, 4+rng.Intn(4), 3)
+		inst := w.Core()
+		r, err := inst.ProbUO(true, 100000, inst.EntailPred(w.Query, w.Tuple))
+		if err != nil {
+			continue
+		}
+		v, _ := r.Float64()
+		if v == 0 {
+			continue
+		}
+		used++
+		b := fpras.LowerBoundSingletonFD(inst.D.Len(), w.Query.Size())
+		if v < minVal {
+			minVal, boundAtMin = v, b
+		}
+		if ratio := v / b; ratio < minRatio {
+			minRatio = ratio
+		}
+	}
+	holds := minRatio >= 1
+	if !holds {
+		t.OK = false
+	}
+	t.Rows = append(t.Rows, Row{
+		"D.8", "P_{M^{uo,1}} (FDs)", fmt.Sprint(used),
+		f2s(minVal), f2s(boundAtMin), f2s(minRatio), b2s(holds),
+	})
+	return t, nil
+}
+
+func runE13(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E13",
+		Title:  "Polynomial-time sampler scaling",
+		Claim:  "per-sample cost of SampleRep (Lemma 5.2), SampleSeq (Lemma 6.2: Algorithm 1 and the O(‖D‖) traceback variant) and the M^uo walk (Lemma 7.2) grows polynomially with ‖D‖; the Lemma C.1 DP counts |CRS| far beyond enumeration reach",
+		Header: Row{"‖D‖ (blocks×size)", "SampleRep ns/op", "Alg.1 ns/op", "traceback ns/op", "WalkUO ns/op", "DP count time", "|CRS| digits"},
+		OK:     true,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	shapes := [][2]int{{25, 4}, {50, 4}, {100, 4}, {200, 4}, {400, 4}}
+	reps := 100
+	alg1Cap := 50 // Algorithm 1 re-counts per step; skip beyond this
+	if cfg.Quick {
+		shapes = [][2]int{{10, 3}, {25, 3}}
+		reps = 30
+	}
+	var prev float64
+	for _, sh := range shapes {
+		w := workload.BlockDatabase(rng, workload.BlockSpec{
+			Blocks: sh[0], MinSize: sh[1], MaxSize: sh[1], ValueSkew: 0.3,
+		})
+		inst := w.Core()
+		bs, err := sampler.NewBlockSampler(inst)
+		if err != nil {
+			return t, err
+		}
+		ss, err := sampler.NewSequenceSampler(inst, false)
+		if err != nil {
+			return t, err
+		}
+		walker := sampler.NewUOWalker(inst)
+		timeIt := func(f func()) float64 {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				f()
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(reps)
+		}
+		repNs := timeIt(func() { bs.SampleRepair(rng, false) })
+		alg1 := "-"
+		if sh[0] <= alg1Cap {
+			alg1 = fmt.Sprintf("%.0f", timeIt(func() { bs.SampleSequence(rng, false) }))
+		}
+		seqNs := timeIt(func() { ss.Sample(rng) })
+		uoNs := timeIt(func() { walker.WalkResult(rng, false) })
+		start := time.Now()
+		crs := bs.CountSequences(false)
+		dpTime := time.Since(start)
+		digits := len(crs.String())
+		t.Rows = append(t.Rows, Row{
+			fmt.Sprintf("%d (%d×%d)", inst.D.Len(), sh[0], sh[1]),
+			fmt.Sprintf("%.0f", repNs),
+			alg1,
+			fmt.Sprintf("%.0f", seqNs),
+			fmt.Sprintf("%.0f", uoNs),
+			dpTime.String(),
+			fmt.Sprint(digits),
+		})
+		// Polynomial shape check: doubling ‖D‖ must not blow up the
+		// per-sample traceback cost by more than ~32× (degree ≤ 5).
+		if prev > 0 && seqNs > prev*32 {
+			t.OK = false
+		}
+		prev = seqNs
+	}
+	t.Notes = append(t.Notes,
+		"|CRS| digits column shows the counts are astronomically beyond enumeration — only the DP and the samplers make the space tractable",
+		"Algorithm 1 is capped at 50 blocks: its per-step re-counting is polynomial but impractical; the traceback sampler draws the identical distribution in O(‖D‖) per sample")
+	return t, nil
+}
+
+func runE14(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E14",
+		Title:  "Exact enumeration vs FPRAS crossover",
+		Claim:  "exact rrfreq costs Θ(|CORep|) = Θ((m+1)^b) and explodes with the number of blocks b, while the FPRAS cost is flat — approximate CQA wins beyond a small crossover, the practical motivation of the paper",
+		Header: Row{"blocks", "‖D‖", "|CORep|", "exact time", "FPRAS time", "FPRAS rel.err", "winner"},
+		OK:     true,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 14))
+	maxBlocks := []int{2, 4, 6, 8, 10}
+	if cfg.Quick {
+		maxBlocks = []int{2, 4, 6}
+	}
+	eps := 0.1
+	var exactBeaten bool
+	for _, b := range maxBlocks {
+		w := largeHotWorkload(rng, b, 3)
+		inst := w.Core()
+		pred := inst.EntailPred(w.Query, w.Tuple)
+		analytic := 1 - math.Pow(1-0.25, float64(b))
+
+		start := time.Now()
+		exact, err := inst.RRFreq(false, 0, pred)
+		exactTime := time.Since(start)
+		if err != nil {
+			return t, err
+		}
+		ef, _ := exact.Float64()
+		if relErr(ef, analytic) > 1e-9 {
+			t.OK = false
+		}
+
+		bs, err := sampler.NewBlockSampler(inst)
+		if err != nil {
+			return t, err
+		}
+		start = time.Now()
+		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+			return pred(bs.SampleRepair(r, false))
+		}, eps, 0.05, cfg.Seed+47, 0)
+		fprasTime := time.Since(start)
+
+		winner := "exact"
+		if fprasTime < exactTime {
+			winner = "FPRAS"
+			exactBeaten = true
+		}
+		t.Rows = append(t.Rows, Row{
+			fmt.Sprint(b), fmt.Sprint(inst.D.Len()),
+			inst.CountCandidateRepairs(false).String(),
+			exactTime.String(), fprasTime.String(),
+			f2s(relErr(est.Value, ef)), winner,
+		})
+	}
+	if !exactBeaten {
+		t.OK = false
+		t.Notes = append(t.Notes, "FPRAS never beat exact — crossover not reached at these sizes")
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRegistered checks the registry covers E01..E14.
+func TestAllExperimentsRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registered %d experiments, want 14", len(all))
+	}
+	for i, e := range all {
+		want := "E" + pad(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.ID)
+		}
+	}
+}
+
+func pad(i int) string {
+	if i < 10 {
+		return "0" + string(rune('0'+i))
+	}
+	return "1" + string(rune('0'+i-10))
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E01"); !ok {
+		t.Error("E01 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+// TestAllExperimentsPassQuick runs the entire registry in Quick mode;
+// every experiment must complete and report OK (its paper claims hold).
+func TestAllExperimentsPassQuick(t *testing.T) {
+	cfg := Config{Seed: 42, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if !tab.OK {
+				t.Fatalf("%s claims violated:\n%s", e.ID, tab.Format())
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+		})
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID: "EXX", Title: "demo", Claim: "c",
+		Header: Row{"a", "bb"},
+		Rows:   []Row{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+		OK:     true,
+	}
+	out := tab.Format()
+	for _, want := range []string{"EXX", "PASS", "claim: c", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	tab.OK = false
+	if !strings.Contains(tab.Format(), "FAIL") {
+		t.Error("FAIL marker missing")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if relErr(1.1, 1.0) < 0.09 || relErr(1.1, 1.0) > 0.11 {
+		t.Error("relErr wrong")
+	}
+	if relErr(0, 0) != 0 || relErr(1, 0) != 1 {
+		t.Error("relErr zero handling wrong")
+	}
+	if b2s(true) != "yes" || b2s(false) != "NO" {
+		t.Error("b2s wrong")
+	}
+}
+
+func TestEvRowFormatting(t *testing.T) {
+	r := evRow{label: "x", exact: 0.5, eps: 0.1}
+	r.estimate.Value = 0.52
+	r.estimate.Samples = 100
+	row := r.row()
+	if len(row) != len(evHeader()) {
+		t.Fatalf("row width %d != header width %d", len(row), len(evHeader()))
+	}
+	if row[len(row)-1] != "yes" {
+		t.Fatalf("0.52 vs 0.5 is within ε=0.1: %v", row)
+	}
+	r.estimate.Value = 0.7
+	if row := r.row(); row[len(row)-1] != "NO" {
+		t.Fatalf("0.7 vs 0.5 is outside ε=0.1: %v", row)
+	}
+}
+
+func TestF2S(t *testing.T) {
+	if f2s(0.25) != "0.25" {
+		t.Errorf("f2s(0.25) = %q", f2s(0.25))
+	}
+	if f2s(1.0/3) == "" {
+		t.Error("f2s empty")
+	}
+}
+
+// TestExperimentsDeterministicPerSeed: re-running an experiment with
+// the same seed reproduces the same table rows.
+func TestExperimentsDeterministicPerSeed(t *testing.T) {
+	e, ok := ByID("E12")
+	if !ok {
+		t.Fatal("E12 missing")
+	}
+	cfg := Config{Seed: 7, Quick: true}
+	a, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// This file reproduces the paper's two figures and their worked
+// examples (E1: Figure 1 / Example 3.6 / Section 4; E2: Figure 2 /
+// Examples B.2, B.3, C.2, C.3).
+
+func init() {
+	register("E01", "Figure 1: repairing Markov chain of the running example", runE01)
+	register("E02", "Figure 2: block database counts and frequencies", runE02)
+}
+
+// runningExample is Example 3.6.
+func runningExample() *core.Instance {
+	d := rel.NewDatabase(
+		rel.NewFact("R", "a1", "b1", "c1"),
+		rel.NewFact("R", "a1", "b2", "c2"),
+		rel.NewFact("R", "a2", "b1", "c2"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch,
+		fd.New("R", []int{0}, []int{1}),
+		fd.New("R", []int{2}, []int{1}),
+	)
+	return core.NewInstance(d, sigma)
+}
+
+// figure2 is the database of Figure 2.
+func figure2() *core.Instance {
+	d := rel.NewDatabase(
+		rel.NewFact("R", "a1", "b1"),
+		rel.NewFact("R", "a1", "b2"),
+		rel.NewFact("R", "a1", "b3"),
+		rel.NewFact("R", "a2", "b1"),
+		rel.NewFact("R", "a3", "b1"),
+		rel.NewFact("R", "a3", "b2"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	return core.NewInstance(d, fd.MustSet(sch, fd.New("R", []int{0}, []int{1})))
+}
+
+func runE01(cfg Config) (Table, error) {
+	inst := runningExample()
+	t := Table{
+		ID:     "E01",
+		Title:  "Figure 1: repairing Markov chain of Example 3.6",
+		Claim:  "chain has 12 nodes / 9 leaves / 5 repairs; §4 worked probabilities: M^us leaves 1/9 each, M^ur reachable leaves 1/5 each, M^uo root edges 1/5 and inner edges 1/3",
+		Header: Row{"quantity", "paper", "computed", "match"},
+		OK:     true,
+	}
+	add := func(name, paper, computed string) {
+		match := paper == computed
+		if !match {
+			t.OK = false
+		}
+		t.Rows = append(t.Rows, Row{name, paper, computed, b2s(match)})
+	}
+	tree, err := inst.BuildTree(false, 0)
+	if err != nil {
+		return t, err
+	}
+	add("|RS(D,Σ)| (nodes)", "12", fmt.Sprint(tree.NodeCount))
+	add("|CRS(D,Σ)| (leaves)", "9", fmt.Sprint(len(tree.Leaves)))
+	add("|CORep(D,Σ)|", "5", inst.CountCandidateRepairs(false).String())
+	add("|CanCRS(D,Σ)|", "5", tree.CanonicalLeafCount().String())
+
+	// M^us: all leaves 1/9.
+	usOK := true
+	for _, p := range tree.LeafDistribution(core.UniformSequences) {
+		if p.Cmp(big.NewRat(1, 9)) != 0 {
+			usOK = false
+		}
+	}
+	add("M^us leaf probabilities all 1/9", "yes", b2s(usOK))
+
+	// M^ur: exactly 5 reachable leaves, 1/5 each.
+	urDist := tree.LeafDistribution(core.UniformRepairs)
+	reach := 0
+	urOK := true
+	for _, p := range urDist {
+		if p.Sign() > 0 {
+			reach++
+			if p.Cmp(big.NewRat(1, 5)) != 0 {
+				urOK = false
+			}
+		}
+	}
+	add("M^ur reachable leaves", "5", fmt.Sprint(reach))
+	add("M^ur reachable leaf probabilities all 1/5", "yes", b2s(urOK))
+
+	// M^uo: root edges 1/5, inner edges 1/3.
+	uoOK := true
+	for i := range tree.Root.Children {
+		if tree.TransitionProb(core.UniformOperations, tree.Root, i).Cmp(big.NewRat(1, 5)) != 0 {
+			uoOK = false
+		}
+	}
+	for _, c := range tree.Root.Children {
+		for i := range c.Children {
+			if tree.TransitionProb(core.UniformOperations, c, i).Cmp(big.NewRat(1, 3)) != 0 {
+				uoOK = false
+			}
+		}
+	}
+	add("M^uo edge probabilities (1/5 root, 1/3 inner)", "yes", b2s(uoOK))
+
+	// Operational semantics per generator.
+	ur, err := inst.SemanticsUR(false, 0)
+	if err != nil {
+		return t, err
+	}
+	add("[[D]]_{M^ur} distribution", "uniform 1/5 over 5 repairs", semShape(ur))
+	us, err := inst.SemanticsUS(false, 0)
+	if err != nil {
+		return t, err
+	}
+	add("[[D]]_{M^us} max repair probability", "2/9", maxProb(us))
+	uo, err := inst.SemanticsUO(false, 0)
+	if err != nil {
+		return t, err
+	}
+	add("[[D]]_{M^uo} max repair probability", "4/15", maxProb(uo))
+	return t, nil
+}
+
+func semShape(sem []core.RepairProb) string {
+	if len(sem) == 0 {
+		return "empty"
+	}
+	uniform := true
+	for _, rp := range sem {
+		if rp.Prob.Cmp(sem[0].Prob) != 0 {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return fmt.Sprintf("uniform %s over %d repairs", sem[0].Prob.RatString(), len(sem))
+	}
+	return fmt.Sprintf("non-uniform over %d repairs", len(sem))
+}
+
+func maxProb(sem []core.RepairProb) string {
+	max := new(big.Rat)
+	for _, rp := range sem {
+		if rp.Prob.Cmp(max) > 0 {
+			max = rp.Prob
+		}
+	}
+	return max.RatString()
+}
+
+func runE02(cfg Config) (Table, error) {
+	inst := figure2()
+	t := Table{
+		ID:     "E02",
+		Title:  "Figure 2: block database of Examples B.2/B.3/C.2/C.3",
+		Claim:  "12 candidate repairs; |CRS| = 99; rrfreq(Q,(b1)) = 1/4 ≥ 1/12 (Lemma 5.3); srfreq = 24/99 ≥ 1/12 (Lemma 6.3); singleton: |CORep^1| = 6, |CRS^1| = 36",
+		Header: Row{"quantity", "paper", "computed", "match"},
+		OK:     true,
+	}
+	add := func(name, paper, computed string) {
+		match := paper == computed
+		if !match {
+			t.OK = false
+		}
+		t.Rows = append(t.Rows, Row{name, paper, computed, b2s(match)})
+	}
+	add("|CORep(D,Σ)| (Example B.2)", "12", inst.CountCandidateRepairs(false).String())
+	crs, err := inst.CountCRS(false, 0)
+	if err != nil {
+		return t, err
+	}
+	add("|CRS(D,Σ)| (Example C.2)", "99", crs.String())
+	add("|CORep^1(D,Σ)|", "6", inst.CountCandidateRepairs(true).String())
+	crs1, err := inst.CountCRS(true, 0)
+	if err != nil {
+		return t, err
+	}
+	add("|CRS^1(D,Σ)|", "36", crs1.String())
+
+	q := cq.MustNew([]string{"x"}, cq.NewAtom("R", cq.Const("a1"), cq.Var("x")))
+	pred := inst.EntailPred(q, cq.Tuple{"b1"})
+	rr, err := inst.RRFreq(false, 0, pred)
+	if err != nil {
+		return t, err
+	}
+	add("rrfreq_{Σ,Q}(D,(b1)) (Example B.3)", "1/4", rr.RatString())
+	sr, err := inst.SRFreq(false, 0, pred)
+	if err != nil {
+		return t, err
+	}
+	add("srfreq_{Σ,Q}(D,(b1)) (Example C.3)", "8/33", sr.RatString())
+	// Lower bound 1/(2|D|)^|Q| = 1/12.
+	bound := big.NewRat(1, 12)
+	add("rrfreq ≥ 1/(2|D|)^|Q| = 1/12", "yes", b2s(rr.Cmp(bound) >= 0))
+	add("srfreq ≥ 1/(2|D|)^|Q| = 1/12", "yes", b2s(sr.Cmp(bound) >= 0))
+	return t, nil
+}

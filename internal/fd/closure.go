@@ -1,0 +1,189 @@
+package fd
+
+// This file implements classical FD reasoning — attribute-set closure
+// (Armstrong's axioms), implication Σ ⊨ φ, equivalence, and minimal
+// covers. The operational semantics of the paper depends on Σ only
+// through the violation set V(D,Σ) up to conflict pairs, so replacing
+// Σ by an equivalent cover changes neither the conflict graph nor the
+// candidate repairs — a property the tests verify against the core
+// engines. Minimal covers are the practical preprocessing step for
+// large constraint sets.
+
+// Closure computes the attribute closure X⁺ of the given attribute
+// positions of relation relName under the FDs of the set: the largest
+// set of positions functionally determined by X.
+func (s *Set) Closure(relName string, attrs []int) []int {
+	inClosure := make(map[int]bool, len(attrs))
+	for _, a := range attrs {
+		inClosure[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, phi := range s.fds {
+			if phi.Rel != relName {
+				continue
+			}
+			all := true
+			for _, a := range phi.LHS {
+				if !inClosure[a] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			for _, b := range phi.RHS {
+				if !inClosure[b] {
+					inClosure[b] = true
+					changed = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(inClosure))
+	for a := range inClosure {
+		out = append(out, a)
+	}
+	return normalise(out)
+}
+
+// Implies reports whether Σ ⊨ φ: every database satisfying Σ satisfies
+// φ, decided by the closure test RHS ⊆ LHS⁺.
+func (s *Set) Implies(phi FD) bool {
+	cl := make(map[int]bool)
+	for _, a := range s.Closure(phi.Rel, phi.LHS) {
+		cl[a] = true
+	}
+	for _, b := range phi.RHS {
+		if !cl[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether the two sets imply each other (over the
+// same schema).
+func (s *Set) Equivalent(other *Set) bool {
+	for _, phi := range other.fds {
+		if !s.Implies(phi) {
+			return false
+		}
+	}
+	for _, phi := range s.fds {
+		if !other.Implies(phi) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover computes a minimal cover of Σ: an equivalent set whose
+// FDs have singleton right-hand sides, no extraneous left-hand-side
+// attributes, and no redundant members. The classical three-phase
+// algorithm; the result is deterministic for a fixed input order.
+func (s *Set) MinimalCover() *Set {
+	// Phase 1: singleton RHS.
+	var work []FD
+	for _, phi := range s.fds {
+		for _, b := range phi.RHS {
+			work = append(work, New(phi.Rel, phi.LHS, []int{b}))
+		}
+	}
+	cover := &Set{schema: s.schema, fds: work}
+
+	// Phase 2: drop extraneous LHS attributes: a ∈ X is extraneous in
+	// X → b if (X \ {a})⁺ under the current cover contains b.
+	for i := range cover.fds {
+		phi := cover.fds[i]
+		lhs := append([]int(nil), phi.LHS...)
+		for j := 0; j < len(lhs); j++ {
+			if len(lhs) == 1 {
+				break
+			}
+			reduced := append(append([]int(nil), lhs[:j]...), lhs[j+1:]...)
+			cl := cover.Closure(phi.Rel, reduced)
+			if containsAll(cl, phi.RHS) {
+				lhs = reduced
+				j--
+			}
+		}
+		cover.fds[i] = New(phi.Rel, lhs, phi.RHS)
+	}
+
+	// Phase 3: drop redundant FDs: φ is redundant if Σ \ {φ} ⊨ φ.
+	for i := 0; i < len(cover.fds); i++ {
+		without := &Set{schema: s.schema}
+		without.fds = append(append([]FD(nil), cover.fds[:i]...), cover.fds[i+1:]...)
+		if without.Implies(cover.fds[i]) {
+			cover.fds = without.fds
+			i--
+		}
+	}
+
+	// Deduplicate (phase 1 can create duplicates that phase 3 already
+	// prunes, but keep the invariant explicit).
+	return cover
+}
+
+func containsAll(haystack, needles []int) bool {
+	set := make(map[int]bool, len(haystack))
+	for _, a := range haystack {
+		set[a] = true
+	}
+	for _, n := range needles {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKeySet reports whether the attribute positions form a superkey of
+// the relation under Σ: their closure covers every attribute.
+func (s *Set) IsKeySet(relName string, attrs []int) bool {
+	r, ok := s.schema.Relation(relName)
+	if !ok {
+		return false
+	}
+	return len(s.Closure(relName, attrs)) == r.Arity()
+}
+
+// CandidateKeys enumerates the minimal superkeys of the relation under
+// Σ by breadth-first search over attribute subsets (exponential in the
+// arity; relations have small arity in this domain).
+func (s *Set) CandidateKeys(relName string) [][]int {
+	r, ok := s.schema.Relation(relName)
+	if !ok {
+		return nil
+	}
+	n := r.Arity()
+	var keys [][]int
+	isMinimal := func(attrs []int) bool {
+		for _, k := range keys {
+			if containsAll(attrs, k) {
+				return false
+			}
+		}
+		return true
+	}
+	// Subsets in order of increasing size.
+	for size := 1; size <= n; size++ {
+		var recur func(start int, cur []int)
+		recur = func(start int, cur []int) {
+			if len(cur) == size {
+				attrs := append([]int(nil), cur...)
+				if isMinimal(attrs) && s.IsKeySet(relName, attrs) {
+					keys = append(keys, attrs)
+				}
+				return
+			}
+			for a := start; a < n; a++ {
+				recur(a+1, append(cur, a))
+			}
+		}
+		recur(0, nil)
+	}
+	return keys
+}

@@ -1,0 +1,228 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func schemaR4() *rel.Schema {
+	return rel.MustSchema(rel.NewRelation("R", 4))
+}
+
+func TestClosureTextbook(t *testing.T) {
+	// Σ = {A→B, B→C}: A⁺ = ABC, C⁺ = C, D⁺ = D.
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+	)
+	if got := s.Closure("R", []int{0}); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("A+ = %v", got)
+	}
+	if got := s.Closure("R", []int{2}); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("C+ = %v", got)
+	}
+	if got := s.Closure("R", []int{3}); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("D+ = %v", got)
+	}
+}
+
+func TestClosureIgnoresOtherRelations(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2), rel.NewRelation("S", 2))
+	s := MustSet(sch, New("S", []int{0}, []int{1}))
+	if got := s.Closure("R", []int{0}); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("closure crossed relations: %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+	)
+	if !s.Implies(New("R", []int{0}, []int{2})) {
+		t.Error("transitivity: A→C should follow")
+	}
+	if !s.Implies(New("R", []int{0, 3}, []int{2})) {
+		t.Error("augmentation: AD→C should follow")
+	}
+	if s.Implies(New("R", []int{2}, []int{0})) {
+		t.Error("C→A should not follow")
+	}
+	if !s.Implies(New("R", []int{0}, []int{0})) {
+		t.Error("reflexivity: A→A always holds")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+	)
+	b := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1, 2}),
+		New("R", []int{1}, []int{2}),
+	)
+	if !a.Equivalent(b) || !b.Equivalent(a) {
+		t.Error("a and b should be equivalent")
+	}
+	c := MustSet(schemaR4(), New("R", []int{0}, []int{1}))
+	if a.Equivalent(c) {
+		t.Error("a is strictly stronger than c")
+	}
+}
+
+func TestMinimalCoverSingletonRHS(t *testing.T) {
+	s := MustSet(schemaR4(), New("R", []int{0}, []int{1, 2, 3}))
+	mc := s.MinimalCover()
+	for _, phi := range mc.FDs() {
+		if len(phi.RHS) != 1 {
+			t.Fatalf("non-singleton RHS in cover: %v", phi)
+		}
+	}
+	if !mc.Equivalent(s) {
+		t.Fatal("cover not equivalent")
+	}
+}
+
+func TestMinimalCoverDropsRedundant(t *testing.T) {
+	// A→B, B→C, A→C: the last is redundant.
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+		New("R", []int{0}, []int{2}),
+	)
+	mc := s.MinimalCover()
+	if mc.Len() != 2 {
+		t.Fatalf("cover size = %d, want 2: %v", mc.Len(), mc.FDs())
+	}
+	if !mc.Equivalent(s) {
+		t.Fatal("cover not equivalent")
+	}
+}
+
+func TestMinimalCoverDropsExtraneousLHS(t *testing.T) {
+	// A→B and AB→C: B is extraneous in AB→C (since A→B gives A⁺ ⊇ B).
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{0, 1}, []int{2}),
+	)
+	mc := s.MinimalCover()
+	for _, phi := range mc.FDs() {
+		if len(phi.LHS) > 1 {
+			t.Fatalf("extraneous LHS survived: %v", phi)
+		}
+	}
+	if !mc.Equivalent(s) {
+		t.Fatal("cover not equivalent")
+	}
+}
+
+func TestIsKeySetAndCandidateKeys(t *testing.T) {
+	// R(A,B,C,D) with A→B, B→C, C→D: the unique candidate key is {A}.
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+		New("R", []int{2}, []int{3}),
+	)
+	if !s.IsKeySet("R", []int{0}) {
+		t.Error("{A} should be a key")
+	}
+	if s.IsKeySet("R", []int{1}) {
+		t.Error("{B} should not be a key")
+	}
+	keys := s.CandidateKeys("R")
+	if len(keys) != 1 || !reflect.DeepEqual(keys[0], []int{0}) {
+		t.Fatalf("candidate keys = %v", keys)
+	}
+}
+
+func TestCandidateKeysCycle(t *testing.T) {
+	// A→B, B→A, AB→CD over R/4... make it A→B,B→A plus A→C, A→D:
+	// candidate keys {A} and {B}.
+	s := MustSet(schemaR4(),
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{0}),
+		New("R", []int{0}, []int{2, 3}),
+	)
+	keys := s.CandidateKeys("R")
+	if len(keys) != 2 {
+		t.Fatalf("candidate keys = %v", keys)
+	}
+}
+
+func TestCandidateKeysUnknownRelation(t *testing.T) {
+	s := MustSet(schemaR4())
+	if s.CandidateKeys("Nope") != nil {
+		t.Error("unknown relation should yield nil")
+	}
+	if s.IsKeySet("Nope", []int{0}) {
+		t.Error("unknown relation cannot have keys")
+	}
+}
+
+// randomFDSet builds a random FD set over R/4.
+func randomFDSet(rng *rand.Rand) *Set {
+	n := 1 + rng.Intn(4)
+	var fds []FD
+	for i := 0; i < n; i++ {
+		lhs := []int{rng.Intn(4)}
+		if rng.Intn(2) == 0 {
+			lhs = append(lhs, rng.Intn(4))
+		}
+		fds = append(fds, New("R", lhs, []int{rng.Intn(4)}))
+	}
+	return MustSet(schemaR4(), fds...)
+}
+
+// TestQuickMinimalCoverEquivalent: minimal covers are equivalent to
+// the original set, have singleton RHS, and are no larger.
+func TestQuickMinimalCoverEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(227))
+	for trial := 0; trial < 100; trial++ {
+		s := randomFDSet(rng)
+		mc := s.MinimalCover()
+		if !mc.Equivalent(s) {
+			t.Fatalf("trial %d: cover %v not equivalent to %v", trial, mc, s)
+		}
+		for _, phi := range mc.FDs() {
+			if len(phi.RHS) != 1 {
+				t.Fatalf("trial %d: non-singleton RHS", trial)
+			}
+		}
+	}
+}
+
+// TestQuickEquivalentSetsSameConflicts: replacing Σ by its minimal
+// cover preserves satisfaction on random databases — the property that
+// lets the operational engines preprocess constraints.
+func TestQuickEquivalentSetsSameConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(229))
+	for trial := 0; trial < 80; trial++ {
+		s := randomFDSet(rng)
+		mc := s.MinimalCover()
+		n := 2 + rng.Intn(6)
+		facts := make([]rel.Fact, n)
+		for i := range facts {
+			facts[i] = rel.NewFact("R",
+				string(rune('a'+rng.Intn(2))),
+				string(rune('a'+rng.Intn(2))),
+				string(rune('a'+rng.Intn(2))),
+				string(rune('a'+rng.Intn(2))))
+		}
+		d := rel.NewDatabase(facts...)
+		if s.Satisfies(d) != mc.Satisfies(d) {
+			t.Fatalf("trial %d: satisfaction differs between Σ and its cover", trial)
+		}
+		// Pairwise conflicts agree (the conflict graph is the same).
+		for i := 0; i < d.Len(); i++ {
+			for j := i + 1; j < d.Len(); j++ {
+				if s.InConflict(d.Fact(i), d.Fact(j)) != mc.InConflict(d.Fact(i), d.Fact(j)) {
+					t.Fatalf("trial %d: conflict pair (%d,%d) differs", trial, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fpras
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file implements the full 𝒜𝒜 (approximation algorithm) of Dagum,
+// Karp, Luby and Ross, "An Optimal Algorithm for Monte Carlo
+// Estimation" [reference 8 of the paper] — the estimator whose expected
+// sample count is within a constant factor of optimal for any random
+// variable on [0,1]. The stopping rule of EstimateStoppingRule is its
+// first phase; the full algorithm adds a variance-estimation phase so
+// that low-variance targets (probabilities near 0 or 1) cost fewer
+// samples than the plain 1/μ rule.
+//
+// Phases (for Bernoulli Z with mean μ):
+//  1. Stopping rule with ε' = min(1/2, √ε) and δ/3 → crude estimate μ̂.
+//  2. Estimate ρ = max(σ², εμ) with N = Υ₂·ε/μ̂ sample pairs, where
+//     Υ₂ = 2(1+√ε)(1+2√ε)(1+ln(3/2)/ln(2/δ))·Υ and
+//     Υ = 4(e−2)ln(2/δ)/ε².
+//  3. Final estimate with N = Υ₂·ρ̂/μ̂² samples.
+//
+// Guarantee: Pr[|μ̃ − μ| ≤ ε·μ] ≥ 1−δ, with E[N] = O(ρ·ln(1/δ)/(ε²μ²)),
+// which for Bernoulli variables is O(ln(1/δ)/(ε²·max(μ, ε))) — a factor
+// min(1/ε, 1/μ) better than the plain stopping rule when μ ≫ ε.
+
+// EstimateAA runs the optimal Dagum–Karp–Luby–Ross estimator.
+// maxSamples caps the total draws across all three phases (0 = no
+// cap); on exhaustion the current phase's plain mean is returned with
+// Converged = false.
+func EstimateAA(s Sampler, eps, delta float64, seed int64, maxSamples int) Estimate {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("fpras: invalid parameters for EstimateAA")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	budget := maxSamples
+	used := 0
+	draw := func() (float64, bool) {
+		if budget > 0 && used >= budget {
+			return 0, false
+		}
+		used++
+		if s(rng) {
+			return 1, true
+		}
+		return 0, true
+	}
+
+	upsilon := 4 * (math.E - 2) * math.Log(3/delta) / (eps * eps)
+	upsilon2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(3/delta)) * upsilon
+
+	// Phase 1: stopping rule with ε' = min(1/2, √ε).
+	eps1 := math.Min(0.5, math.Sqrt(eps))
+	upsilon1 := 1 + (1+eps1)*4*(math.E-2)*math.Log(3/delta)/(eps1*eps1)
+	sum := 0.0
+	n1 := 0
+	for sum < upsilon1 {
+		x, ok := draw()
+		if !ok {
+			return Estimate{Value: safeDiv(sum, n1), Samples: used, Epsilon: eps, Delta: delta}
+		}
+		n1++
+		sum += x
+	}
+	muHat := upsilon1 / float64(n1)
+
+	// Phase 2: variance estimation from sample pairs.
+	n2 := int(math.Ceil(upsilon2 * eps / muHat))
+	if n2 < 1 {
+		n2 = 1
+	}
+	var s2 float64
+	for i := 0; i < n2; i++ {
+		a, ok := draw()
+		if !ok {
+			return Estimate{Value: muHat, Samples: used, Epsilon: eps, Delta: delta}
+		}
+		b, ok := draw()
+		if !ok {
+			return Estimate{Value: muHat, Samples: used, Epsilon: eps, Delta: delta}
+		}
+		d := a - b
+		s2 += d * d / 2
+	}
+	rhoHat := math.Max(s2/float64(n2), eps*muHat)
+
+	// Phase 3: final estimate.
+	n3 := int(math.Ceil(upsilon2 * rhoHat / (muHat * muHat)))
+	if n3 < 1 {
+		n3 = 1
+	}
+	total := 0.0
+	for i := 0; i < n3; i++ {
+		x, ok := draw()
+		if !ok {
+			return Estimate{Value: total / float64(i+1), Samples: used, Epsilon: eps, Delta: delta}
+		}
+		total += x
+	}
+	return Estimate{
+		Value:     total / float64(n3),
+		Samples:   used,
+		Epsilon:   eps,
+		Delta:     delta,
+		Converged: true,
+	}
+}
+
+func safeDiv(a float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return a / float64(n)
+}
+
+// EstimateStoppingRuleParallel is a parallel variant of the stopping
+// rule with the *identical* statistical behaviour: workers draw
+// fixed-size batches from independent sub-streams and return the
+// outcome vectors; the sequential rule is then applied to the
+// canonical interleaving (worker 0's batch, then worker 1's, ...),
+// which is a valid i.i.d. sample stream, stopping mid-batch exactly
+// where the sequential rule would. Unused draws are discarded.
+// Deterministic per (seed, workers). The returned Samples counts the
+// consumed prefix, not the discarded tail.
+//
+// newSampler is called once per worker: samplers are typically stateful
+// (walkers, caches) and not safe for concurrent use, so each worker
+// needs its own instance.
+func EstimateStoppingRuleParallel(newSampler func() Sampler, eps, delta float64, seed int64, workers, maxSamples int) Estimate {
+	if workers <= 1 {
+		return EstimateStoppingRule(newSampler(), eps, delta, seed, maxSamples)
+	}
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("fpras: invalid parameters")
+	}
+	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	const batch = 256
+	rngs := make([]*rand.Rand, workers)
+	samplers := make([]Sampler, workers)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(seed + int64(i)*0x5851f42d4c957f2d))
+		samplers[i] = newSampler()
+	}
+	sum := 0.0
+	n := 0
+	outcomes := make([][]bool, workers)
+	for {
+		if maxSamples > 0 && n >= maxSamples {
+			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}
+		}
+		var wg chan int = make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				out := make([]bool, batch)
+				for i := range out {
+					out[i] = samplers[w](rngs[w])
+				}
+				outcomes[w] = out
+				wg <- w
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-wg
+		}
+		// Consume the canonical interleaving sequentially.
+		for w := 0; w < workers; w++ {
+			for _, hit := range outcomes[w] {
+				n++
+				if hit {
+					sum++
+				}
+				if sum >= upsilon1 {
+					return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fpras
+
+import (
+	"math"
+	"testing"
+)
+
+func factory(p float64) func() Sampler {
+	return func() Sampler { return bernoulli(p) }
+}
+
+func TestEstimateAAAccuracy(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.02} {
+		e := EstimateAA(bernoulli(p), 0.1, 0.05, 23, 0)
+		if !e.Converged {
+			t.Fatalf("p=%v: did not converge", p)
+		}
+		if math.Abs(e.Value-p) > 0.15*p {
+			t.Fatalf("p=%v: estimate %.5f outside tolerance", p, e.Value)
+		}
+	}
+}
+
+// TestEstimateAABeatsSRAForLargeMu: for μ ≫ ε the variance phase lets
+// AA stop with far fewer samples than the plain stopping rule, which
+// is the whole point of [8]'s optimality.
+func TestEstimateAABeatsSRAForLargeMu(t *testing.T) {
+	const p, eps, delta = 0.9, 0.05, 0.05
+	aa := EstimateAA(bernoulli(p), eps, delta, 29, 0)
+	sra := EstimateStoppingRule(bernoulli(p), eps, delta, 29, 0)
+	if !aa.Converged || !sra.Converged {
+		t.Fatal("estimators did not converge")
+	}
+	if math.Abs(aa.Value-p) > eps*p {
+		t.Fatalf("AA estimate %.4f outside ε", aa.Value)
+	}
+	if aa.Samples >= sra.Samples {
+		t.Fatalf("AA used %d samples, SRA %d: variance phase should win at μ=0.9",
+			aa.Samples, sra.Samples)
+	}
+}
+
+func TestEstimateAACapped(t *testing.T) {
+	e := EstimateAA(bernoulli(0), 0.1, 0.1, 31, 3000)
+	if e.Converged {
+		t.Fatal("p=0 cannot converge")
+	}
+	if e.Samples > 3000 {
+		t.Fatalf("budget exceeded: %d", e.Samples)
+	}
+}
+
+func TestEstimateAAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EstimateAA(bernoulli(0.5), 0, 0.1, 1, 0)
+}
+
+func TestStoppingRuleParallelAccuracy(t *testing.T) {
+	for _, p := range []float64{0.3, 0.05} {
+		e := EstimateStoppingRuleParallel(factory(p), 0.1, 0.05, 37, 4, 0)
+		if !e.Converged {
+			t.Fatalf("p=%v: did not converge", p)
+		}
+		if math.Abs(e.Value-p) > 0.15*p {
+			t.Fatalf("p=%v: estimate %.5f outside tolerance", p, e.Value)
+		}
+	}
+}
+
+func TestStoppingRuleParallelSingleWorkerDelegates(t *testing.T) {
+	a := EstimateStoppingRuleParallel(factory(0.4), 0.1, 0.05, 41, 1, 0)
+	b := EstimateStoppingRule(bernoulli(0.4), 0.1, 0.05, 41, 0)
+	if a.Value != b.Value || a.Samples != b.Samples {
+		t.Fatal("workers=1 must delegate to the sequential rule")
+	}
+}
+
+func TestStoppingRuleParallelDeterministic(t *testing.T) {
+	a := EstimateStoppingRuleParallel(factory(0.2), 0.1, 0.05, 43, 4, 0)
+	b := EstimateStoppingRuleParallel(factory(0.2), 0.1, 0.05, 43, 4, 0)
+	if a.Value != b.Value || a.Samples != b.Samples {
+		t.Fatal("same seed and workers must reproduce")
+	}
+}
+
+func TestStoppingRuleParallelCapped(t *testing.T) {
+	e := EstimateStoppingRuleParallel(factory(0), 0.1, 0.1, 47, 4, 2048)
+	if e.Converged || e.Value != 0 {
+		t.Fatalf("capped run wrong: %+v", e)
+	}
+}
+
+// TestParallelMatchesSequentialLaw: across many seeds, the parallel
+// rule's estimates have the same accuracy profile as the sequential
+// rule (both honour the (ε, δ) guarantee).
+func TestParallelMatchesSequentialLaw(t *testing.T) {
+	const p, eps = 0.15, 0.2
+	failSeq, failPar := 0, 0
+	for seed := int64(0); seed < 40; seed++ {
+		seq := EstimateStoppingRule(bernoulli(p), eps, 0.1, 1000+seed, 0)
+		par := EstimateStoppingRuleParallel(factory(p), eps, 0.1, 2000+seed, 3, 0)
+		if math.Abs(seq.Value-p) > eps*p {
+			failSeq++
+		}
+		if math.Abs(par.Value-p) > eps*p {
+			failPar++
+		}
+	}
+	if failSeq > 10 || failPar > 10 {
+		t.Fatalf("failure rates too high: seq %d, par %d of 40", failSeq, failPar)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if safeDiv(1, 0) != 0 {
+		t.Fatal("safeDiv(x, 0) must be 0")
+	}
+	if safeDiv(6, 3) != 2 {
+		t.Fatal("safeDiv wrong")
+	}
+}

@@ -1,0 +1,226 @@
+package graph
+
+// This file implements the Misra–Gries constructive proof of Vizing's
+// theorem [20 in the paper]: every simple graph of maximum degree Δ has
+// a proper (Δ+1)-edge-colouring, computable in O(|V|·|E|) time. The
+// database construction of Proposition 5.5 consumes such a colouring:
+// the colour of an edge decides the attribute position at which the two
+// incident facts share a constant.
+
+// EdgeColoring is a proper edge colouring: a map from edges (with u < v)
+// to colours in 1..NumColors.
+type EdgeColoring struct {
+	Colors    map[[2]int]int
+	NumColors int
+}
+
+// ColorOf returns the colour of edge {u, v}, or 0 if uncoloured.
+func (ec *EdgeColoring) ColorOf(u, v int) int {
+	return ec.Colors[edgeKey(u, v)]
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// Valid reports whether the colouring is proper on g: every edge has a
+// colour in 1..NumColors and no two incident edges share a colour.
+func (ec *EdgeColoring) Valid(g *Graph) bool {
+	for _, e := range g.Edges() {
+		c := ec.ColorOf(e[0], e[1])
+		if c < 1 || c > ec.NumColors {
+			return false
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		seen := make(map[int]bool)
+		for _, v := range g.Neighbors(u) {
+			c := ec.ColorOf(u, v)
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+	}
+	return true
+}
+
+// misraGries holds the working state of the colouring algorithm.
+type misraGries struct {
+	g      *Graph
+	colors map[[2]int]int
+	// used[u][c] = the neighbour v such that edge (u,v) has colour c,
+	// or 0 entry absent if c is free on u.
+	used []map[int]int
+	k    int // number of colours = Δ+1
+}
+
+// ColorEdgesMisraGries computes a proper (Δ+1)-edge-colouring of a
+// simple loop-free graph via the Misra–Gries algorithm. It panics if the
+// graph has a self-loop (edge colourings are undefined for loops).
+func ColorEdgesMisraGries(g *Graph) *EdgeColoring {
+	if g.HasSelfLoop() {
+		panic("graph: edge colouring requires a loop-free graph")
+	}
+	mg := &misraGries{
+		g:      g,
+		colors: make(map[[2]int]int),
+		used:   make([]map[int]int, g.N()),
+		k:      g.MaxDegree() + 1,
+	}
+	for i := range mg.used {
+		mg.used[i] = make(map[int]int)
+	}
+	for _, e := range g.Edges() {
+		mg.colorEdge(e[0], e[1])
+	}
+	return &EdgeColoring{Colors: mg.colors, NumColors: mg.k}
+}
+
+func (mg *misraGries) colorOf(u, v int) int { return mg.colors[edgeKey(u, v)] }
+
+func (mg *misraGries) setColor(u, v, c int) {
+	if old := mg.colorOf(u, v); old != 0 {
+		delete(mg.used[u], old)
+		delete(mg.used[v], old)
+	}
+	if c == 0 {
+		delete(mg.colors, edgeKey(u, v))
+		return
+	}
+	mg.colors[edgeKey(u, v)] = c
+	mg.used[u][c] = v + 1 // store v+1 so 0 means absent
+	mg.used[v][c] = u + 1
+}
+
+// freeColor returns the smallest colour in 1..k free on u.
+func (mg *misraGries) freeColor(u int) int {
+	for c := 1; c <= mg.k; c++ {
+		if mg.used[u][c] == 0 {
+			return c
+		}
+	}
+	panic("graph: no free colour; degree bound violated")
+}
+
+func (mg *misraGries) isFree(u, c int) bool { return mg.used[u][c] == 0 }
+
+// maximalFan builds a maximal fan of u starting at uncoloured neighbour
+// v: a maximal sequence of distinct neighbours F[0]=v, F[1], ..., F[k]
+// such that the colour of (u, F[i+1]) is free on F[i].
+func (mg *misraGries) maximalFan(u, v int) []int {
+	fan := []int{v}
+	inFan := map[int]bool{v: true}
+	for {
+		extended := false
+		last := fan[len(fan)-1]
+		for _, w := range mg.g.Neighbors(u) {
+			if inFan[w] {
+				continue
+			}
+			c := mg.colorOf(u, w)
+			if c != 0 && mg.isFree(last, c) {
+				fan = append(fan, w)
+				inFan[w] = true
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			return fan
+		}
+	}
+}
+
+// invertCDPath walks the maximal path starting at u along edges coloured
+// alternately c, d and swaps the two colours along it.
+func (mg *misraGries) invertCDPath(u, c, d int) {
+	cur, want := u, c
+	prev := -1
+	type step struct{ a, b, newColor int }
+	var steps []step
+	for {
+		nb := mg.used[cur][want]
+		if nb == 0 {
+			break
+		}
+		next := nb - 1
+		if next == prev {
+			break
+		}
+		newColor := c
+		if want == c {
+			newColor = d
+		}
+		steps = append(steps, step{cur, next, newColor})
+		prev, cur = cur, next
+		if want == c {
+			want = d
+		} else {
+			want = c
+		}
+	}
+	// Uncolour the whole path first, then recolour, so intermediate
+	// states never trip the incidence bookkeeping.
+	for _, s := range steps {
+		mg.setColor(s.a, s.b, 0)
+	}
+	for _, s := range steps {
+		mg.setColor(s.a, s.b, s.newColor)
+	}
+}
+
+// rotateFan shifts colours down the fan prefix F[0..w]: edge (u,F[i])
+// receives the colour of (u,F[i+1]); (u,F[w]) becomes uncoloured. All
+// prefix edges are uncoloured before recolouring so that the incidence
+// bookkeeping never observes two edges at u sharing a colour.
+func (mg *misraGries) rotateFan(u int, fan []int, w int) {
+	cols := make([]int, w+1)
+	for i := 0; i <= w; i++ {
+		cols[i] = mg.colorOf(u, fan[i])
+		mg.setColor(u, fan[i], 0)
+	}
+	for i := 0; i < w; i++ {
+		mg.setColor(u, fan[i], cols[i+1])
+	}
+}
+
+// isPrefixFan reports whether F[0..w] is a fan of u under the current
+// colouring: for each i < w, the colour of (u, F[i+1]) is free on F[i].
+func (mg *misraGries) isPrefixFan(u int, fan []int, w int) bool {
+	for i := 0; i < w; i++ {
+		c := mg.colorOf(u, fan[i+1])
+		if c == 0 || !mg.isFree(fan[i], c) {
+			return false
+		}
+	}
+	return true
+}
+
+// colorEdge colours the uncoloured edge (u, v) following Misra–Gries.
+func (mg *misraGries) colorEdge(u, v int) {
+	fan := mg.maximalFan(u, v)
+	c := mg.freeColor(u)
+	d := mg.freeColor(fan[len(fan)-1])
+	if c != d {
+		mg.invertCDPath(u, d, c)
+	}
+	// After the inversion d is free on u. Find w such that F[0..w] is
+	// still a fan under the (possibly changed) colouring and d is free
+	// on F[w]; the Misra–Gries lemma guarantees such w exists.
+	w := -1
+	for i := range fan {
+		if mg.isFree(fan[i], d) && mg.isPrefixFan(u, fan, i) {
+			w = i
+			break
+		}
+	}
+	if w < 0 {
+		panic("graph: Misra–Gries invariant violated: no valid fan prefix")
+	}
+	mg.rotateFan(u, fan, w)
+	mg.setColor(u, fan[w], d)
+}

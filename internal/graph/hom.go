@@ -1,0 +1,103 @@
+package graph
+
+import "math/big"
+
+// This file implements graph-homomorphism counting (the ♯H-Coloring
+// problem of §B.1). A homomorphism from G to H maps nodes of G to nodes
+// of H such that every edge of G maps to an edge of H (self-loops of H
+// permit adjacent G-nodes to share an image).
+
+// HardnessH returns the fixed 3-node target graph H of §B.1 used in the
+// ♯P-hardness proofs: nodes {0, 1, ?} (encoded 0, 1, 2) with every edge
+// present except the self-loop on node 1. By the Dyer–Greenhill
+// dichotomy, ♯H-Coloring for this H is ♯P-hard.
+func HardnessH() *Graph {
+	h := New(3)
+	const zero, one, star = 0, 1, 2
+	h.AddEdge(zero, zero)
+	h.AddEdge(star, star)
+	h.AddEdge(zero, one)
+	h.AddEdge(zero, star)
+	h.AddEdge(one, star)
+	// No self-loop on node 1.
+	return h
+}
+
+// CountHomomorphisms computes |hom(G, H)| exactly by backtracking over
+// the nodes of G in a connectivity-aware order with memoisation-free
+// forward checking. Intended for the small validation instances of the
+// reduction experiments.
+func CountHomomorphisms(g, h *Graph) *big.Int {
+	if g.N() == 0 {
+		return big.NewInt(1)
+	}
+	// Order nodes so each node (after the first per component) has a
+	// previously placed neighbour: improves pruning.
+	order := make([]int, 0, g.N())
+	placed := make([]bool, g.N())
+	for _, comp := range g.Components() {
+		order = append(order, comp[0])
+		placed[comp[0]] = true
+		for len(order) > 0 {
+			grew := false
+			for _, u := range comp {
+				if placed[u] {
+					continue
+				}
+				for _, v := range g.Neighbors(u) {
+					if placed[v] {
+						order = append(order, u)
+						placed[u] = true
+						grew = true
+						break
+					}
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+		// Isolated-in-component leftovers (cannot happen for connected
+		// components, but keep the order total).
+		for _, u := range comp {
+			if !placed[u] {
+				order = append(order, u)
+				placed[u] = true
+			}
+		}
+	}
+	assign := make([]int, g.N())
+	for i := range assign {
+		assign[i] = -1
+	}
+	total := big.NewInt(0)
+	one := big.NewInt(1)
+	var recur func(int)
+	recur = func(i int) {
+		if i == len(order) {
+			total.Add(total, one)
+			return
+		}
+		u := order[i]
+		for img := 0; img < h.N(); img++ {
+			ok := true
+			for _, v := range g.Neighbors(u) {
+				if assign[v] >= 0 && !h.HasEdge(img, assign[v]) {
+					ok = false
+					break
+				}
+				if v == u && !h.HasEdge(img, img) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				assign[u] = img
+				recur(i + 1)
+				assign[u] = -1
+			}
+		}
+	}
+	recur(0)
+	return total
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/big"
+	"math/rand"
+)
+
+// ISSampler draws uniform random independent sets of a fixed graph.
+// It reuses the branching recursion of CountIndependentSets: at each
+// step a maximum-degree vertex v is included with probability
+// |IS(G − N[v])| / |IS(G)| and excluded otherwise, which induces the
+// uniform distribution over IS(G). The count memo is shared across
+// draws, so repeated sampling amortises the counting cost.
+//
+// The candidate-repair samplers build on this: by Lemma 5.4 the
+// candidate repairs of a conflict component are exactly its independent
+// sets, so uniform IS sampling per component gives uniform
+// CORep sampling for arbitrary FDs (not just primary keys).
+type ISSampler struct {
+	g     *Graph
+	memo  map[string]*big.Int
+	alive []bool
+}
+
+// NewISSampler prepares a sampler for g.
+func NewISSampler(g *Graph) *ISSampler {
+	return &ISSampler{g: g, memo: make(map[string]*big.Int), alive: make([]bool, g.N())}
+}
+
+// Count returns |IS(g)|.
+func (s *ISSampler) Count() *big.Int {
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	return countISRec(s.g, s.alive, s.memo)
+}
+
+// Sample draws a uniform independent set of g, returned as a sorted
+// node list (possibly empty).
+func (s *ISSampler) Sample(rng *rand.Rand) []int {
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	var chosen []int
+	for {
+		// Find an alive vertex of maximum alive-degree (mirrors the
+		// counting recursion so the memo is shared).
+		best, bestDeg := -1, -1
+		for u := 0; u < s.g.n; u++ {
+			if !s.alive[u] {
+				continue
+			}
+			d := 0
+			for v := range s.g.adj[u] {
+				if v != u && s.alive[v] {
+					d++
+				}
+			}
+			if d > bestDeg {
+				best, bestDeg = u, d
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if bestDeg == 0 {
+			// All remaining vertices are isolated: include each
+			// loop-free one independently with probability 1/2.
+			for u := 0; u < s.g.n; u++ {
+				if s.alive[u] && !s.g.adj[u][u] {
+					if rng.Intn(2) == 0 {
+						chosen = append(chosen, u)
+					}
+				}
+				s.alive[u] = false
+			}
+			break
+		}
+		if s.g.adj[best][best] {
+			s.alive[best] = false
+			continue
+		}
+		// total = without + with, where with counts sets containing
+		// best (i.e. IS of G − N[best]).
+		s.alive[best] = false
+		without := countISRec(s.g, s.alive, s.memo)
+		var removed []int
+		for v := range s.g.adj[best] {
+			if s.alive[v] {
+				s.alive[v] = false
+				removed = append(removed, v)
+			}
+		}
+		with := countISRec(s.g, s.alive, s.memo)
+		total := new(big.Int).Add(without, with)
+		r := new(big.Int).Rand(rng, total)
+		if r.Cmp(with) < 0 {
+			// Include best; neighbours stay dead.
+			chosen = append(chosen, best)
+		} else {
+			// Exclude best; restore its neighbours.
+			for _, v := range removed {
+				s.alive[v] = true
+			}
+		}
+	}
+	sortInts(chosen)
+	return chosen
+}
+
+// SampleNonEmpty draws a uniform non-empty independent set by
+// rejection. It panics if g has no non-empty independent set (every
+// node carries a self-loop).
+func (s *ISSampler) SampleNonEmpty(rng *rand.Rand) []int {
+	possible := false
+	for u := 0; u < s.g.n; u++ {
+		if !s.g.adj[u][u] {
+			possible = true
+			break
+		}
+	}
+	if !possible {
+		panic("graph: no non-empty independent set exists")
+	}
+	for {
+		if set := s.Sample(rng); len(set) > 0 {
+			return set
+		}
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestISSamplerCountMatches(t *testing.T) {
+	g := cycle(5)
+	s := NewISSampler(g)
+	if s.Count().Cmp(g.CountIndependentSets()) != 0 {
+		t.Fatal("sampler count disagrees with CountIndependentSets")
+	}
+}
+
+func TestISSamplerUniform(t *testing.T) {
+	// P4 has 8 independent sets; check the empirical distribution.
+	g := path(4)
+	s := NewISSampler(g)
+	rng := rand.New(rand.NewSource(139))
+	const n = 40000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		set := s.Sample(rng)
+		if !g.IsIndependentSet(set) {
+			t.Fatalf("sampled non-independent set %v", set)
+		}
+		counts[fmt.Sprint(set)]++
+	}
+	cells := int(g.CountIndependentSets().Int64())
+	if len(counts) != cells {
+		t.Fatalf("observed %d outcomes, want %d", len(counts), cells)
+	}
+	p := 1.0 / float64(cells)
+	sigma := math.Sqrt(p * (1 - p) * n)
+	for k, c := range counts {
+		if math.Abs(float64(c)-p*n) > 5*sigma {
+			t.Errorf("set %s count %d deviates from %.0f", k, c, p*n)
+		}
+	}
+}
+
+func TestISSamplerSelfLoopNeverChosen(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 2)
+	s := NewISSampler(g)
+	rng := rand.New(rand.NewSource(149))
+	for i := 0; i < 500; i++ {
+		for _, v := range s.Sample(rng) {
+			if v == 0 {
+				t.Fatal("self-loop node sampled")
+			}
+		}
+	}
+}
+
+func TestSampleNonEmpty(t *testing.T) {
+	g := complete(3)
+	s := NewISSampler(g)
+	rng := rand.New(rand.NewSource(151))
+	counts := map[int]int{}
+	const n = 9000
+	for i := 0; i < n; i++ {
+		set := s.SampleNonEmpty(rng)
+		if len(set) != 1 {
+			t.Fatalf("K3 nonempty IS must be singletons, got %v", set)
+		}
+		counts[set[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/3.0) > 5*math.Sqrt(n/3.0) {
+			t.Errorf("node %d count %d far from uniform", v, c)
+		}
+	}
+}
+
+func TestSampleNonEmptyPanicsWhenImpossible(t *testing.T) {
+	g := New(1)
+	g.AddEdge(0, 0)
+	s := NewISSampler(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.SampleNonEmpty(rand.New(rand.NewSource(1)))
+}
+
+func TestISSamplerIsolatedVertices(t *testing.T) {
+	// Graph with isolated vertices only: every subset equally likely.
+	g := New(3)
+	s := NewISSampler(g)
+	rng := rand.New(rand.NewSource(157))
+	counts := map[string]int{}
+	const n = 16000
+	for i := 0; i < n; i++ {
+		counts[fmt.Sprint(s.Sample(rng))]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("observed %d outcomes, want 8", len(counts))
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-n/8.0) > 5*math.Sqrt(n/8.0) {
+			t.Errorf("subset %s count %d far from uniform", k, c)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package parse implements the small text formats the command-line
+// tools and examples use:
+//
+//	facts     R(a,b,c)                 one per line, '#' comments
+//	FDs       R: A1,A3 -> A2           attribute names A1..An
+//	queries   Ans(x) :- R(x,'c'), S(x) quoted terms are constants,
+//	                                   bare identifiers are variables
+//	tuples    a,b,c
+package parse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// ParseFact parses "R(c1,...,cn)". Constants may be quoted with single
+// quotes (required when they contain commas or parentheses).
+func ParseFact(s string) (rel.Fact, error) {
+	name, args, err := splitAtomText(strings.TrimSpace(s))
+	if err != nil {
+		return rel.Fact{}, err
+	}
+	vals := make([]string, len(args))
+	for i, a := range args {
+		vals[i] = unquote(a)
+	}
+	if len(vals) == 0 {
+		return rel.Fact{}, fmt.Errorf("parse: fact %q has no arguments", s)
+	}
+	return rel.NewFact(name, vals...), nil
+}
+
+// ParseDatabase parses a multi-line fact list, inferring the schema
+// (default attribute names A1..An). Blank lines and '#' comments are
+// skipped. It errors when a relation appears with inconsistent arities.
+func ParseDatabase(text string) (*rel.Database, *rel.Schema, error) {
+	var facts []rel.Fact
+	arity := map[string]int{}
+	var order []string
+	for ln, line := range strings.Split(text, "\n") {
+		line = stripComment(line)
+		if line == "" {
+			continue
+		}
+		f, err := ParseFact(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if prev, ok := arity[f.Rel]; ok {
+			if prev != len(f.Args) {
+				return nil, nil, fmt.Errorf("line %d: relation %q used with arity %d and %d", ln+1, f.Rel, prev, len(f.Args))
+			}
+		} else {
+			arity[f.Rel] = len(f.Args)
+			order = append(order, f.Rel)
+		}
+		facts = append(facts, f)
+	}
+	rels := make([]rel.Relation, 0, len(order))
+	for _, name := range order {
+		rels = append(rels, rel.NewRelation(name, arity[name]))
+	}
+	sch, err := rel.NewSchema(rels...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel.NewDatabase(facts...), sch, nil
+}
+
+// ParseFD parses "R: A1,A2 -> A3" against the schema (attribute names
+// as declared; the defaults are A1..An).
+func ParseFD(s string, sch *rel.Schema) (fd.FD, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return fd.FD{}, fmt.Errorf("parse: FD %q missing ':'", s)
+	}
+	relName := strings.TrimSpace(parts[0])
+	r, ok := sch.Relation(relName)
+	if !ok {
+		return fd.FD{}, fmt.Errorf("parse: unknown relation %q in FD", relName)
+	}
+	sides := strings.SplitN(parts[1], "->", 2)
+	if len(sides) != 2 {
+		return fd.FD{}, fmt.Errorf("parse: FD %q missing '->'", s)
+	}
+	lhs, err := parseAttrList(sides[0], r)
+	if err != nil {
+		return fd.FD{}, err
+	}
+	rhs, err := parseAttrList(sides[1], r)
+	if err != nil {
+		return fd.FD{}, err
+	}
+	out := fd.New(relName, lhs, rhs)
+	if err := out.Validate(sch); err != nil {
+		return fd.FD{}, err
+	}
+	return out, nil
+}
+
+func parseAttrList(s string, r rel.Relation) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		i := r.AttrIndex(tok)
+		if i < 0 {
+			return nil, fmt.Errorf("parse: relation %s has no attribute %q", r.Name, tok)
+		}
+		out = append(out, i)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("parse: empty attribute list in FD")
+	}
+	return out, nil
+}
+
+// ParseFDs parses a multi-line FD list ('#' comments, blank lines ok).
+func ParseFDs(text string, sch *rel.Schema) (*fd.Set, error) {
+	var fds []fd.FD
+	for ln, line := range strings.Split(text, "\n") {
+		line = stripComment(line)
+		if line == "" {
+			continue
+		}
+		f, err := ParseFD(line, sch)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		fds = append(fds, f)
+	}
+	return fd.NewSet(sch, fds...)
+}
+
+// ParseQuery parses "Ans(x,y) :- R(x,'c'), S(y)". Quoted terms are
+// constants; bare identifiers are variables.
+func ParseQuery(s string) (*cq.Query, error) {
+	parts := strings.SplitN(s, ":-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("parse: query %q missing ':-'", s)
+	}
+	headName, headArgs, err := splitAtomText(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("parse: bad query head: %w", err)
+	}
+	if headName != "Ans" {
+		return nil, fmt.Errorf("parse: query head must be Ans(...), got %q", headName)
+	}
+	var answerVars []string
+	for _, a := range headArgs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if isQuoted(a) {
+			return nil, fmt.Errorf("parse: answer position %q must be a variable", a)
+		}
+		answerVars = append(answerVars, a)
+	}
+	bodyText := strings.TrimSpace(parts[1])
+	atomTexts, err := splitTopLevel(bodyText)
+	if err != nil {
+		return nil, err
+	}
+	var atoms []cq.Atom
+	for _, at := range atomTexts {
+		name, args, err := splitAtomText(strings.TrimSpace(at))
+		if err != nil {
+			return nil, fmt.Errorf("parse: bad atom %q: %w", at, err)
+		}
+		terms := make([]cq.Term, len(args))
+		for i, a := range args {
+			a = strings.TrimSpace(a)
+			if isQuoted(a) {
+				terms[i] = cq.Const(unquote(a))
+			} else {
+				terms[i] = cq.Var(a)
+			}
+		}
+		atoms = append(atoms, cq.NewAtom(name, terms...))
+	}
+	return cq.New(answerVars, atoms...)
+}
+
+// ParseTuple parses "a,b,c" into an answer tuple; the empty string is
+// the empty tuple (Boolean queries).
+func ParseTuple(s string) cq.Tuple {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return cq.Tuple{}
+	}
+	parts, err := splitQuoted(s, ',')
+	if err != nil {
+		parts = strings.Split(s, ",")
+	}
+	out := make(cq.Tuple, len(parts))
+	for i, p := range parts {
+		out[i] = unquote(strings.TrimSpace(p))
+	}
+	return out
+}
+
+// splitAtomText splits "R(a,b)" into the relation name and raw
+// argument strings, honouring quotes.
+func splitAtomText(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed atom %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("atom %q has no relation name", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return name, nil, nil
+	}
+	args, err := splitQuoted(inner, ',')
+	if err != nil {
+		return "", nil, err
+	}
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	return name, args, nil
+}
+
+// splitTopLevel splits a query body on commas that are outside
+// parentheses and quotes.
+func splitTopLevel(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	quoted := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			quoted = !quoted
+		case '(':
+			if !quoted {
+				depth++
+			}
+		case ')':
+			if !quoted {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("parse: unbalanced ')' in %q", s)
+				}
+			}
+		case ',':
+			if !quoted && depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if quoted || depth != 0 {
+		return nil, fmt.Errorf("parse: unbalanced quotes or parentheses in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+// splitQuoted splits on sep outside single quotes.
+func splitQuoted(s string, sep byte) ([]string, error) {
+	var out []string
+	quoted := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'':
+			quoted = !quoted
+		case s[i] == sep && !quoted:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if quoted {
+		return nil, fmt.Errorf("parse: unbalanced quote in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+func isQuoted(s string) bool {
+	return len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\''
+}
+
+func unquote(s string) string {
+	if isQuoted(s) {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}

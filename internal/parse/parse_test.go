@@ -1,0 +1,209 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func TestParseFact(t *testing.T) {
+	f, err := ParseFact("R(a, b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "R(a,b,c)" {
+		t.Fatalf("fact = %v", f)
+	}
+}
+
+func TestParseFactQuoted(t *testing.T) {
+	f, err := ParseFact("Emp('1', 'Alice, PhD')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Arg(1) != "Alice, PhD" {
+		t.Fatalf("arg = %q", f.Arg(1))
+	}
+}
+
+func TestParseFactErrors(t *testing.T) {
+	for _, bad := range []string{"R", "R(", "(a,b)", "R()", "R(a"} {
+		if _, err := ParseFact(bad); err == nil {
+			t.Errorf("ParseFact(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDatabase(t *testing.T) {
+	text := `
+# employees
+Emp(1, Alice)
+Emp(1, Tom)   # conflicting source
+Dept(sales)
+`
+	d, sch, err := ParseDatabase(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("|D| = %d", d.Len())
+	}
+	r, ok := sch.Relation("Emp")
+	if !ok || r.Arity() != 2 {
+		t.Fatalf("schema wrong: %v", sch.Relations())
+	}
+	if _, ok := sch.Relation("Dept"); !ok {
+		t.Fatal("Dept missing from schema")
+	}
+}
+
+func TestParseDatabaseArityMismatch(t *testing.T) {
+	_, _, err := ParseDatabase("R(a)\nR(a,b)")
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseFD(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	f, err := ParseFD("R: A1 -> A2, A3", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsKey(sch) {
+		t.Fatal("A1 -> A2,A3 should be a key of R/3")
+	}
+	if f.String() != "R: A1 -> A2,A3" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestParseFDNamedAttrs(t *testing.T) {
+	sch := rel.MustSchema(rel.Relation{Name: "Emp", Attrs: []string{"id", "name"}})
+	f, err := ParseFD("Emp: id -> name", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.LHS) != 1 || f.LHS[0] != 0 {
+		t.Fatalf("FD = %+v", f)
+	}
+}
+
+func TestParseFDErrors(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	for _, bad := range []string{
+		"R A1 -> A2",  // missing colon
+		"R: A1 A2",    // missing arrow
+		"S: A1 -> A2", // unknown relation
+		"R: A9 -> A2", // unknown attribute
+		"R:  -> A2",   // empty LHS
+		"R: A1 -> ",   // empty RHS
+	} {
+		if _, err := ParseFD(bad, sch); err == nil {
+			t.Errorf("ParseFD(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseFDs(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	set, err := ParseFDs("# keys\nR: A1 -> A2\nR: A3 -> A2\n", sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("|Σ| = %d", set.Len())
+	}
+	if set.Classify() != fd.GeneralFDs {
+		t.Fatalf("class = %v", set.Classify())
+	}
+}
+
+func TestParseQueryBoolean(t *testing.T) {
+	q, err := ParseQuery("Ans() :- R(x, 'hot')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsBoolean() || q.Size() != 1 {
+		t.Fatalf("query = %v", q)
+	}
+	if q.Atoms[0].Terms[1].IsVar {
+		t.Fatal("'hot' must be a constant")
+	}
+	if !q.Atoms[0].Terms[0].IsVar {
+		t.Fatal("x must be a variable")
+	}
+}
+
+func TestParseQueryAnswerVars(t *testing.T) {
+	q, err := ParseQuery("Ans(x, y) :- E(x,z), E(z,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.AnswerVars) != 2 || q.AnswerVars[0] != "x" {
+		t.Fatalf("answer vars = %v", q.AnswerVars)
+	}
+	if q.Size() != 2 {
+		t.Fatalf("|Q| = %d", q.Size())
+	}
+}
+
+func TestParseQueryConstWithComma(t *testing.T) {
+	q, err := ParseQuery("Ans() :- R('a,b', x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Terms[0].Value != "a,b" {
+		t.Fatalf("term = %v", q.Atoms[0].Terms[0])
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"R(x)",             // no :-
+		"Q() :- R(x)",      // wrong head
+		"Ans('c') :- R(x)", // constant answer position
+		"Ans(y) :- R(x)",   // unsafe
+		"Ans() :- R(x",     // unbalanced
+		"Ans() :- ",        // empty body atom
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseTuple(t *testing.T) {
+	tup := ParseTuple("a, 'b,c' , d")
+	want := cq.Tuple{"a", "b,c", "d"}
+	if len(tup) != 3 {
+		t.Fatalf("tuple = %v", tup)
+	}
+	for i := range want {
+		if tup[i] != want[i] {
+			t.Fatalf("tuple = %v, want %v", tup, want)
+		}
+	}
+	if len(ParseTuple("")) != 0 {
+		t.Fatal("empty string must parse to the empty tuple")
+	}
+}
+
+func TestRoundTripQueryEvaluation(t *testing.T) {
+	// Parse a database and query, then evaluate.
+	d, _, err := ParseDatabase("E(a,b)\nE(b,c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("Ans(x) :- E(x,y), E(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := q.Answers(d)
+	if len(ans) != 1 || ans[0][0] != "a" {
+		t.Fatalf("answers = %v", ans)
+	}
+}

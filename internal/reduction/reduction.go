@@ -1,0 +1,363 @@
+// Package reduction implements the paper's hardness and
+// inapproximability constructions as executable artefacts:
+//
+//   - the ♯H-Coloring polynomial-time Turing reduction of §B.1 (behind
+//     the ♯P-hardness of Theorems 5.1(1), 6.1(1), 7.1(1));
+//   - the ♯Pos2DNF reduction of Appendix E (Theorems E.1(1), E.8(1),
+//     E.11);
+//   - the Vizing edge-colouring database of Proposition 5.5, whose
+//     conflict graph is isomorphic to a given bounded-degree graph (so
+//     counting its repairs counts independent sets);
+//   - the FD-transfer construction of Lemma 5.6 (and its singleton
+//     analogue, Lemma E.7), which adds one universally conflicting fact;
+//   - the database family of Proposition D.6, witnessing exponentially
+//     small M^uo probabilities under general FDs.
+//
+// Each construction packages the database, constraints and query, and
+// the experiments validate the defining equalities exactly.
+package reduction
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/rel"
+)
+
+// Problem bundles the artefacts of a reduction target instance.
+type Problem struct {
+	Schema *rel.Schema
+	Sigma  *fd.Set
+	DB     *rel.Database
+	Query  *cq.Query
+}
+
+// --- ♯H-Coloring (§B.1) -------------------------------------------------
+
+// HColoringSchema returns the schema {V/2, E/2, T/1} of §B.1.
+func HColoringSchema() *rel.Schema {
+	return rel.MustSchema(
+		rel.NewRelation("V", 2),
+		rel.NewRelation("E", 2),
+		rel.NewRelation("T", 1),
+	)
+}
+
+// HColoring builds the §B.1 instance for an undirected graph G:
+// Σ = {V: A → B} (a primary key on the binary relation V), the Boolean
+// CQ Ans() :- E(x,y), V(x,z), V(y,z), T(z), and the database
+// D_G = {V(u,0), V(u,1) | u ∈ V_G} ∪ {E(u,v) | {u,v} ∈ E_G} ∪ {T(1)}.
+func HColoring(g *graph.Graph) Problem {
+	sch := HColoringSchema()
+	sigma := fd.MustSet(sch, fd.New("V", []int{0}, []int{1}))
+	q := cq.MustNew(nil,
+		cq.NewAtom("E", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("V", cq.Var("x"), cq.Var("z")),
+		cq.NewAtom("V", cq.Var("y"), cq.Var("z")),
+		cq.NewAtom("T", cq.Var("z")),
+	)
+	var facts []rel.Fact
+	for u := 0; u < g.N(); u++ {
+		facts = append(facts,
+			rel.NewFact("V", nodeName(u), "0"),
+			rel.NewFact("V", nodeName(u), "1"),
+		)
+	}
+	for _, e := range g.Edges() {
+		facts = append(facts, rel.NewFact("E", nodeName(e[0]), nodeName(e[1])))
+	}
+	facts = append(facts, rel.NewFact("T", "1"))
+	return Problem{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q}
+}
+
+func nodeName(u int) string { return fmt.Sprintf("n%d", u) }
+
+// RRFreqOracle answers the RRFreq(Σ,Q) problem on a database: it
+// returns rrfreq_{Σ,Q}(D, ()) for the Boolean query of the reduction.
+// Exact engines and FPRAS estimators both fit this shape, matching the
+// paper's oracle-based Turing reductions.
+type RRFreqOracle func(Problem) (float64, error)
+
+// HOMCount is algorithm HOM of §B.1: given G and an oracle for
+// RRFreq(Σ,Q), it returns 3^{|V_G|} · (1 − r), which equals
+// |hom(G, H)| for the hardness target H (Lemma B.1).
+func HOMCount(g *graph.Graph, oracle RRFreqOracle) (float64, error) {
+	p := HColoring(g)
+	r, err := oracle(p)
+	if err != nil {
+		return 0, err
+	}
+	pow := 1.0
+	for i := 0; i < g.N(); i++ {
+		pow *= 3
+	}
+	return pow * (1 - r), nil
+}
+
+// --- ♯Pos2DNF (Appendix E) ----------------------------------------------
+
+// Pos2DNF is a positive 2DNF formula: a disjunction of conjunctions of
+// two (not necessarily distinct) positive variables, over variables
+// 0..Vars-1.
+type Pos2DNF struct {
+	Vars    int
+	Clauses [][2]int
+}
+
+// CountSat counts the satisfying assignments by enumeration (Vars ≤ 30).
+func (f Pos2DNF) CountSat() int64 {
+	if f.Vars > 30 {
+		panic("reduction: formula too large for exact counting")
+	}
+	var count int64
+	for mask := 0; mask < 1<<uint(f.Vars); mask++ {
+		for _, c := range f.Clauses {
+			if mask&(1<<uint(c[0])) != 0 && mask&(1<<uint(c[1])) != 0 {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Pos2DNFSchema returns the schema {V/2, C/2, T/1} of Appendix E.
+func Pos2DNFSchema() *rel.Schema {
+	return rel.MustSchema(
+		rel.NewRelation("V", 2),
+		rel.NewRelation("C", 2),
+		rel.NewRelation("T", 1),
+	)
+}
+
+// Pos2DNFProblem builds the Appendix E instance for φ: Σ = {V: A → B},
+// Q = Ans() :- C(x,y), V(x,z), V(y,z), T(z), and
+// D_φ = {V(c_x,0), V(c_x,1) | x ∈ var(φ)} ∪ {C(c_x,c_y) | (x∧y) ∈ φ} ∪ {T(1)}.
+// Under singleton operations, rrfreq¹_{Σ,Q}(D_φ, ()) = |sat(φ)| / 2^{|var(φ)|}.
+func Pos2DNFProblem(f Pos2DNF) Problem {
+	sch := Pos2DNFSchema()
+	sigma := fd.MustSet(sch, fd.New("V", []int{0}, []int{1}))
+	q := cq.MustNew(nil,
+		cq.NewAtom("C", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("V", cq.Var("x"), cq.Var("z")),
+		cq.NewAtom("V", cq.Var("y"), cq.Var("z")),
+		cq.NewAtom("T", cq.Var("z")),
+	)
+	var facts []rel.Fact
+	for x := 0; x < f.Vars; x++ {
+		facts = append(facts,
+			rel.NewFact("V", varName(x), "0"),
+			rel.NewFact("V", varName(x), "1"),
+		)
+	}
+	for _, c := range f.Clauses {
+		facts = append(facts, rel.NewFact("C", varName(c[0]), varName(c[1])))
+	}
+	facts = append(facts, rel.NewFact("T", "1"))
+	return Problem{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q}
+}
+
+func varName(x int) string { return fmt.Sprintf("x%d", x) }
+
+// RandomPos2DNF samples a formula with the given number of variables
+// and clauses, using the provided pseudo-random indices function (so
+// callers control determinism without importing math/rand here).
+func RandomPos2DNF(vars, clauses int, intn func(int) int) Pos2DNF {
+	f := Pos2DNF{Vars: vars}
+	for i := 0; i < clauses; i++ {
+		f.Clauses = append(f.Clauses, [2]int{intn(vars), intn(vars)})
+	}
+	return f
+}
+
+// SATCount is algorithm SAT of Appendix E: 2^{|var(φ)|} · rrfreq¹.
+func SATCount(f Pos2DNF, oracle RRFreqOracle) (float64, error) {
+	p := Pos2DNFProblem(f)
+	r, err := oracle(p)
+	if err != nil {
+		return 0, err
+	}
+	pow := 1.0
+	for i := 0; i < f.Vars; i++ {
+		pow *= 2
+	}
+	return pow * r, nil
+}
+
+// --- Vizing database (Proposition 5.5) -----------------------------------
+
+// VizingProblem carries the Proposition 5.5 construction: a database
+// over {R/(Δ+1)} with keys Σ_K = {R: A_i → att(R) | i ∈ [Δ+1]} whose
+// conflict graph is isomorphic to the source graph (Lemma B.6), so
+// |CORep(D_G, Σ_K)| = |IS(G)| by Lemma 5.4.
+type VizingProblem struct {
+	Problem
+	// G is the source graph; the fact with database index NodeFact[u]
+	// encodes node u.
+	G        *graph.Graph
+	NodeFact []int
+}
+
+// Vizing builds the Proposition 5.5 database from a loop-free graph of
+// maximum degree Δ, using the Misra–Gries (Δ+1)-edge colouring: the
+// fact of node v carries, at position i, the name of v's colour-i edge
+// if it has one, and a fresh constant otherwise.
+func Vizing(g *graph.Graph) VizingProblem {
+	delta := g.MaxDegree()
+	arity := delta + 1
+	if arity < 1 {
+		arity = 1
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", arity))
+	var fds []fd.FD
+	for i := 0; i < arity; i++ {
+		rest := make([]int, 0, arity-1)
+		for j := 0; j < arity; j++ {
+			if j != i {
+				rest = append(rest, j)
+			}
+		}
+		fds = append(fds, fd.New("R", []int{i}, rest))
+	}
+	sigma := fd.MustSet(sch, fds...)
+	ec := graph.ColorEdgesMisraGries(g)
+	facts := make([]rel.Fact, g.N())
+	for v := 0; v < g.N(); v++ {
+		args := make([]string, arity)
+		for i := range args {
+			args[i] = fmt.Sprintf("fresh_%d_%d", v, i)
+		}
+		for _, u := range g.Neighbors(v) {
+			c := ec.ColorOf(v, u)
+			args[c-1] = edgeName(v, u)
+		}
+		facts[v] = rel.NewFact("R", args...)
+	}
+	db := rel.NewDatabase(facts...)
+	nodeFact := make([]int, g.N())
+	for v, f := range facts {
+		nodeFact[v] = db.IndexOf(f)
+	}
+	// A Boolean query asking for any surviving fact; not used by the
+	// counting argument but convenient for query experiments.
+	vars := make([]cq.Term, arity)
+	for i := range vars {
+		vars[i] = cq.Var(fmt.Sprintf("v%d", i))
+	}
+	q := cq.MustNew(nil, cq.NewAtom("R", vars...))
+	return VizingProblem{
+		Problem:  Problem{Schema: sch, Sigma: sigma, DB: db, Query: q},
+		G:        g,
+		NodeFact: nodeFact,
+	}
+}
+
+func edgeName(u, v int) string {
+	if u > v {
+		u, v = v, u
+	}
+	return fmt.Sprintf("e%d_%d", u, v)
+}
+
+// --- FD transfer (Lemma 5.6 / Lemma E.7) ----------------------------------
+
+// FDTransferProblem carries the Lemma 5.6 construction.
+type FDTransferProblem struct {
+	Problem
+	// StarFact is the universally conflicting fact f* = R'(a, a, ..., a).
+	StarFact rel.Fact
+}
+
+// FDTransfer lifts a database D over {R/n} with a key set Σ_K to a
+// database D_F over {R'/(n+2)} with the FD set
+// Σ_F = {R': X⁺ → Y⁺ | R: X → Y ∈ Σ_K} ∪ {R': A → B} (attributes
+// shifted by two) and the extra fact f* = R'(a, a, ..., a), which
+// conflicts with every other fact via A → B. For non-trivially
+// Σ_K-connected D:
+//
+//	|CORep(D_F, Σ_F)| = |CORep(D, Σ_K)| + 1,
+//
+// and the atomic query Q_F = Ans() :- R'(x, x, ..., x) has
+// rrfreq_{Σ_F,Q_F}(D_F, ()) = 1 / (|CORep(D, Σ_K)| + 1); likewise for
+// the singleton-operation variants (Lemma E.7).
+func FDTransfer(d *rel.Database, sigmaK *fd.Set) FDTransferProblem {
+	rels := sigmaK.Schema().Relations()
+	if len(rels) != 1 {
+		panic("reduction: FDTransfer requires a single-relation schema {R}")
+	}
+	n := rels[0].Arity()
+	m := n + 2
+	sch := rel.MustSchema(rel.NewRelation("Rp", m))
+	var fds []fd.FD
+	for _, phi := range sigmaK.FDs() {
+		lhs := shift(phi.LHS, 2)
+		rhs := shift(phi.RHS, 2)
+		fds = append(fds, fd.New("Rp", lhs, rhs))
+	}
+	fds = append(fds, fd.New("Rp", []int{0}, []int{1}))
+	sigmaF := fd.MustSet(sch, fds...)
+
+	// Pick the constants a, b outside dom(D).
+	dom := make(map[string]bool)
+	for _, c := range d.ActiveDomain() {
+		dom[c] = true
+	}
+	a, b := "@a", "@b"
+	for dom[a] {
+		a += "'"
+	}
+	for dom[b] || b == a {
+		b += "'"
+	}
+	var facts []rel.Fact
+	for _, f := range d.Facts() {
+		args := append([]string{a, b}, f.Args...)
+		facts = append(facts, rel.NewFact("Rp", args...))
+	}
+	starArgs := make([]string, m)
+	for i := range starArgs {
+		starArgs[i] = a
+	}
+	star := rel.NewFact("Rp", starArgs...)
+	facts = append(facts, star)
+
+	terms := make([]cq.Term, m)
+	for i := range terms {
+		terms[i] = cq.Var("x")
+	}
+	q := cq.MustNew(nil, cq.NewAtom("Rp", terms...))
+	return FDTransferProblem{
+		Problem:  Problem{Schema: sch, Sigma: sigmaF, DB: rel.NewDatabase(facts...), Query: q},
+		StarFact: star,
+	}
+}
+
+func shift(xs []int, by int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + by
+	}
+	return out
+}
+
+// --- Proposition D.6 family ------------------------------------------------
+
+// PropD6 builds the n-fact database D_n = {R(0,0,0)} ∪ {R(0,1,i)}
+// (i < n−1) with Σ = {R: A1 → A2} and Q = Ans() :- R(0,0,0), for which
+// 0 < P_{M^uo,Q}(D_n, ()) ≤ 1/2^{n−1}: the witness that the
+// Monte-Carlo route to an FPRAS fails for FDs under M^uo.
+func PropD6(n int) Problem {
+	if n < 1 {
+		panic("reduction: PropD6 needs n ≥ 1")
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Const("0"), cq.Const("0"), cq.Const("0")))
+	facts := []rel.Fact{rel.NewFact("R", "0", "0", "0")}
+	for i := 1; i < n; i++ {
+		facts = append(facts, rel.NewFact("R", "0", "1", fmt.Sprintf("%d", i)))
+	}
+	return Problem{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q}
+}

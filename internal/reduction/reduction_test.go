@@ -1,0 +1,335 @@
+package reduction
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/graph"
+	"repro/internal/rel"
+)
+
+// exactRRFreq builds the exact RRFreq oracle (full operation space).
+func exactRRFreq(singleton bool) RRFreqOracle {
+	return func(p Problem) (float64, error) {
+		inst := core.NewInstance(p.DB, p.Sigma)
+		r, err := inst.RRFreq(singleton, 0, inst.EntailPred(p.Query, cq.Tuple{}))
+		if err != nil {
+			return 0, err
+		}
+		f, _ := r.Float64()
+		return f, nil
+	}
+}
+
+func TestHColoringConstructionShape(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := HColoring(g)
+	// 2 V-facts per node + 2 E-facts + T(1).
+	if p.DB.Len() != 3*2+2+1 {
+		t.Fatalf("|D_G| = %d", p.DB.Len())
+	}
+	if p.Sigma.Classify().String() != "primary keys" {
+		t.Fatalf("Σ class = %v", p.Sigma.Classify())
+	}
+	inst := core.NewInstance(p.DB, p.Sigma)
+	// 3^{|V|} candidate repairs.
+	if got := inst.CountCandidateRepairs(false); got.Int64() != 27 {
+		t.Fatalf("|CORep| = %v, want 27", got)
+	}
+}
+
+// TestHColoringTuringReduction validates Lemma B.1 end to end:
+// HOM(G) computed through the exact OCQA oracle equals |hom(G, H)|.
+func TestHColoringTuringReduction(t *testing.T) {
+	h := graph.HardnessH()
+	rng := rand.New(rand.NewSource(103))
+	oracle := exactRRFreq(false)
+	for trial := 0; trial < 12; trial++ {
+		g := graph.RandomGraph(rng, 2+rng.Intn(4), 0.5)
+		got, err := HOMCount(g, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.CountHomomorphisms(g, h)
+		wantF, _ := new(big.Float).SetInt(want).Float64()
+		if math.Abs(got-wantF) > 1e-6*math.Max(1, wantF) {
+			t.Fatalf("trial %d: HOM = %v, |hom| = %v", trial, got, want)
+		}
+	}
+}
+
+// TestHColoringAgreesAcrossGenerators verifies the equalities the item
+// (1) proofs of Theorems 6.1 and 7.1 rely on: on D_G, rrfreq = srfreq =
+// P_{uo} (the chain is uniform over sequences by symmetry).
+func TestHColoringAgreesAcrossGenerators(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	p := HColoring(g)
+	inst := core.NewInstance(p.DB, p.Sigma)
+	pred := inst.EntailPred(p.Query, cq.Tuple{})
+	rr, err := inst.RRFreq(false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := inst.SRFreq(false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo, err := inst.ProbUO(false, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cmp(sr) != 0 || rr.Cmp(uo) != 0 {
+		t.Fatalf("rrfreq=%s srfreq=%s uo=%s must coincide on D_G",
+			rr.RatString(), sr.RatString(), uo.RatString())
+	}
+}
+
+func TestPos2DNFCountSat(t *testing.T) {
+	// φ = (x0 ∧ x1): satisfied iff both true: 1 of 4 assignments...
+	// plus x2 free if Vars=2? Here Vars=2: exactly 1.
+	f := Pos2DNF{Vars: 2, Clauses: [][2]int{{0, 1}}}
+	if got := f.CountSat(); got != 1 {
+		t.Fatalf("CountSat = %d, want 1", got)
+	}
+	// φ = x0∧x0 ∨ x1∧x1 over 2 vars: x0 ∨ x1: 3 of 4.
+	f2 := Pos2DNF{Vars: 2, Clauses: [][2]int{{0, 0}, {1, 1}}}
+	if got := f2.CountSat(); got != 3 {
+		t.Fatalf("CountSat = %d, want 3", got)
+	}
+	// Empty formula: no satisfying assignments.
+	f3 := Pos2DNF{Vars: 3}
+	if got := f3.CountSat(); got != 0 {
+		t.Fatalf("CountSat = %d, want 0", got)
+	}
+}
+
+// TestPos2DNFTuringReduction validates the Appendix E reduction:
+// SAT(φ) via the exact rrfreq¹ oracle equals the brute-force count.
+func TestPos2DNFTuringReduction(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	oracle := exactRRFreq(true)
+	for trial := 0; trial < 12; trial++ {
+		f := RandomPos2DNF(2+rng.Intn(3), 1+rng.Intn(4), rng.Intn)
+		got, err := SATCount(f, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(f.CountSat())
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: SAT = %v, want %v (φ=%+v)", trial, got, want, f)
+		}
+	}
+}
+
+// TestPos2DNFGeneratorEqualities validates the equalities behind
+// Theorems E.8(1) and E.11: on D_φ, rrfreq¹ = srfreq¹ = P_{M^{uo,1}}.
+func TestPos2DNFGeneratorEqualities(t *testing.T) {
+	f := Pos2DNF{Vars: 3, Clauses: [][2]int{{0, 1}, {1, 2}}}
+	p := Pos2DNFProblem(f)
+	inst := core.NewInstance(p.DB, p.Sigma)
+	pred := inst.EntailPred(p.Query, cq.Tuple{})
+	rr, err := inst.RRFreq(true, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := inst.SRFreq(true, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo, err := inst.ProbUO(true, 0, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cmp(sr) != 0 || rr.Cmp(uo) != 0 {
+		t.Fatalf("rrfreq¹=%s srfreq¹=%s uo¹=%s must coincide on D_φ",
+			rr.RatString(), sr.RatString(), uo.RatString())
+	}
+	// And the value is |sat| / 2^3 = 3/8: assignments with (x0∧x1) or
+	// (x1∧x2): {110, 111, 011} = 3.
+	if rr.Cmp(big.NewRat(3, 8)) != 0 {
+		t.Fatalf("rrfreq¹ = %s, want 3/8", rr.RatString())
+	}
+}
+
+func TestPos2DNFRepairCount(t *testing.T) {
+	f := Pos2DNF{Vars: 4, Clauses: [][2]int{{0, 1}}}
+	p := Pos2DNFProblem(f)
+	inst := core.NewInstance(p.DB, p.Sigma)
+	if got := inst.CountCandidateRepairs(true); got.Int64() != 16 {
+		t.Fatalf("|CORep^1| = %v, want 2^4", got)
+	}
+}
+
+// TestVizingConflictGraphIsomorphic validates Lemma B.6: the conflict
+// graph of the Vizing database is isomorphic to the source graph under
+// the node-to-fact mapping.
+func TestVizingConflictGraphIsomorphic(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnectedBoundedDegreeGraph(rng, 2+rng.Intn(8), 4, 20)
+		vp := Vizing(g)
+		inst := core.NewInstance(vp.DB, vp.Sigma)
+		cg := inst.ConflictGraph()
+		if !graph.EqualUnderMapping(g, cg, vp.NodeFact) {
+			t.Fatalf("trial %d: CG(D_G, Σ_K) not isomorphic to G", trial)
+		}
+	}
+}
+
+// TestVizingRepairCounts validates Proposition 5.5 via Lemma 5.4:
+// |CORep(D_G,Σ_K)| = |IS(G)| and |CORep^1| = |IS≠∅(G)| for connected G.
+func TestVizingRepairCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomConnectedBoundedDegreeGraph(rng, 2+rng.Intn(7), 3, 10)
+		vp := Vizing(g)
+		inst := core.NewInstance(vp.DB, vp.Sigma)
+		if got, want := inst.CountCandidateRepairs(false), g.CountIndependentSets(); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: |CORep| = %v, |IS(G)| = %v", trial, got, want)
+		}
+		if got, want := inst.CountCandidateRepairs(true), g.CountNonEmptyIndependentSets(); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: |CORep^1| = %v, |IS≠∅(G)| = %v", trial, got, want)
+		}
+	}
+}
+
+func TestVizingSigmaIsKeys(t *testing.T) {
+	g := graph.RandomConnectedBoundedDegreeGraph(rand.New(rand.NewSource(127)), 5, 3, 10)
+	vp := Vizing(g)
+	if cls := vp.Sigma.Classify().String(); cls != "keys" {
+		t.Fatalf("Σ_K class = %q, want keys", cls)
+	}
+}
+
+// TestFDTransferCount validates Lemma 5.6's counting identity and the
+// query property, on Vizing databases (which are non-trivially
+// Σ_K-connected by construction).
+func TestFDTransferCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.RandomConnectedBoundedDegreeGraph(rng, 2+rng.Intn(6), 3, 8)
+		vp := Vizing(g)
+		base := core.NewInstance(vp.DB, vp.Sigma)
+		tp := FDTransfer(vp.DB, vp.Sigma)
+		lifted := core.NewInstance(tp.DB, tp.Sigma)
+
+		for _, singleton := range []bool{false, true} {
+			baseCount := base.CountCandidateRepairs(singleton)
+			liftCount := lifted.CountCandidateRepairs(singleton)
+			want := new(big.Int).Add(baseCount, big.NewInt(1))
+			if liftCount.Cmp(want) != 0 {
+				t.Fatalf("trial %d singleton=%v: |CORep(D_F)| = %v, want %v+1",
+					trial, singleton, liftCount, baseCount)
+			}
+			// rrfreq(Q_F) = 1/(|CORep(D,Σ_K)|+1).
+			r, err := lifted.RRFreq(singleton, 0, lifted.EntailPred(tp.Query, cq.Tuple{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantR := new(big.Rat).SetFrac(big.NewInt(1), want)
+			if r.Cmp(wantR) != 0 {
+				t.Fatalf("trial %d singleton=%v: rrfreq = %s, want %s",
+					trial, singleton, r.RatString(), wantR.RatString())
+			}
+		}
+	}
+}
+
+func TestFDTransferStarConflictsWithAll(t *testing.T) {
+	g := graph.RandomConnectedBoundedDegreeGraph(rand.New(rand.NewSource(137)), 4, 3, 6)
+	vp := Vizing(g)
+	tp := FDTransfer(vp.DB, vp.Sigma)
+	for _, f := range tp.DB.Facts() {
+		if f.Equal(tp.StarFact) {
+			continue
+		}
+		if !tp.Sigma.InConflict(tp.StarFact, f) {
+			t.Fatalf("f* does not conflict with %v", f)
+		}
+	}
+	// Σ_F must be proper FDs, not keys.
+	if cls := tp.Sigma.Classify().String(); cls != "FDs" {
+		t.Fatalf("Σ_F class = %q, want FDs", cls)
+	}
+}
+
+func TestFDTransferFreshConstants(t *testing.T) {
+	// Databases already containing "@a" must still get fresh constants.
+	d := rel.NewDatabase(
+		rel.NewFact("R", "@a", "x"),
+		rel.NewFact("R", "@a", "y"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	sigmaK := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	tp := FDTransfer(d, sigmaK)
+	if tp.StarFact.Arg(0) == "@a" {
+		t.Fatal("star constant collides with dom(D)")
+	}
+	lifted := core.NewInstance(tp.DB, tp.Sigma)
+	base := core.NewInstance(d, sigmaK)
+	want := new(big.Int).Add(base.CountCandidateRepairs(false), big.NewInt(1))
+	if got := lifted.CountCandidateRepairs(false); got.Cmp(want) != 0 {
+		t.Fatalf("|CORep(D_F)| = %v, want %v", got, want)
+	}
+}
+
+// PropD6 construction tests.
+func TestPropD6Shape(t *testing.T) {
+	p := PropD6(5)
+	if p.DB.Len() != 5 {
+		t.Fatalf("|D_5| = %d", p.DB.Len())
+	}
+	inst := core.NewInstance(p.DB, p.Sigma)
+	// R(0,0,0) conflicts with each R(0,1,i): star conflict graph.
+	if got := len(inst.ConflictPairs()); got != 4 {
+		t.Fatalf("conflict pairs = %d, want 4", got)
+	}
+	pr, err := inst.ProbUO(false, 0, inst.EntailPred(p.Query, cq.Tuple{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sign() <= 0 {
+		t.Fatal("P must be positive")
+	}
+	bound := big.NewRat(1, 16) // 1/2^{5-1}
+	if pr.Cmp(bound) > 0 {
+		t.Fatalf("P = %s exceeds 1/2^{n-1} = %s", pr.RatString(), bound.RatString())
+	}
+}
+
+func TestPropD6PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PropD6(0)
+}
+
+// TestPropD6SingletonIsWellBehaved contrasts Theorem 7.5: under
+// M^{uo,1} the same family has probability ≥ 1/(e‖D‖)^‖Q‖ — the
+// singleton restriction removes the exponential decay.
+func TestPropD6SingletonIsWellBehaved(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		p := PropD6(n)
+		inst := core.NewInstance(p.DB, p.Sigma)
+		pr, err := inst.ProbUO(true, 0, inst.EntailPred(p.Query, cq.Tuple{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _ := pr.Float64()
+		bound := math.Pow(math.E*float64(n), -1) // ‖Q‖ = 1 atom
+		if f < bound {
+			t.Fatalf("n=%d: P_uo,1 = %v below Lemma D.8 bound %v", n, f, bound)
+		}
+	}
+}

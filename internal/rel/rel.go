@@ -1,0 +1,323 @@
+// Package rel implements the relational model of Section 2 of the paper:
+// schemas, facts, and databases (finite sets of facts) over a countably
+// infinite domain of constants, together with the bitset sub-database
+// machinery the repair engines use to explore the space of databases
+// D' ⊆ D.
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation describes a relation name R/n with an associated tuple of
+// distinct attribute names (A_1, ..., A_n).
+type Relation struct {
+	Name  string
+	Attrs []string
+}
+
+// Arity reports the arity n of the relation.
+func (r Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the attribute with the given name,
+// or -1 if the relation has no such attribute.
+func (r Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the relation as "R(A1,...,An)".
+func (r Relation) String() string {
+	return fmt.Sprintf("%s(%s)", r.Name, strings.Join(r.Attrs, ","))
+}
+
+// NewRelation builds a relation with default attribute names A1..An.
+func NewRelation(name string, arity int) Relation {
+	attrs := make([]string, arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return Relation{Name: name, Attrs: attrs}
+}
+
+// Schema is a finite set of relation names with associated arities.
+type Schema struct {
+	rels  map[string]Relation
+	order []string
+}
+
+// NewSchema builds a schema from the given relations. Duplicate relation
+// names are rejected.
+func NewSchema(rels ...Relation) (*Schema, error) {
+	s := &Schema{rels: make(map[string]Relation, len(rels))}
+	for _, r := range rels {
+		if r.Arity() == 0 {
+			return nil, fmt.Errorf("rel: relation %q has arity 0", r.Name)
+		}
+		if _, dup := s.rels[r.Name]; dup {
+			return nil, fmt.Errorf("rel: duplicate relation %q", r.Name)
+		}
+		seen := make(map[string]bool, r.Arity())
+		for _, a := range r.Attrs {
+			if seen[a] {
+				return nil, fmt.Errorf("rel: relation %q repeats attribute %q", r.Name, a)
+			}
+			seen[a] = true
+		}
+		s.rels[r.Name] = r
+		s.order = append(s.order, r.Name)
+	}
+	return s, nil
+}
+
+// MustSchema is like NewSchema but panics on error. It is intended for
+// statically known schemas in examples and tests.
+func MustSchema(rels ...Relation) *Schema {
+	s, err := NewSchema(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation looks up a relation by name.
+func (s *Schema) Relation(name string) (Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Relations returns the relations in declaration order.
+func (s *Schema) Relations() []Relation {
+	out := make([]Relation, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.rels[n])
+	}
+	return out
+}
+
+// Len reports the number of relations in the schema.
+func (s *Schema) Len() int { return len(s.order) }
+
+// A Fact is an expression R(c1,...,cn) where each c_i is a constant.
+// Facts are immutable after construction; Args must not be mutated.
+type Fact struct {
+	Rel  string
+	Args []string
+}
+
+// NewFact builds a fact over the given relation name.
+func NewFact(rel string, args ...string) Fact {
+	cp := make([]string, len(args))
+	copy(cp, args)
+	return Fact{Rel: rel, Args: cp}
+}
+
+// Arg returns the constant at attribute position i (0-based). In the
+// paper's notation this is f[A_{i+1}].
+func (f Fact) Arg(i int) string { return f.Args[i] }
+
+// Equal reports whether two facts are identical.
+func (f Fact) Equal(g Fact) bool {
+	if f.Rel != g.Rel || len(f.Args) != len(g.Args) {
+		return false
+	}
+	for i := range f.Args {
+		if f.Args[i] != g.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding of the fact, used as a map key.
+// The encoding escapes the separator so distinct facts cannot collide.
+func (f Fact) Key() string {
+	var b strings.Builder
+	b.WriteString(escape(f.Rel))
+	for _, a := range f.Args {
+		b.WriteByte('|')
+		b.WriteString(escape(a))
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	if !strings.ContainsAny(s, `|\`) {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `|`, `\|`)
+}
+
+// String renders the fact as "R(c1,...,cn)".
+func (f Fact) String() string {
+	return fmt.Sprintf("%s(%s)", f.Rel, strings.Join(f.Args, ","))
+}
+
+// Less imposes a total order on facts (relation name, then arguments).
+// Databases keep their facts sorted in this order so that fact indices
+// are deterministic across runs.
+func (f Fact) Less(g Fact) bool {
+	if f.Rel != g.Rel {
+		return f.Rel < g.Rel
+	}
+	n := len(f.Args)
+	if len(g.Args) < n {
+		n = len(g.Args)
+	}
+	for i := 0; i < n; i++ {
+		if f.Args[i] != g.Args[i] {
+			return f.Args[i] < g.Args[i]
+		}
+	}
+	return len(f.Args) < len(g.Args)
+}
+
+// Database is a finite set of facts. It maintains set semantics and a
+// deterministic (sorted) iteration order, and assigns each fact a stable
+// index in [0, Len()) used by the bitset sub-database machinery.
+type Database struct {
+	facts []Fact
+	index map[string]int
+}
+
+// NewDatabase builds a database from the given facts, deduplicating and
+// sorting them.
+func NewDatabase(facts ...Fact) *Database {
+	d := &Database{index: make(map[string]int, len(facts))}
+	for _, f := range facts {
+		k := f.Key()
+		if _, dup := d.index[k]; dup {
+			continue
+		}
+		d.index[k] = -1 // placeholder until sort
+		d.facts = append(d.facts, f)
+	}
+	sort.Slice(d.facts, func(i, j int) bool { return d.facts[i].Less(d.facts[j]) })
+	for i, f := range d.facts {
+		d.index[f.Key()] = i
+	}
+	return d
+}
+
+// Len reports the number of facts |D|.
+func (d *Database) Len() int { return len(d.facts) }
+
+// Fact returns the fact at index i.
+func (d *Database) Fact(i int) Fact { return d.facts[i] }
+
+// Facts returns the facts in sorted order. The returned slice must not
+// be modified.
+func (d *Database) Facts() []Fact { return d.facts }
+
+// IndexOf returns the index of the fact, or -1 if it is absent.
+func (d *Database) IndexOf(f Fact) int {
+	i, ok := d.index[f.Key()]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Contains reports whether the fact is in the database.
+func (d *Database) Contains(f Fact) bool { return d.IndexOf(f) >= 0 }
+
+// ActiveDomain returns dom(D), the sorted set of constants occurring
+// in the database.
+func (d *Database) ActiveDomain() []string {
+	set := make(map[string]bool)
+	for _, f := range d.facts {
+		for _, a := range f.Args {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FactsOf returns the facts over the given relation name, in sorted order.
+func (d *Database) FactsOf(rel string) []Fact {
+	var out []Fact
+	for _, f := range d.facts {
+		if f.Rel == rel {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Restrict returns the database containing exactly the facts of d whose
+// indices are set in the subset.
+func (d *Database) Restrict(s Subset) *Database {
+	var facts []Fact
+	for i := 0; i < d.Len(); i++ {
+		if s.Has(i) {
+			facts = append(facts, d.facts[i])
+		}
+	}
+	return NewDatabase(facts...)
+}
+
+// Union returns a new database containing the facts of both databases.
+func (d *Database) Union(other *Database) *Database {
+	facts := make([]Fact, 0, d.Len()+other.Len())
+	facts = append(facts, d.facts...)
+	facts = append(facts, other.facts...)
+	return NewDatabase(facts...)
+}
+
+// Without returns a new database with the given facts removed.
+func (d *Database) Without(remove ...Fact) *Database {
+	drop := make(map[string]bool, len(remove))
+	for _, f := range remove {
+		drop[f.Key()] = true
+	}
+	var facts []Fact
+	for _, f := range d.facts {
+		if !drop[f.Key()] {
+			facts = append(facts, f)
+		}
+	}
+	return NewDatabase(facts...)
+}
+
+// Equal reports whether two databases contain the same set of facts.
+func (d *Database) Equal(other *Database) bool {
+	if d.Len() != other.Len() {
+		return false
+	}
+	for i := range d.facts {
+		if !d.facts[i].Equal(other.facts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the database as "{f1, f2, ...}" in sorted order.
+func (d *Database) String() string {
+	parts := make([]string, d.Len())
+	for i, f := range d.facts {
+		parts[i] = f.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FullSubset returns the subset containing every fact of d.
+func (d *Database) FullSubset() Subset {
+	s := NewSubset(d.Len())
+	for i := 0; i < d.Len(); i++ {
+		s.Set(i)
+	}
+	return s
+}

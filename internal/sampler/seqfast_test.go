@@ -1,0 +1,166 @@
+package sampler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func TestSequenceSamplerRejectsFDs(t *testing.T) {
+	if _, err := NewSequenceSampler(runningExample(), false); err == nil {
+		t.Fatal("sequence sampler must reject general FDs")
+	}
+}
+
+func TestSequenceSamplerCountMatches(t *testing.T) {
+	inst := figure2()
+	for _, singleton := range []bool{false, true} {
+		ss, err := NewSequenceSampler(inst, singleton)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inst.CountCRS(singleton, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Count().Cmp(want) != 0 {
+			t.Fatalf("singleton=%v: Count = %v, want %v", singleton, ss.Count(), want)
+		}
+	}
+}
+
+func TestSequenceSamplerValid(t *testing.T) {
+	inst := figure2()
+	for _, singleton := range []bool{false, true} {
+		ss, err := NewSequenceSampler(inst, singleton)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(173))
+		for i := 0; i < 300; i++ {
+			seq, res := ss.Sample(rng)
+			if !inst.IsComplete(seq, singleton) {
+				t.Fatalf("singleton=%v: sampled sequence %v not complete", singleton, seq)
+			}
+			if !inst.Result(seq).Equal(res) {
+				t.Fatal("result mismatch")
+			}
+		}
+	}
+}
+
+// TestSequenceSamplerUniform checks the fast sampler induces the
+// uniform distribution over all 99 sequences of Figure 2 — the same
+// law as Algorithm 1.
+func TestSequenceSamplerUniform(t *testing.T) {
+	inst := figure2()
+	ss, err := NewSequenceSampler(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(179))
+	const n = 99000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		seq, _ := ss.Sample(rng)
+		counts[seqKey(seq)]++
+	}
+	assertUniform(t, counts, 99, n, 5)
+}
+
+func TestSequenceSamplerSingletonUniform(t *testing.T) {
+	inst := figure2()
+	ss, err := NewSequenceSampler(inst, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(181))
+	const n = 36000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		seq, _ := ss.Sample(rng)
+		counts[seqKey(seq)]++
+	}
+	assertUniform(t, counts, 36, n, 5)
+}
+
+// TestSequenceSamplerMatchesAlgorithm1 compares the repair-level
+// distributions of the fast sampler and Algorithm 1 on Figure 2.
+func TestSequenceSamplerMatchesAlgorithm1(t *testing.T) {
+	inst := figure2()
+	ss, err := NewSequenceSampler(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := NewBlockSampler(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(191))
+	const n = 40000
+	fast := map[string]float64{}
+	slow := map[string]float64{}
+	for i := 0; i < n; i++ {
+		_, r1 := ss.Sample(rng)
+		fast[r1.Key()]++
+		_, r2 := bs.SampleSequence(rng, false)
+		slow[r2.Key()]++
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("support sizes differ: %d vs %d", len(fast), len(slow))
+	}
+	for k := range fast {
+		pf, ps := fast[k]/n, slow[k]/n
+		if math.Abs(pf-ps) > 0.015 {
+			t.Errorf("repair %q: fast %.4f vs Algorithm 1 %.4f", k, pf, ps)
+		}
+	}
+}
+
+// TestSequenceSamplerLargeScale exercises a profile far beyond
+// Algorithm 1's reach and checks throughput stays sane.
+func TestSequenceSamplerLargeScale(t *testing.T) {
+	var facts []rel.Fact
+	for b := 0; b < 300; b++ {
+		for j := 0; j < 3; j++ {
+			facts = append(facts, rel.NewFact("R", "k"+itoa(b), "v"+itoa(j)))
+		}
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	inst := core.NewInstance(rel.NewDatabase(facts...), fd.MustSet(sch, fd.New("R", []int{0}, []int{1})))
+	ss, err := NewSequenceSampler(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(193))
+	for i := 0; i < 20; i++ {
+		seq, _ := ss.Sample(rng)
+		if len(seq) < 300 { // at least one op per block of 3
+			t.Fatalf("sequence too short: %d", len(seq))
+		}
+		if !inst.IsComplete(seq, false) {
+			t.Fatal("large-scale sequence invalid")
+		}
+	}
+}
+
+func TestSequenceSamplerConsistentDatabase(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	d := rel.NewDatabase(rel.NewFact("R", "a", "b"))
+	inst := core.NewInstance(d, fd.MustSet(sch, fd.New("R", []int{0}, []int{1})))
+	ss, err := NewSequenceSampler(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, res := ss.Sample(rand.New(rand.NewSource(1)))
+	if len(seq) != 0 || res.Count() != 1 {
+		t.Fatalf("consistent DB must yield ε: %v", seq)
+	}
+	if ss.Count().Int64() != 1 {
+		t.Fatalf("Count = %v", ss.Count())
+	}
+}

@@ -1,0 +1,177 @@
+package sampler
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// UOWalker runs walks of the uniform-operations chain (Lemma 7.2 /
+// D.7) with incremental conflict maintenance: instead of re-deriving
+// the justified operations from scratch at every step (which costs
+// O(|conflict pairs|) per step), it maintains
+//
+//   - the dense list of alive violating pairs, and
+//   - the dense list of facts participating in at least one alive pair
+//     (exactly the facts whose singleton removal is justified),
+//
+// and updates both in O(degree) when a fact is removed. A full walk
+// costs O(|D| + |conflict pairs|) amortised. The induced distribution
+// over complete sequences is identical to core.Instance.JustifiedOps +
+// uniform choice; the tests check this against the exact engine.
+type UOWalker struct {
+	inst    *core.Instance
+	pairs   [][2]int
+	pairsOf [][]int
+
+	// per-walk state, reset by Walk.
+	present    []bool
+	pairAlive  []bool
+	pairPos    []int
+	alive      []int // alive pair ids
+	cnt        []int // per fact: alive pairs it participates in
+	factPos    []int
+	activeFact []int // facts with cnt > 0
+}
+
+// NewUOWalker prepares a walker for the instance (any FD set).
+func NewUOWalker(inst *core.Instance) *UOWalker {
+	n := inst.D.Len()
+	pairs := inst.ConflictPairs()
+	w := &UOWalker{
+		inst:      inst,
+		pairs:     pairs,
+		pairsOf:   make([][]int, n),
+		present:   make([]bool, n),
+		pairAlive: make([]bool, len(pairs)),
+		pairPos:   make([]int, len(pairs)),
+		cnt:       make([]int, n),
+		factPos:   make([]int, n),
+	}
+	for pid, p := range pairs {
+		w.pairsOf[p[0]] = append(w.pairsOf[p[0]], pid)
+		w.pairsOf[p[1]] = append(w.pairsOf[p[1]], pid)
+	}
+	return w
+}
+
+func (w *UOWalker) reset() {
+	w.alive = w.alive[:0]
+	w.activeFact = w.activeFact[:0]
+	for i := range w.present {
+		w.present[i] = true
+		w.cnt[i] = 0
+		w.factPos[i] = -1
+	}
+	for pid, p := range w.pairs {
+		w.pairAlive[pid] = true
+		w.pairPos[pid] = len(w.alive)
+		w.alive = append(w.alive, pid)
+		w.cnt[p[0]]++
+		w.cnt[p[1]]++
+	}
+	for i, c := range w.cnt {
+		if c > 0 {
+			w.factPos[i] = len(w.activeFact)
+			w.activeFact = append(w.activeFact, i)
+		}
+	}
+}
+
+// killPair removes a pair from the alive list and decrements both
+// endpoint counters.
+func (w *UOWalker) killPair(pid int) {
+	if !w.pairAlive[pid] {
+		return
+	}
+	w.pairAlive[pid] = false
+	pos := w.pairPos[pid]
+	last := w.alive[len(w.alive)-1]
+	w.alive[pos] = last
+	w.pairPos[last] = pos
+	w.alive = w.alive[:len(w.alive)-1]
+	for _, f := range []int{w.pairs[pid][0], w.pairs[pid][1]} {
+		w.cnt[f]--
+		if w.cnt[f] == 0 && w.factPos[f] >= 0 {
+			fpos := w.factPos[f]
+			lastF := w.activeFact[len(w.activeFact)-1]
+			w.activeFact[fpos] = lastF
+			w.factPos[lastF] = fpos
+			w.activeFact = w.activeFact[:len(w.activeFact)-1]
+			w.factPos[f] = -1
+		}
+	}
+}
+
+// removeFact removes a fact and kills every alive pair through it.
+func (w *UOWalker) removeFact(f int) {
+	if !w.present[f] {
+		return
+	}
+	w.present[f] = false
+	for _, pid := range w.pairsOf[f] {
+		w.killPair(pid)
+	}
+}
+
+// Walk runs one chain walk and returns the complete repairing sequence
+// and its result. With singleton set, only single-fact removals are
+// available (M^{uo,1}).
+func (w *UOWalker) Walk(rng *rand.Rand, singleton bool) (core.Sequence, rel.Subset) {
+	w.reset()
+	var seq core.Sequence
+	for len(w.alive) > 0 {
+		nOps := len(w.activeFact)
+		if !singleton {
+			nOps += len(w.alive)
+		}
+		r := rng.Intn(nOps)
+		var op core.Op
+		if r < len(w.activeFact) {
+			op = core.Op{I: w.activeFact[r], J: -1}
+			seq = append(seq, op)
+			w.removeFact(op.I)
+		} else {
+			p := w.pairs[w.alive[r-len(w.activeFact)]]
+			op = core.Op{I: p[0], J: p[1]}
+			seq = append(seq, op)
+			w.removeFact(p[0])
+			w.removeFact(p[1])
+		}
+	}
+	s := rel.NewSubset(w.inst.D.Len())
+	for i, p := range w.present {
+		if p {
+			s.Set(i)
+		}
+	}
+	return seq, s
+}
+
+// WalkResult is Walk without materialising the sequence (the common
+// case for Monte Carlo estimation, avoiding the sequence allocation).
+func (w *UOWalker) WalkResult(rng *rand.Rand, singleton bool) rel.Subset {
+	w.reset()
+	for len(w.alive) > 0 {
+		nOps := len(w.activeFact)
+		if !singleton {
+			nOps += len(w.alive)
+		}
+		r := rng.Intn(nOps)
+		if r < len(w.activeFact) {
+			w.removeFact(w.activeFact[r])
+		} else {
+			p := w.pairs[w.alive[r-len(w.activeFact)]]
+			w.removeFact(p[0])
+			w.removeFact(p[1])
+		}
+	}
+	s := rel.NewSubset(w.inst.D.Len())
+	for i, p := range w.present {
+		if p {
+			s.Set(i)
+		}
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+// Package workload generates the synthetic inconsistent databases the
+// experiments and benchmarks run on. The paper has no empirical section,
+// so the workloads are designed to exercise exactly the regimes its
+// complexity results distinguish:
+//
+//   - block databases under a primary key (Theorems 5.1(2), 6.1(2)),
+//     with controllable block-size distributions;
+//   - multi-key databases (Theorem 7.1(2)): facts conflicting through
+//     several keys of one relation;
+//   - general-FD databases (Theorem 7.5, Proposition D.6): conflict
+//     structures impossible under keys;
+//   - the intro's data-integration scenario (Emp with conflicting
+//     sources).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// Instance bundles a generated database with its constraints and a
+// natural query for it.
+type Instance struct {
+	Schema *rel.Schema
+	Sigma  *fd.Set
+	DB     *rel.Database
+	Query  *cq.Query
+	// Tuple is a candidate answer with positive probability (when the
+	// generator can guarantee one; nil otherwise).
+	Tuple cq.Tuple
+}
+
+// Core builds the core.Instance of the workload.
+func (w Instance) Core() *core.Instance { return core.NewInstance(w.DB, w.Sigma) }
+
+// BlockSpec controls BlockDatabase.
+type BlockSpec struct {
+	// Blocks is the number of key-groups.
+	Blocks int
+	// MinSize and MaxSize bound the (uniform) block sizes.
+	MinSize, MaxSize int
+	// ValueSkew, in [0,1), is the probability that a block reuses the
+	// shared value "hot" in its second attribute, creating answer
+	// correlations across blocks.
+	ValueSkew float64
+}
+
+// BlockDatabase generates a database over R(A1,A2) with the primary key
+// R: A1 → A2 whose blocks follow the spec, and the query
+// Ans() :- R(x, 'hot') asking whether some surviving fact carries the
+// hot value. Block i has key constant "k<i>"; non-hot values are unique.
+func BlockDatabase(rng *rand.Rand, spec BlockSpec) Instance {
+	if spec.Blocks < 1 || spec.MinSize < 1 || spec.MaxSize < spec.MinSize {
+		panic("workload: invalid block spec")
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	var facts []rel.Fact
+	next := 0
+	for b := 0; b < spec.Blocks; b++ {
+		size := spec.MinSize + rng.Intn(spec.MaxSize-spec.MinSize+1)
+		hotDone := false
+		for j := 0; j < size; j++ {
+			var val string
+			if !hotDone && rng.Float64() < spec.ValueSkew {
+				val = "hot"
+				hotDone = true
+			} else {
+				val = fmt.Sprintf("v%d", next)
+				next++
+			}
+			facts = append(facts, rel.NewFact("R", fmt.Sprintf("k%d", b), val))
+		}
+	}
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Const("hot")))
+	return Instance{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q, Tuple: cq.Tuple{}}
+}
+
+// HotBlockDatabase is BlockDatabase with a guaranteed hot fact in the
+// first block, so the query probability is positive.
+func HotBlockDatabase(rng *rand.Rand, spec BlockSpec) Instance {
+	w := BlockDatabase(rng, spec)
+	hot := rel.NewFact("R", "k0", "hot")
+	if !w.DB.Contains(hot) {
+		w.DB = w.DB.Union(rel.NewDatabase(hot))
+	}
+	return w
+}
+
+// MultiKeyDatabase generates a database over R(A1,A2,A3) with the two
+// keys A1 → A2A3 and A2 → A1A3 (Theorem 7.1's regime: keys, not
+// primary keys). Facts are drawn over small attribute domains so both
+// keys produce conflicts; the query asks for a surviving fact with the
+// hot third attribute.
+func MultiKeyDatabase(rng *rand.Rand, n int, domain int) Instance {
+	if n < 1 || domain < 1 {
+		panic("workload: invalid multi-key spec")
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch,
+		fd.New("R", []int{0}, []int{1, 2}),
+		fd.New("R", []int{1}, []int{0, 2}),
+	)
+	var facts []rel.Fact
+	for i := 0; i < n; i++ {
+		val := fmt.Sprintf("p%d", i)
+		if i == 0 {
+			val = "hot"
+		}
+		facts = append(facts, rel.NewFact("R",
+			fmt.Sprintf("a%d", rng.Intn(domain)),
+			fmt.Sprintf("b%d", rng.Intn(domain)),
+			val))
+	}
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Var("y"), cq.Const("hot")))
+	return Instance{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q, Tuple: cq.Tuple{}}
+}
+
+// FDChainDatabase generates a database over R(A1,A2,A3) with the
+// general (non-key) FDs A1 → A2 and A3 → A2 — the running example's
+// constraint shape — whose conflict graph is a collection of paths and
+// stars. n is the number of facts.
+func FDChainDatabase(rng *rand.Rand, n int, domain int) Instance {
+	if n < 1 || domain < 1 {
+		panic("workload: invalid FD chain spec")
+	}
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch,
+		fd.New("R", []int{0}, []int{1}),
+		fd.New("R", []int{2}, []int{1}),
+	)
+	var facts []rel.Fact
+	for i := 0; i < n; i++ {
+		b := fmt.Sprintf("b%d", rng.Intn(domain))
+		if i == 0 {
+			b = "hot"
+		}
+		facts = append(facts, rel.NewFact("R",
+			fmt.Sprintf("a%d", rng.Intn(domain)),
+			b,
+			fmt.Sprintf("c%d", rng.Intn(domain))))
+	}
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Const("hot"), cq.Var("z")))
+	return Instance{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q, Tuple: cq.Tuple{}}
+}
+
+// EmpSource is one source's claim about an employee, for the intro
+// scenario.
+type EmpSource struct {
+	ID, Name string
+}
+
+// DataIntegration builds the introduction's running scenario: an
+// Emp(id, name) relation integrated from multiple sources, with the
+// primary key Emp: id → name, plus the query asking for the names
+// recorded for a given id. Conflicting claims about the same id form
+// blocks.
+func DataIntegration(claims []EmpSource) Instance {
+	sch := rel.MustSchema(rel.Relation{Name: "Emp", Attrs: []string{"id", "name"}})
+	sigma := fd.MustSet(sch, fd.New("Emp", []int{0}, []int{1}))
+	var facts []rel.Fact
+	for _, c := range claims {
+		facts = append(facts, rel.NewFact("Emp", c.ID, c.Name))
+	}
+	q := cq.MustNew([]string{"n"}, cq.NewAtom("Emp", cq.Var("i"), cq.Var("n")))
+	return Instance{Schema: sch, Sigma: sigma, DB: rel.NewDatabase(facts...), Query: q}
+}
+
+// IntroExample is the exact two-fact example of the introduction:
+// Emp(1, Alice) and Emp(1, Tom) violating the key on id.
+func IntroExample() Instance {
+	return DataIntegration([]EmpSource{{"1", "Alice"}, {"1", "Tom"}})
+}
+
+// UniformBlockSizes returns n blocks all of size m (deterministic
+// profiles for scaling benchmarks).
+func UniformBlockSizes(n, m int) BlockSpec {
+	return BlockSpec{Blocks: n, MinSize: m, MaxSize: m}
+}

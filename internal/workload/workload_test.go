@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+)
+
+func TestBlockDatabaseShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := BlockDatabase(rng, BlockSpec{Blocks: 5, MinSize: 2, MaxSize: 4})
+	if w.Sigma.Classify() != fd.PrimaryKeys {
+		t.Fatal("block database must be a primary-key instance")
+	}
+	blocks := w.Sigma.Blocks(w.DB)
+	if len(blocks) != 5 {
+		t.Fatalf("blocks = %d, want 5", len(blocks))
+	}
+	for _, b := range blocks {
+		if b.Size() < 2 || b.Size() > 4 {
+			t.Fatalf("block size %d out of range", b.Size())
+		}
+	}
+}
+
+func TestBlockDatabaseSkewCreatesHotValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := BlockDatabase(rng, BlockSpec{Blocks: 30, MinSize: 2, MaxSize: 2, ValueSkew: 0.9})
+	hot := 0
+	for _, f := range w.DB.Facts() {
+		if f.Arg(1) == "hot" {
+			hot++
+		}
+	}
+	if hot < 15 {
+		t.Fatalf("only %d hot facts with skew 0.9", hot)
+	}
+	// At most one hot fact per block: hot facts never conflict... they
+	// DO conflict within a block, so each block contributes ≤ 1.
+	if hot > 30 {
+		t.Fatalf("more hot facts than blocks: %d", hot)
+	}
+}
+
+func TestBlockDatabasePanicsOnBadSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BlockDatabase(rand.New(rand.NewSource(1)), BlockSpec{Blocks: 0, MinSize: 1, MaxSize: 1})
+}
+
+func TestHotBlockDatabaseGuaranteesWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := HotBlockDatabase(rng, BlockSpec{Blocks: 3, MinSize: 2, MaxSize: 3})
+	if !w.Query.Entails(w.DB) {
+		t.Fatal("hot workload must entail its query over D")
+	}
+	inst := w.Core()
+	p, err := inst.RRFreq(false, 0, inst.EntailPred(w.Query, w.Tuple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sign() <= 0 {
+		t.Fatal("hot workload must have positive probability")
+	}
+}
+
+func TestMultiKeyDatabaseClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := MultiKeyDatabase(rng, 12, 3)
+	if w.Sigma.Classify() != fd.Keys {
+		t.Fatalf("class = %v, want keys", w.Sigma.Classify())
+	}
+	if w.DB.Len() == 0 {
+		t.Fatal("empty database")
+	}
+}
+
+func TestFDChainDatabaseClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := FDChainDatabase(rng, 10, 3)
+	if w.Sigma.Classify() != fd.GeneralFDs {
+		t.Fatalf("class = %v, want FDs", w.Sigma.Classify())
+	}
+}
+
+func TestIntroExample(t *testing.T) {
+	w := IntroExample()
+	inst := w.Core()
+	if inst.Sigma.Satisfies(w.DB) {
+		t.Fatal("intro example must be inconsistent")
+	}
+	// Three repairs: {Alice}, {Tom}, ∅.
+	if got := inst.CountCandidateRepairs(false); got.Int64() != 3 {
+		t.Fatalf("|CORep| = %v, want 3", got)
+	}
+	// Consistent answers under M^ur: Alice 1/3, Tom 1/3.
+	ans, err := inst.ConsistentAnswers(
+		coreMode(), w.Query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("answers = %v", ans)
+	}
+	for _, a := range ans {
+		if a.Prob.RatString() != "1/3" {
+			t.Fatalf("answer %v prob = %s, want 1/3", a.Tuple, a.Prob.RatString())
+		}
+	}
+}
+
+func TestDataIntegrationMultipleIDs(t *testing.T) {
+	w := DataIntegration([]EmpSource{
+		{"1", "Alice"}, {"1", "Tom"},
+		{"2", "Bob"},
+	})
+	inst := w.Core()
+	// id 2 is clean: Bob survives everywhere. |CORep| = 3 (block of id 1).
+	if got := inst.CountCandidateRepairs(false); got.Int64() != 3 {
+		t.Fatalf("|CORep| = %v, want 3", got)
+	}
+	ans, err := inst.ConsistentAnswers(coreMode(), w.Query, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := map[string]string{}
+	for _, a := range ans {
+		probs[a.Tuple[0]] = a.Prob.RatString()
+	}
+	if probs["Bob"] != "1" {
+		t.Fatalf("Bob prob = %q, want 1", probs["Bob"])
+	}
+	if probs["Alice"] != "1/3" || probs["Tom"] != "1/3" {
+		t.Fatalf("probs = %v", probs)
+	}
+}
+
+func TestUniformBlockSizes(t *testing.T) {
+	spec := UniformBlockSizes(7, 3)
+	rng := rand.New(rand.NewSource(6))
+	w := BlockDatabase(rng, spec)
+	if w.DB.Len() != 21 {
+		t.Fatalf("|D| = %d, want 21", w.DB.Len())
+	}
+}
+
+// coreMode returns the uniform-repairs mode (helper keeps imports tidy).
+func coreMode() core.Mode { return core.Mode{Gen: core.UniformRepairs} }

@@ -1,0 +1,593 @@
+// Package ocqa is the public API of this reproduction of "Uniform
+// Operational Consistent Query Answering" (Calautti, Livshits, Pieris,
+// Schneider; PODS 2022). It answers conjunctive queries over databases
+// that are inconsistent with respect to a set of functional
+// dependencies, under the operational semantics of the paper: a repair
+// is the endpoint of a random walk that keeps applying justified fact
+// deletions until the database is consistent, and an answer's
+// probability is the chance the walk ends in a database entailing it.
+//
+// Three uniform repairing Markov chain generators are supported —
+// uniform repairs (M^ur), uniform sequences (M^us) and uniform
+// operations (M^uo) — each optionally restricted to single-fact
+// deletions (M^{·,1}). Exact probabilities (♯P-hard; rationals) are
+// available at small scale, and polynomial-time randomized
+// approximation is available exactly where the paper proves an FPRAS
+// exists; the approximability matrix is enforced at this API and the
+// returned errors cite the corresponding theorem.
+//
+//	inst, _ := ocqa.NewInstanceFromText("Emp(1,Alice)\nEmp(1,Tom)", "Emp: A1 -> A2")
+//	q, _ := ocqa.ParseQuery("Ans(n) :- Emp(i, n)")
+//	answers, _ := inst.ConsistentAnswers(ocqa.Mode{Gen: ocqa.UniformRepairs}, q, 0)
+package ocqa
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/fpras"
+	"repro/internal/parse"
+	"repro/internal/rel"
+	"repro/internal/sampler"
+)
+
+// Re-exported substrate types. The facade owns the public surface; the
+// internal packages own the algorithms.
+type (
+	// Database is a finite set of facts.
+	Database = rel.Database
+	// Fact is an expression R(c1,...,cn).
+	Fact = rel.Fact
+	// Schema is a finite set of relation names with arities.
+	Schema = rel.Schema
+	// Relation is a relation name with attribute names.
+	Relation = rel.Relation
+	// FD is a functional dependency R: X → Y.
+	FD = fd.FD
+	// FDSet is a finite set Σ of FDs over a schema.
+	FDSet = fd.Set
+	// Query is a conjunctive query.
+	Query = cq.Query
+	// Tuple is a candidate answer tuple.
+	Tuple = cq.Tuple
+	// Generator selects a uniform Markov chain generator.
+	Generator = core.Generator
+	// Mode is a generator plus the singleton-operation restriction.
+	Mode = core.Mode
+	// RepairProb pairs an operational repair with its probability.
+	RepairProb = core.RepairProb
+	// ConsistentAnswer pairs an answer tuple with its probability.
+	ConsistentAnswer = core.ConsistentAnswer
+	// Chain is a fully materialised repairing Markov chain
+	// (Definition 3.5) — exponential; for inspection at small scale.
+	Chain = core.Tree
+	// Subset identifies a sub-database D' ⊆ D by fact indices.
+	Subset = rel.Subset
+	// Op is a D-operation −F (a single- or pair-fact deletion).
+	Op = core.Op
+	// Estimate is a randomized estimate with its (ε,δ) metadata.
+	Estimate = fpras.Estimate
+	// ConstraintClass is the paper's constraint taxonomy: primary keys
+	// ⊂ keys ⊂ FDs.
+	ConstraintClass = fd.Class
+)
+
+// Generator values.
+const (
+	// UniformRepairs is M^ur: uniform over candidate repairs.
+	UniformRepairs = core.UniformRepairs
+	// UniformSequences is M^us: uniform over complete repairing
+	// sequences.
+	UniformSequences = core.UniformSequences
+	// UniformOperations is M^uo: uniform over the operations available
+	// at each step.
+	UniformOperations = core.UniformOperations
+)
+
+// Constraint classes.
+const (
+	// PrimaryKeys: at most one key per relation.
+	PrimaryKeys = fd.PrimaryKeys
+	// Keys: every FD is a key.
+	Keys = fd.Keys
+	// GeneralFDs: arbitrary functional dependencies.
+	GeneralFDs = fd.GeneralFDs
+)
+
+// Convenience re-exports of the text-format parsers.
+var (
+	// ParseDatabase parses a newline-separated fact list, inferring the
+	// schema.
+	ParseDatabase = parse.ParseDatabase
+	// ParseQuery parses "Ans(x) :- R(x,'c'), ...".
+	ParseQuery = parse.ParseQuery
+	// ParseTuple parses "a,b,c".
+	ParseTuple = parse.ParseTuple
+)
+
+// Instance is a database together with its FD set, ready for exact or
+// approximate operational CQA.
+type Instance struct {
+	db    *rel.Database
+	sigma *fd.Set
+	inner *core.Instance
+	class fd.Class
+}
+
+// NewInstance builds an instance from a database and a validated FD set.
+func NewInstance(db *Database, sigma *FDSet) *Instance {
+	return &Instance{
+		db:    db,
+		sigma: sigma,
+		inner: core.NewInstance(db, sigma),
+		class: sigma.Classify(),
+	}
+}
+
+// NewInstanceFromText parses the fact list and FD list (see package
+// parse for the formats) and builds the instance.
+func NewInstanceFromText(factsText, fdsText string) (*Instance, error) {
+	db, sch, err := parse.ParseDatabase(factsText)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: parsing facts: %w", err)
+	}
+	sigma, err := parse.ParseFDs(fdsText, sch)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: parsing FDs: %w", err)
+	}
+	return NewInstance(db, sigma), nil
+}
+
+// DB returns the database.
+func (in *Instance) DB() *Database { return in.db }
+
+// Sigma returns the FD set.
+func (in *Instance) Sigma() *FDSet { return in.sigma }
+
+// Class returns the constraint class of Σ.
+func (in *Instance) Class() ConstraintClass { return in.class }
+
+// IsConsistent reports whether D |= Σ.
+func (in *Instance) IsConsistent() bool { return in.sigma.Satisfies(in.db) }
+
+// Core exposes the underlying exact engine for advanced use (chain
+// construction, predicates over raw repair subsets).
+func (in *Instance) Core() *core.Instance { return in.inner }
+
+// --- Exact computation (♯P-hard; small scale) ----------------------------
+
+// ExactProbability computes P_{M,Q}(D, c̄) exactly as a rational.
+// limit bounds the exponential engines' state budget (0 = unlimited);
+// a core.StateLimitError signals the instance is too large for exact
+// computation.
+func (in *Instance) ExactProbability(mode Mode, q *Query, c Tuple, limit int) (*big.Rat, error) {
+	return in.inner.ExactProbability(mode, q, c, limit)
+}
+
+// Semantics computes the operational semantics [[D]]_M: the exact
+// distribution over operational repairs.
+func (in *Instance) Semantics(mode Mode, limit int) ([]RepairProb, error) {
+	return in.inner.Semantics(mode, limit)
+}
+
+// ConsistentAnswers computes the operational consistent answers to Q
+// over D with exact probabilities.
+func (in *Instance) ConsistentAnswers(mode Mode, q *Query, limit int) ([]ConsistentAnswer, error) {
+	return in.inner.ConsistentAnswers(mode, q, limit)
+}
+
+// RepairOf renders a repair subset as a database.
+func (in *Instance) RepairOf(rp RepairProb) *Database { return in.db.Restrict(rp.Repair) }
+
+// CountRepairs computes |CORep(D,Σ)| (or |CORep^1| with singleton):
+// polynomial-time up to independent-set counting per conflict
+// component; closed-form Π(|B|+1) for primary keys.
+func (in *Instance) CountRepairs(singleton bool) *big.Int {
+	return in.inner.CountCandidateRepairs(singleton)
+}
+
+// CountSequences computes |CRS(D,Σ)| (or |CRS^1|). For primary keys it
+// uses the polynomial-time DP of Lemma C.1; otherwise it falls back to
+// the exponential DAG engine under the given state limit.
+func (in *Instance) CountSequences(singleton bool, limit int) (*big.Int, error) {
+	if in.class == fd.PrimaryKeys {
+		bs, err := sampler.NewBlockSampler(in.inner)
+		if err == nil {
+			return bs.CountSequences(singleton), nil
+		}
+	}
+	return in.inner.CountCRS(singleton, limit)
+}
+
+// BuildChain materialises the repairing Markov chain (Definition 3.5)
+// with at most maxNodes nodes — exponential, for inspection and for the
+// M^ur leaf distribution at small scale.
+func (in *Instance) BuildChain(singleton bool, maxNodes int) (*Chain, error) {
+	return in.inner.BuildTree(singleton, maxNodes)
+}
+
+// --- Approximation (the paper's positive results) -------------------------
+
+// ApproxStatus describes what the paper proves about approximating
+// OCQA for a (mode, constraint class) pair.
+type ApproxStatus int
+
+const (
+	// StatusFPRAS: an FPRAS exists and this library implements it.
+	StatusFPRAS ApproxStatus = iota
+	// StatusHeuristic: an efficient sampler exists but no polynomial
+	// lower bound on positive probabilities, so Monte Carlo estimates
+	// carry no multiplicative guarantee (e.g. M^uo with FDs,
+	// Proposition D.6). Allowed only with Force.
+	StatusHeuristic
+	// StatusOpen: approximability is open and no efficient sampler is
+	// known (e.g. M^us beyond primary keys); refused.
+	StatusOpen
+	// StatusNoFPRAS: the paper refutes an FPRAS under RP ≠ NP (e.g.
+	// M^ur with FDs, Theorem 5.1(3)); refused.
+	StatusNoFPRAS
+)
+
+// String names the status.
+func (s ApproxStatus) String() string {
+	switch s {
+	case StatusFPRAS:
+		return "FPRAS"
+	case StatusHeuristic:
+		return "heuristic (sampler without guarantee)"
+	case StatusOpen:
+		return "open"
+	default:
+		return "no FPRAS (unless RP = NP)"
+	}
+}
+
+// Approximability returns the paper's verdict for the pair, with the
+// citation it rests on.
+func Approximability(mode Mode, class ConstraintClass) (ApproxStatus, string) {
+	switch mode.Gen {
+	case UniformRepairs:
+		switch class {
+		case fd.PrimaryKeys:
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem E.1(2)"
+			}
+			return StatusFPRAS, "Theorem 5.1(2)"
+		case fd.Keys:
+			return StatusOpen, "open (counting repairs has no FPRAS: Proposition 5.5)"
+		default:
+			if mode.Singleton {
+				return StatusNoFPRAS, "Theorem E.1(3)"
+			}
+			return StatusNoFPRAS, "Theorem 5.1(3)"
+		}
+	case UniformSequences:
+		if class == fd.PrimaryKeys {
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem E.8(2)"
+			}
+			return StatusFPRAS, "Theorem 6.1(2)"
+		}
+		return StatusOpen, "open; conjectured no FPRAS (Section 6)"
+	case UniformOperations:
+		switch class {
+		case fd.PrimaryKeys, fd.Keys:
+			return StatusFPRAS, "Theorem 7.1(2)"
+		default:
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem 7.5"
+			}
+			return StatusHeuristic, "open; Monte Carlo fails (Proposition D.6)"
+		}
+	default:
+		panic("ocqa: unknown generator")
+	}
+}
+
+// ApproxOptions configures Approximate.
+type ApproxOptions struct {
+	// Epsilon is the multiplicative error (0 < ε < 1). Default 0.1.
+	Epsilon float64
+	// Delta is the failure probability (0 < δ < 1). Default 0.05.
+	Delta float64
+	// Seed makes runs reproducible. Default 1.
+	Seed int64
+	// UseChernoff selects the fixed-sample-count construction with the
+	// paper's worst-case lower bounds as pmin — faithful to the FPRAS
+	// proofs but often astronomically conservative. The default is the
+	// Dagum–Karp stopping rule, whose cost adapts to the true
+	// probability.
+	UseChernoff bool
+	// UseAA selects the full three-phase Dagum–Karp–Luby–Ross optimal
+	// estimator (reference [8] of the paper), which additionally
+	// exploits low variance — cheaper than the stopping rule when the
+	// target probability is large.
+	UseAA bool
+	// MaxSamples caps the adaptive estimators (default 5,000,000);
+	// ignored with UseChernoff.
+	MaxSamples int
+	// Workers parallelises estimation (default 1). The parallel
+	// stopping rule reproduces the sequential rule's law exactly.
+	Workers int
+	// Force runs the sampler even when the pair's status is
+	// StatusHeuristic (sampler exists, guarantee does not).
+	Force bool
+}
+
+func (o *ApproxOptions) fill() {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.1
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.05
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxSamples == 0 {
+		o.MaxSamples = 5_000_000
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// ErrNotApproximable is wrapped by Approximate's refusals.
+var ErrNotApproximable = errors.New("ocqa: no FPRAS for this generator/constraint pair")
+
+// Approximate estimates P_{M,Q}(D, c̄) by Monte Carlo over the paper's
+// polynomial-time samplers. It refuses (mode, class) pairs whose status
+// is StatusOpen or StatusNoFPRAS, and StatusHeuristic pairs unless
+// opts.Force is set; the error cites the relevant theorem.
+func (in *Instance) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	opts.fill()
+	status, cite := Approximability(mode, in.class)
+	switch status {
+	case StatusFPRAS:
+		// proceed
+	case StatusHeuristic:
+		if !opts.Force {
+			return Estimate{}, fmt.Errorf("%w: %s under %v is %v [%s]; set Force to sample without a guarantee",
+				ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+		}
+	default:
+		return Estimate{}, fmt.Errorf("%w: %s under %v is %v [%s]",
+			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+	}
+
+	// Prefer the witness-image predicate: it avoids materialising a
+	// database per sample in the Monte-Carlo loop.
+	pred, ok := in.inner.WitnessPred(q, c, 0)
+	if !ok {
+		pred = in.inner.EntailPred(q, c)
+	}
+	// Samplers carry per-walk state and internal caches, so each
+	// worker receives its own instance via the factory.
+	var newDraw func() fpras.Sampler
+	switch mode.Gen {
+	case UniformRepairs:
+		if _, err := sampler.NewBlockSampler(in.inner); err != nil {
+			return Estimate{}, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+		}
+		newDraw = func() fpras.Sampler {
+			bs, _ := sampler.NewBlockSampler(in.inner)
+			return func(rng *rand.Rand) bool { return pred(bs.SampleRepair(rng, mode.Singleton)) }
+		}
+	case UniformSequences:
+		// The profile-traceback sampler draws the same uniform CRS
+		// distribution as Algorithm 1 with O(‖D‖) work per sample.
+		ss, err := sampler.NewSequenceSampler(in.inner, mode.Singleton)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+		}
+		newDraw = func() fpras.Sampler {
+			// The sampler's DP tables are immutable after construction
+			// and safe to share; only the rng is per-worker.
+			return func(rng *rand.Rand) bool {
+				_, res := ss.Sample(rng)
+				return pred(res)
+			}
+		}
+	case UniformOperations:
+		newDraw = func() fpras.Sampler {
+			walker := sampler.NewUOWalker(in.inner)
+			return func(rng *rand.Rand) bool {
+				return pred(walker.WalkResult(rng, mode.Singleton))
+			}
+		}
+	}
+
+	switch {
+	case opts.UseChernoff:
+		pmin := in.worstCaseLowerBound(mode, q)
+		if pmin <= 0 {
+			return Estimate{}, fmt.Errorf("ocqa: worst-case lower bound underflows for ‖D‖=%d, ‖Q‖=%d; use the stopping rule", in.db.Len(), q.Size())
+		}
+		return fpras.EstimateFPRAS(newDraw(), opts.Epsilon, opts.Delta, pmin, opts.Seed, opts.Workers), nil
+	case opts.UseAA:
+		return fpras.EstimateAA(newDraw(), opts.Epsilon, opts.Delta, opts.Seed, opts.MaxSamples), nil
+	case opts.Workers > 1:
+		return fpras.EstimateStoppingRuleParallel(newDraw, opts.Epsilon, opts.Delta, opts.Seed, opts.Workers, opts.MaxSamples), nil
+	default:
+		return fpras.EstimateStoppingRule(newDraw(), opts.Epsilon, opts.Delta, opts.Seed, opts.MaxSamples), nil
+	}
+}
+
+// worstCaseLowerBound selects the paper's lower bound on positive
+// target probabilities for the pair (Lemmas 5.3, 6.3, E.3, E.10, D.8).
+// For M^uo under keys the bound of Proposition 7.3 is a polynomial
+// whose degree depends on Σ and Q; the implementation uses the explicit
+// singleton/primary bounds where the paper states them and the D.8 form
+// otherwise (any positive pmin keeps the estimator sound, just
+// conservative).
+func (in *Instance) worstCaseLowerBound(mode Mode, q *Query) float64 {
+	n, k := in.db.Len(), q.Size()
+	switch {
+	case mode.Singleton && in.class == fd.PrimaryKeys:
+		return fpras.LowerBoundSingletonPrimary(n, k)
+	case mode.Singleton:
+		return fpras.LowerBoundSingletonFD(n, k)
+	default:
+		return fpras.LowerBoundRRFreqPrimary(n, k)
+	}
+}
+
+// ApproximateAnswers estimates the probability of every tuple of Q(D)
+// (the superset of all tuples with positive probability, by CQ
+// monotonicity).
+func (in *Instance) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	var out []ApproxAnswer
+	for _, c := range q.Answers(in.db) {
+		e, err := in.Approximate(mode, q, c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ApproxAnswer{Tuple: c, Estimate: e})
+	}
+	return out, nil
+}
+
+// ApproxAnswer pairs an answer tuple with its estimate.
+type ApproxAnswer struct {
+	Tuple    Tuple
+	Estimate Estimate
+}
+
+// --- Weighted chains (the general Definition 3.5 mechanism) ---------------
+
+// WeightFn assigns a positive weight to each available operation at a
+// state; the chain applies operations with probability proportional to
+// weight. See core.WeightFn for the locality requirement.
+type WeightFn = core.WeightFn
+
+// UniformWeights reproduces M^uo.
+var UniformWeights WeightFn = core.UniformWeights
+
+// TrustWeights builds distrust-proportional weights from per-fact
+// reliabilities — the introduction's data-integration story.
+var TrustWeights = core.TrustWeights
+
+// ExactProbabilityWeighted computes P_{M,Q}(D, c̄) exactly under an
+// arbitrary weighted chain (♯P-hard; Theorem 4.1 applies). No FPRAS
+// exists for adversarial weights (Theorem 4.2), so there is no
+// Approximate counterpart with a guarantee; use SampleWeighted on the
+// core instance for heuristic estimation.
+func (in *Instance) ExactProbabilityWeighted(weights WeightFn, singleton bool, q *Query, c Tuple, limit int) (*big.Rat, error) {
+	return in.inner.ProbWeighted(weights, singleton, limit, in.inner.EntailPred(q, c))
+}
+
+// SemanticsWeighted computes the exact repair distribution of a
+// weighted chain.
+func (in *Instance) SemanticsWeighted(weights WeightFn, singleton bool, limit int) ([]RepairProb, error) {
+	return in.inner.SemanticsWeighted(weights, singleton, limit)
+}
+
+// ExplainRepair builds a complete repairing sequence producing the
+// given repair (the constructive content of Lemma 5.4/E.4), rendered
+// against the database's facts; ok is false if the subset is not a
+// candidate repair under the operation space.
+func (in *Instance) ExplainRepair(rp RepairProb, singleton bool) (string, bool) {
+	seq, ok := in.inner.WitnessSequence(rp.Repair, singleton)
+	if !ok {
+		return "", false
+	}
+	return in.inner.SequenceString(seq), true
+}
+
+// --- Fact marginals (per-fact survival probabilities) ---------------------
+
+// FactMarginal pairs a fact with the probability that it survives the
+// repairing process — its confidence score under the operational
+// semantics.
+type FactMarginal struct {
+	Fact Fact
+	Prob *big.Rat
+}
+
+// FactMarginals computes P[f ∈ repair] exactly for every fact of D
+// under the given mode: the repair-distribution is computed once and
+// marginalised, so the cost matches a single Semantics call. Facts in
+// no conflict have probability 1.
+func (in *Instance) FactMarginals(mode Mode, limit int) ([]FactMarginal, error) {
+	sem, err := in.Semantics(mode, limit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FactMarginal, in.db.Len())
+	for i := range out {
+		out[i] = FactMarginal{Fact: in.db.Fact(i), Prob: new(big.Rat)}
+	}
+	for _, rp := range sem {
+		for _, i := range rp.Repair.Indices() {
+			out[i].Prob.Add(out[i].Prob, rp.Prob)
+		}
+	}
+	return out, nil
+}
+
+// ApproximateFactMarginals estimates every fact's survival probability
+// from a single stream of sampled repairs (one Monte-Carlo pass, all
+// facts at once) under the mode's sampler. The per-fact estimates are
+// plain means over opts.MaxSamples draws (default 100,000 here —
+// marginals need no stopping rule since every fact shares the stream);
+// the approximability matrix is enforced as in Approximate.
+func (in *Instance) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
+	opts.fill()
+	status, cite := Approximability(mode, in.class)
+	switch status {
+	case StatusFPRAS:
+	case StatusHeuristic:
+		if !opts.Force {
+			return nil, fmt.Errorf("%w: %s under %v is %v [%s]; set Force to sample without a guarantee",
+				ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %s under %v is %v [%s]",
+			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+	}
+	var drawRepair func(rng *rand.Rand) Subset
+	switch mode.Gen {
+	case UniformRepairs:
+		bs, err := sampler.NewBlockSampler(in.inner)
+		if err != nil {
+			return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+		}
+		drawRepair = func(rng *rand.Rand) Subset { return bs.SampleRepair(rng, mode.Singleton) }
+	case UniformSequences:
+		ss, err := sampler.NewSequenceSampler(in.inner, mode.Singleton)
+		if err != nil {
+			return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+		}
+		drawRepair = func(rng *rand.Rand) Subset {
+			_, res := ss.Sample(rng)
+			return res
+		}
+	case UniformOperations:
+		walker := sampler.NewUOWalker(in.inner)
+		drawRepair = func(rng *rand.Rand) Subset {
+			return walker.WalkResult(rng, mode.Singleton)
+		}
+	}
+	n := opts.MaxSamples
+	if n > 200_000 {
+		n = 100_000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	counts := make([]int, in.db.Len())
+	for i := 0; i < n; i++ {
+		s := drawRepair(rng)
+		for _, idx := range s.Indices() {
+			counts[idx]++
+		}
+	}
+	out := make([]float64, in.db.Len())
+	for i, c := range counts {
+		out[i] = float64(c) / float64(n)
+	}
+	return out, nil
+}
