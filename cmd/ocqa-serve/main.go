@@ -1,0 +1,105 @@
+// Command ocqa-serve runs the concurrent OCQA query service: a
+// long-running HTTP server that registers inconsistent databases once,
+// eagerly prepares their sampler artifacts, and then answers exact and
+// approximate operational-CQA queries — singly or in batches — for any
+// number of concurrent clients.
+//
+// Usage:
+//
+//	ocqa-serve [-addr :8080] [-batch-workers N] [-cache 1024]
+//	           [-timeout 30s] [-exact-limit 2000000]
+//
+// A session against a running server:
+//
+//	curl -s localhost:8080/v1/instances -d '{"facts":"Emp(1,Alice)\nEmp(1,Tom)","fds":"Emp: A1 -> A2"}'
+//	curl -s localhost:8080/v1/instances/i1/query -d '{"generator":"ur","mode":"exact","query":"Ans(n) :- Emp(i, n)"}'
+//	curl -s localhost:8080/varz
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		batchWorkers  = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		cacheSize     = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-query deadline (negative disables)")
+		exactLimit    = flag.Int("exact-limit", 2_000_000, "state-budget cap for the exact engines")
+		sampleCap     = flag.Int("sample-cap", 5_000_000, "Monte-Carlo draw cap per request")
+		maxConcurrent = flag.Int("max-concurrent", 0, "engine computations running at once (0 = 4×GOMAXPROCS)")
+		maxInstances  = flag.Int("max-instances", 1024, "registered-instance cap")
+		maxBatch      = flag.Int("max-batch", 1024, "queries per batch request")
+	)
+	flag.Parse()
+	if err := run(context.Background(), *addr, server.Options{
+		BatchWorkers:         *batchWorkers,
+		CacheSize:            *cacheSize,
+		QueryTimeout:         *timeout,
+		ExactLimit:           *exactLimit,
+		SampleCap:            *sampleCap,
+		MaxConcurrentQueries: *maxConcurrent,
+		MaxInstances:         *maxInstances,
+		MaxBatchQueries:      *maxBatch,
+	}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ocqa-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server on addr and blocks until ctx is cancelled or a
+// termination signal arrives, then drains in-flight requests. If ready
+// is non-nil it receives the bound address once the listener is up
+// (the tests use it with addr ":0").
+func run(ctx context.Context, addr string, opts server.Options, ready chan<- net.Addr) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:           server.New(opts),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("ocqa-serve: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("ocqa-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

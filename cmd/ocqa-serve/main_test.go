@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	ocqa "repro"
+	"repro/internal/server"
+)
+
+// TestServeRegisterQueryShutdown drives the real binary path: listener
+// up, instance registered over HTTP, the same query answered exactly
+// and approximately with values matching the library, then a graceful
+// shutdown.
+func TestServeRegisterQueryShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, "127.0.0.1:0", server.Options{}, ready) }()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr.String()
+	case err := <-errc:
+		t.Fatalf("server did not start: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not start in time")
+	}
+
+	post := func(path string, body, out any) int {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	const (
+		facts = "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)"
+		fds   = "Emp: A1 -> A2"
+		query = "Ans(n) :- Emp(i, n)"
+	)
+	var reg server.RegisterResponse
+	if status := post("/v1/instances", server.RegisterRequest{Facts: facts, FDs: fds}, &reg); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+
+	inst, err := ocqa.NewInstanceFromText(facts, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ocqa.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+
+	var exact server.QueryResponse
+	if status := post("/v1/instances/"+reg.ID+"/query",
+		server.QueryRequest{Generator: "ur", Mode: "exact", Query: query, Tuple: "Bob"}, &exact); status != http.StatusOK {
+		t.Fatalf("exact query: status %d", status)
+	}
+	wantExact, err := inst.ExactProbability(mode, q, ocqa.ParseTuple("Bob"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Answers) != 1 || exact.Answers[0].Prob != wantExact.RatString() {
+		t.Fatalf("exact answer %+v, library says %s", exact.Answers, wantExact.RatString())
+	}
+
+	var approx server.QueryResponse
+	if status := post("/v1/instances/"+reg.ID+"/query",
+		server.QueryRequest{Generator: "ur", Mode: "approx", Query: query, Tuple: "Bob", Seed: 11}, &approx); status != http.StatusOK {
+		t.Fatalf("approx query: status %d", status)
+	}
+	wantEst, err := inst.Prepare().Approximate(mode, q, ocqa.ParseTuple("Bob"), ocqa.ApproxOptions{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Answers) != 1 || approx.Answers[0].Value != wantEst.Value {
+		t.Fatalf("approx answer %+v, library says %+v", approx.Answers, wantEst)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down in time")
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/count"
@@ -28,9 +30,24 @@ import (
 	"repro/internal/rel"
 )
 
+// constructions counts successful DP-table sampler constructions
+// (BlockSampler and SequenceSampler) process-wide. Caching layers use
+// it to verify that prepared samplers are actually reused rather than
+// rebuilt per query.
+var constructions atomic.Int64
+
+// Constructions returns the number of DP-table sampler constructions
+// performed so far in this process.
+func Constructions() int64 { return constructions.Load() }
+
 // BlockSampler holds the block decomposition of a primary-key instance
 // and a cache of |CRS| counts per block-size profile. It provides the
 // repair and sequence samplers that require primary keys.
+//
+// The block decomposition is immutable after construction, so
+// SampleRepair, CountRepairs and Blocks are safe for concurrent use;
+// the |CRS| cache is mutex-guarded, so SampleSequence and
+// CountSequences are safe too — one sampler can serve many goroutines.
 type BlockSampler struct {
 	inst *core.Instance
 	// blocks lists the fact indices of every block with ≥ 2 facts.
@@ -39,6 +56,7 @@ type BlockSampler struct {
 	// blocks and keyless relations).
 	fixed []int
 
+	crsMu    sync.Mutex
 	crsCache map[string]*big.Int
 }
 
@@ -58,6 +76,7 @@ func NewBlockSampler(inst *core.Instance) (*BlockSampler, error) {
 			bs.fixed = append(bs.fixed, b.Indices...)
 		}
 	}
+	constructions.Add(1)
 	return bs, nil
 }
 
@@ -99,6 +118,8 @@ func (bs *BlockSampler) crs(sizes []int, singleton bool) *big.Int {
 		key.WriteString(strconv.Itoa(m))
 	}
 	k := key.String()
+	bs.crsMu.Lock()
+	defer bs.crsMu.Unlock()
 	if v, ok := bs.crsCache[k]; ok {
 		return v
 	}

@@ -27,7 +27,9 @@ import (
 // uniform per-block sequence of the drawn length from the closed-form
 // counts S^{ne,i}_m / S^{e,i}_m, and shuffles a uniform interleaving.
 // The resulting distribution over CRS(D,Σ) is exactly uniform — the
-// tests check it coincides with Algorithm 1's.
+// tests check it coincides with Algorithm 1's. The DP tables are
+// immutable after construction, so Sample and Count are safe for
+// concurrent use; only the rng is per-caller.
 type SequenceSampler struct {
 	inst      *core.Instance
 	singleton bool
@@ -76,6 +78,7 @@ func NewSequenceSampler(inst *core.Instance, singleton bool) (*SequenceSampler, 
 		}
 		ss.u[j+1] = nu
 	}
+	constructions.Add(1)
 	return ss, nil
 }
 

@@ -1,0 +1,195 @@
+package server
+
+// Wire types of the HTTP API. Every request body is JSON; every
+// response is JSON. Exact probabilities travel both as the rational
+// string ("1/3") and as a float; estimates carry their (ε, δ) and
+// sample-count metadata.
+
+// RegisterRequest is the body of POST /v1/instances: a database and an
+// FD set in the text formats of package parse.
+type RegisterRequest struct {
+	// Facts is a newline-separated fact list, e.g. "Emp(1,Alice)".
+	Facts string `json:"facts"`
+	// FDs is a newline-separated FD list, e.g. "Emp: A1 -> A2".
+	FDs string `json:"fds"`
+	// Name optionally labels the instance.
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse describes a registered instance.
+type RegisterResponse struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Facts      int    `json:"facts"`
+	Class      string `json:"class"`
+	Consistent bool   `json:"consistent"`
+	// Prepared reports whether the DP sampler artifacts were built at
+	// registration (true exactly for primary-key instances).
+	Prepared bool `json:"prepared"`
+}
+
+// InstanceInfo is the GET /v1/instances[/{id}] view.
+type InstanceInfo struct {
+	ID         string `json:"id"`
+	Name       string `json:"name,omitempty"`
+	Facts      int    `json:"facts"`
+	Class      string `json:"class"`
+	Consistent bool   `json:"consistent"`
+	Prepared   bool   `json:"prepared"`
+	CreatedAt  string `json:"created_at"`
+}
+
+// QueryRequest drives POST .../query and each element of a batch.
+type QueryRequest struct {
+	// Generator is "ur" (uniform repairs), "us" (uniform sequences) or
+	// "uo" (uniform operations).
+	Generator string `json:"generator"`
+	// Singleton restricts to single-fact deletions (M^{·,1}).
+	Singleton bool `json:"singleton,omitempty"`
+	// Mode is "exact" (♯P engines, state-budget bounded) or "approx"
+	// (the paper's samplers, matrix-enforced).
+	Mode string `json:"mode"`
+	// Query is a conjunctive query, e.g. "Ans(n) :- Emp(i, n)".
+	Query string `json:"query"`
+	// Tuple, when set, asks for that single candidate answer; empty
+	// means every tuple of Q(D). Boolean queries use the empty tuple.
+	Tuple string `json:"tuple,omitempty"`
+	// HasTuple forces single-tuple semantics even for the empty tuple
+	// of a Boolean query.
+	HasTuple bool `json:"has_tuple,omitempty"`
+
+	// Approx parameters (defaults mirror ocqa.ApproxOptions).
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Delta      float64 `json:"delta,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	MaxSamples int     `json:"max_samples,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Force      bool    `json:"force,omitempty"`
+
+	// Limit bounds the exact engines' state budget; it is clamped to
+	// the server's -exact-limit cap (0 means "server cap").
+	Limit int `json:"limit,omitempty"`
+}
+
+// Answer is one tuple with its exact or estimated probability.
+type Answer struct {
+	Tuple []string `json:"tuple"`
+	// Prob is the exact rational ("1/3"); empty for estimates.
+	Prob string `json:"prob,omitempty"`
+	// Value is the probability as a float (exact value or estimate).
+	Value float64 `json:"value"`
+	// Estimate metadata (approx mode only).
+	Samples   int   `json:"samples,omitempty"`
+	Converged *bool `json:"converged,omitempty"`
+}
+
+// QueryResponse is the result of one query execution.
+type QueryResponse struct {
+	Instance  string   `json:"instance"`
+	Generator string   `json:"generator"`
+	Mode      string   `json:"mode"`
+	Query     string   `json:"query"`
+	Answers   []Answer `json:"answers"`
+	// Approximability echoes the matrix verdict with its citation.
+	Approximability string `json:"approximability"`
+	Citation        string `json:"citation"`
+	// Cached is true when the response was served from the result
+	// cache without executing any engine.
+	Cached bool `json:"cached"`
+}
+
+// BatchRequest is the body of POST .../batch.
+type BatchRequest struct {
+	Queries []QueryRequest `json:"queries"`
+}
+
+// BatchResult pairs a batch element (by its request index) with its
+// result or error; Status is the HTTP status the same request would
+// have received at the query endpoint.
+type BatchResult struct {
+	Index  int            `json:"index"`
+	Status int            `json:"status"`
+	Result *QueryResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// BatchResponse lists the results in request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// CountRequest is the body of POST .../repairs/count.
+type CountRequest struct {
+	// Singleton selects |CORep^1| / |CRS^1|.
+	Singleton bool `json:"singleton,omitempty"`
+	// Sequences counts complete repairing sequences (|CRS|) instead of
+	// candidate repairs (|CORep|).
+	Sequences bool `json:"sequences,omitempty"`
+	// Limit bounds the exponential fallback for non-primary-key CRS
+	// counting (clamped to the server cap).
+	Limit int `json:"limit,omitempty"`
+}
+
+// CountResponse carries the (possibly astronomically large) count as a
+// decimal string.
+type CountResponse struct {
+	Count     string `json:"count"`
+	Singleton bool   `json:"singleton"`
+	Sequences bool   `json:"sequences"`
+}
+
+// MarginalsRequest is the body of POST .../marginals.
+type MarginalsRequest struct {
+	Generator string `json:"generator"`
+	Singleton bool   `json:"singleton,omitempty"`
+	// Mode is "exact" or "approx".
+	Mode string `json:"mode"`
+	// Exact state budget (clamped to the server cap).
+	Limit int `json:"limit,omitempty"`
+	// Approx parameters; MaxSamples is the exact draw count
+	// (default 100,000).
+	Seed       int64 `json:"seed,omitempty"`
+	MaxSamples int   `json:"max_samples,omitempty"`
+	Force      bool  `json:"force,omitempty"`
+}
+
+// FactMarginal is one fact's survival probability.
+type FactMarginal struct {
+	Fact  string  `json:"fact"`
+	Prob  string  `json:"prob,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// MarginalsResponse lists per-fact marginals in database fact order.
+type MarginalsResponse struct {
+	Instance  string         `json:"instance"`
+	Generator string         `json:"generator"`
+	Mode      string         `json:"mode"`
+	Marginals []FactMarginal `json:"marginals"`
+}
+
+// SemanticsRequest is the body of POST .../semantics.
+type SemanticsRequest struct {
+	Generator string `json:"generator"`
+	Singleton bool   `json:"singleton,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+}
+
+// RepairEntry is one operational repair with its probability.
+type RepairEntry struct {
+	Facts []string `json:"facts"`
+	Prob  string   `json:"prob"`
+	Value float64  `json:"value"`
+}
+
+// SemanticsResponse is the exact distribution [[D]]_M over repairs.
+type SemanticsResponse struct {
+	Instance  string        `json:"instance"`
+	Generator string        `json:"generator"`
+	Repairs   []RepairEntry `json:"repairs"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// handleBatch fans a list of queries out over the server's bounded
+// worker pool and returns the results in request order. Each element
+// runs the exact same path as the query endpoint — the result cache
+// and the approximability refusals included — so worker scheduling
+// cannot change a result: every engine is deterministic in the
+// request's seed and the results array is indexed by request
+// position. The one deliberate difference from issuing queries
+// individually is the deadline: the whole batch shares a single
+// QueryTimeout budget (so abandoned work stays bounded by the pool),
+// which means elements of a very slow batch can 504 where standalone
+// queries would have succeeded.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req BatchRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, badRequest("empty batch: \"queries\" must contain at least one query"))
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatchQueries {
+		s.writeError(w, badRequest("batch of %d queries exceeds the limit of %d", len(req.Queries), s.opts.MaxBatchQueries))
+		return
+	}
+	s.counters.batchRequests.Add(1)
+
+	// The whole batch shares one deadline budget: once it expires (or
+	// the client disconnects), runWithDeadline stops spawning work for
+	// the remaining elements, so abandoned computations never exceed
+	// the worker pool size.
+	ctx := r.Context()
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+
+	results := make([]BatchResult, len(req.Queries))
+	jobs := make(chan int)
+	workers := s.opts.BatchWorkers
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, he := runWithDeadline(s, ctx, func() (QueryResponse, *httpError) {
+					return s.executeQuery(e, req.Queries[i])
+				})
+				if he != nil {
+					s.recordFailure(he)
+					results[i] = BatchResult{Index: i, Status: he.status, Error: he.msg}
+					continue
+				}
+				results[i] = BatchResult{Index: i, Status: http.StatusOK, Result: &resp}
+			}
+		}()
+	}
+	for i := range req.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// resultCache is a bounded LRU over finished query responses, keyed by
+// the full identity of the computation — instance, generator,
+// operation space, mode, query text, tuple, and every parameter that
+// changes the answer (ε, δ, seed, sample cap, worker count, force
+// flag, state budget). Every engine in the library is deterministic
+// given that key, so a hit is exactly the response the engine would
+// recompute.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key  string
+	resp QueryResponse
+}
+
+// newResultCache returns a cache holding at most capacity entries;
+// capacity <= 0 disables caching (every lookup misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// cacheKey joins the identity fields NUL-separated; the instance ID is
+// first so invalidate can match by prefix.
+func cacheKey(instanceID string, fields ...string) string {
+	return instanceID + "\x00" + strings.Join(fields, "\x00")
+}
+
+// get returns a copy of the cached response, marked Cached.
+func (c *resultCache) get(key string) (QueryResponse, bool) {
+	if c.cap <= 0 {
+		return QueryResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return QueryResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	resp := el.Value.(*cacheItem).resp
+	resp.Cached = true
+	return resp, true
+}
+
+func (c *resultCache) put(key string, resp QueryResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	resp.Cached = false
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// invalidate drops every entry belonging to the instance (called when
+// the instance is deregistered).
+func (c *resultCache) invalidate(instanceID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := instanceID + "\x00"
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if it := el.Value.(*cacheItem); strings.HasPrefix(it.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+		}
+		el = next
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func respFor(id string) QueryResponse {
+	return QueryResponse{Instance: id, Query: "Ans()"}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put(cacheKey("i1", "a"), respFor("i1"))
+	c.put(cacheKey("i1", "b"), respFor("i1"))
+	// Touch "a" so "b" is the eviction victim.
+	if _, ok := c.get(cacheKey("i1", "a")); !ok {
+		t.Fatal("a missing")
+	}
+	c.put(cacheKey("i1", "c"), respFor("i1"))
+	if _, ok := c.get(cacheKey("i1", "b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get(cacheKey("i1", "a")); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.get(cacheKey("i1", "c")); !ok {
+		t.Fatal("c should be present")
+	}
+}
+
+func TestCacheMarksResponsesCached(t *testing.T) {
+	c := newResultCache(4)
+	c.put(cacheKey("i1", "a"), respFor("i1"))
+	got, ok := c.get(cacheKey("i1", "a"))
+	if !ok || !got.Cached {
+		t.Fatalf("get = %+v, %v; want Cached=true", got, ok)
+	}
+}
+
+func TestCacheInvalidateByInstance(t *testing.T) {
+	c := newResultCache(8)
+	c.put(cacheKey("i1", "a"), respFor("i1"))
+	c.put(cacheKey("i2", "a"), respFor("i2"))
+	c.put(cacheKey("i1", "b"), respFor("i1"))
+	// "i1" must not match "i10": the key separator prevents it.
+	c.put(cacheKey("i10", "a"), respFor("i10"))
+
+	c.invalidate("i1")
+	if _, ok := c.get(cacheKey("i1", "a")); ok {
+		t.Fatal("i1/a should be gone")
+	}
+	if _, ok := c.get(cacheKey("i1", "b")); ok {
+		t.Fatal("i1/b should be gone")
+	}
+	if _, ok := c.get(cacheKey("i2", "a")); !ok {
+		t.Fatal("i2/a should survive")
+	}
+	if _, ok := c.get(cacheKey("i10", "a")); !ok {
+		t.Fatal("i10/a should survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put(cacheKey("i1", "a"), respFor("i1"))
+	if _, ok := c.get(cacheKey("i1", "a")); ok {
+		t.Fatal("disabled cache must never hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := cacheKey("i1", fmt.Sprint(i%32))
+				if i%2 == 0 {
+					c.put(k, respFor("i1"))
+				} else {
+					c.get(k)
+				}
+				if i%50 == 0 {
+					c.invalidate("i2")
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

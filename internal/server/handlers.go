@@ -1,0 +1,469 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	ocqa "repro"
+)
+
+// --- registry lifecycle ---------------------------------------------------
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	if req.Facts == "" {
+		s.writeError(w, badRequest("empty \"facts\": at least one fact is required"))
+		return
+	}
+	// Parsing and eager preparation are engine work like any query, so
+	// they run under the same deadline and compute semaphore. A 504
+	// here abandons the registration from the client's view; the
+	// background goroutine may still complete it, in which case the
+	// instance is discoverable via GET /v1/instances.
+	resp, he := runWithDeadline(s, r.Context(), func() (RegisterResponse, *httpError) {
+		inst, err := ocqa.NewInstanceFromText(req.Facts, req.FDs)
+		if err != nil {
+			return RegisterResponse{}, badRequest("%v", err)
+		}
+		e := s.reg.add(req.Name, inst, time.Now())
+		if e == nil {
+			return RegisterResponse{}, &httpError{http.StatusTooManyRequests,
+				fmt.Sprintf("instance registry is full (%d); delete instances or raise -max-instances", s.opts.MaxInstances)}
+		}
+		s.counters.registered.Add(1)
+		info := e.info()
+		return RegisterResponse{
+			ID:         e.id,
+			Name:       e.name,
+			Facts:      info.Facts,
+			Class:      info.Class,
+			Consistent: info.Consistent,
+			Prepared:   info.Prepared,
+		}, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := make([]InstanceInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.info())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*instanceEntry, bool) {
+	id := r.PathValue("id")
+	e, ok := s.reg.get(id)
+	if !ok {
+		s.writeError(w, &httpError{http.StatusNotFound, "unknown instance " + strconv.Quote(id)})
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.remove(id) {
+		s.writeError(w, &httpError{http.StatusNotFound, "unknown instance " + strconv.Quote(id)})
+		return
+	}
+	s.cache.invalidate(id)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
+}
+
+// --- query execution ------------------------------------------------------
+
+// parseGenerator maps the wire name to a Mode.
+func parseGenerator(name string, singleton bool) (ocqa.Mode, *httpError) {
+	var gen ocqa.Generator
+	switch name {
+	case "ur":
+		gen = ocqa.UniformRepairs
+	case "us":
+		gen = ocqa.UniformSequences
+	case "uo":
+		gen = ocqa.UniformOperations
+	default:
+		return ocqa.Mode{}, badRequest("unknown generator %q (want \"ur\", \"us\" or \"uo\")", name)
+	}
+	return ocqa.Mode{Gen: gen, Singleton: singleton}, nil
+}
+
+// normalizeQuery canonicalises the request so every wording of the
+// same computation produces the same cache key: defaults are filled
+// in, the state budget is clamped, and parameters the selected mode
+// ignores are zeroed (an exact answer doesn't depend on ε or the
+// seed; an estimate doesn't depend on the exact state budget).
+func (s *Server) normalizeQuery(req *QueryRequest) {
+	switch req.Mode {
+	case "exact":
+		req.Epsilon, req.Delta, req.Seed = 0, 0, 0
+		req.MaxSamples, req.Workers, req.Force = 0, 0, false
+		req.Limit = s.clampLimit(req.Limit)
+	case "approx":
+		if req.Epsilon == 0 {
+			req.Epsilon = 0.1
+		}
+		if req.Delta == 0 {
+			req.Delta = 0.05
+		}
+		if req.Seed == 0 {
+			req.Seed = 1
+		}
+		// Per-query estimator parallelism is bounded by the same pool
+		// size that bounds batches; an unbounded client value would
+		// spawn that many goroutines inside fpras.
+		if req.Workers < 1 {
+			req.Workers = 1
+		}
+		if req.Workers > s.opts.BatchWorkers {
+			req.Workers = s.opts.BatchWorkers
+		}
+		req.MaxSamples = s.clampSamples(req.MaxSamples)
+		req.Limit = 0
+	}
+}
+
+// validateApproxParams rejects (ε, δ) outside (0, 1) before they reach
+// the fpras estimators, whose parameter checks panic. Zero means "use
+// the default" and is allowed.
+func validateApproxParams(req *QueryRequest) *httpError {
+	if req.Epsilon != 0 && !(req.Epsilon > 0 && req.Epsilon < 1) {
+		return badRequest("epsilon must lie in (0,1), got %v", req.Epsilon)
+	}
+	if req.Delta != 0 && !(req.Delta > 0 && req.Delta < 1) {
+		return badRequest("delta must lie in (0,1), got %v", req.Delta)
+	}
+	return nil
+}
+
+func boolField(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// queryCacheKey captures the full identity of the computation.
+func (s *Server) queryCacheKey(id string, req QueryRequest) string {
+	return cacheKey(id,
+		"query", req.Generator, boolField(req.Singleton), req.Mode,
+		req.Query, req.Tuple, boolField(req.HasTuple),
+		strconv.FormatFloat(req.Epsilon, 'g', -1, 64),
+		strconv.FormatFloat(req.Delta, 'g', -1, 64),
+		strconv.FormatInt(req.Seed, 10),
+		strconv.Itoa(req.MaxSamples),
+		strconv.Itoa(req.Workers),
+		boolField(req.Force),
+		strconv.Itoa(req.Limit),
+	)
+}
+
+// executeQuery runs one QueryRequest against a registered instance:
+// the shared path behind the query endpoint and every batch element.
+// The instance's prepared samplers make it construction-free; results
+// land in (and are first looked up from) the LRU cache.
+func (s *Server) executeQuery(e *instanceEntry, req QueryRequest) (QueryResponse, *httpError) {
+	m, he := parseGenerator(req.Generator, req.Singleton)
+	if he != nil {
+		return QueryResponse{}, he
+	}
+	if req.Mode != "exact" && req.Mode != "approx" {
+		return QueryResponse{}, badRequest("unknown mode %q (want \"exact\" or \"approx\")", req.Mode)
+	}
+	if req.Mode == "approx" {
+		if he := validateApproxParams(&req); he != nil {
+			return QueryResponse{}, he
+		}
+	}
+	q, err := ocqa.ParseQuery(req.Query)
+	if err != nil {
+		return QueryResponse{}, badRequest("%v", err)
+	}
+	// Key by the canonical renderings, not the request spelling, so
+	// whitespace variants of the same query share a cache entry.
+	req.Query = q.String()
+	c := ocqa.ParseTuple(req.Tuple)
+	req.Tuple = strings.Join(c, ",")
+	s.normalizeQuery(&req)
+	key := s.queryCacheKey(e.id, req)
+	if resp, ok := s.cache.get(key); ok {
+		s.counters.cacheHits.Add(1)
+		s.counters.queriesServed.Add(1)
+		return resp, nil
+	}
+	s.counters.cacheMisses.Add(1)
+
+	p := e.prepared
+	status, cite := ocqa.Approximability(m, p.Class())
+	resp := QueryResponse{
+		Instance:        e.id,
+		Generator:       m.Symbol(),
+		Mode:            req.Mode,
+		Query:           q.String(),
+		Approximability: status.String(),
+		Citation:        cite,
+	}
+	// Single-tuple semantics mirror the CLI: an explicit tuple, or a
+	// Boolean query (whose only candidate is the empty tuple).
+	single := req.HasTuple || req.Tuple != "" || q.IsBoolean()
+	if single && len(c) != len(q.AnswerVars) {
+		// An arity-mismatched tuple would otherwise become a
+		// constant-false predicate that burns the full sample budget
+		// estimating 0.
+		return QueryResponse{}, badRequest("tuple %v has %d values but %s has %d answer variables",
+			c, len(c), q, len(q.AnswerVars))
+	}
+
+	switch req.Mode {
+	case "exact":
+		s.counters.exactQueries.Add(1)
+		limit := req.Limit // already clamped by normalizeQuery
+		if single {
+			prob, err := p.ExactProbability(m, q, c, limit)
+			if err != nil {
+				return QueryResponse{}, toHTTPError(err)
+			}
+			f, _ := prob.Float64()
+			resp.Answers = []Answer{{Tuple: tupleJSON(c), Prob: prob.RatString(), Value: f}}
+		} else {
+			answers, err := p.ConsistentAnswers(m, q, limit)
+			if err != nil {
+				return QueryResponse{}, toHTTPError(err)
+			}
+			resp.Answers = make([]Answer, 0, len(answers))
+			for _, a := range answers {
+				f, _ := a.Prob.Float64()
+				resp.Answers = append(resp.Answers, Answer{Tuple: tupleJSON(a.Tuple), Prob: a.Prob.RatString(), Value: f})
+			}
+		}
+	case "approx":
+		s.counters.approxQueries.Add(1)
+		opts := ocqa.ApproxOptions{
+			Epsilon:    req.Epsilon,
+			Delta:      req.Delta,
+			Seed:       req.Seed,
+			MaxSamples: req.MaxSamples,
+			Workers:    req.Workers,
+			Force:      req.Force,
+		}
+		if single {
+			est, err := p.Approximate(m, q, c, opts)
+			if err != nil {
+				return QueryResponse{}, toHTTPError(err)
+			}
+			s.counters.sampleDraws.Add(int64(est.Samples))
+			conv := est.Converged
+			resp.Answers = []Answer{{Tuple: tupleJSON(c), Value: est.Value, Samples: est.Samples, Converged: &conv}}
+		} else {
+			answers, err := p.ApproximateAnswers(m, q, opts)
+			if err != nil {
+				return QueryResponse{}, toHTTPError(err)
+			}
+			resp.Answers = make([]Answer, 0, len(answers))
+			for _, a := range answers {
+				s.counters.sampleDraws.Add(int64(a.Estimate.Samples))
+				conv := a.Estimate.Converged
+				resp.Answers = append(resp.Answers, Answer{Tuple: tupleJSON(a.Tuple), Value: a.Estimate.Value, Samples: a.Estimate.Samples, Converged: &conv})
+			}
+		}
+	}
+	s.counters.queriesServed.Add(1)
+	// Best-effort guard against caching for an instance deregistered
+	// mid-query (the entry would be unreachable, since IDs are never
+	// reused). A delete landing between this check and the put can
+	// still slip one in; the stray entry is bounded — it occupies one
+	// LRU slot until capacity eviction.
+	if _, ok := s.reg.get(e.id); ok {
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// tupleJSON renders a tuple as a non-nil string slice.
+func tupleJSON(c ocqa.Tuple) []string {
+	out := make([]string, len(c))
+	copy(out, c)
+	return out
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req QueryRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	resp, he := runWithDeadline(s, r.Context(), func() (QueryResponse, *httpError) {
+		return s.executeQuery(e, req)
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- counting, marginals, semantics ---------------------------------------
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req CountRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	resp, he := runWithDeadline(s, r.Context(), func() (CountResponse, *httpError) {
+		p := e.prepared
+		if req.Sequences {
+			n, err := p.CountSequences(req.Singleton, s.clampLimit(req.Limit))
+			if err != nil {
+				return CountResponse{}, toHTTPError(err)
+			}
+			return CountResponse{Count: n.String(), Singleton: req.Singleton, Sequences: true}, nil
+		}
+		return CountResponse{Count: p.CountRepairs(req.Singleton).String(), Singleton: req.Singleton}, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	s.counters.queriesServed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req MarginalsRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	m, he := parseGenerator(req.Generator, req.Singleton)
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	resp, he := runWithDeadline(s, r.Context(), func() (MarginalsResponse, *httpError) {
+		p := e.prepared
+		resp := MarginalsResponse{Instance: e.id, Generator: m.Symbol(), Mode: req.Mode}
+		db := p.DB()
+		switch req.Mode {
+		case "exact":
+			marginals, err := p.FactMarginals(m, s.clampLimit(req.Limit))
+			if err != nil {
+				return MarginalsResponse{}, toHTTPError(err)
+			}
+			resp.Marginals = make([]FactMarginal, 0, len(marginals))
+			for _, fm := range marginals {
+				f, _ := fm.Prob.Float64()
+				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: fm.Fact.String(), Prob: fm.Prob.RatString(), Value: f})
+			}
+		case "approx":
+			seed := req.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			draws := req.MaxSamples
+			if draws <= 0 {
+				draws = 100_000
+			}
+			draws = s.clampSamples(draws)
+			vals, err := p.ApproximateFactMarginals(m, ocqa.ApproxOptions{
+				Seed:       seed,
+				MaxSamples: draws,
+				Force:      req.Force,
+			})
+			if err != nil {
+				return MarginalsResponse{}, toHTTPError(err)
+			}
+			s.counters.sampleDraws.Add(int64(draws))
+			resp.Marginals = make([]FactMarginal, 0, len(vals))
+			for i, v := range vals {
+				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: db.Fact(i).String(), Value: v})
+			}
+		default:
+			return MarginalsResponse{}, badRequest("unknown mode %q (want \"exact\" or \"approx\")", req.Mode)
+		}
+		return resp, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	s.counters.queriesServed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSemantics(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SemanticsRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	m, he := parseGenerator(req.Generator, req.Singleton)
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	resp, he := runWithDeadline(s, r.Context(), func() (SemanticsResponse, *httpError) {
+		p := e.prepared
+		sem, err := p.Semantics(m, s.clampLimit(req.Limit))
+		if err != nil {
+			return SemanticsResponse{}, toHTTPError(err)
+		}
+		resp := SemanticsResponse{Instance: e.id, Generator: m.Symbol()}
+		resp.Repairs = make([]RepairEntry, 0, len(sem))
+		for _, rp := range sem {
+			repair := p.RepairOf(rp)
+			facts := make([]string, 0, repair.Len())
+			for _, f := range repair.Facts() {
+				facts = append(facts, f.String())
+			}
+			f, _ := rp.Prob.Float64()
+			resp.Repairs = append(resp.Repairs, RepairEntry{Facts: facts, Prob: rp.Prob.RatString(), Value: f})
+		}
+		return resp, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	s.counters.queriesServed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sampler"
+)
+
+// counters are the server's expvar-style operational counters, all
+// lock-free and safe under concurrent handlers. They are exposed as
+// JSON at GET /varz.
+type counters struct {
+	queriesServed atomic.Int64
+	exactQueries  atomic.Int64
+	approxQueries atomic.Int64
+	batchRequests atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	refusals      atomic.Int64
+	timeouts      atomic.Int64
+	errors        atomic.Int64
+	sampleDraws   atomic.Int64
+	registered    atomic.Int64
+}
+
+// varz is the JSON shape of GET /varz.
+type varz struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Instances     int     `json:"instances"`
+	CacheEntries  int     `json:"cache_entries"`
+
+	QueriesServed int64 `json:"queries_served"`
+	ExactQueries  int64 `json:"exact_queries"`
+	ApproxQueries int64 `json:"approx_queries"`
+	BatchRequests int64 `json:"batch_requests"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Refusals      int64 `json:"refusals"`
+	Timeouts      int64 `json:"timeouts"`
+	Errors        int64 `json:"errors"`
+	// SampleDraws totals the Monte-Carlo draws consumed by approx
+	// queries and marginals.
+	SampleDraws int64 `json:"sample_draws"`
+	// InstancesRegistered counts registrations over the server's
+	// lifetime (deletions do not decrement it).
+	InstancesRegistered int64 `json:"instances_registered"`
+	// SamplerConstructions counts DP-table sampler constructions
+	// process-wide; with prepared instances it moves at registration
+	// time only, never per query.
+	SamplerConstructions int64 `json:"sampler_constructions"`
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	v := varz{
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		Instances:            s.reg.len(),
+		CacheEntries:         s.cache.len(),
+		QueriesServed:        s.counters.queriesServed.Load(),
+		ExactQueries:         s.counters.exactQueries.Load(),
+		ApproxQueries:        s.counters.approxQueries.Load(),
+		BatchRequests:        s.counters.batchRequests.Load(),
+		CacheHits:            s.counters.cacheHits.Load(),
+		CacheMisses:          s.counters.cacheMisses.Load(),
+		Refusals:             s.counters.refusals.Load(),
+		Timeouts:             s.counters.timeouts.Load(),
+		Errors:               s.counters.errors.Load(),
+		SampleDraws:          s.counters.sampleDraws.Load(),
+		InstancesRegistered:  s.counters.registered.Load(),
+		SamplerConstructions: sampler.Constructions(),
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	ocqa "repro"
+)
+
+// instanceEntry is one registered instance: the prepared artifacts
+// (conflict structure, block decomposition, sequence-sampler DP
+// tables, constraint class) built once at registration and shared —
+// read-only — by every query that names the instance.
+type instanceEntry struct {
+	id       string
+	name     string
+	prepared *ocqa.Prepared
+	created  time.Time
+}
+
+func (e *instanceEntry) info() InstanceInfo {
+	in := e.prepared.Instance
+	return InstanceInfo{
+		ID:         e.id,
+		Name:       e.name,
+		Facts:      in.DB().Len(),
+		Class:      in.Class().String(),
+		Consistent: in.IsConsistent(),
+		Prepared:   in.Class() == ocqa.PrimaryKeys,
+		CreatedAt:  e.created.UTC().Format(time.RFC3339),
+	}
+}
+
+// registry maps instance IDs to prepared instances behind an RWMutex:
+// registration and removal take the write lock; the (vastly more
+// frequent) per-query lookups share the read lock. cap bounds the
+// number of live instances (each holds a database plus DP tables).
+type registry struct {
+	mu      sync.RWMutex
+	cap     int
+	seq     int
+	entries map[string]*instanceEntry
+}
+
+func newRegistry(capacity int) *registry {
+	return &registry{cap: capacity, entries: make(map[string]*instanceEntry)}
+}
+
+// add prepares the instance eagerly and registers it under a fresh ID;
+// it returns nil when the registry is at capacity.
+func (r *registry) add(name string, inst *ocqa.Instance, now time.Time) *instanceEntry {
+	// Preparation happens outside the lock on purpose: DP-table
+	// construction is the expensive part and must not block lookups.
+	prepared := inst.Prepare()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) >= r.cap {
+		return nil
+	}
+	r.seq++
+	e := &instanceEntry{
+		id:       fmt.Sprintf("i%d", r.seq),
+		name:     name,
+		prepared: prepared,
+		created:  now,
+	}
+	r.entries[e.id] = e
+	return e
+}
+
+func (r *registry) get(id string) (*instanceEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[id]
+	return e, ok
+}
+
+func (r *registry) remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok {
+		return false
+	}
+	delete(r.entries, id)
+	return true
+}
+
+func (r *registry) list() []*instanceEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*instanceEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].created.Before(out[j].created) || out[i].created.Equal(out[j].created) && out[i].id < out[j].id
+	})
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,325 @@
+// Package server is the concurrent OCQA query service: a long-running
+// HTTP layer over the ocqa facade that amortizes the expensive
+// per-instance artifacts (conflict structure, block decomposition,
+// sequence-sampler DP tables) across many queries and many concurrent
+// clients.
+//
+// Endpoints (all request/response bodies are JSON):
+//
+//	POST   /v1/instances                      register a database + FD set
+//	GET    /v1/instances                      list registered instances
+//	GET    /v1/instances/{id}                 inspect one instance
+//	DELETE /v1/instances/{id}                 deregister (and drop cached results)
+//	POST   /v1/instances/{id}/query           exact or approximate OCQA
+//	POST   /v1/instances/{id}/batch           N queries over a bounded worker pool
+//	POST   /v1/instances/{id}/repairs/count   |CORep| / |CRS| (and ^1 variants)
+//	POST   /v1/instances/{id}/marginals       per-fact survival probabilities
+//	POST   /v1/instances/{id}/semantics       the exact repair distribution [[D]]_M
+//	GET    /healthz                           liveness
+//	GET    /varz                              operational counters
+//
+// Registration eagerly prepares the instance (ocqa.Prepare), so every
+// subsequent query — including thousands running concurrently —
+// performs zero sampler constructions. The approximability matrix is
+// enforced exactly as in the library: a (generator, constraint-class)
+// pair without an FPRAS is refused with HTTP 422 and the error cites
+// the paper's theorem. Repeated identical queries are served from a
+// bounded LRU result cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	ocqa "repro"
+	"repro/internal/core"
+)
+
+// Options configures a Server.
+type Options struct {
+	// BatchWorkers bounds the worker pool a batch request fans out
+	// over. Default: GOMAXPROCS.
+	BatchWorkers int
+	// CacheSize bounds the LRU result cache (entries). 0 picks the
+	// default of 1024; negative disables caching.
+	CacheSize int
+	// QueryTimeout bounds each query execution; expired queries return
+	// HTTP 504. 0 picks the default of 30s; negative disables the
+	// deadline.
+	QueryTimeout time.Duration
+	// ExactLimit caps the exact engines' state budget per query
+	// (requests may ask for less, never more). Default: 2,000,000.
+	ExactLimit int
+	// MaxBodyBytes caps request bodies (a registration carries a whole
+	// database). Default: 16 MiB.
+	MaxBodyBytes int64
+	// MaxBatchQueries caps the number of elements one batch request
+	// may carry. Default: 1024.
+	MaxBatchQueries int
+	// SampleCap caps the Monte-Carlo draw budget a single request may
+	// demand (query MaxSamples and marginals draw counts). Default:
+	// 5,000,000 (the library's own estimator default).
+	SampleCap int
+	// MaxConcurrentQueries bounds engine computations running at once
+	// across all endpoints — including computations already abandoned
+	// by a 504, so a retrying client cannot stack unbounded work.
+	// Worst-case sampling goroutines are MaxConcurrentQueries ×
+	// min(request workers, BatchWorkers); lower either knob to shrink
+	// that product. Default: 4 × GOMAXPROCS.
+	MaxConcurrentQueries int
+	// MaxInstances bounds the registry (each instance permanently
+	// holds its database, conflict structure and DP tables until
+	// deleted). Registrations beyond it are refused with 429.
+	// Default: 1024.
+	MaxInstances int
+}
+
+func (o *Options) fill() {
+	if o.BatchWorkers <= 0 {
+		o.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case o.CacheSize == 0:
+		o.CacheSize = 1024
+	case o.CacheSize < 0:
+		o.CacheSize = 0
+	}
+	switch {
+	case o.QueryTimeout == 0:
+		o.QueryTimeout = 30 * time.Second
+	case o.QueryTimeout < 0:
+		o.QueryTimeout = 0
+	}
+	if o.ExactLimit <= 0 {
+		o.ExactLimit = 2_000_000
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	if o.MaxBatchQueries <= 0 {
+		o.MaxBatchQueries = 1024
+	}
+	if o.SampleCap <= 0 {
+		o.SampleCap = 5_000_000
+	}
+	if o.MaxConcurrentQueries <= 0 {
+		o.MaxConcurrentQueries = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInstances <= 0 {
+		o.MaxInstances = 1024
+	}
+}
+
+// Server is the HTTP handler. Create with New; it is safe for
+// concurrent use by any number of clients.
+type Server struct {
+	opts     Options
+	reg      *registry
+	cache    *resultCache
+	counters counters
+	start    time.Time
+	mux      *http.ServeMux
+	// compute is the server-wide semaphore every engine computation
+	// holds while running; see Options.MaxConcurrentQueries.
+	compute chan struct{}
+}
+
+// New builds a Server with its routes installed.
+func New(opts Options) *Server {
+	opts.fill()
+	s := &Server{
+		opts:    opts,
+		reg:     newRegistry(opts.MaxInstances),
+		cache:   newResultCache(opts.CacheSize),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+		compute: make(chan struct{}, opts.MaxConcurrentQueries),
+	}
+	s.mux.HandleFunc("POST /v1/instances", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/instances", s.handleList)
+	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/instances/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/instances/{id}/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/instances/{id}/repairs/count", s.handleCount)
+	s.mux.HandleFunc("POST /v1/instances/{id}/marginals", s.handleMarginals)
+	s.mux.HandleFunc("POST /v1/instances/{id}/semantics", s.handleSemantics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is an error with the HTTP status it should surface as.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// toHTTPError classifies a library error: approximability refusals are
+// client errors (422, theorem citation preserved), state-budget
+// exhaustion asks the client to switch to sampling, anything else is a
+// 500.
+func toHTTPError(err error) *httpError {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he
+	}
+	if errors.Is(err, ocqa.ErrNotApproximable) {
+		return &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	var sl core.StateLimitError
+	if errors.As(err, &sl) {
+		return &httpError{http.StatusUnprocessableEntity,
+			fmt.Sprintf("exact engine exceeded its state budget (%v); raise limit or use mode \"approx\"", err)}
+	}
+	return &httpError{http.StatusInternalServerError, err.Error()}
+}
+
+// recordFailure bumps the counter matching the failure class.
+func (s *Server) recordFailure(he *httpError) {
+	switch he.status {
+	case http.StatusUnprocessableEntity:
+		s.counters.refusals.Add(1)
+	case http.StatusGatewayTimeout:
+		s.counters.timeouts.Add(1)
+	case statusClientClosedRequest:
+		// The client is gone; neither a server error nor a timeout.
+	default:
+		s.counters.errors.Add(1)
+	}
+}
+
+// writeError renders the uniform error body and bumps the counters.
+func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
+	s.recordFailure(he)
+	writeJSON(w, he.status, errorResponse{Error: he.msg})
+}
+
+// decodeJSON strictly decodes the body-size-capped request body into v.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) *httpError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)}
+		}
+		return badRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response"; nothing is written to the wire, the code
+// only classifies the failure internally.
+const statusClientClosedRequest = 499
+
+// classifyCtxErr maps a finished parent context to the failure it
+// represents: an expired deadline (batch budget spent) is a 504, a
+// cancellation is a vanished client.
+func (s *Server) classifyCtxErr(err error) *httpError {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &httpError{http.StatusGatewayTimeout,
+			fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout)}
+	}
+	return &httpError{statusClientClosedRequest, "client disconnected"}
+}
+
+// safeCall runs f, converting a panic anywhere below (an engine
+// invariant violation, say) into a 500 instead of tearing down the
+// process — essential because runWithDeadline executes f on a bare
+// goroutine that net/http's per-connection recover never sees.
+func safeCall[T any](f func() (T, *httpError)) (v T, he *httpError) {
+	defer func() {
+		if p := recover(); p != nil {
+			he = &httpError{http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p)}
+		}
+	}()
+	return f()
+}
+
+// runWithDeadline executes f, bounding the caller's wait by the
+// server's query timeout. The engines have no cancellation points (the
+// exact engines are bounded by their state budget, the estimators by
+// their sample caps), so on timeout the computation is abandoned to
+// finish in the background while the client gets a 504. A request
+// whose parent context is already done (client disconnected, or the
+// whole-batch budget spent) spawns no computation at all — this is
+// what keeps the abandoned work of a batch bounded by the worker pool
+// rather than fanning out per element.
+func runWithDeadline[T any](s *Server, parent context.Context, f func() (T, *httpError)) (T, *httpError) {
+	var zero T
+	if err := parent.Err(); err != nil {
+		return zero, s.classifyCtxErr(err)
+	}
+	if s.opts.QueryTimeout <= 0 {
+		s.compute <- struct{}{}
+		defer func() { <-s.compute }()
+		return safeCall(f)
+	}
+	ctx, cancel := context.WithTimeout(parent, s.opts.QueryTimeout)
+	defer cancel()
+	type outcome struct {
+		v  T
+		he *httpError
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		// The semaphore is held for the computation itself — even one
+		// the select below has already abandoned — so retry storms
+		// against slow queries queue here instead of stacking engines.
+		s.compute <- struct{}{}
+		defer func() { <-s.compute }()
+		v, he := safeCall(f)
+		ch <- outcome{v, he}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.he
+	case <-ctx.Done():
+		if err := parent.Err(); err != nil {
+			return zero, s.classifyCtxErr(err)
+		}
+		return zero, &httpError{http.StatusGatewayTimeout,
+			fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout)}
+	}
+}
+
+// clampSamples applies the server's Monte-Carlo draw cap. An omitted
+// value is resolved to the library's estimator default first, so an
+// operator-lowered cap binds even when the client sends nothing.
+func (s *Server) clampSamples(requested int) int {
+	if requested <= 0 {
+		requested = 5_000_000 // ocqa.ApproxOptions default
+	}
+	if requested > s.opts.SampleCap {
+		return s.opts.SampleCap
+	}
+	return requested
+}
+
+// clampLimit applies the server's exact-engine state-budget cap.
+func (s *Server) clampLimit(requested int) int {
+	if requested <= 0 || requested > s.opts.ExactLimit {
+		return s.opts.ExactLimit
+	}
+	return requested
+}

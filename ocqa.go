@@ -1,6 +1,6 @@
 // Package ocqa is the public API of this reproduction of "Uniform
 // Operational Consistent Query Answering" (Calautti, Livshits, Pieris,
-// Schneider; PODS 2022). It answers conjunctive queries over databases
+// Schleich; PODS 2022). It answers conjunctive queries over databases
 // that are inconsistent with respect to a set of functional
 // dependencies, under the operational semantics of the paper: a repair
 // is the endpoint of a random walk that keeps applying justified fact
@@ -309,7 +309,8 @@ type ApproxOptions struct {
 	// target probability is large.
 	UseAA bool
 	// MaxSamples caps the adaptive estimators (default 5,000,000);
-	// ignored with UseChernoff.
+	// ignored with UseChernoff. For ApproximateFactMarginals it is the
+	// exact number of draws (default 100,000 there).
 	MaxSamples int
 	// Workers parallelises estimation (default 1). The parallel
 	// stopping rule reproduces the sequential rule's law exactly.
@@ -340,24 +341,82 @@ func (o *ApproxOptions) fill() {
 // ErrNotApproximable is wrapped by Approximate's refusals.
 var ErrNotApproximable = errors.New("ocqa: no FPRAS for this generator/constraint pair")
 
+// checkApproximable enforces the approximability matrix: it returns a
+// theorem-citing refusal unless the pair's status is StatusFPRAS (or
+// StatusHeuristic with force set).
+func (in *Instance) checkApproximable(mode Mode, force bool) error {
+	status, cite := Approximability(mode, in.class)
+	switch status {
+	case StatusFPRAS:
+		return nil
+	case StatusHeuristic:
+		if force {
+			return nil
+		}
+		return fmt.Errorf("%w: %s under %v is %v [%s]; set Force to sample without a guarantee",
+			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+	default:
+		return fmt.Errorf("%w: %s under %v is %v [%s]",
+			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+	}
+}
+
+// preparedSamplers carries pre-built, shareable sampler artifacts into
+// the estimation paths. The zero value means "build on demand" — the
+// behaviour of a bare Instance. A Prepared instance fills it once so
+// every subsequent query performs zero sampler constructions.
+type preparedSamplers struct {
+	block     *sampler.BlockSampler
+	seq, seq1 *sampler.SequenceSampler
+}
+
+// sequence returns the prepared sequence sampler for the operation
+// space, or nil when none was prepared.
+func (ps preparedSamplers) sequence(singleton bool) *sampler.SequenceSampler {
+	if singleton {
+		return ps.seq1
+	}
+	return ps.seq
+}
+
+// blockOr returns the prepared block sampler, building one when the
+// caller came in without preparation.
+func (in *Instance) blockOr(ps preparedSamplers, mode Mode) (*sampler.BlockSampler, error) {
+	if ps.block != nil {
+		return ps.block, nil
+	}
+	bs, err := sampler.NewBlockSampler(in.inner)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+	}
+	return bs, nil
+}
+
+// sequenceOr returns the prepared sequence sampler for the operation
+// space, building one when the caller came in without preparation.
+func (in *Instance) sequenceOr(ps preparedSamplers, mode Mode) (*sampler.SequenceSampler, error) {
+	if ss := ps.sequence(mode.Singleton); ss != nil {
+		return ss, nil
+	}
+	ss, err := sampler.NewSequenceSampler(in.inner, mode.Singleton)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+	}
+	return ss, nil
+}
+
 // Approximate estimates P_{M,Q}(D, c̄) by Monte Carlo over the paper's
 // polynomial-time samplers. It refuses (mode, class) pairs whose status
 // is StatusOpen or StatusNoFPRAS, and StatusHeuristic pairs unless
 // opts.Force is set; the error cites the relevant theorem.
 func (in *Instance) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	return in.approximate(preparedSamplers{}, mode, q, c, opts)
+}
+
+func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
 	opts.fill()
-	status, cite := Approximability(mode, in.class)
-	switch status {
-	case StatusFPRAS:
-		// proceed
-	case StatusHeuristic:
-		if !opts.Force {
-			return Estimate{}, fmt.Errorf("%w: %s under %v is %v [%s]; set Force to sample without a guarantee",
-				ErrNotApproximable, mode.Symbol(), in.class, status, cite)
-		}
-	default:
-		return Estimate{}, fmt.Errorf("%w: %s under %v is %v [%s]",
-			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
+	if err := in.checkApproximable(mode, opts.Force); err != nil {
+		return Estimate{}, err
 	}
 
 	// Prefer the witness-image predicate: it avoids materialising a
@@ -366,34 +425,39 @@ func (in *Instance) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions
 	if !ok {
 		pred = in.inner.EntailPred(q, c)
 	}
-	// Samplers carry per-walk state and internal caches, so each
-	// worker receives its own instance via the factory.
 	var newDraw func() fpras.Sampler
 	switch mode.Gen {
 	case UniformRepairs:
-		if _, err := sampler.NewBlockSampler(in.inner); err != nil {
-			return Estimate{}, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+		// One shared sampler: the block decomposition is immutable
+		// after construction and SampleRepair is concurrency-safe, so
+		// every worker draws from the same tables; only the rng is
+		// per-worker.
+		bs, err := in.blockOr(ps, mode)
+		if err != nil {
+			return Estimate{}, err
 		}
 		newDraw = func() fpras.Sampler {
-			bs, _ := sampler.NewBlockSampler(in.inner)
 			return func(rng *rand.Rand) bool { return pred(bs.SampleRepair(rng, mode.Singleton)) }
 		}
 	case UniformSequences:
 		// The profile-traceback sampler draws the same uniform CRS
-		// distribution as Algorithm 1 with O(‖D‖) work per sample.
-		ss, err := sampler.NewSequenceSampler(in.inner, mode.Singleton)
+		// distribution as Algorithm 1 with O(‖D‖) work per sample. Its
+		// DP tables are immutable after construction and safe to
+		// share; only the rng is per-worker.
+		ss, err := in.sequenceOr(ps, mode)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
+			return Estimate{}, err
 		}
 		newDraw = func() fpras.Sampler {
-			// The sampler's DP tables are immutable after construction
-			// and safe to share; only the rng is per-worker.
 			return func(rng *rand.Rand) bool {
 				_, res := ss.Sample(rng)
 				return pred(res)
 			}
 		}
 	case UniformOperations:
+		// The walker carries per-walk mutable state, so each worker
+		// receives its own instance via the factory; construction only
+		// snapshots the (already computed) conflict bookkeeping.
 		newDraw = func() fpras.Sampler {
 			walker := sampler.NewUOWalker(in.inner)
 			return func(rng *rand.Rand) bool {
@@ -441,9 +505,13 @@ func (in *Instance) worstCaseLowerBound(mode Mode, q *Query) float64 {
 // (the superset of all tuples with positive probability, by CQ
 // monotonicity).
 func (in *Instance) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	return in.approximateAnswers(preparedSamplers{}, mode, q, opts)
+}
+
+func (in *Instance) approximateAnswers(ps preparedSamplers, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
 	var out []ApproxAnswer
 	for _, c := range q.Answers(in.db) {
-		e, err := in.Approximate(mode, q, c, opts)
+		e, err := in.approximate(ps, mode, q, c, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -456,6 +524,73 @@ func (in *Instance) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) 
 type ApproxAnswer struct {
 	Tuple    Tuple
 	Estimate Estimate
+}
+
+// --- Prepared instances (sampler reuse across queries) --------------------
+
+// Prepared is an Instance whose expensive per-query artifacts — the
+// block decomposition behind SampleRepair (Lemma 5.2) and the
+// sequence-sampler DP tables (Lemma C.1) — are built once, up front,
+// and reused by every subsequent call. All methods are safe for
+// concurrent use: the database, FD set, conflict structure and DP
+// tables are immutable after Prepare returns. It is the unit a
+// long-running service caches per registered instance.
+type Prepared struct {
+	*Instance
+	ps preparedSamplers
+}
+
+// Prepare eagerly builds the shareable sampler artifacts. For
+// primary-key instances this constructs the BlockSampler and the two
+// SequenceSamplers (pairwise and singleton operation spaces); other
+// constraint classes have no poly-time DP sampler to prepare, so only
+// the conflict structure (already built by NewInstance) is reused and
+// construction-on-demand still applies where the matrix allows
+// sampling at all.
+func (in *Instance) Prepare() *Prepared {
+	p := &Prepared{Instance: in}
+	if in.class == fd.PrimaryKeys {
+		p.ps.block, _ = sampler.NewBlockSampler(in.inner)
+		p.ps.seq, _ = sampler.NewSequenceSampler(in.inner, false)
+		p.ps.seq1, _ = sampler.NewSequenceSampler(in.inner, true)
+	}
+	return p
+}
+
+// Approximate is Instance.Approximate backed by the prepared samplers:
+// for primary-key instances it performs zero sampler constructions.
+func (p *Prepared) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	return p.Instance.approximate(p.ps, mode, q, c, opts)
+}
+
+// ApproximateAnswers is Instance.ApproximateAnswers over the prepared
+// samplers.
+func (p *Prepared) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	return p.Instance.approximateAnswers(p.ps, mode, q, opts)
+}
+
+// ApproximateFactMarginals is Instance.ApproximateFactMarginals over
+// the prepared samplers.
+func (p *Prepared) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
+	return p.Instance.approximateFactMarginals(p.ps, mode, opts)
+}
+
+// CountRepairs reuses the prepared block decomposition where available.
+func (p *Prepared) CountRepairs(singleton bool) *big.Int {
+	if p.ps.block != nil {
+		return p.ps.block.CountRepairs(singleton)
+	}
+	return p.Instance.CountRepairs(singleton)
+}
+
+// CountSequences reads |CRS| off the prepared DP tables where
+// available (no recomputation), falling back to the Instance path
+// otherwise.
+func (p *Prepared) CountSequences(singleton bool, limit int) (*big.Int, error) {
+	if ss := p.ps.sequence(singleton); ss != nil {
+		return ss.Count(), nil
+	}
+	return p.Instance.CountSequences(singleton, limit)
 }
 
 // --- Weighted chains (the general Definition 3.5 mechanism) ---------------
@@ -533,49 +668,27 @@ func (in *Instance) FactMarginals(mode Mode, limit int) ([]FactMarginal, error) 
 // ApproximateFactMarginals estimates every fact's survival probability
 // from a single stream of sampled repairs (one Monte-Carlo pass, all
 // facts at once) under the mode's sampler. The per-fact estimates are
-// plain means over opts.MaxSamples draws (default 100,000 here —
-// marginals need no stopping rule since every fact shares the stream);
-// the approximability matrix is enforced as in Approximate.
+// plain means over exactly opts.MaxSamples draws — marginals need no
+// stopping rule since every fact shares the stream. When the caller
+// leaves MaxSamples zero, the marginals default of 100,000 draws is
+// used; an explicit value is always respected. The approximability
+// matrix is enforced as in Approximate.
 func (in *Instance) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
-	opts.fill()
-	status, cite := Approximability(mode, in.class)
-	switch status {
-	case StatusFPRAS:
-	case StatusHeuristic:
-		if !opts.Force {
-			return nil, fmt.Errorf("%w: %s under %v is %v [%s]; set Force to sample without a guarantee",
-				ErrNotApproximable, mode.Symbol(), in.class, status, cite)
-		}
-	default:
-		return nil, fmt.Errorf("%w: %s under %v is %v [%s]",
-			ErrNotApproximable, mode.Symbol(), in.class, status, cite)
-	}
-	var drawRepair func(rng *rand.Rand) Subset
-	switch mode.Gen {
-	case UniformRepairs:
-		bs, err := sampler.NewBlockSampler(in.inner)
-		if err != nil {
-			return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
-		}
-		drawRepair = func(rng *rand.Rand) Subset { return bs.SampleRepair(rng, mode.Singleton) }
-	case UniformSequences:
-		ss, err := sampler.NewSequenceSampler(in.inner, mode.Singleton)
-		if err != nil {
-			return nil, fmt.Errorf("ocqa: %s sampler unavailable: %w", mode.Symbol(), err)
-		}
-		drawRepair = func(rng *rand.Rand) Subset {
-			_, res := ss.Sample(rng)
-			return res
-		}
-	case UniformOperations:
-		walker := sampler.NewUOWalker(in.inner)
-		drawRepair = func(rng *rand.Rand) Subset {
-			return walker.WalkResult(rng, mode.Singleton)
-		}
-	}
+	return in.approximateFactMarginals(preparedSamplers{}, mode, opts)
+}
+
+func (in *Instance) approximateFactMarginals(ps preparedSamplers, mode Mode, opts ApproxOptions) ([]float64, error) {
 	n := opts.MaxSamples
-	if n > 200_000 {
+	if n <= 0 {
 		n = 100_000
+	}
+	opts.fill()
+	if err := in.checkApproximable(mode, opts.Force); err != nil {
+		return nil, err
+	}
+	drawRepair, err := in.repairDrawer(ps, mode)
+	if err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	counts := make([]int, in.db.Len())
@@ -590,4 +703,31 @@ func (in *Instance) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]f
 		out[i] = float64(c) / float64(n)
 	}
 	return out, nil
+}
+
+// repairDrawer returns a single-goroutine repair-drawing closure for
+// the mode, reusing prepared samplers when available.
+func (in *Instance) repairDrawer(ps preparedSamplers, mode Mode) (func(rng *rand.Rand) Subset, error) {
+	switch mode.Gen {
+	case UniformRepairs:
+		bs, err := in.blockOr(ps, mode)
+		if err != nil {
+			return nil, err
+		}
+		return func(rng *rand.Rand) Subset { return bs.SampleRepair(rng, mode.Singleton) }, nil
+	case UniformSequences:
+		ss, err := in.sequenceOr(ps, mode)
+		if err != nil {
+			return nil, err
+		}
+		return func(rng *rand.Rand) Subset {
+			_, res := ss.Sample(rng)
+			return res
+		}, nil
+	default:
+		walker := sampler.NewUOWalker(in.inner)
+		return func(rng *rand.Rand) Subset {
+			return walker.WalkResult(rng, mode.Singleton)
+		}, nil
+	}
 }

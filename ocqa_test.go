@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	ocqa "repro"
+	"repro/internal/sampler"
 )
 
 const figure2Facts = `
@@ -527,5 +528,124 @@ func TestApproximateFactMarginalsRefusal(t *testing.T) {
 		if math.Abs(approx[i]-ef) > 0.02 {
 			t.Errorf("fact %v: approx %.4f vs exact %.4f", m.Fact, approx[i], ef)
 		}
+	}
+}
+
+// --- Prepared instances ---------------------------------------------------
+
+// TestPreparedMatchesInstance: the sampler-reuse path must be
+// observationally identical to the one-shot path under a fixed seed.
+func TestPreparedMatchesInstance(t *testing.T) {
+	inst := figure2Instance(t)
+	p := inst.Prepare()
+	q, err := ocqa.ParseQuery("Ans(y) :- R(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ocqa.Mode{
+		{Gen: ocqa.UniformRepairs},
+		{Gen: ocqa.UniformRepairs, Singleton: true},
+		{Gen: ocqa.UniformSequences},
+		{Gen: ocqa.UniformSequences, Singleton: true},
+		{Gen: ocqa.UniformOperations},
+	} {
+		opts := ocqa.ApproxOptions{Seed: 17}
+		want, err := inst.Approximate(mode, q, ocqa.ParseTuple("b1"), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.Symbol(), err)
+		}
+		got, err := p.Approximate(mode, q, ocqa.ParseTuple("b1"), opts)
+		if err != nil {
+			t.Fatalf("%s prepared: %v", mode.Symbol(), err)
+		}
+		if got.Value != want.Value || got.Samples != want.Samples {
+			t.Errorf("%s: prepared estimate %+v != instance estimate %+v", mode.Symbol(), got, want)
+		}
+
+		wantM, err := inst.ApproximateFactMarginals(mode, ocqa.ApproxOptions{Seed: 19, MaxSamples: 5000})
+		if err != nil {
+			t.Fatalf("%s marginals: %v", mode.Symbol(), err)
+		}
+		gotM, err := p.ApproximateFactMarginals(mode, ocqa.ApproxOptions{Seed: 19, MaxSamples: 5000})
+		if err != nil {
+			t.Fatalf("%s prepared marginals: %v", mode.Symbol(), err)
+		}
+		for i := range wantM {
+			if gotM[i] != wantM[i] {
+				t.Errorf("%s marginal %d: prepared %v != instance %v", mode.Symbol(), i, gotM[i], wantM[i])
+			}
+		}
+	}
+	for _, singleton := range []bool{false, true} {
+		if got, want := p.CountRepairs(singleton), inst.CountRepairs(singleton); got.Cmp(want) != 0 {
+			t.Errorf("CountRepairs(%v): prepared %s != instance %s", singleton, got, want)
+		}
+		want, err := inst.CountSequences(singleton, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.CountSequences(singleton, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Errorf("CountSequences(%v): prepared %s != instance %s", singleton, got, want)
+		}
+	}
+}
+
+// TestPreparedPerformsNoConstructions: after Prepare, estimation and
+// counting never rebuild a DP sampler.
+func TestPreparedPerformsNoConstructions(t *testing.T) {
+	p := figure2Instance(t).Prepare()
+	q, err := ocqa.ParseQuery("Ans(y) :- R(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sampler.Constructions()
+	for _, mode := range []ocqa.Mode{
+		{Gen: ocqa.UniformRepairs},
+		{Gen: ocqa.UniformSequences, Singleton: true},
+	} {
+		if _, err := p.Approximate(mode, q, ocqa.ParseTuple("b1"), ocqa.ApproxOptions{Seed: 23, Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.ApproximateFactMarginals(mode, ocqa.ApproxOptions{Seed: 23, MaxSamples: 2000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.CountRepairs(false)
+	if _, err := p.CountSequences(true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := sampler.Constructions(); after != before {
+		t.Errorf("prepared instance rebuilt samplers: %d constructions", after-before)
+	}
+}
+
+// TestApproximateFactMarginalsRespectsMaxSamples: an explicit large
+// MaxSamples must actually change the draw count (the old facade
+// silently clamped anything over 200,000 down to 100,000, making
+// 100,000 and 250,000 indistinguishable).
+func TestApproximateFactMarginalsRespectsMaxSamples(t *testing.T) {
+	inst := figure2Instance(t)
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+	small, err := inst.ApproximateFactMarginals(mode, ocqa.ApproxOptions{Seed: 29, MaxSamples: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := inst.ApproximateFactMarginals(mode, ocqa.ApproxOptions{Seed: 29, MaxSamples: 250_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range small {
+		if small[i] != large[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("250,000-draw marginals identical to 100,000-draw marginals: MaxSamples is being clamped")
 	}
 }
