@@ -3,9 +3,15 @@
 // empirical content) — and prints each experiment's table. EXPERIMENTS.md
 // records a full run.
 //
+// With -store it instead runs the persistence micro-benchmarks
+// (incremental InsertFact vs. full conflict-structure rebuild, WAL
+// replay, snapshot round-trip) and emits a BENCH_store.json trajectory
+// file.
+//
 // Usage:
 //
 //	ocqa-bench [-quick] [-seed N] [-only E06]
+//	ocqa-bench -store [-store-out BENCH_store.json]
 package main
 
 import (
@@ -19,11 +25,20 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "smaller instances and sample counts")
-		seed  = flag.Int64("seed", 42, "random seed")
-		only  = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+		quick    = flag.Bool("quick", false, "smaller instances and sample counts")
+		seed     = flag.Int64("seed", 42, "random seed")
+		only     = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+		storeRun = flag.Bool("store", false, "run the persistence micro-benchmarks instead of the experiment suite")
+		storeOut = flag.String("store-out", "BENCH_store.json", "trajectory file for -store results")
 	)
 	flag.Parse()
+	if *storeRun {
+		if err := runStoreBenchmarks(*storeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := experiments.Config{Seed: *seed, Quick: *quick}
 
 	exps := experiments.All()

@@ -8,12 +8,19 @@
 //
 //	ocqa-serve [-addr :8080] [-batch-workers N] [-cache 1024]
 //	           [-timeout 30s] [-exact-limit 2000000]
+//	           [-data-dir DIR] [-fsync] [-compact-every 4096]
 //
 // A session against a running server:
 //
 //	curl -s localhost:8080/v1/instances -d '{"facts":"Emp(1,Alice)\nEmp(1,Tom)","fds":"Emp: A1 -> A2"}'
 //	curl -s localhost:8080/v1/instances/i1/query -d '{"generator":"ur","mode":"exact","query":"Ans(n) :- Emp(i, n)"}'
+//	curl -s localhost:8080/v1/instances/i1/facts -d '{"fact":"Emp(2,Bob)"}'
 //	curl -s localhost:8080/varz
+//
+// With -data-dir the registry is durable: every registry operation is
+// journalled to an append-only WAL (periodically compacted into a
+// binary snapshot), and a restarted server replays the directory and
+// serves every previously registered instance without re-registration.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,11 +52,14 @@ func main() {
 		exactLimit    = flag.Int("exact-limit", 2_000_000, "state-budget cap for the exact engines")
 		sampleCap     = flag.Int("sample-cap", 5_000_000, "Monte-Carlo draw cap per request")
 		maxConcurrent = flag.Int("max-concurrent", 0, "engine computations running at once (0 = 4×GOMAXPROCS)")
-		maxInstances  = flag.Int("max-instances", 1024, "registered-instance cap")
+		maxInstances  = flag.Int("max-instances", 1024, "registered-instance cap (LRU eviction beyond it)")
 		maxBatch      = flag.Int("max-batch", 1024, "queries per batch request")
+		dataDir       = flag.String("data-dir", "", "durable store directory (empty = memory-only)")
+		fsync         = flag.Bool("fsync", false, "fsync the WAL after every append")
+		compactEvery  = flag.Int("compact-every", 0, "auto-compact once the WAL holds N records (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
-	if err := run(context.Background(), *addr, server.Options{
+	opts := server.Options{
 		BatchWorkers:         *batchWorkers,
 		CacheSize:            *cacheSize,
 		QueryTimeout:         *timeout,
@@ -57,10 +68,36 @@ func main() {
 		MaxConcurrentQueries: *maxConcurrent,
 		MaxInstances:         *maxInstances,
 		MaxBatchQueries:      *maxBatch,
-	}, nil); err != nil {
+	}
+	// serve (not main) owns the store so its deferred Close runs even on
+	// the error path, which os.Exit would skip.
+	if err := serve(*addr, opts, *dataDir, *fsync, *compactEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa-serve:", err)
 		os.Exit(1)
 	}
+}
+
+// serve opens the durable store (when a data dir is given), wires it
+// into the server options, and blocks in run until shutdown.
+func serve(addr string, opts server.Options, dataDir string, fsync bool, compactEvery int) error {
+	if dataDir != "" {
+		st, err := store.Open(store.Options{Dir: dataDir, Fsync: fsync, CompactEvery: compactEvery})
+		if err != nil {
+			return err
+		}
+		stats := st.Stats()
+		log.Printf("ocqa-serve: data dir %s: replayed %d op(s)", dataDir, stats.ReplayedOps)
+		if stats.TornTail {
+			log.Printf("ocqa-serve: WAL had a torn tail (crash signature); truncated to the last complete record")
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("ocqa-serve: closing store: %v", err)
+			}
+		}()
+		opts.Store = st
+	}
+	return run(context.Background(), addr, opts, nil)
 }
 
 // run starts the server on addr and blocks until ctx is cancelled or a

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// startServer boots run() on a random port with the given options and
+// returns the base URL plus a shutdown func that asserts a clean drain.
+func startServer(t *testing.T, opts server.Options) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, "127.0.0.1:0", opts, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), func() {
+			cancel()
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Fatalf("graceful shutdown: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("server did not shut down in time")
+			}
+		}
+	case err := <-errc:
+		cancel()
+		t.Fatalf("server did not start: %v", err)
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("server did not start in time")
+	}
+	panic("unreachable")
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServeWarmBootFromDataDir drives the binary's persistence path:
+// boot with a store, register + mutate, shut down, boot a second server
+// over the same directory, and query without re-registration.
+func TestServeWarmBootFromDataDir(t *testing.T) {
+	dir := t.TempDir()
+	const (
+		facts = "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)"
+		fds   = "Emp: A1 -> A2"
+		query = "Ans(n) :- Emp(i, n)"
+	)
+
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, shutdown := startServer(t, server.Options{Store: st})
+	var reg server.RegisterResponse
+	if status := postJSON(t, base+"/v1/instances", server.RegisterRequest{Facts: facts, FDs: fds}, &reg); status != http.StatusCreated {
+		t.Fatalf("register: status %d", status)
+	}
+	var mut server.FactMutationResponse
+	if status := postJSON(t, base+"/v1/instances/"+reg.ID+"/facts", server.InsertFactRequest{Fact: "Emp(2,Carol)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert fact: status %d", status)
+	}
+	var before server.QueryResponse
+	if status := postJSON(t, base+"/v1/instances/"+reg.ID+"/query",
+		server.QueryRequest{Generator: "ur", Mode: "exact", Query: query}, &before); status != http.StatusOK {
+		t.Fatalf("query: status %d", status)
+	}
+	shutdown()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	base2, shutdown2 := startServer(t, server.Options{Store: st2})
+	defer shutdown2()
+	var after server.QueryResponse
+	if status := postJSON(t, base2+"/v1/instances/"+reg.ID+"/query",
+		server.QueryRequest{Generator: "ur", Mode: "exact", Query: query}, &after); status != http.StatusOK {
+		t.Fatalf("post-restart query: status %d", status)
+	}
+	if len(after.Answers) != len(before.Answers) {
+		t.Fatalf("answer count diverges after restart: %d vs %d", len(after.Answers), len(before.Answers))
+	}
+	for i := range after.Answers {
+		if after.Answers[i].Prob != before.Answers[i].Prob {
+			t.Fatalf("answer %d diverges after restart: %+v vs %+v", i, after.Answers[i], before.Answers[i])
+		}
+	}
+}

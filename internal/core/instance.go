@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/fd"
 	"repro/internal/rel"
@@ -41,18 +42,40 @@ type Instance struct {
 	pairs [][2]int
 	// pairsOf[i] lists indices into pairs that involve fact i.
 	pairsOf [][]int
+	// index is the per-FD LHS bucket index behind the incremental
+	// InsertFact/DeleteFact paths; immutable once built. Instances
+	// produced by a mutation carry it pre-shifted; everything else
+	// builds it lazily at the first mutation (indexOnce), so the many
+	// never-mutated instances pay nothing for it.
+	index     *fd.Index
+	indexOnce sync.Once
 }
 
 // NewInstance precomputes the conflict structure of (D, Σ).
 func NewInstance(d *rel.Database, sigma *fd.Set) *Instance {
 	inst := &Instance{D: d, Sigma: sigma}
 	inst.pairs = sigma.ConflictPairs(d)
-	inst.pairsOf = make([][]int, d.Len())
+	inst.rebuildPairsOf()
+	return inst
+}
+
+// lhsIndex returns the LHS bucket index, building it at most once.
+func (inst *Instance) lhsIndex() *fd.Index {
+	inst.indexOnce.Do(func() {
+		if inst.index == nil {
+			inst.index = fd.NewIndex(inst.Sigma, inst.D)
+		}
+	})
+	return inst.index
+}
+
+// rebuildPairsOf derives the per-fact pair lists from inst.pairs.
+func (inst *Instance) rebuildPairsOf() {
+	inst.pairsOf = make([][]int, inst.D.Len())
 	for pi, p := range inst.pairs {
 		inst.pairsOf[p[0]] = append(inst.pairsOf[p[0]], pi)
 		inst.pairsOf[p[1]] = append(inst.pairsOf[p[1]], pi)
 	}
-	return inst
 }
 
 // ConflictPairs returns the edges of CG(D,Σ) as fact-index pairs (I<J).

@@ -1,0 +1,118 @@
+package core
+
+// Incremental fact mutations. The conflict structure of (D, Σ) is the
+// expensive part of NewInstance — ConflictPairs rebuckets every fact
+// under every FD and scans every bucket pairwise. InsertFact and
+// DeleteFact instead reuse the previous instance's structure: the
+// touched fact is bucketed against each FD's LHS groups (O(block) per
+// FD, via fd.Index), surviving pairs are remapped to the shifted fact
+// indices, and the per-fact lists are rebuilt. Both are copy-on-write:
+// the receiver, its database and its conflict structure are never
+// mutated, so in-flight readers of the old instance are unaffected.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// Mutation errors. Callers distinguish them with errors.Is.
+var (
+	// ErrDuplicateFact: InsertFact of a fact already in D.
+	ErrDuplicateFact = errors.New("core: fact already present")
+	// ErrUnknownRelation: the fact's relation is not in Σ's schema.
+	ErrUnknownRelation = errors.New("core: unknown relation")
+	// ErrArityMismatch: the fact's arity differs from the schema's.
+	ErrArityMismatch = errors.New("core: arity mismatch")
+	// ErrFactIndex: DeleteFact index outside [0, |D|).
+	ErrFactIndex = errors.New("core: fact index out of range")
+)
+
+// InsertFact returns a new instance for (D ∪ {f}, Σ) together with the
+// index assigned to f, updating the conflict structure incrementally:
+// old pairs are remapped across the index shift and the new fact's
+// conflicts are discovered by bucketing it against each FD's LHS
+// groups — O(‖D‖ + |pairs|) bookkeeping plus O(block) violation
+// checks, instead of NewInstance's full recompute.
+func (inst *Instance) InsertFact(f rel.Fact) (*Instance, int, error) {
+	r, ok := inst.Sigma.Schema().Relation(f.Rel)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q is not in the schema", ErrUnknownRelation, f.Rel)
+	}
+	if len(f.Args) != r.Arity() {
+		return nil, 0, fmt.Errorf("%w: %s has %d arguments, relation %s/%d",
+			ErrArityMismatch, f, len(f.Args), f.Rel, r.Arity())
+	}
+	d2, pos, fresh := inst.D.Insert(f)
+	if !fresh {
+		return nil, pos, fmt.Errorf("%w: %s (index %d)", ErrDuplicateFact, f, pos)
+	}
+	ix2 := inst.lhsIndex().WithInsert(d2, pos)
+
+	// Remap surviving pairs across the shift (monotone, so the list
+	// stays sorted), then merge in the new fact's conflicts.
+	pairs := make([][2]int, 0, len(inst.pairs)+4)
+	for _, p := range inst.pairs {
+		a, b := p[0], p[1]
+		if a >= pos {
+			a++
+		}
+		if b >= pos {
+			b++
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	for _, j := range ix2.ConflictsOf(d2, pos) {
+		a, b := pos, j
+		if a > b {
+			a, b = b, a
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	sortPairs(pairs)
+
+	out := &Instance{D: d2, Sigma: inst.Sigma, pairs: pairs, index: ix2}
+	out.rebuildPairsOf()
+	return out, pos, nil
+}
+
+// DeleteFact returns a new instance for (D ∖ {f_i}, Σ): pairs touching
+// i are dropped, the rest remapped across the index shift. The same
+// copy-on-write and cost bounds as InsertFact apply.
+func (inst *Instance) DeleteFact(i int) (*Instance, error) {
+	if i < 0 || i >= inst.D.Len() {
+		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrFactIndex, i, inst.D.Len())
+	}
+	d2 := inst.D.Remove(i)
+	ix2 := inst.lhsIndex().WithRemove(d2, i)
+	pairs := make([][2]int, 0, len(inst.pairs))
+	for _, p := range inst.pairs {
+		if p[0] == i || p[1] == i {
+			continue
+		}
+		a, b := p[0], p[1]
+		if a > i {
+			a--
+		}
+		if b > i {
+			b--
+		}
+		pairs = append(pairs, [2]int{a, b})
+	}
+	out := &Instance{D: d2, Sigma: inst.Sigma, pairs: pairs, index: ix2}
+	out.rebuildPairsOf()
+	return out, nil
+}
+
+// sortPairs orders conflict pairs the way ConflictPairs does, so the
+// incremental structure is bit-identical to a from-scratch rebuild.
+func sortPairs(pairs [][2]int) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func mutFixture() (*rel.Database, *fd.Set) {
+	d := rel.NewDatabase(
+		rel.NewFact("Emp", "1", "Alice"),
+		rel.NewFact("Emp", "1", "Tom"),
+		rel.NewFact("Emp", "2", "Bob"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("Emp", 2))
+	sigma := fd.MustSet(sch, fd.New("Emp", []int{0}, []int{1}))
+	return d, sigma
+}
+
+// assertSameStructure checks the incrementally maintained instance is
+// indistinguishable from a from-scratch NewInstance over the same
+// database: identical conflict pairs, per-fact lists and degree.
+func assertSameStructure(t *testing.T, got *Instance) {
+	t.Helper()
+	want := NewInstance(got.D, got.Sigma)
+	if !reflect.DeepEqual(got.pairs, want.pairs) && (len(got.pairs) != 0 || len(want.pairs) != 0) {
+		t.Fatalf("conflict pairs diverge:\nincremental %v\nfrom-scratch %v", got.pairs, want.pairs)
+	}
+	if !reflect.DeepEqual(got.pairsOf, want.pairsOf) {
+		t.Fatalf("pairsOf diverges:\nincremental %v\nfrom-scratch %v", got.pairsOf, want.pairsOf)
+	}
+	if got.ConflictGraphDegree() != want.ConflictGraphDegree() {
+		t.Fatalf("degree diverges: %d vs %d", got.ConflictGraphDegree(), want.ConflictGraphDegree())
+	}
+}
+
+func TestInsertFactConflictingMatchesRebuild(t *testing.T) {
+	d, sigma := mutFixture()
+	inst := NewInstance(d, sigma)
+	// A fact conflicting with the whole "2"-block and a fresh block.
+	for _, f := range []rel.Fact{
+		rel.NewFact("Emp", "2", "Carol"), // conflicts with Emp(2,Bob)
+		rel.NewFact("Emp", "1", "Zed"),   // conflicts with both "1" facts
+		rel.NewFact("Emp", "9", "Solo"),  // no conflicts
+	} {
+		ni, pos, err := inst.InsertFact(f)
+		if err != nil {
+			t.Fatalf("InsertFact(%v): %v", f, err)
+		}
+		if !ni.D.Fact(pos).Equal(f) {
+			t.Fatalf("InsertFact(%v): returned index %d holds %v", f, pos, ni.D.Fact(pos))
+		}
+		if inst.D.Contains(f) {
+			t.Fatalf("InsertFact mutated the receiver's database")
+		}
+		assertSameStructure(t, ni)
+	}
+}
+
+func TestDeleteFactMatchesRebuild(t *testing.T) {
+	d, sigma := mutFixture()
+	inst := NewInstance(d, sigma)
+	for i := 0; i < d.Len(); i++ {
+		ni, err := inst.DeleteFact(i)
+		if err != nil {
+			t.Fatalf("DeleteFact(%d): %v", i, err)
+		}
+		if ni.D.Len() != d.Len()-1 {
+			t.Fatalf("DeleteFact(%d): %d facts remain", i, ni.D.Len())
+		}
+		assertSameStructure(t, ni)
+	}
+}
+
+func TestMutationErrors(t *testing.T) {
+	d, sigma := mutFixture()
+	inst := NewInstance(d, sigma)
+	if _, _, err := inst.InsertFact(rel.NewFact("Emp", "1", "Alice")); !errors.Is(err, ErrDuplicateFact) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if _, _, err := inst.InsertFact(rel.NewFact("Nope", "1")); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	if _, _, err := inst.InsertFact(rel.NewFact("Emp", "1")); !errors.Is(err, ErrArityMismatch) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	if _, err := inst.DeleteFact(99); !errors.Is(err, ErrFactIndex) {
+		t.Fatalf("out-of-range delete: %v", err)
+	}
+	if _, err := inst.DeleteFact(-1); !errors.Is(err, ErrFactIndex) {
+		t.Fatalf("negative delete: %v", err)
+	}
+}
+
+// TestMutationChainMatchesRebuild drives a long random insert/delete
+// chain over a multi-FD schema (general FDs, not just keys) and checks
+// the differential property at every step — the acceptance criterion
+// that an inserted conflicting fact changes ConflictPairs identically
+// to a from-scratch NewInstance.
+func TestMutationChainMatchesRebuild(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3), rel.NewRelation("S", 2))
+	sigma := fd.MustSet(sch,
+		fd.New("R", []int{0}, []int{1}),
+		fd.New("R", []int{1, 2}, []int{0}),
+		fd.New("S", []int{0}, []int{1}),
+	)
+	rng := rand.New(rand.NewSource(23))
+	inst := NewInstance(rel.NewDatabase(), sigma)
+	letter := func(n int) string { return fmt.Sprintf("c%d", rng.Intn(n)) }
+	for step := 0; step < 200; step++ {
+		if inst.D.Len() == 0 || rng.Intn(3) > 0 {
+			var f rel.Fact
+			if rng.Intn(2) == 0 {
+				f = rel.NewFact("R", letter(4), letter(4), letter(4))
+			} else {
+				f = rel.NewFact("S", letter(4), letter(4))
+			}
+			ni, _, err := inst.InsertFact(f)
+			if errors.Is(err, ErrDuplicateFact) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			inst = ni
+		} else {
+			ni, err := inst.DeleteFact(rng.Intn(inst.D.Len()))
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			inst = ni
+		}
+		assertSameStructure(t, inst)
+	}
+}
+
+// TestMutatedInstanceDrivesEngines checks a mutated instance is a
+// first-class Instance: the exact engines agree with a from-scratch
+// instance over the same database.
+func TestMutatedInstanceDrivesEngines(t *testing.T) {
+	d, sigma := mutFixture()
+	inst := NewInstance(d, sigma)
+	inst, _, err := inst.InsertFact(rel.NewFact("Emp", "2", "Carol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewInstance(inst.D, inst.Sigma)
+	for _, mode := range []Mode{{Gen: UniformRepairs}, {Gen: UniformSequences}, {Gen: UniformOperations, Singleton: true}} {
+		got, err := inst.Semantics(mode, 0)
+		if err != nil {
+			t.Fatalf("%v semantics (mutated): %v", mode, err)
+		}
+		want, err := fresh.Semantics(mode, 0)
+		if err != nil {
+			t.Fatalf("%v semantics (fresh): %v", mode, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d repairs vs %d", mode, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Repair.Key() != want[i].Repair.Key() || got[i].Prob.Cmp(want[i].Prob) != 0 {
+				t.Fatalf("%v repair %d: (%v, %v) vs (%v, %v)", mode, i,
+					got[i].Repair, got[i].Prob, want[i].Repair, want[i].Prob)
+			}
+		}
+	}
+}

@@ -235,12 +235,7 @@ func (s *Set) Violations(d *rel.Database) []Violation {
 			if f.Rel != phi.Rel {
 				continue
 			}
-			var b strings.Builder
-			for _, a := range phi.LHS {
-				b.WriteString(f.Arg(a))
-				b.WriteByte(0)
-			}
-			k := b.String()
+			k := lhsKey(phi, f)
 			buckets[k] = append(buckets[k], i)
 		}
 		for _, idxs := range buckets {

@@ -1,0 +1,151 @@
+package fd
+
+// This file implements incremental conflict maintenance: a per-FD hash
+// index over the LHS projections of a database's facts, supporting
+// O(block)-time discovery of the conflict partners of a single fact.
+// The index is what lets InsertFact/DeleteFact (internal/core) update
+// the conflict pairs of CG(D,Σ) by bucketing only the touched fact
+// against each FD's LHS groups instead of recomputing ConflictPairs
+// from scratch.
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// lhsKey renders the LHS projection of f under phi as a bucket key. The
+// NUL separator cannot occur inside constants of the text format, and a
+// multi-byte constant containing NUL still cannot collide with a split
+// pair because every argument is terminated.
+func lhsKey(phi FD, f rel.Fact) string {
+	var b strings.Builder
+	for _, a := range phi.LHS {
+		b.WriteString(f.Arg(a))
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// Index is a per-FD LHS bucket index over a fixed database: for each FD
+// φ of Σ, a map from LHS-projection key to the (sorted) indices of the
+// facts of φ's relation carrying that projection. An Index is immutable
+// after construction; WithInsert/WithRemove produce shifted copies for
+// the mutated database, so instances sharing structure never observe
+// each other's mutations.
+type Index struct {
+	set     *Set
+	buckets []map[string][]int // one per FD of set, key → fact indices
+}
+
+// NewIndex builds the LHS index of (d, Σ) in O(‖D‖·|Σ|).
+func NewIndex(s *Set, d *rel.Database) *Index {
+	ix := &Index{set: s, buckets: make([]map[string][]int, len(s.fds))}
+	for fi, phi := range s.fds {
+		b := make(map[string][]int)
+		for i := 0; i < d.Len(); i++ {
+			f := d.Fact(i)
+			if f.Rel != phi.Rel {
+				continue
+			}
+			k := lhsKey(phi, f)
+			b[k] = append(b[k], i)
+		}
+		ix.buckets[fi] = b
+	}
+	return ix
+}
+
+// Set returns the FD set the index is built for.
+func (ix *Index) Set() *Set { return ix.set }
+
+// ConflictsOf returns the sorted, deduplicated indices of the facts of
+// d that jointly violate some FD of Σ with the fact at index i. Only
+// the buckets the fact falls into are inspected, so the cost is
+// O(Σ_φ |block_φ(f_i)|) — independent of ‖D‖ outside f_i's blocks.
+func (ix *Index) ConflictsOf(d *rel.Database, i int) []int {
+	f := d.Fact(i)
+	seen := make(map[int]bool)
+	var out []int
+	for fi, phi := range ix.set.fds {
+		if f.Rel != phi.Rel {
+			continue
+		}
+		for _, j := range ix.buckets[fi][lhsKey(phi, f)] {
+			if j == i || seen[j] {
+				continue
+			}
+			if phi.ViolatedBy(f, d.Fact(j)) {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WithInsert returns the index of the database nd obtained by inserting
+// a fact at position pos (every old index ≥ pos shifted up by one, the
+// new fact bucketed in). O(‖D‖) pure copying; no violation checks.
+func (ix *Index) WithInsert(nd *rel.Database, pos int) *Index {
+	out := &Index{set: ix.set, buckets: make([]map[string][]int, len(ix.buckets))}
+	f := nd.Fact(pos)
+	for fi, phi := range ix.set.fds {
+		b := make(map[string][]int, len(ix.buckets[fi])+1)
+		for k, idxs := range ix.buckets[fi] {
+			shifted := make([]int, len(idxs))
+			for x, j := range idxs {
+				if j >= pos {
+					j++
+				}
+				shifted[x] = j
+			}
+			b[k] = shifted
+		}
+		if f.Rel == phi.Rel {
+			k := lhsKey(phi, f)
+			b[k] = insertSorted(b[k], pos)
+		}
+		out.buckets[fi] = b
+	}
+	return out
+}
+
+// WithRemove returns the index of the database nd obtained by removing
+// the fact previously at position pos (every old index > pos shifted
+// down by one, pos dropped from its buckets). O(‖D‖) pure copying.
+func (ix *Index) WithRemove(nd *rel.Database, pos int) *Index {
+	out := &Index{set: ix.set, buckets: make([]map[string][]int, len(ix.buckets))}
+	for fi := range ix.set.fds {
+		b := make(map[string][]int, len(ix.buckets[fi]))
+		for k, idxs := range ix.buckets[fi] {
+			shifted := make([]int, 0, len(idxs))
+			for _, j := range idxs {
+				switch {
+				case j == pos:
+					continue
+				case j > pos:
+					shifted = append(shifted, j-1)
+				default:
+					shifted = append(shifted, j)
+				}
+			}
+			if len(shifted) > 0 {
+				b[k] = shifted
+			}
+		}
+		out.buckets[fi] = b
+	}
+	return out
+}
+
+// insertSorted inserts v into the sorted slice xs, keeping it sorted.
+func insertSorted(xs []int, v int) []int {
+	at := sort.SearchInts(xs, v)
+	xs = append(xs, 0)
+	copy(xs[at+1:], xs[at:])
+	xs[at] = v
+	return xs
+}

@@ -1,0 +1,111 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func indexFixture(t *testing.T) (*rel.Database, *Set) {
+	t.Helper()
+	d := rel.NewDatabase(
+		rel.NewFact("Emp", "1", "Alice"),
+		rel.NewFact("Emp", "1", "Tom"),
+		rel.NewFact("Emp", "2", "Bob"),
+		rel.NewFact("Emp", "3", "Eve"),
+		rel.NewFact("Emp", "3", "Mallory"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("Emp", 2))
+	sigma := MustSet(sch, New("Emp", []int{0}, []int{1}))
+	return d, sigma
+}
+
+// conflictsFromPairs derives fact i's conflict partners from the full
+// ConflictPairs recompute — the ground truth the index must match.
+func conflictsFromPairs(s *Set, d *rel.Database, i int) []int {
+	var out []int
+	for _, p := range s.ConflictPairs(d) {
+		if p[0] == i {
+			out = append(out, p[1])
+		}
+		if p[1] == i {
+			out = append(out, p[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestConflictsOfMatchesConflictPairs(t *testing.T) {
+	d, sigma := indexFixture(t)
+	ix := NewIndex(sigma, d)
+	for i := 0; i < d.Len(); i++ {
+		got := ix.ConflictsOf(d, i)
+		want := conflictsFromPairs(sigma, d, i)
+		if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+			t.Fatalf("fact %d (%v): ConflictsOf = %v, want %v", i, d.Fact(i), got, want)
+		}
+	}
+}
+
+// TestIndexShiftingMatchesRebuild mutates a database through random
+// inserts and removals, maintaining the index incrementally, and checks
+// every intermediate index answers ConflictsOf exactly like a fresh
+// NewIndex over the mutated database.
+func TestIndexShiftingMatchesRebuild(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := MustSet(sch,
+		New("R", []int{0}, []int{1}),
+		New("R", []int{1}, []int{2}),
+	)
+	rng := rand.New(rand.NewSource(11))
+	d := rel.NewDatabase()
+	ix := NewIndex(sigma, d)
+	letter := func() string { return string(rune('a' + rng.Intn(5))) }
+	for step := 0; step < 150; step++ {
+		if d.Len() == 0 || rng.Intn(3) > 0 {
+			f := rel.NewFact("R", letter(), letter(), letter())
+			nd, pos, ok := d.Insert(f)
+			if !ok {
+				continue
+			}
+			d, ix = nd, ix.WithInsert(nd, pos)
+		} else {
+			pos := rng.Intn(d.Len())
+			nd := d.Remove(pos)
+			d, ix = nd, ix.WithRemove(nd, pos)
+		}
+		fresh := NewIndex(sigma, d)
+		for i := 0; i < d.Len(); i++ {
+			got, want := ix.ConflictsOf(d, i), fresh.ConflictsOf(d, i)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d, fact %d: incremental %v != rebuilt %v", step, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexCopyOnWriteDoesNotAliasOld(t *testing.T) {
+	d, sigma := indexFixture(t)
+	ix := NewIndex(sigma, d)
+	before := make([][]int, d.Len())
+	for i := range before {
+		before[i] = ix.ConflictsOf(d, i)
+	}
+	nd, pos, ok := d.Insert(rel.NewFact("Emp", "2", "Carol"))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	_ = ix.WithInsert(nd, pos)
+	for i := range before {
+		if got := ix.ConflictsOf(d, i); !reflect.DeepEqual(got, before[i]) && (len(got) != 0 || len(before[i]) != 0) {
+			t.Fatalf("old index mutated for fact %d: %v != %v", i, got, before[i])
+		}
+	}
+}

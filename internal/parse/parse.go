@@ -232,13 +232,17 @@ func splitAtomText(s string) (string, []string, error) {
 }
 
 // splitTopLevel splits a query body on commas that are outside
-// parentheses and quotes.
+// parentheses and quotes. Backslash escapes inside quotes are skipped.
 func splitTopLevel(s string) ([]string, error) {
 	var out []string
 	depth := 0
 	quoted := false
 	start := 0
 	for i := 0; i < len(s); i++ {
+		if quoted && s[i] == '\\' && i+1 < len(s) {
+			i++
+			continue
+		}
 		switch s[i] {
 		case '\'':
 			quoted = !quoted
@@ -267,13 +271,17 @@ func splitTopLevel(s string) ([]string, error) {
 	return out, nil
 }
 
-// splitQuoted splits on sep outside single quotes.
+// splitQuoted splits on sep outside single quotes. Inside quotes a
+// backslash escapes the next byte, so quoted constants may contain the
+// quote and backslash characters themselves.
 func splitQuoted(s string, sep byte) ([]string, error) {
 	var out []string
 	quoted := false
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch {
+		case quoted && s[i] == '\\' && i+1 < len(s):
+			i++
 		case s[i] == '\'':
 			quoted = !quoted
 		case s[i] == sep && !quoted:
@@ -292,16 +300,112 @@ func isQuoted(s string) bool {
 	return len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\''
 }
 
+// unquote strips the outer quotes and resolves the escape sequences
+// \\, \', \n and \r; an unknown escape keeps the escaped byte. Bare
+// (unquoted) tokens are returned verbatim — backslashes there are
+// literal, preserving the pre-escape behaviour of the format.
 func unquote(s string) string {
-	if isQuoted(s) {
-		return s[1 : len(s)-1]
+	if !isQuoted(s) {
+		return s
 	}
-	return s
+	s = s[1 : len(s)-1]
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		default: // \\ and \' resolve to the byte itself
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
+// FormatConstant renders a constant so ParseFact reads it back
+// verbatim: simple constants stay bare; anything carrying format
+// metacharacters (separators, quotes, comment marker, whitespace) is
+// quoted with \', \\, \n, \r escaped.
+func FormatConstant(c string) string {
+	if c != "" && c == strings.TrimSpace(c) && !strings.ContainsAny(c, ",()'#\\ \t\n\r") {
+		return c
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for i := 0; i < len(c); i++ {
+		switch c[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\'':
+			b.WriteString(`\'`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c[i])
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+// FormatFact renders a fact in the text format, quoting constants as
+// needed; ParseFact(FormatFact(f)) == f for every fact.
+func FormatFact(f rel.Fact) string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = FormatConstant(a)
+	}
+	return f.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// FormatDatabase renders a database as ParseDatabase input: one fact
+// per line, in the database's sorted fact order, so
+// ParseDatabase(FormatDatabase(d)) reproduces d exactly.
+func FormatDatabase(d *rel.Database) string {
+	var b strings.Builder
+	for _, f := range d.Facts() {
+		b.WriteString(FormatFact(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatFDs renders an FD set as ParseFDs input, one dependency per
+// line in declaration order (positional attribute names A1..An, which
+// is what parse-inferred schemas declare).
+func FormatFDs(s *fd.Set) string {
+	var b strings.Builder
+	for _, f := range s.FDs() {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// stripComment removes a '#' comment, honouring quotes: a '#' inside a
+// quoted constant is data, not a comment marker.
 func stripComment(line string) string {
-	if i := strings.IndexByte(line, '#'); i >= 0 {
-		line = line[:i]
+	quoted := false
+	for i := 0; i < len(line); i++ {
+		switch {
+		case quoted && line[i] == '\\' && i+1 < len(line):
+			i++
+		case line[i] == '\'':
+			quoted = !quoted
+		case line[i] == '#' && !quoted:
+			return strings.TrimSpace(line[:i])
+		}
 	}
 	return strings.TrimSpace(line)
 }

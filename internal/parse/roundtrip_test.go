@@ -1,0 +1,156 @@
+package parse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// nasty is the alphabet the property tests draw constants from: every
+// metacharacter of the text format (separators, quotes, the comment
+// marker, escapes, whitespace, newlines) plus plain letters.
+var nasty = []rune{'a', 'b', 'z', '0', ',', '(', ')', '\'', '#', '\\', ' ', '\t', '\n', '\r', '|', 'é'}
+
+func randConstant(rng *rand.Rand) string {
+	n := rng.Intn(6)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(nasty[rng.Intn(len(nasty))])
+	}
+	return b.String()
+}
+
+func TestFactRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 2000; trial++ {
+		arity := 1 + rng.Intn(4)
+		args := make([]string, arity)
+		for i := range args {
+			args[i] = randConstant(rng)
+		}
+		f := rel.NewFact("R", args...)
+		text := FormatFact(f)
+		got, err := ParseFact(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParseFact(%q): %v (fact %#v)", trial, text, err, f)
+		}
+		if !got.Equal(f) {
+			t.Fatalf("trial %d: round trip %#v → %q → %#v", trial, f, text, got)
+		}
+	}
+}
+
+// TestDatabaseRoundTripProperty is the satellite property: for random
+// databases over adversarial constants, ParseDatabase ∘ FormatDatabase
+// is the identity (same facts, same sorted order, same schema arities),
+// so snapshots and the text format cannot drift apart.
+func TestDatabaseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	rels := []struct {
+		name  string
+		arity int
+	}{{"R", 2}, {"S", 3}, {"T", 1}}
+	for trial := 0; trial < 300; trial++ {
+		var facts []rel.Fact
+		for i := 0; i < rng.Intn(12); i++ {
+			r := rels[rng.Intn(len(rels))]
+			args := make([]string, r.arity)
+			for j := range args {
+				args[j] = randConstant(rng)
+			}
+			facts = append(facts, rel.NewFact(r.name, args...))
+		}
+		d := rel.NewDatabase(facts...)
+		text := FormatDatabase(d)
+		got, sch, err := ParseDatabase(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParseDatabase of\n%s: %v", trial, text, err)
+		}
+		if !got.Equal(d) {
+			t.Fatalf("trial %d: round trip diverges:\noriginal %v\nreparsed %v\ntext:\n%s", trial, d, got, text)
+		}
+		// Second hop: Format(Parse(Format(d))) must be stable too.
+		if text2 := FormatDatabase(got); text2 != text {
+			t.Fatalf("trial %d: formatting not idempotent:\n%q\nvs\n%q", trial, text, text2)
+		}
+		for _, r := range sch.Relations() {
+			want, ok := rel.MustSchema(rel.NewRelation(r.Name, r.Arity())).Relation(r.Name)
+			if !ok || want.Arity() != r.Arity() {
+				t.Fatalf("trial %d: schema relation %v malformed", trial, r)
+			}
+		}
+	}
+}
+
+// TestFDRoundTripProperty: random FD sets over a declared schema render
+// via FormatFDs and re-parse to an identical set.
+func TestFDRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	sch := rel.MustSchema(rel.NewRelation("R", 4), rel.NewRelation("S", 2))
+	arity := map[string]int{"R": 4, "S": 2}
+	for trial := 0; trial < 500; trial++ {
+		var fds []fd.FD
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			name := "R"
+			if rng.Intn(2) == 0 {
+				name = "S"
+			}
+			n := arity[name]
+			pick := func() []int {
+				var out []int
+				for a := 0; a < n; a++ {
+					if rng.Intn(2) == 0 {
+						out = append(out, a)
+					}
+				}
+				if len(out) == 0 {
+					out = append(out, rng.Intn(n))
+				}
+				return out
+			}
+			fds = append(fds, fd.New(name, pick(), pick()))
+		}
+		set, err := fd.NewSet(sch, fds...)
+		if err != nil {
+			t.Fatalf("trial %d: building set: %v", trial, err)
+		}
+		text := FormatFDs(set)
+		got, err := ParseFDs(text, sch)
+		if err != nil {
+			t.Fatalf("trial %d: ParseFDs of %q: %v", trial, text, err)
+		}
+		if got.String() != set.String() {
+			t.Fatalf("trial %d: round trip %q → %q", trial, set, got)
+		}
+	}
+}
+
+func TestStripCommentHonoursQuotes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"R(a) # trailing", "R(a)"},
+		{"R('a#b')", "R('a#b')"},
+		{"R('a#b') # real comment", "R('a#b')"},
+		{`R('a\'#b')`, `R('a\'#b')`},
+		{"# whole line", ""},
+	}
+	for _, c := range cases {
+		if got := stripComment(c.in); got != c.want {
+			t.Fatalf("stripComment(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuotedConstantWithCommentAndQuote(t *testing.T) {
+	f := rel.NewFact("Emp", "o'brien, jr. #1", "line\nbreak")
+	db := rel.NewDatabase(f)
+	got, _, err := ParseDatabase(FormatDatabase(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db) {
+		t.Fatalf("round trip: %v != %v", got, db)
+	}
+}

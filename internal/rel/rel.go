@@ -313,6 +313,47 @@ func (d *Database) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
+// Insert returns a new database with f added at its sorted position,
+// leaving d untouched (copy-on-write), together with the index f was
+// assigned. Every fact previously at index ≥ pos moves to index+1 in
+// the new database — callers maintaining index-based structures must
+// remap. ok is false (and d is returned unchanged with f's existing
+// index) when the fact is already present.
+func (d *Database) Insert(f Fact) (nd *Database, pos int, ok bool) {
+	if i := d.IndexOf(f); i >= 0 {
+		return d, i, false
+	}
+	f = NewFact(f.Rel, f.Args...) // defensive copy: Facts are immutable
+	pos = sort.Search(len(d.facts), func(i int) bool { return f.Less(d.facts[i]) })
+	facts := make([]Fact, 0, len(d.facts)+1)
+	facts = append(facts, d.facts[:pos]...)
+	facts = append(facts, f)
+	facts = append(facts, d.facts[pos:]...)
+	nd = &Database{facts: facts, index: make(map[string]int, len(facts))}
+	for i, g := range facts {
+		nd.index[g.Key()] = i
+	}
+	return nd, pos, true
+}
+
+// Remove returns a new database with the fact at index i removed,
+// leaving d untouched (copy-on-write). Every fact previously at index
+// > i moves to index−1 in the new database. It panics when i is out of
+// range, matching slice-index semantics.
+func (d *Database) Remove(i int) *Database {
+	if i < 0 || i >= len(d.facts) {
+		panic(fmt.Sprintf("rel: Remove index %d out of range [0,%d)", i, len(d.facts)))
+	}
+	facts := make([]Fact, 0, len(d.facts)-1)
+	facts = append(facts, d.facts[:i]...)
+	facts = append(facts, d.facts[i+1:]...)
+	nd := &Database{facts: facts, index: make(map[string]int, len(facts))}
+	for j, g := range facts {
+		nd.index[g.Key()] = j
+	}
+	return nd
+}
+
 // FullSubset returns the subset containing every fact of d.
 func (d *Database) FullSubset() Subset {
 	s := NewSubset(d.Len())

@@ -39,6 +39,31 @@ type InstanceInfo struct {
 	CreatedAt  string `json:"created_at"`
 }
 
+// InsertFactRequest is the body of POST .../facts: one fact in the
+// text format, e.g. "Emp(2,Carol)".
+type InsertFactRequest struct {
+	Fact string `json:"fact"`
+}
+
+// FactMutationResponse describes the instance after an insert-fact or
+// delete-fact mutation.
+type FactMutationResponse struct {
+	ID string `json:"id"`
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Fact is the canonical rendering of the touched fact.
+	Fact string `json:"fact"`
+	// Index is the fact's index in the instance's sorted fact order:
+	// the index assigned on insert, or the index removed on delete
+	// (facts after it shift down by one).
+	Index int `json:"index"`
+	// Facts, Consistent and ConflictPairs describe the mutated
+	// instance.
+	Facts         int  `json:"facts"`
+	Consistent    bool `json:"consistent"`
+	ConflictPairs int  `json:"conflict_pairs"`
+}
+
 // QueryRequest drives POST .../query and each element of a batch.
 type QueryRequest struct {
 	// Generator is "ur" (uniform repairs), "us" (uniform sequences) or

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -32,10 +33,32 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return RegisterResponse{}, badRequest("%v", err)
 		}
-		e := s.reg.add(req.Name, inst, time.Now())
-		if e == nil {
-			return RegisterResponse{}, &httpError{http.StatusTooManyRequests,
-				fmt.Sprintf("instance registry is full (%d); delete instances or raise -max-instances", s.opts.MaxInstances)}
+		// Preparation happens outside the registry lock on purpose:
+		// DP-table construction is the expensive part and must not
+		// block lookups.
+		prepared := inst.Prepare()
+		now := time.Now()
+		id := s.reg.allocID()
+		// Journal before acknowledging: a registration the client saw
+		// succeed survives a restart.
+		if s.store != nil {
+			if err := s.store.LogRegister(id, req.Name, now, inst.DB(), inst.Sigma()); err != nil {
+				return RegisterResponse{}, &httpError{http.StatusInternalServerError,
+					fmt.Sprintf("journalling registration: %v", err)}
+			}
+		}
+		e, evicted := s.reg.add(id, req.Name, prepared, now)
+		for _, v := range evicted {
+			s.counters.evictions.Add(1)
+			s.cache.invalidate(v.id)
+			// Best-effort journalling of the eviction: on failure the
+			// evicted instance resurrects at the next boot and is
+			// evicted again once the registry refills — benign.
+			if s.store != nil {
+				if err := s.store.LogUnregister(v.id); err != nil {
+					s.counters.errors.Add(1)
+				}
+			}
 		}
 		s.counters.registered.Add(1)
 		info := e.info()
@@ -89,8 +112,144 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &httpError{http.StatusNotFound, "unknown instance " + strconv.Quote(id)})
 		return
 	}
+	if s.store != nil {
+		if err := s.store.LogUnregister(id); err != nil {
+			// The instance is gone from the registry either way; a
+			// failed journal entry only means it resurrects at boot.
+			s.counters.errors.Add(1)
+		}
+	}
 	s.cache.invalidate(id)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
+}
+
+// --- incremental fact mutations -------------------------------------------
+
+// mutationError maps library mutation failures onto HTTP statuses.
+func mutationError(err error) *httpError {
+	switch {
+	case errors.Is(err, errNotFound):
+		return &httpError{http.StatusNotFound, err.Error()}
+	case errors.Is(err, ocqa.ErrDuplicateFact):
+		return &httpError{http.StatusConflict, err.Error()}
+	case errors.Is(err, ocqa.ErrUnknownRelation),
+		errors.Is(err, ocqa.ErrArityMismatch),
+		errors.Is(err, ocqa.ErrFactIndex):
+		return badRequest("%v", err)
+	default:
+		return &httpError{http.StatusInternalServerError, err.Error()}
+	}
+}
+
+// mutateInstance runs one copy-on-write mutation under the registry's
+// write lock: derive the new instance, journal the operation, install
+// a fresh entry whose sampler artifacts build lazily on first use, and
+// drop the instance's cached results. The WAL append happens inside
+// the critical section, so the log order is the order the registry
+// applied. Mutations deliberately do NOT run under runWithDeadline:
+// abandoning a write on timeout would report failure for an operation
+// that still commits (and journals) behind the client's back — for an
+// index-addressed API that is actively dangerous. The work is O(‖D‖)
+// bookkeeping, not engine computation, so the response always reflects
+// exactly what was applied; only the compute semaphore is held, to
+// bound simultaneous copy work.
+func (s *Server) mutateInstance(id string, op func(*ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error)) (FactMutationResponse, *httpError) {
+	var out FactMutationResponse
+	_, err := s.reg.mutate(id, func(e *instanceEntry) (*instanceEntry, error) {
+		ni, resp, err := op(e.prepared.Instance)
+		if err != nil {
+			return nil, err
+		}
+		out = *resp
+		return &instanceEntry{id: e.id, name: e.name, prepared: ni.PrepareLazy(), created: e.created, gen: e.gen + 1}, nil
+	})
+	if err != nil {
+		return out, mutationError(err)
+	}
+	s.counters.mutations.Add(1)
+	s.cache.invalidate(id)
+	return out, nil
+}
+
+func (s *Server) handleInsertFact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req InsertFactRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	f, err := ocqa.ParseFact(req.Fact)
+	if err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	s.compute <- struct{}{}
+	defer func() { <-s.compute }()
+	resp, he := s.mutateInstance(id, func(in *ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error) {
+		ni, pos, err := in.InsertFact(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.store != nil {
+			if err := s.store.LogInsertFact(id, f); err != nil {
+				return nil, nil, fmt.Errorf("journalling insert: %w", err)
+			}
+		}
+		return ni, &FactMutationResponse{
+			ID:            id,
+			Op:            "insert",
+			Fact:          ocqa.FormatFact(f),
+			Index:         pos,
+			Facts:         ni.DB().Len(),
+			Consistent:    ni.IsConsistent(),
+			ConflictPairs: len(ni.Core().ConflictPairs()),
+		}, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteFact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil {
+		s.writeError(w, badRequest("fact index %q is not an integer", r.PathValue("index")))
+		return
+	}
+	s.compute <- struct{}{}
+	defer func() { <-s.compute }()
+	resp, he := s.mutateInstance(id, func(in *ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error) {
+		if idx < 0 || idx >= in.DB().Len() {
+			return nil, nil, fmt.Errorf("%w: %d not in [0,%d)", ocqa.ErrFactIndex, idx, in.DB().Len())
+		}
+		removed := in.DB().Fact(idx)
+		ni, err := in.DeleteFact(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.store != nil {
+			if err := s.store.LogDeleteFact(id, idx); err != nil {
+				return nil, nil, fmt.Errorf("journalling delete: %w", err)
+			}
+		}
+		return ni, &FactMutationResponse{
+			ID:            id,
+			Op:            "delete",
+			Fact:          ocqa.FormatFact(removed),
+			Index:         idx,
+			Facts:         ni.DB().Len(),
+			Consistent:    ni.IsConsistent(),
+			ConflictPairs: len(ni.Core().ConflictPairs()),
+		}, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- query execution ------------------------------------------------------
@@ -166,9 +325,13 @@ func boolField(b bool) string {
 	return "0"
 }
 
-// queryCacheKey captures the full identity of the computation.
-func (s *Server) queryCacheKey(id string, req QueryRequest) string {
-	return cacheKey(id,
+// queryCacheKey captures the full identity of the computation,
+// including the entry's mutation generation: a query computed against
+// an older generation of the instance caches under a key no
+// post-mutation lookup will ever form, so a mutation can never be
+// masked by a stale in-flight result landing after the invalidation.
+func (s *Server) queryCacheKey(e *instanceEntry, req QueryRequest) string {
+	return cacheKey(e.id, strconv.FormatInt(e.gen, 10),
 		"query", req.Generator, boolField(req.Singleton), req.Mode,
 		req.Query, req.Tuple, boolField(req.HasTuple),
 		strconv.FormatFloat(req.Epsilon, 'g', -1, 64),
@@ -208,7 +371,7 @@ func (s *Server) executeQuery(e *instanceEntry, req QueryRequest) (QueryResponse
 	c := ocqa.ParseTuple(req.Tuple)
 	req.Tuple = strings.Join(c, ",")
 	s.normalizeQuery(&req)
-	key := s.queryCacheKey(e.id, req)
+	key := s.queryCacheKey(e, req)
 	if resp, ok := s.cache.get(key); ok {
 		s.counters.cacheHits.Add(1)
 		s.counters.queriesServed.Add(1)

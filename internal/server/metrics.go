@@ -24,6 +24,8 @@ type counters struct {
 	errors        atomic.Int64
 	sampleDraws   atomic.Int64
 	registered    atomic.Int64
+	mutations     atomic.Int64
+	evictions     atomic.Int64
 }
 
 // varz is the JSON shape of GET /varz.
@@ -47,10 +49,24 @@ type varz struct {
 	// InstancesRegistered counts registrations over the server's
 	// lifetime (deletions do not decrement it).
 	InstancesRegistered int64 `json:"instances_registered"`
+	// FactMutations counts applied insert-fact/delete-fact operations.
+	FactMutations int64 `json:"fact_mutations"`
+	// Evictions counts LRU evictions performed by over-capacity
+	// registrations.
+	Evictions int64 `json:"evictions"`
 	// SamplerConstructions counts DP-table sampler constructions
 	// process-wide; with prepared instances it moves at registration
 	// time only, never per query.
 	SamplerConstructions int64 `json:"sampler_constructions"`
+
+	// Persistence counters, all zero when the server runs without a
+	// durable store (-data-dir unset).
+	Persistent  bool  `json:"persistent"`
+	WalAppends  int64 `json:"wal_appends"`
+	WalRecords  int64 `json:"wal_records"`
+	Snapshots   int64 `json:"snapshots"`
+	ReplayedOps int64 `json:"replayed_ops"`
+	Compactions int64 `json:"compactions"`
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
@@ -69,7 +85,18 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		Errors:               s.counters.errors.Load(),
 		SampleDraws:          s.counters.sampleDraws.Load(),
 		InstancesRegistered:  s.counters.registered.Load(),
+		FactMutations:        s.counters.mutations.Load(),
+		Evictions:            s.counters.evictions.Load(),
 		SamplerConstructions: sampler.Constructions(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		v.Persistent = true
+		v.WalAppends = st.WalAppends
+		v.WalRecords = st.WalRecords
+		v.Snapshots = st.Snapshots
+		v.ReplayedOps = st.ReplayedOps
+		v.Compactions = st.Compactions
 	}
 	writeJSON(w, http.StatusOK, v)
 }

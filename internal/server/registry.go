@@ -1,9 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ocqa "repro"
@@ -11,13 +15,24 @@ import (
 
 // instanceEntry is one registered instance: the prepared artifacts
 // (conflict structure, block decomposition, sequence-sampler DP
-// tables, constraint class) built once at registration and shared —
-// read-only — by every query that names the instance.
+// tables, constraint class) built once at registration — or lazily
+// after a mutation or a warm boot — and shared, read-only, by every
+// query that names the instance. Mutations never modify an entry's
+// Prepared in place: they install a fresh entry whose instance was
+// derived copy-on-write, so in-flight queries keep a consistent view.
 type instanceEntry struct {
 	id       string
 	name     string
 	prepared *ocqa.Prepared
 	created  time.Time
+	// gen counts the mutations applied to this id (1 at registration).
+	// It is folded into result-cache keys, so a query computed against
+	// an older generation can never be served — or cached — as current
+	// after a mutation lands.
+	gen int64
+	// used is the registry-wide LRU clock value of the entry's last
+	// lookup; updated atomically under the registry's read lock.
+	used atomic.Int64
 }
 
 func (e *instanceEntry) info() InstanceInfo {
@@ -33,14 +48,20 @@ func (e *instanceEntry) info() InstanceInfo {
 	}
 }
 
+// errNotFound distinguishes "no such instance" from mutation failures.
+var errNotFound = errors.New("server: unknown instance")
+
 // registry maps instance IDs to prepared instances behind an RWMutex:
-// registration and removal take the write lock; the (vastly more
-// frequent) per-query lookups share the read lock. cap bounds the
-// number of live instances (each holds a database plus DP tables).
+// registration, removal and mutation take the write lock; the (vastly
+// more frequent) per-query lookups share the read lock. cap bounds the
+// number of live instances; at capacity, add evicts the
+// least-recently-used entry instead of refusing, so a long-running
+// service keeps absorbing new registrations.
 type registry struct {
 	mu      sync.RWMutex
 	cap     int
 	seq     int
+	clock   atomic.Int64 // LRU clock, bumped on every lookup
 	entries map[string]*instanceEntry
 }
 
@@ -48,33 +69,109 @@ func newRegistry(capacity int) *registry {
 	return &registry{cap: capacity, entries: make(map[string]*instanceEntry)}
 }
 
-// add prepares the instance eagerly and registers it under a fresh ID;
-// it returns nil when the registry is at capacity.
-func (r *registry) add(name string, inst *ocqa.Instance, now time.Time) *instanceEntry {
-	// Preparation happens outside the lock on purpose: DP-table
-	// construction is the expensive part and must not block lookups.
-	prepared := inst.Prepare()
+// allocID reserves a fresh instance ID. IDs are allocated before the
+// WAL record is written so the durable log and the in-memory registry
+// agree on naming.
+func (r *registry) allocID() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.entries) >= r.cap {
-		return nil
-	}
 	r.seq++
-	e := &instanceEntry{
-		id:       fmt.Sprintf("i%d", r.seq),
-		name:     name,
-		prepared: prepared,
-		created:  now,
+	return fmt.Sprintf("i%d", r.seq)
+}
+
+// add registers a prepared instance under the pre-allocated ID. When
+// the registry is at (or, after a warm boot with a lowered cap, above)
+// capacity, least-recently-used entries are evicted until the new
+// entry fits, and returned so the caller can journal the evictions and
+// drop their cached results.
+func (r *registry) add(id, name string, prepared *ocqa.Prepared, now time.Time) (e *instanceEntry, evicted []*instanceEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.entries) >= r.cap {
+		v := r.evictLRULocked()
+		if v == nil {
+			break
+		}
+		evicted = append(evicted, v)
 	}
-	r.entries[e.id] = e
-	return e
+	e = &instanceEntry{id: id, name: name, prepared: prepared, created: now, gen: 1}
+	e.used.Store(r.clock.Add(1))
+	r.entries[id] = e
+	return e, evicted
+}
+
+// evictLRU evicts the least-recently-used entry, if any; the boot path
+// uses it to shrink a replayed registry down to a lowered capacity.
+func (r *registry) evictLRU() *instanceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictLRULocked()
+}
+
+// evictLRULocked removes and returns the entry with the oldest lookup
+// clock. The scan is O(capacity), which is bounded and tiny next to
+// the preparation work a registration performs anyway.
+func (r *registry) evictLRULocked() *instanceEntry {
+	var victim *instanceEntry
+	for _, e := range r.entries {
+		if victim == nil || e.used.Load() < victim.used.Load() ||
+			(e.used.Load() == victim.used.Load() && e.id < victim.id) {
+			victim = e
+		}
+	}
+	if victim != nil {
+		delete(r.entries, victim.id)
+	}
+	return victim
+}
+
+// restore installs a replayed entry under its original ID without
+// consuming a new sequence number beyond it; used only at boot, before
+// the server accepts traffic.
+func (r *registry) restore(id, name string, prepared *ocqa.Prepared, created time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := &instanceEntry{id: id, name: name, prepared: prepared, created: created, gen: 1}
+	e.used.Store(r.clock.Add(1))
+	r.entries[id] = e
+	// Keep the ID sequence ahead of every restored ID so new
+	// registrations never collide with a live instance.
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "i")); err == nil && n > r.seq {
+		r.seq = n
+	}
 }
 
 func (r *registry) get(id string) (*instanceEntry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[id]
+	if ok {
+		e.used.Store(r.clock.Add(1))
+	}
 	return e, ok
+}
+
+// mutate atomically replaces the entry for id with the one f derives
+// from it. f runs under the write lock: mutations serialise against
+// each other (no lost updates between two concurrent inserts) and
+// against registration/removal, while the copy-on-write instance keeps
+// in-flight readers of the old entry consistent. f journalling to the
+// WAL inside the critical section gives the log the same order the
+// registry applied.
+func (r *registry) mutate(id string, f func(*instanceEntry) (*instanceEntry, error)) (*instanceEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, errNotFound
+	}
+	ne, err := f(e)
+	if err != nil {
+		return nil, err
+	}
+	ne.used.Store(r.clock.Add(1))
+	r.entries[id] = ne
+	return ne, nil
 }
 
 func (r *registry) remove(id string) bool {

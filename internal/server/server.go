@@ -10,6 +10,8 @@
 //	GET    /v1/instances                      list registered instances
 //	GET    /v1/instances/{id}                 inspect one instance
 //	DELETE /v1/instances/{id}                 deregister (and drop cached results)
+//	POST   /v1/instances/{id}/facts           insert one fact (incremental)
+//	DELETE /v1/instances/{id}/facts/{index}   delete the fact at that index
 //	POST   /v1/instances/{id}/query           exact or approximate OCQA
 //	POST   /v1/instances/{id}/batch           N queries over a bounded worker pool
 //	POST   /v1/instances/{id}/repairs/count   |CORep| / |CRS| (and ^1 variants)
@@ -25,6 +27,15 @@
 // pair without an FPRAS is refused with HTTP 422 and the error cites
 // the paper's theorem. Repeated identical queries are served from a
 // bounded LRU result cache.
+//
+// With Options.Store set, the server is durable: every registry
+// operation — register, unregister (explicit or LRU eviction),
+// insert-fact, delete-fact — is journalled to the store's write-ahead
+// log before it is acknowledged, and New replays the snapshot + WAL so
+// a restarted server answers for every previously registered instance
+// without re-registration. Fact mutations maintain the conflict
+// structure incrementally (copy-on-write) and invalidate the cached
+// results and sampler artifacts of the touched instance lazily.
 package server
 
 import (
@@ -38,6 +49,7 @@ import (
 
 	ocqa "repro"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // Options configures a Server.
@@ -72,11 +84,18 @@ type Options struct {
 	// min(request workers, BatchWorkers); lower either knob to shrink
 	// that product. Default: 4 × GOMAXPROCS.
 	MaxConcurrentQueries int
-	// MaxInstances bounds the registry (each instance permanently
-	// holds its database, conflict structure and DP tables until
-	// deleted). Registrations beyond it are refused with 429.
+	// MaxInstances bounds the registry (each instance holds its
+	// database, conflict structure and DP tables while live).
+	// Registrations beyond it evict the least-recently-used instance,
+	// journalling the eviction when a Store is configured.
 	// Default: 1024.
 	MaxInstances int
+	// Store, when non-nil, makes the registry durable: every registry
+	// operation is journalled to its WAL and New replays its contents
+	// into the registry before serving. The server owns neither Open
+	// nor Close — the caller (cmd/ocqa-serve) manages the store's
+	// lifecycle around the HTTP listener's.
+	Store *store.Store
 }
 
 func (o *Options) fill() {
@@ -121,6 +140,7 @@ type Server struct {
 	opts     Options
 	reg      *registry
 	cache    *resultCache
+	store    *store.Store // nil when running memory-only
 	counters counters
 	start    time.Time
 	mux      *http.ServeMux
@@ -129,21 +149,47 @@ type Server struct {
 	compute chan struct{}
 }
 
-// New builds a Server with its routes installed.
+// New builds a Server with its routes installed. With opts.Store set,
+// the store's replayed state (snapshot + WAL) is restored into the
+// registry first — a warm boot: every previously registered instance
+// answers queries without re-registration, rebuilding its sampler
+// artifacts lazily on first use.
 func New(opts Options) *Server {
 	opts.fill()
 	s := &Server{
 		opts:    opts,
 		reg:     newRegistry(opts.MaxInstances),
 		cache:   newResultCache(opts.CacheSize),
+		store:   opts.Store,
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		compute: make(chan struct{}, opts.MaxConcurrentQueries),
+	}
+	if s.store != nil {
+		for _, is := range s.store.Instances() {
+			inst := ocqa.NewInstance(is.DB, is.Sigma)
+			s.reg.restore(is.ID, is.Name, inst.PrepareLazy(), is.Created)
+		}
+		// A store written under a higher -max-instances may replay more
+		// entries than this boot's capacity: evict (and journal) down
+		// so the documented memory bound holds from the first request.
+		for s.reg.len() > opts.MaxInstances {
+			v := s.reg.evictLRU()
+			if v == nil {
+				break
+			}
+			s.counters.evictions.Add(1)
+			if err := s.store.LogUnregister(v.id); err != nil {
+				s.counters.errors.Add(1)
+			}
+		}
 	}
 	s.mux.HandleFunc("POST /v1/instances", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/instances", s.handleList)
 	s.mux.HandleFunc("GET /v1/instances/{id}", s.handleInfo)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/instances/{id}/facts", s.handleInsertFact)
+	s.mux.HandleFunc("DELETE /v1/instances/{id}/facts/{index}", s.handleDeleteFact)
 	s.mux.HandleFunc("POST /v1/instances/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/instances/{id}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/instances/{id}/repairs/count", s.handleCount)

@@ -643,17 +643,32 @@ func TestTupleArityValidated(t *testing.T) {
 
 // TestRegistryCapacity: registrations beyond MaxInstances are refused
 // until an instance is deleted.
-func TestRegistryCapacity(t *testing.T) {
-	ts, _ := newTestServer(t, Options{MaxInstances: 1})
-	reg := register(t, ts.URL, pkFacts, pkFDs)
-	var e errorResponse
-	if status := do(t, http.MethodPost, ts.URL+"/v1/instances", RegisterRequest{Facts: fdFacts, FDs: fdFDs}, &e); status != http.StatusTooManyRequests {
-		t.Fatalf("over-capacity register: status %d, body %+v", status, e)
+func TestRegistryCapacityEvictsLRU(t *testing.T) {
+	ts, s := newTestServer(t, Options{MaxInstances: 2})
+	a := register(t, ts.URL, pkFacts, pkFDs)
+	b := register(t, ts.URL, fdFacts, fdFDs)
+	// Touch a so b becomes the least-recently-used entry.
+	if status := do(t, http.MethodGet, ts.URL+"/v1/instances/"+a.ID, nil, nil); status != http.StatusOK {
+		t.Fatalf("touch a: status %d", status)
 	}
-	if status := do(t, http.MethodDelete, ts.URL+"/v1/instances/"+reg.ID, nil, nil); status != http.StatusOK {
-		t.Fatalf("delete: status %d", status)
+	c := register(t, ts.URL, pkFacts, pkFDs)
+	if c.ID == a.ID || c.ID == b.ID {
+		t.Fatalf("IDs must never be reused within a process, got %s again", c.ID)
 	}
-	if reg2 := register(t, ts.URL, fdFacts, fdFDs); reg2.ID == reg.ID {
-		t.Fatalf("IDs must never be reused, got %s twice", reg2.ID)
+	// b was evicted; a and c survive.
+	if status := do(t, http.MethodGet, ts.URL+"/v1/instances/"+b.ID, nil, nil); status != http.StatusNotFound {
+		t.Fatalf("evicted instance still served: status %d", status)
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if status := do(t, http.MethodGet, ts.URL+"/v1/instances/"+id, nil, nil); status != http.StatusOK {
+			t.Fatalf("surviving instance %s: status %d", id, status)
+		}
+	}
+	if n := s.reg.len(); n != 2 {
+		t.Fatalf("registry holds %d entries, want capacity 2", n)
+	}
+	var v varz
+	if status := do(t, http.MethodGet, ts.URL+"/varz", nil, &v); status != http.StatusOK || v.Evictions != 1 {
+		t.Fatalf("evictions counter = %d (status %d), want 1", v.Evictions, status)
 	}
 }

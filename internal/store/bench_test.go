@@ -1,0 +1,45 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// BenchmarkWALReplay measures a cold boot: Open replays a WAL of one
+// registration plus 512 incremental fact mutations.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	st, err := Open(Options{Dir: dir, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.LogRegister("i1", "bench", time.Now(), rel.NewDatabase(), sigma); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		if err := st.LogInsertFact("i1", rel.NewFact("R", fmt.Sprintf("k%d", i%64), fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(Options{Dir: dir, CompactEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(st.Instances()); n != 1 {
+			b.Fatalf("replayed %d instances", n)
+		}
+		st.Close()
+	}
+}

@@ -1,0 +1,237 @@
+// Package store is the durable instance store behind the OCQA service:
+// a versioned binary snapshot codec for (schema, database, FD set)
+// triples plus an append-only, CRC-framed write-ahead log that journals
+// every registry operation (register, unregister, insert-fact,
+// delete-fact). Boot replays snapshot-then-WAL; replay is crash-safe —
+// a torn or corrupt tail record is detected by its checksum and the log
+// is truncated back to the last complete record. Periodic compaction
+// folds the WAL into a fresh snapshot (written atomically via
+// temp-file + rename) and truncates the log.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// codecVersion is bumped on any incompatible change to the instance
+// payload encoding; decoders refuse versions they do not know.
+const codecVersion = 1
+
+// instanceMagic introduces a standalone instance snapshot (the facade's
+// Instance.Snapshot writes exactly one of these).
+var instanceMagic = []byte("OCQI")
+
+// --- primitive encoders ---------------------------------------------------
+
+func putUvarint(b *bytes.Buffer, n uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], n)])
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func putInts(b *bytes.Buffer, xs []int) {
+	putUvarint(b, uint64(len(xs)))
+	for _, x := range xs {
+		putUvarint(b, uint64(x))
+	}
+}
+
+type reader struct {
+	r *bytes.Reader
+}
+
+func (rd reader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(rd.r)
+}
+
+func (rd reader) count(what string, limit uint64) (int, error) {
+	n, err := rd.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("store: reading %s count: %w", what, err)
+	}
+	if n > limit {
+		return 0, fmt.Errorf("store: %s count %d exceeds sanity limit %d", what, n, limit)
+	}
+	return int(n), nil
+}
+
+func (rd reader) string_() (string, error) {
+	n, err := rd.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(rd.r.Len()) {
+		return "", fmt.Errorf("store: string length %d exceeds remaining %d bytes", n, rd.r.Len())
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (rd reader) ints() ([]int, error) {
+	n, err := rd.count("attribute", 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := rd.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// --- instance payload -----------------------------------------------------
+
+// encodeInstancePayload appends the versionless body: schema, FDs,
+// facts. Callers prepend magic+version (standalone snapshots) or embed
+// the body in a larger frame (WAL register records, store snapshots).
+func encodeInstancePayload(b *bytes.Buffer, d *rel.Database, sigma *fd.Set) {
+	sch := sigma.Schema()
+	rels := sch.Relations()
+	putUvarint(b, uint64(len(rels)))
+	for _, r := range rels {
+		putString(b, r.Name)
+		putUvarint(b, uint64(len(r.Attrs)))
+		for _, a := range r.Attrs {
+			putString(b, a)
+		}
+	}
+	fds := sigma.FDs()
+	putUvarint(b, uint64(len(fds)))
+	for _, f := range fds {
+		putString(b, f.Rel)
+		putInts(b, f.LHS)
+		putInts(b, f.RHS)
+	}
+	putUvarint(b, uint64(d.Len()))
+	for _, f := range d.Facts() {
+		putString(b, f.Rel)
+		putUvarint(b, uint64(len(f.Args)))
+		for _, a := range f.Args {
+			putString(b, a)
+		}
+	}
+}
+
+func decodeInstancePayload(rd reader) (*rel.Database, *fd.Set, error) {
+	nRels, err := rd.count("relation", 1<<20)
+	if err != nil {
+		return nil, nil, err
+	}
+	rels := make([]rel.Relation, 0, nRels)
+	for i := 0; i < nRels; i++ {
+		name, err := rd.string_()
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: relation name: %w", err)
+		}
+		nAttrs, err := rd.count("attribute", 1<<16)
+		if err != nil {
+			return nil, nil, err
+		}
+		attrs := make([]string, nAttrs)
+		for j := range attrs {
+			if attrs[j], err = rd.string_(); err != nil {
+				return nil, nil, fmt.Errorf("store: attribute name: %w", err)
+			}
+		}
+		rels = append(rels, rel.Relation{Name: name, Attrs: attrs})
+	}
+	sch, err := rel.NewSchema(rels...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: decoded schema invalid: %w", err)
+	}
+	nFDs, err := rd.count("FD", 1<<20)
+	if err != nil {
+		return nil, nil, err
+	}
+	fds := make([]fd.FD, 0, nFDs)
+	for i := 0; i < nFDs; i++ {
+		relName, err := rd.string_()
+		if err != nil {
+			return nil, nil, err
+		}
+		lhs, err := rd.ints()
+		if err != nil {
+			return nil, nil, err
+		}
+		rhs, err := rd.ints()
+		if err != nil {
+			return nil, nil, err
+		}
+		fds = append(fds, fd.New(relName, lhs, rhs))
+	}
+	sigma, err := fd.NewSet(sch, fds...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: decoded FD set invalid: %w", err)
+	}
+	nFacts, err := rd.count("fact", 1<<28)
+	if err != nil {
+		return nil, nil, err
+	}
+	facts := make([]rel.Fact, 0, nFacts)
+	for i := 0; i < nFacts; i++ {
+		relName, err := rd.string_()
+		if err != nil {
+			return nil, nil, err
+		}
+		nArgs, err := rd.count("argument", 1<<16)
+		if err != nil {
+			return nil, nil, err
+		}
+		args := make([]string, nArgs)
+		for j := range args {
+			if args[j], err = rd.string_(); err != nil {
+				return nil, nil, err
+			}
+		}
+		facts = append(facts, rel.NewFact(relName, args...))
+	}
+	return rel.NewDatabase(facts...), sigma, nil
+}
+
+// EncodeInstance writes a standalone versioned snapshot of one
+// (schema, database, FD set) triple.
+func EncodeInstance(w io.Writer, d *rel.Database, sigma *fd.Set) error {
+	var b bytes.Buffer
+	b.Write(instanceMagic)
+	putUvarint(&b, codecVersion)
+	encodeInstancePayload(&b, d, sigma)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// DecodeInstance reads a standalone snapshot written by EncodeInstance.
+func DecodeInstance(r io.Reader) (*rel.Database, *fd.Set, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) < len(instanceMagic) || !bytes.Equal(raw[:len(instanceMagic)], instanceMagic) {
+		return nil, nil, fmt.Errorf("store: not an instance snapshot (bad magic)")
+	}
+	rd := reader{bytes.NewReader(raw[len(instanceMagic):])}
+	v, err := rd.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if v != codecVersion {
+		return nil, nil, fmt.Errorf("store: snapshot codec version %d not supported (have %d)", v, codecVersion)
+	}
+	return decodeInstancePayload(rd)
+}

@@ -1,0 +1,537 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// File names inside the data directory.
+const (
+	snapshotFile = "snapshot.bin"
+	walFile      = "wal.bin"
+)
+
+var snapshotMagic = []byte("OCQS")
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// Fsync syncs the WAL file after every append. Off by default: an
+	// OS crash may then lose the tail of the log (a process crash loses
+	// nothing either way); replay still stops cleanly at the tear.
+	Fsync bool
+	// CompactEvery triggers automatic compaction (snapshot + WAL
+	// truncation, run on a background goroutine so appenders never
+	// wait for it) once the WAL holds that many records. 0 picks the
+	// default of 4096; negative disables auto-compaction (explicit
+	// Compact still works).
+	CompactEvery int
+}
+
+func (o *Options) fill() {
+	switch {
+	case o.CompactEvery == 0:
+		o.CompactEvery = 4096
+	case o.CompactEvery < 0:
+		o.CompactEvery = 0
+	}
+}
+
+// InstanceState is the durable view of one registered instance.
+type InstanceState struct {
+	ID      string
+	Name    string
+	Created time.Time
+	DB      *rel.Database
+	Sigma   *fd.Set
+}
+
+// Stats are the store's persistence counters, all monotone over the
+// store's lifetime (replayedOps counts boot replay only).
+type Stats struct {
+	WalAppends  int64 `json:"wal_appends"`
+	Snapshots   int64 `json:"snapshots"`
+	ReplayedOps int64 `json:"replayed_ops"`
+	Compactions int64 `json:"compactions"`
+	CompactErrs int64 `json:"compact_errors"`
+	WalRecords  int64 `json:"wal_records"`
+	TornTail    bool  `json:"torn_tail_truncated"`
+}
+
+// Store is the durable instance store: a snapshot file plus an
+// append-only WAL in one directory. It maintains the logical state
+// (id → instance) so compaction can serialise it without help from the
+// caller; the serving layer keeps its own prepared artifacts and treats
+// the store as the system of record. All methods are safe for
+// concurrent use.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	wal     *os.File
+	walOps  int // records currently in the WAL
+	state   map[string]*InstanceState
+	order   []string // ids in registration order, for deterministic snapshots
+	closed  bool
+	tornLog bool
+	// failed latches after a WAL write error: the file may end in a
+	// partial frame, and appending past it would strand every later
+	// record behind a tear replay cannot cross.
+	failed bool
+
+	walAppends  atomic.Int64
+	snapshots   atomic.Int64
+	replayedOps atomic.Int64
+	compactions atomic.Int64
+	compactErrs atomic.Int64
+	// compacting gates the single in-flight background compaction.
+	compacting atomic.Bool
+	// compactWG lets Close wait out a scheduled compaction.
+	compactWG sync.WaitGroup
+}
+
+// Open loads the snapshot (if any), replays the WAL over it, truncates
+// any torn tail, and leaves the store ready for appends. The replayed
+// instances are available via Instances.
+func Open(opts Options) (*Store, error) {
+	opts.fill()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	st := &Store{opts: opts, state: make(map[string]*InstanceState)}
+
+	if err := st.loadSnapshot(); err != nil {
+		return nil, err
+	}
+
+	wal, err := os.OpenFile(filepath.Join(opts.Dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	res, err := scanWAL(wal)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: replaying WAL: %w", err)
+	}
+	for _, rec := range res.records {
+		if err := st.apply(rec); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: replaying %s(%s): %w", rec.kind, rec.id, err)
+		}
+		st.replayedOps.Add(1)
+	}
+	if res.torn {
+		if err := wal.Truncate(res.goodLen); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+		}
+		st.tornLog = true
+	}
+	if _, err := wal.Seek(res.goodLen, 0); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	st.wal = wal
+	st.walOps = len(res.records)
+	return st, nil
+}
+
+// Instances returns the current logical state in registration order.
+// The returned states share the store's immutable databases; callers
+// must not mutate them.
+func (st *Store) Instances() []*InstanceState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*InstanceState, 0, len(st.order))
+	for _, id := range st.order {
+		if s, ok := st.state[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Stats returns the persistence counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	walRecords := int64(st.walOps)
+	torn := st.tornLog
+	st.mu.Unlock()
+	return Stats{
+		WalAppends:  st.walAppends.Load(),
+		Snapshots:   st.snapshots.Load(),
+		ReplayedOps: st.replayedOps.Load(),
+		Compactions: st.compactions.Load(),
+		CompactErrs: st.compactErrs.Load(),
+		WalRecords:  walRecords,
+		TornTail:    torn,
+	}
+}
+
+// Close waits out any scheduled compaction, then flushes and closes
+// the WAL. The store must not be used after.
+func (st *Store) Close() error {
+	st.compactWG.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	if err := st.wal.Sync(); err != nil {
+		st.wal.Close()
+		return err
+	}
+	return st.wal.Close()
+}
+
+// --- logging --------------------------------------------------------------
+
+// LogRegister journals a registration. The database and FD set are
+// embedded as a full codec payload, so replay needs no other files.
+func (st *Store) LogRegister(id, name string, created time.Time, d *rel.Database, sigma *fd.Set) error {
+	return st.append(record{kind: opRegister, id: id, name: name, created: created.UnixNano(), db: d, sigma: sigma})
+}
+
+// LogUnregister journals a deregistration (explicit delete or LRU
+// eviction — durably they are the same operation).
+func (st *Store) LogUnregister(id string) error {
+	return st.append(record{kind: opUnregister, id: id})
+}
+
+// LogInsertFact journals an incremental fact insertion.
+func (st *Store) LogInsertFact(id string, f rel.Fact) error {
+	return st.append(record{kind: opInsertFact, id: id, fact: f})
+}
+
+// LogDeleteFact journals an incremental fact deletion by the fact's
+// index in the instance's (sorted, deterministic) fact order at the
+// time of the delete — replay applies operations in order, so the
+// index resolves to the same fact.
+func (st *Store) LogDeleteFact(id string, index int) error {
+	return st.append(record{kind: opDeleteFact, id: id, index: index})
+}
+
+// append applies the record to the logical state, frames it onto the
+// WAL, and schedules compaction when the WAL has grown past the
+// threshold. The state is updated first (under the same lock) so a
+// record that cannot apply — an unknown id, say — is rejected before
+// it reaches the log; a record that fails to *write* is rolled back,
+// so a failure the client saw never persists, in memory or on disk.
+func (st *Store) append(rec record) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if st.failed {
+		return fmt.Errorf("store: WAL failed a previous append; restart to recover")
+	}
+	undo, err := st.applyWithUndo(rec)
+	if err != nil {
+		return err
+	}
+	frame := frameRecord(encodeRecord(rec))
+	if _, err := st.wal.Write(frame); err != nil {
+		// The file may now hold a partial frame; appending after it
+		// would bury every later record behind a torn one that replay
+		// cannot pass. Latch the store failed — replay at the next
+		// boot truncates the tear.
+		undo()
+		st.failed = true
+		return fmt.Errorf("store: appending %s(%s): %w", rec.kind, rec.id, err)
+	}
+	if st.opts.Fsync {
+		if err := st.wal.Sync(); err != nil {
+			// The bytes may or may not be durable; memory reflects
+			// "not acknowledged" and replay decides after a crash.
+			undo()
+			st.failed = true
+			return fmt.Errorf("store: syncing %s(%s): %w", rec.kind, rec.id, err)
+		}
+	}
+	st.walOps++
+	st.walAppends.Add(1)
+	if st.opts.CompactEvery > 0 && st.walOps >= st.opts.CompactEvery {
+		st.scheduleCompaction()
+	}
+	return nil
+}
+
+// scheduleCompaction kicks off one background compaction (at most one
+// in flight). Compaction takes only the store mutex, so it runs
+// outside whatever lock the caller of a Log* method holds — a fact
+// mutation inside the server's registry write lock never pays for (or
+// blocks the query plane on) a full snapshot.
+func (st *Store) scheduleCompaction() {
+	if !st.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	st.compactWG.Add(1)
+	go func() {
+		defer st.compactWG.Done()
+		defer st.compacting.Store(false)
+		if err := st.Compact(); err != nil {
+			// The WAL keeps absorbing appends; replay just has more to
+			// do at the next boot. Surface through the stats.
+			st.compactErrs.Add(1)
+		}
+	}()
+}
+
+// applyWithUndo is apply plus a closure restoring the prior state,
+// used to roll a mutation back when its WAL write fails. The undo
+// closures restore pointers into immutable values (databases are
+// copy-on-write), so they are exact, not best-effort.
+func (st *Store) applyWithUndo(rec record) (func(), error) {
+	switch rec.kind {
+	case opRegister:
+		prev, had := st.state[rec.id]
+		undo := func() {
+			delete(st.state, rec.id)
+			st.removeFromOrder(rec.id)
+			if had {
+				st.state[rec.id] = prev
+				st.order = append(st.order, rec.id)
+			}
+		}
+		return undo, st.apply(rec)
+	case opUnregister:
+		prev, had := st.state[rec.id]
+		pos := -1
+		for i, id := range st.order {
+			if id == rec.id {
+				pos = i
+				break
+			}
+		}
+		undo := func() {
+			if !had {
+				return
+			}
+			st.state[rec.id] = prev
+			if pos >= 0 && pos <= len(st.order) {
+				st.order = append(st.order[:pos], append([]string{rec.id}, st.order[pos:]...)...)
+			} else {
+				st.order = append(st.order, rec.id)
+			}
+		}
+		return undo, st.apply(rec)
+	case opInsertFact, opDeleteFact:
+		s, ok := st.state[rec.id]
+		if !ok {
+			return func() {}, st.apply(rec) // apply will report the error
+		}
+		prevDB := s.DB
+		return func() { s.DB = prevDB }, st.apply(rec)
+	default:
+		return func() {}, st.apply(rec)
+	}
+}
+
+// apply folds one record into the logical state.
+func (st *Store) apply(rec record) error {
+	switch rec.kind {
+	case opRegister:
+		if _, dup := st.state[rec.id]; dup {
+			// Replay after id reuse (unregister + re-register across a
+			// compaction boundary can interleave); last write wins.
+			st.removeFromOrder(rec.id)
+		}
+		st.state[rec.id] = &InstanceState{
+			ID:      rec.id,
+			Name:    rec.name,
+			Created: time.Unix(0, rec.created).UTC(),
+			DB:      rec.db,
+			Sigma:   rec.sigma,
+		}
+		st.order = append(st.order, rec.id)
+	case opUnregister:
+		if _, ok := st.state[rec.id]; !ok {
+			return fmt.Errorf("store: unregister of unknown instance %q", rec.id)
+		}
+		delete(st.state, rec.id)
+		st.removeFromOrder(rec.id)
+	case opInsertFact:
+		s, ok := st.state[rec.id]
+		if !ok {
+			return fmt.Errorf("store: insert-fact into unknown instance %q", rec.id)
+		}
+		nd, _, fresh := s.DB.Insert(rec.fact)
+		if !fresh {
+			return fmt.Errorf("store: insert-fact duplicate %v in %q", rec.fact, rec.id)
+		}
+		s.DB = nd
+	case opDeleteFact:
+		s, ok := st.state[rec.id]
+		if !ok {
+			return fmt.Errorf("store: delete-fact from unknown instance %q", rec.id)
+		}
+		if rec.index < 0 || rec.index >= s.DB.Len() {
+			return fmt.Errorf("store: delete-fact index %d out of range for %q (%d facts)", rec.index, rec.id, s.DB.Len())
+		}
+		s.DB = s.DB.Remove(rec.index)
+	default:
+		return fmt.Errorf("store: unknown record kind %d", rec.kind)
+	}
+	return nil
+}
+
+func (st *Store) removeFromOrder(id string) {
+	for i, v := range st.order {
+		if v == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- snapshot + compaction ------------------------------------------------
+
+// Compact folds the current state into a fresh snapshot and truncates
+// the WAL. Safe to call at any time; a crash during compaction is
+// harmless because the snapshot is replaced atomically (temp file +
+// rename) and the WAL is truncated only after the rename.
+func (st *Store) Compact() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return st.compactLocked()
+}
+
+func (st *Store) compactLocked() error {
+	if err := st.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	if err := st.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	}
+	if _, err := st.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	st.walOps = 0
+	st.compactions.Add(1)
+	return nil
+}
+
+// writeSnapshotLocked serialises the full state:
+//
+//	magic "OCQS" | uvarint version | uvarint count |
+//	per instance: id, name, created, instance payload |
+//	uint32 LE IEEE-CRC32 of everything before it
+func (st *Store) writeSnapshotLocked() error {
+	var b bytes.Buffer
+	b.Write(snapshotMagic)
+	putUvarint(&b, codecVersion)
+	ids := st.order // registration order, deterministic
+	putUvarint(&b, uint64(len(ids)))
+	for _, id := range ids {
+		s := st.state[id]
+		putString(&b, s.ID)
+		putString(&b, s.Name)
+		putUvarint(&b, uint64(s.Created.UnixNano()))
+		encodeInstancePayload(&b, s.DB, s.Sigma)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b.Bytes()))
+	b.Write(crc[:])
+
+	tmp := filepath.Join(st.opts.Dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	if _, err := f.Write(b.Bytes()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(st.opts.Dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	st.snapshots.Add(1)
+	return nil
+}
+
+// loadSnapshot reads the snapshot file into the state map; a missing
+// file is an empty store. A corrupt snapshot is a hard error — unlike
+// the WAL tail, the snapshot is written atomically, so damage means
+// operator-level trouble (disk fault), not a crash signature.
+func (st *Store) loadSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(st.opts.Dir, snapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if len(raw) < len(snapshotMagic)+4 || !bytes.Equal(raw[:len(snapshotMagic)], snapshotMagic) {
+		return fmt.Errorf("store: snapshot has bad magic")
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fmt.Errorf("store: snapshot checksum mismatch")
+	}
+	rd := reader{bytes.NewReader(body[len(snapshotMagic):])}
+	v, err := rd.uvarint()
+	if err != nil {
+		return err
+	}
+	if v != codecVersion {
+		return fmt.Errorf("store: snapshot codec version %d not supported (have %d)", v, codecVersion)
+	}
+	n, err := rd.count("instance", 1<<20)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		id, err := rd.string_()
+		if err != nil {
+			return fmt.Errorf("store: snapshot instance id: %w", err)
+		}
+		name, err := rd.string_()
+		if err != nil {
+			return err
+		}
+		created, err := rd.uvarint()
+		if err != nil {
+			return err
+		}
+		db, sigma, err := decodeInstancePayload(rd)
+		if err != nil {
+			return fmt.Errorf("store: snapshot instance %q: %w", id, err)
+		}
+		st.state[id] = &InstanceState{
+			ID:      id,
+			Name:    name,
+			Created: time.Unix(0, int64(created)).UTC(),
+			DB:      db,
+			Sigma:   sigma,
+		}
+		st.order = append(st.order, id)
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func fixture(t *testing.T) (*rel.Database, *fd.Set) {
+	t.Helper()
+	d := rel.NewDatabase(
+		rel.NewFact("Emp", "1", "Alice"),
+		rel.NewFact("Emp", "1", "Tom"),
+		rel.NewFact("Emp", "2", "Bob"),
+	)
+	sch := rel.MustSchema(rel.NewRelation("Emp", 2))
+	sigma := fd.MustSet(sch, fd.New("Emp", []int{0}, []int{1}))
+	return d, sigma
+}
+
+func openStore(t *testing.T, dir string, opts ...func(*Options)) *Store {
+	t.Helper()
+	o := Options{Dir: dir}
+	for _, f := range opts {
+		f(&o)
+	}
+	st, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+func TestInstanceCodecRoundTrip(t *testing.T) {
+	d, sigma := fixture(t)
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	d2, sigma2, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d2.Equal(d) {
+		t.Fatalf("database round trip: %v != %v", d2, d)
+	}
+	if sigma2.String() != sigma.String() {
+		t.Fatalf("FD set round trip: %v != %v", sigma2, sigma)
+	}
+	if len(sigma2.Schema().Relations()) != len(sigma.Schema().Relations()) {
+		t.Fatal("schema relation count diverges")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeInstance(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage magic accepted")
+	}
+	d, sigma := fixture(t)
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(instanceMagic)] = 99 // unsupported version
+	if _, _, err := DecodeInstance(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown codec version accepted")
+	}
+}
+
+func TestWALReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	now := time.Date(2026, 7, 29, 12, 0, 0, 0, time.UTC)
+	if err := st.LogRegister("i1", "emps", now, d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "3", "Eve")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("i2", "other", now, d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogUnregister("i2"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete Emp(1,Tom): index in sorted order at this point.
+	idx := 0
+	for i := 0; i < 4; i++ {
+		cur := st.Instances()[0].DB
+		if cur.Fact(i).Equal(rel.NewFact("Emp", "1", "Tom")) {
+			idx = i
+			break
+		}
+	}
+	if err := st.LogDeleteFact("i1", idx); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Instances()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	got := st2.Instances()
+	if len(got) != 1 || len(want) != 1 {
+		t.Fatalf("replayed %d instances, want 1 (pre-close %d)", len(got), len(want))
+	}
+	g, w := got[0], want[0]
+	if g.ID != w.ID || g.Name != w.Name || !g.Created.Equal(w.Created) {
+		t.Fatalf("replayed metadata %+v != %+v", g, w)
+	}
+	if !g.DB.Equal(w.DB) {
+		t.Fatalf("replayed database %v != %v", g.DB, w.DB)
+	}
+	if g.Sigma.String() != w.Sigma.String() {
+		t.Fatalf("replayed FDs %v != %v", g.Sigma, w.Sigma)
+	}
+	if n := st2.Stats().ReplayedOps; n != 5 {
+		t.Fatalf("replayed_ops = %d, want 5", n)
+	}
+}
+
+// TestCrashRecoveryTruncatedTail kills the WAL mid-append at every
+// possible byte boundary of the final record and asserts boot replays
+// cleanly up to the last complete record — the crash-recovery
+// satellite.
+func TestCrashRecoveryTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	now := time.Now()
+	if err := st.LogRegister("i1", "emps", now, d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "4", "Zed")); err != nil {
+		t.Fatal(err)
+	}
+	walLenAfterTwo, err := st.wal.Seek(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "5", "Late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walFile)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := walLenAfterTwo + 1; cut < int64(len(full)); cut++ {
+		crash := t.TempDir()
+		if err := os.WriteFile(filepath.Join(crash, walFile), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st2 := openStore(t, crash)
+		got := st2.Instances()
+		if len(got) != 1 {
+			t.Fatalf("cut %d: %d instances", cut, len(got))
+		}
+		if got[0].DB.Len() != 4 { // 3 base + Zed, not Late
+			t.Fatalf("cut %d: replayed %d facts, want 4 (%v)", cut, got[0].DB.Len(), got[0].DB)
+		}
+		if got[0].DB.Contains(rel.NewFact("Emp", "5", "Late")) {
+			t.Fatalf("cut %d: torn record was applied", cut)
+		}
+		stats := st2.Stats()
+		if !stats.TornTail {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if stats.ReplayedOps != 2 {
+			t.Fatalf("cut %d: replayed_ops = %d, want 2", cut, stats.ReplayedOps)
+		}
+		// The tail must have been truncated so the store can append again.
+		if err := st2.LogInsertFact("i1", rel.NewFact("Emp", "6", "After")); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st3 := openStore(t, crash)
+		if got := st3.Instances(); got[0].DB.Len() != 5 {
+			t.Fatalf("cut %d: post-recovery append lost (%d facts)", cut, got[0].DB.Len())
+		}
+		st3.Close()
+	}
+}
+
+// TestCrashRecoveryCorruptTail flips a byte in the last record's
+// payload (checksum mismatch, not a short read) and asserts the same
+// truncate-to-last-complete behaviour.
+func TestCrashRecoveryCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "5", "Late")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	walPath := filepath.Join(dir, walFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	got := st2.Instances()
+	if len(got) != 1 || got[0].DB.Len() != 3 {
+		t.Fatalf("corrupt tail: replayed %v", got)
+	}
+	if !st2.Stats().TornTail {
+		t.Fatal("corruption not reported as torn tail")
+	}
+}
+
+func TestCompactionSnapshotsAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = -1 })
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.LogInsertFact("i1", rel.NewFact("Emp", "9", string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Compactions != 1 || stats.Snapshots != 1 || stats.WalRecords != 0 {
+		t.Fatalf("post-compaction stats %+v", stats)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("WAL not truncated: %v, %v", fi, err)
+	}
+	// Post-compaction appends land in the fresh WAL; reopen sees both.
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "9", "zz")); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Instances()[0].DB
+	st.Close()
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	if got := st2.Instances()[0].DB; !got.Equal(want) {
+		t.Fatalf("snapshot+WAL reopen: %v != %v", got, want)
+	}
+	if st2.Stats().ReplayedOps != 1 {
+		t.Fatalf("replayed_ops after compaction = %d, want 1", st2.Stats().ReplayedOps)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = 5 })
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := st.LogInsertFact("i1", rel.NewFact("Emp", "9", string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compaction runs on a background goroutine; poll for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no auto-compaction after threshold: %+v", st.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := st.Instances()[0].DB
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: snapshot + residual WAL must reproduce the state.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	if got := st2.Instances()[0].DB; !got.Equal(want) {
+		t.Fatalf("state after auto-compaction reopen: %v != %v", got, want)
+	}
+}
+
+func TestAppendRejectsUnappliableRecords(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	if err := st.LogUnregister("ghost"); err == nil {
+		t.Fatal("unregister of unknown instance accepted")
+	}
+	if err := st.LogInsertFact("ghost", rel.NewFact("R", "x")); err == nil {
+		t.Fatal("insert into unknown instance accepted")
+	}
+	d, sigma := fixture(t)
+	if err := st.LogRegister("i1", "", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "1", "Alice")); err == nil {
+		t.Fatal("duplicate fact insert accepted")
+	}
+	if err := st.LogDeleteFact("i1", 99); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	// None of the rejected records may have reached the WAL.
+	if got := st.Stats().WalAppends; got != 1 {
+		t.Fatalf("wal_appends = %d, want 1", got)
+	}
+}
+
+func TestFsyncOption(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.Fsync = true })
+	if err := st.LogRegister("i1", "", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

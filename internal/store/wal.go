@@ -1,0 +1,210 @@
+package store
+
+// WAL framing. Each record is
+//
+//	[uint32 LE payload length][uint32 LE IEEE-CRC32 of payload][payload]
+//
+// and the payload is
+//
+//	[kind byte][kind-specific fields]
+//
+// A crash mid-append leaves a short or checksum-failing tail; replay
+// stops at the first such record and the store truncates the file back
+// to the last complete one, so every acknowledged record before the
+// tear survives and nothing half-written is ever applied.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// opKind tags a WAL record.
+type opKind byte
+
+const (
+	opRegister opKind = iota + 1
+	opUnregister
+	opInsertFact
+	opDeleteFact
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRegister:
+		return "register"
+	case opUnregister:
+		return "unregister"
+	case opInsertFact:
+		return "insert-fact"
+	case opDeleteFact:
+		return "delete-fact"
+	default:
+		return fmt.Sprintf("opKind(%d)", byte(k))
+	}
+}
+
+// record is one decoded WAL entry.
+type record struct {
+	kind opKind
+	id   string
+	// register only:
+	name    string
+	created int64 // unix nanoseconds
+	db      *rel.Database
+	sigma   *fd.Set
+	// insert-fact only:
+	fact rel.Fact
+	// delete-fact only:
+	index int
+}
+
+// maxRecordBytes is a sanity bound on a single WAL record; a length
+// header beyond it is treated as corruption, not an allocation request.
+const maxRecordBytes = 1 << 30
+
+// encodeRecord renders the payload (no frame header).
+func encodeRecord(rec record) []byte {
+	var b bytes.Buffer
+	b.WriteByte(byte(rec.kind))
+	putString(&b, rec.id)
+	switch rec.kind {
+	case opRegister:
+		putString(&b, rec.name)
+		putUvarint(&b, uint64(rec.created))
+		encodeInstancePayload(&b, rec.db, rec.sigma)
+	case opUnregister:
+	case opInsertFact:
+		putString(&b, rec.fact.Rel)
+		putUvarint(&b, uint64(len(rec.fact.Args)))
+		for _, a := range rec.fact.Args {
+			putString(&b, a)
+		}
+	case opDeleteFact:
+		putUvarint(&b, uint64(rec.index))
+	}
+	return b.Bytes()
+}
+
+// decodeRecord parses a frame payload.
+func decodeRecord(payload []byte) (record, error) {
+	if len(payload) == 0 {
+		return record{}, fmt.Errorf("store: empty WAL payload")
+	}
+	rec := record{kind: opKind(payload[0])}
+	rd := reader{bytes.NewReader(payload[1:])}
+	var err error
+	if rec.id, err = rd.string_(); err != nil {
+		return record{}, fmt.Errorf("store: WAL record id: %w", err)
+	}
+	switch rec.kind {
+	case opRegister:
+		if rec.name, err = rd.string_(); err != nil {
+			return record{}, err
+		}
+		created, err := rd.uvarint()
+		if err != nil {
+			return record{}, err
+		}
+		rec.created = int64(created)
+		if rec.db, rec.sigma, err = decodeInstancePayload(rd); err != nil {
+			return record{}, err
+		}
+	case opUnregister:
+	case opInsertFact:
+		relName, err := rd.string_()
+		if err != nil {
+			return record{}, err
+		}
+		nArgs, err := rd.count("argument", 1<<16)
+		if err != nil {
+			return record{}, err
+		}
+		args := make([]string, nArgs)
+		for i := range args {
+			if args[i], err = rd.string_(); err != nil {
+				return record{}, err
+			}
+		}
+		rec.fact = rel.NewFact(relName, args...)
+	case opDeleteFact:
+		idx, err := rd.uvarint()
+		if err != nil {
+			return record{}, err
+		}
+		rec.index = int(idx)
+	default:
+		return record{}, fmt.Errorf("store: unknown WAL record kind %d", payload[0])
+	}
+	return rec, nil
+}
+
+// frameRecord prepends the length+CRC header to a payload.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// replayResult is what scanning a WAL yields: the complete records, the
+// offset just past the last complete record (where appends resume and
+// any torn tail is truncated), and whether a tear was found.
+type replayResult struct {
+	records []record
+	goodLen int64
+	torn    bool
+	tornErr error
+}
+
+// scanWAL reads frames from r until EOF or the first incomplete or
+// corrupt record. It never fails on a torn tail — that is the expected
+// crash signature — only on read errors from the underlying file.
+func scanWAL(r io.Reader) (replayResult, error) {
+	var res replayResult
+	var header [8]byte
+	for {
+		n, err := io.ReadFull(r, header[:])
+		if err == io.EOF {
+			return res, nil // clean end
+		}
+		if err == io.ErrUnexpectedEOF {
+			res.torn, res.tornErr = true, fmt.Errorf("store: torn WAL header (%d of 8 bytes)", n)
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecordBytes {
+			res.torn, res.tornErr = true, fmt.Errorf("store: WAL record length %d exceeds sanity bound", length)
+			return res, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			res.torn, res.tornErr = true, fmt.Errorf("store: torn WAL payload: %w", err)
+			return res, nil
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			res.torn, res.tornErr = true, fmt.Errorf("store: WAL record checksum mismatch at offset %d", res.goodLen)
+			return res, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// A record that passes its checksum but does not decode is
+			// real corruption (or a future codec); stop before it like a
+			// tear so everything prior still replays.
+			res.torn, res.tornErr = true, err
+			return res, nil
+		}
+		res.records = append(res.records, rec)
+		res.goodLen += int64(8 + len(payload))
+	}
+}

@@ -24,8 +24,10 @@ package ocqa
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/parse"
 	"repro/internal/rel"
 	"repro/internal/sampler"
+	"repro/internal/store"
 )
 
 // Re-exported substrate types. The facade owns the public surface; the
@@ -99,15 +102,34 @@ const (
 	GeneralFDs = fd.GeneralFDs
 )
 
-// Convenience re-exports of the text-format parsers.
+// Convenience re-exports of the text-format parsers and formatters.
 var (
 	// ParseDatabase parses a newline-separated fact list, inferring the
 	// schema.
 	ParseDatabase = parse.ParseDatabase
+	// ParseFact parses a single "R(c1,...,cn)".
+	ParseFact = parse.ParseFact
 	// ParseQuery parses "Ans(x) :- R(x,'c'), ...".
 	ParseQuery = parse.ParseQuery
 	// ParseTuple parses "a,b,c".
 	ParseTuple = parse.ParseTuple
+	// FormatDatabase renders a database as ParseDatabase input (the
+	// lossless inverse: quoting and escaping applied as needed).
+	FormatDatabase = parse.FormatDatabase
+	// FormatFact renders one fact as ParseFact input.
+	FormatFact = parse.FormatFact
+)
+
+// Mutation errors of InsertFact/DeleteFact, matched with errors.Is.
+var (
+	// ErrDuplicateFact: the inserted fact is already in D.
+	ErrDuplicateFact = core.ErrDuplicateFact
+	// ErrUnknownRelation: the fact's relation is not in the schema.
+	ErrUnknownRelation = core.ErrUnknownRelation
+	// ErrArityMismatch: the fact's arity differs from the schema's.
+	ErrArityMismatch = core.ErrArityMismatch
+	// ErrFactIndex: DeleteFact index outside [0, |D|).
+	ErrFactIndex = core.ErrFactIndex
 )
 
 // Instance is a database together with its FD set, ready for exact or
@@ -158,6 +180,58 @@ func (in *Instance) IsConsistent() bool { return in.sigma.Satisfies(in.db) }
 // Core exposes the underlying exact engine for advanced use (chain
 // construction, predicates over raw repair subsets).
 func (in *Instance) Core() *core.Instance { return in.inner }
+
+// --- Incremental fact mutations (copy-on-write) ---------------------------
+
+// InsertFact returns a new instance for (D ∪ {f}, Σ) and the index
+// assigned to f, leaving the receiver untouched — in-flight queries
+// against the old instance are unaffected. The conflict structure is
+// maintained incrementally (the new fact is bucketed against each FD's
+// LHS groups, O(block) per FD) instead of recomputed; sampler
+// artifacts are not carried over, so a mutated instance rebuilds them
+// lazily on first use (see PrepareLazy). Fails with ErrDuplicateFact,
+// ErrUnknownRelation or ErrArityMismatch.
+func (in *Instance) InsertFact(f Fact) (*Instance, int, error) {
+	inner, pos, err := in.inner.InsertFact(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ocqa: %w", err)
+	}
+	return &Instance{db: inner.D, sigma: in.sigma, inner: inner, class: in.class}, pos, nil
+}
+
+// DeleteFact returns a new instance for (D ∖ {f_i}, Σ), with the same
+// copy-on-write and incremental-maintenance semantics as InsertFact.
+// Fails with ErrFactIndex.
+func (in *Instance) DeleteFact(i int) (*Instance, error) {
+	inner, err := in.inner.DeleteFact(i)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: %w", err)
+	}
+	return &Instance{db: inner.D, sigma: in.sigma, inner: inner, class: in.class}, nil
+}
+
+// --- Snapshots (durable single-instance persistence) ----------------------
+
+// Snapshot writes a versioned binary snapshot of the instance — schema,
+// FD set and database — readable by LoadSnapshot. It is the same codec
+// the server's durable store uses, so a snapshot taken from the library
+// round-trips through the service and vice versa.
+func (in *Instance) Snapshot(w io.Writer) error {
+	if err := store.EncodeInstance(w, in.db, in.sigma); err != nil {
+		return fmt.Errorf("ocqa: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads a snapshot written by Instance.Snapshot and
+// rebuilds the instance (conflict structure included).
+func LoadSnapshot(r io.Reader) (*Instance, error) {
+	db, sigma, err := store.DecodeInstance(r)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: reading snapshot: %w", err)
+	}
+	return NewInstance(db, sigma), nil
+}
 
 // --- Exact computation (♯P-hard; small scale) ----------------------------
 
@@ -537,7 +611,8 @@ type ApproxAnswer struct {
 // long-running service caches per registered instance.
 type Prepared struct {
 	*Instance
-	ps preparedSamplers
+	once sync.Once
+	ps   preparedSamplers
 }
 
 // Prepare eagerly builds the shareable sampler artifacts. For
@@ -548,37 +623,56 @@ type Prepared struct {
 // construction-on-demand still applies where the matrix allows
 // sampling at all.
 func (in *Instance) Prepare() *Prepared {
-	p := &Prepared{Instance: in}
-	if in.class == fd.PrimaryKeys {
-		p.ps.block, _ = sampler.NewBlockSampler(in.inner)
-		p.ps.seq, _ = sampler.NewSequenceSampler(in.inner, false)
-		p.ps.seq1, _ = sampler.NewSequenceSampler(in.inner, true)
-	}
+	p := in.PrepareLazy()
+	p.samplers()
 	return p
 }
 
+// PrepareLazy returns a Prepared whose sampler artifacts are built on
+// first use instead of up front (a sync.Once makes the deferred build
+// concurrency-safe and at-most-once). This is the right shape after an
+// incremental mutation: a burst of InsertFact/DeleteFact calls then
+// pays for DP-table construction once, at the first query, rather than
+// per mutation.
+func (in *Instance) PrepareLazy() *Prepared {
+	return &Prepared{Instance: in}
+}
+
+// samplers returns the shared artifacts, building them on first call.
+func (p *Prepared) samplers() preparedSamplers {
+	p.once.Do(func() {
+		if p.class == fd.PrimaryKeys {
+			p.ps.block, _ = sampler.NewBlockSampler(p.inner)
+			p.ps.seq, _ = sampler.NewSequenceSampler(p.inner, false)
+			p.ps.seq1, _ = sampler.NewSequenceSampler(p.inner, true)
+		}
+	})
+	return p.ps
+}
+
 // Approximate is Instance.Approximate backed by the prepared samplers:
-// for primary-key instances it performs zero sampler constructions.
+// for primary-key instances it performs zero sampler constructions
+// beyond the one deferred build.
 func (p *Prepared) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
-	return p.Instance.approximate(p.ps, mode, q, c, opts)
+	return p.Instance.approximate(p.samplers(), mode, q, c, opts)
 }
 
 // ApproximateAnswers is Instance.ApproximateAnswers over the prepared
 // samplers.
 func (p *Prepared) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return p.Instance.approximateAnswers(p.ps, mode, q, opts)
+	return p.Instance.approximateAnswers(p.samplers(), mode, q, opts)
 }
 
 // ApproximateFactMarginals is Instance.ApproximateFactMarginals over
 // the prepared samplers.
 func (p *Prepared) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
-	return p.Instance.approximateFactMarginals(p.ps, mode, opts)
+	return p.Instance.approximateFactMarginals(p.samplers(), mode, opts)
 }
 
 // CountRepairs reuses the prepared block decomposition where available.
 func (p *Prepared) CountRepairs(singleton bool) *big.Int {
-	if p.ps.block != nil {
-		return p.ps.block.CountRepairs(singleton)
+	if bs := p.samplers().block; bs != nil {
+		return bs.CountRepairs(singleton)
 	}
 	return p.Instance.CountRepairs(singleton)
 }
@@ -587,7 +681,7 @@ func (p *Prepared) CountRepairs(singleton bool) *big.Int {
 // available (no recomputation), falling back to the Instance path
 // otherwise.
 func (p *Prepared) CountSequences(singleton bool, limit int) (*big.Int, error) {
-	if ss := p.ps.sequence(singleton); ss != nil {
+	if ss := p.samplers().sequence(singleton); ss != nil {
 		return ss.Count(), nil
 	}
 	return p.Instance.CountSequences(singleton, limit)

@@ -1,0 +1,155 @@
+package ocqa_test
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	ocqa "repro"
+	"repro/internal/sampler"
+)
+
+func mustInstance(t *testing.T, facts, fds string) *ocqa.Instance {
+	t.Helper()
+	inst, err := ocqa.NewInstanceFromText(facts, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestInsertFactCopyOnWrite(t *testing.T) {
+	inst := mustInstance(t, "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)", "Emp: A1 -> A2")
+	f, err := ocqa.ParseFact("Emp(2,Carol)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, pos, err := inst.InsertFact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.DB().Len() != 3 || ni.DB().Len() != 4 {
+		t.Fatalf("copy-on-write violated: old %d facts, new %d", inst.DB().Len(), ni.DB().Len())
+	}
+	if !ni.DB().Fact(pos).Equal(f) {
+		t.Fatalf("fact at returned index %d is %v", pos, ni.DB().Fact(pos))
+	}
+	// Differential acceptance criterion: the mutated instance's
+	// conflict pairs equal a from-scratch NewInstance's.
+	fresh := ocqa.NewInstance(ni.DB(), ni.Sigma())
+	if !reflect.DeepEqual(ni.Core().ConflictPairs(), fresh.Core().ConflictPairs()) {
+		t.Fatalf("incremental conflict pairs %v != from-scratch %v",
+			ni.Core().ConflictPairs(), fresh.Core().ConflictPairs())
+	}
+	// And the exact engine sees the new conflict.
+	n1 := inst.CountRepairs(false)
+	n2 := ni.CountRepairs(false)
+	if n1.Cmp(n2) == 0 {
+		t.Fatalf("inserting a conflicting fact left |CORep| at %v", n1)
+	}
+	if want := fresh.CountRepairs(false); n2.Cmp(want) != 0 {
+		t.Fatalf("mutated |CORep| = %v, from-scratch %v", n2, want)
+	}
+}
+
+func TestDeleteFactRestoresCounts(t *testing.T) {
+	inst := mustInstance(t, "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)", "Emp: A1 -> A2")
+	f, _ := ocqa.ParseFact("Emp(2,Carol)")
+	ni, pos, err := inst.InsertFact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ni.DeleteFact(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.DB().Equal(inst.DB()) {
+		t.Fatalf("insert+delete is not identity: %v vs %v", back.DB(), inst.DB())
+	}
+	if back.CountRepairs(false).Cmp(inst.CountRepairs(false)) != 0 {
+		t.Fatal("repair count diverges after insert+delete round trip")
+	}
+}
+
+func TestMutationErrorsSurfaceSentinels(t *testing.T) {
+	inst := mustInstance(t, "Emp(1,Alice)", "Emp: A1 -> A2")
+	if _, _, err := inst.InsertFact(ocqa.Fact{Rel: "Emp", Args: []string{"1", "Alice"}}); !errors.Is(err, ocqa.ErrDuplicateFact) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, _, err := inst.InsertFact(ocqa.Fact{Rel: "Zz", Args: []string{"1"}}); !errors.Is(err, ocqa.ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	if _, _, err := inst.InsertFact(ocqa.Fact{Rel: "Emp", Args: []string{"1"}}); !errors.Is(err, ocqa.ErrArityMismatch) {
+		t.Fatalf("arity: %v", err)
+	}
+	if _, err := inst.DeleteFact(5); !errors.Is(err, ocqa.ErrFactIndex) {
+		t.Fatalf("index: %v", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	inst := mustInstance(t, "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)", "Emp: A1 -> A2")
+	var buf bytes.Buffer
+	if err := inst.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ocqa.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.DB().Equal(inst.DB()) {
+		t.Fatalf("snapshot database %v != %v", got.DB(), inst.DB())
+	}
+	if got.Sigma().String() != inst.Sigma().String() {
+		t.Fatalf("snapshot FDs %v != %v", got.Sigma(), inst.Sigma())
+	}
+	if got.Class() != inst.Class() {
+		t.Fatalf("snapshot class %v != %v", got.Class(), inst.Class())
+	}
+	q, _ := ocqa.ParseQuery("Ans(n) :- Emp(i, n)")
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+	a1, err := inst.ConsistentAnswers(mode, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := got.ConsistentAnswers(mode, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("answer counts diverge: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Prob.Cmp(a2[i].Prob) != 0 {
+			t.Fatalf("answer %d prob %v vs %v", i, a1[i].Prob, a2[i].Prob)
+		}
+	}
+}
+
+func TestPrepareLazyDefersConstruction(t *testing.T) {
+	inst := mustInstance(t, "Emp(1,Alice)\nEmp(1,Tom)\nEmp(2,Bob)", "Emp: A1 -> A2")
+	before := sampler.Constructions()
+	p := inst.PrepareLazy()
+	if sampler.Constructions() != before {
+		t.Fatal("PrepareLazy built samplers eagerly")
+	}
+	// One violating block of size 2 (keep Alice, keep Tom, or delete
+	// the pair) and the conflict-free Bob: |CORep| = 3.
+	if got := p.CountRepairs(false); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("CountRepairs = %v, want 3", got)
+	}
+	afterFirst := sampler.Constructions()
+	if afterFirst == before {
+		t.Fatal("first use did not build samplers")
+	}
+	q, _ := ocqa.ParseQuery("Ans(n) :- Emp(i, n)")
+	if _, err := p.Approximate(ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Alice"),
+		ocqa.ApproxOptions{MaxSamples: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if sampler.Constructions() != afterFirst {
+		t.Fatal("second use rebuilt samplers: laziness is not at-most-once")
+	}
+}
