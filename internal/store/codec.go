@@ -5,8 +5,11 @@
 // delete-fact). Boot replays snapshot-then-WAL; replay is crash-safe —
 // a torn or corrupt tail record is detected by its checksum and the log
 // is truncated back to the last complete record. Periodic compaction
-// folds the WAL into a fresh snapshot (written atomically via
-// temp-file + rename) and truncates the log.
+// rotates the WAL to a fresh generation-named segment, folds the state
+// into a snapshot stamped with that generation (written atomically via
+// temp-file + rename), and deletes the retired segments; boot never
+// replays a segment older than the snapshot's stamp, so a crash at any
+// point of compaction leaves a consistent snapshot/WAL pair.
 package store
 
 import (

@@ -7,6 +7,9 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,13 +18,19 @@ import (
 	"repro/internal/rel"
 )
 
-// File names inside the data directory.
-const (
-	snapshotFile = "snapshot.bin"
-	walFile      = "wal.bin"
-)
+// snapshotFile is the snapshot's name inside the data directory. WAL
+// segments live alongside it as wal.<generation>.bin (segmentName);
+// the snapshot is stamped with the generation of the segment that was
+// current when it was captured, which is what makes the pair
+// crash-consistent — see Compact.
+const snapshotFile = "snapshot.bin"
 
 var snapshotMagic = []byte("OCQS")
+
+// snapshotVersion is the store snapshot container format, bumped
+// independently of codecVersion (the embedded instance payload
+// encoding). Version 2 added the WAL generation stamp.
+const snapshotVersion = 2
 
 // Options configures a Store.
 type Options struct {
@@ -32,10 +41,10 @@ type Options struct {
 	// nothing either way); replay still stops cleanly at the tear.
 	Fsync bool
 	// CompactEvery triggers automatic compaction (snapshot + WAL
-	// truncation, run on a background goroutine so appenders never
-	// wait for it) once the WAL holds that many records. 0 picks the
-	// default of 4096; negative disables auto-compaction (explicit
-	// Compact still works).
+	// segment rotation, run on a background goroutine; appenders block
+	// only for the segment swap, never for the snapshot I/O) once the
+	// WAL holds that many records. 0 picks the default of 4096;
+	// negative disables auto-compaction (explicit Compact still works).
 	CompactEvery int
 }
 
@@ -70,25 +79,34 @@ type Stats struct {
 }
 
 // Store is the durable instance store: a snapshot file plus an
-// append-only WAL in one directory. It maintains the logical state
-// (id → instance) so compaction can serialise it without help from the
-// caller; the serving layer keeps its own prepared artifacts and treats
-// the store as the system of record. All methods are safe for
-// concurrent use.
+// append-only WAL (generation-named segments) in one directory. It
+// maintains the logical state (id → instance) so compaction can
+// serialise it without help from the caller; the serving layer keeps
+// its own prepared artifacts and treats the store as the system of
+// record. All methods are safe for concurrent use.
 type Store struct {
 	opts Options
 
 	mu      sync.Mutex
 	wal     *os.File
-	walOps  int // records currently in the WAL
+	walGen  uint64 // generation of the segment wal writes to
+	walOff  int64  // offset just past the last acknowledged frame in wal
+	walOps  int    // records in the WAL not yet folded into a snapshot
 	state   map[string]*InstanceState
 	order   []string // ids in registration order, for deterministic snapshots
 	closed  bool
 	tornLog bool
-	// failed latches after a WAL write error: the file may end in a
-	// partial frame, and appending past it would strand every later
-	// record behind a tear replay cannot cross.
+	// failed latches when a failed append leaves a frame — partial, or
+	// complete but unacknowledged — that truncation could not remove:
+	// appending past it would let replay apply a record no client saw
+	// succeed, or strand later records behind a tear. Compaction
+	// retries the repair and refuses to retire a segment that keeps it.
 	failed bool
+
+	// compactMu serialises compactions (explicit Compact racing the
+	// scheduled one) without blocking appenders, which only contend on
+	// mu.
+	compactMu sync.Mutex
 
 	walAppends  atomic.Int64
 	snapshots   atomic.Int64
@@ -99,51 +117,153 @@ type Store struct {
 	compacting atomic.Bool
 	// compactWG lets Close wait out a scheduled compaction.
 	compactWG sync.WaitGroup
+
+	// Crash-injection points, set only by tests. Returning early from
+	// Compact models a process crash at that point: nothing after it
+	// runs, and the next Open must recover from whatever is on disk.
+	testCrashAfterSwap    bool // after the segment rotation, before the snapshot install
+	testCrashAfterInstall bool // after the snapshot install, before stale segments are removed
 }
 
-// Open loads the snapshot (if any), replays the WAL over it, truncates
-// any torn tail, and leaves the store ready for appends. The replayed
-// instances are available via Instances.
+// segmentName names the WAL segment for a generation. The zero-padding
+// is cosmetic (listing order); parsing is numeric.
+func segmentName(gen uint64) string {
+	return fmt.Sprintf("wal.%06d.bin", gen)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(name, "wal.")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".bin")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+type walSegment struct {
+	gen  uint64
+	path string
+}
+
+func listSegments(dir string) ([]walSegment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSegment
+	for _, e := range entries {
+		if gen, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, walSegment{gen: gen, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+	return segs, nil
+}
+
+// syncDir flushes directory metadata so a freshly created or renamed
+// file survives an OS crash.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Open loads the snapshot (if any), replays the live WAL segments over
+// it, truncates any torn tail, and leaves the store ready for appends.
+// Segments older than the snapshot's generation stamp are already
+// folded into it (a crash can leave them behind — see Compact) and are
+// deleted, never replayed. The replayed instances are available via
+// Instances.
 func Open(opts Options) (*Store, error) {
 	opts.fill()
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
+	if _, err := os.Stat(filepath.Join(opts.Dir, "wal.bin")); err == nil {
+		return nil, fmt.Errorf("store: data dir %s holds a legacy single-file wal.bin; this build reads generation-named segments (wal.<gen>.bin) — migrate or remove the legacy log", opts.Dir)
+	}
 	st := &Store{opts: opts, state: make(map[string]*InstanceState)}
 
-	if err := st.loadSnapshot(); err != nil {
+	snapGen, err := st.loadSnapshot()
+	if err != nil {
 		return nil, err
 	}
 
-	wal, err := os.OpenFile(filepath.Join(opts.Dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	segs, err := listSegments(opts.Dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening WAL: %w", err)
+		return nil, fmt.Errorf("store: listing WAL segments: %w", err)
 	}
-	res, err := scanWAL(wal)
-	if err != nil {
-		wal.Close()
-		return nil, fmt.Errorf("store: replaying WAL: %w", err)
-	}
-	for _, rec := range res.records {
-		if err := st.apply(rec); err != nil {
-			wal.Close()
-			return nil, fmt.Errorf("store: replaying %s(%s): %w", rec.kind, rec.id, err)
+	live := segs[:0]
+	for _, sg := range segs {
+		if sg.gen < snapGen {
+			// Replaying a stale segment would apply its records a second
+			// time (and fail or corrupt: a duplicate insert-fact, an
+			// unregister of an absent id, a delete-fact index resolving
+			// to the wrong fact).
+			if err := os.Remove(sg.path); err != nil {
+				return nil, fmt.Errorf("store: removing stale WAL segment %s: %w", sg.path, err)
+			}
+			continue
 		}
-		st.replayedOps.Add(1)
+		live = append(live, sg)
 	}
-	if res.torn {
-		if err := wal.Truncate(res.goodLen); err != nil {
-			wal.Close()
-			return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+
+	for i, sg := range live {
+		f, err := os.OpenFile(sg.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: opening WAL segment %s: %w", sg.path, err)
 		}
-		st.tornLog = true
+		res, err := scanWAL(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: replaying WAL: %w", err)
+		}
+		for _, rec := range res.records {
+			if err := st.apply(rec); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: replaying %s(%s): %w", rec.kind, rec.id, err)
+			}
+			st.replayedOps.Add(1)
+		}
+		st.walOps += len(res.records)
+		if res.torn {
+			// A torn record was never acknowledged (the append rolled it
+			// back and latched the store failed), so records in later
+			// segments never built on it: truncate the tear and keep
+			// replaying.
+			if err := f.Truncate(res.goodLen); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: truncating torn WAL tail: %w", err)
+			}
+			st.tornLog = true
+		}
+		if i == len(live)-1 {
+			if _, err := f.Seek(res.goodLen, 0); err != nil {
+				f.Close()
+				return nil, err
+			}
+			st.wal, st.walGen, st.walOff = f, sg.gen, res.goodLen
+		} else {
+			f.Close()
+		}
 	}
-	if _, err := wal.Seek(res.goodLen, 0); err != nil {
-		wal.Close()
-		return nil, err
+	if st.wal == nil {
+		wal, err := os.OpenFile(filepath.Join(opts.Dir, segmentName(snapGen)), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: opening WAL: %w", err)
+		}
+		st.wal, st.walGen = wal, snapGen
 	}
-	st.wal = wal
-	st.walOps = len(res.records)
 	return st, nil
 }
 
@@ -236,7 +356,7 @@ func (st *Store) append(rec record) error {
 		return fmt.Errorf("store: closed")
 	}
 	if st.failed {
-		return fmt.Errorf("store: WAL failed a previous append; restart to recover")
+		return fmt.Errorf("store: WAL failed a previous append; compact or restart to recover")
 	}
 	undo, err := st.applyWithUndo(rec)
 	if err != nil {
@@ -244,23 +364,30 @@ func (st *Store) append(rec record) error {
 	}
 	frame := frameRecord(encodeRecord(rec))
 	if _, err := st.wal.Write(frame); err != nil {
-		// The file may now hold a partial frame; appending after it
+		// The file may now hold part of the frame; appending after it
 		// would bury every later record behind a torn one that replay
-		// cannot pass. Latch the store failed — replay at the next
-		// boot truncates the tear.
+		// cannot pass. Cut the tail back to the last good offset, or
+		// latch the store failed if even that is impossible.
 		undo()
-		st.failed = true
+		if !st.repairTailLocked() {
+			st.failed = true
+		}
 		return fmt.Errorf("store: appending %s(%s): %w", rec.kind, rec.id, err)
 	}
 	if st.opts.Fsync {
 		if err := st.wal.Sync(); err != nil {
-			// The bytes may or may not be durable; memory reflects
-			// "not acknowledged" and replay decides after a crash.
+			// The frame is COMPLETE in the file (only its durability is
+			// unknown) — replay could not tell it from an acknowledged
+			// record, so it must be truncated away, not left for a tear
+			// scan that would never flag it.
 			undo()
-			st.failed = true
+			if !st.repairTailLocked() {
+				st.failed = true
+			}
 			return fmt.Errorf("store: syncing %s(%s): %w", rec.kind, rec.id, err)
 		}
 	}
+	st.walOff += int64(len(frame))
 	st.walOps++
 	st.walAppends.Add(1)
 	if st.opts.CompactEvery > 0 && st.walOps >= st.opts.CompactEvery {
@@ -269,11 +396,26 @@ func (st *Store) append(rec record) error {
 	return nil
 }
 
+// repairTailLocked removes the remains of a failed append — a partial
+// frame, or a complete frame the client never saw acknowledged — by
+// truncating the WAL back to the last good offset and syncing the
+// truncation down so an OS crash cannot resurrect the frame. Reports
+// whether the tail is clean again.
+func (st *Store) repairTailLocked() bool {
+	if st.wal.Truncate(st.walOff) != nil {
+		return false
+	}
+	if _, err := st.wal.Seek(st.walOff, 0); err != nil {
+		return false
+	}
+	return st.wal.Sync() == nil
+}
+
 // scheduleCompaction kicks off one background compaction (at most one
-// in flight). Compaction takes only the store mutex, so it runs
-// outside whatever lock the caller of a Log* method holds — a fact
-// mutation inside the server's registry write lock never pays for (or
-// blocks the query plane on) a full snapshot.
+// in flight). Compaction holds the store mutex only for the segment
+// swap and state capture — a fact mutation inside the server's
+// registry write lock never pays for (or blocks the query plane on) a
+// full snapshot.
 func (st *Store) scheduleCompaction() {
 	if !st.compacting.CompareAndSwap(false, true) {
 		return
@@ -298,12 +440,25 @@ func (st *Store) applyWithUndo(rec record) (func(), error) {
 	switch rec.kind {
 	case opRegister:
 		prev, had := st.state[rec.id]
+		pos := -1
+		if had {
+			for i, id := range st.order {
+				if id == rec.id {
+					pos = i
+					break
+				}
+			}
+		}
 		undo := func() {
 			delete(st.state, rec.id)
 			st.removeFromOrder(rec.id)
 			if had {
 				st.state[rec.id] = prev
-				st.order = append(st.order, rec.id)
+				if pos >= 0 && pos <= len(st.order) {
+					st.order = append(st.order[:pos], append([]string{rec.id}, st.order[pos:]...)...)
+				} else {
+					st.order = append(st.order, rec.id)
+				}
 			}
 		}
 		return undo, st.apply(rec)
@@ -399,47 +554,143 @@ func (st *Store) removeFromOrder(id string) {
 
 // --- snapshot + compaction ------------------------------------------------
 
-// Compact folds the current state into a fresh snapshot and truncates
-// the WAL. Safe to call at any time; a crash during compaction is
-// harmless because the snapshot is replaced atomically (temp file +
-// rename) and the WAL is truncated only after the rename.
+// Compact folds the current state into a fresh snapshot and retires
+// the old WAL. The store mutex is held only to rotate the WAL to a
+// fresh segment and capture a copy of the state (cheap: the databases
+// are copy-on-write values, so capturing pins pointers); the snapshot
+// encode, write, fsync and rename run without it, so appenders and the
+// query plane never wait on snapshot I/O.
+//
+// Crash safety is by generation pairing. Each snapshot is stamped with
+// the generation of the WAL segment opened at capture time
+// (wal.<gen>.bin), and boot deletes — never replays — segments older
+// than the stamp. Whichever side of the snapshot install a crash
+// lands on, boot sees a consistent pair:
+//
+//   - before the install: the old snapshot, the old segment (complete,
+//     synced before the swap), and the new segment (post-swap
+//     appends), replayed in generation order;
+//   - after the install: the new snapshot, whose stamp retires the old
+//     segment, plus the new segment.
+//
+// A WAL record is therefore never replayed over a snapshot that
+// already folds it in.
 func (st *Store) Compact() error {
+	st.compactMu.Lock()
+	defer st.compactMu.Unlock()
+
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return fmt.Errorf("store: closed")
 	}
-	return st.compactLocked()
-}
+	oldWAL, gen := st.wal, st.walGen+1
+	st.mu.Unlock()
 
-func (st *Store) compactLocked() error {
-	if err := st.writeSnapshotLocked(); err != nil {
+	// Make the retiring segment durable before any record can land in
+	// its successor: replay assumes a segment is complete once a later
+	// one has records, so the old segment's tail must not be lost to an
+	// OS crash that spares the new one. The bulk of the sync happens
+	// here, unlocked; the short re-sync below (under the mutex) flushes
+	// only appends that raced in between. walGen and wal are stable
+	// across the gap: only Compact changes them, and compactMu is held.
+	if err := oldWAL.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL before compaction: %w", err)
+	}
+	segPath := filepath.Join(st.opts.Dir, segmentName(gen))
+	seg, err := os.OpenFile(segPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating WAL segment: %w", err)
+	}
+	if err := syncDir(st.opts.Dir); err != nil {
+		seg.Close()
+		os.Remove(segPath)
+		return fmt.Errorf("store: syncing data dir: %w", err)
+	}
+
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		seg.Close()
+		os.Remove(segPath)
+		return fmt.Errorf("store: closed")
+	}
+	if st.failed {
+		// The retiring segment may end in the remains of a failed
+		// append (a complete frame replay could not tell from an
+		// acknowledged record). It must not be rotated out of reach of
+		// repair with that tail in place.
+		if !st.repairTailLocked() {
+			st.mu.Unlock()
+			seg.Close()
+			os.Remove(segPath)
+			return fmt.Errorf("store: WAL tail unrepairable; refusing to retire the segment")
+		}
+		st.failed = false
+	}
+	if err := st.wal.Sync(); err != nil {
+		st.mu.Unlock()
+		seg.Close()
+		os.Remove(segPath)
+		return fmt.Errorf("store: syncing WAL before compaction: %w", err)
+	}
+	st.wal, st.walGen, st.walOff = seg, gen, 0
+	// walOps keeps counting the retiring segment's records: they remain
+	// replay debt until the snapshot that folds them in is installed.
+	captured := st.walOps
+	states := make([]InstanceState, 0, len(st.order))
+	for _, id := range st.order {
+		states = append(states, *st.state[id])
+	}
+	st.mu.Unlock()
+
+	oldWAL.Close() // no further writes; boot replays it only until the snapshot installs
+
+	if st.testCrashAfterSwap {
+		return nil
+	}
+	if err := st.writeSnapshot(gen, states); err != nil {
+		// The pair stays consistent: the snapshot still carries the old
+		// stamp, so boot replays the retired segment and then this one,
+		// and walOps still counts both.
 		return err
 	}
-	if err := st.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	st.mu.Lock()
+	st.walOps -= captured // the install retired the captured records
+	st.mu.Unlock()
+	if st.testCrashAfterInstall {
+		return nil
 	}
-	if _, err := st.wal.Seek(0, 0); err != nil {
-		return err
+	// The install retired every older segment; removal is cleanup, and
+	// boot redoes it if a crash (or an error here) leaves one behind.
+	if segs, err := listSegments(st.opts.Dir); err == nil {
+		for _, sg := range segs {
+			if sg.gen < gen {
+				os.Remove(sg.path)
+			}
+		}
 	}
-	st.walOps = 0
 	st.compactions.Add(1)
 	return nil
 }
 
-// writeSnapshotLocked serialises the full state:
+// writeSnapshot serialises a captured state:
 //
-//	magic "OCQS" | uvarint version | uvarint count |
-//	per instance: id, name, created, instance payload |
+//	magic "OCQS" | uvarint snapshotVersion | uvarint generation |
+//	uvarint count | per instance: id, name, created, instance payload |
 //	uint32 LE IEEE-CRC32 of everything before it
-func (st *Store) writeSnapshotLocked() error {
+//
+// It runs without the store mutex: the states are value copies whose
+// DB/Sigma pointers are immutable, so concurrent mutations build new
+// databases and cannot reach them.
+func (st *Store) writeSnapshot(gen uint64, states []InstanceState) error {
 	var b bytes.Buffer
 	b.Write(snapshotMagic)
-	putUvarint(&b, codecVersion)
-	ids := st.order // registration order, deterministic
-	putUvarint(&b, uint64(len(ids)))
-	for _, id := range ids {
-		s := st.state[id]
+	putUvarint(&b, snapshotVersion)
+	putUvarint(&b, gen)
+	putUvarint(&b, uint64(len(states)))
+	for i := range states {
+		s := &states[i]
 		putString(&b, s.ID)
 		putString(&b, s.Name)
 		putUvarint(&b, uint64(s.Created.UnixNano()))
@@ -472,57 +723,65 @@ func (st *Store) writeSnapshotLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
+	if err := syncDir(st.opts.Dir); err != nil {
+		return fmt.Errorf("store: syncing data dir: %w", err)
+	}
 	st.snapshots.Add(1)
 	return nil
 }
 
-// loadSnapshot reads the snapshot file into the state map; a missing
-// file is an empty store. A corrupt snapshot is a hard error — unlike
-// the WAL tail, the snapshot is written atomically, so damage means
-// operator-level trouble (disk fault), not a crash signature.
-func (st *Store) loadSnapshot() error {
+// loadSnapshot reads the snapshot file into the state map and returns
+// its generation stamp; a missing file is an empty store at generation
+// zero. A corrupt snapshot is a hard error — unlike the WAL tail, the
+// snapshot is written atomically, so damage means operator-level
+// trouble (disk fault), not a crash signature.
+func (st *Store) loadSnapshot() (uint64, error) {
 	raw, err := os.ReadFile(filepath.Join(st.opts.Dir, snapshotFile))
 	if os.IsNotExist(err) {
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return fmt.Errorf("store: reading snapshot: %w", err)
+		return 0, fmt.Errorf("store: reading snapshot: %w", err)
 	}
 	if len(raw) < len(snapshotMagic)+4 || !bytes.Equal(raw[:len(snapshotMagic)], snapshotMagic) {
-		return fmt.Errorf("store: snapshot has bad magic")
+		return 0, fmt.Errorf("store: snapshot has bad magic")
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return fmt.Errorf("store: snapshot checksum mismatch")
+		return 0, fmt.Errorf("store: snapshot checksum mismatch")
 	}
 	rd := reader{bytes.NewReader(body[len(snapshotMagic):])}
 	v, err := rd.uvarint()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if v != codecVersion {
-		return fmt.Errorf("store: snapshot codec version %d not supported (have %d)", v, codecVersion)
+	if v != snapshotVersion {
+		return 0, fmt.Errorf("store: snapshot format version %d not supported (have %d)", v, snapshotVersion)
+	}
+	gen, err := rd.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("store: snapshot generation: %w", err)
 	}
 	n, err := rd.count("instance", 1<<20)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for i := 0; i < n; i++ {
 		id, err := rd.string_()
 		if err != nil {
-			return fmt.Errorf("store: snapshot instance id: %w", err)
+			return 0, fmt.Errorf("store: snapshot instance id: %w", err)
 		}
 		name, err := rd.string_()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		created, err := rd.uvarint()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		db, sigma, err := decodeInstancePayload(rd)
 		if err != nil {
-			return fmt.Errorf("store: snapshot instance %q: %w", id, err)
+			return 0, fmt.Errorf("store: snapshot instance %q: %w", id, err)
 		}
 		st.state[id] = &InstanceState{
 			ID:      id,
@@ -533,5 +792,5 @@ func (st *Store) loadSnapshot() error {
 		}
 		st.order = append(st.order, id)
 	}
-	return nil
+	return gen, nil
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -153,7 +154,7 @@ func TestCrashRecoveryTruncatedTail(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, segmentName(0))
 	full, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +162,7 @@ func TestCrashRecoveryTruncatedTail(t *testing.T) {
 
 	for cut := walLenAfterTwo + 1; cut < int64(len(full)); cut++ {
 		crash := t.TempDir()
-		if err := os.WriteFile(filepath.Join(crash, walFile), full[:cut], 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(crash, segmentName(0)), full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
 		st2 := openStore(t, crash)
@@ -211,7 +212,7 @@ func TestCrashRecoveryCorruptTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.Close()
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, segmentName(0))
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -250,8 +251,11 @@ func TestCompactionSnapshotsAndTruncates(t *testing.T) {
 	if stats.Compactions != 1 || stats.Snapshots != 1 || stats.WalRecords != 0 {
 		t.Fatalf("post-compaction stats %+v", stats)
 	}
-	if fi, err := os.Stat(filepath.Join(dir, walFile)); err != nil || fi.Size() != 0 {
-		t.Fatalf("WAL not truncated: %v, %v", fi, err)
+	if _, err := os.Stat(filepath.Join(dir, segmentName(0))); !os.IsNotExist(err) {
+		t.Fatalf("retired WAL segment survived compaction: %v", err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, segmentName(1))); err != nil || fi.Size() != 0 {
+		t.Fatalf("fresh WAL segment missing or non-empty: %v, %v", fi, err)
 	}
 	// Post-compaction appends land in the fresh WAL; reopen sees both.
 	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "9", "zz")); err != nil {
@@ -324,6 +328,248 @@ func TestAppendRejectsUnappliableRecords(t *testing.T) {
 	// None of the rejected records may have reached the WAL.
 	if got := st.Stats().WalAppends; got != 1 {
 		t.Fatalf("wal_appends = %d, want 1", got)
+	}
+}
+
+// TestCompactionCrashBeforeSnapshotInstall models a crash in the window
+// after the WAL rotates to a fresh segment but before the new snapshot
+// is installed: boot must replay the retired segment in full and then
+// the fresh one, in generation order.
+func TestCompactionCrashBeforeSnapshotInstall(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = -1 })
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "7", "Pre")); err != nil {
+		t.Fatal(err)
+	}
+	st.testCrashAfterSwap = true
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends after the swap land in the new segment.
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "8", "Post")); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Instances()[0].DB
+	// The retiring segment's records stay replay debt until a snapshot
+	// actually installs; only Post-swap bookkeeping would report 1.
+	if n := st.Stats().WalRecords; n != 3 {
+		t.Fatalf("wal_records before the snapshot install = %d, want 3", n)
+	}
+	// Simulated crash: abandon st without Close.
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	got := st2.Instances()
+	if len(got) != 1 || !got[0].DB.Equal(want) {
+		t.Fatalf("state after mid-compaction crash: %v, want %v", got, want)
+	}
+	// register + Pre from the retired segment, Post from the fresh one.
+	if n := st2.Stats().ReplayedOps; n != 3 {
+		t.Fatalf("replayed_ops = %d, want 3", n)
+	}
+}
+
+// TestCompactionRepairsUnacknowledgedTail: an append whose fsync fails
+// can leave a COMPLETE frame in the WAL for a record the client never
+// saw succeed (memory is rolled back; a tear scan cannot flag the
+// frame). Compaction must truncate that frame away before retiring the
+// segment, or a crash before the snapshot install would replay it.
+func TestCompactionRepairsUnacknowledgedTail(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = -1 })
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the phantom: frame fully written, store latched failed, as
+	// the append path leaves things when fsync and the tail repair both
+	// fail transiently.
+	st.mu.Lock()
+	frame := frameRecord(encodeRecord(record{kind: opInsertFact, id: "i1", fact: rel.NewFact("Emp", "9", "Phantom")}))
+	if _, err := st.wal.Write(frame); err != nil {
+		st.mu.Unlock()
+		t.Fatal(err)
+	}
+	st.failed = true
+	st.mu.Unlock()
+
+	st.testCrashAfterSwap = true
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The rotation repaired the tail, so the latch is clear and appends
+	// (landing in the fresh segment) work again.
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "8", "Post")); err != nil {
+		t.Fatalf("append after tail repair: %v", err)
+	}
+	want := st.Instances()[0].DB
+	// Simulated crash before the snapshot install: boot replays the
+	// retired segment in full — the phantom must not be in it.
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	got := st2.Instances()[0].DB
+	if got.Contains(rel.NewFact("Emp", "9", "Phantom")) {
+		t.Fatal("unacknowledged frame survived segment retirement and was replayed")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("state after repair + crash: %v, want %v", got, want)
+	}
+}
+
+// TestOpenRejectsLegacyWAL: a data dir written by the pre-segment
+// format holds a single wal.bin; silently ignoring it would drop its
+// acknowledged records.
+func TestOpenRejectsLegacyWAL(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal.bin"), []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("legacy single-file wal.bin silently ignored")
+	}
+}
+
+// TestCompactionCrashBeforeSegmentRemoval models a crash in the window
+// after the snapshot install but before the retired WAL segment is
+// removed. The snapshot already contains the segment's effects, so boot
+// must ignore (and delete) it — replaying it used to fail boot on a
+// duplicate insert-fact or an unregister of an absent instance, and to
+// resolve a delete-fact index against the wrong fact.
+func TestCompactionCrashBeforeSegmentRemoval(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = -1 })
+	// One of each record kind that poisons a double replay.
+	if err := st.LogRegister("i1", "emps", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "7", "Pre")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("i2", "gone", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogUnregister("i2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogDeleteFact("i1", 0); err != nil {
+		t.Fatal(err)
+	}
+	st.testCrashAfterInstall = true
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Instances()[0].DB
+	if _, err := os.Stat(filepath.Join(dir, segmentName(0))); err != nil {
+		t.Fatalf("test setup: retired segment should still be on disk: %v", err)
+	}
+	// Simulated crash: abandon st without Close.
+
+	st2 := openStore(t, dir)
+	got := st2.Instances()
+	if len(got) != 1 || !got[0].DB.Equal(want) {
+		t.Fatalf("state after post-install crash: %v, want %v", got, want)
+	}
+	// The stale segment was deleted, not replayed.
+	if n := st2.Stats().ReplayedOps; n != 0 {
+		t.Fatalf("replayed_ops = %d, want 0 (stale segment replayed)", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segmentName(0))); !os.IsNotExist(err) {
+		t.Fatalf("stale segment not removed at boot: %v", err)
+	}
+	// The recovered store keeps working across another reopen.
+	if err := st2.LogInsertFact("i1", rel.NewFact("Emp", "9", "After")); err != nil {
+		t.Fatal(err)
+	}
+	want = st2.Instances()[0].DB
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openStore(t, dir)
+	defer st3.Close()
+	if got := st3.Instances()[0].DB; !got.Equal(want) {
+		t.Fatalf("state after recovery reopen: %v, want %v", got, want)
+	}
+}
+
+// TestAppendsDuringCompactionSurvive races Log* against explicit
+// compactions: appends must never block on (or be lost to) snapshot
+// I/O, and the snapshot/WAL pair must reproduce the final state.
+func TestAppendsDuringCompactionSurvive(t *testing.T) {
+	dir := t.TempDir()
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	st := openStore(t, dir, func(o *Options) { o.CompactEvery = -1 })
+	if err := st.LogRegister("i1", "bench", time.Now(), rel.NewDatabase(), sigma); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := st.LogInsertFact("i1", rel.NewFact("R", fmt.Sprintf("k%d", i), "v")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 5; i++ {
+		if err := st.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Instances()[0].DB
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	got := st2.Instances()[0].DB
+	if got.Len() != n || !got.Equal(want) {
+		t.Fatalf("reopen after racing compactions: %d facts, want %d", got.Len(), n)
+	}
+}
+
+// TestFailedAppendRestoresRegistrationOrder: rolling back a register
+// over an existing id must put the id back at its original position in
+// the registration order, not at the end.
+func TestFailedAppendRestoresRegistrationOrder(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	for _, id := range []string{"a", "b", "c"} {
+		if err := st.LogRegister(id, "orig-"+id, time.Now(), d, sigma); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail the next WAL write by closing the file out from under the
+	// store (the undo path then runs and the failed latch engages).
+	st.wal.Close()
+	if err := st.LogRegister("b", "again", time.Now(), d, sigma); err == nil {
+		t.Fatal("append on a closed WAL succeeded")
+	}
+	got := st.Instances()
+	if len(got) != 3 {
+		t.Fatalf("%d instances after rollback, want 3", len(got))
+	}
+	for i, wantID := range []string{"a", "b", "c"} {
+		if got[i].ID != wantID {
+			t.Fatalf("registration order after rollback: %v at %d, want %v", got[i].ID, i, wantID)
+		}
+	}
+	if got[1].Name != "orig-b" {
+		t.Fatalf("rolled-back register left name %q, want %q", got[1].Name, "orig-b")
 	}
 }
 
