@@ -7,6 +7,7 @@
 package ocqa_test
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"testing"
@@ -15,8 +16,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/count"
 	"repro/internal/cq"
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/fpras"
 	"repro/internal/graph"
 	"repro/internal/reduction"
 	"repro/internal/sampler"
@@ -329,9 +330,11 @@ func BenchmarkE14Crossover(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+			if _, err := engine.EstimateStoppingRule(context.Background(), func(r *rand.Rand) bool {
 				return pred(bs.SampleRepair(r, false))
-			}, 0.1, 0.05, int64(i), 0)
+			}, 0.1, 0.05, int64(i), 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

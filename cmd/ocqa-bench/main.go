@@ -6,12 +6,15 @@
 // With -store it instead runs the persistence micro-benchmarks
 // (incremental InsertFact vs. full conflict-structure rebuild, WAL
 // replay, snapshot round-trip) and emits a BENCH_store.json trajectory
-// file.
+// file. With -engine it runs the estimation-engine benchmarks
+// (pre-engine serial marginals baseline vs. the amortised parallel
+// engine) and emits BENCH_engine.json.
 //
 // Usage:
 //
 //	ocqa-bench [-quick] [-seed N] [-only E06]
 //	ocqa-bench -store [-store-out BENCH_store.json]
+//	ocqa-bench -engine [-engine-out BENCH_engine.json]
 package main
 
 import (
@@ -25,15 +28,24 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "smaller instances and sample counts")
-		seed     = flag.Int64("seed", 42, "random seed")
-		only     = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
-		storeRun = flag.Bool("store", false, "run the persistence micro-benchmarks instead of the experiment suite")
-		storeOut = flag.String("store-out", "BENCH_store.json", "trajectory file for -store results")
+		quick     = flag.Bool("quick", false, "smaller instances and sample counts")
+		seed      = flag.Int64("seed", 42, "random seed")
+		only      = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+		storeRun  = flag.Bool("store", false, "run the persistence micro-benchmarks instead of the experiment suite")
+		storeOut  = flag.String("store-out", "BENCH_store.json", "trajectory file for -store results")
+		engineRun = flag.Bool("engine", false, "run the estimation-engine benchmarks instead of the experiment suite")
+		engineOut = flag.String("engine-out", "BENCH_engine.json", "trajectory file for -engine results")
 	)
 	flag.Parse()
 	if *storeRun {
 		if err := runStoreBenchmarks(*storeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineRun {
+		if err := runEngineBenchmarks(*engineOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
 			os.Exit(1)
 		}

@@ -91,7 +91,7 @@ func TestServeRegisterQueryShutdown(t *testing.T) {
 		server.QueryRequest{Generator: "ur", Mode: "approx", Query: query, Tuple: "Bob", Seed: 11}, &approx); status != http.StatusOK {
 		t.Fatalf("approx query: status %d", status)
 	}
-	wantEst, err := inst.Prepare().Approximate(mode, q, ocqa.ParseTuple("Bob"), ocqa.ApproxOptions{Seed: 11})
+	wantEst, err := inst.Prepare().Approximate(context.Background(), mode, q, ocqa.ParseTuple("Bob"), ocqa.ApproxOptions{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,19 +5,24 @@
 //
 //	ocqa -facts facts.txt -fds fds.txt -query "Ans(x) :- R(x,'v')" \
 //	     [-generator ur|us|uo] [-singleton] [-mode exact|approx] \
-//	     [-tuple "a,b"] [-eps 0.1] [-delta 0.05] [-seed 1] [-force] [-limit N]
+//	     [-tuple "a,b"] [-eps 0.1] [-delta 0.05] [-seed 1] [-workers N] \
+//	     [-force] [-limit N]
 //
 // With -tuple, the probability of that single tuple is computed;
 // otherwise every consistent answer is reported with its probability.
 // Exact mode uses the ♯P-hard engines (bounded by -limit states);
 // approx mode uses the paper's samplers and refuses generator /
 // constraint-class pairs without an FPRAS unless -force is given.
+// Approximate estimation is cancellable: an interrupt (Ctrl-C) stops
+// the sampling loop within one chunk instead of draining its budget.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	ocqa "repro"
 )
@@ -34,19 +39,22 @@ func main() {
 		eps       = flag.Float64("eps", 0.1, "approx: multiplicative error ε")
 		delta     = flag.Float64("delta", 0.05, "approx: failure probability δ")
 		seed      = flag.Int64("seed", 1, "approx: random seed")
+		workers   = flag.Int("workers", 1, "approx: parallel estimation workers (deterministic per seed+workers)")
 		force     = flag.Bool("force", false, "approx: sample even without an FPRAS guarantee")
 		limit     = flag.Int("limit", 2_000_000, "exact: state budget (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := run(*factsPath, *fdsPath, *queryText, *tupleText, *genName,
-		*singleton, *mode, *eps, *delta, *seed, *force, *limit); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *factsPath, *fdsPath, *queryText, *tupleText, *genName,
+		*singleton, *mode, *eps, *delta, *seed, *workers, *force, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(factsPath, fdsPath, queryText, tupleText, genName string,
-	singleton bool, mode string, eps, delta float64, seed int64, force bool, limit int) error {
+func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName string,
+	singleton bool, mode string, eps, delta float64, seed int64, workers int, force bool, limit int) error {
 	if factsPath == "" || fdsPath == "" || queryText == "" {
 		return fmt.Errorf("need -facts, -fds and -query")
 	}
@@ -110,10 +118,10 @@ func run(factsPath, fdsPath, queryText, tupleText, genName string,
 		}
 		return nil
 	case "approx":
-		opts := ocqa.ApproxOptions{Epsilon: eps, Delta: delta, Seed: seed, Force: force}
+		opts := ocqa.ApproxOptions{Epsilon: eps, Delta: delta, Seed: seed, Workers: workers, Force: force}
 		if tupleText != "" || len(q.AnswerVars) == 0 {
 			c := ocqa.ParseTuple(tupleText)
-			est, err := inst.Approximate(m, q, c, opts)
+			est, err := inst.Approximate(ctx, m, q, c, opts)
 			if err != nil {
 				return err
 			}
@@ -121,7 +129,7 @@ func run(factsPath, fdsPath, queryText, tupleText, genName string,
 				q, c, est.Value, est.Epsilon, est.Delta, est.Samples, est.Converged)
 			return nil
 		}
-		answers, err := inst.ApproximateAnswers(m, q, opts)
+		answers, err := inst.ApproximateAnswers(ctx, m, q, opts)
 		if err != nil {
 			return err
 		}

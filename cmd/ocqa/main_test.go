@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -24,8 +25,8 @@ func fixtures(t *testing.T) (facts, fds string) {
 
 func TestRunExactAllAnswers(t *testing.T) {
 	facts, fds := fixtures(t)
-	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
-		false, "exact", 0.1, 0.05, 1, false, 0)
+	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "exact", 0.1, 0.05, 1, 1, false, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -33,8 +34,8 @@ func TestRunExactAllAnswers(t *testing.T) {
 
 func TestRunExactSingleTuple(t *testing.T) {
 	facts, fds := fixtures(t)
-	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "Alice", "us",
-		false, "exact", 0.1, 0.05, 1, false, 0)
+	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "Alice", "us",
+		false, "exact", 0.1, 0.05, 1, 1, false, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -42,8 +43,8 @@ func TestRunExactSingleTuple(t *testing.T) {
 
 func TestRunBooleanQuery(t *testing.T) {
 	facts, fds := fixtures(t)
-	err := run(facts, fds, "Ans() :- Emp(i, 'Alice')", "", "uo",
-		false, "exact", 0.1, 0.05, 1, false, 0)
+	err := run(context.Background(), facts, fds, "Ans() :- Emp(i, 'Alice')", "", "uo",
+		false, "exact", 0.1, 0.05, 1, 1, false, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -51,8 +52,8 @@ func TestRunBooleanQuery(t *testing.T) {
 
 func TestRunApprox(t *testing.T) {
 	facts, fds := fixtures(t)
-	err := run(facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
-		false, "approx", 0.2, 0.1, 7, false, 0)
+	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "approx", 0.2, 0.1, 7, 1, false, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -60,8 +61,8 @@ func TestRunApprox(t *testing.T) {
 
 func TestRunApproxSingletonUO(t *testing.T) {
 	facts, fds := fixtures(t)
-	err := run(facts, fds, "Ans() :- Emp(i, 'Tom')", "", "uo",
-		true, "approx", 0.2, 0.1, 7, false, 0)
+	err := run(context.Background(), facts, fds, "Ans() :- Emp(i, 'Tom')", "", "uo",
+		true, "approx", 0.2, 0.1, 7, 1, false, 0)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -74,22 +75,22 @@ func TestRunErrors(t *testing.T) {
 		call func() error
 	}{
 		{"missing args", func() error {
-			return run("", "", "", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), "", "", "", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
 		}},
 		{"bad generator", func() error {
-			return run(facts, fds, "Ans() :- Emp(x,y)", "", "zz", false, "exact", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "zz", false, "exact", 0.1, 0.05, 1, 1, false, 0)
 		}},
 		{"bad mode", func() error {
-			return run(facts, fds, "Ans() :- Emp(x,y)", "", "ur", false, "banana", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "ur", false, "banana", 0.1, 0.05, 1, 1, false, 0)
 		}},
 		{"bad query", func() error {
-			return run(facts, fds, "nonsense", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), facts, fds, "nonsense", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
 		}},
 		{"missing facts file", func() error {
-			return run(facts+".nope", fds, "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), facts+".nope", fds, "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
 		}},
 		{"missing fds file", func() error {
-			return run(facts, fds+".nope", "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, false, 0)
+			return run(context.Background(), facts, fds+".nope", "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
 		}},
 	}
 	for _, tc := range cases {
@@ -104,8 +105,8 @@ func TestRunErrors(t *testing.T) {
 func TestRunRefusesFDApprox(t *testing.T) {
 	facts := writeTemp(t, "facts.txt", "R(a1,b1,c1)\nR(a1,b2,c2)\nR(a2,b1,c2)\n")
 	fds := writeTemp(t, "fds.txt", "R: A1 -> A2\nR: A3 -> A2\n")
-	err := run(facts, fds, "Ans() :- R(x,'b1',y)", "", "ur",
-		false, "approx", 0.1, 0.05, 1, false, 0)
+	err := run(context.Background(), facts, fds, "Ans() :- R(x,'b1',y)", "", "ur",
+		false, "approx", 0.1, 0.05, 1, 1, false, 0)
 	if err == nil {
 		t.Fatal("M^ur over FDs must be refused")
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,7 +72,7 @@ func main() {
 		{Gen: ocqa.UniformOperations},
 	} {
 		start := time.Now()
-		est, err := inst.Approximate(mode, q, ocqa.Tuple{}, ocqa.ApproxOptions{
+		est, err := inst.Approximate(context.Background(), mode, q, ocqa.Tuple{}, ocqa.ApproxOptions{
 			Epsilon: 0.05, Delta: 0.01, Seed: 7,
 		})
 		if err != nil {
@@ -89,7 +90,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	answers, err := inst.ApproximateAnswers(ocqa.Mode{Gen: ocqa.UniformRepairs}, qp,
+	answers, err := inst.ApproximateAnswers(context.Background(), ocqa.Mode{Gen: ocqa.UniformRepairs}, qp,
 		ocqa.ApproxOptions{Epsilon: 0.1, Delta: 0.05, Seed: 11})
 	if err != nil {
 		log.Fatal(err)

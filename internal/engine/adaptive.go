@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// EstimateStoppingRule implements the Dagum–Karp–Luby–Ross stopping-
+// rule algorithm [8] for Bernoulli variables: sample until the running
+// sum of successes reaches Υ₁ = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε², and output
+// Υ₁/N. For any true mean μ > 0 it guarantees Pr[|est − μ| ≤ ε·μ] ≥
+// 1−δ with E[N] = O(ln(1/δ)/(ε²·μ)) — the "number of samples
+// proportional to 1/p" the paper refers to. maxSamples caps the run
+// (0 = no cap; the rule does not terminate when μ = 0): on exhaustion
+// the plain mean is returned with Converged = false.
+//
+// The context is checked once per Chunk draws; a cancelled run returns
+// the partial mean and ctx.Err().
+func EstimateStoppingRule(ctx context.Context, s Sampler, eps, delta float64, seed int64, maxSamples int) (Estimate, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
+	}
+	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	rng := rngFor(seed, PhaseStoppingRule, 0)
+	sum := 0.0
+	n := 0
+	for sum < upsilon1 {
+		if n%Chunk == 0 {
+			if err := ctx.Err(); err != nil {
+				samplesDrawn.Add(int64(n))
+				cancelledRuns.Add(1)
+				return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, err
+			}
+		}
+		if maxSamples > 0 && n >= maxSamples {
+			samplesDrawn.Add(int64(n))
+			return Estimate{Value: sum / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: false}, nil
+		}
+		n++
+		if s(rng) {
+			sum++
+		}
+	}
+	samplesDrawn.Add(int64(n))
+	return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}, nil
+}
+
+// EstimateStoppingRuleParallel is a parallel variant of the stopping
+// rule with the *identical* statistical behaviour: workers draw
+// fixed-size batches from independent sub-streams and return the
+// outcome vectors; the sequential rule is then applied to the
+// canonical interleaving (worker 0's batch, then worker 1's, ...),
+// which is a valid i.i.d. sample stream, stopping mid-batch exactly
+// where the sequential rule would. Unused draws are discarded.
+// Deterministic per (seed, workers). The returned Samples counts the
+// consumed prefix, not the discarded tail.
+//
+// newSampler is called once per worker: samplers are typically
+// stateful (walkers, caches) and not safe for concurrent use, so each
+// worker needs its own instance.
+//
+// The context is checked between rounds (one batch of Chunk draws per
+// worker); a cancelled run returns the partial mean and ctx.Err().
+func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler, eps, delta float64, seed int64, workers, maxSamples int) (Estimate, error) {
+	if workers <= 1 {
+		return EstimateStoppingRule(ctx, newSampler(), eps, delta, seed, maxSamples)
+	}
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
+	}
+	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	samplers := make([]Sampler, workers)
+	rngs := make([]*rand.Rand, workers)
+	for i := range samplers {
+		samplers[i] = newSampler()
+		rngs[i] = rngFor(seed, PhaseStoppingRule, i)
+	}
+	sum := 0.0
+	n := 0
+	// performed counts every sampler invocation, discarded tail
+	// included — the number the engine_samples_drawn counter reports;
+	// n counts only the consumed prefix the rule's law is defined on.
+	performed := 0
+	outcomes := make([][]bool, workers)
+	done := make(chan int, workers)
+	for {
+		if err := ctx.Err(); err != nil {
+			samplesDrawn.Add(int64(performed))
+			cancelledRuns.Add(1)
+			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, err
+		}
+		if maxSamples > 0 && n >= maxSamples {
+			samplesDrawn.Add(int64(performed))
+			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, nil
+		}
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				out := make([]bool, Chunk)
+				for i := range out {
+					out[i] = samplers[w](rngs[w])
+				}
+				outcomes[w] = out
+				done <- w
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		performed += workers * Chunk
+		// Consume the canonical interleaving sequentially.
+		for w := 0; w < workers; w++ {
+			for _, hit := range outcomes[w] {
+				n++
+				if hit {
+					sum++
+				}
+				if sum >= upsilon1 {
+					samplesDrawn.Add(int64(performed))
+					return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}, nil
+				}
+			}
+		}
+	}
+}
+
+// EstimateAA runs the full 𝒜𝒜 (approximation algorithm) of Dagum,
+// Karp, Luby and Ross, "An Optimal Algorithm for Monte Carlo
+// Estimation" [reference 8 of the paper] — the estimator whose
+// expected sample count is within a constant factor of optimal for any
+// random variable on [0,1]. The stopping rule of EstimateStoppingRule
+// is its first phase; the full algorithm adds a variance-estimation
+// phase so that low-variance targets (probabilities near 0 or 1) cost
+// fewer samples than the plain 1/μ rule.
+//
+// Phases (for Bernoulli Z with mean μ):
+//  1. Stopping rule with ε' = min(1/2, √ε) and δ/3 → crude estimate μ̂.
+//  2. Estimate ρ = max(σ², εμ) with N = Υ₂·ε/μ̂ sample pairs, where
+//     Υ₂ = 2(1+√ε)(1+2√ε)(1+ln(3/2)/ln(2/δ))·Υ and
+//     Υ = 4(e−2)ln(2/δ)/ε².
+//  3. Final estimate with N = Υ₂·ρ̂/μ̂² samples.
+//
+// Guarantee: Pr[|μ̃ − μ| ≤ ε·μ] ≥ 1−δ, with E[N] = O(ρ·ln(1/δ)/(ε²μ²)),
+// which for Bernoulli variables is O(ln(1/δ)/(ε²·max(μ, ε))) — a
+// factor min(1/ε, 1/μ) better than the plain stopping rule when μ ≫ ε.
+//
+// maxSamples caps the total draws across all three phases (0 = no
+// cap); on exhaustion the current phase's plain mean is returned with
+// Converged = false. The context is checked once per Chunk draws; a
+// cancelled run returns the current phase's partial estimate and
+// ctx.Err().
+func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, maxSamples int) (Estimate, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("engine: invalid parameters for EstimateAA")
+	}
+	rng := rngFor(seed, PhaseAA, 0)
+	used := 0
+	var ctxErr error
+	// draw returns false when the budget is exhausted or the context is
+	// cancelled (recorded in ctxErr); the caller then reports the
+	// current phase's partial estimate.
+	draw := func() (float64, bool) {
+		if maxSamples > 0 && used >= maxSamples {
+			return 0, false
+		}
+		if used%Chunk == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return 0, false
+			}
+		}
+		used++
+		if s(rng) {
+			return 1, true
+		}
+		return 0, true
+	}
+	finish := func(e Estimate) (Estimate, error) {
+		samplesDrawn.Add(int64(used))
+		if ctxErr != nil {
+			cancelledRuns.Add(1)
+		}
+		return e, ctxErr
+	}
+
+	upsilon := 4 * (math.E - 2) * math.Log(3/delta) / (eps * eps)
+	upsilon2 := 2 * (1 + math.Sqrt(eps)) * (1 + 2*math.Sqrt(eps)) *
+		(1 + math.Log(1.5)/math.Log(3/delta)) * upsilon
+
+	// Phase 1: stopping rule with ε' = min(1/2, √ε).
+	eps1 := math.Min(0.5, math.Sqrt(eps))
+	upsilon1 := 1 + (1+eps1)*4*(math.E-2)*math.Log(3/delta)/(eps1*eps1)
+	sum := 0.0
+	n1 := 0
+	for sum < upsilon1 {
+		x, ok := draw()
+		if !ok {
+			return finish(Estimate{Value: safeDiv(sum, n1), Samples: used, Epsilon: eps, Delta: delta})
+		}
+		n1++
+		sum += x
+	}
+	muHat := upsilon1 / float64(n1)
+
+	// Phase 2: variance estimation from sample pairs.
+	n2 := int(math.Ceil(upsilon2 * eps / muHat))
+	if n2 < 1 {
+		n2 = 1
+	}
+	var s2 float64
+	for i := 0; i < n2; i++ {
+		a, ok := draw()
+		if !ok {
+			return finish(Estimate{Value: muHat, Samples: used, Epsilon: eps, Delta: delta})
+		}
+		b, ok := draw()
+		if !ok {
+			return finish(Estimate{Value: muHat, Samples: used, Epsilon: eps, Delta: delta})
+		}
+		d := a - b
+		s2 += d * d / 2
+	}
+	rhoHat := math.Max(s2/float64(n2), eps*muHat)
+
+	// Phase 3: final estimate.
+	n3 := int(math.Ceil(upsilon2 * rhoHat / (muHat * muHat)))
+	if n3 < 1 {
+		n3 = 1
+	}
+	total := 0.0
+	for i := 0; i < n3; i++ {
+		x, ok := draw()
+		if !ok {
+			return finish(Estimate{Value: total / float64(i+1), Samples: used, Epsilon: eps, Delta: delta})
+		}
+		total += x
+	}
+	return finish(Estimate{
+		Value:     total / float64(n3),
+		Samples:   used,
+		Epsilon:   eps,
+		Delta:     delta,
+		Converged: true,
+	})
+}

@@ -1,17 +1,16 @@
-package fpras
+package engine
 
 import (
 	"math"
 	"testing"
 )
 
-func factory(p float64) func() Sampler {
-	return func() Sampler { return bernoulli(p) }
-}
-
 func TestEstimateAAAccuracy(t *testing.T) {
 	for _, p := range []float64{0.5, 0.1, 0.02} {
-		e := EstimateAA(bernoulli(p), 0.1, 0.05, 23, 0)
+		e, err := EstimateAA(bg, bernoulli(p), 0.1, 0.05, 23, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !e.Converged {
 			t.Fatalf("p=%v: did not converge", p)
 		}
@@ -26,8 +25,14 @@ func TestEstimateAAAccuracy(t *testing.T) {
 // is the whole point of [8]'s optimality.
 func TestEstimateAABeatsSRAForLargeMu(t *testing.T) {
 	const p, eps, delta = 0.9, 0.05, 0.05
-	aa := EstimateAA(bernoulli(p), eps, delta, 29, 0)
-	sra := EstimateStoppingRule(bernoulli(p), eps, delta, 29, 0)
+	aa, err := EstimateAA(bg, bernoulli(p), eps, delta, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sra, err := EstimateStoppingRule(bg, bernoulli(p), eps, delta, 29, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !aa.Converged || !sra.Converged {
 		t.Fatal("estimators did not converge")
 	}
@@ -41,7 +46,10 @@ func TestEstimateAABeatsSRAForLargeMu(t *testing.T) {
 }
 
 func TestEstimateAACapped(t *testing.T) {
-	e := EstimateAA(bernoulli(0), 0.1, 0.1, 31, 3000)
+	e, err := EstimateAA(bg, bernoulli(0), 0.1, 0.1, 31, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Converged {
 		t.Fatal("p=0 cannot converge")
 	}
@@ -56,12 +64,15 @@ func TestEstimateAAPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	EstimateAA(bernoulli(0.5), 0, 0.1, 1, 0)
+	EstimateAA(bg, bernoulli(0.5), 0, 0.1, 1, 0)
 }
 
 func TestStoppingRuleParallelAccuracy(t *testing.T) {
 	for _, p := range []float64{0.3, 0.05} {
-		e := EstimateStoppingRuleParallel(factory(p), 0.1, 0.05, 37, 4, 0)
+		e, err := EstimateStoppingRuleParallel(bg, factory(p), 0.1, 0.05, 37, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !e.Converged {
 			t.Fatalf("p=%v: did not converge", p)
 		}
@@ -72,23 +83,26 @@ func TestStoppingRuleParallelAccuracy(t *testing.T) {
 }
 
 func TestStoppingRuleParallelSingleWorkerDelegates(t *testing.T) {
-	a := EstimateStoppingRuleParallel(factory(0.4), 0.1, 0.05, 41, 1, 0)
-	b := EstimateStoppingRule(bernoulli(0.4), 0.1, 0.05, 41, 0)
+	a, _ := EstimateStoppingRuleParallel(bg, factory(0.4), 0.1, 0.05, 41, 1, 0)
+	b, _ := EstimateStoppingRule(bg, bernoulli(0.4), 0.1, 0.05, 41, 0)
 	if a.Value != b.Value || a.Samples != b.Samples {
 		t.Fatal("workers=1 must delegate to the sequential rule")
 	}
 }
 
 func TestStoppingRuleParallelDeterministic(t *testing.T) {
-	a := EstimateStoppingRuleParallel(factory(0.2), 0.1, 0.05, 43, 4, 0)
-	b := EstimateStoppingRuleParallel(factory(0.2), 0.1, 0.05, 43, 4, 0)
+	a, _ := EstimateStoppingRuleParallel(bg, factory(0.2), 0.1, 0.05, 43, 4, 0)
+	b, _ := EstimateStoppingRuleParallel(bg, factory(0.2), 0.1, 0.05, 43, 4, 0)
 	if a.Value != b.Value || a.Samples != b.Samples {
 		t.Fatal("same seed and workers must reproduce")
 	}
 }
 
 func TestStoppingRuleParallelCapped(t *testing.T) {
-	e := EstimateStoppingRuleParallel(factory(0), 0.1, 0.1, 47, 4, 2048)
+	e, err := EstimateStoppingRuleParallel(bg, factory(0), 0.1, 0.1, 47, 4, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Converged || e.Value != 0 {
 		t.Fatalf("capped run wrong: %+v", e)
 	}
@@ -101,8 +115,8 @@ func TestParallelMatchesSequentialLaw(t *testing.T) {
 	const p, eps = 0.15, 0.2
 	failSeq, failPar := 0, 0
 	for seed := int64(0); seed < 40; seed++ {
-		seq := EstimateStoppingRule(bernoulli(p), eps, 0.1, 1000+seed, 0)
-		par := EstimateStoppingRuleParallel(factory(p), eps, 0.1, 2000+seed, 3, 0)
+		seq, _ := EstimateStoppingRule(bg, bernoulli(p), eps, 0.1, 1000+seed, 0)
+		par, _ := EstimateStoppingRuleParallel(bg, factory(p), eps, 0.1, 2000+seed, 3, 0)
 		if math.Abs(seq.Value-p) > eps*p {
 			failSeq++
 		}
@@ -112,14 +126,5 @@ func TestParallelMatchesSequentialLaw(t *testing.T) {
 	}
 	if failSeq > 10 || failPar > 10 {
 		t.Fatalf("failure rates too high: seq %d, par %d of 40", failSeq, failPar)
-	}
-}
-
-func TestSafeDiv(t *testing.T) {
-	if safeDiv(1, 0) != 0 {
-		t.Fatal("safeDiv(x, 0) must be 0")
-	}
-	if safeDiv(6, 3) != 2 {
-		t.Fatal("safeDiv wrong")
 	}
 }

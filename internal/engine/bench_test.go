@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The package benchmarks cover the two hot shapes: the Bernoulli
+// estimation loop and the amortised marginal counting loop, serial and
+// at 8 workers. CI runs them with -benchtime=1x as a smoke test so the
+// benchmark code cannot rot; cmd/ocqa-bench -engine runs the full
+// end-to-end comparison against the pre-engine serial baseline and
+// records BENCH_engine.json.
+
+func BenchmarkEstimateFixedSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFixed(bg, factory(0.3), 100_000, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateFixed8Workers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateFixed(bg, factory(0.3), 100_000, 1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCounter mimics a marginals drawer over a mostly-consistent
+// instance: 250 undetermined blocks, one Intn decision each.
+func benchCounter() CountSampler {
+	return func(rng *rand.Rand, counts []int) {
+		for b := 0; b < len(counts); b += 4 {
+			if pick := rng.Intn(5); pick < 4 {
+				counts[b+pick]++
+			}
+		}
+	}
+}
+
+func BenchmarkMarginalsSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Marginals(bg, func() CountSampler { return benchCounter() }, 1000, 20_000, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarginals8Workers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Marginals(bg, func() CountSampler { return benchCounter() }, 1000, 20_000, 1, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

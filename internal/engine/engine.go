@@ -1,0 +1,127 @@
+// Package engine is the shared Monte-Carlo estimation engine every
+// sampling consumer of the reproduction runs through: the fixed-sample
+// Chernoff construction behind the paper's FPRAS theorems (5.1(2),
+// 6.1(2), 7.1(2), 7.5), the Dagum–Karp–Luby–Ross stopping rule and
+// full 𝒜𝒜 estimator [reference 8 of the paper], and the amortised
+// per-fact marginal counter. The statistical machinery (sample-count
+// bounds, probability lower bounds) stays in internal/fpras; this
+// package owns the execution of the draw loops.
+//
+// Three properties hold for every loop in this package:
+//
+//   - Cancellable: every estimator takes a context.Context and checks
+//     it between sample chunks (Chunk draws per worker), so a server
+//     deadline or a vanished client stops the work within one chunk
+//     instead of abandoning it to burn a worker to completion. A
+//     cancelled run returns the partial estimate together with the
+//     context's error.
+//
+//   - Parallel: the fixed-sample, stopping-rule and marginal loops
+//     split their draws across workers. Merging is deterministic, so
+//     the same (seed, workers) pair always reproduces the same
+//     estimate regardless of goroutine scheduling.
+//
+//   - Centrally seeded: every worker RNG is derived once, here, by
+//     Substream — SplitMix64-style mixing of (seed, phase, worker) —
+//     so distinct estimation phases can never hand identical
+//     substreams to their workers for the same user seed (the bug the
+//     previous per-call-site `seed + w*constant` derivations had).
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Sampler draws one Bernoulli observation: whether a sampled repair
+// (or sequence, or chain walk) satisfies the query.
+type Sampler func(rng *rand.Rand) bool
+
+// Estimate is the outcome of a randomized estimation.
+type Estimate struct {
+	// Value is the estimate of the target probability.
+	Value float64
+	// Samples is the number of draws consumed.
+	Samples int
+	// Epsilon and Delta echo the requested guarantee (0 when a raw
+	// fixed-sample estimate was requested).
+	Epsilon, Delta float64
+	// Converged is false when a capped stopping-rule run exhausted its
+	// budget before meeting the rule; Value is then the plain mean.
+	Converged bool
+}
+
+// Chunk is the cancellation granularity: every estimation loop checks
+// its context at least once per Chunk draws per worker, so a cancelled
+// run overshoots the cancellation point by at most workers × Chunk
+// samples.
+const Chunk = 256
+
+// Phase names an estimation phase for substream derivation. Distinct
+// phases mix differently into Substream, so two phases that happen to
+// run with the same user seed and worker index still draw from
+// independent streams.
+type Phase uint64
+
+const (
+	// PhaseFixed: the fixed-sample-count loops (EstimateFixed).
+	PhaseFixed Phase = 1 + iota
+	// PhaseStoppingRule: the DKLR stopping rule, serial and parallel.
+	PhaseStoppingRule
+	// PhaseAA: the full three-phase 𝒜𝒜 estimator.
+	PhaseAA
+	// PhaseMarginals: the per-fact marginal counting loop.
+	PhaseMarginals
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele,
+// Lea, Flood 2014) — a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Substream derives the deterministic RNG seed for one worker of one
+// estimation phase. All worker streams in this package come from here:
+// the (seed, phase, worker) triple is avalanche-mixed, so neighbouring
+// seeds, phases or worker indices share no structure.
+func Substream(seed int64, phase Phase, worker int) int64 {
+	x := splitmix64(uint64(seed))
+	x = splitmix64(x ^ uint64(phase))
+	x = splitmix64(x ^ uint64(worker))
+	return int64(x)
+}
+
+// rngFor builds the worker's rand.Rand on its derived substream.
+func rngFor(seed int64, phase Phase, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(Substream(seed, phase, worker)))
+}
+
+// Process-wide operational counters, exposed by the server as
+// engine_* fields of /varz.
+var (
+	samplesDrawn  atomic.Int64
+	cancelledRuns atomic.Int64
+)
+
+// SamplesDrawn returns the total Monte-Carlo draws performed by this
+// package's loops process-wide (partial draws of cancelled runs
+// included).
+func SamplesDrawn() int64 { return samplesDrawn.Load() }
+
+// CancelledRuns returns the number of estimation runs stopped early by
+// context cancellation process-wide.
+func CancelledRuns() int64 { return cancelledRuns.Load() }
+
+// splitQuota divides n draws over workers as evenly as possible
+// (earlier workers take the remainder), mirroring the deterministic
+// split every parallel loop uses.
+func splitQuota(n, workers, w int) int {
+	per, extra := n/workers, n%workers
+	if w < extra {
+		return per + 1
+	}
+	return per
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// EstimateFixed draws exactly n samples and returns the empirical
+// mean. With workers > 1 the draws are split across goroutines, each
+// drawing from its own sampler instance (newSampler is called once per
+// worker — samplers are typically stateful and not safe for concurrent
+// use) on its own PhaseFixed substream. The result is deterministic in
+// (seed, workers) regardless of scheduling.
+//
+// The context is checked between chunks on every worker; a cancelled
+// run returns the mean over the draws actually performed, the count of
+// those draws, and ctx.Err().
+func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed int64, workers int) (Estimate, error) {
+	if n <= 0 {
+		panic("engine: need a positive sample count")
+	}
+	if workers <= 1 {
+		return estimateFixedSerial(ctx, newSampler(), n, seed)
+	}
+	var hits, drawn int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := splitQuota(n, workers, w)
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			s := newSampler()
+			rng := rngFor(seed, PhaseFixed, w)
+			local, localN := 0, 0
+			for localN < quota {
+				if ctx.Err() != nil {
+					break
+				}
+				step := min(Chunk, quota-localN)
+				for i := 0; i < step; i++ {
+					if s(rng) {
+						local++
+					}
+				}
+				localN += step
+			}
+			atomic.AddInt64(&hits, int64(local))
+			atomic.AddInt64(&drawn, int64(localN))
+		}(w, quota)
+	}
+	wg.Wait()
+	samplesDrawn.Add(drawn)
+	if err := ctx.Err(); err != nil {
+		cancelledRuns.Add(1)
+		return Estimate{Value: safeDiv(float64(hits), int(drawn)), Samples: int(drawn)}, err
+	}
+	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}, nil
+}
+
+func estimateFixedSerial(ctx context.Context, s Sampler, n int, seed int64) (Estimate, error) {
+	rng := rngFor(seed, PhaseFixed, 0)
+	hits, drawn := 0, 0
+	for drawn < n {
+		if err := ctx.Err(); err != nil {
+			samplesDrawn.Add(int64(drawn))
+			cancelledRuns.Add(1)
+			return Estimate{Value: safeDiv(float64(hits), drawn), Samples: drawn}, err
+		}
+		step := min(Chunk, n-drawn)
+		for i := 0; i < step; i++ {
+			if s(rng) {
+				hits++
+			}
+		}
+		drawn += step
+	}
+	samplesDrawn.Add(int64(n))
+	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}, nil
+}
+
+func safeDiv(a float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return a / float64(n)
+}

@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+)
+
+// CountSampler draws one repair and increments the survival counter of
+// every fact it contains — the amortised form of the marginals hot
+// path: one draw updates up to len(counts) counters in a single pass,
+// so all per-fact estimates share one sample stream. Implementations
+// may skip facts that survive every repair (the caller accounts for
+// them separately) and must not retain counts across calls.
+type CountSampler func(rng *rand.Rand, counts []int)
+
+// Marginals draws n repairs and accumulates per-fact survival counts.
+// With workers > 1 the draws are split across goroutines — each with
+// its own CountSampler instance (newSampler is called once per worker;
+// samplers are typically stateful and not concurrency-safe), its own
+// PhaseMarginals substream and its own count vector — and the vectors
+// are summed at the end, so the result is deterministic in
+// (seed, workers) regardless of scheduling. Because one draw updates
+// every undetermined fact's counter, parallel draws speed up all |D|
+// marginal estimates at once.
+//
+// The context is checked between chunks on every worker. A cancelled
+// run returns the counts accumulated so far, the number of draws they
+// represent, and ctx.Err(); callers must not divide by n on that path.
+func Marginals(ctx context.Context, newSampler func() CountSampler, nFacts, n int, seed int64, workers int) (counts []int, drawn int, err error) {
+	if n <= 0 {
+		panic("engine: need a positive sample count")
+	}
+	if workers <= 1 {
+		return marginalsSerial(ctx, newSampler(), nFacts, n, seed)
+	}
+	perWorker := make([][]int, workers)
+	perDrawn := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := splitQuota(n, workers, w)
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			s := newSampler()
+			rng := rngFor(seed, PhaseMarginals, w)
+			local := make([]int, nFacts)
+			localN := 0
+			for localN < quota {
+				if ctx.Err() != nil {
+					break
+				}
+				step := min(Chunk, quota-localN)
+				for i := 0; i < step; i++ {
+					s(rng, local)
+				}
+				localN += step
+			}
+			perWorker[w] = local
+			perDrawn[w] = localN
+		}(w, quota)
+	}
+	wg.Wait()
+	counts = make([]int, nFacts)
+	for w := range perWorker {
+		if perWorker[w] == nil {
+			continue
+		}
+		drawn += perDrawn[w]
+		for i, c := range perWorker[w] {
+			counts[i] += c
+		}
+	}
+	samplesDrawn.Add(int64(drawn))
+	if err := ctx.Err(); err != nil {
+		cancelledRuns.Add(1)
+		return counts, drawn, err
+	}
+	return counts, drawn, nil
+}
+
+func marginalsSerial(ctx context.Context, s CountSampler, nFacts, n int, seed int64) ([]int, int, error) {
+	rng := rngFor(seed, PhaseMarginals, 0)
+	counts := make([]int, nFacts)
+	drawn := 0
+	for drawn < n {
+		if err := ctx.Err(); err != nil {
+			samplesDrawn.Add(int64(drawn))
+			cancelledRuns.Add(1)
+			return counts, drawn, err
+		}
+		step := min(Chunk, n-drawn)
+		for i := 0; i < step; i++ {
+			s(rng, counts)
+		}
+		drawn += step
+	}
+	samplesDrawn.Add(int64(n))
+	return counts, n, nil
+}

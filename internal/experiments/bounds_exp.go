@@ -267,7 +267,7 @@ func runE14(cfg Config) (Table, error) {
 			return t, err
 		}
 		start = time.Now()
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			return pred(bs.SampleRepair(r, false))
 		}, eps, 0.05, cfg.Seed+47, 0)
 		fprasTime := time.Since(start)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/fpras"
 	"repro/internal/reduction"
 	"repro/internal/rel"
@@ -16,6 +18,14 @@ import (
 // This file implements the approximation experiments: E3 (Theorem
 // 5.1(2)), E4 (Theorem 6.1(2) + Lemma C.1), E5 (Theorem 7.1(2)), E6
 // (Proposition D.6), E7 (Theorem 7.5).
+
+// estimateSR runs the engine's stopping rule without a cancellation
+// scope: experiment runs are batch work, so the context error cannot
+// occur under context.Background().
+func estimateSR(s engine.Sampler, eps, delta float64, seed int64, maxSamples int) engine.Estimate {
+	est, _ := engine.EstimateStoppingRule(context.Background(), s, eps, delta, seed, maxSamples)
+	return est
+}
 
 func init() {
 	register("E03", "FPRAS for RRFreq under primary keys (Thm 5.1(2))", runE03)
@@ -29,7 +39,7 @@ func init() {
 type evRow struct {
 	label    string
 	exact    float64
-	estimate fpras.Estimate
+	estimate engine.Estimate
 	eps      float64
 }
 
@@ -79,7 +89,7 @@ func runE03(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			return pred(bs.SampleRepair(r, false))
 		}, eps, 0.02, cfg.Seed+17, 0)
 		r := evRow{
@@ -109,7 +119,7 @@ func runE03(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+	est := estimateSR(func(r *rand.Rand) bool {
 		return pred(bs.SampleRepair(r, false))
 	}, eps, 0.02, cfg.Seed+19, 0)
 	r := evRow{
@@ -178,7 +188,7 @@ func runE04(cfg Config) (Table, error) {
 			return t, err
 		}
 		dpMatches := bs.CountSequences(false).Cmp(dagCount) == 0
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			_, res := bs.SampleSequence(r, false)
 			return pred(res)
 		}, eps, 0.02, cfg.Seed+23, 0)
@@ -224,7 +234,7 @@ func runE05(cfg Config) (Table, error) {
 		if ef > 0 && ef < minP {
 			minP = ef
 		}
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			_, res := sampler.SampleUO(inst, false, r)
 			return pred(res)
 		}, eps, 0.02, cfg.Seed+29, 2_000_000)
@@ -311,7 +321,7 @@ func runE07(cfg Config) (Table, error) {
 			continue
 		}
 		bound := fpras.LowerBoundSingletonFD(inst.D.Len(), w.Query.Size())
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			_, res := sampler.SampleUO(inst, true, r)
 			return pred(res)
 		}, eps, 0.02, cfg.Seed+31, 2_000_000)

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cq"
-	"repro/internal/fpras"
 	"repro/internal/graph"
 	"repro/internal/reduction"
 	"repro/internal/sampler"
@@ -46,7 +45,7 @@ func sampledOracle(singleton bool, eps, delta float64, seed int64) reduction.RRF
 			return 0, err
 		}
 		pred := inst.EntailPred(p.Query, cq.Tuple{})
-		est := fpras.EstimateStoppingRule(func(r *rand.Rand) bool {
+		est := estimateSR(func(r *rand.Rand) bool {
 			return pred(bs.SampleRepair(r, singleton))
 		}, eps, delta, seed, 4_000_000)
 		return est.Value, nil

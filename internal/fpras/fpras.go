@@ -1,38 +1,21 @@
-// Package fpras implements the randomized approximation machinery the
-// paper's positive results plug their samplers into: fixed-sample Monte
-// Carlo with Chernoff-derived sample counts (the textbook construction
-// behind Theorems 5.1(2), 6.1(2), 7.1(2) and 7.5, using the polynomial
-// lower bounds of Lemmas 5.3, 6.3, 7.3 and D.8), and the Dagum–Karp–
-// Luby–Ross stopping-rule estimator [8], whose expected sample count
-// adapts to the true probability and which the experiments use when the
-// worst-case bound would be impractically conservative.
+// Package fpras holds the statistical machinery the paper's positive
+// results plug their samplers into: the Chernoff-derived sample counts
+// of the fixed-sample Monte Carlo construction (the textbook template
+// behind Theorems 5.1(2), 6.1(2), 7.1(2) and 7.5) and the polynomial
+// lower bounds on positive target probabilities (Lemmas 5.3, 6.3, 7.3,
+// E.3, E.10 and D.8) that turn a Monte Carlo mean into an FPRAS.
+//
+// The execution of the draw loops — fixed-sample, the Dagum–Karp–
+// Luby–Ross stopping rule and full 𝒜𝒜 estimator, and the per-fact
+// marginal counter — lives in internal/engine, which adds context
+// cancellation, worker parallelism and central substream derivation on
+// top of the math here.
 package fpras
 
 import (
 	"fmt"
 	"math"
-	"math/rand"
-	"sync"
-	"sync/atomic"
 )
-
-// Sampler draws one Bernoulli observation: whether a sampled repair (or
-// sequence, or chain walk) satisfies the query.
-type Sampler func(rng *rand.Rand) bool
-
-// Estimate is the outcome of a randomized estimation.
-type Estimate struct {
-	// Value is the estimate of the target probability.
-	Value float64
-	// Samples is the number of draws consumed.
-	Samples int
-	// Epsilon and Delta echo the requested guarantee (0 when a raw
-	// fixed-sample estimate was requested).
-	Epsilon, Delta float64
-	// Converged is false when a capped stopping-rule run exhausted its
-	// budget before meeting the rule; Value is then the plain mean.
-	Converged bool
-}
 
 // ChernoffSamples returns a sample count sufficient for a multiplicative
 // (ε, δ)-guarantee on a Bernoulli mean known to be ≥ pmin (or zero):
@@ -53,96 +36,10 @@ func ChernoffSamples(eps, delta, pmin float64) int {
 	return int(math.Ceil(n))
 }
 
-// EstimateFixed draws exactly n samples and returns the empirical mean.
-// With workers > 1 the draws are split across goroutines, each with an
-// independent deterministic sub-stream derived from seed.
-func EstimateFixed(s Sampler, n int, seed int64, workers int) Estimate {
-	if n <= 0 {
-		panic("fpras: need a positive sample count")
-	}
-	if workers <= 1 {
-		rng := rand.New(rand.NewSource(seed))
-		hits := 0
-		for i := 0; i < n; i++ {
-			if s(rng) {
-				hits++
-			}
-		}
-		return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}
-	}
-	var hits int64
-	var wg sync.WaitGroup
-	per := n / workers
-	extra := n % workers
-	for w := 0; w < workers; w++ {
-		quota := per
-		if w < extra {
-			quota++
-		}
-		if quota == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w, quota int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x5851f42d4c957f2d))
-			local := 0
-			for i := 0; i < quota; i++ {
-				if s(rng) {
-					local++
-				}
-			}
-			atomic.AddInt64(&hits, int64(local))
-		}(w, quota)
-	}
-	wg.Wait()
-	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}
-}
-
-// EstimateFPRAS is the paper's FPRAS template: given a sampler whose
-// success probability is either 0 or ≥ pmin, it draws
-// ChernoffSamples(eps, delta, pmin) samples and returns the empirical
-// mean, which satisfies Pr[|est − p| ≤ ε·p] ≥ 1−δ.
-func EstimateFPRAS(s Sampler, eps, delta, pmin float64, seed int64, workers int) Estimate {
-	n := ChernoffSamples(eps, delta, pmin)
-	e := EstimateFixed(s, n, seed, workers)
-	e.Epsilon, e.Delta = eps, delta
-	return e
-}
-
-// EstimateStoppingRule implements the Dagum–Karp–Luby–Ross stopping-rule
-// algorithm [8] for Bernoulli variables: sample until the running sum of
-// successes reaches Υ₁ = 1 + 4(e−2)(1+ε)·ln(2/δ)/ε², and output Υ₁/N.
-// For any true mean μ > 0 it guarantees Pr[|est − μ| ≤ ε·μ] ≥ 1−δ with
-// E[N] = O(ln(1/δ)/(ε²·μ)) — the "number of samples proportional to
-// 1/p" the paper refers to. maxSamples caps the run (0 = no cap; the
-// rule does not terminate when μ = 0): on exhaustion the plain mean is
-// returned with Converged = false.
-func EstimateStoppingRule(s Sampler, eps, delta float64, seed int64, maxSamples int) Estimate {
-	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
-		panic(fmt.Sprintf("fpras: invalid parameters eps=%v delta=%v", eps, delta))
-	}
-	upsilon := 4 * (math.E - 2) * math.Log(2/delta) / (eps * eps)
-	upsilon1 := 1 + (1+eps)*upsilon
-	rng := rand.New(rand.NewSource(seed))
-	sum := 0.0
-	n := 0
-	for sum < upsilon1 {
-		if maxSamples > 0 && n >= maxSamples {
-			return Estimate{Value: sum / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: false}
-		}
-		n++
-		if s(rng) {
-			sum++
-		}
-	}
-	return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}
-}
-
 // The paper's polynomial lower bounds on positive target probabilities,
-// used as pmin for EstimateFPRAS. They shrink exponentially in ‖Q‖ (a
-// constant in data complexity) and polynomially in ‖D‖, and can
-// underflow to 0 for large inputs — callers should then prefer the
+// used as pmin for the Chernoff construction. They shrink exponentially
+// in ‖Q‖ (a constant in data complexity) and polynomially in ‖D‖, and
+// can underflow to 0 for large inputs — callers should then prefer the
 // stopping rule.
 
 // LowerBoundRRFreqPrimary is Lemma 5.3 (and 6.3): positive repair (and

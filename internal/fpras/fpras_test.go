@@ -2,13 +2,8 @@ package fpras
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 )
-
-func bernoulli(p float64) Sampler {
-	return func(rng *rand.Rand) bool { return rng.Float64() < p }
-}
 
 func TestChernoffSamplesFormula(t *testing.T) {
 	n := ChernoffSamples(0.1, 0.05, 0.5)
@@ -42,108 +37,6 @@ func TestChernoffSamplesPanics(t *testing.T) {
 	}
 }
 
-func TestEstimateFixedAccuracy(t *testing.T) {
-	const p = 0.3
-	e := EstimateFixed(bernoulli(p), 200000, 7, 1)
-	if math.Abs(e.Value-p) > 0.01 {
-		t.Fatalf("estimate %.4f far from %.2f", e.Value, p)
-	}
-	if e.Samples != 200000 || !e.Converged {
-		t.Fatal("metadata wrong")
-	}
-}
-
-func TestEstimateFixedParallelMatchesBudget(t *testing.T) {
-	const p = 0.25
-	e := EstimateFixed(bernoulli(p), 100001, 11, 4)
-	if e.Samples != 100001 {
-		t.Fatalf("Samples = %d", e.Samples)
-	}
-	if math.Abs(e.Value-p) > 0.02 {
-		t.Fatalf("parallel estimate %.4f far from %.2f", e.Value, p)
-	}
-}
-
-func TestEstimateFixedPanicsOnZero(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	EstimateFixed(bernoulli(0.5), 0, 1, 1)
-}
-
-// TestEstimateFPRASGuarantee runs the FPRAS template many times and
-// checks the empirical failure rate is below δ.
-func TestEstimateFPRASGuarantee(t *testing.T) {
-	const (
-		p     = 0.2
-		eps   = 0.2
-		delta = 0.1
-	)
-	fail := 0
-	const runs = 60
-	for i := 0; i < runs; i++ {
-		e := EstimateFPRAS(bernoulli(p), eps, delta, p, int64(1000+i), 2)
-		if math.Abs(e.Value-p) > eps*p {
-			fail++
-		}
-		if e.Epsilon != eps || e.Delta != delta {
-			t.Fatal("guarantee metadata missing")
-		}
-	}
-	// Expected failures ≤ δ·runs = 6; allow generous slack.
-	if fail > 12 {
-		t.Fatalf("failed %d/%d runs; guarantee broken", fail, runs)
-	}
-}
-
-func TestEstimateStoppingRuleAccuracy(t *testing.T) {
-	for _, p := range []float64{0.5, 0.1, 0.01} {
-		e := EstimateStoppingRule(bernoulli(p), 0.1, 0.05, 13, 0)
-		if !e.Converged {
-			t.Fatalf("p=%v did not converge", p)
-		}
-		if math.Abs(e.Value-p) > 0.15*p {
-			t.Fatalf("p=%v: estimate %.5f outside 15%%", p, e.Value)
-		}
-	}
-}
-
-// TestStoppingRuleAdaptiveCost verifies E[N] scales like 1/p: the run
-// at p=0.01 must use roughly 10× the samples of the run at p=0.1.
-func TestStoppingRuleAdaptiveCost(t *testing.T) {
-	hi := EstimateStoppingRule(bernoulli(0.1), 0.2, 0.1, 17, 0)
-	lo := EstimateStoppingRule(bernoulli(0.01), 0.2, 0.1, 17, 0)
-	ratio := float64(lo.Samples) / float64(hi.Samples)
-	if ratio < 5 || ratio > 20 {
-		t.Fatalf("sample ratio %.1f, want ≈10 (N_hi=%d, N_lo=%d)", ratio, hi.Samples, lo.Samples)
-	}
-}
-
-func TestStoppingRuleZeroProbabilityCapped(t *testing.T) {
-	e := EstimateStoppingRule(bernoulli(0), 0.1, 0.1, 19, 5000)
-	if e.Converged {
-		t.Fatal("p=0 cannot converge")
-	}
-	if e.Value != 0 || e.Samples != 5000 {
-		t.Fatalf("capped estimate = %+v", e)
-	}
-}
-
-func TestStoppingRulePanics(t *testing.T) {
-	for _, args := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("EstimateStoppingRule(%v) should panic", args)
-				}
-			}()
-			EstimateStoppingRule(bernoulli(0.5), args[0], args[1], 1, 0)
-		}()
-	}
-}
-
 func TestLowerBounds(t *testing.T) {
 	// Lemma 5.3: (2·6)^-1 for a single-atom query over 6 facts.
 	if got, want := LowerBoundRRFreqPrimary(6, 1), 1.0/12; math.Abs(got-want) > 1e-12 {
@@ -165,17 +58,5 @@ func TestLowerBounds(t *testing.T) {
 	// bound for the primary-key case.
 	if LowerBoundSingletonPrimary(10, 2) <= LowerBoundRRFreqPrimary(10, 2) {
 		t.Error("singleton bound should dominate")
-	}
-}
-
-func TestEstimateFixedDeterministicPerSeed(t *testing.T) {
-	a := EstimateFixed(bernoulli(0.4), 10000, 42, 1)
-	b := EstimateFixed(bernoulli(0.4), 10000, 42, 1)
-	if a.Value != b.Value {
-		t.Fatal("same seed must give same estimate")
-	}
-	c := EstimateFixed(bernoulli(0.4), 10000, 43, 1)
-	if a.Value == c.Value {
-		t.Fatal("different seeds should differ (overwhelmingly)")
 	}
 }

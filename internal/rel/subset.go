@@ -95,6 +95,21 @@ func (s Subset) SubsetOf(t Subset) bool {
 	return true
 }
 
+// AddTo increments counts[i] for every present index i — the
+// allocation-free form of iterating Indices, used by the marginal
+// counting hot loop where one sampled repair updates every surviving
+// fact's counter.
+func (s Subset) AddTo(counts []int) {
+	for wi, w := range s.words {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			counts[base+b]++
+			w &= w - 1
+		}
+	}
+}
+
 // Indices returns the present indices in increasing order.
 func (s Subset) Indices() []int {
 	out := make([]int, 0, s.Count())

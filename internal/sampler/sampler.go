@@ -152,6 +152,34 @@ func (bs *BlockSampler) SampleRepair(rng *rand.Rand, singleton bool) rel.Subset 
 	return s
 }
 
+// AddRepairCounts draws one uniform repair — the same law and rng
+// consumption as SampleRepair — and increments the survival counter of
+// every surviving block fact, without materialising a Subset. Facts in
+// fixed (singleton) blocks survive every repair and are deliberately
+// skipped: callers obtain them once via FixedIndices instead of paying
+// for them on every draw. This is the marginals hot path: per draw it
+// costs O(#blocks) instead of O(‖D‖).
+func (bs *BlockSampler) AddRepairCounts(rng *rand.Rand, singleton bool, counts []int) {
+	for _, block := range bs.blocks {
+		m := len(block)
+		if singleton {
+			counts[block[rng.Intn(m)]]++
+			continue
+		}
+		if pick := rng.Intn(m + 1); pick < m {
+			counts[block[pick]]++
+		}
+		// pick == m: the whole block is removed.
+	}
+}
+
+// FixedIndices returns the fact indices that survive every repair
+// (singleton blocks and keyless relations) — the complement of the
+// facts AddRepairCounts touches. The returned slice is a copy.
+func (bs *BlockSampler) FixedIndices() []int {
+	return append([]int(nil), bs.fixed...)
+}
+
 // SampleSequence draws a uniform element of CRS(D,Σ) via Algorithm 1
 // (Lemma 6.2), returning the sequence and its result. At each step the
 // justified operations are grouped by symmetry: within a block of

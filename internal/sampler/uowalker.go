@@ -115,58 +115,38 @@ func (w *UOWalker) removeFact(f int) {
 	}
 }
 
-// Walk runs one chain walk and returns the complete repairing sequence
-// and its result. With singleton set, only single-fact removals are
-// available (M^{uo,1}).
-func (w *UOWalker) Walk(rng *rand.Rand, singleton bool) (core.Sequence, rel.Subset) {
+// walkCore runs the chain walk proper — reset, then apply uniformly
+// chosen justified operations until consistent — leaving the outcome
+// in w.present. All public walk variants share it, so the sampling law
+// lives in exactly one place; record (nil-able) receives each applied
+// operation for the variant that materialises the sequence.
+func (w *UOWalker) walkCore(rng *rand.Rand, singleton bool, record func(core.Op)) {
 	w.reset()
-	var seq core.Sequence
 	for len(w.alive) > 0 {
 		nOps := len(w.activeFact)
 		if !singleton {
 			nOps += len(w.alive)
 		}
 		r := rng.Intn(nOps)
-		var op core.Op
 		if r < len(w.activeFact) {
-			op = core.Op{I: w.activeFact[r], J: -1}
-			seq = append(seq, op)
+			op := core.Op{I: w.activeFact[r], J: -1}
+			if record != nil {
+				record(op)
+			}
 			w.removeFact(op.I)
 		} else {
 			p := w.pairs[w.alive[r-len(w.activeFact)]]
-			op = core.Op{I: p[0], J: p[1]}
-			seq = append(seq, op)
+			if record != nil {
+				record(core.Op{I: p[0], J: p[1]})
+			}
 			w.removeFact(p[0])
 			w.removeFact(p[1])
 		}
 	}
-	s := rel.NewSubset(w.inst.D.Len())
-	for i, p := range w.present {
-		if p {
-			s.Set(i)
-		}
-	}
-	return seq, s
 }
 
-// WalkResult is Walk without materialising the sequence (the common
-// case for Monte Carlo estimation, avoiding the sequence allocation).
-func (w *UOWalker) WalkResult(rng *rand.Rand, singleton bool) rel.Subset {
-	w.reset()
-	for len(w.alive) > 0 {
-		nOps := len(w.activeFact)
-		if !singleton {
-			nOps += len(w.alive)
-		}
-		r := rng.Intn(nOps)
-		if r < len(w.activeFact) {
-			w.removeFact(w.activeFact[r])
-		} else {
-			p := w.pairs[w.alive[r-len(w.activeFact)]]
-			w.removeFact(p[0])
-			w.removeFact(p[1])
-		}
-	}
+// result materialises w.present as a Subset.
+func (w *UOWalker) result() rel.Subset {
 	s := rel.NewSubset(w.inst.D.Len())
 	for i, p := range w.present {
 		if p {
@@ -174,4 +154,32 @@ func (w *UOWalker) WalkResult(rng *rand.Rand, singleton bool) rel.Subset {
 		}
 	}
 	return s
+}
+
+// Walk runs one chain walk and returns the complete repairing sequence
+// and its result. With singleton set, only single-fact removals are
+// available (M^{uo,1}).
+func (w *UOWalker) Walk(rng *rand.Rand, singleton bool) (core.Sequence, rel.Subset) {
+	var seq core.Sequence
+	w.walkCore(rng, singleton, func(op core.Op) { seq = append(seq, op) })
+	return seq, w.result()
+}
+
+// WalkAddCounts runs one walk and increments the survival counter of
+// every fact of its result, without materialising a Subset or a
+// sequence — the marginals hot path for M^uo.
+func (w *UOWalker) WalkAddCounts(rng *rand.Rand, singleton bool, counts []int) {
+	w.walkCore(rng, singleton, nil)
+	for i, p := range w.present {
+		if p {
+			counts[i]++
+		}
+	}
+}
+
+// WalkResult is Walk without materialising the sequence (the common
+// case for Monte Carlo estimation, avoiding the sequence allocation).
+func (w *UOWalker) WalkResult(rng *rand.Rand, singleton bool) rel.Subset {
+	w.walkCore(rng, singleton, nil)
+	return w.result()
 }

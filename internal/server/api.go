@@ -172,9 +172,12 @@ type MarginalsRequest struct {
 	// Exact state budget (clamped to the server cap).
 	Limit int `json:"limit,omitempty"`
 	// Approx parameters; MaxSamples is the exact draw count
-	// (default 100,000).
+	// (default 100,000). Workers parallelises the draw loop (clamped
+	// to the server's batch pool size); estimates are deterministic in
+	// (seed, workers).
 	Seed       int64 `json:"seed,omitempty"`
 	MaxSamples int   `json:"max_samples,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
 	Force      bool  `json:"force,omitempty"`
 }
 

@@ -50,9 +50,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	results := make([]BatchResult, len(req.Queries))
 	jobs := make(chan int)
-	workers := s.opts.BatchWorkers
-	if workers > len(req.Queries) {
-		workers = len(req.Queries)
+	// Options.fill clamps BatchWorkers to ≥ 1, and the clamp below
+	// re-asserts it: spawning zero workers would leave the jobs sends
+	// blocking forever (the zero-worker batch deadlock).
+	workers := min(s.opts.BatchWorkers, len(req.Queries))
+	if workers < 1 {
+		workers = 1
 	}
 	var wg sync.WaitGroup
 	for range workers {
@@ -60,8 +63,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				resp, he := runWithDeadline(s, ctx, func() (QueryResponse, *httpError) {
-					return s.executeQuery(e, req.Queries[i])
+				resp, he := runWithDeadline(s, ctx, func(qctx context.Context) (QueryResponse, *httpError) {
+					return s.executeQuery(qctx, e, req.Queries[i])
 				})
 				if he != nil {
 					s.recordFailure(he)

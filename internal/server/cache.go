@@ -41,7 +41,32 @@ func cacheKey(instanceID string, fields ...string) string {
 	return instanceID + "\x00" + strings.Join(fields, "\x00")
 }
 
-// get returns a copy of the cached response, marked Cached.
+// cloneResponse deep-copies the response's nested slices and pointers.
+// A shallow struct copy is not enough: QueryResponse carries Answers
+// whose Tuple slices and Converged pointers would otherwise be shared
+// between the cache and every caller — one caller mutating its
+// response (or the handler that later serialises it) would corrupt
+// what every subsequent hit sees.
+func cloneResponse(r QueryResponse) QueryResponse {
+	if r.Answers != nil {
+		answers := make([]Answer, len(r.Answers))
+		for i, a := range r.Answers {
+			if a.Tuple != nil {
+				a.Tuple = append([]string(nil), a.Tuple...)
+			}
+			if a.Converged != nil {
+				conv := *a.Converged
+				a.Converged = &conv
+			}
+			answers[i] = a
+		}
+		r.Answers = answers
+	}
+	return r
+}
+
+// get returns a deep copy of the cached response, marked Cached —
+// callers own their copy outright and may mutate it freely.
 func (c *resultCache) get(key string) (QueryResponse, bool) {
 	if c.cap <= 0 {
 		return QueryResponse{}, false
@@ -53,15 +78,18 @@ func (c *resultCache) get(key string) (QueryResponse, bool) {
 		return QueryResponse{}, false
 	}
 	c.ll.MoveToFront(el)
-	resp := el.Value.(*cacheItem).resp
+	resp := cloneResponse(el.Value.(*cacheItem).resp)
 	resp.Cached = true
 	return resp, true
 }
 
+// put stores a deep copy of resp, so later mutations by the caller
+// cannot reach the cached entry either.
 func (c *resultCache) put(key string, resp QueryResponse) {
 	if c.cap <= 0 {
 		return
 	}
+	resp = cloneResponse(resp)
 	resp.Cached = false
 	c.mu.Lock()
 	defer c.mu.Unlock()

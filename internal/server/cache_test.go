@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -72,6 +73,81 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if c.len() != 0 {
 		t.Fatalf("len = %d", c.len())
+	}
+}
+
+// deepResp builds a response with every nested reference a shallow
+// struct copy would share: tuple slices and the Converged pointer.
+func deepResp(id string) QueryResponse {
+	conv := true
+	return QueryResponse{
+		Instance: id,
+		Query:    "Ans(x)",
+		Answers: []Answer{
+			{Tuple: []string{"a", "b"}, Value: 0.5, Samples: 100, Converged: &conv},
+			{Tuple: []string{"c"}, Value: 0.25},
+		},
+	}
+}
+
+// TestCacheIsolatesNestedState: the aliasing regression — a caller
+// mutating the response it got back (or the response it put in) must
+// never corrupt what the next hit sees.
+func TestCacheIsolatesNestedState(t *testing.T) {
+	c := newResultCache(4)
+	k := cacheKey("i1", "q")
+	orig := deepResp("i1")
+	c.put(k, orig)
+	// Mutating the put-input after the fact must not reach the cache.
+	orig.Answers[0].Tuple[0] = "CORRUPT"
+	*orig.Answers[0].Converged = false
+	orig.Answers[1].Value = -1
+
+	got, ok := c.get(k)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if got.Answers[0].Tuple[0] != "a" || *got.Answers[0].Converged != true || got.Answers[1].Value != 0.25 {
+		t.Fatalf("put-input mutation reached the cache: %+v", got.Answers)
+	}
+	// Mutating the get-result must not reach the next reader either.
+	got.Answers[0].Tuple[1] = "CORRUPT"
+	*got.Answers[0].Converged = false
+	again, _ := c.get(k)
+	if again.Answers[0].Tuple[1] != "b" || *again.Answers[0].Converged != true {
+		t.Fatalf("get-result mutation reached the cache: %+v", again.Answers)
+	}
+}
+
+// TestCacheConcurrentMutation: many goroutines mutate their own copies
+// of the same cached entry while others re-read it — under -race this
+// fails if get ever hands out shared slices or pointers.
+func TestCacheConcurrentMutation(t *testing.T) {
+	c := newResultCache(4)
+	k := cacheKey("i1", "q")
+	c.put(k, deepResp("i1"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, ok := c.get(k)
+				if !ok {
+					t.Error("miss")
+					return
+				}
+				// Scribble over everything a shallow copy would share.
+				got.Answers[0].Tuple[0] = fmt.Sprint(g)
+				*got.Answers[0].Converged = g%2 == 0
+				got.Answers[1].Value = float64(g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	final, _ := c.get(k)
+	if final.Answers[0].Tuple[0] != "a" || final.Answers[1].Value != 0.25 {
+		t.Fatalf("concurrent mutations leaked into the cache: %+v", final.Answers)
 	}
 }
 

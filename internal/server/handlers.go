@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -28,7 +29,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// here abandons the registration from the client's view; the
 	// background goroutine may still complete it, in which case the
 	// instance is discoverable via GET /v1/instances.
-	resp, he := runWithDeadline(s, r.Context(), func() (RegisterResponse, *httpError) {
+	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (RegisterResponse, *httpError) {
 		inst, err := ocqa.NewInstanceFromText(req.Facts, req.FDs)
 		if err != nil {
 			return RegisterResponse{}, badRequest("%v", err)
@@ -347,8 +348,13 @@ func (s *Server) queryCacheKey(e *instanceEntry, req QueryRequest) string {
 // executeQuery runs one QueryRequest against a registered instance:
 // the shared path behind the query endpoint and every batch element.
 // The instance's prepared samplers make it construction-free; results
-// land in (and are first looked up from) the LRU cache.
-func (s *Server) executeQuery(e *instanceEntry, req QueryRequest) (QueryResponse, *httpError) {
+// land in (and are first looked up from) the LRU cache. The context —
+// the request's own, bounded by the server deadline — reaches the
+// estimation loops, which stop within one sample chunk of its
+// cancellation; a response computed from such a truncated run is never
+// produced (the library returns the context error instead), so nothing
+// partial can land in the cache.
+func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRequest) (QueryResponse, *httpError) {
 	m, he := parseGenerator(req.Generator, req.Singleton)
 	if he != nil {
 		return QueryResponse{}, he
@@ -433,7 +439,7 @@ func (s *Server) executeQuery(e *instanceEntry, req QueryRequest) (QueryResponse
 			Force:      req.Force,
 		}
 		if single {
-			est, err := p.Approximate(m, q, c, opts)
+			est, err := p.Approximate(ctx, m, q, c, opts)
 			if err != nil {
 				return QueryResponse{}, toHTTPError(err)
 			}
@@ -441,7 +447,7 @@ func (s *Server) executeQuery(e *instanceEntry, req QueryRequest) (QueryResponse
 			conv := est.Converged
 			resp.Answers = []Answer{{Tuple: tupleJSON(c), Value: est.Value, Samples: est.Samples, Converged: &conv}}
 		} else {
-			answers, err := p.ApproximateAnswers(m, q, opts)
+			answers, err := p.ApproximateAnswers(ctx, m, q, opts)
 			if err != nil {
 				return QueryResponse{}, toHTTPError(err)
 			}
@@ -482,8 +488,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	resp, he := runWithDeadline(s, r.Context(), func() (QueryResponse, *httpError) {
-		return s.executeQuery(e, req)
+	resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (QueryResponse, *httpError) {
+		return s.executeQuery(ctx, e, req)
 	})
 	if he != nil {
 		s.writeError(w, he)
@@ -504,7 +510,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	resp, he := runWithDeadline(s, r.Context(), func() (CountResponse, *httpError) {
+	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (CountResponse, *httpError) {
 		p := e.prepared
 		if req.Sequences {
 			n, err := p.CountSequences(req.Singleton, s.clampLimit(req.Limit))
@@ -538,7 +544,7 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	resp, he := runWithDeadline(s, r.Context(), func() (MarginalsResponse, *httpError) {
+	resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (MarginalsResponse, *httpError) {
 		p := e.prepared
 		resp := MarginalsResponse{Instance: e.id, Generator: m.Symbol(), Mode: req.Mode}
 		db := p.DB()
@@ -554,18 +560,27 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: fm.Fact.String(), Prob: fm.Prob.RatString(), Value: f})
 			}
 		case "approx":
-			seed := req.Seed
-			if seed == 0 {
-				seed = 1
-			}
+			// The draw count is resolved here (not left to the library
+			// default) only because the server must clamp it and account
+			// for it; the default itself is the library's.
 			draws := req.MaxSamples
 			if draws <= 0 {
-				draws = 100_000
+				draws = ocqa.DefaultMarginalSamples
 			}
 			draws = s.clampSamples(draws)
-			vals, err := p.ApproximateFactMarginals(m, ocqa.ApproxOptions{
-				Seed:       seed,
+			// Marginal estimation parallelises like a batch: bound the
+			// per-request workers by the same pool size.
+			workers := req.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			if workers > s.opts.BatchWorkers {
+				workers = s.opts.BatchWorkers
+			}
+			vals, err := p.ApproximateFactMarginals(ctx, m, ocqa.ApproxOptions{
+				Seed:       req.Seed,
 				MaxSamples: draws,
+				Workers:    workers,
 				Force:      req.Force,
 			})
 			if err != nil {
@@ -604,7 +619,7 @@ func (s *Server) handleSemantics(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	resp, he := runWithDeadline(s, r.Context(), func() (SemanticsResponse, *httpError) {
+	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (SemanticsResponse, *httpError) {
 		p := e.prepared
 		sem, err := p.Semantics(m, s.clampLimit(req.Limit))
 		if err != nil {

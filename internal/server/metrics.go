@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/sampler"
 )
 
@@ -59,6 +60,17 @@ type varz struct {
 	// time only, never per query.
 	SamplerConstructions int64 `json:"sampler_constructions"`
 
+	// EngineSamplesDrawn counts Monte-Carlo draws performed by the
+	// estimation engine process-wide, partial draws of cancelled runs
+	// included (unlike SampleDraws, which accounts requested budgets at
+	// the handler level).
+	EngineSamplesDrawn int64 `json:"engine_samples_drawn"`
+	// EngineCancelledRuns counts estimation runs stopped early by
+	// context cancellation (server deadline or client disconnect) —
+	// each one is sampling work that no longer burns a worker to
+	// completion.
+	EngineCancelledRuns int64 `json:"engine_cancelled_runs"`
+
 	// Persistence counters, all zero when the server runs without a
 	// durable store (-data-dir unset).
 	Persistent  bool  `json:"persistent"`
@@ -88,6 +100,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		FactMutations:        s.counters.mutations.Load(),
 		Evictions:            s.counters.evictions.Load(),
 		SamplerConstructions: sampler.Constructions(),
+		EngineSamplesDrawn:   engine.SamplesDrawn(),
+		EngineCancelledRuns:  engine.CancelledRuns(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"reflect"
@@ -190,7 +191,7 @@ func TestStaleCachePutCannotMaskMutation(t *testing.T) {
 	}
 	// The abandoned pre-mutation computation lands now, after the
 	// invalidation, holding the stale entry pointer.
-	staleResp, he := s.executeQuery(stale, req)
+	staleResp, he := s.executeQuery(context.Background(), stale, req)
 	if he != nil {
 		t.Fatalf("stale executeQuery: %v", he)
 	}

@@ -102,6 +102,10 @@ func (o *Options) fill() {
 	if o.BatchWorkers <= 0 {
 		o.BatchWorkers = runtime.GOMAXPROCS(0)
 	}
+	// Never below 1: a zero-worker pool would leave handleBatch feeding
+	// an unbuffered jobs channel no goroutine ever reads — a deadlock,
+	// not a slow batch.
+	o.BatchWorkers = max(o.BatchWorkers, 1)
 	switch {
 	case o.CacheSize == 0:
 		o.CacheSize = 1024
@@ -219,7 +223,9 @@ func badRequest(format string, args ...any) *httpError {
 
 // toHTTPError classifies a library error: approximability refusals are
 // client errors (422, theorem citation preserved), state-budget
-// exhaustion asks the client to switch to sampling, anything else is a
+// exhaustion asks the client to switch to sampling, a cancelled
+// estimation maps to the status its cause would have received (504 for
+// an expired deadline, 499 for a vanished client), anything else is a
 // 500.
 func toHTTPError(err error) *httpError {
 	var he *httpError
@@ -228,6 +234,13 @@ func toHTTPError(err error) *httpError {
 	}
 	if errors.Is(err, ocqa.ErrNotApproximable) {
 		return &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &httpError{http.StatusGatewayTimeout,
+			"query exceeded the server deadline; the estimation stopped at its next sample chunk"}
+	}
+	if errors.Is(err, context.Canceled) {
+		return &httpError{statusClientClosedRequest, "client disconnected; the estimation stopped at its next sample chunk"}
 	}
 	var sl core.StateLimitError
 	if errors.As(err, &sl) {
@@ -302,16 +315,20 @@ func safeCall[T any](f func() (T, *httpError)) (v T, he *httpError) {
 	return f()
 }
 
-// runWithDeadline executes f, bounding the caller's wait by the
-// server's query timeout. The engines have no cancellation points (the
-// exact engines are bounded by their state budget, the estimators by
-// their sample caps), so on timeout the computation is abandoned to
-// finish in the background while the client gets a 504. A request
-// whose parent context is already done (client disconnected, or the
-// whole-batch budget spent) spawns no computation at all — this is
-// what keeps the abandoned work of a batch bounded by the worker pool
-// rather than fanning out per element.
-func runWithDeadline[T any](s *Server, parent context.Context, f func() (T, *httpError)) (T, *httpError) {
+// runWithDeadline executes f with a context bounding it by the
+// server's query timeout (and the request's own lifetime: a client
+// disconnect cancels it). The estimation engines check that context
+// between sample chunks, so sampling work genuinely stops shortly
+// after the deadline instead of draining its full draw budget. The
+// exact engines still have no cancellation points (they are bounded by
+// their state budget instead), so the select below keeps the caller's
+// wait bounded either way and abandons a non-cooperating computation
+// to finish in the background. A request whose parent context is
+// already done (client disconnected, or the whole-batch budget spent)
+// spawns no computation at all — this is what keeps the abandoned work
+// of a batch bounded by the worker pool rather than fanning out per
+// element.
+func runWithDeadline[T any](s *Server, parent context.Context, f func(ctx context.Context) (T, *httpError)) (T, *httpError) {
 	var zero T
 	if err := parent.Err(); err != nil {
 		return zero, s.classifyCtxErr(err)
@@ -319,7 +336,7 @@ func runWithDeadline[T any](s *Server, parent context.Context, f func() (T, *htt
 	if s.opts.QueryTimeout <= 0 {
 		s.compute <- struct{}{}
 		defer func() { <-s.compute }()
-		return safeCall(f)
+		return safeCall(func() (T, *httpError) { return f(parent) })
 	}
 	ctx, cancel := context.WithTimeout(parent, s.opts.QueryTimeout)
 	defer cancel()
@@ -334,7 +351,7 @@ func runWithDeadline[T any](s *Server, parent context.Context, f func() (T, *htt
 		// against slow queries queue here instead of stacking engines.
 		s.compute <- struct{}{}
 		defer func() { <-s.compute }()
-		v, he := safeCall(f)
+		v, he := safeCall(func() (T, *httpError) { return f(ctx) })
 		ch <- outcome{v, he}
 	}()
 	select {
@@ -354,7 +371,7 @@ func runWithDeadline[T any](s *Server, parent context.Context, f func() (T, *htt
 // operator-lowered cap binds even when the client sends nothing.
 func (s *Server) clampSamples(requested int) int {
 	if requested <= 0 {
-		requested = 5_000_000 // ocqa.ApproxOptions default
+		requested = ocqa.DefaultMaxSamples
 	}
 	if requested > s.opts.SampleCap {
 		return s.opts.SampleCap

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -220,14 +221,14 @@ func TestApproxMatchesLibraryWithZeroConstructions(t *testing.T) {
 	}
 
 	// The estimates equal the library's prepared path bit-for-bit.
-	est, err := prepared.Approximate(ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Bob"), ocqa.ApproxOptions{Seed: 7})
+	est, err := prepared.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Bob"), ocqa.ApproxOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(first.Answers) != 1 || first.Answers[0].Value != est.Value || first.Answers[0].Samples != est.Samples {
 		t.Fatalf("server estimate %+v != library estimate %+v", first.Answers, est)
 	}
-	est, err = prepared.Approximate(ocqa.Mode{Gen: ocqa.UniformRepairs}, q, ocqa.ParseTuple("Alice"), ocqa.ApproxOptions{Seed: 7})
+	est, err = prepared.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformRepairs}, q, ocqa.ParseTuple("Alice"), ocqa.ApproxOptions{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,7 @@
 package ocqa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/engine"
 	"repro/internal/fd"
 	"repro/internal/fpras"
 	"repro/internal/parse"
@@ -74,7 +76,7 @@ type (
 	// Op is a D-operation −F (a single- or pair-fact deletion).
 	Op = core.Op
 	// Estimate is a randomized estimate with its (ε,δ) metadata.
-	Estimate = fpras.Estimate
+	Estimate = engine.Estimate
 	// ConstraintClass is the paper's constraint taxonomy: primary keys
 	// ⊂ keys ⊂ FDs.
 	ConstraintClass = fd.Class
@@ -363,6 +365,18 @@ func Approximability(mode Mode, class ConstraintClass) (ApproxStatus, string) {
 	}
 }
 
+// Default Monte-Carlo draw budgets. They live here — and only here —
+// so the facade and the server resolve an unset MaxSamples to the same
+// documented value.
+const (
+	// DefaultMaxSamples caps the adaptive estimators when
+	// ApproxOptions.MaxSamples is unset (≤ 0).
+	DefaultMaxSamples = 5_000_000
+	// DefaultMarginalSamples is the exact draw count of
+	// ApproximateFactMarginals when ApproxOptions.MaxSamples is unset.
+	DefaultMarginalSamples = 100_000
+)
+
 // ApproxOptions configures Approximate.
 type ApproxOptions struct {
 	// Epsilon is the multiplicative error (0 < ε < 1). Default 0.1.
@@ -382,19 +396,31 @@ type ApproxOptions struct {
 	// exploits low variance — cheaper than the stopping rule when the
 	// target probability is large.
 	UseAA bool
-	// MaxSamples caps the adaptive estimators (default 5,000,000);
-	// ignored with UseChernoff. For ApproximateFactMarginals it is the
-	// exact number of draws (default 100,000 there).
+	// MaxSamples caps the adaptive estimators (≤ 0 means
+	// DefaultMaxSamples); ignored with UseChernoff. For
+	// ApproximateFactMarginals it is the exact number of draws (≤ 0
+	// means DefaultMarginalSamples there).
 	MaxSamples int
-	// Workers parallelises estimation (default 1). The parallel
-	// stopping rule reproduces the sequential rule's law exactly.
+	// Workers parallelises estimation (default 1): the fixed-sample
+	// loops, the stopping rule and the marginal counter split their
+	// draws across this many goroutines, each on a deterministic
+	// substream derived centrally from (Seed, phase, worker). The
+	// parallel stopping rule reproduces the sequential rule's law
+	// exactly, and every estimate is deterministic in (Seed, Workers):
+	// same seed and worker count ⇒ identical result.
 	Workers int
 	// Force runs the sampler even when the pair's status is
 	// StatusHeuristic (sampler exists, guarantee does not).
 	Force bool
 }
 
-func (o *ApproxOptions) fill() {
+// fill resolves the estimator defaults; fillMarginals is the same
+// resolution with the marginals draw-count default. All default logic
+// lives in these two methods — callers must not pre-resolve.
+func (o *ApproxOptions) fill()          { o.fillDefaults(DefaultMaxSamples) }
+func (o *ApproxOptions) fillMarginals() { o.fillDefaults(DefaultMarginalSamples) }
+
+func (o *ApproxOptions) fillDefaults(defaultSamples int) {
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.1
 	}
@@ -404,10 +430,10 @@ func (o *ApproxOptions) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.MaxSamples == 0 {
-		o.MaxSamples = 5_000_000
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = defaultSamples
 	}
-	if o.Workers == 0 {
+	if o.Workers < 1 {
 		o.Workers = 1
 	}
 }
@@ -483,11 +509,16 @@ func (in *Instance) sequenceOr(ps preparedSamplers, mode Mode) (*sampler.Sequenc
 // polynomial-time samplers. It refuses (mode, class) pairs whose status
 // is StatusOpen or StatusNoFPRAS, and StatusHeuristic pairs unless
 // opts.Force is set; the error cites the relevant theorem.
-func (in *Instance) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
-	return in.approximate(preparedSamplers{}, mode, q, c, opts)
+//
+// The estimation loop checks ctx between sample chunks: a cancelled or
+// expired context stops the draws within one chunk per worker and
+// returns the context's error (wrapped; match with errors.Is against
+// context.Canceled / context.DeadlineExceeded).
+func (in *Instance) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	return in.approximate(ctx, preparedSamplers{}, mode, q, c, opts)
 }
 
-func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+func (in *Instance) approximate(ctx context.Context, ps preparedSamplers, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
 	opts.fill()
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
 		return Estimate{}, err
@@ -499,7 +530,7 @@ func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tupl
 	if !ok {
 		pred = in.inner.EntailPred(q, c)
 	}
-	var newDraw func() fpras.Sampler
+	var newDraw func() engine.Sampler
 	switch mode.Gen {
 	case UniformRepairs:
 		// One shared sampler: the block decomposition is immutable
@@ -510,7 +541,7 @@ func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tupl
 		if err != nil {
 			return Estimate{}, err
 		}
-		newDraw = func() fpras.Sampler {
+		newDraw = func() engine.Sampler {
 			return func(rng *rand.Rand) bool { return pred(bs.SampleRepair(rng, mode.Singleton)) }
 		}
 	case UniformSequences:
@@ -522,7 +553,7 @@ func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tupl
 		if err != nil {
 			return Estimate{}, err
 		}
-		newDraw = func() fpras.Sampler {
+		newDraw = func() engine.Sampler {
 			return func(rng *rand.Rand) bool {
 				_, res := ss.Sample(rng)
 				return pred(res)
@@ -532,7 +563,7 @@ func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tupl
 		// The walker carries per-walk mutable state, so each worker
 		// receives its own instance via the factory; construction only
 		// snapshots the (already computed) conflict bookkeeping.
-		newDraw = func() fpras.Sampler {
+		newDraw = func() engine.Sampler {
 			walker := sampler.NewUOWalker(in.inner)
 			return func(rng *rand.Rand) bool {
 				return pred(walker.WalkResult(rng, mode.Singleton))
@@ -540,20 +571,26 @@ func (in *Instance) approximate(ps preparedSamplers, mode Mode, q *Query, c Tupl
 		}
 	}
 
+	var est Estimate
+	var err error
 	switch {
 	case opts.UseChernoff:
 		pmin := in.worstCaseLowerBound(mode, q)
 		if pmin <= 0 {
 			return Estimate{}, fmt.Errorf("ocqa: worst-case lower bound underflows for ‖D‖=%d, ‖Q‖=%d; use the stopping rule", in.db.Len(), q.Size())
 		}
-		return fpras.EstimateFPRAS(newDraw(), opts.Epsilon, opts.Delta, pmin, opts.Seed, opts.Workers), nil
+		n := fpras.ChernoffSamples(opts.Epsilon, opts.Delta, pmin)
+		est, err = engine.EstimateFixed(ctx, newDraw, n, opts.Seed, opts.Workers)
+		est.Epsilon, est.Delta = opts.Epsilon, opts.Delta
 	case opts.UseAA:
-		return fpras.EstimateAA(newDraw(), opts.Epsilon, opts.Delta, opts.Seed, opts.MaxSamples), nil
-	case opts.Workers > 1:
-		return fpras.EstimateStoppingRuleParallel(newDraw, opts.Epsilon, opts.Delta, opts.Seed, opts.Workers, opts.MaxSamples), nil
+		est, err = engine.EstimateAA(ctx, newDraw(), opts.Epsilon, opts.Delta, opts.Seed, opts.MaxSamples)
 	default:
-		return fpras.EstimateStoppingRule(newDraw(), opts.Epsilon, opts.Delta, opts.Seed, opts.MaxSamples), nil
+		est, err = engine.EstimateStoppingRuleParallel(ctx, newDraw, opts.Epsilon, opts.Delta, opts.Seed, opts.Workers, opts.MaxSamples)
 	}
+	if err != nil {
+		return est, fmt.Errorf("ocqa: estimation stopped: %w", err)
+	}
+	return est, nil
 }
 
 // worstCaseLowerBound selects the paper's lower bound on positive
@@ -577,15 +614,16 @@ func (in *Instance) worstCaseLowerBound(mode Mode, q *Query) float64 {
 
 // ApproximateAnswers estimates the probability of every tuple of Q(D)
 // (the superset of all tuples with positive probability, by CQ
-// monotonicity).
-func (in *Instance) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return in.approximateAnswers(preparedSamplers{}, mode, q, opts)
+// monotonicity). Cancelling ctx stops the current tuple's estimation
+// within one sample chunk and abandons the remaining tuples.
+func (in *Instance) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	return in.approximateAnswers(ctx, preparedSamplers{}, mode, q, opts)
 }
 
-func (in *Instance) approximateAnswers(ps preparedSamplers, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
 	var out []ApproxAnswer
 	for _, c := range q.Answers(in.db) {
-		e, err := in.approximate(ps, mode, q, c, opts)
+		e, err := in.approximate(ctx, ps, mode, q, c, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -653,20 +691,20 @@ func (p *Prepared) samplers() preparedSamplers {
 // Approximate is Instance.Approximate backed by the prepared samplers:
 // for primary-key instances it performs zero sampler constructions
 // beyond the one deferred build.
-func (p *Prepared) Approximate(mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
-	return p.Instance.approximate(p.samplers(), mode, q, c, opts)
+func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	return p.Instance.approximate(ctx, p.samplers(), mode, q, c, opts)
 }
 
 // ApproximateAnswers is Instance.ApproximateAnswers over the prepared
 // samplers.
-func (p *Prepared) ApproximateAnswers(mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return p.Instance.approximateAnswers(p.samplers(), mode, q, opts)
+func (p *Prepared) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	return p.Instance.approximateAnswers(ctx, p.samplers(), mode, q, opts)
 }
 
 // ApproximateFactMarginals is Instance.ApproximateFactMarginals over
 // the prepared samplers.
-func (p *Prepared) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
-	return p.Instance.approximateFactMarginals(p.samplers(), mode, opts)
+func (p *Prepared) ApproximateFactMarginals(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, error) {
+	return p.Instance.approximateFactMarginals(ctx, p.samplers(), mode, opts)
 }
 
 // CountRepairs reuses the prepared block decomposition where available.
@@ -763,65 +801,86 @@ func (in *Instance) FactMarginals(mode Mode, limit int) ([]FactMarginal, error) 
 // from a single stream of sampled repairs (one Monte-Carlo pass, all
 // facts at once) under the mode's sampler. The per-fact estimates are
 // plain means over exactly opts.MaxSamples draws — marginals need no
-// stopping rule since every fact shares the stream. When the caller
-// leaves MaxSamples zero, the marginals default of 100,000 draws is
-// used; an explicit value is always respected. The approximability
-// matrix is enforced as in Approximate.
-func (in *Instance) ApproximateFactMarginals(mode Mode, opts ApproxOptions) ([]float64, error) {
-	return in.approximateFactMarginals(preparedSamplers{}, mode, opts)
+// stopping rule since every fact shares the stream. An unset
+// MaxSamples (≤ 0) resolves to DefaultMarginalSamples; an explicit
+// value is always respected. The approximability matrix is enforced as
+// in Approximate.
+//
+// With opts.Workers > 1 the draws run in parallel: each worker
+// accumulates its own count vector on its own deterministic substream
+// and the vectors are merged, so one drawn repair still updates every
+// fact's counter in a single pass and the result is deterministic in
+// (Seed, Workers). Cancelling ctx stops the draws within one chunk per
+// worker and returns the context's error.
+func (in *Instance) ApproximateFactMarginals(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, error) {
+	return in.approximateFactMarginals(ctx, preparedSamplers{}, mode, opts)
 }
 
-func (in *Instance) approximateFactMarginals(ps preparedSamplers, mode Mode, opts ApproxOptions) ([]float64, error) {
-	n := opts.MaxSamples
-	if n <= 0 {
-		n = 100_000
-	}
-	opts.fill()
+func (in *Instance) approximateFactMarginals(ctx context.Context, ps preparedSamplers, mode Mode, opts ApproxOptions) ([]float64, error) {
+	opts.fillMarginals()
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
 		return nil, err
 	}
-	drawRepair, err := in.repairDrawer(ps, mode)
+	newCounter, always, err := in.countingDrawer(ps, mode)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	counts := make([]int, in.db.Len())
-	for i := 0; i < n; i++ {
-		s := drawRepair(rng)
-		for _, idx := range s.Indices() {
-			counts[idx]++
-		}
+	counts, n, err := engine.Marginals(ctx, newCounter, in.db.Len(), opts.MaxSamples, opts.Seed, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("ocqa: marginal estimation stopped: %w", err)
 	}
 	out := make([]float64, in.db.Len())
 	for i, c := range counts {
 		out[i] = float64(c) / float64(n)
 	}
+	// Facts outside every conflict survive each repair by construction;
+	// their drawer skips them, so their marginal is exactly 1.
+	for _, i := range always {
+		out[i] = 1
+	}
 	return out, nil
 }
 
-// repairDrawer returns a single-goroutine repair-drawing closure for
-// the mode, reusing prepared samplers when available.
-func (in *Instance) repairDrawer(ps preparedSamplers, mode Mode) (func(rng *rand.Rand) Subset, error) {
+// countingDrawer returns a per-worker factory of amortised counting
+// samplers for the mode — one call draws one repair and increments the
+// survival counter of each of its facts — plus the indices of facts
+// that survive every repair (only the block-based M^ur drawer skips
+// those per draw; the other modes count them like any other fact).
+// Prepared samplers are reused when available.
+func (in *Instance) countingDrawer(ps preparedSamplers, mode Mode) (func() engine.CountSampler, []int, error) {
 	switch mode.Gen {
 	case UniformRepairs:
+		// The block decomposition is shared across workers (immutable,
+		// concurrency-safe); fixed facts are hoisted out of the hot
+		// loop entirely, so a draw costs O(#blocks), not O(‖D‖).
 		bs, err := in.blockOr(ps, mode)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(rng *rand.Rand) Subset { return bs.SampleRepair(rng, mode.Singleton) }, nil
+		return func() engine.CountSampler {
+			return func(rng *rand.Rand, counts []int) {
+				bs.AddRepairCounts(rng, mode.Singleton, counts)
+			}
+		}, bs.FixedIndices(), nil
 	case UniformSequences:
 		ss, err := in.sequenceOr(ps, mode)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(rng *rand.Rand) Subset {
-			_, res := ss.Sample(rng)
-			return res
-		}, nil
+		return func() engine.CountSampler {
+			return func(rng *rand.Rand, counts []int) {
+				_, res := ss.Sample(rng)
+				res.AddTo(counts)
+			}
+		}, nil, nil
 	default:
-		walker := sampler.NewUOWalker(in.inner)
-		return func(rng *rand.Rand) Subset {
-			return walker.WalkResult(rng, mode.Singleton)
-		}, nil
+		// The walker carries per-walk mutable state: one instance per
+		// worker via the factory.
+		return func() engine.CountSampler {
+			walker := sampler.NewUOWalker(in.inner)
+			return func(rng *rand.Rand, counts []int) {
+				walker.WalkAddCounts(rng, mode.Singleton, counts)
+			}
+		}, nil, nil
 	}
 }

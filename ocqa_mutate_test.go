@@ -2,6 +2,7 @@ package ocqa_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/big"
 	"reflect"
@@ -145,7 +146,7 @@ func TestPrepareLazyDefersConstruction(t *testing.T) {
 		t.Fatal("first use did not build samplers")
 	}
 	q, _ := ocqa.ParseQuery("Ans(n) :- Emp(i, n)")
-	if _, err := p.Approximate(ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Alice"),
+	if _, err := p.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Alice"),
 		ocqa.ApproxOptions{MaxSamples: 2000}); err != nil {
 		t.Fatal(err)
 	}
