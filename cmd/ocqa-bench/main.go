@@ -8,13 +8,17 @@
 // replay, snapshot round-trip) and emits a BENCH_store.json trajectory
 // file. With -engine it runs the estimation-engine benchmarks
 // (pre-engine serial marginals baseline vs. the amortised parallel
-// engine) and emits BENCH_engine.json.
+// engine) and emits BENCH_engine.json. With -answers it runs the
+// shared-draw answers benchmarks (per-tuple estimation baseline vs.
+// one Monte-Carlo pass for all answer tuples) and emits
+// BENCH_answers.json.
 //
 // Usage:
 //
 //	ocqa-bench [-quick] [-seed N] [-only E06]
 //	ocqa-bench -store [-store-out BENCH_store.json]
 //	ocqa-bench -engine [-engine-out BENCH_engine.json]
+//	ocqa-bench -answers [-answers-out BENCH_answers.json]
 package main
 
 import (
@@ -28,13 +32,15 @@ import (
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "smaller instances and sample counts")
-		seed      = flag.Int64("seed", 42, "random seed")
-		only      = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
-		storeRun  = flag.Bool("store", false, "run the persistence micro-benchmarks instead of the experiment suite")
-		storeOut  = flag.String("store-out", "BENCH_store.json", "trajectory file for -store results")
-		engineRun = flag.Bool("engine", false, "run the estimation-engine benchmarks instead of the experiment suite")
-		engineOut = flag.String("engine-out", "BENCH_engine.json", "trajectory file for -engine results")
+		quick      = flag.Bool("quick", false, "smaller instances and sample counts")
+		seed       = flag.Int64("seed", 42, "random seed")
+		only       = flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+		storeRun   = flag.Bool("store", false, "run the persistence micro-benchmarks instead of the experiment suite")
+		storeOut   = flag.String("store-out", "BENCH_store.json", "trajectory file for -store results")
+		engineRun  = flag.Bool("engine", false, "run the estimation-engine benchmarks instead of the experiment suite")
+		engineOut  = flag.String("engine-out", "BENCH_engine.json", "trajectory file for -engine results")
+		answersRun = flag.Bool("answers", false, "run the shared-draw answers benchmarks instead of the experiment suite")
+		answersOut = flag.String("answers-out", "BENCH_answers.json", "trajectory file for -answers results")
 	)
 	flag.Parse()
 	if *storeRun {
@@ -46,6 +52,13 @@ func main() {
 	}
 	if *engineRun {
 		if err := runEngineBenchmarks(*engineOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *answersRun {
+		if err := runAnswersBenchmarks(*answersOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
 			os.Exit(1)
 		}

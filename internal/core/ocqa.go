@@ -3,6 +3,7 @@ package core
 import (
 	"math/big"
 	"sort"
+	"strings"
 
 	"repro/internal/cq"
 	"repro/internal/rel"
@@ -15,10 +16,14 @@ import (
 // infeasible; the polynomial path is sampling (internal/sampler +
 // internal/fpras).
 
-// EntailPred builds the predicate "c̄ ∈ Q(D')" over subsets of D.
+// EntailPred builds the predicate "c̄ ∈ Q(D')" over subsets of D. The
+// homomorphism search runs against the subset mask directly (candidate
+// facts are tested by index against the bitset), so no sub-database is
+// ever materialised — this is the fallback entailment check of the
+// Monte-Carlo hot loop when the witness compilation overflows.
 func (inst *Instance) EntailPred(q *cq.Query, c cq.Tuple) func(rel.Subset) bool {
 	return func(s rel.Subset) bool {
-		return q.HasAnswer(inst.D.Restrict(s), c)
+		return q.HasAnswerIn(inst.D, s, c)
 	}
 }
 
@@ -69,60 +74,169 @@ type ConsistentAnswer struct {
 // over D under the given mode: every tuple of Q(D) together with its
 // probability (tuples outside Q(D) have probability 0 by monotonicity
 // of CQs and are omitted). Results are sorted by tuple.
+//
+// All tuples share ONE pass over the repair space: the exact repair
+// distribution [[D]]_M is computed once (the same Semantics engine a
+// single-tuple ExactProbability walks per call) and marginalised per
+// tuple through the compiled multi-tuple witness predicate, so K
+// candidate answers cost one repair-space walk instead of K.
 func (inst *Instance) ConsistentAnswers(mode Mode, q *cq.Query, limit int) ([]ConsistentAnswer, error) {
-	candidates := q.Answers(inst.D)
-	out := make([]ConsistentAnswer, 0, len(candidates))
-	for _, c := range candidates {
-		p, err := inst.ExactProbability(mode, q, c, limit)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ConsistentAnswer{Tuple: c, Prob: p})
+	return inst.ConsistentAnswersWith(inst.CompileMultiPred(q, 0), mode, limit)
+}
+
+// ConsistentAnswersWith is ConsistentAnswers over an already compiled
+// multi-tuple witness predicate — the entry point for callers that
+// cache compiled witness sets per query.
+//
+// M^ur streams: its distribution is uniform over CORep (Proposition
+// A.2), so one CandidateRepairs walk accumulates every tuple's hit
+// count in O(K) memory — the multi-predicate form of RRFreq, never
+// materialising the repair list. The DAG generators marginalise the
+// Semantics result; their engines already hold every reachable state
+// in memory to propagate masses, so the repair list adds no
+// asymptotic cost there.
+func (inst *Instance) ConsistentAnswersWith(mp *MultiPred, mode Mode, limit int) ([]ConsistentAnswer, error) {
+	tuples := mp.Tuples()
+	out := make([]ConsistentAnswer, 0, len(tuples))
+	if len(tuples) == 0 {
+		return out, nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Key() < out[j].Tuple.Key() })
+	hits := make([]bool, len(tuples))
+	if mode.Gen == UniformRepairs {
+		total := inst.CountCandidateRepairs(mode.Singleton)
+		if total.Sign() == 0 {
+			return nil, StateLimitError{}
+		}
+		good := make([]*big.Int, len(tuples))
+		for t := range good {
+			good[t] = big.NewInt(0)
+		}
+		one := big.NewInt(1)
+		visited := 0
+		var overflow bool
+		inst.CandidateRepairs(mode.Singleton, func(s rel.Subset) bool {
+			visited++
+			if limit > 0 && visited > limit {
+				overflow = true
+				return false
+			}
+			mp.Eval(s, hits)
+			for t, hit := range hits {
+				if hit {
+					good[t].Add(good[t], one)
+				}
+			}
+			return true
+		})
+		if overflow {
+			return nil, StateLimitError{Limit: limit}
+		}
+		for t, c := range tuples {
+			out = append(out, ConsistentAnswer{Tuple: c, Prob: new(big.Rat).SetFrac(good[t], total)})
+		}
+		return out, nil
+	}
+	sem, err := inst.Semantics(mode, limit)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range tuples {
+		out = append(out, ConsistentAnswer{Tuple: c, Prob: new(big.Rat)})
+	}
+	for _, rp := range sem {
+		mp.Eval(rp.Repair, hits)
+		for t, hit := range hits {
+			if hit {
+				out[t].Prob.Add(out[t].Prob, rp.Prob)
+			}
+		}
+	}
 	return out, nil
+}
+
+// DefaultMaxImages is the witness-image cap applied when a caller
+// passes maxImages ≤ 0 to WitnessPred or CompileMultiPred: past it,
+// the compiled predicate would cost more per draw than the fallback
+// subset-mask search it replaces.
+const DefaultMaxImages = 4096
+
+// canonWitness canonicalises the matched fact indices of one
+// homomorphic image: sorted, deduplicated (two atoms may match the
+// same fact), written into buf, together with a compact byte-string
+// key for the dedup map. Keying on fact indices replaces the full text
+// rendering of the image the previous implementation rebuilt per
+// homomorphism at prepare time.
+func canonWitness(facts []int, buf []int) ([]int, string) {
+	buf = append(buf[:0], facts...)
+	sort.Ints(buf)
+	w := buf[:0]
+	for i, idx := range buf {
+		if i > 0 && idx == buf[i-1] {
+			continue
+		}
+		w = append(w, idx)
+	}
+	var b strings.Builder
+	b.Grow(4 * len(w))
+	for _, idx := range w {
+		b.WriteByte(byte(idx >> 24))
+		b.WriteByte(byte(idx >> 16))
+		b.WriteByte(byte(idx >> 8))
+		b.WriteByte(byte(idx))
+	}
+	return w, b.String()
+}
+
+// witnessHolds reports whether some witness index set is fully
+// contained in the subset.
+func witnessHolds(witnesses [][]int, s rel.Subset) bool {
+	for _, w := range witnesses {
+		all := true
+		for _, idx := range w {
+			if !s.Has(idx) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
 }
 
 // WitnessPred builds a fast entailment predicate by precomputing the
 // homomorphic images h(Q) ⊆ D with h(x̄) = c̄ as index subsets: by CQ
 // monotonicity, c̄ ∈ Q(D') for D' ⊆ D iff some image is contained in
 // D'. The predicate costs O(#images · ‖Q‖) per call — no database
-// materialisation — which matters in the Monte-Carlo hot loop. It
-// returns ok=false (and a nil predicate) when the number of images
-// exceeds maxImages (0 means 4096); callers then fall back to
-// EntailPred.
+// materialisation — which matters in the Monte-Carlo hot loop. Images
+// are deduplicated by their sorted fact-index sets, read directly off
+// the matched facts of the homomorphism search. It returns ok=false
+// (and a nil predicate) when the number of images exceeds maxImages
+// (0 means DefaultMaxImages); callers then fall back to EntailPred.
 func (inst *Instance) WitnessPred(q *cq.Query, c cq.Tuple, maxImages int) (func(rel.Subset) bool, bool) {
 	if maxImages <= 0 {
-		maxImages = 4096
+		maxImages = DefaultMaxImages
 	}
 	if len(c) != len(q.AnswerVars) {
 		return func(rel.Subset) bool { return false }, true
 	}
-	type witness []int
-	var witnesses []witness
+	var witnesses [][]int
 	seen := make(map[string]bool)
 	overflow := false
-	q.Homomorphisms(inst.D, func(h cq.Homomorphism) bool {
+	scratch := make([]int, 0, len(q.Atoms))
+	q.HomomorphismsMatched(inst.D, func(h cq.Homomorphism, facts []int) bool {
 		for i, v := range q.AnswerVars {
 			if h[v] != c[i] {
 				return true
 			}
 		}
-		img := q.Image(h)
-		k := img.String()
-		if seen[k] {
+		w, key := canonWitness(facts, scratch)
+		if seen[key] {
 			return true
 		}
-		seen[k] = true
-		w := make(witness, 0, img.Len())
-		for _, f := range img.Facts() {
-			idx := inst.D.IndexOf(f)
-			if idx < 0 {
-				return true // image leaves D (constants in Q): not a witness
-			}
-			w = append(w, idx)
-		}
-		witnesses = append(witnesses, w)
+		seen[key] = true
+		witnesses = append(witnesses, append([]int(nil), w...))
 		if len(witnesses) > maxImages {
 			overflow = true
 			return false
@@ -132,19 +246,5 @@ func (inst *Instance) WitnessPred(q *cq.Query, c cq.Tuple, maxImages int) (func(
 	if overflow {
 		return nil, false
 	}
-	return func(s rel.Subset) bool {
-		for _, w := range witnesses {
-			all := true
-			for _, idx := range w {
-				if !s.Has(idx) {
-					all = false
-					break
-				}
-			}
-			if all {
-				return true
-			}
-		}
-		return false
-	}, true
+	return func(s rel.Subset) bool { return witnessHolds(witnesses, s) }, true
 }

@@ -190,12 +190,19 @@ func (q *Query) Image(h Homomorphism) *rel.Database {
 
 // evalState carries the backtracking state of homomorphism search.
 type evalState struct {
-	q     *Query
-	d     *rel.Database
-	byRel map[string][]rel.Fact
+	q *Query
+	d *rel.Database
+	// mask, when useMask is set, restricts the search to the
+	// sub-database of d whose fact indices it contains — evaluation
+	// over D' ⊆ D without materialising D'.
+	mask    rel.Subset
+	useMask bool
 	// order is the atom evaluation order (most selective first).
 	order []int
-	yield func(Homomorphism) bool // returns false to stop enumeration
+	// facts[i] is the global index (in d) of the fact body atom i is
+	// currently unified with; complete exactly when yield fires.
+	facts []int
+	yield func(Homomorphism, []int) bool // returns false to stop enumeration
 }
 
 // planOrder orders atoms so that atoms sharing variables with already
@@ -242,10 +249,16 @@ func (st *evalState) search(depth int, h Homomorphism) bool {
 		for k, v := range h {
 			cp[k] = v
 		}
-		return st.yield(cp)
+		return st.yield(cp, st.facts)
 	}
-	a := st.q.Atoms[st.order[depth]]
-	for _, f := range st.byRel[a.Rel] {
+	ai := st.order[depth]
+	a := st.q.Atoms[ai]
+	lo, hi := st.d.RelRange(a.Rel)
+	for idx := lo; idx < hi; idx++ {
+		if st.useMask && !st.mask.Has(idx) {
+			continue
+		}
+		f := st.d.Fact(idx)
 		if len(f.Args) != len(a.Terms) {
 			continue
 		}
@@ -272,6 +285,7 @@ func (st *evalState) search(depth int, h Homomorphism) bool {
 			newly = append(newly, t.Value)
 		}
 		if ok {
+			st.facts[ai] = idx
 			if !st.search(depth+1, h) {
 				for _, v := range newly {
 					delete(h, v)
@@ -286,15 +300,41 @@ func (st *evalState) search(depth int, h Homomorphism) bool {
 	return true
 }
 
+// homomorphisms is the shared enumeration driver behind every public
+// variant. It runs the backtracking search over the database's cached
+// per-relation fact runs (no per-call grouping), optionally restricted
+// to the facts of a subset mask.
+func (q *Query) homomorphisms(d *rel.Database, mask rel.Subset, useMask bool, yield func(Homomorphism, []int) bool) {
+	st := &evalState{
+		q: q, d: d, mask: mask, useMask: useMask,
+		order: planOrder(q), facts: make([]int, len(q.Atoms)), yield: yield,
+	}
+	st.search(0, Homomorphism{})
+}
+
 // Homomorphisms enumerates every homomorphism from Q to D, invoking
 // yield for each; enumeration stops early if yield returns false.
 func (q *Query) Homomorphisms(d *rel.Database, yield func(Homomorphism) bool) {
-	byRel := make(map[string][]rel.Fact)
-	for _, f := range d.Facts() {
-		byRel[f.Rel] = append(byRel[f.Rel], f)
-	}
-	st := &evalState{q: q, d: d, byRel: byRel, order: planOrder(q), yield: yield}
-	st.search(0, Homomorphism{})
+	q.homomorphisms(d, rel.Subset{}, false, func(h Homomorphism, _ []int) bool { return yield(h) })
+}
+
+// HomomorphismsIn enumerates every homomorphism from Q to the
+// sub-database D' ⊆ D identified by the subset, without materialising
+// D': candidate facts are tested against the bitset by their global
+// index. This is the repair-space hot path — one entailment check per
+// Monte-Carlo draw — where building a fresh Database per draw would
+// dominate the loop.
+func (q *Query) HomomorphismsIn(d *rel.Database, s rel.Subset, yield func(Homomorphism) bool) {
+	q.homomorphisms(d, s, true, func(h Homomorphism, _ []int) bool { return yield(h) })
+}
+
+// HomomorphismsMatched is Homomorphisms extended with the matched
+// facts: yield additionally receives facts, where facts[i] is the
+// global index (in d) of the fact body atom i unified with — exactly
+// the fact multiset of the image h(Q), with no fact materialisation.
+// The slice is reused between yields and must not be retained.
+func (q *Query) HomomorphismsMatched(d *rel.Database, yield func(h Homomorphism, facts []int) bool) {
+	q.homomorphisms(d, rel.Subset{}, false, yield)
 }
 
 // Entails reports whether D |= Q for a Boolean query (or, for a
@@ -302,6 +342,17 @@ func (q *Query) Homomorphisms(d *rel.Database, yield func(Homomorphism) bool) {
 func (q *Query) Entails(d *rel.Database) bool {
 	found := false
 	q.Homomorphisms(d, func(Homomorphism) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// EntailsIn reports whether D' |= Q for the sub-database of d
+// identified by s, evaluated against the subset mask directly.
+func (q *Query) EntailsIn(d *rel.Database, s rel.Subset) bool {
+	found := false
+	q.HomomorphismsIn(d, s, func(Homomorphism) bool {
 		found = true
 		return false
 	})
@@ -356,6 +407,25 @@ func (q *Query) HasAnswer(d *rel.Database, c Tuple) bool {
 	}
 	found := false
 	q.Homomorphisms(d, func(h Homomorphism) bool {
+		for i, v := range q.AnswerVars {
+			if h[v] != c[i] {
+				return true // keep searching
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// HasAnswerIn reports whether c̄ ∈ Q(D') for the sub-database of d
+// identified by s, without materialising D'.
+func (q *Query) HasAnswerIn(d *rel.Database, s rel.Subset, c Tuple) bool {
+	if len(c) != len(q.AnswerVars) {
+		return false
+	}
+	found := false
+	q.HomomorphismsIn(d, s, func(h Homomorphism) bool {
 		for i, v := range q.AnswerVars {
 			if h[v] != c[i] {
 				return true // keep searching

@@ -1,0 +1,123 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// randomDB builds a small two-relation database.
+func randomDB(rng *rand.Rand) *rel.Database {
+	var facts []rel.Fact
+	for i, n := 0, 5+rng.Intn(6); i < n; i++ {
+		facts = append(facts, rel.NewFact("R", fmt.Sprintf("k%d", rng.Intn(4)), fmt.Sprintf("v%d", rng.Intn(3))))
+	}
+	for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+		facts = append(facts, rel.NewFact("S", fmt.Sprintf("v%d", rng.Intn(3))))
+	}
+	return rel.NewDatabase(facts...)
+}
+
+func randomMask(rng *rand.Rand, n int) rel.Subset {
+	s := rel.NewSubset(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// TestHomomorphismsInMatchesRestrict: evaluation against the subset
+// mask must agree with materialising the restricted database — same
+// answers, same entailment, same single-tuple membership.
+func TestHomomorphismsInMatchesRestrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := MustNew([]string{"x"},
+		NewAtom("R", Var("k"), Var("x")),
+		NewAtom("S", Var("x")))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDB(rng)
+		s := randomMask(rng, d.Len())
+		restricted := d.Restrict(s)
+
+		want := q.Answers(restricted)
+		seen := make(map[string]bool)
+		q.HomomorphismsIn(d, s, func(h Homomorphism) bool {
+			seen[Tuple{h["x"]}.Key()] = true
+			return true
+		})
+		if len(seen) != len(want) {
+			t.Fatalf("trial %d: masked search found %d answers, Restrict gives %d", trial, len(seen), len(want))
+		}
+		for _, c := range want {
+			if !seen[c.Key()] {
+				t.Fatalf("trial %d: masked search missed %v", trial, c)
+			}
+			if !q.HasAnswerIn(d, s, c) {
+				t.Fatalf("trial %d: HasAnswerIn misses %v", trial, c)
+			}
+		}
+		if got, want := q.EntailsIn(d, s), q.Entails(restricted); got != want {
+			t.Fatalf("trial %d: EntailsIn=%v, Entails(Restrict)=%v", trial, got, want)
+		}
+		if q.HasAnswerIn(d, s, Tuple{"no-such-value"}) {
+			t.Fatalf("trial %d: HasAnswerIn accepted an absent tuple", trial)
+		}
+	}
+}
+
+// TestHomomorphismsMatchedFacts: the matched-fact indices yielded
+// alongside each homomorphism identify exactly the facts of the image
+// h(Q), atom by atom.
+func TestHomomorphismsMatchedFacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := MustNew([]string{"x"},
+		NewAtom("R", Var("k"), Var("x")),
+		NewAtom("S", Var("x")))
+	for trial := 0; trial < 50; trial++ {
+		d := randomDB(rng)
+		count := 0
+		q.HomomorphismsMatched(d, func(h Homomorphism, facts []int) bool {
+			count++
+			if len(facts) != len(q.Atoms) {
+				t.Fatalf("trial %d: %d matched facts for %d atoms", trial, len(facts), len(q.Atoms))
+			}
+			img := q.Image(h)
+			for i, idx := range facts {
+				f := d.Fact(idx)
+				if f.Rel != q.Atoms[i].Rel {
+					t.Fatalf("trial %d: atom %d matched fact %v of wrong relation", trial, i, f)
+				}
+				if !img.Contains(f) {
+					t.Fatalf("trial %d: matched fact %v not in image %v", trial, f, img)
+				}
+			}
+			return true
+		})
+		// Cross-check the enumeration count against the plain variant.
+		plain := 0
+		q.Homomorphisms(d, func(Homomorphism) bool { plain++; return true })
+		if count != plain {
+			t.Fatalf("trial %d: matched variant yielded %d homs, plain %d", trial, count, plain)
+		}
+	}
+}
+
+// TestHomomorphismsInEmptyAndFull: the mask extremes reduce to the
+// empty database and to D itself.
+func TestHomomorphismsInEmptyAndFull(t *testing.T) {
+	d := rel.NewDatabase(
+		rel.NewFact("R", "1", "a"),
+		rel.NewFact("S", "a"),
+	)
+	q := MustNew(nil, NewAtom("R", Var("k"), Var("x")), NewAtom("S", Var("x")))
+	if q.EntailsIn(d, rel.NewSubset(d.Len())) {
+		t.Fatal("empty mask entails Q")
+	}
+	if !q.EntailsIn(d, d.FullSubset()) {
+		t.Fatal("full mask does not entail Q")
+	}
+}

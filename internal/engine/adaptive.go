@@ -63,6 +63,10 @@ func EstimateStoppingRule(ctx context.Context, s Sampler, eps, delta float64, se
 //
 // The context is checked between rounds (one batch of Chunk draws per
 // worker); a cancelled run returns the partial mean and ctx.Err().
+//
+// EstimateStoppingRuleMulti (multi.go) mirrors this round scaffolding
+// for multi-target streams; behavioural changes here (cancellation,
+// cap, accounting) must be applied there too.
 func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler, eps, delta float64, seed int64, workers, maxSamples int) (Estimate, error) {
 	if workers <= 1 {
 		return EstimateStoppingRule(ctx, newSampler(), eps, delta, seed, maxSamples)

@@ -72,6 +72,12 @@ const (
 	PhaseAA
 	// PhaseMarginals: the per-fact marginal counting loop.
 	PhaseMarginals
+	// PhaseMultiFixed: the fixed-sample multi-target loop
+	// (EstimateFixedMulti).
+	PhaseMultiFixed
+	// PhaseMultiStopping: the multi-target stopping rule, serial and
+	// parallel.
+	PhaseMultiStopping
 )
 
 // splitmix64 is the finalizer of the SplitMix64 generator (Steele,
@@ -104,6 +110,8 @@ func rngFor(seed int64, phase Phase, worker int) *rand.Rand {
 var (
 	samplesDrawn  atomic.Int64
 	cancelledRuns atomic.Int64
+	multiRuns     atomic.Int64
+	multiTargets  atomic.Int64
 )
 
 // SamplesDrawn returns the total Monte-Carlo draws performed by this
@@ -114,6 +122,16 @@ func SamplesDrawn() int64 { return samplesDrawn.Load() }
 // CancelledRuns returns the number of estimation runs stopped early by
 // context cancellation process-wide.
 func CancelledRuns() int64 { return cancelledRuns.Load() }
+
+// MultiRuns returns the number of multi-target estimation runs
+// (shared-draw passes serving every answer tuple at once) performed
+// process-wide, cancelled runs included.
+func MultiRuns() int64 { return multiRuns.Load() }
+
+// MultiTargets returns the total number of targets estimated by
+// multi-target runs process-wide — MultiTargets/MultiRuns is the mean
+// number of answer tuples a single shared pass served.
+func MultiTargets() int64 { return multiTargets.Load() }
 
 // splitQuota divides n draws over workers as evenly as possible
 // (earlier workers take the remainder), mirroring the deterministic

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// MultiSampler draws ONE repair (or sequence, or chain walk) and
+// records, per estimation target, whether the draw satisfies it. It
+// is the multi-target form of Sampler — the shared-draw answers hot
+// path, where one drawn subset is evaluated against every candidate
+// answer tuple at once, so K targets cost one sampler walk instead of
+// K. active lists, in ascending order, the target indices whose
+// outputs the caller will consume; nil means all targets.
+// Implementations may skip evaluating targets outside active and
+// leave their out entries stale — the stopping-rule driver uses this
+// to stop paying for targets that have already converged.
+// Implementations are typically stateful and not safe for concurrent
+// use; the parallel estimators call the factory once per worker.
+type MultiSampler func(rng *rand.Rand, out []bool, active []int)
+
+// finishMulti updates the process-wide counters every multi-target run
+// reports on exit.
+func finishMulti(nTargets, performed int, cancelled bool) {
+	multiRuns.Add(1)
+	multiTargets.Add(int64(nTargets))
+	samplesDrawn.Add(int64(performed))
+	if cancelled {
+		cancelledRuns.Add(1)
+	}
+}
+
+// EstimateFixedMulti draws exactly n shared samples and returns the
+// per-target empirical means: every target's estimate is computed from
+// the SAME n draws. With workers > 1 the draws are split across
+// goroutines — each with its own sampler instance, its own
+// PhaseMultiFixed substream and its own hit-count vector — and the
+// vectors are merged in worker order, so the result is deterministic
+// in (seed, workers) regardless of scheduling.
+//
+// The context is checked between chunks on every worker; a cancelled
+// run returns the per-target means over the draws actually performed
+// (Samples records them) and ctx.Err().
+func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTargets, n int, seed int64, workers int) ([]Estimate, error) {
+	if n <= 0 {
+		panic("engine: need a positive sample count")
+	}
+	if workers <= 1 {
+		return estimateFixedMultiSerial(ctx, newSampler(), nTargets, n, seed)
+	}
+	perWorker := make([][]int, workers)
+	perDrawn := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := splitQuota(n, workers, w)
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			s := newSampler()
+			rng := rngFor(seed, PhaseMultiFixed, w)
+			local := make([]int, nTargets)
+			out := make([]bool, nTargets)
+			localN := 0
+			for localN < quota {
+				if ctx.Err() != nil {
+					break
+				}
+				step := min(Chunk, quota-localN)
+				for i := 0; i < step; i++ {
+					s(rng, out, nil)
+					for t, hit := range out {
+						if hit {
+							local[t]++
+						}
+					}
+				}
+				localN += step
+			}
+			perWorker[w] = local
+			perDrawn[w] = localN
+		}(w, quota)
+	}
+	wg.Wait()
+	counts := make([]int, nTargets)
+	drawn := 0
+	for w := range perWorker {
+		if perWorker[w] == nil {
+			continue
+		}
+		drawn += perDrawn[w]
+		for t, c := range perWorker[w] {
+			counts[t] += c
+		}
+	}
+	err := ctx.Err()
+	finishMulti(nTargets, drawn, err != nil)
+	out := make([]Estimate, nTargets)
+	for t, c := range counts {
+		out[t] = Estimate{Value: safeDiv(float64(c), drawn), Samples: drawn, Converged: err == nil}
+	}
+	return out, err
+}
+
+func estimateFixedMultiSerial(ctx context.Context, s MultiSampler, nTargets, n int, seed int64) ([]Estimate, error) {
+	rng := rngFor(seed, PhaseMultiFixed, 0)
+	counts := make([]int, nTargets)
+	outBuf := make([]bool, nTargets)
+	drawn := 0
+	var err error
+	for drawn < n {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		step := min(Chunk, n-drawn)
+		for i := 0; i < step; i++ {
+			s(rng, outBuf, nil)
+			for t, hit := range outBuf {
+				if hit {
+					counts[t]++
+				}
+			}
+		}
+		drawn += step
+	}
+	finishMulti(nTargets, drawn, err != nil)
+	out := make([]Estimate, nTargets)
+	for t, c := range counts {
+		out[t] = Estimate{Value: safeDiv(float64(c), drawn), Samples: drawn, Converged: err == nil}
+	}
+	return out, err
+}
+
+// EstimateStoppingRuleMulti applies the Dagum–Karp–Luby–Ross stopping
+// rule to every target over ONE shared i.i.d. draw stream: target t
+// stops at the first draw where its running success count reaches Υ₁
+// and outputs Υ₁/n_t, exactly the law of EstimateStoppingRule applied
+// to t's Bernoulli marginal of the stream — so each estimate carries
+// the same (ε, δ) multiplicative guarantee the per-target rule gives,
+// while K targets consume max_t n_t draws instead of Σ_t n_t. Draws
+// continue until every target has met the rule or maxSamples is
+// exhausted (0 = no cap; a zero-probability target never meets the
+// rule); targets still open at exhaustion report the plain mean with
+// Converged = false. Per-target Samples records the consumed prefix
+// length at that target's stopping point.
+//
+// With workers > 1, workers draw fixed-size batches from independent
+// substreams and the sequential rule is applied to the canonical
+// interleaving (worker 0's batch, then worker 1's, ...), stopping each
+// target mid-batch exactly where the serial rule would on that stream;
+// unused draws are discarded. Deterministic in (seed, workers). The
+// round scaffolding deliberately mirrors EstimateStoppingRuleParallel
+// (adaptive.go) rather than sharing it: folding the single-target rule
+// into a 1-target multi would move it onto the PhaseMultiStopping
+// substream and silently change every existing seed's output. Keep
+// the two drivers' cancellation/cap/accounting behaviour in sync.
+//
+// The context is checked between rounds (one batch of Chunk draws per
+// worker); a cancelled run returns the open targets' partial means and
+// ctx.Err().
+func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampler, nTargets int, eps, delta float64, seed int64, workers, maxSamples int) ([]Estimate, error) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
+	}
+	if nTargets == 0 {
+		return nil, nil
+	}
+	if workers <= 1 {
+		return estimateStoppingRuleMultiSerial(ctx, newSampler(), nTargets, eps, delta, seed, maxSamples)
+	}
+	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	samplers := make([]MultiSampler, workers)
+	rngs := make([]*rand.Rand, workers)
+	// batches[w][i] is worker w's i-th draw of the current round: the
+	// per-target outcome vector. Allocated once and reused per round.
+	batches := make([][][]bool, workers)
+	for w := 0; w < workers; w++ {
+		samplers[w] = newSampler()
+		rngs[w] = rngFor(seed, PhaseMultiStopping, w)
+		batches[w] = make([][]bool, Chunk)
+		for i := range batches[w] {
+			batches[w][i] = make([]bool, nTargets)
+		}
+	}
+	st := newMultiRule(nTargets, eps, delta, upsilon1)
+	// performed counts every sampler invocation, discarded tail
+	// included — the engine_samples_drawn number; st.n counts only the
+	// consumed prefix the rule's law is defined on.
+	performed := 0
+	done := make(chan struct{}, workers)
+	for {
+		if err := ctx.Err(); err != nil {
+			finishMulti(nTargets, performed, true)
+			return st.finalize(), err
+		}
+		if maxSamples > 0 && st.n >= maxSamples {
+			finishMulti(nTargets, performed, false)
+			return st.finalize(), nil
+		}
+		// Snapshot the open set at the round boundary: workers fill
+		// their batches against it while consume may close targets
+		// mid-round, whose stale outputs the rule then ignores. The
+		// snapshot is a pure function of consumed state, so skipping
+		// cannot perturb determinism.
+		active := append([]int(nil), st.open...)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for i := range batches[w] {
+					samplers[w](rngs[w], batches[w][i], active)
+				}
+				done <- struct{}{}
+			}(w)
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		performed += workers * Chunk
+		// Consume the canonical interleaving sequentially.
+		for w := 0; w < workers; w++ {
+			for _, out := range batches[w] {
+				if st.consume(out) {
+					finishMulti(nTargets, performed, false)
+					return st.finalize(), nil
+				}
+			}
+		}
+	}
+}
+
+func estimateStoppingRuleMultiSerial(ctx context.Context, s MultiSampler, nTargets int, eps, delta float64, seed int64, maxSamples int) ([]Estimate, error) {
+	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	rng := rngFor(seed, PhaseMultiStopping, 0)
+	st := newMultiRule(nTargets, eps, delta, upsilon1)
+	out := make([]bool, nTargets)
+	for {
+		if st.n%Chunk == 0 {
+			if err := ctx.Err(); err != nil {
+				finishMulti(nTargets, st.n, true)
+				return st.finalize(), err
+			}
+		}
+		if maxSamples > 0 && st.n >= maxSamples {
+			finishMulti(nTargets, st.n, false)
+			return st.finalize(), nil
+		}
+		// Only still-open targets are evaluated; closed targets' out
+		// entries go stale, which consume never reads.
+		s(rng, out, st.open)
+		if st.consume(out) {
+			finishMulti(nTargets, st.n, false)
+			return st.finalize(), nil
+		}
+	}
+}
+
+// multiRule tracks the per-target stopping-rule state over one shared
+// draw stream.
+type multiRule struct {
+	eps, delta, upsilon1 float64
+	n                    int // consumed draws
+	sums                 []int
+	ests                 []Estimate
+	open                 []int // targets that have not met the rule, ascending
+}
+
+func newMultiRule(nTargets int, eps, delta, upsilon1 float64) *multiRule {
+	st := &multiRule{
+		eps: eps, delta: delta, upsilon1: upsilon1,
+		sums: make([]int, nTargets),
+		ests: make([]Estimate, nTargets),
+		open: make([]int, nTargets),
+	}
+	for t := range st.open {
+		st.open[t] = t
+	}
+	return st
+}
+
+// consume applies one draw's outcome vector to every open target and
+// reports whether all targets have now met the rule.
+func (st *multiRule) consume(out []bool) (allDone bool) {
+	st.n++
+	kept := st.open[:0]
+	for _, t := range st.open {
+		if out[t] {
+			st.sums[t]++
+			if float64(st.sums[t]) >= st.upsilon1 {
+				st.ests[t] = Estimate{
+					Value: st.upsilon1 / float64(st.n), Samples: st.n,
+					Epsilon: st.eps, Delta: st.delta, Converged: true,
+				}
+				continue
+			}
+		}
+		kept = append(kept, t)
+	}
+	st.open = kept
+	return len(st.open) == 0
+}
+
+// finalize fills the estimates of still-open targets with the plain
+// mean over the consumed prefix (Converged stays false) and returns
+// the full per-target vector.
+func (st *multiRule) finalize() []Estimate {
+	for _, t := range st.open {
+		st.ests[t] = Estimate{
+			Value: safeDiv(float64(st.sums[t]), st.n), Samples: st.n,
+			Epsilon: st.eps, Delta: st.delta,
+		}
+	}
+	return st.ests
+}

@@ -185,6 +185,30 @@ func (f Fact) Less(g Fact) bool {
 type Database struct {
 	facts []Fact
 	index map[string]int
+	// spans maps each relation name to its contiguous [lo, hi) index
+	// range in facts. The sort order is relation-major, so every
+	// relation's facts occupy one run; caching the runs makes FactsOf
+	// (and the per-relation iteration of the homomorphism search) a
+	// lookup instead of a full scan, with the global fact index of the
+	// j-th fact of relation R available as lo+j.
+	spans map[string]span
+}
+
+// span is a half-open index range [lo, hi) into Database.facts.
+type span struct{ lo, hi int }
+
+// buildSpans derives the per-relation ranges from the sorted fact
+// slice. Every constructor ends with it.
+func (d *Database) buildSpans() {
+	d.spans = make(map[string]span)
+	for i := 0; i < len(d.facts); {
+		j := i + 1
+		for j < len(d.facts) && d.facts[j].Rel == d.facts[i].Rel {
+			j++
+		}
+		d.spans[d.facts[i].Rel] = span{i, j}
+		i = j
+	}
 }
 
 // NewDatabase builds a database from the given facts, deduplicating and
@@ -203,6 +227,7 @@ func NewDatabase(facts ...Fact) *Database {
 	for i, f := range d.facts {
 		d.index[f.Key()] = i
 	}
+	d.buildSpans()
 	return d
 }
 
@@ -245,15 +270,25 @@ func (d *Database) ActiveDomain() []string {
 	return out
 }
 
-// FactsOf returns the facts over the given relation name, in sorted order.
+// FactsOf returns the facts over the given relation name, in sorted
+// order — a sub-slice of the cached relation run, not a copy. The
+// returned slice must not be modified.
 func (d *Database) FactsOf(rel string) []Fact {
-	var out []Fact
-	for _, f := range d.facts {
-		if f.Rel == rel {
-			out = append(out, f)
-		}
+	sp, ok := d.spans[rel]
+	if !ok {
+		return nil
 	}
-	return out
+	return d.facts[sp.lo:sp.hi]
+}
+
+// RelRange returns the half-open fact-index range [lo, hi) of the
+// relation's facts (empty when the relation has none): the fact at
+// global index lo+j is the j-th fact of FactsOf(rel). Index-based
+// consumers (the subset-restricted homomorphism search) use it to test
+// bitset membership without per-fact index lookups.
+func (d *Database) RelRange(rel string) (lo, hi int) {
+	sp := d.spans[rel]
+	return sp.lo, sp.hi
 }
 
 // Restrict returns the database containing exactly the facts of d whose
@@ -333,6 +368,7 @@ func (d *Database) Insert(f Fact) (nd *Database, pos int, ok bool) {
 	for i, g := range facts {
 		nd.index[g.Key()] = i
 	}
+	nd.buildSpans()
 	return nd, pos, true
 }
 
@@ -351,6 +387,7 @@ func (d *Database) Remove(i int) *Database {
 	for j, g := range facts {
 		nd.index[g.Key()] = j
 	}
+	nd.buildSpans()
 	return nd
 }
 

@@ -1,0 +1,69 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// factsOfScan is the pre-cache implementation of FactsOf, kept as the
+// test oracle.
+func factsOfScan(d *Database, rel string) []Fact {
+	var out []Fact
+	for _, f := range d.Facts() {
+		if f.Rel == rel {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func checkSpans(t *testing.T, d *Database, rels []string) {
+	t.Helper()
+	for _, r := range rels {
+		want := factsOfScan(d, r)
+		got := d.FactsOf(r)
+		if len(got) != len(want) {
+			t.Fatalf("FactsOf(%q): %d facts, scan gives %d", r, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("FactsOf(%q)[%d] = %v, want %v", r, i, got[i], want[i])
+			}
+		}
+		lo, hi := d.RelRange(r)
+		if hi-lo != len(want) {
+			t.Fatalf("RelRange(%q) = [%d,%d), want width %d", r, lo, hi, len(want))
+		}
+		for j := lo; j < hi; j++ {
+			if d.Fact(j).Rel != r {
+				t.Fatalf("RelRange(%q) covers foreign fact %v at %d", r, d.Fact(j), j)
+			}
+		}
+	}
+}
+
+// TestRelSpansAcrossConstructors: the cached grouping stays consistent
+// through NewDatabase, Insert and Remove.
+func TestRelSpansAcrossConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rels := []string{"A", "B", "C", "missing"}
+	for trial := 0; trial < 40; trial++ {
+		var facts []Fact
+		for i, n := 0, rng.Intn(12); i < n; i++ {
+			facts = append(facts, NewFact(rels[rng.Intn(3)], fmt.Sprintf("c%d", rng.Intn(6))))
+		}
+		d := NewDatabase(facts...)
+		checkSpans(t, d, rels)
+
+		d2, _, ok := d.Insert(NewFact("B", "zz"))
+		if ok {
+			checkSpans(t, d2, rels)
+		}
+		if d.Len() > 0 {
+			checkSpans(t, d.Remove(rng.Intn(d.Len())), rels)
+		}
+		// The original is untouched (copy-on-write).
+		checkSpans(t, d, rels)
+	}
+}

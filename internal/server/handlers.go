@@ -422,6 +422,8 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			if err != nil {
 				return QueryResponse{}, toHTTPError(err)
 			}
+			s.counters.answersQueries.Add(1)
+			s.counters.answerTuples.Add(int64(len(answers)))
 			resp.Answers = make([]Answer, 0, len(answers))
 			for _, a := range answers {
 				f, _ := a.Prob.Float64()
@@ -447,16 +449,28 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			conv := est.Converged
 			resp.Answers = []Answer{{Tuple: tupleJSON(c), Value: est.Value, Samples: est.Samples, Converged: &conv}}
 		} else {
+			// The all-answers shape runs ONE shared Monte-Carlo pass for
+			// every candidate tuple (witness sets cached per query
+			// fingerprint on the prepared instance); req.Workers
+			// parallelises that single pass.
 			answers, err := p.ApproximateAnswers(ctx, m, q, opts)
 			if err != nil {
 				return QueryResponse{}, toHTTPError(err)
 			}
+			s.counters.answersQueries.Add(1)
+			s.counters.answerTuples.Add(int64(len(answers)))
 			resp.Answers = make([]Answer, 0, len(answers))
+			// The tuples share one draw stream: the pass's cost is the
+			// longest per-tuple prefix, not the per-tuple sum.
+			shared := 0
 			for _, a := range answers {
-				s.counters.sampleDraws.Add(int64(a.Estimate.Samples))
+				if a.Estimate.Samples > shared {
+					shared = a.Estimate.Samples
+				}
 				conv := a.Estimate.Converged
 				resp.Answers = append(resp.Answers, Answer{Tuple: tupleJSON(a.Tuple), Value: a.Estimate.Value, Samples: a.Estimate.Samples, Converged: &conv})
 			}
+			s.counters.sampleDraws.Add(int64(shared))
 		}
 	}
 	s.counters.queriesServed.Add(1)

@@ -14,19 +14,21 @@ import (
 // lock-free and safe under concurrent handlers. They are exposed as
 // JSON at GET /varz.
 type counters struct {
-	queriesServed atomic.Int64
-	exactQueries  atomic.Int64
-	approxQueries atomic.Int64
-	batchRequests atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
-	refusals      atomic.Int64
-	timeouts      atomic.Int64
-	errors        atomic.Int64
-	sampleDraws   atomic.Int64
-	registered    atomic.Int64
-	mutations     atomic.Int64
-	evictions     atomic.Int64
+	queriesServed  atomic.Int64
+	exactQueries   atomic.Int64
+	approxQueries  atomic.Int64
+	answersQueries atomic.Int64
+	answerTuples   atomic.Int64
+	batchRequests  atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	refusals       atomic.Int64
+	timeouts       atomic.Int64
+	errors         atomic.Int64
+	sampleDraws    atomic.Int64
+	registered     atomic.Int64
+	mutations      atomic.Int64
+	evictions      atomic.Int64
 }
 
 // varz is the JSON shape of GET /varz.
@@ -38,12 +40,17 @@ type varz struct {
 	QueriesServed int64 `json:"queries_served"`
 	ExactQueries  int64 `json:"exact_queries"`
 	ApproxQueries int64 `json:"approx_queries"`
-	BatchRequests int64 `json:"batch_requests"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	Refusals      int64 `json:"refusals"`
-	Timeouts      int64 `json:"timeouts"`
-	Errors        int64 `json:"errors"`
+	// AnswersQueries counts queries executed in all-answers shape (no
+	// explicit tuple): every tuple of Q(D) served by one computation.
+	// AnswerTuples totals the tuples those queries returned.
+	AnswersQueries int64 `json:"answers_queries"`
+	AnswerTuples   int64 `json:"answer_tuples"`
+	BatchRequests  int64 `json:"batch_requests"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	Refusals       int64 `json:"refusals"`
+	Timeouts       int64 `json:"timeouts"`
+	Errors         int64 `json:"errors"`
 	// SampleDraws totals the Monte-Carlo draws consumed by approx
 	// queries and marginals.
 	SampleDraws int64 `json:"sample_draws"`
@@ -70,6 +77,13 @@ type varz struct {
 	// each one is sampling work that no longer burns a worker to
 	// completion.
 	EngineCancelledRuns int64 `json:"engine_cancelled_runs"`
+	// EngineMultiRuns counts shared-draw multi-target estimation
+	// passes (one per all-answers approximation); EngineMultiTargets
+	// totals the answer tuples those passes served, so
+	// EngineMultiTargets/EngineMultiRuns is the mean fan-out a single
+	// Monte-Carlo pass amortised.
+	EngineMultiRuns    int64 `json:"engine_multi_runs"`
+	EngineMultiTargets int64 `json:"engine_multi_targets"`
 
 	// Persistence counters, all zero when the server runs without a
 	// durable store (-data-dir unset).
@@ -89,6 +103,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		QueriesServed:        s.counters.queriesServed.Load(),
 		ExactQueries:         s.counters.exactQueries.Load(),
 		ApproxQueries:        s.counters.approxQueries.Load(),
+		AnswersQueries:       s.counters.answersQueries.Load(),
+		AnswerTuples:         s.counters.answerTuples.Load(),
 		BatchRequests:        s.counters.batchRequests.Load(),
 		CacheHits:            s.counters.cacheHits.Load(),
 		CacheMisses:          s.counters.cacheMisses.Load(),
@@ -102,6 +118,8 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		SamplerConstructions: sampler.Constructions(),
 		EngineSamplesDrawn:   engine.SamplesDrawn(),
 		EngineCancelledRuns:  engine.CancelledRuns(),
+		EngineMultiRuns:      engine.MultiRuns(),
+		EngineMultiTargets:   engine.MultiTargets(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -29,6 +29,7 @@ import (
 	"math/big"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cq"
@@ -518,6 +519,52 @@ func (in *Instance) Approximate(ctx context.Context, mode Mode, q *Query, c Tupl
 	return in.approximate(ctx, preparedSamplers{}, mode, q, c, opts)
 }
 
+// subsetDrawer returns a per-worker factory of repair drawers for the
+// mode: one call of the inner function draws one repair subset under
+// the mode's sampler. It is the sampling substrate shared by the
+// single-tuple and the multi-tuple estimation paths.
+func (in *Instance) subsetDrawer(ps preparedSamplers, mode Mode) (func() func(*rand.Rand) rel.Subset, error) {
+	switch mode.Gen {
+	case UniformRepairs:
+		// One shared sampler: the block decomposition is immutable
+		// after construction and SampleRepair is concurrency-safe, so
+		// every worker draws from the same tables; only the rng is
+		// per-worker.
+		bs, err := in.blockOr(ps, mode)
+		if err != nil {
+			return nil, err
+		}
+		return func() func(*rand.Rand) rel.Subset {
+			return func(rng *rand.Rand) rel.Subset { return bs.SampleRepair(rng, mode.Singleton) }
+		}, nil
+	case UniformSequences:
+		// The profile-traceback sampler draws the same uniform CRS
+		// distribution as Algorithm 1 with O(‖D‖) work per sample. Its
+		// DP tables are immutable after construction and safe to
+		// share; only the rng is per-worker.
+		ss, err := in.sequenceOr(ps, mode)
+		if err != nil {
+			return nil, err
+		}
+		return func() func(*rand.Rand) rel.Subset {
+			return func(rng *rand.Rand) rel.Subset {
+				_, res := ss.Sample(rng)
+				return res
+			}
+		}, nil
+	default:
+		// The walker carries per-walk mutable state, so each worker
+		// receives its own instance via the factory; construction only
+		// snapshots the (already computed) conflict bookkeeping.
+		return func() func(*rand.Rand) rel.Subset {
+			walker := sampler.NewUOWalker(in.inner)
+			return func(rng *rand.Rand) rel.Subset {
+				return walker.WalkResult(rng, mode.Singleton)
+			}
+		}, nil
+	}
+}
+
 func (in *Instance) approximate(ctx context.Context, ps preparedSamplers, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
 	opts.fill()
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
@@ -530,49 +577,16 @@ func (in *Instance) approximate(ctx context.Context, ps preparedSamplers, mode M
 	if !ok {
 		pred = in.inner.EntailPred(q, c)
 	}
-	var newDraw func() engine.Sampler
-	switch mode.Gen {
-	case UniformRepairs:
-		// One shared sampler: the block decomposition is immutable
-		// after construction and SampleRepair is concurrency-safe, so
-		// every worker draws from the same tables; only the rng is
-		// per-worker.
-		bs, err := in.blockOr(ps, mode)
-		if err != nil {
-			return Estimate{}, err
-		}
-		newDraw = func() engine.Sampler {
-			return func(rng *rand.Rand) bool { return pred(bs.SampleRepair(rng, mode.Singleton)) }
-		}
-	case UniformSequences:
-		// The profile-traceback sampler draws the same uniform CRS
-		// distribution as Algorithm 1 with O(‖D‖) work per sample. Its
-		// DP tables are immutable after construction and safe to
-		// share; only the rng is per-worker.
-		ss, err := in.sequenceOr(ps, mode)
-		if err != nil {
-			return Estimate{}, err
-		}
-		newDraw = func() engine.Sampler {
-			return func(rng *rand.Rand) bool {
-				_, res := ss.Sample(rng)
-				return pred(res)
-			}
-		}
-	case UniformOperations:
-		// The walker carries per-walk mutable state, so each worker
-		// receives its own instance via the factory; construction only
-		// snapshots the (already computed) conflict bookkeeping.
-		newDraw = func() engine.Sampler {
-			walker := sampler.NewUOWalker(in.inner)
-			return func(rng *rand.Rand) bool {
-				return pred(walker.WalkResult(rng, mode.Singleton))
-			}
-		}
+	newSubset, err := in.subsetDrawer(ps, mode)
+	if err != nil {
+		return Estimate{}, err
+	}
+	newDraw := func() engine.Sampler {
+		draw := newSubset()
+		return func(rng *rand.Rand) bool { return pred(draw(rng)) }
 	}
 
 	var est Estimate
-	var err error
 	switch {
 	case opts.UseChernoff:
 		pmin := in.worstCaseLowerBound(mode, q)
@@ -614,22 +628,90 @@ func (in *Instance) worstCaseLowerBound(mode Mode, q *Query) float64 {
 
 // ApproximateAnswers estimates the probability of every tuple of Q(D)
 // (the superset of all tuples with positive probability, by CQ
-// monotonicity). Cancelling ctx stops the current tuple's estimation
-// within one sample chunk and abandons the remaining tuples.
+// monotonicity) from ONE shared stream of repair draws: the tuples'
+// probabilities are defined over the same repair distribution, so each
+// drawn repair is evaluated against every candidate tuple's compiled
+// witness sets at once — K candidates cost one Monte-Carlo pass
+// (max over tuples of the per-tuple stopping point) instead of K
+// independent estimations, and one homomorphism enumeration at prepare
+// time instead of K+1. Estimates are deterministic in (Seed, Workers).
+// opts.MaxSamples caps the draws of the shared pass as a whole. With
+// opts.UseAA the per-tuple loop is retained (the three-phase 𝒜𝒜
+// estimator adapts its later phases to each target's own crude
+// estimate and variance, which is inherently single-target).
+// Cancelling ctx stops the shared pass within one sample chunk per
+// worker; like Approximate, the partial per-tuple estimates accompany
+// the wrapped context error.
 func (in *Instance) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return in.approximateAnswers(ctx, preparedSamplers{}, mode, q, opts)
+	compile := func(q *Query) *core.MultiPred { return in.inner.CompileMultiPred(q, 0) }
+	return in.approximateAnswers(ctx, preparedSamplers{}, compile, mode, q, opts)
 }
 
-func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	var out []ApproxAnswer
-	for _, c := range q.Answers(in.db) {
-		e, err := in.approximate(ctx, ps, mode, q, c, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ApproxAnswer{Tuple: c, Estimate: e})
+// approximateAnswers runs the shared-draw answers estimation. compile
+// supplies the multi-tuple witness predicate — the bare Instance
+// compiles per call, a Prepared instance serves its per-fingerprint
+// cache — and is only invoked once the approximability check passed,
+// on the shared-pass path alone (the per-tuple 𝒜𝒜 loop builds its own
+// single-tuple predicates and needs only the candidate list).
+func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers, compile func(*Query) *core.MultiPred, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+	opts.fill()
+	if err := in.checkApproximable(mode, opts.Force); err != nil {
+		return nil, err
 	}
-	return out, nil
+	if opts.UseAA {
+		var out []ApproxAnswer
+		for _, c := range q.Answers(in.db) {
+			e, err := in.approximate(ctx, ps, mode, q, c, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ApproxAnswer{Tuple: c, Estimate: e})
+		}
+		return out, nil
+	}
+	mp := compile(q)
+	tuples := mp.Tuples()
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	newSubset, err := in.subsetDrawer(ps, mode)
+	if err != nil {
+		return nil, err
+	}
+	newMulti := func() engine.MultiSampler {
+		draw := newSubset()
+		return func(rng *rand.Rand, out []bool, active []int) {
+			mp.EvalTargets(draw(rng), out, active)
+		}
+	}
+	var ests []Estimate
+	if opts.UseChernoff {
+		pmin := in.worstCaseLowerBound(mode, q)
+		if pmin <= 0 {
+			return nil, fmt.Errorf("ocqa: worst-case lower bound underflows for ‖D‖=%d, ‖Q‖=%d; use the stopping rule", in.db.Len(), q.Size())
+		}
+		n := fpras.ChernoffSamples(opts.Epsilon, opts.Delta, pmin)
+		ests, err = engine.EstimateFixedMulti(ctx, newMulti, len(tuples), n, opts.Seed, opts.Workers)
+		for i := range ests {
+			ests[i].Epsilon, ests[i].Delta = opts.Epsilon, opts.Delta
+		}
+	} else {
+		ests, err = engine.EstimateStoppingRuleMulti(ctx, newMulti, len(tuples), opts.Epsilon, opts.Delta, opts.Seed, opts.Workers, opts.MaxSamples)
+	}
+	if err != nil {
+		// Mirror the single-tuple path: the engine's partial per-tuple
+		// estimates accompany the cancellation error rather than being
+		// discarded.
+		err = fmt.Errorf("ocqa: estimation stopped: %w", err)
+	}
+	if len(ests) != len(tuples) {
+		return nil, err
+	}
+	out := make([]ApproxAnswer, len(tuples))
+	for t, c := range tuples {
+		out[t] = ApproxAnswer{Tuple: c, Estimate: ests[t]}
+	}
+	return out, err
 }
 
 // ApproxAnswer pairs an answer tuple with its estimate.
@@ -651,6 +733,70 @@ type Prepared struct {
 	*Instance
 	once sync.Once
 	ps   preparedSamplers
+
+	// predMu guards preds, the compiled multi-tuple witness sets keyed
+	// by query fingerprint (the canonical rendering): each distinct
+	// query pays for its homomorphism enumeration once per Prepared.
+	// Mutations derive a fresh Prepared, so entries can never go
+	// stale. predOrder tracks insertion order for the FIFO bound.
+	predMu    sync.Mutex
+	preds     map[string]*compiledPred
+	predOrder []string
+}
+
+// maxCachedPreds bounds the per-instance witness-set cache: past it
+// the oldest fingerprint is evicted (FIFO — deliberately simpler than
+// LRU, since a served result lands in the caller's own result cache
+// and the compile being saved is a single enumeration). Without a
+// bound, a client sweeping distinct queries against one long-lived
+// instance would grow memory without limit.
+const maxCachedPreds = 64
+
+// compiledPred defers one query's witness-set compilation behind a
+// sync.Once, so only callers of the SAME fingerprint wait on its
+// enumeration — the registry mutex is never held across a compile.
+// done flips once the compile finished; eviction skips entries still
+// in flight so a concurrent caller is never forced to recompile.
+type compiledPred struct {
+	once sync.Once
+	mp   *core.MultiPred
+	done atomic.Bool
+}
+
+// multiPred returns the compiled witness sets for the query, compiling
+// at most once per distinct query fingerprint.
+func (p *Prepared) multiPred(q *Query) *core.MultiPred {
+	key := q.String()
+	p.predMu.Lock()
+	if p.preds == nil {
+		p.preds = make(map[string]*compiledPred)
+	}
+	e, ok := p.preds[key]
+	if !ok {
+		if len(p.predOrder) >= maxCachedPreds {
+			// Evict the oldest COMPLETED entry: dropping an in-flight
+			// compile would let a concurrent caller of the same query
+			// rerun the enumeration. With every entry in flight the map
+			// briefly overshoots the cap by the number of concurrent
+			// compilers — bounded and transient.
+			for i, old := range p.predOrder {
+				if p.preds[old].done.Load() {
+					delete(p.preds, old)
+					p.predOrder = append(p.predOrder[:i], p.predOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		e = &compiledPred{}
+		p.preds[key] = e
+		p.predOrder = append(p.predOrder, key)
+	}
+	p.predMu.Unlock()
+	e.once.Do(func() {
+		e.mp = p.inner.CompileMultiPred(q, 0)
+		e.done.Store(true)
+	})
+	return e.mp
 }
 
 // Prepare eagerly builds the shareable sampler artifacts. For
@@ -696,9 +842,18 @@ func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple
 }
 
 // ApproximateAnswers is Instance.ApproximateAnswers over the prepared
-// samplers.
+// samplers and the per-fingerprint witness-set cache: repeated answers
+// queries for the same query perform zero sampler constructions and
+// zero homomorphism enumerations.
 func (p *Prepared) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return p.Instance.approximateAnswers(ctx, p.samplers(), mode, q, opts)
+	return p.Instance.approximateAnswers(ctx, p.samplers(), p.multiPred, mode, q, opts)
+}
+
+// ConsistentAnswers is Instance.ConsistentAnswers over the cached
+// witness sets: the exact shared pass reuses the compiled multi-tuple
+// predicate across calls.
+func (p *Prepared) ConsistentAnswers(mode Mode, q *Query, limit int) ([]ConsistentAnswer, error) {
+	return p.inner.ConsistentAnswersWith(p.multiPred(q), mode, limit)
 }
 
 // ApproximateFactMarginals is Instance.ApproximateFactMarginals over
