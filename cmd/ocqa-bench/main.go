@@ -13,12 +13,21 @@
 // one Monte-Carlo pass for all answer tuples) and emits
 // BENCH_answers.json.
 //
+// With -oracle it runs the randomized differential verification gate:
+// the brute-force repair oracle is checked against every exact engine
+// on -oracle-scenarios random instances (each under all six modes),
+// the estimators' (ε, δ) envelopes are audited empirically, and random
+// mutation traces are replayed through the durable store. Any
+// divergence exits non-zero — this is the CI safety net every scaling
+// PR runs under.
+//
 // Usage:
 //
 //	ocqa-bench [-quick] [-seed N] [-only E06]
 //	ocqa-bench -store [-store-out BENCH_store.json]
 //	ocqa-bench -engine [-engine-out BENCH_engine.json]
 //	ocqa-bench -answers [-answers-out BENCH_answers.json]
+//	ocqa-bench -oracle [-seed N] [-oracle-scenarios 500]
 package main
 
 import (
@@ -41,8 +50,17 @@ func main() {
 		engineOut  = flag.String("engine-out", "BENCH_engine.json", "trajectory file for -engine results")
 		answersRun = flag.Bool("answers", false, "run the shared-draw answers benchmarks instead of the experiment suite")
 		answersOut = flag.String("answers-out", "BENCH_answers.json", "trajectory file for -answers results")
+		oracleRun  = flag.Bool("oracle", false, "run the oracle differential verification gate instead of the experiment suite")
+		oracleN    = flag.Int("oracle-scenarios", 500, "random scenarios for the -oracle gate (each checked under all six modes)")
 	)
 	flag.Parse()
+	if *oracleRun {
+		if err := runOracleHarness(*seed, *oracleN); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *storeRun {
 		if err := runStoreBenchmarks(*storeOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)

@@ -1,0 +1,31 @@
+package main
+
+// The -oracle mode: the randomized differential verification gate. It
+// runs the full harness — brute-force oracle vs. every exact engine on
+// ≥500 random scenarios across all six modes, estimator (ε, δ)
+// envelope coverage, and durable-store trace replay — and exits
+// non-zero on any divergence. CI invokes it with a fixed seed; locally
+// vary -seed to sweep fresh scenario streams.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/oracle/harness"
+)
+
+func runOracleHarness(seed int64, scenarios int) error {
+	rep, err := harness.Run(harness.Config{
+		Seed:      seed,
+		Scenarios: scenarios,
+		Log:       os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Format())
+	if !rep.OK() {
+		return fmt.Errorf("differential gate failed with %d divergence(s)", len(rep.Failures))
+	}
+	return nil
+}

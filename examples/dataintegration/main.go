@@ -15,8 +15,10 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 	"time"
 
@@ -24,10 +26,18 @@ import (
 )
 
 func main() {
-	// Synthesise the integrated feed: 400 products, 1–4 claims each.
+	if err := run(400, 0.05, 0.01, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the whole scenario at the given scale and guarantee;
+// main uses the full 400-product feed, the smoke test a reduced one.
+func run(products int, eps, delta float64, out io.Writer) error {
+	// Synthesise the integrated feed: 1–4 claims per product.
 	rng := rand.New(rand.NewSource(2022))
 	var b strings.Builder
-	for p := 0; p < 400; p++ {
+	for p := 0; p < products; p++ {
 		claims := 1 + rng.Intn(4)
 		for c := 0; c < claims; c++ {
 			price := 10 + rng.Intn(6)
@@ -39,16 +49,16 @@ func main() {
 	}
 	inst, err := ocqa.NewInstanceFromText(b.String(), "Price: A1 -> A2")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("integrated feed: %d facts, class %v, consistent=%v\n",
+	fmt.Fprintf(out, "integrated feed: %d facts, class %v, consistent=%v\n",
 		inst.DB().Len(), inst.Class(), inst.IsConsistent())
-	fmt.Printf("candidate repairs: %s (exact enumeration is hopeless)\n\n",
+	fmt.Fprintf(out, "candidate repairs: %s (exact enumeration is hopeless)\n\n",
 		inst.CountRepairs(false))
 
 	q, err := ocqa.ParseQuery("Ans() :- Price(x, '9')")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The paper's approximability matrix, consulted before sampling.
@@ -58,9 +68,9 @@ func main() {
 		{Gen: ocqa.UniformOperations},
 	} {
 		status, cite := ocqa.Approximability(mode, inst.Class())
-		fmt.Printf("%-8s under %v: %v [%s]\n", mode.Symbol(), inst.Class(), status, cite)
+		fmt.Fprintf(out, "%-8s under %v: %v [%s]\n", mode.Symbol(), inst.Class(), status, cite)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	// Estimate P("some sale price survives repairing") under each
 	// generator. The three semantics genuinely differ: uniform repairs
@@ -73,29 +83,30 @@ func main() {
 	} {
 		start := time.Now()
 		est, err := inst.Approximate(context.Background(), mode, q, ocqa.Tuple{}, ocqa.ApproxOptions{
-			Epsilon: 0.05, Delta: 0.01, Seed: 7,
+			Epsilon: eps, Delta: delta, Seed: 7,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-8s P[sale price survives] ≈ %.4f  (ε=%.2f δ=%.2f, %d samples, %v)\n",
+		fmt.Fprintf(out, "%-8s P[sale price survives] ≈ %.4f  (ε=%.2f δ=%.2f, %d samples, %v)\n",
 			mode.Symbol(), est.Value, est.Epsilon, est.Delta, est.Samples,
 			time.Since(start).Round(time.Millisecond))
 	}
 
 	// Per-product answers for a conflicted product: which prices could
 	// product p0 have, and how likely is each?
-	fmt.Println("\nper-price probabilities for product p0 (M^ur):")
+	fmt.Fprintln(out, "\nper-price probabilities for product p0 (M^ur):")
 	qp, err := ocqa.ParseQuery("Ans(price) :- Price('p0', price)")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	answers, err := inst.ApproximateAnswers(context.Background(), ocqa.Mode{Gen: ocqa.UniformRepairs}, qp,
-		ocqa.ApproxOptions{Epsilon: 0.1, Delta: 0.05, Seed: 11})
+		ocqa.ApproxOptions{Epsilon: 2 * eps, Delta: 5 * delta, Seed: 11})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, a := range answers {
-		fmt.Printf("  price %-4v ≈ %.4f\n", a.Tuple, a.Estimate.Value)
+		fmt.Fprintf(out, "  price %-4v ≈ %.4f\n", a.Tuple, a.Estimate.Value)
 	}
+	return nil
 }

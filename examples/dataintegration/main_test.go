@@ -1,0 +1,16 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunSmoke drives the example's whole path — feed synthesis,
+// matrix consultation, three estimations, shared-draw answers — at a
+// reduced scale and guarantee, so `go test ./...` (and its -race run)
+// exercises it in well under a second.
+func TestRunSmoke(t *testing.T) {
+	if err := run(40, 0.2, 0.1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMainSmoke runs the example end to end (deterministic seeds, no
+// arguments) with stdout silenced, so `go test ./...` exercises its
+// whole main path. A failure inside the example calls log.Fatal, which
+// aborts the test binary — loudly, which is the point of a smoke test.
+func TestMainSmoke(t *testing.T) {
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	orig := os.Stdout
+	os.Stdout = devNull
+	defer func() { os.Stdout = orig }()
+	main()
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"repro/internal/fd"
+)
+
+// This file is the approximability matrix of the paper: for every
+// (generator, constraint class) pair, what is proved about polynomial-
+// time randomized approximation of P_{M,Q}(D, c̄). It lives in core —
+// next to the Mode it classifies — so that every layer (the public
+// facade, the server's 422 refusals, the workload generator's scenario
+// tags) reads the one table instead of keeping a private copy.
+
+// ApproxStatus describes what the paper proves about approximating
+// OCQA for a (mode, constraint class) pair.
+type ApproxStatus int
+
+const (
+	// StatusFPRAS: an FPRAS exists and this library implements it.
+	StatusFPRAS ApproxStatus = iota
+	// StatusHeuristic: an efficient sampler exists but no polynomial
+	// lower bound on positive probabilities, so Monte Carlo estimates
+	// carry no multiplicative guarantee (e.g. M^uo with FDs,
+	// Proposition D.6). Allowed only with Force.
+	StatusHeuristic
+	// StatusOpen: approximability is open and no efficient sampler is
+	// known (e.g. M^us beyond primary keys); refused.
+	StatusOpen
+	// StatusNoFPRAS: the paper refutes an FPRAS under RP ≠ NP (e.g.
+	// M^ur with FDs, Theorem 5.1(3)); refused.
+	StatusNoFPRAS
+)
+
+// String names the status.
+func (s ApproxStatus) String() string {
+	switch s {
+	case StatusFPRAS:
+		return "FPRAS"
+	case StatusHeuristic:
+		return "heuristic (sampler without guarantee)"
+	case StatusOpen:
+		return "open"
+	default:
+		return "no FPRAS (unless RP = NP)"
+	}
+}
+
+// Tag is the compact single-word rendering used in scenario labels and
+// reports ("fpras", "heuristic", "open", "none").
+func (s ApproxStatus) Tag() string {
+	switch s {
+	case StatusFPRAS:
+		return "fpras"
+	case StatusHeuristic:
+		return "heuristic"
+	case StatusOpen:
+		return "open"
+	default:
+		return "none"
+	}
+}
+
+// Approximability returns the paper's verdict for the pair, with the
+// citation it rests on.
+func Approximability(mode Mode, class fd.Class) (ApproxStatus, string) {
+	switch mode.Gen {
+	case UniformRepairs:
+		switch class {
+		case fd.PrimaryKeys:
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem E.1(2)"
+			}
+			return StatusFPRAS, "Theorem 5.1(2)"
+		case fd.Keys:
+			return StatusOpen, "open (counting repairs has no FPRAS: Proposition 5.5)"
+		default:
+			if mode.Singleton {
+				return StatusNoFPRAS, "Theorem E.1(3)"
+			}
+			return StatusNoFPRAS, "Theorem 5.1(3)"
+		}
+	case UniformSequences:
+		if class == fd.PrimaryKeys {
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem E.8(2)"
+			}
+			return StatusFPRAS, "Theorem 6.1(2)"
+		}
+		return StatusOpen, "open; conjectured no FPRAS (Section 6)"
+	case UniformOperations:
+		switch class {
+		case fd.PrimaryKeys, fd.Keys:
+			return StatusFPRAS, "Theorem 7.1(2)"
+		default:
+			if mode.Singleton {
+				return StatusFPRAS, "Theorem 7.5"
+			}
+			return StatusHeuristic, "open; Monte Carlo fails (Proposition D.6)"
+		}
+	default:
+		panic("core: unknown generator")
+	}
+}
+
+// AllModes lists the six operational modes — the three uniform
+// generators crossed with the singleton-operation restriction — in the
+// paper's presentation order. It is the iteration order of every
+// exhaustive mode sweep (matrix cells, differential harnesses).
+func AllModes() []Mode {
+	return []Mode{
+		{Gen: UniformRepairs}, {Gen: UniformRepairs, Singleton: true},
+		{Gen: UniformSequences}, {Gen: UniformSequences, Singleton: true},
+		{Gen: UniformOperations}, {Gen: UniformOperations, Singleton: true},
+	}
+}

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// An infeasibly small oracle budget must terminate — either by
+// completing on the trivial (consistent, single-state) scenarios that
+// fit any budget, or with the infeasibility diagnostic — never by
+// replacing over-budget scenarios forever.
+func TestTinyBudgetTerminates(t *testing.T) {
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(Config{Seed: 5, Scenarios: 20, Budget: 1,
+			EstScenarios: 1, EstTrials: 1, Traces: 1, TraceDir: t.TempDir()})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	select {
+	case rep := <-done:
+		if !rep.OK() && !strings.Contains(rep.Failures[0], "infeasible") {
+			t.Fatalf("unexpected failure class: %s", rep.Failures[0])
+		}
+		if rep.Scenarios < 20 && rep.Skipped <= 2*20+100 {
+			t.Fatalf("run gave up early: %d scenarios, %d skipped", rep.Scenarios, rep.Skipped)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("harness did not terminate under an infeasible budget")
+	}
+}

@@ -1,0 +1,73 @@
+package harness
+
+// Canary tests: a differential harness that compares nothing would
+// pass forever, so the comparators themselves are checked against
+// deliberately diverging inputs.
+
+import (
+	"math/big"
+	"testing"
+
+	ocqa "repro"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/oracle"
+	"repro/internal/rel"
+)
+
+func TestComparatorsFlagDivergence(t *testing.T) {
+	s1 := rel.NewSubset(2)
+	s1.Set(0)
+	s2 := rel.NewSubset(2)
+	s2.Set(1)
+	half := big.NewRat(1, 2)
+	third := big.NewRat(1, 3)
+
+	db := rel.NewDatabase(rel.NewFact("R", "a"), rel.NewFact("R", "b"))
+	wantD := []oracle.Repair{{Set: s1, Prob: half}, {Set: s2, Prob: half}}
+	if msg := compareDistributions(db, wantD, []core.RepairProb{
+		{Repair: s1, Prob: half}, {Repair: s2, Prob: half},
+	}); msg != "" {
+		t.Errorf("equal distributions flagged: %s", msg)
+	}
+	if msg := compareDistributions(db, wantD, []core.RepairProb{
+		{Repair: s1, Prob: third}, {Repair: s2, Prob: half},
+	}); msg == "" {
+		t.Error("probability mismatch not flagged")
+	}
+	if msg := compareDistributions(db, wantD, []core.RepairProb{{Repair: s1, Prob: half}}); msg == "" {
+		t.Error("missing repair not flagged")
+	}
+
+	wantA := []oracle.Answer{{Tuple: cq.Tuple{"a"}, Prob: half}}
+	if msg := compareAnswers(wantA, []core.ConsistentAnswer{{Tuple: cq.Tuple{"a"}, Prob: half}}); msg != "" {
+		t.Errorf("equal answers flagged: %s", msg)
+	}
+	if msg := compareAnswers(wantA, []core.ConsistentAnswer{{Tuple: cq.Tuple{"b"}, Prob: half}}); msg == "" {
+		t.Error("tuple mismatch not flagged")
+	}
+	if msg := compareAnswers(wantA, []core.ConsistentAnswer{{Tuple: cq.Tuple{"a"}, Prob: third}}); msg == "" {
+		t.Error("answer probability mismatch not flagged")
+	}
+
+	wantM := []*big.Rat{half}
+	if msg := compareMarginals(wantM, []ocqa.FactMarginal{{Prob: third}}); msg == "" {
+		t.Error("marginal mismatch not flagged")
+	}
+}
+
+func TestWithinEnvelope(t *testing.T) {
+	if !within(0.5, 0.5, 0.25) || !within(0.624, 0.5, 0.25) || !within(0.376, 0.5, 0.25) {
+		t.Error("in-envelope estimates rejected")
+	}
+	if within(0.7, 0.5, 0.25) || within(0.3, 0.5, 0.25) {
+		t.Error("out-of-envelope estimates accepted")
+	}
+	// p = 0: only an exactly-zero estimate is inside.
+	if within(0.01, 0, 0.25) {
+		t.Error("nonzero estimate accepted for p = 0")
+	}
+	if !within(0, 0, 0.25) {
+		t.Error("zero estimate rejected for p = 0")
+	}
+}

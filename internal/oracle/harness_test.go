@@ -1,0 +1,59 @@
+package oracle_test
+
+// The reduced differential gate that runs under tier-1 `go test`: the
+// same harness ocqa-bench -oracle drives at ≥500 scenarios, held to a
+// CI-friendly scenario count. A divergence between any engine and the
+// brute-force oracle fails the build, not just the nightly bench.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/oracle/harness"
+)
+
+func TestDifferentialHarnessReduced(t *testing.T) {
+	cfg := harness.Config{
+		Seed:         2022,
+		Scenarios:    96, // the full 500-per-mode sweep runs in ocqa-bench -oracle
+		EstScenarios: 2,
+		EstTrials:    6,
+		Traces:       3,
+		TraceOps:     18,
+		TraceDir:     t.TempDir(),
+	}
+	if testing.Short() {
+		cfg.Scenarios = 24
+		cfg.EstScenarios = 1
+		cfg.EstTrials = 3
+		cfg.Traces = 1
+	}
+	rep, err := harness.Run(cfg)
+	if err != nil {
+		t.Fatalf("harness infrastructure error: %v", err)
+	}
+	t.Logf("\n%s", rep.Format())
+	if !rep.OK() {
+		t.Fatalf("differential harness found %d divergence(s); see log", len(rep.Failures))
+	}
+	if rep.Scenarios < cfg.Scenarios {
+		t.Errorf("checked %d scenarios, wanted %d", rep.Scenarios, cfg.Scenarios)
+	}
+	if rep.EstRuns == 0 {
+		t.Error("estimator envelope audit ran zero trials")
+	}
+	if rep.Traces != cfg.Traces {
+		t.Errorf("completed %d traces, wanted %d", rep.Traces, cfg.Traces)
+	}
+	// Coverage must span all three constraint classes (the cell string
+	// leads with the class name, before the per-mode tags).
+	classes := map[string]bool{}
+	for cell := range rep.Cells {
+		classes[strings.SplitN(cell, "[", 2)[0]] = true
+	}
+	for _, want := range []string{"primary keys", "keys", "FDs"} {
+		if !classes[want] {
+			t.Errorf("scenario stream never covered constraint class %q (got %v)", want, rep.Cells)
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package oracle is the brute-force ground truth for the operational
+// semantics: it enumerates the FULL space of repairing sequences of a
+// tiny instance by depth-first search and derives every quantity the
+// production engines compute — exact probabilities, repair
+// distributions, per-fact marginals, consistent answers — from first
+// principles, as exact rationals.
+//
+// The point of the package is deliberate independence. The production
+// code reaches those quantities through layered machinery: conflict
+// graphs, independent-set characterisations (Lemma 5.4/E.4), state-DAG
+// dynamic programming, canonical-leaf counting, compiled witness
+// predicates. The oracle uses NONE of it:
+//
+//   - conflicts are re-derived from the FD definition itself (agree on
+//     X, differ on Y) over raw fact pairs — not fd.Set.ConflictPairs;
+//   - entailment is a naive backtracking search over atoms in body
+//     order — not cq's planned, span-indexed homomorphism engine;
+//   - states are raw uint64 bitmasks, sequences are walked one
+//     operation at a time, and nothing is memoised — every complete
+//     repairing sequence is visited explicitly.
+//
+// The three leaf distributions then fall out of the walk directly:
+// M^us weighs each complete sequence once (Definition A.3), M^uo
+// weighs it by the product of 1/|Ops| along its path (Definition A.5),
+// and M^ur is uniform over the distinct results (Definition A.1 via
+// Proposition A.2 — a result is reachable iff some complete sequence
+// ends in it). A disagreement between this package and the engines is
+// therefore a genuine bug in one of them, not a shared one.
+//
+// The cost is exponential twice over (the sequence tree on top of the
+// state space), which is the contract: oracles run on instances of at
+// most MaxFacts facts under an explicit node budget, and the harness
+// generates instances sized for it.
+//
+// The only dependency on the engine side of the repo is the core.Mode
+// enum, imported so callers name modes the same way everywhere; no
+// core algorithm is invoked.
+package oracle
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// MaxFacts bounds the instances the oracle accepts: states are single
+// uint64 bitmasks, and anything near that size is far beyond the
+// sequence-tree budget anyway.
+const MaxFacts = 62
+
+// DefaultBudget caps the number of sequence-tree nodes one exploration
+// may visit (the tree is walked once per operation space and cached).
+const DefaultBudget = 4 << 20
+
+// BudgetError reports that an exploration exceeded its node budget:
+// the instance is too large for brute force, not inconsistent with
+// anything.
+type BudgetError struct{ Budget int }
+
+func (e BudgetError) Error() string {
+	return fmt.Sprintf("oracle: sequence tree exceeds the %d-node budget", e.Budget)
+}
+
+// Oracle is the brute-force checker for one instance (D, Σ).
+type Oracle struct {
+	db     *rel.Database
+	sigma  *fd.Set
+	budget int
+	facts  []rel.Fact
+	// conflict[i] is the bitmask of facts j that jointly violate some
+	// FD with fact i (re-derived from the FD definition, see above).
+	conflict []uint64
+	// spaces caches the explored sequence tree per operation space
+	// (index 1 = singleton-only).
+	spaces [2]*space
+}
+
+// space aggregates the leaves of one operation space's sequence tree.
+type space struct {
+	// leaves maps each reachable result (consistent end state) to its
+	// accumulated sequence count (M^us numerator) and M^uo mass.
+	leaves map[uint64]*leaf
+	// order lists the result masks in ascending numeric order.
+	order []uint64
+	// totalSeqs is |CRS(D,Σ)| (resp. |CRS^1|).
+	totalSeqs *big.Int
+	nodes     int
+}
+
+type leaf struct {
+	seqs *big.Int
+	uo   *big.Rat
+}
+
+// New builds an oracle over (D, Σ) with the default node budget.
+func New(db *rel.Database, sigma *fd.Set) (*Oracle, error) {
+	return NewWithBudget(db, sigma, DefaultBudget)
+}
+
+// NewWithBudget builds an oracle with an explicit sequence-tree node
+// budget (per operation space).
+func NewWithBudget(db *rel.Database, sigma *fd.Set, budget int) (*Oracle, error) {
+	if db.Len() > MaxFacts {
+		return nil, fmt.Errorf("oracle: %d facts exceed the %d-fact brute-force bound", db.Len(), MaxFacts)
+	}
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	o := &Oracle{db: db, sigma: sigma, budget: budget, facts: db.Facts()}
+	o.conflict = make([]uint64, len(o.facts))
+	for i := 0; i < len(o.facts); i++ {
+		for j := i + 1; j < len(o.facts); j++ {
+			if o.inConflict(o.facts[i], o.facts[j]) {
+				o.conflict[i] |= 1 << uint(j)
+				o.conflict[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return o, nil
+}
+
+// inConflict re-implements "the pair {f, g} violates some φ ∈ Σ"
+// straight from Section 2's FD definition, independent of
+// fd.FD.ViolatedBy: f and g agree on every attribute of X and differ
+// on some attribute of Y.
+func (o *Oracle) inConflict(f, g rel.Fact) bool {
+	for _, phi := range o.sigma.FDs() {
+		if f.Rel != phi.Rel || g.Rel != phi.Rel {
+			continue
+		}
+		agree := true
+		for _, x := range phi.LHS {
+			if f.Arg(x) != g.Arg(x) {
+				agree = false
+				break
+			}
+		}
+		if !agree {
+			continue
+		}
+		for _, y := range phi.RHS {
+			if f.Arg(y) != g.Arg(y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// op is a justified operation: remove removes its set bits (one bit
+// for a singleton removal, two for a pair removal).
+type op struct{ remove uint64 }
+
+// justifiedOps lists the (s, Σ)-justified operations at the state:
+// every nonempty F ⊆ {f, g} for a surviving violation {f, g}
+// (Definition 3.3), singletons deduplicated across violations, pair
+// removals dropped when the operation space is restricted to
+// singletons. The order is deterministic (singletons by index, then
+// pairs lexicographically), though no oracle quantity depends on it.
+func (o *Oracle) justifiedOps(mask uint64, singleton bool) []op {
+	var singles uint64
+	var pairs []op
+	for i := 0; i < len(o.facts); i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		live := o.conflict[i] & mask
+		if live != 0 {
+			singles |= 1 << uint(i)
+		}
+		if singleton {
+			continue
+		}
+		for j := i + 1; j < len(o.facts); j++ {
+			if live&(1<<uint(j)) != 0 {
+				pairs = append(pairs, op{remove: 1<<uint(i) | 1<<uint(j)})
+			}
+		}
+	}
+	ops := make([]op, 0, len(pairs))
+	for i := 0; i < len(o.facts); i++ {
+		if singles&(1<<uint(i)) != 0 {
+			ops = append(ops, op{remove: 1 << uint(i)})
+		}
+	}
+	return append(ops, pairs...)
+}
+
+// explore walks the entire sequence tree of the operation space,
+// accumulating per-result sequence counts and M^uo path masses. The
+// result is cached: every mode of the space shares one walk.
+func (o *Oracle) explore(singleton bool) (*space, error) {
+	idx := 0
+	if singleton {
+		idx = 1
+	}
+	if sp := o.spaces[idx]; sp != nil {
+		return sp, nil
+	}
+	sp := &space{leaves: make(map[uint64]*leaf), totalSeqs: new(big.Int)}
+	full := uint64(0)
+	for i := 0; i < len(o.facts); i++ {
+		full |= 1 << uint(i)
+	}
+	var walk func(mask uint64, uoMass *big.Rat) error
+	walk = func(mask uint64, uoMass *big.Rat) error {
+		sp.nodes++
+		if sp.nodes > o.budget {
+			return BudgetError{Budget: o.budget}
+		}
+		ops := o.justifiedOps(mask, singleton)
+		if len(ops) == 0 {
+			// A state with no justified operation is consistent (any
+			// surviving violation would justify removals), so the
+			// sequence ending here is complete.
+			l := sp.leaves[mask]
+			if l == nil {
+				l = &leaf{seqs: new(big.Int), uo: new(big.Rat)}
+				sp.leaves[mask] = l
+			}
+			l.seqs.Add(l.seqs, bigOne)
+			l.uo.Add(l.uo, uoMass)
+			sp.totalSeqs.Add(sp.totalSeqs, bigOne)
+			return nil
+		}
+		share := new(big.Rat).Mul(uoMass, big.NewRat(1, int64(len(ops))))
+		for _, p := range ops {
+			if err := walk(mask&^p.remove, share); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(full, big.NewRat(1, 1)); err != nil {
+		return nil, err
+	}
+	sp.order = make([]uint64, 0, len(sp.leaves))
+	for m := range sp.leaves {
+		sp.order = append(sp.order, m)
+	}
+	sort.Slice(sp.order, func(a, b int) bool { return sp.order[a] < sp.order[b] })
+	o.spaces[idx] = sp
+	return sp, nil
+}
+
+var bigOne = big.NewInt(1)
+
+// Repair pairs a reachable repair with its exact probability under a
+// mode.
+type Repair struct {
+	// Set identifies the repair as a subset of D's fact indices.
+	Set rel.Subset
+	// Prob is the repair's probability in [[D]]_M.
+	Prob *big.Rat
+}
+
+// Repairs computes the operational semantics [[D]]_M — the exact
+// distribution over operational repairs — in ascending bitmask order.
+func (o *Oracle) Repairs(mode core.Mode) ([]Repair, error) {
+	sp, err := o.explore(mode.Singleton)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Repair, 0, len(sp.order))
+	for _, m := range sp.order {
+		out = append(out, Repair{Set: o.subset(m), Prob: sp.prob(mode.Gen, m)})
+	}
+	return out, nil
+}
+
+// prob derives one result's probability from the walk's aggregates.
+func (sp *space) prob(gen core.Generator, mask uint64) *big.Rat {
+	l := sp.leaves[mask]
+	switch gen {
+	case core.UniformRepairs:
+		// Uniform over the distinct reachable results (Definition A.1
+		// via Proposition A.2).
+		return big.NewRat(1, int64(len(sp.leaves)))
+	case core.UniformSequences:
+		// The fraction of complete sequences ending here
+		// (Definition A.3 via Proposition A.4).
+		return new(big.Rat).SetFrac(l.seqs, sp.totalSeqs)
+	case core.UniformOperations:
+		// The accumulated product of 1/|Ops| along every path ending
+		// here (Definition A.5).
+		return new(big.Rat).Set(l.uo)
+	default:
+		panic("oracle: unknown generator")
+	}
+}
+
+// subset converts a bitmask state to the engines' Subset currency.
+func (o *Oracle) subset(mask uint64) rel.Subset {
+	s := rel.NewSubset(len(o.facts))
+	for i := 0; i < len(o.facts); i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// Probability computes P_{M,Q}(D, c̄) exactly: the total probability
+// of repairs entailing c̄ ∈ Q(D').
+func (o *Oracle) Probability(mode core.Mode, q *cq.Query, c cq.Tuple) (*big.Rat, error) {
+	sp, err := o.explore(mode.Singleton)
+	if err != nil {
+		return nil, err
+	}
+	total := new(big.Rat)
+	for _, m := range sp.order {
+		if o.entails(q, c, m) {
+			total.Add(total, sp.prob(mode.Gen, m))
+		}
+	}
+	return total, nil
+}
+
+// Marginals computes P[f_i ∈ repair] exactly for every fact of D, in
+// database fact order.
+func (o *Oracle) Marginals(mode core.Mode) ([]*big.Rat, error) {
+	sp, err := o.explore(mode.Singleton)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*big.Rat, len(o.facts))
+	for i := range out {
+		out[i] = new(big.Rat)
+	}
+	for _, m := range sp.order {
+		p := sp.prob(mode.Gen, m)
+		for i := 0; i < len(o.facts); i++ {
+			if m&(1<<uint(i)) != 0 {
+				out[i].Add(out[i], p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Answer pairs an answer tuple with its exact probability.
+type Answer struct {
+	Tuple cq.Tuple
+	Prob  *big.Rat
+}
+
+// Answers computes the operational consistent answers to Q over D:
+// every tuple of Q(D) with its probability (tuples outside Q(D) have
+// probability 0 by CQ monotonicity and are omitted), sorted by tuple —
+// the same contract as the engines' ConsistentAnswers.
+func (o *Oracle) Answers(mode core.Mode, q *cq.Query) ([]Answer, error) {
+	tuples := o.answerTuples(q)
+	out := make([]Answer, 0, len(tuples))
+	for _, c := range tuples {
+		p, err := o.Probability(mode, q, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Answer{Tuple: c, Prob: p})
+	}
+	return out, nil
+}
+
+// CountSequences reports |CRS(D,Σ)| (or |CRS^1|), read off the walk.
+func (o *Oracle) CountSequences(singleton bool) (*big.Int, error) {
+	sp, err := o.explore(singleton)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Set(sp.totalSeqs), nil
+}
+
+// CountRepairs reports |CORep(D,Σ)| (or |CORep^1|): the number of
+// distinct reachable results.
+func (o *Oracle) CountRepairs(singleton bool) (*big.Int, error) {
+	sp, err := o.explore(singleton)
+	if err != nil {
+		return nil, err
+	}
+	return big.NewInt(int64(len(sp.leaves))), nil
+}
+
+// --- naive CQ evaluation ---------------------------------------------------
+
+// entails reports whether c̄ ∈ Q(D') for the sub-database identified
+// by the mask: an exhaustive backtracking search assigning atoms to
+// surviving facts in body order, with the answer variables pre-bound
+// to c̄. No join planning, no per-relation indexes — deliberately the
+// textbook definition.
+func (o *Oracle) entails(q *cq.Query, c cq.Tuple, mask uint64) bool {
+	if len(c) != len(q.AnswerVars) {
+		return false
+	}
+	bind := make(map[string]string, len(q.AnswerVars))
+	for i, v := range q.AnswerVars {
+		if prev, ok := bind[v]; ok {
+			if prev != c[i] {
+				return false
+			}
+			continue
+		}
+		bind[v] = c[i]
+	}
+	found := false
+	o.match(q, 0, mask, bind, func(map[string]string) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// answerTuples computes Q(D) over the full database, sorted by tuple
+// key, by enumerating every satisfying assignment.
+func (o *Oracle) answerTuples(q *cq.Query) []cq.Tuple {
+	full := uint64(0)
+	for i := 0; i < len(o.facts); i++ {
+		full |= 1 << uint(i)
+	}
+	seen := make(map[string]bool)
+	var out []cq.Tuple
+	o.match(q, 0, full, map[string]string{}, func(bind map[string]string) bool {
+		tup := make(cq.Tuple, len(q.AnswerVars))
+		for i, v := range q.AnswerVars {
+			tup[i] = bind[v]
+		}
+		if k := tup.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, tup)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// match extends the binding atom by atom over the facts present in the
+// mask, invoking yield for every complete assignment; yield returning
+// false stops the search. Returns false when stopped.
+func (o *Oracle) match(q *cq.Query, ai int, mask uint64, bind map[string]string, yield func(map[string]string) bool) bool {
+	if ai == len(q.Atoms) {
+		return yield(bind)
+	}
+	a := q.Atoms[ai]
+	for fi := 0; fi < len(o.facts); fi++ {
+		if mask&(1<<uint(fi)) == 0 {
+			continue
+		}
+		f := o.facts[fi]
+		if f.Rel != a.Rel || len(f.Args) != len(a.Terms) {
+			continue
+		}
+		var added []string
+		ok := true
+		for t, term := range a.Terms {
+			val := f.Arg(t)
+			if !term.IsVar {
+				if term.Value != val {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev, bound := bind[term.Value]; bound {
+				if prev != val {
+					ok = false
+					break
+				}
+				continue
+			}
+			bind[term.Value] = val
+			added = append(added, term.Value)
+		}
+		if ok && !o.match(q, ai+1, mask, bind, yield) {
+			for _, v := range added {
+				delete(bind, v)
+			}
+			return false
+		}
+		for _, v := range added {
+			delete(bind, v)
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+package oracle
+
+// Unit tests against hand-derived values only: the oracle is the
+// independent side of the differential harness, so its own tests must
+// not lean on the engines it exists to check.
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+func mustOracle(t *testing.T, facts []rel.Fact, fds func(*rel.Schema) *fd.Set, sch *rel.Schema) *Oracle {
+	t.Helper()
+	o, err := New(rel.NewDatabase(facts...), fds(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// triangle is one block of three facts pairwise violating the primary
+// key A1 → A2.
+func triangle(t *testing.T) *Oracle {
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	return mustOracle(t, []rel.Fact{
+		rel.NewFact("R", "k", "1"),
+		rel.NewFact("R", "k", "2"),
+		rel.NewFact("R", "k", "3"),
+	}, func(s *rel.Schema) *fd.Set { return fd.MustSet(s, fd.New("R", []int{0}, []int{1})) }, sch)
+}
+
+// path is the conflict path a—b—c under the general FDs A1 → A2 and
+// A3 → A2 (a,b share A1; b,c share A3; a,c share nothing).
+func path(t *testing.T) *Oracle {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	return mustOracle(t, []rel.Fact{
+		rel.NewFact("R", "x", "1", "s"),
+		rel.NewFact("R", "x", "2", "t"),
+		rel.NewFact("R", "z", "3", "t"),
+	}, func(s *rel.Schema) *fd.Set {
+		return fd.MustSet(s, fd.New("R", []int{0}, []int{1}), fd.New("R", []int{2}, []int{1}))
+	}, sch)
+}
+
+func ratEq(t *testing.T, got *big.Rat, num, den int64, what string) {
+	t.Helper()
+	if want := big.NewRat(num, den); got.Cmp(want) != 0 {
+		t.Errorf("%s = %s, want %s", what, got.RatString(), want.RatString())
+	}
+}
+
+func TestDistributionsSumToOne(t *testing.T) {
+	for name, o := range map[string]*Oracle{"triangle": triangle(t), "path": path(t)} {
+		for _, mode := range core.AllModes() {
+			reps, err := o.Repairs(mode)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, mode.Symbol(), err)
+			}
+			sum := new(big.Rat)
+			for _, rp := range reps {
+				sum.Add(sum, rp.Prob)
+			}
+			if sum.Cmp(big.NewRat(1, 1)) != 0 {
+				t.Errorf("%s %s: distribution sums to %s", name, mode.Symbol(), sum.RatString())
+			}
+		}
+	}
+}
+
+func TestTriangleByHand(t *testing.T) {
+	o := triangle(t)
+
+	// CORep of a 3-clique: the independent sets {}, {1}, {2}, {3}.
+	if n, _ := o.CountRepairs(false); n.Int64() != 4 {
+		t.Errorf("|CORep| = %v, want 4", n)
+	}
+	// CORep^1 drops the empty set.
+	if n, _ := o.CountRepairs(true); n.Int64() != 3 {
+		t.Errorf("|CORep^1| = %v, want 3", n)
+	}
+	// CRS: 3 pair removals reach a singleton directly; 3 first
+	// singleton removals each leave one conflict with 3 resolutions.
+	if n, _ := o.CountSequences(false); n.Int64() != 12 {
+		t.Errorf("|CRS| = %v, want 12", n)
+	}
+	if n, _ := o.CountSequences(true); n.Int64() != 6 {
+		t.Errorf("|CRS^1| = %v, want 6", n)
+	}
+
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Const("1")))
+	// Only the repair {R(k,1)} entails the query.
+	p, _ := o.Probability(core.Mode{Gen: core.UniformRepairs}, q, cq.Tuple{})
+	ratEq(t, p, 1, 4, "P_ur[triangle]")
+	p, _ = o.Probability(core.Mode{Gen: core.UniformSequences}, q, cq.Tuple{})
+	ratEq(t, p, 3, 12, "P_us[triangle]")
+	// M^uo: 1/6 via the pair removing the other two, plus 2 singleton
+	// paths of mass 1/18 each.
+	p, _ = o.Probability(core.Mode{Gen: core.UniformOperations}, q, cq.Tuple{})
+	ratEq(t, p, 5, 18, "P_uo[triangle]")
+	// Singleton spaces: the three surviving-singleton outcomes are
+	// symmetric in all three generators.
+	for _, mode := range []core.Mode{
+		{Gen: core.UniformRepairs, Singleton: true},
+		{Gen: core.UniformSequences, Singleton: true},
+		{Gen: core.UniformOperations, Singleton: true},
+	} {
+		p, _ = o.Probability(mode, q, cq.Tuple{})
+		ratEq(t, p, 1, 3, "P_"+mode.Symbol()+"[triangle]")
+	}
+
+	// The empty repair has M^uo mass 3·(1/6·1/3) = 1/6; each singleton
+	// 5/18.
+	reps, _ := o.Repairs(core.Mode{Gen: core.UniformOperations})
+	if len(reps) != 4 {
+		t.Fatalf("got %d repairs, want 4", len(reps))
+	}
+	ratEq(t, reps[0].Prob, 1, 6, "P_uo[∅]")
+	for _, rp := range reps[1:] {
+		ratEq(t, rp.Prob, 5, 18, "P_uo[singleton]")
+	}
+}
+
+func TestPathByHand(t *testing.T) {
+	o := path(t)
+	// Independent sets of a 3-path: {}, {a}, {b}, {c}, {a,c}.
+	if n, _ := o.CountRepairs(false); n.Int64() != 5 {
+		t.Errorf("|CORep| = %v, want 5", n)
+	}
+	// Only {b} ⊆ results entail A2 = 2.
+	q := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Const("2"), cq.Var("z")))
+	p, _ := o.Probability(core.Mode{Gen: core.UniformRepairs}, q, cq.Tuple{})
+	ratEq(t, p, 1, 5, "P_ur[path]")
+	// {a,c} is the unique maximum repair; the query A2 = 1 survives in
+	// {a} and {a,c}.
+	q1 := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Const("1"), cq.Var("z")))
+	p, _ = o.Probability(core.Mode{Gen: core.UniformRepairs}, q1, cq.Tuple{})
+	ratEq(t, p, 2, 5, "P_ur[path A2=1]")
+}
+
+func TestIntroExampleAnswersAndMarginals(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("Emp", 2))
+	o := mustOracle(t, []rel.Fact{
+		rel.NewFact("Emp", "1", "Alice"),
+		rel.NewFact("Emp", "1", "Tom"),
+		rel.NewFact("Emp", "2", "Bob"),
+	}, func(s *rel.Schema) *fd.Set { return fd.MustSet(s, fd.New("Emp", []int{0}, []int{1})) }, sch)
+
+	q := cq.MustNew([]string{"n"}, cq.NewAtom("Emp", cq.Var("i"), cq.Var("n")))
+	ans, err := o.Answers(core.Mode{Gen: core.UniformRepairs}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by tuple: Alice, Bob, Tom. The conflicted block has three
+	// equally likely outcomes; Bob is certain.
+	if len(ans) != 3 {
+		t.Fatalf("got %d answers, want 3", len(ans))
+	}
+	ratEq(t, ans[0].Prob, 1, 3, "P[Alice]")
+	ratEq(t, ans[1].Prob, 1, 1, "P[Bob]")
+	ratEq(t, ans[2].Prob, 1, 3, "P[Tom]")
+
+	// Singleton operations forbid the both-removed outcome.
+	ans, _ = o.Answers(core.Mode{Gen: core.UniformRepairs, Singleton: true}, q)
+	ratEq(t, ans[0].Prob, 1, 2, "P^1[Alice]")
+	ratEq(t, ans[2].Prob, 1, 2, "P^1[Tom]")
+
+	// Marginals in fact order (Emp(1,Alice), Emp(1,Tom), Emp(2,Bob)).
+	marg, _ := o.Marginals(core.Mode{Gen: core.UniformRepairs})
+	ratEq(t, marg[0], 1, 3, "marg[Alice]")
+	ratEq(t, marg[1], 1, 3, "marg[Tom]")
+	ratEq(t, marg[2], 1, 1, "marg[Bob]")
+}
+
+func TestConsistentDatabaseIsItsOwnRepair(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	o := mustOracle(t, []rel.Fact{
+		rel.NewFact("R", "a", "1"),
+		rel.NewFact("R", "b", "2"),
+	}, func(s *rel.Schema) *fd.Set { return fd.MustSet(s, fd.New("R", []int{0}, []int{1})) }, sch)
+	for _, mode := range core.AllModes() {
+		reps, err := o.Repairs(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reps) != 1 || reps[0].Set.Count() != 2 {
+			t.Fatalf("%s: consistent D should repair to itself, got %v", mode.Symbol(), reps)
+		}
+		ratEq(t, reps[0].Prob, 1, 1, "P[D]")
+	}
+}
+
+func TestNaiveEntailment(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2), rel.NewRelation("S", 2))
+	o := mustOracle(t, []rel.Fact{
+		rel.NewFact("R", "a", "b"),
+		rel.NewFact("R", "b", "c"),
+		rel.NewFact("S", "c", "d"),
+	}, func(s *rel.Schema) *fd.Set { return fd.MustSet(s, fd.New("R", []int{0}, []int{1})) }, sch)
+	full := uint64(1)<<3 - 1
+
+	// Join across atoms with a shared variable.
+	join := cq.MustNew([]string{"z"},
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("S", cq.Var("y"), cq.Var("z")))
+	if !o.entails(join, cq.Tuple{"d"}, full) {
+		t.Error("join query should entail (d)")
+	}
+	if o.entails(join, cq.Tuple{"a"}, full) {
+		t.Error("join query should not entail (a)")
+	}
+	// Repeated variable within an atom: R(x,x) has no match.
+	diag := cq.MustNew(nil, cq.NewAtom("R", cq.Var("x"), cq.Var("x")))
+	if o.entails(diag, cq.Tuple{}, full) {
+		t.Error("R(x,x) should not entail")
+	}
+	// Masking out the S fact kills the join.
+	if o.entails(join, cq.Tuple{"d"}, full&^(1<<uint(o.db.IndexOf(rel.NewFact("S", "c", "d"))))) {
+		t.Error("masked join should not entail")
+	}
+	// Arity mismatch between tuple and answer variables is probability
+	// zero, not an error.
+	if o.entails(join, cq.Tuple{"d", "d"}, full) {
+		t.Error("wrong-arity tuple should not entail")
+	}
+	// Answer tuples over the full database.
+	tuples := o.answerTuples(join)
+	if len(tuples) != 1 || tuples[0][0] != "d" {
+		t.Errorf("answerTuples = %v, want [(d)]", tuples)
+	}
+}
+
+func TestBudgetError(t *testing.T) {
+	sch := rel.MustSchema(rel.NewRelation("R", 2))
+	var facts []rel.Fact
+	for i := 0; i < 6; i++ {
+		facts = append(facts, rel.NewFact("R", "k", string(rune('a'+i))))
+	}
+	o, err := NewWithBudget(rel.NewDatabase(facts...), fd.MustSet(sch, fd.New("R", []int{0}, []int{1})), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Repairs(core.Mode{Gen: core.UniformRepairs}); err == nil {
+		t.Fatal("expected a budget error")
+	} else if _, ok := err.(BudgetError); !ok {
+		t.Fatalf("got %T, want BudgetError", err)
+	}
+}

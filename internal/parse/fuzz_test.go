@@ -1,0 +1,50 @@
+package parse
+
+// FuzzParseFactRoundTrip checks the lossless-format contract from both
+// directions on arbitrary input: whatever ParseFact accepts, FormatFact
+// must render back to an equal fact (Format∘Parse = id up to canonical
+// quoting, and Parse∘Format = id exactly), and the canonical rendering
+// must be a fixed point.
+
+import (
+	"testing"
+)
+
+func FuzzParseFactRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"R(a)",
+		"R(a,b,c)",
+		"Emp(1, Alice)",
+		"R('quoted constant')",
+		`R('with \' escape',x)`,
+		`R('back\\slash')`,
+		`R('comma,inside')`,
+		`R('paren)inside')`,
+		`R('#not a comment')`,
+		`R('line\nbreak','carriage\rreturn')`,
+		"R( spaced , args )",
+		"R('')",
+		"R(''( , )",
+		"R(a,b", // malformed: no closing paren
+		"(a,b)", // malformed: no relation name
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fact, err := ParseFact(s)
+		if err != nil {
+			return // rejected input: only the accepted language must round-trip
+		}
+		text := FormatFact(fact)
+		back, err := ParseFact(text)
+		if err != nil {
+			t.Fatalf("FormatFact(%q-parse) = %q does not re-parse: %v", s, text, err)
+		}
+		if !back.Equal(fact) {
+			t.Fatalf("round trip changed the fact: %q → %v → %q → %v", s, fact, text, back)
+		}
+		if again := FormatFact(back); again != text {
+			t.Fatalf("canonical rendering is not a fixed point: %q vs %q", text, again)
+		}
+	})
+}

@@ -187,11 +187,21 @@ func scanWAL(r io.Reader) (replayResult, error) {
 			res.torn, res.tornErr = true, fmt.Errorf("store: WAL record length %d exceeds sanity bound", length)
 			return res, nil
 		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			res.torn, res.tornErr = true, fmt.Errorf("store: torn WAL payload: %w", err)
-			return res, nil
+		// Stream the payload instead of trusting the header with one
+		// up-front allocation: a corrupt (or hostile) length field may
+		// claim up to the sanity bound, and allocating it before any
+		// byte is read lets a 16-byte torn tail demand a gigabyte of
+		// memory at boot. Growing through a buffer costs at most ~2× the
+		// bytes actually present in the file.
+		var payloadBuf bytes.Buffer
+		if _, err := io.CopyN(&payloadBuf, r, int64(length)); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.torn, res.tornErr = true, fmt.Errorf("store: torn WAL payload: %w", err)
+				return res, nil
+			}
+			return res, err
 		}
+		payload := payloadBuf.Bytes()
 		if crc32.ChecksumIEEE(payload) != sum {
 			res.torn, res.tornErr = true, fmt.Errorf("store: WAL record checksum mismatch at offset %d", res.goodLen)
 			return res, nil

@@ -1,0 +1,401 @@
+package workload
+
+// Seeded random scenario generation for the verification harness: the
+// fixtures in workload.go exercise the regimes the paper's theorems
+// name; RandomScenario fills the space between them with adversarial
+// instances — random schemas, random FD sets (keys and non-key FDs),
+// controllable conflict-graph shapes, random CQs with and without
+// answer variables — each tagged with its row of the approximability
+// matrix. Scenarios are sized for brute force: the oracle enumerates
+// their full sequence tree, so the generator keeps the conflict
+// structure tiny and retries until it fits the budget.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// Shape selects the conflict-graph shape the generator aims for.
+type Shape int
+
+const (
+	// ShapeRandom draws facts over small attribute domains and takes
+	// whatever conflict graph falls out.
+	ShapeRandom Shape = iota
+	// ShapeBlocks builds key-equal groups — cliques, the only shape a
+	// single key can produce.
+	ShapeBlocks
+	// ShapeChain builds a path: consecutive facts conflict through
+	// alternating FDs (general FDs only).
+	ShapeChain
+	// ShapeStar builds one center fact conflicting with every leaf,
+	// leaves pairwise compatible (general FDs only).
+	ShapeStar
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeRandom:
+		return "random"
+	case ShapeBlocks:
+		return "blocks"
+	case ShapeChain:
+		return "chain"
+	case ShapeStar:
+		return "star"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Shapes lists the shapes compatible with a constraint class: a single
+// key per relation can only produce disjoint cliques, so chains and
+// stars require general FDs.
+func Shapes(class fd.Class) []Shape {
+	if class == fd.GeneralFDs {
+		return []Shape{ShapeRandom, ShapeBlocks, ShapeChain, ShapeStar}
+	}
+	return []Shape{ShapeRandom, ShapeBlocks}
+}
+
+// ScenarioSpec controls RandomScenario. The zero value is valid: a
+// random-shape primary-key scenario with a Boolean query.
+type ScenarioSpec struct {
+	// Class is the target constraint class; the generator guarantees
+	// the emitted Σ classifies exactly there.
+	Class fd.Class
+	// Shape is the conflict-graph shape to aim for.
+	Shape Shape
+	// MaxFacts caps the database size (default 8).
+	MaxFacts int
+	// Domain is the per-attribute constant-domain size (default 3);
+	// smaller domains mean denser conflicts.
+	Domain int
+	// AnswerVars asks for a query with answer variables (an answers
+	// workload); otherwise the query is Boolean.
+	AnswerVars bool
+	// MaxAtoms caps the query body (default 2).
+	MaxAtoms int
+}
+
+func (s *ScenarioSpec) fill() {
+	if s.MaxFacts <= 0 {
+		s.MaxFacts = 8
+	}
+	if s.Domain <= 0 {
+		s.Domain = 3
+	}
+	if s.MaxAtoms <= 0 {
+		s.MaxAtoms = 2
+	}
+}
+
+// Brute-force feasibility bounds: a scenario is accepted only when at
+// most this many facts sit in conflicts, with at most this many
+// conflict-graph edges — the regime where the oracle's exhaustive
+// sequence-tree walk stays cheap.
+const (
+	maxConflictFacts = 7
+	maxConflictEdges = 8
+)
+
+// MatrixCell is one row of the paper's approximability matrix: the
+// verdict for every operational mode at a constraint class. Scenarios
+// carry their cell so harnesses can bucket coverage by what the paper
+// claims about each instance.
+type MatrixCell struct {
+	Class fd.Class
+	// Status[i] is the verdict for core.AllModes()[i].
+	Status [6]core.ApproxStatus
+}
+
+// CellFor reads the matrix row of a constraint class.
+func CellFor(class fd.Class) MatrixCell {
+	c := MatrixCell{Class: class}
+	for i, m := range core.AllModes() {
+		c.Status[i], _ = core.Approximability(m, class)
+	}
+	return c
+}
+
+// String renders the cell compactly, e.g.
+// "FDs[M^ur:none M^ur,1:none M^us:open M^us,1:open M^uo:heuristic M^uo,1:fpras]".
+func (c MatrixCell) String() string {
+	parts := make([]string, 0, 6)
+	for i, m := range core.AllModes() {
+		parts = append(parts, m.Symbol()+":"+c.Status[i].Tag())
+	}
+	return c.Class.String() + "[" + strings.Join(parts, " ") + "]"
+}
+
+// Scenario is a generated instance tagged with its generation spec and
+// approximability-matrix cell.
+type Scenario struct {
+	Instance
+	Spec ScenarioSpec
+	Cell MatrixCell
+}
+
+// RandomScenario draws a scenario from the spec. Generation is
+// deterministic in the rng state, rejection-sampled until the emitted
+// Σ classifies exactly at spec.Class and the conflict structure fits
+// the brute-force bounds.
+func RandomScenario(rng *rand.Rand, spec ScenarioSpec) Scenario {
+	spec.fill()
+	for {
+		sch, sigma, db := randomInstance(rng, spec)
+		if sigma.Classify() != spec.Class {
+			continue
+		}
+		pairs := sigma.ConflictPairs(db)
+		if len(pairs) > maxConflictEdges {
+			continue
+		}
+		inConflict := map[int]bool{}
+		for _, p := range pairs {
+			inConflict[p[0]] = true
+			inConflict[p[1]] = true
+		}
+		if len(inConflict) > maxConflictFacts {
+			continue
+		}
+		q := randomQuery(rng, db, sch, spec)
+		return Scenario{
+			Instance: Instance{Schema: sch, Sigma: sigma, DB: db, Query: q},
+			Spec:     spec,
+			Cell:     CellFor(spec.Class),
+		}
+	}
+}
+
+// randomInstance draws one (schema, Σ, D) attempt for the spec.
+func randomInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	switch spec.Class {
+	case fd.PrimaryKeys:
+		return primaryKeyInstance(rng, spec)
+	case fd.Keys:
+		return multiKeyInstance(rng, spec)
+	default:
+		switch spec.Shape {
+		case ShapeChain:
+			return chainInstance(rng, spec)
+		case ShapeStar:
+			return starInstance(rng, spec)
+		default:
+			return generalFDInstance(rng, spec)
+		}
+	}
+}
+
+func val(rng *rand.Rand, domain int) string { return fmt.Sprintf("c%d", rng.Intn(domain)) }
+
+// primaryKeyInstance builds 1–2 relations, each with at most one key,
+// and block-structured facts (under a single key every conflict
+// component is a clique, whatever the shape asks for).
+func primaryKeyInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	arity := 2 + rng.Intn(2)
+	rels := []rel.Relation{rel.NewRelation("R", arity)}
+	var fds []fd.FD
+	keyWidth := 1
+	if arity == 3 && rng.Intn(3) == 0 {
+		keyWidth = 2
+	}
+	lhs := make([]int, keyWidth)
+	for i := range lhs {
+		lhs[i] = i
+	}
+	var rhs []int
+	for i := keyWidth; i < arity; i++ {
+		rhs = append(rhs, i)
+	}
+	fds = append(fds, fd.New("R", lhs, rhs))
+
+	var facts []rel.Fact
+	budget := spec.MaxFacts
+	// A keyless second relation feeds join queries without adding
+	// conflicts.
+	if rng.Intn(2) == 0 && budget > 3 {
+		rels = append(rels, rel.NewRelation("S", 2))
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			facts = append(facts, rel.NewFact("S", val(rng, spec.Domain), val(rng, spec.Domain)))
+		}
+		budget -= n
+	}
+	blocks := 1 + rng.Intn(3)
+	for b := 0; b < blocks && budget > 0; b++ {
+		size := 1 + rng.Intn(3)
+		if size > budget {
+			size = budget
+		}
+		budget -= size
+		for j := 0; j < size; j++ {
+			args := make([]string, arity)
+			for k := 0; k < keyWidth; k++ {
+				args[k] = fmt.Sprintf("k%d_%d", b, k)
+			}
+			for k := keyWidth; k < arity; k++ {
+				args[k] = val(rng, spec.Domain)
+			}
+			facts = append(facts, rel.NewFact("R", args...))
+		}
+	}
+	sch := rel.MustSchema(rels...)
+	return sch, fd.MustSet(sch, fds...), rel.NewDatabase(facts...)
+}
+
+// multiKeyInstance builds one relation with two keys (Theorem 7.1's
+// regime): A1 → A2A3 and A2 → A1A3, facts over small domains so both
+// keys bite.
+func multiKeyInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch,
+		fd.New("R", []int{0}, []int{1, 2}),
+		fd.New("R", []int{1}, []int{0, 2}),
+	)
+	n := 2 + rng.Intn(spec.MaxFacts-1)
+	var facts []rel.Fact
+	for i := 0; i < n; i++ {
+		facts = append(facts, rel.NewFact("R",
+			fmt.Sprintf("a%d", rng.Intn(spec.Domain)),
+			fmt.Sprintf("b%d", rng.Intn(spec.Domain)),
+			val(rng, spec.Domain)))
+	}
+	return sch, sigma, rel.NewDatabase(facts...)
+}
+
+// generalFDInstance builds one relation with 1–2 non-key FDs and
+// random facts — the uncontrolled general-FD regime.
+func generalFDInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	fds := []fd.FD{fd.New("R", []int{0}, []int{1})}
+	if rng.Intn(2) == 0 {
+		fds = append(fds, fd.New("R", []int{2}, []int{1}))
+	}
+	sigma := fd.MustSet(sch, fds...)
+	n := 2 + rng.Intn(spec.MaxFacts-1)
+	var facts []rel.Fact
+	for i := 0; i < n; i++ {
+		facts = append(facts, rel.NewFact("R",
+			fmt.Sprintf("a%d", rng.Intn(spec.Domain)),
+			val(rng, spec.Domain),
+			fmt.Sprintf("e%d", rng.Intn(spec.Domain))))
+	}
+	return sch, sigma, rel.NewDatabase(facts...)
+}
+
+// chainInstance builds an exact conflict path f_0 — f_1 — … — f_L
+// under the FDs A1 → A2 and A3 → A2: consecutive facts share A1 (even
+// links) or A3 (odd links) while all A2 values are distinct, and the
+// non-shared attributes are unique so no other edges appear.
+func chainInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}), fd.New("R", []int{2}, []int{1}))
+	n := 3 + rng.Intn(3)
+	if n > spec.MaxFacts {
+		n = spec.MaxFacts
+	}
+	a := make([]string, n)
+	c := make([]string, n)
+	for i := 0; i < n; i++ {
+		a[i] = fmt.Sprintf("a%d", i)
+		c[i] = fmt.Sprintf("e%d", i)
+	}
+	for i := 0; i+1 < n; i++ {
+		if i%2 == 0 {
+			a[i+1] = a[i] // share A1: conflict via A1 → A2
+		} else {
+			c[i+1] = c[i] // share A3: conflict via A3 → A2
+		}
+	}
+	facts := make([]rel.Fact, n)
+	for i := 0; i < n; i++ {
+		facts[i] = rel.NewFact("R", a[i], fmt.Sprintf("v%d", i), c[i])
+	}
+	return sch, sigma, rel.NewDatabase(facts...)
+}
+
+// starInstance builds a star under the single non-key FD A1 → A2: the
+// center shares A1 with every leaf and disagrees on A2, while the
+// leaves all carry the same A2 value (pairwise compatible), kept
+// distinct by A3.
+func starInstance(rng *rand.Rand, spec ScenarioSpec) (*rel.Schema, *fd.Set, *rel.Database) {
+	sch := rel.MustSchema(rel.NewRelation("R", 3))
+	sigma := fd.MustSet(sch, fd.New("R", []int{0}, []int{1}))
+	leaves := 2 + rng.Intn(3)
+	if leaves+1 > spec.MaxFacts {
+		leaves = spec.MaxFacts - 1
+	}
+	facts := []rel.Fact{rel.NewFact("R", "hub", "center", "e0")}
+	for i := 0; i < leaves; i++ {
+		facts = append(facts, rel.NewFact("R", "hub", "leaf", fmt.Sprintf("l%d", i)))
+	}
+	return sch, sigma, rel.NewDatabase(facts...)
+}
+
+// randomQuery draws a conjunctive query over the schema: 1–MaxAtoms
+// atoms, each position independently a constant sampled from the
+// column's actual values (so queries are satisfiable often enough to
+// be interesting), a reused variable (joins), or a fresh variable.
+// With spec.AnswerVars, 1–2 of the body variables become answer
+// variables.
+func randomQuery(rng *rand.Rand, db *rel.Database, sch *rel.Schema, spec ScenarioSpec) *cq.Query {
+	rels := sch.Relations()
+	varNames := []string{"x", "y", "z", "u", "v", "w"}
+	nAtoms := 1 + rng.Intn(spec.MaxAtoms)
+	var used []string
+	var atoms []cq.Atom
+	for i := 0; i < nAtoms; i++ {
+		r := rels[rng.Intn(len(rels))]
+		terms := make([]cq.Term, r.Arity())
+		for pos := range terms {
+			switch roll := rng.Intn(10); {
+			case roll < 4:
+				terms[pos] = cq.Const(columnValue(rng, db, r.Name, pos, spec))
+			case roll < 7 && len(used) > 0:
+				terms[pos] = cq.Var(used[rng.Intn(len(used))])
+			default:
+				v := varNames[len(used)%len(varNames)]
+				if len(used) >= len(varNames) {
+					v = fmt.Sprintf("%s%d", v, len(used)/len(varNames))
+				}
+				used = append(used, v)
+				terms[pos] = cq.Var(v)
+			}
+		}
+		atoms = append(atoms, cq.NewAtom(r.Name, terms...))
+	}
+	var answerVars []string
+	if spec.AnswerVars && len(used) > 0 {
+		n := 1 + rng.Intn(2)
+		if n > len(used) {
+			n = len(used)
+		}
+		seen := map[string]bool{}
+		for len(answerVars) < n {
+			v := used[rng.Intn(len(used))]
+			if !seen[v] {
+				seen[v] = true
+				answerVars = append(answerVars, v)
+			}
+		}
+	}
+	return cq.MustNew(answerVars, atoms...)
+}
+
+// columnValue samples a constant that actually occurs in the column
+// (or a domain value when the relation has no facts).
+func columnValue(rng *rand.Rand, db *rel.Database, relName string, pos int, spec ScenarioSpec) string {
+	facts := db.FactsOf(relName)
+	if len(facts) == 0 {
+		return val(rng, spec.Domain)
+	}
+	return facts[rng.Intn(len(facts))].Arg(pos)
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/parse"
+)
+
+func specsUnderTest() []ScenarioSpec {
+	var specs []ScenarioSpec
+	for _, class := range []fd.Class{fd.PrimaryKeys, fd.Keys, fd.GeneralFDs} {
+		for _, shape := range Shapes(class) {
+			for _, av := range []bool{false, true} {
+				specs = append(specs, ScenarioSpec{Class: class, Shape: shape, AnswerVars: av})
+			}
+		}
+	}
+	return specs
+}
+
+func TestRandomScenarioInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, spec := range specsUnderTest() {
+		for i := 0; i < 25; i++ {
+			sc := RandomScenario(rng, spec)
+			if got := sc.Sigma.Classify(); got != spec.Class {
+				t.Fatalf("%v/%v: classified %v, want %v", spec.Class, spec.Shape, got, spec.Class)
+			}
+			if sc.DB.Len() == 0 || sc.DB.Len() > 8 {
+				t.Fatalf("%v/%v: %d facts outside (0, 8]", spec.Class, spec.Shape, sc.DB.Len())
+			}
+			pairs := sc.Sigma.ConflictPairs(sc.DB)
+			if len(pairs) > maxConflictEdges {
+				t.Fatalf("%v/%v: %d conflict edges exceed the brute-force bound", spec.Class, spec.Shape, len(pairs))
+			}
+			if err := sc.Query.Validate(sc.Schema); err != nil {
+				t.Fatalf("%v/%v: invalid query %v: %v", spec.Class, spec.Shape, sc.Query, err)
+			}
+			if spec.AnswerVars != (len(sc.Query.AnswerVars) > 0) {
+				// AnswerVars is best-effort only when the random body
+				// happens to be variable-free; that needs every position
+				// of every atom to roll a constant.
+				if spec.AnswerVars && len(sc.Query.Variables()) > 0 {
+					t.Fatalf("%v/%v: wanted answer variables, query %v has none", spec.Class, spec.Shape, sc.Query)
+				}
+			}
+			if sc.Cell != CellFor(spec.Class) {
+				t.Fatalf("%v/%v: cell %v does not match class", spec.Class, spec.Shape, sc.Cell)
+			}
+		}
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	spec := ScenarioSpec{Class: fd.GeneralFDs, Shape: ShapeRandom, AnswerVars: true}
+	a := RandomScenario(rand.New(rand.NewSource(99)), spec)
+	b := RandomScenario(rand.New(rand.NewSource(99)), spec)
+	if parse.FormatDatabase(a.DB) != parse.FormatDatabase(b.DB) {
+		t.Error("same seed produced different databases")
+	}
+	if a.Sigma.String() != b.Sigma.String() {
+		t.Error("same seed produced different FD sets")
+	}
+	if a.Query.String() != b.Query.String() {
+		t.Error("same seed produced different queries")
+	}
+}
+
+func TestShapesProduceTheirGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// A chain scenario's conflict graph is a path: every fact has
+	// degree ≤ 2 and #edges = #conflicting facts − 1.
+	for i := 0; i < 20; i++ {
+		sc := RandomScenario(rng, ScenarioSpec{Class: fd.GeneralFDs, Shape: ShapeChain})
+		pairs := sc.Sigma.ConflictPairs(sc.DB)
+		deg := map[int]int{}
+		for _, p := range pairs {
+			deg[p[0]]++
+			deg[p[1]]++
+		}
+		for f, d := range deg {
+			if d > 2 {
+				t.Fatalf("chain: fact %d has degree %d: %v", f, d, pairs)
+			}
+		}
+		if len(pairs) != len(deg)-1 {
+			t.Fatalf("chain: %d edges over %d conflicting facts is not a path", len(pairs), len(deg))
+		}
+	}
+	// A star scenario has one center of degree #edges and leaves of
+	// degree 1.
+	for i := 0; i < 20; i++ {
+		sc := RandomScenario(rng, ScenarioSpec{Class: fd.GeneralFDs, Shape: ShapeStar})
+		pairs := sc.Sigma.ConflictPairs(sc.DB)
+		deg := map[int]int{}
+		for _, p := range pairs {
+			deg[p[0]]++
+			deg[p[1]]++
+		}
+		centers, leaves := 0, 0
+		for _, d := range deg {
+			switch d {
+			case len(pairs):
+				centers++
+			case 1:
+				leaves++
+			default:
+				t.Fatalf("star: unexpected degree %d: %v", d, pairs)
+			}
+		}
+		// A 1-edge star degenerates to a single edge (two "centers").
+		if len(pairs) > 1 && (centers != 1 || leaves != len(pairs)) {
+			t.Fatalf("star: got %d centers, %d leaves for %d edges", centers, leaves, len(pairs))
+		}
+	}
+}
+
+func TestMatrixCellTags(t *testing.T) {
+	pk := CellFor(fd.PrimaryKeys)
+	for i := range pk.Status {
+		if pk.Status[i] != core.StatusFPRAS {
+			t.Errorf("primary keys should be FPRAS everywhere, mode %d is %v",
+				i, pk.Status[i])
+		}
+	}
+	fds := CellFor(fd.GeneralFDs)
+	modes := core.AllModes()
+	for i, m := range modes {
+		want, _ := core.Approximability(m, fd.GeneralFDs)
+		if fds.Status[i] != want {
+			t.Errorf("%s: cell says %v, matrix says %v", m.Symbol(), fds.Status[i], want)
+		}
+	}
+	// The rendering distinguishes the classes.
+	if CellFor(fd.PrimaryKeys).String() == CellFor(fd.Keys).String() {
+		t.Error("primary-key and key cells render identically")
+	}
+}

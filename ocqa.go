@@ -291,79 +291,32 @@ func (in *Instance) BuildChain(singleton bool, maxNodes int) (*Chain, error) {
 // --- Approximation (the paper's positive results) -------------------------
 
 // ApproxStatus describes what the paper proves about approximating
-// OCQA for a (mode, constraint class) pair.
-type ApproxStatus int
+// OCQA for a (mode, constraint class) pair. The matrix itself lives in
+// internal/core (one table shared by the facade, the server's refusals
+// and the workload generator's scenario tags); the facade re-exports
+// it unchanged.
+type ApproxStatus = core.ApproxStatus
 
 const (
 	// StatusFPRAS: an FPRAS exists and this library implements it.
-	StatusFPRAS ApproxStatus = iota
+	StatusFPRAS = core.StatusFPRAS
 	// StatusHeuristic: an efficient sampler exists but no polynomial
 	// lower bound on positive probabilities, so Monte Carlo estimates
 	// carry no multiplicative guarantee (e.g. M^uo with FDs,
 	// Proposition D.6). Allowed only with Force.
-	StatusHeuristic
+	StatusHeuristic = core.StatusHeuristic
 	// StatusOpen: approximability is open and no efficient sampler is
 	// known (e.g. M^us beyond primary keys); refused.
-	StatusOpen
+	StatusOpen = core.StatusOpen
 	// StatusNoFPRAS: the paper refutes an FPRAS under RP ≠ NP (e.g.
 	// M^ur with FDs, Theorem 5.1(3)); refused.
-	StatusNoFPRAS
+	StatusNoFPRAS = core.StatusNoFPRAS
 )
-
-// String names the status.
-func (s ApproxStatus) String() string {
-	switch s {
-	case StatusFPRAS:
-		return "FPRAS"
-	case StatusHeuristic:
-		return "heuristic (sampler without guarantee)"
-	case StatusOpen:
-		return "open"
-	default:
-		return "no FPRAS (unless RP = NP)"
-	}
-}
 
 // Approximability returns the paper's verdict for the pair, with the
 // citation it rests on.
 func Approximability(mode Mode, class ConstraintClass) (ApproxStatus, string) {
-	switch mode.Gen {
-	case UniformRepairs:
-		switch class {
-		case fd.PrimaryKeys:
-			if mode.Singleton {
-				return StatusFPRAS, "Theorem E.1(2)"
-			}
-			return StatusFPRAS, "Theorem 5.1(2)"
-		case fd.Keys:
-			return StatusOpen, "open (counting repairs has no FPRAS: Proposition 5.5)"
-		default:
-			if mode.Singleton {
-				return StatusNoFPRAS, "Theorem E.1(3)"
-			}
-			return StatusNoFPRAS, "Theorem 5.1(3)"
-		}
-	case UniformSequences:
-		if class == fd.PrimaryKeys {
-			if mode.Singleton {
-				return StatusFPRAS, "Theorem E.8(2)"
-			}
-			return StatusFPRAS, "Theorem 6.1(2)"
-		}
-		return StatusOpen, "open; conjectured no FPRAS (Section 6)"
-	case UniformOperations:
-		switch class {
-		case fd.PrimaryKeys, fd.Keys:
-			return StatusFPRAS, "Theorem 7.1(2)"
-		default:
-			if mode.Singleton {
-				return StatusFPRAS, "Theorem 7.5"
-			}
-			return StatusHeuristic, "open; Monte Carlo fails (Proposition D.6)"
-		}
-	default:
-		panic("ocqa: unknown generator")
-	}
+	return core.Approximability(mode, class)
 }
 
 // Default Monte-Carlo draw budgets. They live here — and only here —
