@@ -20,19 +20,15 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	ocqa "repro"
 	"repro/internal/engine"
 )
 
 type answersBenchFile struct {
-	Suite      string `json:"suite"`
-	Timestamp  string `json:"timestamp"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Suite string `json:"suite"`
+	benchStamp
 	// Facts/Tuples describe the bench instance: Tuples is K, the
 	// number of candidate answer tuples sharing the pass.
 	Facts   int     `json:"facts"`
@@ -46,6 +42,9 @@ type answersBenchFile struct {
 	BaselineDraws int64   `json:"baseline_draws"`
 	SharedDraws   int64   `json:"shared_draws"`
 	DrawReduction float64 `json:"draw_reduction"`
+	// PerWorkerDraws8W is the shared pass's per-worker draw split at 8
+	// workers, from the engine's own accounting.
+	PerWorkerDraws8W []int64 `json:"per_worker_draws_8w"`
 	// Deterministic reports that two runs with identical seed and
 	// worker count produced bitwise-identical estimates, serially and
 	// at 8 workers.
@@ -157,12 +156,16 @@ func runAnswersBenchmarks(outPath string) error {
 	// Bitwise determinism for fixed (seed, workers), serial and at 8
 	// workers.
 	deterministic := true
+	var split8 []int64
 	for _, workers := range []int{1, 8} {
 		o := opts
 		o.Workers = workers
-		r1, err := p.ApproximateAnswers(ctx, mode, q, o)
+		r1, acct, err := p.ApproximateAnswersAcct(ctx, mode, q, o)
 		if err != nil {
 			return err
+		}
+		if workers == 8 {
+			split8 = acct.PerWorker
 		}
 		r2, err := p.ApproximateAnswers(ctx, mode, q, o)
 		if err != nil {
@@ -205,17 +208,16 @@ func runAnswersBenchmarks(outPath string) error {
 	})
 
 	out := answersBenchFile{
-		Suite:         "answers",
-		Timestamp:     time.Now().UTC().Format(time.RFC3339),
-		NumCPU:        runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Facts:         inst.DB().Len(),
-		Tuples:        tuples,
-		Epsilon:       eps,
-		Delta:         delta,
-		BaselineDraws: baselineDraws,
-		SharedDraws:   sharedDraws,
-		Deterministic: deterministic,
+		Suite:            "answers",
+		benchStamp:       newBenchStamp(),
+		Facts:            inst.DB().Len(),
+		Tuples:           tuples,
+		Epsilon:          eps,
+		Delta:            delta,
+		BaselineDraws:    baselineDraws,
+		SharedDraws:      sharedDraws,
+		PerWorkerDraws8W: split8,
+		Deterministic:    deterministic,
 		Results: []benchResult{
 			toResult("AnswersPerTupleBaseline", baseBench),
 			toResult("AnswersShared1Worker", shared1),

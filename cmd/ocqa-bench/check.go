@@ -1,0 +1,204 @@
+package main
+
+// The -check mode: the bench regression gate. Given a baseline
+// BENCH_*.json, it reruns the suite the baseline names and compares
+// result-for-result, failing (non-zero exit) when any benchmark's
+// ns_per_op grew — or its draws/sec shrank — by more than 15%. The
+// companion -check-selftest mode proves the gate itself works without
+// rerunning any benchmark: the baseline must pass against itself and
+// must FAIL against a synthetically 20%-slower copy, so CI notices if
+// the comparison logic ever stops going red.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// regressionTolerance is the fractional slowdown allowed before the
+// gate fails: 15%, wide enough to absorb shared-runner timing noise,
+// narrow enough to catch a real regression (the selftest perturbs by
+// 20%, safely outside it).
+const regressionTolerance = 0.15
+
+// genericBenchFile is the suite-agnostic view of a trajectory file:
+// the fields the gate compares, whichever suite wrote them. Draw
+// counts are per benchmark op — Draws for every engine-suite result,
+// BaselineDraws/SharedDraws for the answers-suite results they
+// describe — and zero means "this result performs no draws", which
+// skips the draws/sec check.
+type genericBenchFile struct {
+	Suite         string        `json:"suite"`
+	GitCommit     string        `json:"git_commit"`
+	NumCPU        int           `json:"num_cpu"`
+	Draws         int64         `json:"draws"`
+	BaselineDraws int64         `json:"baseline_draws"`
+	SharedDraws   int64         `json:"shared_draws"`
+	Results       []benchResult `json:"results"`
+}
+
+func readBenchFile(path string) (genericBenchFile, error) {
+	var f genericBenchFile
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Suite == "" {
+		return f, fmt.Errorf("%s: no \"suite\" field — not a BENCH_*.json trajectory file", path)
+	}
+	if len(f.Results) == 0 {
+		return f, fmt.Errorf("%s: no results", path)
+	}
+	return f, nil
+}
+
+// drawsPerOp returns the Monte-Carlo draws one op of the named
+// benchmark performs, or 0 when the benchmark draws nothing (store
+// suite, or an unknown name).
+func (f genericBenchFile) drawsPerOp(name string) int64 {
+	switch f.Suite {
+	case "engine":
+		return f.Draws
+	case "answers":
+		switch name {
+		case "AnswersPerTupleBaseline":
+			return f.BaselineDraws
+		default:
+			return f.SharedDraws
+		}
+	}
+	return 0
+}
+
+// compareBench returns one violation line per benchmark of baseline
+// that regressed in current by more than tol: ns_per_op up, or
+// draws/sec down (where the suite defines a draw count). A benchmark
+// present in the baseline but missing from current is a violation too
+// — silently dropping a slow benchmark must not turn the gate green.
+func compareBench(baseline, current genericBenchFile, tol float64) []string {
+	var violations []string
+	if baseline.Suite != current.Suite {
+		return []string{fmt.Sprintf("suite mismatch: baseline %q vs current %q", baseline.Suite, current.Suite)}
+	}
+	cur := make(map[string]benchResult, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline, missing from current run", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ns_per_op regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
+				b.Name, 100*(c.NsPerOp/b.NsPerOp-1), b.NsPerOp, c.NsPerOp, 100*tol))
+		}
+		bd, cd := baseline.drawsPerOp(b.Name), current.drawsPerOp(c.Name)
+		if bd > 0 && cd > 0 && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			baseDPS := float64(bd) / (b.NsPerOp / 1e9)
+			curDPS := float64(cd) / (c.NsPerOp / 1e9)
+			if curDPS < baseDPS*(1-tol) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: draws/sec regressed %.1f%% (baseline %.0f, current %.0f, tolerance %.0f%%)",
+					b.Name, 100*(1-curDPS/baseDPS), baseDPS, curDPS, 100*tol))
+			}
+		}
+	}
+	return violations
+}
+
+// rerunSuite reruns the suite named by the baseline, writing its
+// trajectory file into a temp directory, and returns the parsed file.
+func rerunSuite(suite string) (genericBenchFile, error) {
+	var f genericBenchFile
+	dir, err := os.MkdirTemp("", "ocqa-bench-check")
+	if err != nil {
+		return f, err
+	}
+	defer os.RemoveAll(dir)
+	out := filepath.Join(dir, "BENCH_"+suite+".json")
+	switch suite {
+	case "store":
+		err = runStoreBenchmarks(out)
+	case "engine":
+		err = runEngineBenchmarks(out)
+	case "answers":
+		err = runAnswersBenchmarks(out)
+	default:
+		return f, fmt.Errorf("unknown suite %q (want store, engine or answers)", suite)
+	}
+	if err != nil {
+		return f, err
+	}
+	return readBenchFile(out)
+}
+
+// runCheck is the -check entry point: rerun the baseline's suite and
+// fail on regression.
+func runCheck(baselinePath string) error {
+	baseline, err := readBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("regression gate: baseline %s (suite %s, commit %s, %d CPU), tolerance %.0f%%\n",
+		baselinePath, baseline.Suite, orUnknown(baseline.GitCommit), baseline.NumCPU, 100*regressionTolerance)
+	current, err := rerunSuite(baseline.Suite)
+	if err != nil {
+		return err
+	}
+	if baseline.NumCPU != 0 && baseline.NumCPU != current.NumCPU {
+		fmt.Printf("note: baseline ran on %d CPU(s), this host has %d — parallel numbers may shift for host reasons\n",
+			baseline.NumCPU, current.NumCPU)
+	}
+	if v := compareBench(baseline, current, regressionTolerance); len(v) > 0 {
+		for _, line := range v {
+			fmt.Fprintln(os.Stderr, "regression:", line)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(v), 100*regressionTolerance)
+	}
+	fmt.Printf("regression gate passed: %d benchmark(s) within %.0f%% of baseline\n",
+		len(baseline.Results), 100*regressionTolerance)
+	return nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
+}
+
+// runCheckSelftest proves the gate discriminates, with no timing
+// reruns: the file must pass against itself, and a copy with every
+// ns_per_op inflated 20% (which also drops draws/sec ~17%) must fail.
+func runCheckSelftest(path string) error {
+	baseline, err := readBenchFile(path)
+	if err != nil {
+		return err
+	}
+	if v := compareBench(baseline, baseline, regressionTolerance); len(v) > 0 {
+		for _, line := range v {
+			fmt.Fprintln(os.Stderr, "selftest:", line)
+		}
+		return fmt.Errorf("gate selftest failed: file does not pass against itself")
+	}
+	perturbed := baseline
+	perturbed.Results = make([]benchResult, len(baseline.Results))
+	for i, r := range baseline.Results {
+		r.NsPerOp *= 1.20
+		perturbed.Results[i] = r
+	}
+	v := compareBench(baseline, perturbed, regressionTolerance)
+	if len(v) == 0 {
+		return fmt.Errorf("gate selftest failed: synthetic 20%% slowdown not flagged")
+	}
+	fmt.Printf("gate selftest passed: identical file clean, synthetic 20%% slowdown flagged %d violation(s), e.g.:\n  %s\n",
+		len(v), v[0])
+	return nil
+}

@@ -24,9 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	ocqa "repro"
 	"repro/internal/core"
@@ -34,17 +32,21 @@ import (
 )
 
 type engineBenchFile struct {
-	Suite      string `json:"suite"`
-	Timestamp  string `json:"timestamp"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Suite string `json:"suite"`
+	benchStamp
 	// Facts/Blocks/BlockSize describe the bench instance; Draws is the
 	// per-run sample budget.
-	Facts     int           `json:"facts"`
-	Blocks    int           `json:"blocks"`
-	BlockSize int           `json:"block_size"`
-	Draws     int           `json:"draws"`
-	Results   []benchResult `json:"results"`
+	Facts     int `json:"facts"`
+	Blocks    int `json:"blocks"`
+	BlockSize int `json:"block_size"`
+	Draws     int `json:"draws"`
+	// PerWorkerDraws1W/8W are the engine accounting's per-worker draw
+	// splits of the verification runs — evidence the 8-worker number
+	// actually fanned out (a [20000] split at "8 workers" would mean the
+	// engine collapsed to one goroutine and the speedup is noise).
+	PerWorkerDraws1W []int64       `json:"per_worker_draws_1w"`
+	PerWorkerDraws8W []int64       `json:"per_worker_draws_8w"`
+	Results          []benchResult `json:"results"`
 	// SerialSpeedup is ns(serial baseline) / ns(engine, 1 worker): the
 	// gain of the amortised counting drawer alone.
 	SerialSpeedup float64 `json:"serial_speedup"`
@@ -113,20 +115,33 @@ func runEngineBenchmarks(outPath string) error {
 	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
 	ctx := context.Background()
 
-	engineRun := func(workers int) ([]float64, error) {
-		return p.ApproximateFactMarginals(ctx, mode, ocqa.ApproxOptions{
+	engineRunAcct := func(workers int) ([]float64, ocqa.Accounting, error) {
+		return p.ApproximateFactMarginalsAcct(ctx, mode, ocqa.ApproxOptions{
 			Seed: 1, MaxSamples: draws, Workers: workers,
 		})
+	}
+	engineRun := func(workers int) ([]float64, error) {
+		vals, _, err := engineRunAcct(workers)
+		return vals, err
 	}
 
 	// Cross-check before timing: baseline and engine must agree to
 	// Monte-Carlo accuracy on every fact, or the speedup is measuring a
-	// different computation.
+	// different computation. The accounting of these runs also records
+	// the per-worker draw splits for the trajectory file.
 	base := baselineMarginals(bs, nFacts, draws, 1)
+	splits := map[int][]int64{}
 	for _, workers := range []int{1, 8} {
-		vals, err := engineRun(workers)
+		vals, acct, err := engineRunAcct(workers)
 		if err != nil {
 			return err
+		}
+		// The engine fills PerWorker only for parallel passes; a serial
+		// run's split is trivially its total.
+		if acct.PerWorker != nil {
+			splits[workers] = acct.PerWorker
+		} else {
+			splits[workers] = []int64{acct.Draws}
 		}
 		for i := range vals {
 			if math.Abs(vals[i]-base[i]) > 0.03 {
@@ -160,14 +175,14 @@ func runEngineBenchmarks(outPath string) error {
 	})
 
 	out := engineBenchFile{
-		Suite:      "engine",
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Facts:      nFacts,
-		Blocks:     blocks,
-		BlockSize:  blockSize,
-		Draws:      draws,
+		Suite:            "engine",
+		benchStamp:       newBenchStamp(),
+		Facts:            nFacts,
+		Blocks:           blocks,
+		BlockSize:        blockSize,
+		Draws:            draws,
+		PerWorkerDraws1W: splits[1],
+		PerWorkerDraws8W: splits[8],
 		Results: []benchResult{
 			toResult("MarginalsSerialBaseline", serial),
 			toResult("MarginalsEngine1Worker", engine1),

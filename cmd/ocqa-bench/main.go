@@ -13,6 +13,17 @@
 // one Monte-Carlo pass for all answer tuples) and emits
 // BENCH_answers.json.
 //
+// With -check BASELINE.json it reruns the suite named in the baseline
+// trajectory file and exits non-zero when any benchmark's ns_per_op
+// grew — or its draws/sec shrank — by more than 15%: the CI bench
+// regression gate. -check-selftest BASELINE.json proves the gate
+// itself still discriminates (the file passes against itself, a
+// synthetic 20% slowdown fails) without rerunning any benchmark.
+//
+// Every trajectory file is stamped with the git commit, Go version,
+// CPU count and GOMAXPROCS of the run, so cross-host comparisons are
+// visible as such.
+//
 // With -oracle it runs the randomized differential verification gate:
 // the brute-force repair oracle is checked against every exact engine
 // on -oracle-scenarios random instances (each under all six modes),
@@ -27,6 +38,8 @@
 //	ocqa-bench -store [-store-out BENCH_store.json]
 //	ocqa-bench -engine [-engine-out BENCH_engine.json]
 //	ocqa-bench -answers [-answers-out BENCH_answers.json]
+//	ocqa-bench -check BENCH_engine.json
+//	ocqa-bench -check-selftest BENCH_engine.json
 //	ocqa-bench -oracle [-seed N] [-oracle-scenarios 500]
 package main
 
@@ -52,8 +65,24 @@ func main() {
 		answersOut = flag.String("answers-out", "BENCH_answers.json", "trajectory file for -answers results")
 		oracleRun  = flag.Bool("oracle", false, "run the oracle differential verification gate instead of the experiment suite")
 		oracleN    = flag.Int("oracle-scenarios", 500, "random scenarios for the -oracle gate (each checked under all six modes)")
+		check      = flag.String("check", "", "baseline BENCH_*.json: rerun its suite and exit non-zero on a >15% ns/op or draws/sec regression")
+		checkSelf  = flag.String("check-selftest", "", "baseline BENCH_*.json: verify the regression gate flags a synthetic 20% slowdown (no benchmarks rerun)")
 	)
 	flag.Parse()
+	if *checkSelf != "" {
+		if err := runCheckSelftest(*checkSelf); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *check != "" {
+		if err := runCheck(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *oracleRun {
 		if err := runOracleHarness(*seed, *oracleN); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)

@@ -1,0 +1,46 @@
+package main
+
+// benchStamp is the provenance header embedded in every BENCH_*.json
+// trajectory file: when the run happened, on which commit, under which
+// toolchain, on how many cores. Cross-PR comparisons (and the -check
+// regression gate) are only meaningful when these match — the stamp
+// makes a mismatch visible instead of silently comparing apples to
+// oranges.
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+type benchStamp struct {
+	Timestamp string `json:"timestamp"`
+	// GitCommit is the short hash of HEAD at run time, "unknown" when
+	// the binary runs outside a git checkout (or without git on PATH).
+	GitCommit  string `json:"git_commit"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func newBenchStamp() benchStamp {
+	return benchStamp{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GitCommit:  gitCommit(),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if s := strings.TrimSpace(string(out)); s != "" {
+		return s
+	}
+	return "unknown"
+}

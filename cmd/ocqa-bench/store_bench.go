@@ -29,9 +29,9 @@ type benchResult struct {
 }
 
 type storeBenchFile struct {
-	Suite     string        `json:"suite"`
-	Timestamp string        `json:"timestamp"`
-	Results   []benchResult `json:"results"`
+	Suite string `json:"suite"`
+	benchStamp
+	Results []benchResult `json:"results"`
 	// IncrementalSpeedup is ns(rebuild) / ns(incremental) for the
 	// InsertFact pair — the headline number of the incremental
 	// conflict-maintenance path.
@@ -137,8 +137,8 @@ func runStoreBenchmarks(outPath string) error {
 	})
 
 	out := storeBenchFile{
-		Suite:     "store",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Suite:      "store",
+		benchStamp: newBenchStamp(),
 		Results: []benchResult{
 			toResult("InsertFactIncremental", incremental),
 			toResult("InsertFactRebuild", rebuild),

@@ -9,6 +9,14 @@
 //	ocqa-serve [-addr :8080] [-batch-workers N] [-cache 1024]
 //	           [-timeout 30s] [-exact-limit 2000000]
 //	           [-data-dir DIR] [-fsync] [-compact-every 4096]
+//	           [-access-log] [-pprof]
+//
+// Observability: GET /varz serves the JSON counter snapshot, GET
+// /metrics the same registry in Prometheus text format. Every response
+// carries an X-Request-Id header (propagated from the client's, minted
+// otherwise); -access-log emits one structured log line per request to
+// stderr. -pprof exposes the Go profiler under /debug/pprof/ — leave
+// it off unless the listener is trusted, profiles reveal internals.
 //
 // A session against a running server:
 //
@@ -32,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -57,6 +66,8 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable store directory (empty = memory-only)")
 		fsync         = flag.Bool("fsync", false, "fsync the WAL after every append")
 		compactEvery  = flag.Int("compact-every", 0, "auto-compact once the WAL holds N records (0 = default 4096, negative disables)")
+		accessLog     = flag.Bool("access-log", false, "emit one structured access-log line per request to stderr")
+		pprofEnable   = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/ (trusted listeners only)")
 	)
 	flag.Parse()
 	opts := server.Options{
@@ -68,6 +79,10 @@ func main() {
 		MaxConcurrentQueries: *maxConcurrent,
 		MaxInstances:         *maxInstances,
 		MaxBatchQueries:      *maxBatch,
+		EnablePprof:          *pprofEnable,
+	}
+	if *accessLog {
+		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	// serve (not main) owns the store so its deferred Close runs even on
 	// the error path, which os.Exit would skip.

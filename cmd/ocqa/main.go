@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	ocqa "repro"
 )
@@ -127,17 +128,33 @@ func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName 
 			}
 			fmt.Printf("P[%s%v] ≈ %.6f (ε=%.3g, δ=%.3g, %d samples, converged=%v)\n",
 				q, c, est.Value, est.Epsilon, est.Delta, est.Samples, est.Converged)
+			printCost(est.Acct)
 			return nil
 		}
-		answers, err := inst.ApproximateAnswers(ctx, m, q, opts)
+		answers, acct, err := inst.Prepare().ApproximateAnswersAcct(ctx, m, q, opts)
 		if err != nil {
 			return err
 		}
 		for _, a := range answers {
 			fmt.Printf("  %v  ≈ %.6f (%d samples)\n", a.Tuple, a.Estimate.Value, a.Estimate.Samples)
 		}
+		printCost(acct)
 		return nil
 	default:
 		return fmt.Errorf("unknown mode %q (want exact or approx)", mode)
 	}
+}
+
+// printCost reports the estimation's own accounting: total draws
+// (discarded parallel tails included), fan-out and wall time.
+func printCost(a ocqa.Accounting) {
+	if a.Draws == 0 {
+		return
+	}
+	cancelled := ""
+	if a.Cancelled {
+		cancelled = ", cancelled"
+	}
+	fmt.Printf("cost: %d draws across %d worker(s) in %v%s\n",
+		a.Draws, a.Workers, a.Wall().Round(time.Microsecond), cancelled)
 }

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Accounting is the structured cost record every estimation run
+// produces: how many draws it performed (discarded stopping-rule tails
+// included — this is the number a capacity planner pays for, not the
+// statistical prefix Estimate.Samples reports), how many cancellation
+// checkpoints it crossed, how the draws split across workers, and how
+// long it ran. The server threads it into every response's `cost`
+// object; Prepared accumulates it into per-instance totals.
+//
+// Accounting is filled once, at run exit, from per-worker locals — the
+// draw loops never touch shared state per draw, so carrying it costs
+// two time.Now calls and one slice allocation per run.
+type Accounting struct {
+	// Draws counts every sampler invocation of the run, including the
+	// discarded tail of a parallel stopping rule and the partial work
+	// of a cancelled run.
+	Draws int64
+	// Chunks counts the cancellation checkpoints the run crossed (one
+	// per Chunk draws per worker in fixed loops, one per round in the
+	// parallel stopping rules).
+	Chunks int64
+	// Workers is the effective worker count the run executed with
+	// (after the ≤1 → serial collapse).
+	Workers int
+	// PerWorker is the per-worker draw split, indexed by worker; nil
+	// for serial runs. Callers must treat it as read-only — multi-
+	// target runs share one slice across all returned estimates.
+	PerWorker []int64
+	// WallNanos is the wall-clock duration of the run.
+	WallNanos int64
+	// Cancelled reports that the run was stopped by its context before
+	// completing its budget or meeting its rule.
+	Cancelled bool
+}
+
+// Wall returns the run's wall-clock duration.
+func (a Accounting) Wall() time.Duration { return time.Duration(a.WallNanos) }
+
+// RunInfo is what the run hook observes: the phase that ran, the
+// number of multi-run targets (0 for single-target phases), and the
+// run's accounting.
+type RunInfo struct {
+	Phase   Phase
+	Targets int
+	Acct    Accounting
+}
+
+// RunHook observes one completed (or cancelled) estimation run. Hooks
+// must be cheap and must not block: they run inline on the estimation
+// goroutine, once per run — never per draw — so a histogram update
+// keeps engine overhead well under the instrumentation budget.
+type RunHook func(RunInfo)
+
+var runHook atomic.Pointer[RunHook]
+
+// SetRunHook installs the process-wide run hook (nil to remove). The
+// server uses it to feed per-run draw and latency histograms.
+func SetRunHook(h RunHook) {
+	if h == nil {
+		runHook.Store(nil)
+		return
+	}
+	runHook.Store(&h)
+}
+
+// record is the single exit point of every estimation run: it updates
+// the process-wide counters and fires the run hook. targets is 0 for
+// single-target phases.
+func record(phase Phase, targets int, acct Accounting) {
+	samplesDrawn.Add(acct.Draws)
+	if acct.Cancelled {
+		cancelledRuns.Add(1)
+	}
+	if phase == PhaseMultiFixed || phase == PhaseMultiStopping {
+		multiRuns.Add(1)
+		multiTargets.Add(int64(targets))
+	}
+	if h := runHook.Load(); h != nil {
+		(*h)(RunInfo{Phase: phase, Targets: targets, Acct: acct})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 )
 
 // EstimateStoppingRule implements the Dagum–Karp–Luby–Ross stopping-
@@ -23,28 +24,35 @@ func EstimateStoppingRule(ctx context.Context, s Sampler, eps, delta float64, se
 		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	start := time.Now()
 	rng := rngFor(seed, PhaseStoppingRule, 0)
 	sum := 0.0
 	n := 0
+	chunks := int64(0)
+	acct := func(cancelled bool) Accounting {
+		a := Accounting{
+			Draws: int64(n), Chunks: chunks, Workers: 1,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+		record(PhaseStoppingRule, 0, a)
+		return a
+	}
 	for sum < upsilon1 {
 		if n%Chunk == 0 {
+			chunks++
 			if err := ctx.Err(); err != nil {
-				samplesDrawn.Add(int64(n))
-				cancelledRuns.Add(1)
-				return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, err
+				return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta, Acct: acct(true)}, err
 			}
 		}
 		if maxSamples > 0 && n >= maxSamples {
-			samplesDrawn.Add(int64(n))
-			return Estimate{Value: sum / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: false}, nil
+			return Estimate{Value: sum / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: false, Acct: acct(false)}, nil
 		}
 		n++
 		if s(rng) {
 			sum++
 		}
 	}
-	samplesDrawn.Add(int64(n))
-	return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}, nil
+	return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true, Acct: acct(false)}, nil
 }
 
 // EstimateStoppingRuleParallel is a parallel variant of the stopping
@@ -75,6 +83,7 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	start := time.Now()
 	samplers := make([]Sampler, workers)
 	rngs := make([]*rand.Rand, workers)
 	for i := range samplers {
@@ -87,17 +96,27 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 	// included — the number the engine_samples_drawn counter reports;
 	// n counts only the consumed prefix the rule's law is defined on.
 	performed := 0
+	rounds := int64(0)
+	acct := func(cancelled bool) Accounting {
+		per := make([]int64, workers)
+		for w := range per {
+			per[w] = rounds * Chunk
+		}
+		a := Accounting{
+			Draws: int64(performed), Chunks: rounds, Workers: workers, PerWorker: per,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+		record(PhaseStoppingRule, 0, a)
+		return a
+	}
 	outcomes := make([][]bool, workers)
 	done := make(chan int, workers)
 	for {
 		if err := ctx.Err(); err != nil {
-			samplesDrawn.Add(int64(performed))
-			cancelledRuns.Add(1)
-			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, err
+			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta, Acct: acct(true)}, err
 		}
 		if maxSamples > 0 && n >= maxSamples {
-			samplesDrawn.Add(int64(performed))
-			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta}, nil
+			return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta, Acct: acct(false)}, nil
 		}
 		for w := 0; w < workers; w++ {
 			go func(w int) {
@@ -113,6 +132,7 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 			<-done
 		}
 		performed += workers * Chunk
+		rounds++
 		// Consume the canonical interleaving sequentially.
 		for w := 0; w < workers; w++ {
 			for _, hit := range outcomes[w] {
@@ -121,8 +141,7 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 					sum++
 				}
 				if sum >= upsilon1 {
-					samplesDrawn.Add(int64(performed))
-					return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true}, nil
+					return Estimate{Value: upsilon1 / float64(n), Samples: n, Epsilon: eps, Delta: delta, Converged: true, Acct: acct(false)}, nil
 				}
 			}
 		}
@@ -158,8 +177,10 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
 		panic("engine: invalid parameters for EstimateAA")
 	}
+	start := time.Now()
 	rng := rngFor(seed, PhaseAA, 0)
 	used := 0
+	chunks := int64(0)
 	var ctxErr error
 	// draw returns false when the budget is exhausted or the context is
 	// cancelled (recorded in ctxErr); the caller then reports the
@@ -169,6 +190,7 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 			return 0, false
 		}
 		if used%Chunk == 0 {
+			chunks++
 			if err := ctx.Err(); err != nil {
 				ctxErr = err
 				return 0, false
@@ -181,10 +203,11 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 		return 0, true
 	}
 	finish := func(e Estimate) (Estimate, error) {
-		samplesDrawn.Add(int64(used))
-		if ctxErr != nil {
-			cancelledRuns.Add(1)
+		e.Acct = Accounting{
+			Draws: int64(used), Chunks: chunks, Workers: 1,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: ctxErr != nil,
 		}
+		record(PhaseAA, 0, e.Acct)
 		return e, ctxErr
 	}
 

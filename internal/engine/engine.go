@@ -49,6 +49,10 @@ type Estimate struct {
 	// Converged is false when a capped stopping-rule run exhausted its
 	// budget before meeting the rule; Value is then the plain mean.
 	Converged bool
+	// Acct is the run's cost accounting. Multi-target runs stamp every
+	// returned estimate with the same run-level record (one shared
+	// PerWorker slice — treat as read-only).
+	Acct Accounting
 }
 
 // Chunk is the cancellation granularity: every estimation loop checks

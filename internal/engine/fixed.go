@@ -3,7 +3,7 @@ package engine
 import (
 	"context"
 	"sync"
-	"sync/atomic"
+	"time"
 )
 
 // EstimateFixed draws exactly n samples and returns the empirical
@@ -23,7 +23,10 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 	if workers <= 1 {
 		return estimateFixedSerial(ctx, newSampler(), n, seed)
 	}
-	var hits, drawn int64
+	start := time.Now()
+	perHits := make([]int64, workers)
+	perDrawn := make([]int64, workers)
+	perChunks := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		quota := splitQuota(n, workers, w)
@@ -35,11 +38,12 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 			defer wg.Done()
 			s := newSampler()
 			rng := rngFor(seed, PhaseFixed, w)
-			local, localN := 0, 0
+			local, localN, chunks := 0, 0, int64(0)
 			for localN < quota {
 				if ctx.Err() != nil {
 					break
 				}
+				chunks++
 				step := min(Chunk, quota-localN)
 				for i := 0; i < step; i++ {
 					if s(rng) {
@@ -48,28 +52,48 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 				}
 				localN += step
 			}
-			atomic.AddInt64(&hits, int64(local))
-			atomic.AddInt64(&drawn, int64(localN))
+			perHits[w] = int64(local)
+			perDrawn[w] = int64(localN)
+			perChunks[w] = chunks
 		}(w, quota)
 	}
 	wg.Wait()
-	samplesDrawn.Add(drawn)
-	if err := ctx.Err(); err != nil {
-		cancelledRuns.Add(1)
-		return Estimate{Value: safeDiv(float64(hits), int(drawn)), Samples: int(drawn)}, err
+	var hits, drawn, chunks int64
+	for w := 0; w < workers; w++ {
+		hits += perHits[w]
+		drawn += perDrawn[w]
+		chunks += perChunks[w]
 	}
-	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}, nil
+	err := ctx.Err()
+	acct := Accounting{
+		Draws: drawn, Chunks: chunks, Workers: workers, PerWorker: perDrawn,
+		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
+	}
+	record(PhaseFixed, 0, acct)
+	if err != nil {
+		return Estimate{Value: safeDiv(float64(hits), int(drawn)), Samples: int(drawn), Acct: acct}, err
+	}
+	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true, Acct: acct}, nil
 }
 
 func estimateFixedSerial(ctx context.Context, s Sampler, n int, seed int64) (Estimate, error) {
+	start := time.Now()
 	rng := rngFor(seed, PhaseFixed, 0)
 	hits, drawn := 0, 0
+	chunks := int64(0)
+	acct := func(cancelled bool) Accounting {
+		return Accounting{
+			Draws: int64(drawn), Chunks: chunks, Workers: 1,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+	}
 	for drawn < n {
 		if err := ctx.Err(); err != nil {
-			samplesDrawn.Add(int64(drawn))
-			cancelledRuns.Add(1)
-			return Estimate{Value: safeDiv(float64(hits), drawn), Samples: drawn}, err
+			a := acct(true)
+			record(PhaseFixed, 0, a)
+			return Estimate{Value: safeDiv(float64(hits), drawn), Samples: drawn, Acct: a}, err
 		}
+		chunks++
 		step := min(Chunk, n-drawn)
 		for i := 0; i < step; i++ {
 			if s(rng) {
@@ -78,8 +102,9 @@ func estimateFixedSerial(ctx context.Context, s Sampler, n int, seed int64) (Est
 		}
 		drawn += step
 	}
-	samplesDrawn.Add(int64(n))
-	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true}, nil
+	a := acct(false)
+	record(PhaseFixed, 0, a)
+	return Estimate{Value: float64(hits) / float64(n), Samples: n, Converged: true, Acct: a}, nil
 }
 
 func safeDiv(a float64, n int) float64 {

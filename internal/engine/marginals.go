@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // CountSampler draws one repair and increments the survival counter of
@@ -28,14 +29,23 @@ type CountSampler func(rng *rand.Rand, counts []int)
 // run returns the counts accumulated so far, the number of draws they
 // represent, and ctx.Err(); callers must not divide by n on that path.
 func Marginals(ctx context.Context, newSampler func() CountSampler, nFacts, n int, seed int64, workers int) (counts []int, drawn int, err error) {
+	counts, acct, err := MarginalsAcct(ctx, newSampler, nFacts, n, seed, workers)
+	return counts, int(acct.Draws), err
+}
+
+// MarginalsAcct is Marginals with the run's full cost accounting; the
+// drawn count Marginals reports is acct.Draws.
+func MarginalsAcct(ctx context.Context, newSampler func() CountSampler, nFacts, n int, seed int64, workers int) (counts []int, acct Accounting, err error) {
 	if n <= 0 {
 		panic("engine: need a positive sample count")
 	}
 	if workers <= 1 {
 		return marginalsSerial(ctx, newSampler(), nFacts, n, seed)
 	}
+	start := time.Now()
 	perWorker := make([][]int, workers)
-	perDrawn := make([]int, workers)
+	perDrawn := make([]int64, workers)
+	perChunks := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		quota := splitQuota(n, workers, w)
@@ -49,10 +59,12 @@ func Marginals(ctx context.Context, newSampler func() CountSampler, nFacts, n in
 			rng := rngFor(seed, PhaseMarginals, w)
 			local := make([]int, nFacts)
 			localN := 0
+			chunks := int64(0)
 			for localN < quota {
 				if ctx.Err() != nil {
 					break
 				}
+				chunks++
 				step := min(Chunk, quota-localN)
 				for i := 0; i < step; i++ {
 					s(rng, local)
@@ -60,12 +72,15 @@ func Marginals(ctx context.Context, newSampler func() CountSampler, nFacts, n in
 				localN += step
 			}
 			perWorker[w] = local
-			perDrawn[w] = localN
+			perDrawn[w] = int64(localN)
+			perChunks[w] = chunks
 		}(w, quota)
 	}
 	wg.Wait()
 	counts = make([]int, nFacts)
+	var drawn, chunks int64
 	for w := range perWorker {
+		chunks += perChunks[w]
 		if perWorker[w] == nil {
 			continue
 		}
@@ -74,30 +89,39 @@ func Marginals(ctx context.Context, newSampler func() CountSampler, nFacts, n in
 			counts[i] += c
 		}
 	}
-	samplesDrawn.Add(int64(drawn))
-	if err := ctx.Err(); err != nil {
-		cancelledRuns.Add(1)
-		return counts, drawn, err
+	err = ctx.Err()
+	acct = Accounting{
+		Draws: drawn, Chunks: chunks, Workers: workers, PerWorker: perDrawn,
+		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
 	}
-	return counts, drawn, nil
+	record(PhaseMarginals, 0, acct)
+	return counts, acct, err
 }
 
-func marginalsSerial(ctx context.Context, s CountSampler, nFacts, n int, seed int64) ([]int, int, error) {
+func marginalsSerial(ctx context.Context, s CountSampler, nFacts, n int, seed int64) ([]int, Accounting, error) {
+	start := time.Now()
 	rng := rngFor(seed, PhaseMarginals, 0)
 	counts := make([]int, nFacts)
 	drawn := 0
+	chunks := int64(0)
+	acct := func(cancelled bool) Accounting {
+		a := Accounting{
+			Draws: int64(drawn), Chunks: chunks, Workers: 1,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+		record(PhaseMarginals, 0, a)
+		return a
+	}
 	for drawn < n {
 		if err := ctx.Err(); err != nil {
-			samplesDrawn.Add(int64(drawn))
-			cancelledRuns.Add(1)
-			return counts, drawn, err
+			return counts, acct(true), err
 		}
+		chunks++
 		step := min(Chunk, n-drawn)
 		for i := 0; i < step; i++ {
 			s(rng, counts)
 		}
 		drawn += step
 	}
-	samplesDrawn.Add(int64(n))
-	return counts, n, nil
+	return counts, acct(false), nil
 }

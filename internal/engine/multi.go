@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // MultiSampler draws ONE repair (or sequence, or chain walk) and
@@ -22,15 +23,15 @@ import (
 // use; the parallel estimators call the factory once per worker.
 type MultiSampler func(rng *rand.Rand, out []bool, active []int)
 
-// finishMulti updates the process-wide counters every multi-target run
-// reports on exit.
-func finishMulti(nTargets, performed int, cancelled bool) {
-	multiRuns.Add(1)
-	multiTargets.Add(int64(nTargets))
-	samplesDrawn.Add(int64(performed))
-	if cancelled {
-		cancelledRuns.Add(1)
+// finishMulti builds the run-level accounting of a multi-target run,
+// feeds the process-wide counters and the run hook, and stamps every
+// returned estimate with the shared record.
+func finishMulti(phase Phase, ests []Estimate, nTargets int, acct Accounting) []Estimate {
+	record(phase, nTargets, acct)
+	for t := range ests {
+		ests[t].Acct = acct
 	}
+	return ests
 }
 
 // EstimateFixedMulti draws exactly n shared samples and returns the
@@ -51,8 +52,10 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 	if workers <= 1 {
 		return estimateFixedMultiSerial(ctx, newSampler(), nTargets, n, seed)
 	}
+	start := time.Now()
 	perWorker := make([][]int, workers)
-	perDrawn := make([]int, workers)
+	perDrawn := make([]int64, workers)
+	perChunks := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		quota := splitQuota(n, workers, w)
@@ -67,10 +70,12 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 			local := make([]int, nTargets)
 			out := make([]bool, nTargets)
 			localN := 0
+			chunks := int64(0)
 			for localN < quota {
 				if ctx.Err() != nil {
 					break
 				}
+				chunks++
 				step := min(Chunk, quota-localN)
 				for i := 0; i < step; i++ {
 					s(rng, out, nil)
@@ -83,13 +88,15 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 				localN += step
 			}
 			perWorker[w] = local
-			perDrawn[w] = localN
+			perDrawn[w] = int64(localN)
+			perChunks[w] = chunks
 		}(w, quota)
 	}
 	wg.Wait()
 	counts := make([]int, nTargets)
-	drawn := 0
+	var drawn, chunks int64
 	for w := range perWorker {
+		chunks += perChunks[w]
 		if perWorker[w] == nil {
 			continue
 		}
@@ -99,24 +106,30 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 		}
 	}
 	err := ctx.Err()
-	finishMulti(nTargets, drawn, err != nil)
+	acct := Accounting{
+		Draws: drawn, Chunks: chunks, Workers: workers, PerWorker: perDrawn,
+		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
+	}
 	out := make([]Estimate, nTargets)
 	for t, c := range counts {
-		out[t] = Estimate{Value: safeDiv(float64(c), drawn), Samples: drawn, Converged: err == nil}
+		out[t] = Estimate{Value: safeDiv(float64(c), int(drawn)), Samples: int(drawn), Converged: err == nil}
 	}
-	return out, err
+	return finishMulti(PhaseMultiFixed, out, nTargets, acct), err
 }
 
 func estimateFixedMultiSerial(ctx context.Context, s MultiSampler, nTargets, n int, seed int64) ([]Estimate, error) {
+	start := time.Now()
 	rng := rngFor(seed, PhaseMultiFixed, 0)
 	counts := make([]int, nTargets)
 	outBuf := make([]bool, nTargets)
 	drawn := 0
+	chunks := int64(0)
 	var err error
 	for drawn < n {
 		if err = ctx.Err(); err != nil {
 			break
 		}
+		chunks++
 		step := min(Chunk, n-drawn)
 		for i := 0; i < step; i++ {
 			s(rng, outBuf, nil)
@@ -128,12 +141,15 @@ func estimateFixedMultiSerial(ctx context.Context, s MultiSampler, nTargets, n i
 		}
 		drawn += step
 	}
-	finishMulti(nTargets, drawn, err != nil)
+	acct := Accounting{
+		Draws: int64(drawn), Chunks: chunks, Workers: 1,
+		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
+	}
 	out := make([]Estimate, nTargets)
 	for t, c := range counts {
 		out[t] = Estimate{Value: safeDiv(float64(c), drawn), Samples: drawn, Converged: err == nil}
 	}
-	return out, err
+	return finishMulti(PhaseMultiFixed, out, nTargets, acct), err
 }
 
 // EstimateStoppingRuleMulti applies the Dagum–Karp–Luby–Ross stopping
@@ -174,6 +190,7 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 		return estimateStoppingRuleMultiSerial(ctx, newSampler(), nTargets, eps, delta, seed, maxSamples)
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	start := time.Now()
 	samplers := make([]MultiSampler, workers)
 	rngs := make([]*rand.Rand, workers)
 	// batches[w][i] is worker w's i-th draw of the current round: the
@@ -192,15 +209,24 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 	// included — the engine_samples_drawn number; st.n counts only the
 	// consumed prefix the rule's law is defined on.
 	performed := 0
+	rounds := int64(0)
+	acct := func(cancelled bool) Accounting {
+		per := make([]int64, workers)
+		for w := range per {
+			per[w] = rounds * Chunk
+		}
+		return Accounting{
+			Draws: int64(performed), Chunks: rounds, Workers: workers, PerWorker: per,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+	}
 	done := make(chan struct{}, workers)
 	for {
 		if err := ctx.Err(); err != nil {
-			finishMulti(nTargets, performed, true)
-			return st.finalize(), err
+			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(true)), err
 		}
 		if maxSamples > 0 && st.n >= maxSamples {
-			finishMulti(nTargets, performed, false)
-			return st.finalize(), nil
+			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
 		}
 		// Snapshot the open set at the round boundary: workers fill
 		// their batches against it while consume may close targets
@@ -220,12 +246,12 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 			<-done
 		}
 		performed += workers * Chunk
+		rounds++
 		// Consume the canonical interleaving sequentially.
 		for w := 0; w < workers; w++ {
 			for _, out := range batches[w] {
 				if st.consume(out) {
-					finishMulti(nTargets, performed, false)
-					return st.finalize(), nil
+					return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
 				}
 			}
 		}
@@ -234,26 +260,32 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 
 func estimateStoppingRuleMultiSerial(ctx context.Context, s MultiSampler, nTargets int, eps, delta float64, seed int64, maxSamples int) ([]Estimate, error) {
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	start := time.Now()
 	rng := rngFor(seed, PhaseMultiStopping, 0)
 	st := newMultiRule(nTargets, eps, delta, upsilon1)
+	chunks := int64(0)
+	acct := func(cancelled bool) Accounting {
+		return Accounting{
+			Draws: int64(st.n), Chunks: chunks, Workers: 1,
+			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
+		}
+	}
 	out := make([]bool, nTargets)
 	for {
 		if st.n%Chunk == 0 {
+			chunks++
 			if err := ctx.Err(); err != nil {
-				finishMulti(nTargets, st.n, true)
-				return st.finalize(), err
+				return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(true)), err
 			}
 		}
 		if maxSamples > 0 && st.n >= maxSamples {
-			finishMulti(nTargets, st.n, false)
-			return st.finalize(), nil
+			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
 		}
 		// Only still-open targets are evaluated; closed targets' out
 		// entries go stale, which consume never reads.
 		s(rng, out, st.open)
 		if st.consume(out) {
-			finishMulti(nTargets, st.n, false)
-			return st.finalize(), nil
+			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
 		}
 	}
 }

@@ -1,0 +1,503 @@
+// Package metrics is the reproduction's dependency-free metrics core:
+// atomic counters, gauges, and fixed-bucket histograms with quantile
+// estimation, grouped into labelled families and exportable in the
+// Prometheus text exposition format. It replaces the server's ad-hoc
+// counter blob so the same registered values feed both the JSON /varz
+// snapshot and GET /metrics.
+//
+// Everything on the hot path is a single atomic operation: Counter.Add
+// and Gauge.Set are one atomic.Int64 op; Histogram.Observe is a binary
+// search over a small bounds slice plus two atomic adds and a CAS loop
+// for the float sum. Families resolve label values through a mutex-
+// guarded map, so callers on hot paths should resolve children once
+// (With) and retain them.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; n must be ≥ 0.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets with cumulative
+// Prometheus semantics: bucket i counts observations ≤ bounds[i], and
+// an implicit +Inf bucket counts everything.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly ascending: %v", bounds))
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation inside the bucket the rank falls into — the standard
+// Prometheus histogram_quantile estimate. Observations in the +Inf
+// bucket clamp to the highest finite bound. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns cumulative bucket counts aligned with bounds plus
+// the +Inf total.
+func (h *Histogram) snapshot() (cum []int64, total int64) {
+	cum = make([]int64, len(h.bounds)+1)
+	running := int64(0)
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running
+}
+
+// ExponentialBuckets returns n strictly ascending bounds starting at
+// start and growing by factor — the usual shape for latency and draw
+// histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: invalid exponential bucket spec")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// child is one labelled instance of a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	fn          func() float64 // counterFunc / gaugeFunc families
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name, help, typ string
+	labelNames      []string
+	buckets         []float64
+	isFunc          bool
+
+	mu       sync.Mutex
+	order    []string // insertion order of child keys, for stable output
+	children map[string]*child
+}
+
+const labelSep = "\x1f"
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		c.counter = &Counter{}
+	case typeGauge:
+		c.gauge = &Gauge{}
+	case typeHistogram:
+		c.hist = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+func (f *family) remove(values []string) {
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.children[key]; !ok {
+		return
+	}
+	delete(f.children, key)
+	for i, k := range f.order {
+		if k == key {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (f *family) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.children = make(map[string]*child)
+	f.order = nil
+}
+
+// walk visits children in insertion order under the family lock.
+func (f *family) walk(visit func(*child)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, key := range f.order {
+		visit(f.children[key])
+	}
+}
+
+// Registry holds a set of metric families and renders them.
+type Registry struct {
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	collectors []func()
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// OnCollect registers a hook that runs at the start of every render —
+// the place to refresh scrape-time gauges (per-instance state, store
+// stats) without paying for them on request paths.
+func (r *Registry) OnCollect(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
+func (r *Registry) register(name, help, typ string, labelNames []string, buckets []float64, isFunc bool) *family {
+	if !validName(name) {
+		panic("metrics: invalid metric name " + name)
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic("metrics: invalid label name " + l)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		panic("metrics: duplicate metric " + name)
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets, isFunc: isFunc,
+		children: make(map[string]*child),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// NewCounter registers an unlabelled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil, false).child(nil).counter
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labelNames, nil, false)}
+}
+
+// NewGauge registers an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil, false).child(nil).gauge
+}
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labelNames, nil, false)}
+}
+
+// NewGaugeFunc registers a gauge whose value is read at render time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, typeGauge, nil, nil, true)
+	f.child(nil).fn = fn
+}
+
+// NewCounterFunc registers a counter whose cumulative value is read at
+// render time — for monotone totals owned elsewhere (engine counters,
+// store stats).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, typeCounter, nil, nil, true)
+	f.child(nil).fn = fn
+}
+
+// NewHistogram registers an unlabelled histogram with the given
+// ascending bucket bounds (an +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, buckets, false).child(nil).hist
+}
+
+// NewHistogramVec registers a histogram family with the given label
+// names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, typeHistogram, labelNames, buckets, false)}
+}
+
+// CounterVec is a counter family; With resolves one labelled child.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).counter }
+
+// Remove drops the child with the given label values, if present.
+func (v *CounterVec) Remove(values ...string) { v.f.remove(values) }
+
+// Each visits every child in insertion order.
+func (v *CounterVec) Each(visit func(labelValues []string, value int64)) {
+	v.f.walk(func(c *child) { visit(c.labelValues, c.counter.Value()) })
+}
+
+// GaugeVec is a gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).gauge }
+
+// Remove drops the child with the given label values, if present.
+func (v *GaugeVec) Remove(values ...string) { v.f.remove(values) }
+
+// Reset drops every child; collect hooks use it to rebuild scrape-time
+// families from current state.
+func (v *GaugeVec) Reset() { v.f.reset() }
+
+// Each visits every child in insertion order.
+func (v *GaugeVec) Each(visit func(labelValues []string, value float64)) {
+	v.f.walk(func(c *child) { visit(c.labelValues, c.gauge.Value()) })
+}
+
+// HistogramVec is a histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it
+// on first use.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).hist }
+
+// Each visits every child in insertion order.
+func (v *HistogramVec) Each(visit func(labelValues []string, h *Histogram)) {
+	v.f.walk(func(c *child) { visit(c.labelValues, c.hist) })
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), running collect hooks first.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	fams := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, f := range collectors {
+		f()
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		renderFamily(&b, f)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func renderFamily(b *strings.Builder, f *family) {
+	header := false
+	writeHeader := func() {
+		if header {
+			return
+		}
+		header = true
+		if f.help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	}
+	f.walk(func(c *child) {
+		writeHeader()
+		labels := labelString(f.labelNames, c.labelValues, "", "")
+		switch {
+		case c.fn != nil:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(c.fn()))
+		case c.counter != nil:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labels, c.counter.Value())
+		case c.gauge != nil:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labels, formatFloat(c.gauge.Value()))
+		case c.hist != nil:
+			cum, total := c.hist.snapshot()
+			for i, bound := range c.hist.bounds {
+				le := labelString(f.labelNames, c.labelValues, "le", formatFloat(bound))
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, le, cum[i])
+			}
+			le := labelString(f.labelNames, c.labelValues, "le", "+Inf")
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, le, total)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labels, formatFloat(c.hist.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labels, total)
+		}
+	})
+	// Families with no children yet still advertise their type, so a
+	// scrape before the first event is well-formed and complete.
+	writeHeader()
+}
+
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.NewCounter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.NewGauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestVecChildrenAndRemove(t *testing.T) {
+	r := New()
+	v := r.NewCounterVec("req_total", "requests", "endpoint", "code")
+	v.With("query", "200").Add(3)
+	v.With("query", "200").Add(2) // same child
+	v.With("batch", "504").Inc()
+	var got []int64
+	v.Each(func(_ []string, val int64) { got = append(got, val) })
+	if len(got) != 2 || got[0] != 5 || got[1] != 1 {
+		t.Fatalf("children = %v, want [5 1]", got)
+	}
+	v.Remove("query", "200")
+	got = nil
+	v.Each(func(_ []string, val int64) { got = append(got, val) })
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 0.5, 1, 5})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram should have NaN quantiles")
+	}
+	// 100 observations uniform over (0, 1]: 10 per 0.1-wide slice.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-50.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 50.5", h.Sum())
+	}
+	// p50 falls in the (0.1, 0.5] bucket: 10 below, 40 inside, rank 50
+	// → upper edge 0.5.
+	if q := h.Quantile(0.5); math.Abs(q-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5", q)
+	}
+	// p90 → rank 90, 50 below the (0.5, 1] bucket of 50 → 0.5 + 0.5·(40/50).
+	if q := h.Quantile(0.9); math.Abs(q-0.9) > 1e-9 {
+		t.Fatalf("p90 = %v, want 0.9", q)
+	}
+	// Observations beyond the last bound clamp to it.
+	h.Observe(100)
+	if q := h.Quantile(0.999); q != 5 {
+		t.Fatalf("overflow quantile = %v, want clamp to 5", q)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.NewHistogram("x", "", ExponentialBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8*1000*49.5) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	c := r.NewCounter("ocqa_queries_total", "Total queries.")
+	c.Add(7)
+	v := r.NewCounterVec("ocqa_http_requests_total", "Requests.", "endpoint")
+	v.With("query").Add(2)
+	h := r.NewHistogram("ocqa_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	r.NewGaugeFunc("ocqa_up", "Always one.", func() float64 { return 1 })
+	collected := false
+	r.OnCollect(func() { collected = true })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !collected {
+		t.Fatal("collect hook did not run")
+	}
+	for _, want := range []string{
+		"# TYPE ocqa_queries_total counter\n",
+		"ocqa_queries_total 7\n",
+		`ocqa_http_requests_total{endpoint="query"} 2` + "\n",
+		"# TYPE ocqa_latency_seconds histogram\n",
+		`ocqa_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`ocqa_latency_seconds_bucket{le="1"} 2` + "\n",
+		`ocqa_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"ocqa_latency_seconds_sum 2.55\n",
+		"ocqa_latency_seconds_count 3\n",
+		"ocqa_up 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	v := r.NewGaugeVec("g", "", "name")
+	v.With("a\"b\\c\nd").Set(1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `g{name="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped label missing %q in %q", want, b.String())
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := New()
+	r.NewCounter("dup", "")
+	for name, f := range map[string]func(){
+		"duplicate":    func() { r.NewCounter("dup", "") },
+		"invalid name": func() { r.NewCounter("9bad", "") },
+		"bad label":    func() { r.NewCounterVec("ok", "", "le-gal") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -108,6 +108,33 @@ type Answer struct {
 	Converged *bool `json:"converged,omitempty"`
 }
 
+// CostInfo is the per-request cost accounting embedded in every query,
+// batch-element, count and marginals response. For sampling runs the
+// draw fields come from the engine's own accounting; exact engines
+// report zero draws and the handler-measured wall time.
+type CostInfo struct {
+	// Draws is the number of Monte-Carlo repair draws the computation
+	// consumed, discarded parallel tails included (0 for exact engines;
+	// on a cache hit, the draws the cached computation originally spent).
+	Draws int64 `json:"draws"`
+	// Chunks counts the cancellation-check chunks the draw loop passed.
+	Chunks int64 `json:"chunks,omitempty"`
+	// Workers is the parallel fan-out of the sampling pass (0 when no
+	// sampling ran).
+	Workers int `json:"workers"`
+	// PerWorkerDraws is the per-worker draw split of a parallel pass.
+	PerWorkerDraws []int64 `json:"per_worker_draws,omitempty"`
+	// WallSeconds is the handler-measured wall time of this request's
+	// computation — the cache lookup, when Cached.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cached reports whether the response was served from the result
+	// cache without executing any engine.
+	Cached bool `json:"cached"`
+	// Cancelled marks partial accounting from a run stopped by the
+	// server deadline or a client disconnect.
+	Cancelled bool `json:"cancelled,omitempty"`
+}
+
 // QueryResponse is the result of one query execution.
 type QueryResponse struct {
 	Instance  string   `json:"instance"`
@@ -121,6 +148,8 @@ type QueryResponse struct {
 	// Cached is true when the response was served from the result
 	// cache without executing any engine.
 	Cached bool `json:"cached"`
+	// Cost is the request's cost accounting.
+	Cost *CostInfo `json:"cost,omitempty"`
 }
 
 // BatchRequest is the body of POST .../batch.
@@ -161,6 +190,9 @@ type CountResponse struct {
 	Count     string `json:"count"`
 	Singleton bool   `json:"singleton"`
 	Sequences bool   `json:"sequences"`
+	// Cost is the request's cost accounting (exact counting performs no
+	// draws; the wall time is the interesting part).
+	Cost *CostInfo `json:"cost,omitempty"`
 }
 
 // MarginalsRequest is the body of POST .../marginals.
@@ -194,6 +226,8 @@ type MarginalsResponse struct {
 	Generator string         `json:"generator"`
 	Mode      string         `json:"mode"`
 	Marginals []FactMarginal `json:"marginals"`
+	// Cost is the request's cost accounting.
+	Cost *CostInfo `json:"cost,omitempty"`
 }
 
 // SemanticsRequest is the body of POST .../semantics.
@@ -220,4 +254,15 @@ type SemanticsResponse struct {
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID echoes the X-Request-Id response header so failures can
+	// be correlated with the access log from the body alone.
+	RequestID string `json:"request_id,omitempty"`
+	// Cost carries the accounting of a computation that ran and was
+	// stopped early (deadline, disconnect): the draws already spent are
+	// real work, visible here rather than silently discarded.
+	Cost *CostInfo `json:"cost,omitempty"`
+	// Partial lists the per-tuple estimates a cancelled estimation had
+	// computed when it stopped — below the requested (ε, δ), but often
+	// still informative.
+	Partial []Answer `json:"partial,omitempty"`
 }

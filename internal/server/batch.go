@@ -35,7 +35,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("batch of %d queries exceeds the limit of %d", len(req.Queries), s.opts.MaxBatchQueries))
 		return
 	}
-	s.counters.batchRequests.Add(1)
+	s.met.batchRequests.Inc()
 
 	// The whole batch shares one deadline budget: once it expires (or
 	// the client disconnects), runWithDeadline stops spawning work for

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // resultCache is a bounded LRU over finished query responses, keyed by
@@ -18,6 +19,10 @@ type resultCache struct {
 	cap   int
 	ll    *list.List
 	items map[string]*list.Element
+	// evictions counts entries dropped by the capacity bound (not by
+	// instance-scoped invalidation); the metrics registry reads it at
+	// scrape time.
+	evictions atomic.Int64
 }
 
 type cacheItem struct {
@@ -62,6 +67,13 @@ func cloneResponse(r QueryResponse) QueryResponse {
 		}
 		r.Answers = answers
 	}
+	if r.Cost != nil {
+		cost := *r.Cost
+		if cost.PerWorkerDraws != nil {
+			cost.PerWorkerDraws = append([]int64(nil), cost.PerWorkerDraws...)
+		}
+		r.Cost = &cost
+	}
 	return r
 }
 
@@ -103,6 +115,7 @@ func (c *resultCache) put(key string, resp QueryResponse) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheItem).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -126,4 +139,9 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// evicted returns the number of capacity evictions performed.
+func (c *resultCache) evicted() int64 {
+	return c.evictions.Load()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -44,24 +45,23 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		// succeed survives a restart.
 		if s.store != nil {
 			if err := s.store.LogRegister(id, req.Name, now, inst.DB(), inst.Sigma()); err != nil {
-				return RegisterResponse{}, &httpError{http.StatusInternalServerError,
-					fmt.Sprintf("journalling registration: %v", err)}
+				return RegisterResponse{}, &httpError{status: http.StatusInternalServerError, msg: fmt.Sprintf("journalling registration: %v", err)}
 			}
 		}
 		e, evicted := s.reg.add(id, req.Name, prepared, now)
 		for _, v := range evicted {
-			s.counters.evictions.Add(1)
+			s.met.evictions.Inc()
 			s.cache.invalidate(v.id)
 			// Best-effort journalling of the eviction: on failure the
 			// evicted instance resurrects at the next boot and is
 			// evicted again once the registry refills — benign.
 			if s.store != nil {
 				if err := s.store.LogUnregister(v.id); err != nil {
-					s.counters.errors.Add(1)
+					s.met.errors.Inc()
 				}
 			}
 		}
-		s.counters.registered.Add(1)
+		s.met.registered.Inc()
 		info := e.info()
 		return RegisterResponse{
 			ID:         e.id,
@@ -88,12 +88,16 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// lookup resolves {id} or writes a 404.
+// lookup resolves {id} or writes a 404, recording the instance in the
+// request's trace either way.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*instanceEntry, bool) {
 	id := r.PathValue("id")
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.instance.Store(id)
+	}
 	e, ok := s.reg.get(id)
 	if !ok {
-		s.writeError(w, &httpError{http.StatusNotFound, "unknown instance " + strconv.Quote(id)})
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "unknown instance " + strconv.Quote(id)})
 		return nil, false
 	}
 	return e, true
@@ -110,14 +114,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.reg.remove(id) {
-		s.writeError(w, &httpError{http.StatusNotFound, "unknown instance " + strconv.Quote(id)})
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "unknown instance " + strconv.Quote(id)})
 		return
 	}
 	if s.store != nil {
 		if err := s.store.LogUnregister(id); err != nil {
 			// The instance is gone from the registry either way; a
 			// failed journal entry only means it resurrects at boot.
-			s.counters.errors.Add(1)
+			s.met.errors.Inc()
 		}
 	}
 	s.cache.invalidate(id)
@@ -130,15 +134,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func mutationError(err error) *httpError {
 	switch {
 	case errors.Is(err, errNotFound):
-		return &httpError{http.StatusNotFound, err.Error()}
+		return &httpError{status: http.StatusNotFound, msg: err.Error()}
 	case errors.Is(err, ocqa.ErrDuplicateFact):
-		return &httpError{http.StatusConflict, err.Error()}
+		return &httpError{status: http.StatusConflict, msg: err.Error()}
 	case errors.Is(err, ocqa.ErrUnknownRelation),
 		errors.Is(err, ocqa.ErrArityMismatch),
 		errors.Is(err, ocqa.ErrFactIndex):
 		return badRequest("%v", err)
 	default:
-		return &httpError{http.StatusInternalServerError, err.Error()}
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 }
 
@@ -167,7 +171,7 @@ func (s *Server) mutateInstance(id string, op func(*ocqa.Instance) (*ocqa.Instan
 	if err != nil {
 		return out, mutationError(err)
 	}
-	s.counters.mutations.Add(1)
+	s.met.mutations.Inc()
 	s.cache.invalidate(id)
 	return out, nil
 }
@@ -345,6 +349,47 @@ func (s *Server) queryCacheKey(e *instanceEntry, req QueryRequest) string {
 	)
 }
 
+// costFromAcct renders engine accounting as a wire cost object.
+// elapsed is the handler-measured wall time, which also covers the
+// work the engine's own clock excludes (witness-set compilation,
+// marshalling).
+func costFromAcct(a ocqa.Accounting, elapsed time.Duration) *CostInfo {
+	c := &CostInfo{
+		Draws:       a.Draws,
+		Chunks:      a.Chunks,
+		Workers:     a.Workers,
+		WallSeconds: elapsed.Seconds(),
+		Cancelled:   a.Cancelled,
+	}
+	if len(a.PerWorker) > 0 {
+		c.PerWorkerDraws = append([]int64(nil), a.PerWorker...)
+	}
+	return c
+}
+
+// checkCoverage feeds the empirical (ε, δ)-envelope counters: when the
+// exact counterpart of a freshly computed single-tuple estimate is
+// sitting in the result cache, the estimate is checked against the
+// ε relative-error envelope the FPRAS promised. No engine ever runs
+// for this — it is a cache probe, so the counters only accumulate
+// where clients have asked both questions.
+func (s *Server) checkCoverage(e *instanceEntry, req QueryRequest, est ocqa.Estimate) {
+	exact := req
+	exact.Mode = "exact"
+	s.normalizeQuery(&exact)
+	cached, ok := s.cache.get(s.queryCacheKey(e, exact))
+	if !ok || len(cached.Answers) != 1 {
+		return
+	}
+	v := cached.Answers[0].Value
+	s.met.coverageChecks.With(e.id).Inc()
+	// For v = 0 the relative envelope degenerates to requiring an exact
+	// zero — which the estimators do deliver for empty witness sets.
+	if math.Abs(est.Value-v) <= req.Epsilon*v {
+		s.met.coverageWithin.With(e.id).Inc()
+	}
+}
+
 // executeQuery runs one QueryRequest against a registered instance:
 // the shared path behind the query endpoint and every batch element.
 // The instance's prepared samplers make it construction-free; results
@@ -352,15 +397,22 @@ func (s *Server) queryCacheKey(e *instanceEntry, req QueryRequest) string {
 // the request's own, bounded by the server deadline — reaches the
 // estimation loops, which stop within one sample chunk of its
 // cancellation; a response computed from such a truncated run is never
-// produced (the library returns the context error instead), so nothing
+// produced (the library returns the context error with the partial
+// estimates instead, which travel in the error body), so nothing
 // partial can land in the cache.
 func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRequest) (QueryResponse, *httpError) {
+	start := time.Now()
 	m, he := parseGenerator(req.Generator, req.Singleton)
 	if he != nil {
 		return QueryResponse{}, he
 	}
 	if req.Mode != "exact" && req.Mode != "approx" {
 		return QueryResponse{}, badRequest("unknown mode %q (want \"exact\" or \"approx\")", req.Mode)
+	}
+	ri := infoFrom(ctx)
+	if ri != nil {
+		ri.generator.Store(req.Generator)
+		ri.mode.Store(req.Mode)
 	}
 	if req.Mode == "approx" {
 		if he := validateApproxParams(&req); he != nil {
@@ -379,11 +431,26 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 	s.normalizeQuery(&req)
 	key := s.queryCacheKey(e, req)
 	if resp, ok := s.cache.get(key); ok {
-		s.counters.cacheHits.Add(1)
-		s.counters.queriesServed.Add(1)
+		s.met.cacheHits.Inc()
+		s.met.queriesServed.Inc()
+		if ri != nil {
+			ri.cacheHit.Add(1)
+		}
+		// The cached cost keeps the original run's draw accounting but
+		// reports this request's disposition: served from cache, in
+		// lookup time. (The clone is the caller's own copy — mutating
+		// its Cost cannot reach the cached entry.)
+		if resp.Cost == nil {
+			resp.Cost = &CostInfo{}
+		}
+		resp.Cost.Cached = true
+		resp.Cost.WallSeconds = time.Since(start).Seconds()
 		return resp, nil
 	}
-	s.counters.cacheMisses.Add(1)
+	s.met.cacheMisses.Inc()
+	if ri != nil {
+		ri.cacheMiss.Add(1)
+	}
 
 	p := e.prepared
 	status, cite := ocqa.Approximability(m, p.Class())
@@ -408,7 +475,7 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 
 	switch req.Mode {
 	case "exact":
-		s.counters.exactQueries.Add(1)
+		s.met.exactQueries.Inc()
 		limit := req.Limit // already clamped by normalizeQuery
 		if single {
 			prob, err := p.ExactProbability(m, q, c, limit)
@@ -422,8 +489,8 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			if err != nil {
 				return QueryResponse{}, toHTTPError(err)
 			}
-			s.counters.answersQueries.Add(1)
-			s.counters.answerTuples.Add(int64(len(answers)))
+			s.met.answersQueries.Inc()
+			s.met.answerTuples.Add(int64(len(answers)))
 			resp.Answers = make([]Answer, 0, len(answers))
 			for _, a := range answers {
 				f, _ := a.Prob.Float64()
@@ -431,7 +498,7 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			}
 		}
 	case "approx":
-		s.counters.approxQueries.Add(1)
+		s.met.approxQueries.Inc()
 		opts := ocqa.ApproxOptions{
 			Epsilon:    req.Epsilon,
 			Delta:      req.Delta,
@@ -443,22 +510,43 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 		if single {
 			est, err := p.Approximate(ctx, m, q, c, opts)
 			if err != nil {
-				return QueryResponse{}, toHTTPError(err)
+				he := toHTTPError(err)
+				he.cost = costFromAcct(est.Acct, time.Since(start))
+				if est.Samples > 0 {
+					conv := est.Converged
+					he.partial = []Answer{{Tuple: tupleJSON(c), Value: est.Value, Samples: est.Samples, Converged: &conv}}
+				}
+				return QueryResponse{}, he
 			}
-			s.counters.sampleDraws.Add(int64(est.Samples))
+			s.met.sampleDraws.Add(int64(est.Samples))
+			if ri != nil {
+				ri.draws.Add(int64(est.Samples))
+			}
 			conv := est.Converged
 			resp.Answers = []Answer{{Tuple: tupleJSON(c), Value: est.Value, Samples: est.Samples, Converged: &conv}}
+			resp.Cost = costFromAcct(est.Acct, time.Since(start))
+			s.checkCoverage(e, req, est)
 		} else {
 			// The all-answers shape runs ONE shared Monte-Carlo pass for
 			// every candidate tuple (witness sets cached per query
 			// fingerprint on the prepared instance); req.Workers
 			// parallelises that single pass.
-			answers, err := p.ApproximateAnswers(ctx, m, q, opts)
+			answers, acct, err := p.ApproximateAnswersAcct(ctx, m, q, opts)
 			if err != nil {
-				return QueryResponse{}, toHTTPError(err)
+				he := toHTTPError(err)
+				he.cost = costFromAcct(acct, time.Since(start))
+				// The partial per-tuple estimates accompany the error.
+				for _, a := range answers {
+					if a.Estimate.Samples == 0 {
+						continue
+					}
+					conv := a.Estimate.Converged
+					he.partial = append(he.partial, Answer{Tuple: tupleJSON(a.Tuple), Value: a.Estimate.Value, Samples: a.Estimate.Samples, Converged: &conv})
+				}
+				return QueryResponse{}, he
 			}
-			s.counters.answersQueries.Add(1)
-			s.counters.answerTuples.Add(int64(len(answers)))
+			s.met.answersQueries.Inc()
+			s.met.answerTuples.Add(int64(len(answers)))
 			resp.Answers = make([]Answer, 0, len(answers))
 			// The tuples share one draw stream: the pass's cost is the
 			// longest per-tuple prefix, not the per-tuple sum.
@@ -470,10 +558,18 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 				conv := a.Estimate.Converged
 				resp.Answers = append(resp.Answers, Answer{Tuple: tupleJSON(a.Tuple), Value: a.Estimate.Value, Samples: a.Estimate.Samples, Converged: &conv})
 			}
-			s.counters.sampleDraws.Add(int64(shared))
+			s.met.sampleDraws.Add(int64(shared))
+			if ri != nil {
+				ri.draws.Add(int64(shared))
+			}
+			resp.Cost = costFromAcct(acct, time.Since(start))
 		}
 	}
-	s.counters.queriesServed.Add(1)
+	// Exact paths carry a cost too: zero draws, handler wall time.
+	if resp.Cost == nil {
+		resp.Cost = &CostInfo{WallSeconds: time.Since(start).Seconds()}
+	}
+	s.met.queriesServed.Inc()
 	// Best-effort guard against caching for an instance deregistered
 	// mid-query (the entry would be unreachable, since IDs are never
 	// reused). A delete landing between this check and the put can
@@ -525,21 +621,26 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (CountResponse, *httpError) {
+		start := time.Now()
 		p := e.prepared
+		out := CountResponse{Singleton: req.Singleton}
 		if req.Sequences {
 			n, err := p.CountSequences(req.Singleton, s.clampLimit(req.Limit))
 			if err != nil {
 				return CountResponse{}, toHTTPError(err)
 			}
-			return CountResponse{Count: n.String(), Singleton: req.Singleton, Sequences: true}, nil
+			out.Count, out.Sequences = n.String(), true
+		} else {
+			out.Count = p.CountRepairs(req.Singleton).String()
 		}
-		return CountResponse{Count: p.CountRepairs(req.Singleton).String(), Singleton: req.Singleton}, nil
+		out.Cost = &CostInfo{WallSeconds: time.Since(start).Seconds()}
+		return out, nil
 	})
 	if he != nil {
 		s.writeError(w, he)
 		return
 	}
-	s.counters.queriesServed.Add(1)
+	s.met.queriesServed.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -558,7 +659,12 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
+	if ri := infoFrom(r.Context()); ri != nil {
+		ri.generator.Store(req.Generator)
+		ri.mode.Store(req.Mode)
+	}
 	resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (MarginalsResponse, *httpError) {
+		start := time.Now()
 		p := e.prepared
 		resp := MarginalsResponse{Instance: e.id, Generator: m.Symbol(), Mode: req.Mode}
 		db := p.DB()
@@ -573,6 +679,7 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 				f, _ := fm.Prob.Float64()
 				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: fm.Fact.String(), Prob: fm.Prob.RatString(), Value: f})
 			}
+			resp.Cost = &CostInfo{WallSeconds: time.Since(start).Seconds()}
 		case "approx":
 			// The draw count is resolved here (not left to the library
 			// default) only because the server must clamp it and account
@@ -591,20 +698,26 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 			if workers > s.opts.BatchWorkers {
 				workers = s.opts.BatchWorkers
 			}
-			vals, err := p.ApproximateFactMarginals(ctx, m, ocqa.ApproxOptions{
+			vals, acct, err := p.ApproximateFactMarginalsAcct(ctx, m, ocqa.ApproxOptions{
 				Seed:       req.Seed,
 				MaxSamples: draws,
 				Workers:    workers,
 				Force:      req.Force,
 			})
 			if err != nil {
-				return MarginalsResponse{}, toHTTPError(err)
+				he := toHTTPError(err)
+				he.cost = costFromAcct(acct, time.Since(start))
+				return MarginalsResponse{}, he
 			}
-			s.counters.sampleDraws.Add(int64(draws))
+			s.met.sampleDraws.Add(acct.Draws)
+			if ri := infoFrom(ctx); ri != nil {
+				ri.draws.Add(acct.Draws)
+			}
 			resp.Marginals = make([]FactMarginal, 0, len(vals))
 			for i, v := range vals {
 				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: db.Fact(i).String(), Value: v})
 			}
+			resp.Cost = costFromAcct(acct, time.Since(start))
 		default:
 			return MarginalsResponse{}, badRequest("unknown mode %q (want \"exact\" or \"approx\")", req.Mode)
 		}
@@ -614,7 +727,7 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	s.counters.queriesServed.Add(1)
+	s.met.queriesServed.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -656,6 +769,6 @@ func (s *Server) handleSemantics(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
-	s.counters.queriesServed.Add(1)
+	s.met.queriesServed.Inc()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -3,35 +3,185 @@ package server
 import (
 	"encoding/json"
 	"net/http"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/sampler"
 )
 
-// counters are the server's expvar-style operational counters, all
-// lock-free and safe under concurrent handlers. They are exposed as
-// JSON at GET /varz.
-type counters struct {
-	queriesServed  atomic.Int64
-	exactQueries   atomic.Int64
-	approxQueries  atomic.Int64
-	answersQueries atomic.Int64
-	answerTuples   atomic.Int64
-	batchRequests  atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	refusals       atomic.Int64
-	timeouts       atomic.Int64
-	errors         atomic.Int64
-	sampleDraws    atomic.Int64
-	registered     atomic.Int64
-	mutations      atomic.Int64
-	evictions      atomic.Int64
+// serverMetrics is the server's metrics core: every operational counter
+// lives in one metrics.Registry, so the same registered values feed the
+// back-compatible JSON /varz snapshot and the Prometheus text at
+// GET /metrics. Handler hot paths touch pre-resolved handles (one
+// atomic op each); anything derivable from live state — registry size,
+// cache occupancy, per-instance gauges, store stats — is read at
+// scrape time instead, via func metrics and the collect hook.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	queriesServed  *metrics.Counter
+	exactQueries   *metrics.Counter
+	approxQueries  *metrics.Counter
+	answersQueries *metrics.Counter
+	answerTuples   *metrics.Counter
+	batchRequests  *metrics.Counter
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	refusals       *metrics.Counter
+	timeouts       *metrics.Counter
+	errors         *metrics.Counter
+	sampleDraws    *metrics.Counter
+	registered     *metrics.Counter
+	mutations      *metrics.Counter
+	evictions      *metrics.Counter
+
+	// Per-endpoint request observability, fed by ServeHTTP for every
+	// request (the classified endpoint label keeps cardinality fixed).
+	httpRequests *metrics.CounterVec   // endpoint, code
+	httpLatency  *metrics.HistogramVec // endpoint
+
+	// Engine run histograms, fed by the engine's run hook: one
+	// observation per estimation run, cancelled runs included.
+	engineDraws *metrics.Histogram
+	engineWall  *metrics.Histogram
+
+	// Empirical (ε, δ)-envelope coverage: an approx single-tuple result
+	// whose exact counterpart is in the result cache is checked against
+	// |est − v| ≤ ε·v and counted per instance.
+	coverageChecks *metrics.CounterVec // instance
+	coverageWithin *metrics.CounterVec // instance
+
+	// Per-instance gauges, rebuilt from the registry at every scrape.
+	instFacts     *metrics.GaugeVec // instance
+	instBlocks    *metrics.GaugeVec
+	instConflicts *metrics.GaugeVec
+	instGen       *metrics.GaugeVec
+	instRuns      *metrics.GaugeVec
+	instDraws     *metrics.GaugeVec
+	instWall      *metrics.GaugeVec
 }
 
-// varz is the JSON shape of GET /varz.
+// latencyBuckets spans 1 ms – ~65 s in ×4 steps: wide enough for both
+// cache hits and near-deadline estimations, cheap enough to render.
+func latencyBuckets() []float64 { return metrics.ExponentialBuckets(0.001, 4, 9) }
+
+func newServerMetrics(s *Server) *serverMetrics {
+	r := metrics.New()
+	m := &serverMetrics{reg: r}
+
+	m.queriesServed = r.NewCounter("ocqa_queries_served_total",
+		"Requests served by the query, batch-element, count and marginals paths.")
+	m.exactQueries = r.NewCounter("ocqa_exact_queries_total", "Queries executed by the exact engines.")
+	m.approxQueries = r.NewCounter("ocqa_approx_queries_total", "Queries executed by the estimation engines.")
+	m.answersQueries = r.NewCounter("ocqa_answers_queries_total",
+		"Queries executed in all-answers shape (every tuple of Q(D) in one computation).")
+	m.answerTuples = r.NewCounter("ocqa_answer_tuples_total", "Tuples returned by all-answers queries.")
+	m.batchRequests = r.NewCounter("ocqa_batch_requests_total", "Batch requests accepted.")
+	m.cacheHits = r.NewCounter("ocqa_result_cache_hits_total", "Query executions served from the result cache.")
+	m.cacheMisses = r.NewCounter("ocqa_result_cache_misses_total", "Query executions that missed the result cache.")
+	m.refusals = r.NewCounter("ocqa_refusals_total", "Requests refused by the approximability matrix or a state budget (HTTP 422).")
+	m.timeouts = r.NewCounter("ocqa_timeouts_total", "Requests that exceeded the server deadline (HTTP 504).")
+	m.errors = r.NewCounter("ocqa_errors_total", "Requests failed with any other error status.")
+	m.sampleDraws = r.NewCounter("ocqa_sample_draws_total",
+		"Monte-Carlo draws accounted at the handler level (shared passes count their longest prefix once).")
+	m.registered = r.NewCounter("ocqa_instances_registered_total", "Instance registrations over the server's lifetime.")
+	m.mutations = r.NewCounter("ocqa_fact_mutations_total", "Applied insert-fact and delete-fact operations.")
+	m.evictions = r.NewCounter("ocqa_instance_evictions_total", "Instances evicted by over-capacity registrations.")
+
+	m.httpRequests = r.NewCounterVec("ocqa_http_requests_total",
+		"HTTP requests by classified endpoint and status code.", "endpoint", "code")
+	m.httpLatency = r.NewHistogramVec("ocqa_http_request_duration_seconds",
+		"HTTP request latency by classified endpoint.", latencyBuckets(), "endpoint")
+
+	m.engineDraws = r.NewHistogram("ocqa_engine_run_draws",
+		"Monte-Carlo draws per estimation run (discarded parallel tails included).",
+		metrics.ExponentialBuckets(256, 4, 10))
+	m.engineWall = r.NewHistogram("ocqa_engine_run_duration_seconds",
+		"Wall time per estimation run.", metrics.ExponentialBuckets(0.0001, 4, 10))
+
+	m.coverageChecks = r.NewCounterVec("ocqa_coverage_checks_total",
+		"Approx results compared against a cached exact counterpart.", "instance")
+	m.coverageWithin = r.NewCounterVec("ocqa_coverage_within_total",
+		"Compared approx results that landed inside their (epsilon, delta) envelope.", "instance")
+
+	m.instFacts = r.NewGaugeVec("ocqa_instance_facts", "Facts in the instance's database.", "instance")
+	m.instBlocks = r.NewGaugeVec("ocqa_instance_blocks",
+		"Non-singleton conflict blocks (present only once the sampler artifacts are built).", "instance")
+	m.instConflicts = r.NewGaugeVec("ocqa_instance_conflict_pairs", "Conflicting fact pairs.", "instance")
+	m.instGen = r.NewGaugeVec("ocqa_instance_generation", "Mutation generation (1 at registration).", "instance")
+	m.instRuns = r.NewGaugeVec("ocqa_instance_estimation_runs", "Estimation runs served by the instance's current generation.", "instance")
+	m.instDraws = r.NewGaugeVec("ocqa_instance_estimation_draws", "Monte-Carlo draws consumed by the instance's current generation.", "instance")
+	m.instWall = r.NewGaugeVec("ocqa_instance_estimation_seconds", "Estimation wall time spent on the instance's current generation.", "instance")
+
+	r.NewGaugeFunc("ocqa_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	r.NewGaugeFunc("ocqa_instances", "Instances currently registered.",
+		func() float64 { return float64(s.reg.len()) })
+	r.NewGaugeFunc("ocqa_result_cache_entries", "Entries in the result cache.",
+		func() float64 { return float64(s.cache.len()) })
+	r.NewCounterFunc("ocqa_result_cache_evictions_total", "Result-cache entries evicted by the LRU capacity bound.",
+		func() float64 { return float64(s.cache.evicted()) })
+	r.NewCounterFunc("ocqa_sampler_constructions_total", "DP-table sampler constructions process-wide.",
+		func() float64 { return float64(sampler.Constructions()) })
+	r.NewCounterFunc("ocqa_engine_samples_drawn_total", "Monte-Carlo draws performed by the estimation engine process-wide.",
+		func() float64 { return float64(engine.SamplesDrawn()) })
+	r.NewCounterFunc("ocqa_engine_cancelled_runs_total", "Estimation runs stopped early by context cancellation.",
+		func() float64 { return float64(engine.CancelledRuns()) })
+	r.NewCounterFunc("ocqa_engine_multi_runs_total", "Shared-draw multi-target estimation passes.",
+		func() float64 { return float64(engine.MultiRuns()) })
+	r.NewCounterFunc("ocqa_engine_multi_targets_total", "Answer tuples served by shared-draw passes.",
+		func() float64 { return float64(engine.MultiTargets()) })
+
+	if s.store != nil {
+		r.NewCounterFunc("ocqa_store_wal_appends_total", "WAL append batches.",
+			func() float64 { return float64(s.store.Stats().WalAppends) })
+		r.NewCounterFunc("ocqa_store_wal_records_total", "WAL records written.",
+			func() float64 { return float64(s.store.Stats().WalRecords) })
+		r.NewCounterFunc("ocqa_store_snapshots_total", "Snapshots written.",
+			func() float64 { return float64(s.store.Stats().Snapshots) })
+		r.NewCounterFunc("ocqa_store_replayed_ops_total", "Operations replayed at boot.",
+			func() float64 { return float64(s.store.Stats().ReplayedOps) })
+		r.NewCounterFunc("ocqa_store_compactions_total", "Log compactions performed.",
+			func() float64 { return float64(s.store.Stats().Compactions) })
+	}
+
+	r.OnCollect(s.collectInstanceGauges)
+	return m
+}
+
+// collectInstanceGauges rebuilds the per-instance gauge families from
+// the current registry — deregistered instances drop out of the scrape
+// rather than freezing at their last value. BlockCount deliberately
+// never forces a deferred sampler build: a metrics scrape must stay
+// read-only.
+func (s *Server) collectInstanceGauges() {
+	m := s.met
+	for _, v := range []*metrics.GaugeVec{
+		m.instFacts, m.instBlocks, m.instConflicts, m.instGen,
+		m.instRuns, m.instDraws, m.instWall,
+	} {
+		v.Reset()
+	}
+	for _, e := range s.reg.list() {
+		in := e.prepared.Instance
+		m.instFacts.With(e.id).Set(float64(in.DB().Len()))
+		m.instConflicts.With(e.id).Set(float64(len(in.Core().ConflictPairs())))
+		m.instGen.With(e.id).Set(float64(e.gen))
+		if n, ok := e.prepared.BlockCount(); ok {
+			m.instBlocks.With(e.id).Set(float64(n))
+		}
+		u := e.prepared.Usage()
+		m.instRuns.With(e.id).Set(float64(u.Runs))
+		m.instDraws.With(e.id).Set(float64(u.Draws))
+		m.instWall.With(e.id).Set(time.Duration(u.WallNanos).Seconds())
+	}
+}
+
+// varz is the JSON shape of GET /varz. The original field set is a
+// compatibility contract — dashboards read it — so fields are only ever
+// added, and every value is sourced from the same registry handles that
+// feed GET /metrics.
 type varz struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Instances     int     `json:"instances"`
@@ -85,6 +235,19 @@ type varz struct {
 	EngineMultiRuns    int64 `json:"engine_multi_runs"`
 	EngineMultiTargets int64 `json:"engine_multi_targets"`
 
+	// ResultCacheEvictions counts result-cache entries dropped by the
+	// LRU capacity bound (instance-scoped invalidations not included).
+	ResultCacheEvictions int64 `json:"result_cache_evictions"`
+	// CoverageChecks / CoverageWithin total the empirical
+	// (ε, δ)-envelope checks across instances: approx results compared
+	// against a cached exact counterpart, and how many landed within
+	// ε relative error.
+	CoverageChecks int64 `json:"coverage_checks"`
+	CoverageWithin int64 `json:"coverage_within"`
+	// EndpointLatency summarises the per-endpoint request histograms;
+	// endpoints that have served no requests are omitted.
+	EndpointLatency map[string]endpointLatency `json:"endpoint_latency,omitempty"`
+
 	// Persistence counters, all zero when the server runs without a
 	// durable store (-data-dir unset).
 	Persistent  bool  `json:"persistent"`
@@ -95,32 +258,58 @@ type varz struct {
 	Compactions int64 `json:"compactions"`
 }
 
+// endpointLatency is one endpoint's latency summary in /varz.
+type endpointLatency struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P90   float64 `json:"p90_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	m := s.met
 	v := varz{
 		UptimeSeconds:        time.Since(s.start).Seconds(),
 		Instances:            s.reg.len(),
 		CacheEntries:         s.cache.len(),
-		QueriesServed:        s.counters.queriesServed.Load(),
-		ExactQueries:         s.counters.exactQueries.Load(),
-		ApproxQueries:        s.counters.approxQueries.Load(),
-		AnswersQueries:       s.counters.answersQueries.Load(),
-		AnswerTuples:         s.counters.answerTuples.Load(),
-		BatchRequests:        s.counters.batchRequests.Load(),
-		CacheHits:            s.counters.cacheHits.Load(),
-		CacheMisses:          s.counters.cacheMisses.Load(),
-		Refusals:             s.counters.refusals.Load(),
-		Timeouts:             s.counters.timeouts.Load(),
-		Errors:               s.counters.errors.Load(),
-		SampleDraws:          s.counters.sampleDraws.Load(),
-		InstancesRegistered:  s.counters.registered.Load(),
-		FactMutations:        s.counters.mutations.Load(),
-		Evictions:            s.counters.evictions.Load(),
+		QueriesServed:        m.queriesServed.Value(),
+		ExactQueries:         m.exactQueries.Value(),
+		ApproxQueries:        m.approxQueries.Value(),
+		AnswersQueries:       m.answersQueries.Value(),
+		AnswerTuples:         m.answerTuples.Value(),
+		BatchRequests:        m.batchRequests.Value(),
+		CacheHits:            m.cacheHits.Value(),
+		CacheMisses:          m.cacheMisses.Value(),
+		Refusals:             m.refusals.Value(),
+		Timeouts:             m.timeouts.Value(),
+		Errors:               m.errors.Value(),
+		SampleDraws:          m.sampleDraws.Value(),
+		InstancesRegistered:  m.registered.Value(),
+		FactMutations:        m.mutations.Value(),
+		Evictions:            m.evictions.Value(),
 		SamplerConstructions: sampler.Constructions(),
 		EngineSamplesDrawn:   engine.SamplesDrawn(),
 		EngineCancelledRuns:  engine.CancelledRuns(),
 		EngineMultiRuns:      engine.MultiRuns(),
 		EngineMultiTargets:   engine.MultiTargets(),
+		ResultCacheEvictions: s.cache.evicted(),
 	}
+	m.coverageChecks.Each(func(_ []string, n int64) { v.CoverageChecks += n })
+	m.coverageWithin.Each(func(_ []string, n int64) { v.CoverageWithin += n })
+	m.httpLatency.Each(func(labels []string, h *metrics.Histogram) {
+		if h.Count() == 0 {
+			return // Quantile is NaN on an empty histogram, which JSON cannot carry
+		}
+		if v.EndpointLatency == nil {
+			v.EndpointLatency = make(map[string]endpointLatency)
+		}
+		v.EndpointLatency[labels[0]] = endpointLatency{
+			Count: h.Count(),
+			P50:   h.Quantile(0.5),
+			P90:   h.Quantile(0.9),
+			P99:   h.Quantile(0.99),
+		}
+	})
 	if s.store != nil {
 		st := s.store.Stats()
 		v.Persistent = true
@@ -131,6 +320,13 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		v.Compactions = st.Compactions
 	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

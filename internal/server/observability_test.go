@@ -1,0 +1,515 @@
+package server
+
+// Tests for the observability layer: per-query cost accounting
+// (including the partial accounting of deadline-cancelled runs),
+// the Prometheus exposition of /metrics, request-id tracing, the
+// result-cache and coverage counters, and the pprof gate.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// bigBlockFacts builds an instance large enough that a capped
+// Monte-Carlo estimation takes far longer than a short server
+// deadline: `blocks` two-fact key blocks.
+func bigBlockFacts(blocks int) string {
+	var sb strings.Builder
+	for i := 0; i < blocks; i++ {
+		fmt.Fprintf(&sb, "R(k%d,va%d)\nR(k%d,vb%d)\n", i, i, i, i)
+	}
+	return sb.String()
+}
+
+// TestCancellationAccounting is the deadline e2e: a query that cannot
+// finish inside the server deadline must come back 504 carrying the
+// partial estimate, the draws already spent, the Cancelled mark and
+// the request id — and the engine's cancelled-run counter must move.
+func TestCancellationAccounting(t *testing.T) {
+	ts, _ := newTestServer(t, Options{
+		QueryTimeout: 25 * time.Millisecond,
+		CacheSize:    -1,
+	})
+	reg := register(t, ts.URL, bigBlockFacts(300), "R: A1 -> A2\n")
+
+	cancelledBefore := engine.CancelledRuns()
+	body, _ := jsonBody(t, QueryRequest{
+		Generator: "ur", Mode: "approx",
+		Query: "Ans() :- R(k1, 'va1')",
+		// Tight (ε, δ) so the stopping rule needs millions of draws —
+		// far beyond what 25ms allows on a 600-fact instance.
+		Epsilon: 0.005, Delta: 0.01, Seed: 3, MaxSamples: 5_000_000,
+	})
+	resp, err := http.Post(ts.URL+"/v1/instances/"+reg.ID+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RequestID == "" || er.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("error body request_id %q does not echo header %q", er.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+	if er.Cost == nil {
+		t.Fatalf("504 body carries no cost: %+v", er)
+	}
+	if er.Cost.Draws == 0 {
+		t.Error("cancelled run reported zero draws — the partial accounting was lost")
+	}
+	if !er.Cost.Cancelled {
+		t.Error("cancelled run's cost not marked Cancelled")
+	}
+	if len(er.Partial) != 1 || er.Partial[0].Samples == 0 {
+		t.Errorf("504 body carries no usable partial estimate: %+v", er.Partial)
+	}
+	if d := engine.CancelledRuns() - cancelledBefore; d < 1 {
+		t.Errorf("engine cancelled-run counter moved by %d, want >= 1", d)
+	}
+}
+
+// jsonBody marshals v for http.Post.
+func jsonBody(t *testing.T, v any) (io.Reader, []byte) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b), b
+}
+
+// TestEveryResponseEmbedsCost pins the acceptance criterion that
+// query, count and marginals responses all carry a cost object —
+// exact (zero draws), approx (engine accounting) and cached
+// (Cached=true) alike.
+func TestEveryResponseEmbedsCost(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	base := ts.URL + "/v1/instances/" + reg.ID
+
+	var exact QueryResponse
+	req := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	if st := do(t, http.MethodPost, base+"/query", req, &exact); st != http.StatusOK {
+		t.Fatalf("exact query: status %d", st)
+	}
+	if exact.Cost == nil || exact.Cost.Draws != 0 || exact.Cost.Cached {
+		t.Errorf("exact cost = %+v, want non-nil with zero draws, not cached", exact.Cost)
+	}
+
+	var cached QueryResponse
+	if st := do(t, http.MethodPost, base+"/query", req, &cached); st != http.StatusOK {
+		t.Fatalf("cached query: status %d", st)
+	}
+	if cached.Cost == nil || !cached.Cost.Cached {
+		t.Errorf("cache-hit cost = %+v, want Cached=true", cached.Cost)
+	}
+
+	var approx QueryResponse
+	areq := QueryRequest{Generator: "ur", Mode: "approx", Query: "Ans(n) :- Emp(i, n)", Tuple: "Alice", Seed: 5}
+	if st := do(t, http.MethodPost, base+"/query", areq, &approx); st != http.StatusOK {
+		t.Fatalf("approx query: status %d", st)
+	}
+	if approx.Cost == nil || approx.Cost.Draws == 0 || approx.Cost.Workers < 1 {
+		t.Errorf("approx cost = %+v, want non-nil with draws and workers", approx.Cost)
+	}
+
+	var count CountResponse
+	if st := do(t, http.MethodPost, base+"/repairs/count", CountRequest{}, &count); st != http.StatusOK {
+		t.Fatalf("count: status %d", st)
+	}
+	if count.Cost == nil {
+		t.Error("count response carries no cost")
+	}
+
+	var marg MarginalsResponse
+	mreq := MarginalsRequest{Generator: "ur", Mode: "approx", Seed: 5, MaxSamples: 2000}
+	if st := do(t, http.MethodPost, base+"/marginals", mreq, &marg); st != http.StatusOK {
+		t.Fatalf("marginals: status %d", st)
+	}
+	if marg.Cost == nil || marg.Cost.Draws == 0 {
+		t.Errorf("approx marginals cost = %+v, want non-nil with draws", marg.Cost)
+	}
+}
+
+var promNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+func parsePromLine(t *testing.T, line string) promSample {
+	t.Helper()
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		t.Fatalf("no value separator in %q", line)
+	}
+	v, err := strconv.ParseFloat(line[sp+1:], 64)
+	if err != nil {
+		t.Fatalf("unparseable value in %q: %v", line, err)
+	}
+	id := line[:sp]
+	name, labels := id, ""
+	if br := strings.IndexByte(id, '{'); br >= 0 {
+		name, labels = id[:br], id[br:]
+		if !strings.HasSuffix(labels, "}") {
+			t.Fatalf("unterminated label set in %q", line)
+		}
+	}
+	if !promNameRe.MatchString(name) {
+		t.Fatalf("invalid metric name in %q", line)
+	}
+	return promSample{name: name, labels: labels, value: v}
+}
+
+// TestMetricsPrometheusExposition drives mixed load at the server and
+// lints the /metrics output: valid names, HELP/TYPE before samples,
+// histogram buckets cumulative with +Inf == _count. This is the
+// metrics-lint CI job's in-process core.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	ts, _ := newTestServer(t, Options{CacheSize: 4})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	base := ts.URL + "/v1/instances/" + reg.ID
+
+	// Load: exact, cached repeat, approx, batch, marginals, count, a
+	// refusal (general FDs, M^ur has no FPRAS), a 404 and a bad body.
+	regFD := register(t, ts.URL, fdFacts, fdFDs)
+	exact := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var qr QueryResponse
+	do(t, http.MethodPost, base+"/query", exact, &qr)
+	do(t, http.MethodPost, base+"/query", exact, &qr)
+	do(t, http.MethodPost, base+"/query", QueryRequest{Generator: "ur", Mode: "approx", Query: "Ans(n) :- Emp(i, n)", Seed: 2}, &qr)
+	do(t, http.MethodPost, base+"/batch", BatchRequest{Queries: []QueryRequest{exact, exact}}, nil)
+	do(t, http.MethodPost, base+"/marginals", MarginalsRequest{Generator: "ur", Mode: "approx", Seed: 2, MaxSamples: 1000}, nil)
+	do(t, http.MethodPost, base+"/repairs/count", CountRequest{}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/instances/"+regFD.ID+"/query",
+		QueryRequest{Generator: "ur", Mode: "approx", Query: "Ans(x) :- R(i, x, p)"}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/instances/nope/query", exact, nil)
+	http.Post(base+"/query", "application/json", strings.NewReader("{broken"))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want Prometheus text format 0.0.4", ct)
+	}
+
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	var samples []promSample
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if f, ok := strings.CutPrefix(line, "# HELP "); ok {
+			helped[strings.SplitN(f, " ", 2)[0]] = true
+			continue
+		}
+		if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.SplitN(f, " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		samples = append(samples, parsePromLine(t, line))
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples in /metrics output")
+	}
+
+	// Every sample's family must be declared; histogram families export
+	// under _bucket/_sum/_count suffixes.
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typed[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+	for _, s := range samples {
+		f := family(s.name)
+		if !helped[f] || typed[f] == "" {
+			t.Errorf("sample %s has no # HELP/# TYPE for family %s", s.name, f)
+		}
+	}
+
+	// Key families must be present and typed correctly.
+	for fam, typ := range map[string]string{
+		"ocqa_queries_served_total":          "counter",
+		"ocqa_http_requests_total":           "counter",
+		"ocqa_http_request_duration_seconds": "histogram",
+		"ocqa_engine_run_draws":              "histogram",
+		"ocqa_result_cache_hits_total":       "counter",
+		"ocqa_engine_samples_drawn_total":    "counter",
+		"ocqa_instance_estimation_runs":      "gauge",
+		"ocqa_uptime_seconds":                "gauge",
+	} {
+		if typed[fam] != typ {
+			t.Errorf("family %s: type %q, want %q", fam, typed[fam], typ)
+		}
+	}
+
+	// Histogram linting: per (family, base label set), bucket counts
+	// must be cumulative in le and the +Inf bucket must equal _count.
+	leRe := regexp.MustCompile(`le="([^"]*)"`)
+	type histKey struct{ name, labels string }
+	buckets := map[histKey][]struct {
+		le string
+		v  float64
+	}{}
+	counts := map[histKey]float64{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_bucket") {
+			m := leRe.FindStringSubmatch(s.labels)
+			if m == nil {
+				t.Fatalf("bucket sample without le label: %s%s", s.name, s.labels)
+			}
+			stripped := strings.Trim(leRe.ReplaceAllString(s.labels, ""), "{,}")
+			k := histKey{strings.TrimSuffix(s.name, "_bucket"), stripped}
+			buckets[k] = append(buckets[k], struct {
+				le string
+				v  float64
+			}{m[1], s.value})
+		}
+		if strings.HasSuffix(s.name, "_count") {
+			k := histKey{strings.TrimSuffix(s.name, "_count"), strings.Trim(s.labels, "{,}")}
+			counts[k] = s.value
+		}
+	}
+	parseLE := func(s string) float64 {
+		if s == "+Inf" {
+			return float64(1 << 62)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("unparseable le %q", s)
+		}
+		return v
+	}
+	for k, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return parseLE(bs[i].le) < parseLE(bs[j].le) })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].v < bs[i-1].v {
+				t.Errorf("%s%s: bucket le=%s count %v below le=%s count %v — not cumulative",
+					k.name, k.labels, bs[i].le, bs[i].v, bs[i-1].le, bs[i-1].v)
+			}
+		}
+		last := bs[len(bs)-1]
+		if last.le != "+Inf" {
+			t.Errorf("%s%s: last bucket le=%s, want +Inf", k.name, k.labels, last.le)
+		}
+		if c, ok := counts[k]; !ok || last.v != c {
+			t.Errorf("%s%s: +Inf bucket %v != _count %v", k.name, k.labels, last.v, c)
+		}
+	}
+}
+
+// TestRequestIDTracing covers the id lifecycle: a valid client id is
+// propagated, an invalid one replaced, a missing one minted, and the
+// access log carries the id and endpoint.
+func TestRequestIDTracing(t *testing.T) {
+	var logBuf bytes.Buffer
+	ts, _ := newTestServer(t, Options{
+		AccessLog: slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+
+	get := func(id string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "" {
+			req.Header.Set("X-Request-Id", id)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := get("trace-me.123").Header.Get("X-Request-Id"); got != "trace-me.123" {
+		t.Errorf("valid client id not propagated: got %q", got)
+	}
+	if got := get("has spaces!").Header.Get("X-Request-Id"); got == "has spaces!" || got == "" {
+		t.Errorf("invalid client id not replaced: got %q", got)
+	}
+	minted := get("").Header.Get("X-Request-Id")
+	if len(minted) != 16 {
+		t.Errorf("minted id %q, want 16 hex chars", minted)
+	}
+
+	// An error body echoes the id.
+	resp, err := http.Post(ts.URL+"/v1/instances/ghost/query", "application/json",
+		strings.NewReader(`{"generator":"ur","mode":"exact","query":"Ans(n) :- Emp(i, n)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if er.RequestID == "" || er.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Errorf("404 body request_id %q vs header %q", er.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	// A query lands in the access log with its id, endpoint and
+	// instance.
+	logBuf.Reset()
+	var qr QueryResponse
+	do(t, http.MethodPost, ts.URL+"/v1/instances/"+reg.ID+"/query",
+		QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}, &qr)
+	line := logBuf.String()
+	for _, want := range []string{"request_id=", "endpoint=query", "instance=" + reg.ID, "status=200"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log line missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestCacheAndEvictionMetrics pins the result-cache counters across
+// the generation-keyed lifecycle: miss, hit, capacity eviction — in
+// the typed registry and on /varz.
+func TestCacheAndEvictionMetrics(t *testing.T) {
+	ts, srv := newTestServer(t, Options{CacheSize: 2})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	base := ts.URL + "/v1/instances/" + reg.ID
+
+	q := func(name string) QueryRequest {
+		return QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)", Tuple: name, HasTuple: true}
+	}
+	var qr QueryResponse
+	do(t, http.MethodPost, base+"/query", q("Alice"), &qr) // miss
+	do(t, http.MethodPost, base+"/query", q("Alice"), &qr) // hit
+	if h, m := srv.met.cacheHits.Value(), srv.met.cacheMisses.Value(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d after miss+hit, want 1/1", h, m)
+	}
+
+	// Two more distinct keys overflow the 2-entry cache.
+	do(t, http.MethodPost, base+"/query", q("Bob"), &qr)
+	do(t, http.MethodPost, base+"/query", q("Eve"), &qr)
+	if ev := srv.cache.evicted(); ev < 1 {
+		t.Fatalf("evictions = %d after overflow, want >= 1", ev)
+	}
+
+	// A fact mutation bumps the generation: the old entry is
+	// unreachable, the re-query is a miss, not a stale hit.
+	missesBefore := srv.met.cacheMisses.Value()
+	if st := do(t, http.MethodPost, base+"/facts", InsertFactRequest{Fact: "Emp(9,Zed)"}, nil); st != http.StatusOK {
+		t.Fatalf("insert fact: status %d", st)
+	}
+	do(t, http.MethodPost, base+"/query", q("Eve"), &qr)
+	if d := srv.met.cacheMisses.Value() - missesBefore; d != 1 {
+		t.Fatalf("re-query after mutation recorded %d misses, want 1 (stale hit?)", d)
+	}
+
+	var vz varz
+	if st := do(t, http.MethodGet, ts.URL+"/varz", nil, &vz); st != http.StatusOK {
+		t.Fatal("varz not OK")
+	}
+	if vz.ResultCacheEvictions != srv.cache.evicted() {
+		t.Errorf("varz result_cache_evictions %d != cache %d", vz.ResultCacheEvictions, srv.cache.evicted())
+	}
+	if vz.CacheHits != srv.met.cacheHits.Value() || vz.CacheMisses != srv.met.cacheMisses.Value() {
+		t.Errorf("varz cache counters (%d/%d) diverge from registry (%d/%d)",
+			vz.CacheHits, vz.CacheMisses, srv.met.cacheHits.Value(), srv.met.cacheMisses.Value())
+	}
+}
+
+// TestCoverageCounters: an approx query whose exact twin is already
+// cached feeds the empirical (ε, δ)-envelope counters.
+func TestCoverageCounters(t *testing.T) {
+	ts, srv := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	base := ts.URL + "/v1/instances/" + reg.ID
+
+	exact := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)", Tuple: "Alice", HasTuple: true}
+	var qr QueryResponse
+	if st := do(t, http.MethodPost, base+"/query", exact, &qr); st != http.StatusOK {
+		t.Fatalf("exact: status %d", st)
+	}
+	approx := exact
+	approx.Mode = "approx"
+	approx.Seed = 11
+	if st := do(t, http.MethodPost, base+"/query", approx, &qr); st != http.StatusOK {
+		t.Fatalf("approx: status %d", st)
+	}
+	checks := srv.met.coverageChecks.With(reg.ID).Value()
+	within := srv.met.coverageWithin.With(reg.ID).Value()
+	if checks != 1 {
+		t.Fatalf("coverage checks = %d, want 1", checks)
+	}
+	if within != 1 {
+		// ε=0.1 default and δ=0.05: a miss is possible but has
+		// probability < δ at the default seed — pinned as deterministic
+		// for this fixture.
+		t.Errorf("coverage within = %d, want 1 (estimate left its (ε, δ) envelope)", within)
+	}
+	var vz varz
+	do(t, http.MethodGet, ts.URL+"/varz", nil, &vz)
+	if vz.CoverageChecks < 1 {
+		t.Errorf("varz coverage_checks = %d, want >= 1", vz.CoverageChecks)
+	}
+}
+
+// TestPprofGate: the profiler is absent by default and mounted with
+// EnablePprof.
+func TestPprofGate(t *testing.T) {
+	tsOff, _ := newTestServer(t, Options{})
+	if resp, err := http.Get(tsOff.URL + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+		}
+	}
+	tsOn, _ := newTestServer(t, Options{EnablePprof: true})
+	if resp, err := http.Get(tsOn.URL + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
+		}
+	}
+}

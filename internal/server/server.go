@@ -43,12 +43,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
 	ocqa "repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/store"
 )
 
@@ -90,6 +93,22 @@ type Options struct {
 	// journalling the eviction when a Store is configured.
 	// Default: 1024.
 	MaxInstances int
+	// CancelGrace is how long a timed-out request waits for its
+	// computation to return cooperatively before giving up on it. The
+	// estimation engines stop within one sample chunk of cancellation
+	// and hand back partial estimates with their accounting; the grace
+	// window is what lets a 504 body carry that partial work instead of
+	// discarding it. 0 picks the default of 250ms; negative disables
+	// the wait (504s return immediately, without partial results).
+	CancelGrace time.Duration
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. Off by
+	// default: the profiles expose internals and cost CPU to collect,
+	// so the operator opts in (ocqa-serve -pprof).
+	EnablePprof bool
+	// AccessLog, when non-nil, receives one structured line per request
+	// (request id, endpoint, status, latency, instance, draws, cache
+	// disposition). Nil disables access logging.
+	AccessLog *slog.Logger
 	// Store, when non-nil, makes the registry durable: every registry
 	// operation is journalled to its WAL and New replays its contents
 	// into the registry before serving. The server owns neither Open
@@ -136,18 +155,24 @@ func (o *Options) fill() {
 	if o.MaxInstances <= 0 {
 		o.MaxInstances = 1024
 	}
+	switch {
+	case o.CancelGrace == 0:
+		o.CancelGrace = 250 * time.Millisecond
+	case o.CancelGrace < 0:
+		o.CancelGrace = 0
+	}
 }
 
 // Server is the HTTP handler. Create with New; it is safe for
 // concurrent use by any number of clients.
 type Server struct {
-	opts     Options
-	reg      *registry
-	cache    *resultCache
-	store    *store.Store // nil when running memory-only
-	counters counters
-	start    time.Time
-	mux      *http.ServeMux
+	opts  Options
+	reg   *registry
+	cache *resultCache
+	store *store.Store // nil when running memory-only
+	met   *serverMetrics
+	start time.Time
+	mux   *http.ServeMux
 	// compute is the server-wide semaphore every engine computation
 	// holds while running; see Options.MaxConcurrentQueries.
 	compute chan struct{}
@@ -169,6 +194,15 @@ func New(opts Options) *Server {
 		mux:     http.NewServeMux(),
 		compute: make(chan struct{}, opts.MaxConcurrentQueries),
 	}
+	s.met = newServerMetrics(s)
+	// The engine reports every estimation run (cancelled ones included)
+	// through its run hook: one observation per run, far below the <5%
+	// instrumentation budget. Process-wide, so the most recently built
+	// server owns the histograms — in production there is one.
+	engine.SetRunHook(func(ri engine.RunInfo) {
+		s.met.engineDraws.Observe(float64(ri.Acct.Draws))
+		s.met.engineWall.Observe(ri.Acct.Wall().Seconds())
+	})
 	if s.store != nil {
 		for _, is := range s.store.Instances() {
 			inst := ocqa.NewInstance(is.DB, is.Sigma)
@@ -182,9 +216,9 @@ func New(opts Options) *Server {
 			if v == nil {
 				break
 			}
-			s.counters.evictions.Add(1)
+			s.met.evictions.Inc()
 			if err := s.store.LogUnregister(v.id); err != nil {
-				s.counters.errors.Add(1)
+				s.met.errors.Inc()
 			}
 		}
 	}
@@ -201,24 +235,35 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/semantics", s.handleSemantics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} off
+		// the path suffix, so the subtree route covers the named
+		// profiles; the four below have dedicated handlers.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
-}
-
-// httpError is an error with the HTTP status it should surface as.
+// httpError is an error with the HTTP status it should surface as,
+// optionally carrying the partial work of a run stopped early: the
+// accounting of the draws spent and the per-tuple estimates computed
+// before cancellation, which writeError surfaces in the error body.
 type httpError struct {
-	status int
-	msg    string
+	status  int
+	msg     string
+	cost    *CostInfo
+	partial []Answer
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *httpError {
-	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
 // toHTTPError classifies a library error: approximability refusals are
@@ -233,41 +278,46 @@ func toHTTPError(err error) *httpError {
 		return he
 	}
 	if errors.Is(err, ocqa.ErrNotApproximable) {
-		return &httpError{http.StatusUnprocessableEntity, err.Error()}
+		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		return &httpError{http.StatusGatewayTimeout,
-			"query exceeded the server deadline; the estimation stopped at its next sample chunk"}
+		return &httpError{status: http.StatusGatewayTimeout, msg: "query exceeded the server deadline; the estimation stopped at its next sample chunk"}
 	}
 	if errors.Is(err, context.Canceled) {
-		return &httpError{statusClientClosedRequest, "client disconnected; the estimation stopped at its next sample chunk"}
+		return &httpError{status: statusClientClosedRequest, msg: "client disconnected; the estimation stopped at its next sample chunk"}
 	}
 	var sl core.StateLimitError
 	if errors.As(err, &sl) {
-		return &httpError{http.StatusUnprocessableEntity,
-			fmt.Sprintf("exact engine exceeded its state budget (%v); raise limit or use mode \"approx\"", err)}
+		return &httpError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf("exact engine exceeded its state budget (%v); raise limit or use mode \"approx\"", err)}
 	}
-	return &httpError{http.StatusInternalServerError, err.Error()}
+	return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 }
 
 // recordFailure bumps the counter matching the failure class.
 func (s *Server) recordFailure(he *httpError) {
 	switch he.status {
 	case http.StatusUnprocessableEntity:
-		s.counters.refusals.Add(1)
+		s.met.refusals.Inc()
 	case http.StatusGatewayTimeout:
-		s.counters.timeouts.Add(1)
+		s.met.timeouts.Inc()
 	case statusClientClosedRequest:
 		// The client is gone; neither a server error nor a timeout.
 	default:
-		s.counters.errors.Add(1)
+		s.met.errors.Inc()
 	}
 }
 
-// writeError renders the uniform error body and bumps the counters.
+// writeError renders the uniform error body — the request id (already
+// stamped on the response header by ServeHTTP) and any partial work the
+// failed computation salvaged included — and bumps the counters.
 func (s *Server) writeError(w http.ResponseWriter, he *httpError) {
 	s.recordFailure(he)
-	writeJSON(w, he.status, errorResponse{Error: he.msg})
+	writeJSON(w, he.status, errorResponse{
+		Error:     he.msg,
+		RequestID: w.Header().Get("X-Request-Id"),
+		Cost:      he.cost,
+		Partial:   he.partial,
+	})
 }
 
 // decodeJSON strictly decodes the body-size-capped request body into v.
@@ -278,8 +328,7 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) *http
 	if err := dec.Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			return &httpError{http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)}
+			return &httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit)}
 		}
 		return badRequest("decoding request body: %v", err)
 	}
@@ -296,10 +345,9 @@ const statusClientClosedRequest = 499
 // cancellation is a vanished client.
 func (s *Server) classifyCtxErr(err error) *httpError {
 	if errors.Is(err, context.DeadlineExceeded) {
-		return &httpError{http.StatusGatewayTimeout,
-			fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout)}
+		return &httpError{status: http.StatusGatewayTimeout, msg: fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout)}
 	}
-	return &httpError{statusClientClosedRequest, "client disconnected"}
+	return &httpError{status: statusClientClosedRequest, msg: "client disconnected"}
 }
 
 // safeCall runs f, converting a panic anywhere below (an engine
@@ -309,7 +357,7 @@ func (s *Server) classifyCtxErr(err error) *httpError {
 func safeCall[T any](f func() (T, *httpError)) (v T, he *httpError) {
 	defer func() {
 		if p := recover(); p != nil {
-			he = &httpError{http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p)}
+			he = &httpError{status: http.StatusInternalServerError, msg: fmt.Sprintf("internal error: %v", p)}
 		}
 	}()
 	return f()
@@ -358,11 +406,29 @@ func runWithDeadline[T any](s *Server, parent context.Context, f func(ctx contex
 	case o := <-ch:
 		return o.v, o.he
 	case <-ctx.Done():
+		// The estimation engines stop within one sample chunk of the
+		// cancellation and return their partial estimates with the
+		// error; wait briefly for that cooperative return so the
+		// failure response can carry the accounting (and, for a lucky
+		// race, a computation that finished right at the deadline is
+		// served whole). Exact engines have no cancellation points, so
+		// the wait is bounded by the grace window, not by them.
+		if grace := s.opts.CancelGrace; grace > 0 {
+			t := time.NewTimer(grace)
+			select {
+			case o := <-ch:
+				t.Stop()
+				return o.v, o.he
+			case <-t.C:
+			}
+		}
 		if err := parent.Err(); err != nil {
 			return zero, s.classifyCtxErr(err)
 		}
-		return zero, &httpError{http.StatusGatewayTimeout,
-			fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout)}
+		return zero, &httpError{
+			status: http.StatusGatewayTimeout,
+			msg:    fmt.Sprintf("query exceeded the server deadline of %v", s.opts.QueryTimeout),
+		}
 	}
 }
 

@@ -286,7 +286,7 @@ func TestCacheHitSecondQuery(t *testing.T) {
 	if first.Answers[0].Value != second.Answers[0].Value {
 		t.Fatalf("cache changed the answer: %v != %v", first.Answers[0], second.Answers[0])
 	}
-	if hits := srv.counters.cacheHits.Load(); hits != 1 {
+	if hits := srv.met.cacheHits.Value(); hits != 1 {
 		t.Fatalf("cache hits = %d, want 1", hits)
 	}
 }
@@ -314,6 +314,19 @@ func TestBatchDeterminism(t *testing.T) {
 	for i := range runs {
 		if status := do(t, http.MethodPost, bURL, batch, &runs[i]); status != http.StatusOK {
 			t.Fatalf("batch run %d: status %d", i, status)
+		}
+		// Cost carries wall time, which legitimately differs run over
+		// run; the draw counts must not.
+		for _, res := range runs[i].Results {
+			if res.Result == nil || res.Result.Cost == nil {
+				t.Fatalf("run %d result %d: missing cost accounting: %+v", i, res.Index, res.Result)
+			}
+			res.Result.Cost.WallSeconds = 0
+		}
+	}
+	for j, res := range runs[1].Results {
+		if a, b := runs[0].Results[j].Result.Cost.Draws, res.Result.Cost.Draws; a != b {
+			t.Fatalf("element %d: draw accounting differs between runs: %d vs %d", j, a, b)
 		}
 	}
 	if !reflect.DeepEqual(runs[0], runs[1]) {
@@ -406,12 +419,12 @@ func TestCountMarginalsSemantics(t *testing.T) {
 
 	// Approx marginals must respect the requested draw count exactly
 	// (the old facade clamped large values down).
-	drawsBefore := srv.counters.sampleDraws.Load()
+	drawsBefore := srv.met.sampleDraws.Value()
 	if status := do(t, http.MethodPost, base+"/marginals",
 		MarginalsRequest{Generator: "ur", Mode: "approx", MaxSamples: 250_000, Seed: 5}, &mr); status != http.StatusOK {
 		t.Fatalf("approx marginals: status %d", status)
 	}
-	if got := srv.counters.sampleDraws.Load() - drawsBefore; got != 250_000 {
+	if got := srv.met.sampleDraws.Value() - drawsBefore; got != 250_000 {
 		t.Fatalf("approx marginals consumed %d draws, want exactly 250000", got)
 	}
 
@@ -528,7 +541,7 @@ func TestExactCacheIgnoresApproxParams(t *testing.T) {
 	if !second.Cached {
 		t.Fatal("exact query with a different (irrelevant) seed missed the cache")
 	}
-	if hits := srv.counters.cacheHits.Load(); hits != 1 {
+	if hits := srv.met.cacheHits.Value(); hits != 1 {
 		t.Fatalf("cache hits = %d, want 1", hits)
 	}
 }
@@ -584,7 +597,7 @@ func TestSampleCapClampsRequests(t *testing.T) {
 		MarginalsRequest{Generator: "ur", Mode: "approx", MaxSamples: 2_000_000_000, Seed: 3}, &mr); status != http.StatusOK {
 		t.Fatalf("marginals: status %d", status)
 	}
-	if got := srv.counters.sampleDraws.Load(); got != 1000 {
+	if got := srv.met.sampleDraws.Value(); got != 1000 {
 		t.Fatalf("marginals consumed %d draws, want the 1000-draw cap", got)
 	}
 }

@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: every request gets an id (propagated from the
+// client's X-Request-Id when it sends a plausible one, minted
+// otherwise), echoed on the response header and in error bodies, and —
+// when an access logger is configured — emitted in one structured line
+// per request together with what the handler learned about the work
+// (instance, generator, draws, cache disposition). The same wrapper
+// feeds the per-endpoint request/latency metrics.
+
+// reqInfoKey keys the per-request trace record in the context.
+type reqInfoKey struct{}
+
+// reqInfo is the mutable per-request trace record. Handlers fill the
+// fields they learn; ServeHTTP reads them after the handler returns.
+// The fields are atomics because batch elements update the record from
+// pool workers concurrently.
+type reqInfo struct {
+	id        string
+	instance  atomic.Value // string
+	generator atomic.Value // string
+	mode      atomic.Value // string
+	draws     atomic.Int64
+	cacheHit  atomic.Int64
+	cacheMiss atomic.Int64
+}
+
+func (ri *reqInfo) str(v *atomic.Value) string {
+	if s, ok := v.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// infoFrom returns the request's trace record, or nil outside
+// ServeHTTP (direct executeQuery calls in tests).
+func infoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// maxRequestIDLen bounds a propagated id: anything longer (or with
+// exotic characters) is replaced, so logs and headers stay clean.
+const maxRequestIDLen = 64
+
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for _, r := range id {
+		ok := r == '-' || r == '_' || r == '.' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID mints a 16-hex-character id from crypto/rand.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to
+		// a constant rather than take the server down over a log id.
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// endpointLabel classifies a request into a fixed, low-cardinality
+// endpoint name for metric labels. Hand-written because the repo
+// builds with Go 1.22, which has no http.Request.Pattern.
+func endpointLabel(method, path string) string {
+	switch path {
+	case "/healthz":
+		return "healthz"
+	case "/varz":
+		return "varz"
+	case "/metrics":
+		return "metrics"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "pprof"
+	}
+	rest, ok := strings.CutPrefix(path, "/v1/instances")
+	if !ok {
+		return "other"
+	}
+	rest = strings.TrimPrefix(rest, "/")
+	parts := strings.Split(rest, "/")
+	switch {
+	case rest == "":
+		if method == http.MethodPost {
+			return "register"
+		}
+		return "list"
+	case len(parts) == 1:
+		if method == http.MethodDelete {
+			return "delete"
+		}
+		return "info"
+	case parts[1] == "facts":
+		if method == http.MethodDelete {
+			return "delete_fact"
+		}
+		return "insert_fact"
+	case parts[1] == "query":
+		return "query"
+	case parts[1] == "batch":
+		return "batch"
+	case parts[1] == "repairs":
+		return "count"
+	case parts[1] == "marginals":
+		return "marginals"
+	case parts[1] == "semantics":
+		return "semantics"
+	}
+	return "other"
+}
+
+// ServeHTTP implements http.Handler: the tracing and metrics wrapper
+// around the route mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.Header.Get("X-Request-Id")
+	if !validRequestID(id) {
+		id = newRequestID()
+	}
+	// Set on the response before the handler runs, so error paths (and
+	// clients of streaming responses) always see it.
+	w.Header().Set("X-Request-Id", id)
+	ri := &reqInfo{id: id}
+	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+	sw := &statusWriter{ResponseWriter: w}
+
+	s.mux.ServeHTTP(sw, r)
+
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	elapsed := time.Since(start)
+	ep := endpointLabel(r.Method, r.URL.Path)
+	s.met.httpRequests.With(ep, strconv.Itoa(sw.status)).Inc()
+	s.met.httpLatency.With(ep).Observe(elapsed.Seconds())
+
+	if log := s.opts.AccessLog; log != nil {
+		attrs := []slog.Attr{
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", ep),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+		}
+		if inst := ri.str(&ri.instance); inst != "" {
+			attrs = append(attrs, slog.String("instance", inst))
+		}
+		if gen := ri.str(&ri.generator); gen != "" {
+			attrs = append(attrs, slog.String("generator", gen))
+		}
+		if mode := ri.str(&ri.mode); mode != "" {
+			attrs = append(attrs, slog.String("mode", mode))
+		}
+		if d := ri.draws.Load(); d > 0 {
+			attrs = append(attrs, slog.Int64("draws", d))
+		}
+		if h, m := ri.cacheHit.Load(), ri.cacheMiss.Load(); h+m > 0 {
+			attrs = append(attrs, slog.Int64("cache_hits", h), slog.Int64("cache_misses", m))
+		}
+		log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+	}
+}

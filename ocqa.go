@@ -78,6 +78,10 @@ type (
 	Op = core.Op
 	// Estimate is a randomized estimate with its (ε,δ) metadata.
 	Estimate = engine.Estimate
+	// Accounting is the structured cost record of one estimation run:
+	// draws performed, cancellation chunks crossed, effective workers,
+	// per-worker draw split, wall time, cancelled flag.
+	Accounting = engine.Accounting
 	// ConstraintClass is the paper's constraint taxonomy: primary keys
 	// ⊂ keys ⊂ FDs.
 	ConstraintClass = fd.Class
@@ -597,7 +601,8 @@ func (in *Instance) worstCaseLowerBound(mode Mode, q *Query) float64 {
 // the wrapped context error.
 func (in *Instance) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
 	compile := func(q *Query) *core.MultiPred { return in.inner.CompileMultiPred(q, 0) }
-	return in.approximateAnswers(ctx, preparedSamplers{}, compile, mode, q, opts)
+	out, _, err := in.approximateAnswers(ctx, preparedSamplers{}, compile, mode, q, opts)
+	return out, err
 }
 
 // approximateAnswers runs the shared-draw answers estimation. compile
@@ -605,31 +610,39 @@ func (in *Instance) ApproximateAnswers(ctx context.Context, mode Mode, q *Query,
 // compiles per call, a Prepared instance serves its per-fingerprint
 // cache — and is only invoked once the approximability check passed,
 // on the shared-pass path alone (the per-tuple 𝒜𝒜 loop builds its own
-// single-tuple predicates and needs only the candidate list).
-func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers, compile func(*Query) *core.MultiPred, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
+// single-tuple predicates and needs only the candidate list). The
+// returned Accounting is the run-level record of the shared pass, or
+// the per-tuple sum on the 𝒜𝒜 path.
+func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers, compile func(*Query) *core.MultiPred, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, Accounting, error) {
 	opts.fill()
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
-		return nil, err
+		return nil, Accounting{}, err
 	}
 	if opts.UseAA {
 		var out []ApproxAnswer
+		var total Accounting
 		for _, c := range q.Answers(in.db) {
 			e, err := in.approximate(ctx, ps, mode, q, c, opts)
+			total.Draws += e.Acct.Draws
+			total.Chunks += e.Acct.Chunks
+			total.WallNanos += e.Acct.WallNanos
+			total.Workers = max(total.Workers, e.Acct.Workers)
+			total.Cancelled = total.Cancelled || e.Acct.Cancelled
 			if err != nil {
-				return nil, err
+				return nil, total, err
 			}
 			out = append(out, ApproxAnswer{Tuple: c, Estimate: e})
 		}
-		return out, nil
+		return out, total, nil
 	}
 	mp := compile(q)
 	tuples := mp.Tuples()
 	if len(tuples) == 0 {
-		return nil, nil
+		return nil, Accounting{}, nil
 	}
 	newSubset, err := in.subsetDrawer(ps, mode)
 	if err != nil {
-		return nil, err
+		return nil, Accounting{}, err
 	}
 	newMulti := func() engine.MultiSampler {
 		draw := newSubset()
@@ -641,7 +654,7 @@ func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers,
 	if opts.UseChernoff {
 		pmin := in.worstCaseLowerBound(mode, q)
 		if pmin <= 0 {
-			return nil, fmt.Errorf("ocqa: worst-case lower bound underflows for ‖D‖=%d, ‖Q‖=%d; use the stopping rule", in.db.Len(), q.Size())
+			return nil, Accounting{}, fmt.Errorf("ocqa: worst-case lower bound underflows for ‖D‖=%d, ‖Q‖=%d; use the stopping rule", in.db.Len(), q.Size())
 		}
 		n := fpras.ChernoffSamples(opts.Epsilon, opts.Delta, pmin)
 		ests, err = engine.EstimateFixedMulti(ctx, newMulti, len(tuples), n, opts.Seed, opts.Workers)
@@ -657,14 +670,20 @@ func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers,
 		// discarded.
 		err = fmt.Errorf("ocqa: estimation stopped: %w", err)
 	}
+	var acct Accounting
+	if len(ests) > 0 {
+		// Every estimate of a shared pass carries the same run-level
+		// record.
+		acct = ests[0].Acct
+	}
 	if len(ests) != len(tuples) {
-		return nil, err
+		return nil, acct, err
 	}
 	out := make([]ApproxAnswer, len(tuples))
 	for t, c := range tuples {
 		out[t] = ApproxAnswer{Tuple: c, Estimate: ests[t]}
 	}
-	return out, err
+	return out, acct, err
 }
 
 // ApproxAnswer pairs an answer tuple with its estimate.
@@ -695,6 +714,64 @@ type Prepared struct {
 	predMu    sync.Mutex
 	preds     map[string]*compiledPred
 	predOrder []string
+
+	// built flips when the deferred sampler build completed; scrape-time
+	// introspection (BlockCount) reads it to avoid forcing a build.
+	built atomic.Bool
+
+	// usage accumulates the instance's estimation totals across every
+	// sampling call routed through this Prepared — the per-instance
+	// accounting the serving layer reports.
+	usage struct {
+		runs, draws, cancelled, wallNanos atomic.Int64
+	}
+}
+
+// UsageTotals is a snapshot of a Prepared's accumulated estimation
+// cost: sampling runs served, Monte-Carlo draws performed (discarded
+// stopping-rule tails included), runs cancelled mid-flight, and total
+// estimation wall time. Mutations derive a fresh Prepared, so totals
+// cover the current generation only.
+type UsageTotals struct {
+	Runs, Draws, Cancelled int64
+	WallNanos              int64
+}
+
+// Usage returns the accumulated totals. Safe for concurrent use; the
+// fields are read individually, so a snapshot taken during a run may
+// straddle one update — fine for monitoring.
+func (p *Prepared) Usage() UsageTotals {
+	return UsageTotals{
+		Runs:      p.usage.runs.Load(),
+		Draws:     p.usage.draws.Load(),
+		Cancelled: p.usage.cancelled.Load(),
+		WallNanos: p.usage.wallNanos.Load(),
+	}
+}
+
+func (p *Prepared) recordUsage(a Accounting) {
+	// A zero-worker record means no draw loop ran at all (refused or
+	// failed before sampling) — nothing to account.
+	if a.Workers == 0 && a.Draws == 0 {
+		return
+	}
+	p.usage.runs.Add(1)
+	p.usage.draws.Add(a.Draws)
+	p.usage.wallNanos.Add(a.WallNanos)
+	if a.Cancelled {
+		p.usage.cancelled.Add(1)
+	}
+}
+
+// BlockCount reports the number of non-singleton conflict blocks, and
+// whether that number is available without building anything: it reads
+// the prepared block sampler only if the deferred build has already
+// completed, so a metrics scrape never pays for DP-table construction.
+func (p *Prepared) BlockCount() (int, bool) {
+	if !p.built.Load() || p.ps.block == nil {
+		return 0, false
+	}
+	return len(p.ps.block.Blocks()), true
 }
 
 // maxCachedPreds bounds the per-instance witness-set cache: past it
@@ -783,6 +860,7 @@ func (p *Prepared) samplers() preparedSamplers {
 			p.ps.seq, _ = sampler.NewSequenceSampler(p.inner, false)
 			p.ps.seq1, _ = sampler.NewSequenceSampler(p.inner, true)
 		}
+		p.built.Store(true)
 	})
 	return p.ps
 }
@@ -791,7 +869,9 @@ func (p *Prepared) samplers() preparedSamplers {
 // for primary-key instances it performs zero sampler constructions
 // beyond the one deferred build.
 func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
-	return p.Instance.approximate(ctx, p.samplers(), mode, q, c, opts)
+	est, err := p.Instance.approximate(ctx, p.samplers(), mode, q, c, opts)
+	p.recordUsage(est.Acct)
+	return est, err
 }
 
 // ApproximateAnswers is Instance.ApproximateAnswers over the prepared
@@ -799,7 +879,16 @@ func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple
 // queries for the same query perform zero sampler constructions and
 // zero homomorphism enumerations.
 func (p *Prepared) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, error) {
-	return p.Instance.approximateAnswers(ctx, p.samplers(), p.multiPred, mode, q, opts)
+	out, _, err := p.ApproximateAnswersAcct(ctx, mode, q, opts)
+	return out, err
+}
+
+// ApproximateAnswersAcct is ApproximateAnswers with the run-level cost
+// accounting of the shared pass (or the per-tuple sum under UseAA).
+func (p *Prepared) ApproximateAnswersAcct(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, Accounting, error) {
+	out, acct, err := p.Instance.approximateAnswers(ctx, p.samplers(), p.multiPred, mode, q, opts)
+	p.recordUsage(acct)
+	return out, acct, err
 }
 
 // ConsistentAnswers is Instance.ConsistentAnswers over the cached
@@ -812,7 +901,16 @@ func (p *Prepared) ConsistentAnswers(mode Mode, q *Query, limit int) ([]Consiste
 // ApproximateFactMarginals is Instance.ApproximateFactMarginals over
 // the prepared samplers.
 func (p *Prepared) ApproximateFactMarginals(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, error) {
-	return p.Instance.approximateFactMarginals(ctx, p.samplers(), mode, opts)
+	out, _, err := p.ApproximateFactMarginalsAcct(ctx, mode, opts)
+	return out, err
+}
+
+// ApproximateFactMarginalsAcct is ApproximateFactMarginals with the
+// run's cost accounting.
+func (p *Prepared) ApproximateFactMarginalsAcct(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, Accounting, error) {
+	out, acct, err := p.Instance.approximateFactMarginals(ctx, p.samplers(), mode, opts)
+	p.recordUsage(acct)
+	return out, acct, err
 }
 
 // CountRepairs reuses the prepared block decomposition where available.
@@ -921,32 +1019,33 @@ func (in *Instance) FactMarginals(mode Mode, limit int) ([]FactMarginal, error) 
 // (Seed, Workers). Cancelling ctx stops the draws within one chunk per
 // worker and returns the context's error.
 func (in *Instance) ApproximateFactMarginals(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, error) {
-	return in.approximateFactMarginals(ctx, preparedSamplers{}, mode, opts)
+	out, _, err := in.approximateFactMarginals(ctx, preparedSamplers{}, mode, opts)
+	return out, err
 }
 
-func (in *Instance) approximateFactMarginals(ctx context.Context, ps preparedSamplers, mode Mode, opts ApproxOptions) ([]float64, error) {
+func (in *Instance) approximateFactMarginals(ctx context.Context, ps preparedSamplers, mode Mode, opts ApproxOptions) ([]float64, Accounting, error) {
 	opts.fillMarginals()
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
-		return nil, err
+		return nil, Accounting{}, err
 	}
 	newCounter, always, err := in.countingDrawer(ps, mode)
 	if err != nil {
-		return nil, err
+		return nil, Accounting{}, err
 	}
-	counts, n, err := engine.Marginals(ctx, newCounter, in.db.Len(), opts.MaxSamples, opts.Seed, opts.Workers)
+	counts, acct, err := engine.MarginalsAcct(ctx, newCounter, in.db.Len(), opts.MaxSamples, opts.Seed, opts.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("ocqa: marginal estimation stopped: %w", err)
+		return nil, acct, fmt.Errorf("ocqa: marginal estimation stopped: %w", err)
 	}
 	out := make([]float64, in.db.Len())
 	for i, c := range counts {
-		out[i] = float64(c) / float64(n)
+		out[i] = float64(c) / float64(acct.Draws)
 	}
 	// Facts outside every conflict survive each repair by construction;
 	// their drawer skips them, so their marginal is exactly 1.
 	for _, i := range always {
 		out[i] = 1
 	}
-	return out, nil
+	return out, acct, nil
 }
 
 // countingDrawer returns a per-worker factory of amortised counting
