@@ -48,8 +48,11 @@ type answersBenchFile struct {
 	// Deterministic reports that two runs with identical seed and
 	// worker count produced bitwise-identical estimates, serially and
 	// at 8 workers.
-	Deterministic bool          `json:"deterministic"`
-	Results       []benchResult `json:"results"`
+	Deterministic bool `json:"deterministic"`
+	// PhaseSeconds is the per-phase span breakdown (compile, shared
+	// sampling pass) of one traced 8-worker verification run.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	Results      []benchResult      `json:"results"`
 	// SpeedupShared1W / SpeedupShared8W are ns(per-tuple baseline) /
 	// ns(shared pass) at 1 and 8 workers.
 	SpeedupShared1W float64 `json:"speedup_shared_1w"`
@@ -218,6 +221,13 @@ func runAnswersBenchmarks(outPath string) error {
 		SharedDraws:      sharedDraws,
 		PerWorkerDraws8W: split8,
 		Deterministic:    deterministic,
+		// One extra traced run, outside the timed loops, so tracing never
+		// touches the benchmark iterations themselves.
+		PhaseSeconds: spanSeconds(func(ctx context.Context) {
+			o := opts
+			o.Workers = 8
+			_, _ = p.ApproximateAnswers(ctx, mode, q, o)
+		}),
 		Results: []benchResult{
 			toResult("AnswersPerTupleBaseline", baseBench),
 			toResult("AnswersShared1Worker", shared1),

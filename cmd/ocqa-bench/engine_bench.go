@@ -44,9 +44,13 @@ type engineBenchFile struct {
 	// splits of the verification runs — evidence the 8-worker number
 	// actually fanned out (a [20000] split at "8 workers" would mean the
 	// engine collapsed to one goroutine and the speedup is noise).
-	PerWorkerDraws1W []int64       `json:"per_worker_draws_1w"`
-	PerWorkerDraws8W []int64       `json:"per_worker_draws_8w"`
-	Results          []benchResult `json:"results"`
+	PerWorkerDraws1W []int64 `json:"per_worker_draws_1w"`
+	PerWorkerDraws8W []int64 `json:"per_worker_draws_8w"`
+	// PhaseSeconds is the per-phase span breakdown (compile, sampling)
+	// of one traced 8-worker verification run — where one marginals pass
+	// actually spends its wall time.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	Results      []benchResult      `json:"results"`
 	// SerialSpeedup is ns(serial baseline) / ns(engine, 1 worker): the
 	// gain of the amortised counting drawer alone.
 	SerialSpeedup float64 `json:"serial_speedup"`
@@ -183,6 +187,14 @@ func runEngineBenchmarks(outPath string) error {
 		Draws:            draws,
 		PerWorkerDraws1W: splits[1],
 		PerWorkerDraws8W: splits[8],
+		// One extra traced run, outside the timed loops: tracing is off
+		// during the benchmark iterations, so the headline numbers stay
+		// comparable with earlier trajectory files.
+		PhaseSeconds: spanSeconds(func(ctx context.Context) {
+			_, _, _ = p.ApproximateFactMarginalsAcct(ctx, mode, ocqa.ApproxOptions{
+				Seed: 1, MaxSamples: draws, Workers: 8,
+			})
+		}),
 		Results: []benchResult{
 			toResult("MarginalsSerialBaseline", serial),
 			toResult("MarginalsEngine1Worker", engine1),

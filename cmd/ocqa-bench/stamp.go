@@ -5,19 +5,24 @@ package main
 // toolchain, on how many cores. Cross-PR comparisons (and the -check
 // regression gate) are only meaningful when these match — the stamp
 // makes a mismatch visible instead of silently comparing apples to
-// oranges.
+// oranges. The same fields appear on the server's /varz and as the
+// ocqa_build_info metric, so a bench file and a scrape name builds the
+// same way.
 
 import (
+	"context"
 	"os/exec"
-	"runtime"
 	"strings"
 	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/engine"
 )
 
 type benchStamp struct {
 	Timestamp string `json:"timestamp"`
-	// GitCommit is the short hash of HEAD at run time, "unknown" when
-	// the binary runs outside a git checkout (or without git on PATH).
+	// GitCommit is the commit the binary was built from, "unknown" when
+	// neither the toolchain's VCS stamp nor git can name one.
 	GitCommit  string `json:"git_commit"`
 	GoVersion  string `json:"go_version"`
 	NumCPU     int    `json:"num_cpu"`
@@ -28,13 +33,19 @@ func newBenchStamp() benchStamp {
 	return benchStamp{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GitCommit:  gitCommit(),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  buildinfo.GoVersion(),
+		NumCPU:     buildinfo.NumCPU(),
+		GOMAXPROCS: buildinfo.MaxProcs(),
 	}
 }
 
 func gitCommit() string {
+	// Prefer the toolchain's VCS stamp — it names the build, not the
+	// checkout the binary happens to run in. `go run` / `go test`
+	// binaries carry no stamp, so fall back to asking git.
+	if c := buildinfo.Commit(); c != "unknown" {
+		return c
+	}
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return "unknown"
@@ -43,4 +54,19 @@ func gitCommit() string {
 		return s
 	}
 	return "unknown"
+}
+
+// spanSeconds runs f under a fresh engine trace and returns the
+// per-phase wall seconds of the spans it recorded (repeated span names
+// accumulate). The bench suites run their verification pass through it
+// once, so every trajectory file carries a per-phase breakdown next to
+// its headline numbers.
+func spanSeconds(f func(ctx context.Context)) map[string]float64 {
+	tr := engine.NewTrace()
+	f(engine.ContextWithTrace(context.Background(), tr))
+	out := map[string]float64{}
+	for _, sp := range tr.Spans() {
+		out[sp.Name] += float64(sp.EndNanos-sp.StartNanos) / 1e9
+	}
+	return out
 }

@@ -9,14 +9,20 @@
 //	ocqa-serve [-addr :8080] [-batch-workers N] [-cache 1024]
 //	           [-timeout 30s] [-exact-limit 2000000]
 //	           [-data-dir DIR] [-fsync] [-compact-every 4096]
-//	           [-access-log] [-pprof]
+//	           [-access-log] [-pprof] [-debug-queries] [-slow-query 0]
 //
 // Observability: GET /varz serves the JSON counter snapshot, GET
 // /metrics the same registry in Prometheus text format. Every response
 // carries an X-Request-Id header (propagated from the client's, minted
 // otherwise); -access-log emits one structured log line per request to
-// stderr. -pprof exposes the Go profiler under /debug/pprof/ — leave
-// it off unless the listener is trusted, profiles reveal internals.
+// stderr. Any query endpoint accepts ?explain=1 and then returns the
+// pre-sampling plan, phase spans and convergence curve alongside the
+// answer. -debug-queries mounts the flight recorder at /debug/queries
+// (bounded rings of the last and the slowest query traces);
+// -slow-query DURATION logs every request at or above the threshold
+// with its full trace. -pprof exposes the Go profiler under
+// /debug/pprof/ — like -debug-queries, leave it off unless the
+// listener is trusted, the records reveal internals.
 //
 // A session against a running server:
 //
@@ -68,6 +74,8 @@ func main() {
 		compactEvery  = flag.Int("compact-every", 0, "auto-compact once the WAL holds N records (0 = default 4096, negative disables)")
 		accessLog     = flag.Bool("access-log", false, "emit one structured access-log line per request to stderr")
 		pprofEnable   = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/ (trusted listeners only)")
+		debugQueries  = flag.Bool("debug-queries", false, "expose the slow-query flight recorder under /debug/queries (trusted listeners only)")
+		slowQuery     = flag.Duration("slow-query", 0, "log requests at or above this duration with their full trace (0 disables)")
 	)
 	flag.Parse()
 	opts := server.Options{
@@ -80,6 +88,8 @@ func main() {
 		MaxInstances:         *maxInstances,
 		MaxBatchQueries:      *maxBatch,
 		EnablePprof:          *pprofEnable,
+		EnableDebugQueries:   *debugQueries,
+		SlowQuery:            *slowQuery,
 	}
 	if *accessLog {
 		opts.AccessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -6,7 +6,7 @@
 //	ocqa -facts facts.txt -fds fds.txt -query "Ans(x) :- R(x,'v')" \
 //	     [-generator ur|us|uo] [-singleton] [-mode exact|approx] \
 //	     [-tuple "a,b"] [-eps 0.1] [-delta 0.05] [-seed 1] [-workers N] \
-//	     [-force] [-limit N]
+//	     [-force] [-limit N] [-explain]
 //
 // With -tuple, the probability of that single tuple is computed;
 // otherwise every consistent answer is reported with its probability.
@@ -15,6 +15,9 @@
 // constraint-class pairs without an FPRAS unless -force is given.
 // Approximate estimation is cancellable: an interrupt (Ctrl-C) stops
 // the sampling loop within one chunk instead of draining its budget.
+// -explain prints the pre-sampling plan (estimation route, worst-case
+// draw budget for the requested (ε, δ), budget-capped verdict), then
+// the recorded phase spans and the convergence curve after the run.
 package main
 
 import (
@@ -43,19 +46,20 @@ func main() {
 		workers   = flag.Int("workers", 1, "approx: parallel estimation workers (deterministic per seed+workers)")
 		force     = flag.Bool("force", false, "approx: sample even without an FPRAS guarantee")
 		limit     = flag.Int("limit", 2_000_000, "exact: state budget (0 = unlimited)")
+		explain   = flag.Bool("explain", false, "print the query plan, phase spans and convergence curve")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if err := run(ctx, *factsPath, *fdsPath, *queryText, *tupleText, *genName,
-		*singleton, *mode, *eps, *delta, *seed, *workers, *force, *limit); err != nil {
+		*singleton, *mode, *eps, *delta, *seed, *workers, *force, *limit, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName string,
-	singleton bool, mode string, eps, delta float64, seed int64, workers int, force bool, limit int) error {
+	singleton bool, mode string, eps, delta float64, seed int64, workers int, force bool, limit int, explain bool) error {
 	if factsPath == "" || fdsPath == "" || queryText == "" {
 		return fmt.Errorf("need -facts, -fds and -query")
 	}
@@ -101,6 +105,9 @@ func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName 
 	case "exact":
 		if tupleText != "" || len(q.AnswerVars) == 0 {
 			c := ocqa.ParseTuple(tupleText)
+			if explain {
+				printPlan(ocqa.PlanExact(1))
+			}
 			p, err := inst.ExactProbability(m, q, c, limit)
 			if err != nil {
 				return fmt.Errorf("exact computation failed (%v); try -mode approx", err)
@@ -113,6 +120,9 @@ func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName 
 		if err != nil {
 			return fmt.Errorf("exact computation failed (%v); try -mode approx", err)
 		}
+		if explain {
+			printPlan(ocqa.PlanExact(len(answers)))
+		}
 		for _, a := range answers {
 			f, _ := a.Prob.Float64()
 			fmt.Printf("  %v  %s ≈ %.6f\n", a.Tuple, a.Prob.RatString(), f)
@@ -120,18 +130,38 @@ func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName 
 		return nil
 	case "approx":
 		opts := ocqa.ApproxOptions{Epsilon: eps, Delta: delta, Seed: seed, Workers: workers, Force: force}
-		if tupleText != "" || len(q.AnswerVars) == 0 {
+		p := inst.Prepare()
+		single := tupleText != "" || len(q.AnswerVars) == 0
+		var tr *ocqa.Trace
+		var plan ocqa.QueryPlan
+		if explain {
+			// The plan prints before any sampling: the routing decision
+			// and the worst-case budget are pre-run facts, so an operator
+			// can abort a hopeless (ε, δ) before paying for it.
+			var err error
+			plan, err = p.PlanApproximate(m, q, single, opts)
+			if err != nil {
+				return err
+			}
+			printPlan(plan)
+			tr = ocqa.NewTrace()
+			ctx = ocqa.ContextWithTrace(ctx, tr)
+		}
+		if single {
 			c := ocqa.ParseTuple(tupleText)
-			est, err := inst.Approximate(ctx, m, q, c, opts)
+			est, err := p.Approximate(ctx, m, q, c, opts)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("P[%s%v] ≈ %.6f (ε=%.3g, δ=%.3g, %d samples, converged=%v)\n",
 				q, c, est.Value, est.Epsilon, est.Delta, est.Samples, est.Converged)
 			printCost(est.Acct)
+			if explain {
+				printTrace(tr, plan, est.Acct.Draws)
+			}
 			return nil
 		}
-		answers, acct, err := inst.Prepare().ApproximateAnswersAcct(ctx, m, q, opts)
+		answers, acct, err := p.ApproximateAnswersAcct(ctx, m, q, opts)
 		if err != nil {
 			return err
 		}
@@ -139,10 +169,60 @@ func run(ctx context.Context, factsPath, fdsPath, queryText, tupleText, genName 
 			fmt.Printf("  %v  ≈ %.6f (%d samples)\n", a.Tuple, a.Estimate.Value, a.Estimate.Samples)
 		}
 		printCost(acct)
+		if explain {
+			printTrace(tr, plan, acct.Draws)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown mode %q (want exact or approx)", mode)
 	}
+}
+
+// printPlan renders the pre-run routing decision and draw budget.
+func printPlan(plan ocqa.QueryPlan) {
+	fmt.Printf("plan: route=%s targets=%d", plan.Route, plan.Targets)
+	if plan.Blocks >= 0 {
+		fmt.Printf(" blocks=%d", plan.Blocks)
+	}
+	if plan.Route != ocqa.RouteExactDP {
+		fmt.Printf(" pmin=%.3g required=%d predicted=%d",
+			plan.PMin, plan.RequiredDraws, plan.PredictedDraws)
+		if plan.BudgetCapped {
+			fmt.Printf(" BUDGET-CAPPED (cap %d cannot guarantee ε=%.3g, δ=%.3g)",
+				plan.MaxSamples, plan.Epsilon, plan.Delta)
+		}
+	}
+	fmt.Println()
+}
+
+// printTrace renders the run's phase spans and a decimated view of its
+// convergence curve, closing with predicted-vs-actual draws.
+func printTrace(tr *ocqa.Trace, plan ocqa.QueryPlan, actual int64) {
+	if spans := tr.Spans(); len(spans) > 0 {
+		fmt.Println("spans:")
+		for _, sp := range spans {
+			fmt.Printf("  %-16s %10.3fms  (at +%.3fms)\n",
+				sp.Name, float64(sp.EndNanos-sp.StartNanos)/1e6, float64(sp.StartNanos)/1e6)
+		}
+	}
+	if curve := tr.Curve(); len(curve) > 0 {
+		// The engine already bounds the curve; keep the terminal view to
+		// ~16 lines and always include the last point.
+		step := (len(curve) + 15) / 16
+		fmt.Println("convergence:")
+		for i := 0; i < len(curve); i += step {
+			cp := curve[i]
+			if i+step >= len(curve) {
+				cp = curve[len(curve)-1]
+			}
+			fmt.Printf("  %10d draws  est=%.6f  ±%.4f", cp.Draws, cp.Value, cp.HalfWidth)
+			if cp.Open > 0 {
+				fmt.Printf("  open=%d", cp.Open)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("plan check: predicted %d draws, actual %d\n", plan.PredictedDraws, actual)
 }
 
 // printCost reports the estimation's own accounting: total draws

@@ -26,7 +26,7 @@ func fixtures(t *testing.T) (facts, fds string) {
 func TestRunExactAllAnswers(t *testing.T) {
 	facts, fds := fixtures(t)
 	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
-		false, "exact", 0.1, 0.05, 1, 1, false, 0)
+		false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -35,7 +35,7 @@ func TestRunExactAllAnswers(t *testing.T) {
 func TestRunExactSingleTuple(t *testing.T) {
 	facts, fds := fixtures(t)
 	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "Alice", "us",
-		false, "exact", 0.1, 0.05, 1, 1, false, 0)
+		false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -44,7 +44,7 @@ func TestRunExactSingleTuple(t *testing.T) {
 func TestRunBooleanQuery(t *testing.T) {
 	facts, fds := fixtures(t)
 	err := run(context.Background(), facts, fds, "Ans() :- Emp(i, 'Alice')", "", "uo",
-		false, "exact", 0.1, 0.05, 1, 1, false, 0)
+		false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -53,7 +53,7 @@ func TestRunBooleanQuery(t *testing.T) {
 func TestRunApprox(t *testing.T) {
 	facts, fds := fixtures(t)
 	err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
-		false, "approx", 0.2, 0.1, 7, 1, false, 0)
+		false, "approx", 0.2, 0.1, 7, 1, false, 0, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -62,9 +62,27 @@ func TestRunApprox(t *testing.T) {
 func TestRunApproxSingletonUO(t *testing.T) {
 	facts, fds := fixtures(t)
 	err := run(context.Background(), facts, fds, "Ans() :- Emp(i, 'Tom')", "", "uo",
-		true, "approx", 0.2, 0.1, 7, 1, false, 0)
+		true, "approx", 0.2, 0.1, 7, 1, false, 0, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunExplain covers -explain on both modes: the plan prints before
+// the run, the trace after; neither path may error.
+func TestRunExplain(t *testing.T) {
+	facts, fds := fixtures(t)
+	if err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "approx", 0.2, 0.1, 7, 1, false, 0, true); err != nil {
+		t.Fatalf("approx explain: %v", err)
+	}
+	if err := run(context.Background(), facts, fds, "Ans() :- Emp(i, 'Tom')", "", "ur",
+		false, "approx", 0.2, 0.1, 7, 2, false, 0, true); err != nil {
+		t.Fatalf("approx single explain: %v", err)
+	}
+	if err := run(context.Background(), facts, fds, "Ans(n) :- Emp(i, n)", "", "ur",
+		false, "exact", 0.1, 0.05, 1, 1, false, 0, true); err != nil {
+		t.Fatalf("exact explain: %v", err)
 	}
 }
 
@@ -75,22 +93,22 @@ func TestRunErrors(t *testing.T) {
 		call func() error
 	}{
 		{"missing args", func() error {
-			return run(context.Background(), "", "", "", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), "", "", "", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 		{"bad generator", func() error {
-			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "zz", false, "exact", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "zz", false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 		{"bad mode", func() error {
-			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "ur", false, "banana", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), facts, fds, "Ans() :- Emp(x,y)", "", "ur", false, "banana", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 		{"bad query", func() error {
-			return run(context.Background(), facts, fds, "nonsense", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), facts, fds, "nonsense", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 		{"missing facts file", func() error {
-			return run(context.Background(), facts+".nope", fds, "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), facts+".nope", fds, "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 		{"missing fds file", func() error {
-			return run(context.Background(), facts, fds+".nope", "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0)
+			return run(context.Background(), facts, fds+".nope", "Ans() :- Emp(x,y)", "", "ur", false, "exact", 0.1, 0.05, 1, 1, false, 0, false)
 		}},
 	}
 	for _, tc := range cases {
@@ -106,7 +124,7 @@ func TestRunRefusesFDApprox(t *testing.T) {
 	facts := writeTemp(t, "facts.txt", "R(a1,b1,c1)\nR(a1,b2,c2)\nR(a2,b1,c2)\n")
 	fds := writeTemp(t, "fds.txt", "R: A1 -> A2\nR: A3 -> A2\n")
 	err := run(context.Background(), facts, fds, "Ans() :- R(x,'b1',y)", "", "ur",
-		false, "approx", 0.1, 0.05, 1, 1, false, 0)
+		false, "approx", 0.1, 0.05, 1, 1, false, 0, false)
 	if err == nil {
 		t.Fatal("M^ur over FDs must be refused")
 	}

@@ -1,0 +1,50 @@
+// Package buildinfo identifies the running binary: the VCS commit the
+// Go toolchain stamped into it, the Go version and the scheduler
+// width. The server exposes these on /varz and as the ocqa_build_info
+// metric, matching the fields ocqa-bench stamps into BENCH_*.json, so
+// a scrape (or a bench file) always names the binary it came from.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Commit returns the VCS revision recorded by the Go toolchain at
+// build time (truncated to 12 hex digits, "-dirty" appended for a
+// modified working tree), or "unknown" when no stamp exists — `go
+// run` and `go test` binaries are built without VCS stamping.
+func Commit() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the running toolchain's version string.
+func GoVersion() string { return runtime.Version() }
+
+// MaxProcs returns the effective GOMAXPROCS.
+func MaxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// NumCPU returns the host's logical CPU count.
+func NumCPU() int { return runtime.NumCPU() }

@@ -24,12 +24,19 @@ func EstimateStoppingRule(ctx context.Context, s Sampler, eps, delta float64, se
 		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:stopping-rule")()
 	start := time.Now()
 	rng := rngFor(seed, PhaseStoppingRule, 0)
 	sum := 0.0
 	n := 0
 	chunks := int64(0)
 	acct := func(cancelled bool) Accounting {
+		open := 1
+		if sum >= upsilon1 {
+			open = 0
+		}
+		tr.FinalCheckpoint(int64(n), safeDiv(sum, n), open)
 		a := Accounting{
 			Draws: int64(n), Chunks: chunks, Workers: 1,
 			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
@@ -42,6 +49,9 @@ func EstimateStoppingRule(ctx context.Context, s Sampler, eps, delta float64, se
 			chunks++
 			if err := ctx.Err(); err != nil {
 				return Estimate{Value: safeDiv(sum, n), Samples: n, Epsilon: eps, Delta: delta, Acct: acct(true)}, err
+			}
+			if n > 0 {
+				tr.Checkpoint(int64(n), sum/float64(n), 1)
 			}
 		}
 		if maxSamples > 0 && n >= maxSamples {
@@ -83,6 +93,8 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 		panic(fmt.Sprintf("engine: invalid parameters eps=%v delta=%v", eps, delta))
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:stopping-rule")()
 	start := time.Now()
 	samplers := make([]Sampler, workers)
 	rngs := make([]*rand.Rand, workers)
@@ -98,6 +110,11 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 	performed := 0
 	rounds := int64(0)
 	acct := func(cancelled bool) Accounting {
+		open := 1
+		if sum >= upsilon1 {
+			open = 0
+		}
+		tr.FinalCheckpoint(int64(n), safeDiv(sum, n), open)
 		per := make([]int64, workers)
 		for w := range per {
 			per[w] = rounds * Chunk
@@ -145,6 +162,9 @@ func EstimateStoppingRuleParallel(ctx context.Context, newSampler func() Sampler
 				}
 			}
 		}
+		// One checkpoint per round, after the deterministic sequential
+		// consume — the only scheduler-independent mid-run view.
+		tr.Checkpoint(int64(n), sum/float64(n), 1)
 	}
 }
 
@@ -177,6 +197,12 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
 		panic("engine: invalid parameters for EstimateAA")
 	}
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:aa")()
+	// endPhase closes the sub-span of whichever 𝒜𝒜 phase is running;
+	// finish calls it so budget-exhausted and cancelled exits still
+	// close the current phase.
+	endPhase := func() {}
 	start := time.Now()
 	rng := rngFor(seed, PhaseAA, 0)
 	used := 0
@@ -203,6 +229,12 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 		return 0, true
 	}
 	finish := func(e Estimate) (Estimate, error) {
+		endPhase()
+		open := 1
+		if e.Converged {
+			open = 0
+		}
+		tr.FinalCheckpoint(int64(used), e.Value, open)
 		e.Acct = Accounting{
 			Draws: int64(used), Chunks: chunks, Workers: 1,
 			WallNanos: time.Since(start).Nanoseconds(), Cancelled: ctxErr != nil,
@@ -216,6 +248,7 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 		(1 + math.Log(1.5)/math.Log(3/delta)) * upsilon
 
 	// Phase 1: stopping rule with ε' = min(1/2, √ε).
+	endPhase = tr.StartSpan("aa:phase1")
 	eps1 := math.Min(0.5, math.Sqrt(eps))
 	upsilon1 := 1 + (1+eps1)*4*(math.E-2)*math.Log(3/delta)/(eps1*eps1)
 	sum := 0.0
@@ -227,10 +260,15 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 		}
 		n1++
 		sum += x
+		if n1%Chunk == 0 {
+			tr.Checkpoint(int64(used), sum/float64(n1), 1)
+		}
 	}
 	muHat := upsilon1 / float64(n1)
 
 	// Phase 2: variance estimation from sample pairs.
+	endPhase()
+	endPhase = tr.StartSpan("aa:phase2")
 	n2 := int(math.Ceil(upsilon2 * eps / muHat))
 	if n2 < 1 {
 		n2 = 1
@@ -251,6 +289,8 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 	rhoHat := math.Max(s2/float64(n2), eps*muHat)
 
 	// Phase 3: final estimate.
+	endPhase()
+	endPhase = tr.StartSpan("aa:phase3")
 	n3 := int(math.Ceil(upsilon2 * rhoHat / (muHat * muHat)))
 	if n3 < 1 {
 		n3 = 1
@@ -262,6 +302,9 @@ func EstimateAA(ctx context.Context, s Sampler, eps, delta float64, seed int64, 
 			return finish(Estimate{Value: total / float64(i+1), Samples: used, Epsilon: eps, Delta: delta})
 		}
 		total += x
+		if (i+1)%Chunk == 0 {
+			tr.Checkpoint(int64(used), total/float64(i+1), 1)
+		}
 	}
 	return finish(Estimate{
 		Value:     total / float64(n3),

@@ -23,6 +23,8 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 	if workers <= 1 {
 		return estimateFixedSerial(ctx, newSampler(), n, seed)
 	}
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:fixed")()
 	start := time.Now()
 	perHits := make([]int64, workers)
 	perDrawn := make([]int64, workers)
@@ -69,6 +71,9 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 		Draws: drawn, Chunks: chunks, Workers: workers, PerWorker: perDrawn,
 		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
 	}
+	// One terminal checkpoint after the deterministic merge: a mid-run
+	// global view of racing workers would depend on scheduling.
+	tr.FinalCheckpoint(drawn, safeDiv(float64(hits), int(drawn)), 0)
 	record(PhaseFixed, 0, acct)
 	if err != nil {
 		return Estimate{Value: safeDiv(float64(hits), int(drawn)), Samples: int(drawn), Acct: acct}, err
@@ -77,11 +82,14 @@ func EstimateFixed(ctx context.Context, newSampler func() Sampler, n int, seed i
 }
 
 func estimateFixedSerial(ctx context.Context, s Sampler, n int, seed int64) (Estimate, error) {
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:fixed")()
 	start := time.Now()
 	rng := rngFor(seed, PhaseFixed, 0)
 	hits, drawn := 0, 0
 	chunks := int64(0)
 	acct := func(cancelled bool) Accounting {
+		tr.FinalCheckpoint(int64(drawn), safeDiv(float64(hits), drawn), 0)
 		return Accounting{
 			Draws: int64(drawn), Chunks: chunks, Workers: 1,
 			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
@@ -101,6 +109,7 @@ func estimateFixedSerial(ctx context.Context, s Sampler, n int, seed int64) (Est
 			}
 		}
 		drawn += step
+		tr.Checkpoint(int64(drawn), safeDiv(float64(hits), drawn), 0)
 	}
 	a := acct(false)
 	record(PhaseFixed, 0, a)

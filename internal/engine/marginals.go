@@ -39,6 +39,11 @@ func MarginalsAcct(ctx context.Context, newSampler func() CountSampler, nFacts, 
 	if n <= 0 {
 		panic("engine: need a positive sample count")
 	}
+	// The marginals loop gets a span but no convergence curve: its
+	// output is a |D|-sized vector, not a scalar, and a per-chunk
+	// summary would cost O(nFacts) per checkpoint.
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:marginals")()
 	if workers <= 1 {
 		return marginalsSerial(ctx, newSampler(), nFacts, n, seed)
 	}

@@ -52,6 +52,8 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 	if workers <= 1 {
 		return estimateFixedMultiSerial(ctx, newSampler(), nTargets, n, seed)
 	}
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:multi-fixed")()
 	start := time.Now()
 	perWorker := make([][]int, workers)
 	perDrawn := make([]int64, workers)
@@ -110,6 +112,9 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 		Draws: drawn, Chunks: chunks, Workers: workers, PerWorker: perDrawn,
 		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
 	}
+	if tr != nil {
+		tr.FinalCheckpoint(drawn, meanAcrossTargets(counts, drawn), 0)
+	}
 	out := make([]Estimate, nTargets)
 	for t, c := range counts {
 		out[t] = Estimate{Value: safeDiv(float64(c), int(drawn)), Samples: int(drawn), Converged: err == nil}
@@ -117,7 +122,23 @@ func EstimateFixedMulti(ctx context.Context, newSampler func() MultiSampler, nTa
 	return finishMulti(PhaseMultiFixed, out, nTargets, acct), err
 }
 
+// meanAcrossTargets is the scalar a fixed multi-target checkpoint
+// reports: the mean of the per-target running estimates. O(nTargets),
+// so callers compute it only when a trace is attached.
+func meanAcrossTargets(counts []int, drawn int64) float64 {
+	if drawn == 0 || len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / (float64(drawn) * float64(len(counts)))
+}
+
 func estimateFixedMultiSerial(ctx context.Context, s MultiSampler, nTargets, n int, seed int64) ([]Estimate, error) {
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:multi-fixed")()
 	start := time.Now()
 	rng := rngFor(seed, PhaseMultiFixed, 0)
 	counts := make([]int, nTargets)
@@ -140,10 +161,16 @@ func estimateFixedMultiSerial(ctx context.Context, s MultiSampler, nTargets, n i
 			}
 		}
 		drawn += step
+		if tr != nil {
+			tr.Checkpoint(int64(drawn), meanAcrossTargets(counts, int64(drawn)), 0)
+		}
 	}
 	acct := Accounting{
 		Draws: int64(drawn), Chunks: chunks, Workers: 1,
 		WallNanos: time.Since(start).Nanoseconds(), Cancelled: err != nil,
+	}
+	if tr != nil {
+		tr.FinalCheckpoint(int64(drawn), meanAcrossTargets(counts, int64(drawn)), 0)
 	}
 	out := make([]Estimate, nTargets)
 	for t, c := range counts {
@@ -190,6 +217,8 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 		return estimateStoppingRuleMultiSerial(ctx, newSampler(), nTargets, eps, delta, seed, maxSamples)
 	}
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:multi-stopping")()
 	start := time.Now()
 	samplers := make([]MultiSampler, workers)
 	rngs := make([]*rand.Rand, workers)
@@ -211,6 +240,7 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 	performed := 0
 	rounds := int64(0)
 	acct := func(cancelled bool) Accounting {
+		tr.FinalCheckpoint(int64(st.n), convergedFraction(nTargets, len(st.open)), len(st.open))
 		per := make([]int64, workers)
 		for w := range per {
 			per[w] = rounds * Chunk
@@ -255,16 +285,22 @@ func EstimateStoppingRuleMulti(ctx context.Context, newSampler func() MultiSampl
 				}
 			}
 		}
+		// One checkpoint per round, after the deterministic sequential
+		// consume: the fraction of targets that have met the rule.
+		tr.Checkpoint(int64(st.n), convergedFraction(nTargets, len(st.open)), len(st.open))
 	}
 }
 
 func estimateStoppingRuleMultiSerial(ctx context.Context, s MultiSampler, nTargets int, eps, delta float64, seed int64, maxSamples int) ([]Estimate, error) {
 	upsilon1 := 1 + (1+eps)*4*(math.E-2)*math.Log(2/delta)/(eps*eps)
+	tr := TraceFrom(ctx)
+	defer tr.StartSpan("sample:multi-stopping")()
 	start := time.Now()
 	rng := rngFor(seed, PhaseMultiStopping, 0)
 	st := newMultiRule(nTargets, eps, delta, upsilon1)
 	chunks := int64(0)
 	acct := func(cancelled bool) Accounting {
+		tr.FinalCheckpoint(int64(st.n), convergedFraction(nTargets, len(st.open)), len(st.open))
 		return Accounting{
 			Draws: int64(st.n), Chunks: chunks, Workers: 1,
 			WallNanos: time.Since(start).Nanoseconds(), Cancelled: cancelled,
@@ -277,6 +313,9 @@ func estimateStoppingRuleMultiSerial(ctx context.Context, s MultiSampler, nTarge
 			if err := ctx.Err(); err != nil {
 				return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(true)), err
 			}
+			if st.n > 0 {
+				tr.Checkpoint(int64(st.n), convergedFraction(nTargets, len(st.open)), len(st.open))
+			}
 		}
 		if maxSamples > 0 && st.n >= maxSamples {
 			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
@@ -288,6 +327,15 @@ func estimateStoppingRuleMultiSerial(ctx context.Context, s MultiSampler, nTarge
 			return finishMulti(PhaseMultiStopping, st.finalize(), nTargets, acct(false)), nil
 		}
 	}
+}
+
+// convergedFraction is the scalar a stopping-rule multi-target
+// checkpoint reports: the fraction of targets that have met the rule.
+func convergedFraction(nTargets, open int) float64 {
+	if nTargets == 0 {
+		return 1
+	}
+	return float64(nTargets-open) / float64(nTargets)
 }
 
 // multiRule tracks the per-target stopping-rule state over one shared

@@ -5,6 +5,8 @@ package server
 // string ("1/3") and as a float; estimates carry their (ε, δ) and
 // sample-count metadata.
 
+import ocqa "repro"
+
 // RegisterRequest is the body of POST /v1/instances: a database and an
 // FD set in the text formats of package parse.
 type RegisterRequest struct {
@@ -135,6 +137,28 @@ type CostInfo struct {
 	Cancelled bool `json:"cancelled,omitempty"`
 }
 
+// ExplainInfo is the per-query introspection payload a request opts
+// into with ?explain=1: the pre-sampling plan (route, worst-case draw
+// budget for the requested (ε, δ), budget_capped verdict), the phase
+// spans the execution recorded, and the convergence curve of its draw
+// loop. Predicted-vs-actual comparison is Plan.PredictedDraws against
+// ActualDraws. Explain is presentation, not identity: it never enters
+// the result-cache key, and a cache hit answers with the zero-draw
+// cached plan instead of the original run's trace.
+type ExplainInfo struct {
+	Plan ocqa.QueryPlan `json:"plan"`
+	// Spans are the execution's named phases (compile, plan, sample:*,
+	// aa:phase*), with nanosecond offsets on the trace's own timeline.
+	Spans []ocqa.TraceSpan `json:"spans,omitempty"`
+	// Convergence is the draw loop's checkpoint curve: draws-so-far,
+	// running estimate, distribution-free CI half-width. Deterministic
+	// for a fixed (seed, workers) pair.
+	Convergence []ocqa.TraceCheckpoint `json:"convergence,omitempty"`
+	// ActualDraws is what the run really spent (0 for exact engines and
+	// cache hits) — compare against Plan.PredictedDraws.
+	ActualDraws int64 `json:"actual_draws"`
+}
+
 // QueryResponse is the result of one query execution.
 type QueryResponse struct {
 	Instance  string   `json:"instance"`
@@ -150,6 +174,8 @@ type QueryResponse struct {
 	Cached bool `json:"cached"`
 	// Cost is the request's cost accounting.
 	Cost *CostInfo `json:"cost,omitempty"`
+	// Explain is the introspection payload, present only with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // BatchRequest is the body of POST .../batch.
@@ -193,6 +219,8 @@ type CountResponse struct {
 	// Cost is the request's cost accounting (exact counting performs no
 	// draws; the wall time is the interesting part).
 	Cost *CostInfo `json:"cost,omitempty"`
+	// Explain is the introspection payload, present only with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // MarginalsRequest is the body of POST .../marginals.
@@ -228,6 +256,8 @@ type MarginalsResponse struct {
 	Marginals []FactMarginal `json:"marginals"`
 	// Cost is the request's cost accounting.
 	Cost *CostInfo `json:"cost,omitempty"`
+	// Explain is the introspection payload, present only with ?explain=1.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // SemanticsRequest is the body of POST .../semantics.

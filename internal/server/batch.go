@@ -36,6 +36,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.batchRequests.Inc()
+	// ?explain=1 on the batch endpoint applies to every element: each
+	// executeQuery call builds its own plan and (absent a request-wide
+	// recorder trace) its own per-element trace inside the worker.
+	explain := explainRequested(r)
 
 	// The whole batch shares one deadline budget: once it expires (or
 	// the client disconnects), runWithDeadline stops spawning work for
@@ -64,7 +68,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := range jobs {
 				resp, he := runWithDeadline(s, ctx, func(qctx context.Context) (QueryResponse, *httpError) {
-					return s.executeQuery(qctx, e, req.Queries[i])
+					return s.executeQuery(qctx, e, req.Queries[i], explain)
 				})
 				if he != nil {
 					s.recordFailure(he)

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	ocqa "repro"
 )
 
 // resultCache is a bounded LRU over finished query responses, keyed by
@@ -73,6 +75,15 @@ func cloneResponse(r QueryResponse) QueryResponse {
 			cost.PerWorkerDraws = append([]int64(nil), cost.PerWorkerDraws...)
 		}
 		r.Cost = &cost
+	}
+	if r.Explain != nil {
+		// executeQuery strips Explain before the put (a trace is one
+		// run's story, not the computation's identity), so entries never
+		// carry one — but the clone stays safe if that ever changes.
+		ex := *r.Explain
+		ex.Spans = append([]ocqa.TraceSpan(nil), ex.Spans...)
+		ex.Convergence = append([]ocqa.TraceCheckpoint(nil), ex.Convergence...)
+		r.Explain = &ex
 	}
 	return r
 }

@@ -390,6 +390,34 @@ func (s *Server) checkCoverage(e *instanceEntry, req QueryRequest, est ocqa.Esti
 	}
 }
 
+// explainRequested reports the ?explain=1 opt-in. A URL parameter
+// rather than a body field on purpose: bodies are decoded with
+// DisallowUnknownFields as a compatibility contract, and explain is
+// presentation, not computation identity — it must never reach the
+// result-cache key.
+func explainRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// traceFor picks the trace one query execution records into: the
+// request-wide trace when the flight recorder or the slow-query log
+// armed one in ServeHTTP, else a fresh per-call trace when the client
+// asked to see it (?explain=1), else nil — the default, where the
+// engine's trace hooks are nil-receiver no-ops and cost nothing.
+func traceFor(ri *reqInfo, explain bool) *ocqa.Trace {
+	if ri != nil && ri.trace != nil {
+		return ri.trace
+	}
+	if explain {
+		return ocqa.NewTrace()
+	}
+	return nil
+}
+
 // executeQuery runs one QueryRequest against a registered instance:
 // the shared path behind the query endpoint and every batch element.
 // The instance's prepared samplers make it construction-free; results
@@ -399,8 +427,10 @@ func (s *Server) checkCoverage(e *instanceEntry, req QueryRequest, est ocqa.Esti
 // cancellation; a response computed from such a truncated run is never
 // produced (the library returns the context error with the partial
 // estimates instead, which travel in the error body), so nothing
-// partial can land in the cache.
-func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRequest) (QueryResponse, *httpError) {
+// partial can land in the cache. With explain set the execution
+// additionally computes the pre-sampling plan and records a
+// convergence trace, both attached as resp.Explain — never cached.
+func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRequest, explain bool) (QueryResponse, *httpError) {
 	start := time.Now()
 	m, he := parseGenerator(req.Generator, req.Singleton)
 	if he != nil {
@@ -445,11 +475,20 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 		}
 		resp.Cost.Cached = true
 		resp.Cost.WallSeconds = time.Since(start).Seconds()
+		if explain {
+			// The cache entry carries no trace (explain is stripped before
+			// put); a hit explains itself as the zero-draw cached route.
+			resp.Explain = &ExplainInfo{Plan: ocqa.CachedPlan()}
+		}
 		return resp, nil
 	}
 	s.met.cacheMisses.Inc()
 	if ri != nil {
 		ri.cacheMiss.Add(1)
+	}
+	tr := traceFor(ri, explain)
+	if tr != nil {
+		ctx = ocqa.ContextWithTrace(ctx, tr)
 	}
 
 	p := e.prepared
@@ -473,6 +512,7 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			c, len(c), q, len(q.AnswerVars))
 	}
 
+	var plan ocqa.QueryPlan
 	switch req.Mode {
 	case "exact":
 		s.met.exactQueries.Inc()
@@ -506,6 +546,19 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 			MaxSamples: req.MaxSamples,
 			Workers:    req.Workers,
 			Force:      req.Force,
+		}
+		if explain {
+			// The routing decision and draw-budget prediction, computed
+			// before any sampling from the same bounds the estimators run
+			// on. Its approximability check is the one the execution below
+			// would perform, so a refusal here is the identical error.
+			endPlan := tr.StartSpan("plan")
+			pl, perr := p.PlanApproximate(m, q, single, opts)
+			endPlan()
+			if perr != nil {
+				return QueryResponse{}, toHTTPError(perr)
+			}
+			plan = pl
 		}
 		if single {
 			est, err := p.Approximate(ctx, m, q, c, opts)
@@ -578,6 +631,20 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 	if _, ok := s.reg.get(e.id); ok {
 		s.cache.put(key, resp)
 	}
+	// Attached after the cache put on purpose: the cached entry never
+	// carries an explain payload, so a later hit (explain or not) starts
+	// from a clean response and hits report the cached plan instead.
+	if explain {
+		if req.Mode == "exact" {
+			plan = ocqa.PlanExact(len(resp.Answers))
+		}
+		resp.Explain = &ExplainInfo{
+			Plan:        plan,
+			Spans:       tr.Spans(),
+			Convergence: tr.Curve(),
+			ActualDraws: resp.Cost.Draws,
+		}
+	}
 	return resp, nil
 }
 
@@ -598,8 +665,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
+	explain := explainRequested(r)
 	resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (QueryResponse, *httpError) {
-		return s.executeQuery(ctx, e, req)
+		return s.executeQuery(ctx, e, req, explain)
 	})
 	if he != nil {
 		s.writeError(w, he)
@@ -620,10 +688,15 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, he)
 		return
 	}
+	explain := explainRequested(r)
 	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (CountResponse, *httpError) {
 		start := time.Now()
 		p := e.prepared
 		out := CountResponse{Singleton: req.Singleton}
+		// Counting is pure DP — the only phase worth a span is the count
+		// itself, and the plan is the zero-draw exact route.
+		tr := traceFor(infoFrom(r.Context()), explain)
+		endCount := tr.StartSpan("count")
 		if req.Sequences {
 			n, err := p.CountSequences(req.Singleton, s.clampLimit(req.Limit))
 			if err != nil {
@@ -633,7 +706,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		} else {
 			out.Count = p.CountRepairs(req.Singleton).String()
 		}
+		endCount()
 		out.Cost = &CostInfo{WallSeconds: time.Since(start).Seconds()}
+		if explain {
+			out.Explain = &ExplainInfo{Plan: ocqa.PlanExact(1), Spans: tr.Spans()}
+		}
 		return out, nil
 	})
 	if he != nil {
@@ -663,11 +740,13 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 		ri.generator.Store(req.Generator)
 		ri.mode.Store(req.Mode)
 	}
+	explain := explainRequested(r)
 	resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (MarginalsResponse, *httpError) {
 		start := time.Now()
 		p := e.prepared
 		resp := MarginalsResponse{Instance: e.id, Generator: m.Symbol(), Mode: req.Mode}
 		db := p.DB()
+		tr := traceFor(infoFrom(ctx), explain)
 		switch req.Mode {
 		case "exact":
 			marginals, err := p.FactMarginals(m, s.clampLimit(req.Limit))
@@ -680,6 +759,9 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: fm.Fact.String(), Prob: fm.Prob.RatString(), Value: f})
 			}
 			resp.Cost = &CostInfo{WallSeconds: time.Since(start).Seconds()}
+			if explain {
+				resp.Explain = &ExplainInfo{Plan: ocqa.PlanExact(db.Len())}
+			}
 		case "approx":
 			// The draw count is resolved here (not left to the library
 			// default) only because the server must clamp it and account
@@ -697,6 +779,9 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 			}
 			if workers > s.opts.BatchWorkers {
 				workers = s.opts.BatchWorkers
+			}
+			if tr != nil {
+				ctx = ocqa.ContextWithTrace(ctx, tr)
 			}
 			vals, acct, err := p.ApproximateFactMarginalsAcct(ctx, m, ocqa.ApproxOptions{
 				Seed:       req.Seed,
@@ -718,6 +803,23 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 				resp.Marginals = append(resp.Marginals, FactMarginal{Fact: db.Fact(i).String(), Value: v})
 			}
 			resp.Cost = costFromAcct(acct, time.Since(start))
+			if explain {
+				// Marginals run one fixed-budget shared pass scoring every
+				// fact, so the plan's prediction is the resolved draw count
+				// itself; the |D|-sized output keeps the trace span-only.
+				plan := ocqa.QueryPlan{
+					Route:          "marginals-fixed",
+					Targets:        db.Len(),
+					Blocks:         -1,
+					RequiredDraws:  int64(draws),
+					PredictedDraws: int64(draws),
+					MaxSamples:     draws,
+				}
+				if n, ok := p.BlockCount(); ok {
+					plan.Blocks = n
+				}
+				resp.Explain = &ExplainInfo{Plan: plan, Spans: tr.Spans(), ActualDraws: acct.Draws}
+			}
 		default:
 			return MarginalsResponse{}, badRequest("unknown mode %q (want \"exact\" or \"approx\")", req.Mode)
 		}

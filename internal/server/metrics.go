@@ -3,8 +3,10 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/sampler"
@@ -114,6 +116,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.instDraws = r.NewGaugeVec("ocqa_instance_estimation_draws", "Monte-Carlo draws consumed by the instance's current generation.", "instance")
 	m.instWall = r.NewGaugeVec("ocqa_instance_estimation_seconds", "Estimation wall time spent on the instance's current generation.", "instance")
 
+	// The info-gauge idiom: a constant 1 whose labels identify the
+	// running binary, joinable against any other series. The fields
+	// mirror the provenance stamp ocqa-bench writes into BENCH_*.json,
+	// so a scrape and a bench file name builds the same way.
+	buildInfo := r.NewGaugeVec("ocqa_build_info",
+		"Build identity of the running binary (constant 1; the labels carry the information).",
+		"git_commit", "go_version", "gomaxprocs")
+	buildInfo.With(buildinfo.Commit(), buildinfo.GoVersion(), strconv.Itoa(buildinfo.MaxProcs())).Set(1)
+
 	r.NewGaugeFunc("ocqa_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.NewGaugeFunc("ocqa_instances", "Instances currently registered.",
@@ -187,6 +198,11 @@ type varz struct {
 	Instances     int     `json:"instances"`
 	CacheEntries  int     `json:"cache_entries"`
 
+	// Build identifies the running binary — the same fields ocqa-bench
+	// stamps into BENCH_*.json, so a /varz snapshot and a bench file can
+	// be matched to the same build.
+	Build buildVarz `json:"build"`
+
 	QueriesServed int64 `json:"queries_served"`
 	ExactQueries  int64 `json:"exact_queries"`
 	ApproxQueries int64 `json:"approx_queries"`
@@ -258,6 +274,14 @@ type varz struct {
 	Compactions int64 `json:"compactions"`
 }
 
+// buildVarz is the build-identity object in /varz.
+type buildVarz struct {
+	GitCommit  string `json:"git_commit"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
 // endpointLatency is one endpoint's latency summary in /varz.
 type endpointLatency struct {
 	Count int64   `json:"count"`
@@ -269,9 +293,15 @@ type endpointLatency struct {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	m := s.met
 	v := varz{
-		UptimeSeconds:        time.Since(s.start).Seconds(),
-		Instances:            s.reg.len(),
-		CacheEntries:         s.cache.len(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Instances:     s.reg.len(),
+		CacheEntries:  s.cache.len(),
+		Build: buildVarz{
+			GitCommit:  buildinfo.Commit(),
+			GoVersion:  buildinfo.GoVersion(),
+			NumCPU:     buildinfo.NumCPU(),
+			GoMaxProcs: buildinfo.MaxProcs(),
+		},
 		QueriesServed:        m.queriesServed.Value(),
 		ExactQueries:         m.exactQueries.Value(),
 		ApproxQueries:        m.approxQueries.Value(),

@@ -194,7 +194,7 @@ func TestStaleCachePutCannotMaskMutation(t *testing.T) {
 	}
 	// The abandoned pre-mutation computation lands now, after the
 	// invalidation, holding the stale entry pointer.
-	staleResp, he := s.executeQuery(context.Background(), stale, req)
+	staleResp, he := s.executeQuery(context.Background(), stale, req, false)
 	if he != nil {
 		t.Fatalf("stale executeQuery: %v", he)
 	}

@@ -105,6 +105,18 @@ type Options struct {
 	// default: the profiles expose internals and cost CPU to collect,
 	// so the operator opts in (ocqa-serve -pprof).
 	EnablePprof bool
+	// EnableDebugQueries mounts the slow-query flight recorder at
+	// GET /debug/queries: bounded rings of the last and the slowest
+	// query executions with their traces. Off by default for the same
+	// reason as pprof — the records expose query text and timing
+	// internals — and opted into with ocqa-serve -debug-queries.
+	// Enabling it arms a per-request engine trace on query endpoints.
+	EnableDebugQueries bool
+	// SlowQuery, when positive, logs every query-endpoint request whose
+	// total wall time reaches the threshold as one structured warning
+	// carrying the full trace (phase spans, convergence terminal). Uses
+	// AccessLog when configured, slog's default logger otherwise.
+	SlowQuery time.Duration
 	// AccessLog, when non-nil, receives one structured line per request
 	// (request id, endpoint, status, latency, instance, draws, cache
 	// disposition). Nil disables access logging.
@@ -173,6 +185,9 @@ type Server struct {
 	met   *serverMetrics
 	start time.Time
 	mux   *http.ServeMux
+	// flight is the slow-query flight recorder, nil unless
+	// Options.EnableDebugQueries opted in.
+	flight *flightRecorder
 	// compute is the server-wide semaphore every engine computation
 	// holds while running; see Options.MaxConcurrentQueries.
 	compute chan struct{}
@@ -236,6 +251,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnableDebugQueries {
+		s.flight = newFlightRecorder()
+		s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	}
 	if opts.EnablePprof {
 		// pprof.Index dispatches /debug/pprof/{heap,goroutine,...} off
 		// the path suffix, so the subtree route covers the named

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // Request tracing: every request gets an id (propagated from the
@@ -35,6 +37,13 @@ type reqInfo struct {
 	draws     atomic.Int64
 	cacheHit  atomic.Int64
 	cacheMiss atomic.Int64
+	// trace is the request-wide engine trace, armed by ServeHTTP before
+	// the handler runs when the flight recorder or the slow-query log
+	// needs one (nil otherwise — the engine's trace hooks are then
+	// no-ops). Written once before the handler, read after it returns;
+	// the Trace itself is internally mutex-guarded, so batch workers
+	// recording into it concurrently are safe.
+	trace *engine.Trace
 }
 
 func (ri *reqInfo) str(v *atomic.Value) string {
@@ -112,6 +121,9 @@ func endpointLabel(method, path string) string {
 	case "/metrics":
 		return "metrics"
 	}
+	if path == "/debug/queries" {
+		return "debug_queries"
+	}
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "pprof"
 	}
@@ -163,6 +175,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// clients of streaming responses) always see it.
 	w.Header().Set("X-Request-Id", id)
 	ri := &reqInfo{id: id}
+	ep := endpointLabel(r.Method, r.URL.Path)
+	// Arm the request-wide trace only when something will read it: the
+	// flight recorder rings or the slow-query log. Everywhere else the
+	// engine sees a nil trace and its hooks cost nothing.
+	if (s.flight != nil || s.opts.SlowQuery > 0) && flightEndpoint(ep) {
+		ri.trace = engine.NewTrace()
+	}
 	r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
 	sw := &statusWriter{ResponseWriter: w}
 
@@ -172,9 +191,34 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sw.status = http.StatusOK
 	}
 	elapsed := time.Since(start)
-	ep := endpointLabel(r.Method, r.URL.Path)
 	s.met.httpRequests.With(ep, strconv.Itoa(sw.status)).Inc()
 	s.met.httpLatency.With(ep).Observe(elapsed.Seconds())
+
+	if ri.trace != nil {
+		rec := flightRecord{
+			RequestID:       id,
+			Endpoint:        ep,
+			Method:          r.Method,
+			Path:            r.URL.Path,
+			Status:          sw.status,
+			Start:           start,
+			DurationSeconds: elapsed.Seconds(),
+			Instance:        ri.str(&ri.instance),
+			Generator:       ri.str(&ri.generator),
+			Mode:            ri.str(&ri.mode),
+			Draws:           ri.draws.Load(),
+			CacheHits:       ri.cacheHit.Load(),
+			CacheMisses:     ri.cacheMiss.Load(),
+			Spans:           ri.trace.Spans(),
+			Convergence:     ri.trace.Curve(),
+		}
+		if s.flight != nil {
+			s.flight.record(rec)
+		}
+		if s.opts.SlowQuery > 0 && elapsed >= s.opts.SlowQuery {
+			s.slowQueryLog(r.Context(), rec)
+		}
+	}
 
 	if log := s.opts.AccessLog; log != nil {
 		attrs := []slog.Attr{
@@ -202,4 +246,52 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 	}
+}
+
+// slowQueryLog emits one structured warning for a request at or above
+// the slow-query threshold, carrying the full trace: per-phase span
+// durations and the convergence curve's terminal shape. The access
+// logger receives it when configured, slog's default logger otherwise,
+// so enabling -slow-query alone still produces output.
+func (s *Server) slowQueryLog(ctx context.Context, rec flightRecord) {
+	log := s.opts.AccessLog
+	if log == nil {
+		log = slog.Default()
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", rec.RequestID),
+		slog.String("endpoint", rec.Endpoint),
+		slog.Int("status", rec.Status),
+		slog.Float64("duration_seconds", rec.DurationSeconds),
+		slog.Duration("threshold", s.opts.SlowQuery),
+	}
+	if rec.Instance != "" {
+		attrs = append(attrs, slog.String("instance", rec.Instance))
+	}
+	if rec.Generator != "" {
+		attrs = append(attrs, slog.String("generator", rec.Generator))
+	}
+	if rec.Mode != "" {
+		attrs = append(attrs, slog.String("mode", rec.Mode))
+	}
+	if rec.Draws > 0 {
+		attrs = append(attrs, slog.Int64("draws", rec.Draws))
+	}
+	spans := make([]slog.Attr, 0, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		spans = append(spans, slog.Duration(sp.Name, time.Duration(sp.EndNanos-sp.StartNanos)))
+	}
+	if len(spans) > 0 {
+		attrs = append(attrs, slog.Attr{Key: "spans", Value: slog.GroupValue(spans...)})
+	}
+	if n := len(rec.Convergence); n > 0 {
+		last := rec.Convergence[n-1]
+		attrs = append(attrs, slog.Group("convergence",
+			slog.Int("checkpoints", n),
+			slog.Int64("final_draws", last.Draws),
+			slog.Float64("final_value", last.Value),
+			slog.Float64("final_half_width", last.HalfWidth),
+		))
+	}
+	log.LogAttrs(ctx, slog.LevelWarn, "slow query", attrs...)
 }

@@ -530,11 +530,13 @@ func (in *Instance) approximate(ctx context.Context, ps preparedSamplers, mode M
 
 	// Prefer the witness-image predicate: it avoids materialising a
 	// database per sample in the Monte-Carlo loop.
+	endCompile := engine.TraceFrom(ctx).StartSpan("compile")
 	pred, ok := in.inner.WitnessPred(q, c, 0)
 	if !ok {
 		pred = in.inner.EntailPred(q, c)
 	}
 	newSubset, err := in.subsetDrawer(ps, mode)
+	endCompile()
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -635,12 +637,15 @@ func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers,
 		}
 		return out, total, nil
 	}
+	endCompile := engine.TraceFrom(ctx).StartSpan("compile")
 	mp := compile(q)
 	tuples := mp.Tuples()
 	if len(tuples) == 0 {
+		endCompile()
 		return nil, Accounting{}, nil
 	}
 	newSubset, err := in.subsetDrawer(ps, mode)
+	endCompile()
 	if err != nil {
 		return nil, Accounting{}, err
 	}
@@ -1028,7 +1033,9 @@ func (in *Instance) approximateFactMarginals(ctx context.Context, ps preparedSam
 	if err := in.checkApproximable(mode, opts.Force); err != nil {
 		return nil, Accounting{}, err
 	}
+	endCompile := engine.TraceFrom(ctx).StartSpan("compile")
 	newCounter, always, err := in.countingDrawer(ps, mode)
+	endCompile()
 	if err != nil {
 		return nil, Accounting{}, err
 	}
