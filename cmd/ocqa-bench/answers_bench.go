@@ -42,21 +42,24 @@ type answersBenchFile struct {
 	BaselineDraws int64   `json:"baseline_draws"`
 	SharedDraws   int64   `json:"shared_draws"`
 	DrawReduction float64 `json:"draw_reduction"`
-	// PerWorkerDraws8W is the shared pass's per-worker draw split at 8
-	// workers, from the engine's own accounting.
-	PerWorkerDraws8W []int64 `json:"per_worker_draws_8w"`
+	// AutoWorkers is the worker count adaptive selection chose for this
+	// fixture on this host (ResolveWorkers with a zero request).
+	AutoWorkers int `json:"auto_workers"`
+	// PerWorkerDrawsAuto is the shared pass's per-worker draw split
+	// under adaptive workers, from the engine's own accounting.
+	PerWorkerDrawsAuto []int64 `json:"per_worker_draws_auto"`
 	// Deterministic reports that two runs with identical seed and
 	// worker count produced bitwise-identical estimates, serially and
-	// at 8 workers.
+	// under adaptive workers.
 	Deterministic bool `json:"deterministic"`
 	// PhaseSeconds is the per-phase span breakdown (compile, shared
-	// sampling pass) of one traced 8-worker verification run.
+	// sampling pass) of one traced auto-worker verification run.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 	Results      []benchResult      `json:"results"`
-	// SpeedupShared1W / SpeedupShared8W are ns(per-tuple baseline) /
-	// ns(shared pass) at 1 and 8 workers.
-	SpeedupShared1W float64 `json:"speedup_shared_1w"`
-	SpeedupShared8W float64 `json:"speedup_shared_8w"`
+	// SpeedupShared1W / SpeedupSharedAuto are ns(per-tuple baseline) /
+	// ns(shared pass) at 1 worker and under adaptive workers.
+	SpeedupShared1W   float64 `json:"speedup_shared_1w"`
+	SpeedupSharedAuto float64 `json:"speedup_shared_auto"`
 }
 
 // answersBenchInstance builds the symmetric multi-answer fixture:
@@ -156,19 +159,25 @@ func runAnswersBenchmarks(outPath string) error {
 		}
 	}
 
-	// Bitwise determinism for fixed (seed, workers), serial and at 8
-	// workers.
+	// Bitwise determinism for fixed (seed, workers), serial and under
+	// adaptive worker selection (Workers: 0 — the default every entry
+	// point now uses; the engine resolves the count from the conflict
+	// structure and draw budget).
 	deterministic := true
-	var split8 []int64
-	for _, workers := range []int{1, 8} {
+	var splitAuto []int64
+	for _, workers := range []int{1, engine.AutoWorkers} {
 		o := opts
 		o.Workers = workers
 		r1, acct, err := p.ApproximateAnswersAcct(ctx, mode, q, o)
 		if err != nil {
 			return err
 		}
-		if workers == 8 {
-			split8 = acct.PerWorker
+		if workers == engine.AutoWorkers {
+			if acct.PerWorker != nil {
+				splitAuto = acct.PerWorker
+			} else {
+				splitAuto = []int64{acct.Draws}
+			}
 		}
 		r2, err := p.ApproximateAnswers(ctx, mode, q, o)
 		if err != nil {
@@ -177,6 +186,10 @@ func runAnswersBenchmarks(outPath string) error {
 		if !sameEstimates(r1, r2) {
 			deterministic = false
 		}
+	}
+	auto := int(engine.LastAutoWorkers())
+	if auto < 1 {
+		return fmt.Errorf("adaptive selection did not run (LastAutoWorkers = %d)", auto)
 	}
 
 	sharedRun := func(workers int) error {
@@ -201,37 +214,38 @@ func runAnswersBenchmarks(outPath string) error {
 			}
 		}
 	})
-	shared8 := testing.Benchmark(func(b *testing.B) {
+	sharedAuto := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if err := sharedRun(8); err != nil {
+			if err := sharedRun(engine.AutoWorkers); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 
 	out := answersBenchFile{
-		Suite:            "answers",
-		benchStamp:       newBenchStamp(),
-		Facts:            inst.DB().Len(),
-		Tuples:           tuples,
-		Epsilon:          eps,
-		Delta:            delta,
-		BaselineDraws:    baselineDraws,
-		SharedDraws:      sharedDraws,
-		PerWorkerDraws8W: split8,
-		Deterministic:    deterministic,
+		Suite:              "answers",
+		benchStamp:         newBenchStamp(),
+		Facts:              inst.DB().Len(),
+		Tuples:             tuples,
+		Epsilon:            eps,
+		Delta:              delta,
+		BaselineDraws:      baselineDraws,
+		SharedDraws:        sharedDraws,
+		AutoWorkers:        auto,
+		PerWorkerDrawsAuto: splitAuto,
+		Deterministic:      deterministic,
 		// One extra traced run, outside the timed loops, so tracing never
 		// touches the benchmark iterations themselves.
 		PhaseSeconds: spanSeconds(func(ctx context.Context) {
 			o := opts
-			o.Workers = 8
+			o.Workers = engine.AutoWorkers
 			_, _ = p.ApproximateAnswers(ctx, mode, q, o)
 		}),
 		Results: []benchResult{
 			toResult("AnswersPerTupleBaseline", baseBench),
-			toResult("AnswersShared1Worker", shared1),
-			toResult("AnswersShared8Workers", shared8),
+			toWorkerResult("AnswersShared1Worker", "answers_shared", 1, shared1),
+			toWorkerResult("AnswersSharedAutoWorkers", "answers_shared", auto, sharedAuto),
 		},
 	}
 	if sharedDraws > 0 {
@@ -240,8 +254,11 @@ func runAnswersBenchmarks(outPath string) error {
 	if s1 := out.Results[1].NsPerOp; s1 > 0 {
 		out.SpeedupShared1W = out.Results[0].NsPerOp / s1
 	}
-	if s8 := out.Results[2].NsPerOp; s8 > 0 {
-		out.SpeedupShared8W = out.Results[0].NsPerOp / s8
+	if sa := out.Results[2].NsPerOp; sa > 0 {
+		out.SpeedupSharedAuto = out.Results[0].NsPerOp / sa
+	}
+	if v := workerInversions(out.Results); len(v) > 0 {
+		return fmt.Errorf("worker inversion in answers suite: %s", v[0])
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -258,11 +275,11 @@ func runAnswersBenchmarks(outPath string) error {
 	fmt.Printf("draws: per-tuple baseline %d, shared pass %d — %.2fx reduction\n",
 		baselineDraws, sharedDraws, out.DrawReduction)
 	fmt.Printf("deterministic for fixed (seed, workers): %v\n", deterministic)
-	fmt.Printf("shared pass speedup: %.2fx (1 worker), %.2fx (8 workers)\n",
-		out.SpeedupShared1W, out.SpeedupShared8W)
+	fmt.Printf("shared pass speedup: %.2fx (1 worker), %.2fx (auto, %d worker(s))\n",
+		out.SpeedupShared1W, out.SpeedupSharedAuto, auto)
 	fmt.Printf("host: %d CPU(s), GOMAXPROCS=%d", out.NumCPU, out.GOMAXPROCS)
-	if out.NumCPU < 8 {
-		fmt.Printf(" — 8-worker parallelism cannot exceed the core count; batch overhead and discarded tail draws dominate there")
+	if auto == 1 {
+		fmt.Printf(" — adaptive selection stayed serial on this host")
 	}
 	fmt.Println()
 	fmt.Printf("wrote %s\n", outPath)

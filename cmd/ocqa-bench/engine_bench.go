@@ -6,16 +6,20 @@ package main
 // slice, increment per-fact counters — O(‖D‖) and two allocations per
 // draw) against the engine's amortised counting drawer (O(#undetermined
 // blocks) per draw, allocation-free, facts outside every conflict
-// hoisted out of the loop) serially and at 8 workers. Emits a
+// hoisted out of the loop), serially and under adaptive worker
+// selection (Workers: 0 — the engine picks the count from the conflict
+// structure and draw budget, never exceeding GOMAXPROCS). Emits a
 // BENCH_engine.json trajectory file for cross-PR tracking.
 //
 // The fixture is a mostly-consistent database — the realistic serving
 // shape: most facts are in no conflict, a minority sit in key blocks —
 // which is exactly where hoisting the always-surviving facts out of
 // the per-draw loop pays. NumCPU and GOMAXPROCS are recorded because
-// the 8-worker number reflects genuine goroutine parallelism only when
-// the host has cores to run them; on a single-core host it measures
-// the amortised drawer alone.
+// the adaptive worker count depends on them: on a single-core host
+// auto resolves to 1 and the headline number is the amortised drawer
+// alone. Because auto is bounded by the core count, the committed file
+// never contains a configuration where more workers is slower than
+// fewer — workerInversions enforces that before the file is written.
 
 import (
 	"context"
@@ -28,6 +32,7 @@ import (
 
 	ocqa "repro"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sampler"
 )
 
@@ -40,23 +45,27 @@ type engineBenchFile struct {
 	Blocks    int `json:"blocks"`
 	BlockSize int `json:"block_size"`
 	Draws     int `json:"draws"`
-	// PerWorkerDraws1W/8W are the engine accounting's per-worker draw
-	// splits of the verification runs — evidence the 8-worker number
-	// actually fanned out (a [20000] split at "8 workers" would mean the
-	// engine collapsed to one goroutine and the speedup is noise).
-	PerWorkerDraws1W []int64 `json:"per_worker_draws_1w"`
-	PerWorkerDraws8W []int64 `json:"per_worker_draws_8w"`
+	// AutoWorkers is the worker count adaptive selection chose for this
+	// fixture on this host (ResolveWorkers with a zero request).
+	AutoWorkers int `json:"auto_workers"`
+	// PerWorkerDraws1W/Auto are the engine accounting's per-worker draw
+	// splits of the verification runs — evidence the auto-worker number
+	// actually fanned out when auto picked more than one worker (a
+	// [20000] split would mean the engine collapsed to one goroutine and
+	// any speedup is noise).
+	PerWorkerDraws1W   []int64 `json:"per_worker_draws_1w"`
+	PerWorkerDrawsAuto []int64 `json:"per_worker_draws_auto"`
 	// PhaseSeconds is the per-phase span breakdown (compile, sampling)
-	// of one traced 8-worker verification run — where one marginals pass
-	// actually spends its wall time.
+	// of one traced auto-worker verification run — where one marginals
+	// pass actually spends its wall time.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 	Results      []benchResult      `json:"results"`
 	// SerialSpeedup is ns(serial baseline) / ns(engine, 1 worker): the
 	// gain of the amortised counting drawer alone.
 	SerialSpeedup float64 `json:"serial_speedup"`
-	// ParallelSpeedup8W is ns(serial baseline) / ns(engine, 8 workers):
-	// the headline serial-vs-parallel marginals number.
-	ParallelSpeedup8W float64 `json:"parallel_speedup_8w"`
+	// AutoSpeedup is ns(serial baseline) / ns(engine, auto workers):
+	// the headline number under adaptive parallelism.
+	AutoSpeedup float64 `json:"auto_speedup"`
 }
 
 // engineBenchInstance builds the mostly-consistent fixture: clean
@@ -132,10 +141,12 @@ func runEngineBenchmarks(outPath string) error {
 	// Cross-check before timing: baseline and engine must agree to
 	// Monte-Carlo accuracy on every fact, or the speedup is measuring a
 	// different computation. The accounting of these runs also records
-	// the per-worker draw splits for the trajectory file.
+	// the per-worker draw splits for the trajectory file. Workers: 0 is
+	// the adaptive path — the same default every CLI and server entry
+	// point now uses.
 	base := baselineMarginals(bs, nFacts, draws, 1)
 	splits := map[int][]int64{}
-	for _, workers := range []int{1, 8} {
+	for _, workers := range []int{1, engine.AutoWorkers} {
 		vals, acct, err := engineRunAcct(workers)
 		if err != nil {
 			return err
@@ -154,6 +165,10 @@ func runEngineBenchmarks(outPath string) error {
 			}
 		}
 	}
+	auto := int(engine.LastAutoWorkers())
+	if auto < 1 {
+		return fmt.Errorf("adaptive selection did not run (LastAutoWorkers = %d)", auto)
+	}
 
 	serial := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -169,43 +184,47 @@ func runEngineBenchmarks(outPath string) error {
 			}
 		}
 	})
-	engine8 := testing.Benchmark(func(b *testing.B) {
+	engineAuto := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := engineRun(8); err != nil {
+			if _, err := engineRun(engine.AutoWorkers); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 
 	out := engineBenchFile{
-		Suite:            "engine",
-		benchStamp:       newBenchStamp(),
-		Facts:            nFacts,
-		Blocks:           blocks,
-		BlockSize:        blockSize,
-		Draws:            draws,
-		PerWorkerDraws1W: splits[1],
-		PerWorkerDraws8W: splits[8],
+		Suite:              "engine",
+		benchStamp:         newBenchStamp(),
+		Facts:              nFacts,
+		Blocks:             blocks,
+		BlockSize:          blockSize,
+		Draws:              draws,
+		AutoWorkers:        auto,
+		PerWorkerDraws1W:   splits[1],
+		PerWorkerDrawsAuto: splits[engine.AutoWorkers],
 		// One extra traced run, outside the timed loops: tracing is off
 		// during the benchmark iterations, so the headline numbers stay
 		// comparable with earlier trajectory files.
 		PhaseSeconds: spanSeconds(func(ctx context.Context) {
 			_, _, _ = p.ApproximateFactMarginalsAcct(ctx, mode, ocqa.ApproxOptions{
-				Seed: 1, MaxSamples: draws, Workers: 8,
+				Seed: 1, MaxSamples: draws, Workers: engine.AutoWorkers,
 			})
 		}),
 		Results: []benchResult{
 			toResult("MarginalsSerialBaseline", serial),
-			toResult("MarginalsEngine1Worker", engine1),
-			toResult("MarginalsEngine8Workers", engine8),
+			toWorkerResult("MarginalsEngine1Worker", "marginals_engine", 1, engine1),
+			toWorkerResult("MarginalsEngineAutoWorkers", "marginals_engine", auto, engineAuto),
 		},
 	}
 	if e1 := out.Results[1].NsPerOp; e1 > 0 {
 		out.SerialSpeedup = out.Results[0].NsPerOp / e1
 	}
-	if e8 := out.Results[2].NsPerOp; e8 > 0 {
-		out.ParallelSpeedup8W = out.Results[0].NsPerOp / e8
+	if ea := out.Results[2].NsPerOp; ea > 0 {
+		out.AutoSpeedup = out.Results[0].NsPerOp / ea
+	}
+	if v := workerInversions(out.Results); len(v) > 0 {
+		return fmt.Errorf("worker inversion in engine suite: %s", v[0])
 	}
 	raw, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -218,11 +237,11 @@ func runEngineBenchmarks(outPath string) error {
 		fmt.Printf("%-28s %14.0f ns/op %12d B/op %8d allocs/op  (n=%d)\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Iterations)
 	}
-	fmt.Printf("engine (1 worker)  speedup over pre-engine serial baseline: %.2fx\n", out.SerialSpeedup)
-	fmt.Printf("engine (8 workers) speedup over pre-engine serial baseline: %.2fx\n", out.ParallelSpeedup8W)
+	fmt.Printf("engine (1 worker)       speedup over pre-engine serial baseline: %.2fx\n", out.SerialSpeedup)
+	fmt.Printf("engine (auto, %d worker) speedup over pre-engine serial baseline: %.2fx\n", auto, out.AutoSpeedup)
 	fmt.Printf("host: %d CPU(s), GOMAXPROCS=%d", out.NumCPU, out.GOMAXPROCS)
-	if out.NumCPU < 8 {
-		fmt.Printf(" — 8-worker parallelism cannot exceed the core count; the gain above is the amortised drawer")
+	if auto == 1 {
+		fmt.Printf(" — adaptive selection stayed serial on this host; the gain above is the amortised drawer")
 	}
 	fmt.Println()
 	fmt.Printf("wrote %s\n", outPath)

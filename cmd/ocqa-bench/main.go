@@ -13,12 +13,23 @@
 // one Monte-Carlo pass for all answer tuples) and emits
 // BENCH_answers.json.
 //
+// With -scale it runs the million-fact data-plane suite (marginals
+// draws/sec at 1 worker and under adaptive selection, a stopping-rule
+// query, live-heap and snapshot bytes per fact, columnar v2 encode /
+// cold-boot / warm-boot timings) and emits BENCH_scale.json;
+// -scale-facts shrinks the instance for CI smoke runs.
+//
 // With -check BASELINE.json it reruns the suite named in the baseline
 // trajectory file and exits non-zero when any benchmark's ns_per_op
-// grew — or its draws/sec shrank — by more than 15%: the CI bench
-// regression gate. -check-selftest BASELINE.json proves the gate
-// itself still discriminates (the file passes against itself, a
-// synthetic 20% slowdown fails) without rerunning any benchmark.
+// grew — or its draws/sec shrank — by more than the suite's tolerance
+// band (15% for the micro suites, 40% for the noisier macro-scale
+// suite), or the scale suite's bytes/fact grew by more than 15%: the
+// CI bench regression gate. The gate also rejects any file containing
+// a worker inversion (a configuration where more workers ran slower
+// than fewer). -check-selftest BASELINE.json proves the gate itself
+// still discriminates (the file passes against itself, a synthetic
+// slowdown past the band and a synthetic worker inversion fail)
+// without rerunning any benchmark.
 //
 // Every trajectory file is stamped with the git commit, Go version,
 // CPU count and GOMAXPROCS of the run, so cross-host comparisons are
@@ -38,6 +49,7 @@
 //	ocqa-bench -store [-store-out BENCH_store.json]
 //	ocqa-bench -engine [-engine-out BENCH_engine.json]
 //	ocqa-bench -answers [-answers-out BENCH_answers.json]
+//	ocqa-bench -scale [-scale-facts 1000000] [-scale-out BENCH_scale.json]
 //	ocqa-bench -check BENCH_engine.json
 //	ocqa-bench -check-selftest BENCH_engine.json
 //	ocqa-bench -oracle [-seed N] [-oracle-scenarios 500]
@@ -63,9 +75,12 @@ func main() {
 		engineOut  = flag.String("engine-out", "BENCH_engine.json", "trajectory file for -engine results")
 		answersRun = flag.Bool("answers", false, "run the shared-draw answers benchmarks instead of the experiment suite")
 		answersOut = flag.String("answers-out", "BENCH_answers.json", "trajectory file for -answers results")
+		scaleRun   = flag.Bool("scale", false, "run the million-fact data-plane suite instead of the experiment suite")
+		scaleFacts = flag.Int("scale-facts", 1_000_000, "instance size for -scale (CI smoke runs use ~100k)")
+		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "trajectory file for -scale results")
 		oracleRun  = flag.Bool("oracle", false, "run the oracle differential verification gate instead of the experiment suite")
 		oracleN    = flag.Int("oracle-scenarios", 500, "random scenarios for the -oracle gate (each checked under all six modes)")
-		check      = flag.String("check", "", "baseline BENCH_*.json: rerun its suite and exit non-zero on a >15% ns/op or draws/sec regression")
+		check      = flag.String("check", "", "baseline BENCH_*.json: rerun its suite and exit non-zero on an ns/op or draws/sec regression past the suite's tolerance band")
 		checkSelf  = flag.String("check-selftest", "", "baseline BENCH_*.json: verify the regression gate flags a synthetic 20% slowdown (no benchmarks rerun)")
 	)
 	flag.Parse()
@@ -106,6 +121,13 @@ func main() {
 	}
 	if *answersRun {
 		if err := runAnswersBenchmarks(*answersOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleRun {
+		if err := runScaleBenchmarks(*scaleOut, *scaleFacts); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
 			os.Exit(1)
 		}

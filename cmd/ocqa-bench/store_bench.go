@@ -19,9 +19,15 @@ import (
 	"repro/internal/store"
 )
 
-// benchResult is one benchmark's line in the trajectory file.
+// benchResult is one benchmark's line in the trajectory file. Results
+// that measure the same computation at different worker counts share a
+// Group and record their Workers, so the regression gate can assert
+// that no committed file contains a configuration where more workers
+// is slower than fewer (see workerInversions).
 type benchResult struct {
 	Name        string  `json:"name"`
+	Group       string  `json:"group,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -46,6 +52,15 @@ func toResult(name string, r testing.BenchmarkResult) benchResult {
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
+}
+
+// toWorkerResult is toResult for a worker-parameterized benchmark:
+// same-group results form the ladder the inversion gate checks.
+func toWorkerResult(name, group string, workers int, r testing.BenchmarkResult) benchResult {
+	br := toResult(name, r)
+	br.Group = group
+	br.Workers = workers
+	return br
 }
 
 // storeBenchDB mirrors the core benchmark fixture: `blocks` key-blocks

@@ -1,0 +1,59 @@
+package main
+
+// The adaptive-parallelism regression gate: no committed BENCH_*.json
+// may contain a configuration where more workers ran slower than fewer
+// — if it does, either the adaptive selection picked a bad count or a
+// hand-pinned worker figure was committed from an oversubscribed run.
+// The suite runners refuse to write such a file (they call
+// workerInversions before os.WriteFile) and -check refuses such a
+// baseline; this test holds the files actually in the repository to
+// the same rule on every `go test ./...`.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCommittedBenchFilesHaveNoWorkerInversion(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json found — the trajectory files should live at the repo root")
+	}
+	for _, p := range paths {
+		f, err := readBenchFile(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		for _, v := range workerInversions(f.Results) {
+			t.Errorf("%s: %s", filepath.Base(p), v)
+		}
+	}
+}
+
+func TestWorkerInversionDetection(t *testing.T) {
+	bad := []benchResult{
+		{Name: "A", Group: "g", Workers: 1, NsPerOp: 100},
+		{Name: "B", Group: "g", Workers: 4, NsPerOp: 150},
+	}
+	if v := workerInversions(bad); len(v) != 1 {
+		t.Fatalf("inversion not flagged: %v", v)
+	}
+	clean := []benchResult{
+		{Name: "A", Group: "g", Workers: 1, NsPerOp: 150},
+		{Name: "B", Group: "g", Workers: 4, NsPerOp: 100},
+		// Different groups never compare, ungrouped results never compare.
+		{Name: "C", Group: "h", Workers: 8, NsPerOp: 9999},
+		{Name: "D", NsPerOp: 1},
+		// Equal worker counts (auto resolved to 1 on a 1-CPU host) never
+		// compare.
+		{Name: "E", Group: "i", Workers: 1, NsPerOp: 100},
+		{Name: "F", Group: "i", Workers: 1, NsPerOp: 200},
+	}
+	if v := workerInversions(clean); len(v) != 0 {
+		t.Fatalf("clean ladder flagged: %v", v)
+	}
+}

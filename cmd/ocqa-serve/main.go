@@ -62,6 +62,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		batchWorkers  = flag.Int("batch-workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		workers       = flag.Int("workers", 0, "estimation workers for requests that omit workers (0 = adaptive)")
 		cacheSize     = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-query deadline (negative disables)")
 		exactLimit    = flag.Int("exact-limit", 2_000_000, "state-budget cap for the exact engines")
@@ -80,6 +81,7 @@ func main() {
 	flag.Parse()
 	opts := server.Options{
 		BatchWorkers:         *batchWorkers,
+		DefaultWorkers:       *workers,
 		CacheSize:            *cacheSize,
 		QueryTimeout:         *timeout,
 		ExactLimit:           *exactLimit,

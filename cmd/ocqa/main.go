@@ -43,7 +43,7 @@ func main() {
 		eps       = flag.Float64("eps", 0.1, "approx: multiplicative error ε")
 		delta     = flag.Float64("delta", 0.05, "approx: failure probability δ")
 		seed      = flag.Int64("seed", 1, "approx: random seed")
-		workers   = flag.Int("workers", 1, "approx: parallel estimation workers (deterministic per seed+workers)")
+		workers   = flag.Int("workers", 0, "approx: parallel estimation workers, 0 = adaptive (deterministic per seed+workers)")
 		force     = flag.Bool("force", false, "approx: sample even without an FPRAS guarantee")
 		limit     = flag.Int("limit", 2_000_000, "exact: state budget (0 = unlimited)")
 		explain   = flag.Bool("explain", false, "print the query plan, phase spans and convergence curve")

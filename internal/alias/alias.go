@@ -1,0 +1,170 @@
+// Package alias implements exact discrete sampling from fixed integer
+// weight vectors: a Walker–Vose alias table when the weights fit
+// machine words, and a cumulative-sum binary search over big.Ints when
+// they do not. Both are O(1)/O(log n) per draw and produce exactly the
+// distribution weight[i]/Σweights — all arithmetic is integer, so no
+// rounding ever perturbs a sampler's law. The sequence samplers
+// precompute these tables for their draw-invariant weighted choices
+// (total-length distribution, per-block split counts), replacing
+// per-draw linear scans over big.Int weight vectors.
+package alias
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+)
+
+// Chooser draws an index i with probability weights[i]/Σweights for
+// the weight vector it was built from. Implementations are immutable
+// and safe for concurrent use; only the rng is per-caller.
+type Chooser interface {
+	Draw(rng *rand.Rand) int
+}
+
+// Table is a Walker–Vose alias table over uint64 weights. Construction
+// scales every weight by n (exactly, in integers), so each of the n
+// columns carries total probability mass Σweights and a draw is one
+// column pick plus one threshold comparison.
+type Table struct {
+	n     int
+	total int64
+	// prob[c] is the acceptance threshold of column c in [0, total]:
+	// a uniform r < prob[c] keeps c, otherwise the draw is alias[c].
+	prob  []uint64
+	alias []int32
+}
+
+// New builds an alias table. It fails when the vector is empty, sums
+// to zero, or is too large for exact integer construction
+// (Σweights · n must stay below 2⁶³).
+func New(weights []uint64) (*Table, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("alias: empty weight vector")
+	}
+	var total uint64
+	for _, w := range weights {
+		if total+w < total {
+			return nil, fmt.Errorf("alias: weight sum overflows uint64")
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("alias: zero total weight")
+	}
+	if total > math.MaxInt64/uint64(n) {
+		return nil, fmt.Errorf("alias: total weight %d too large for %d-column exact construction", total, n)
+	}
+	// rem[i] starts at weights[i]·n; the invariant Σrem = (#unplaced)·total
+	// holds throughout, so with integer arithmetic every leftover column
+	// ends at exactly total (no floating-point slop to special-case).
+	rem := make([]uint64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		rem[i] = w * uint64(n)
+		if rem[i] < total {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	t := &Table{n: n, total: int64(total), prob: make([]uint64, n), alias: make([]int32, n)}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[l] = rem[l]
+		t.alias[l] = g
+		rem[g] -= total - rem[l]
+		if rem[g] < total {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, c := range append(small, large...) {
+		t.prob[c] = total
+		t.alias[c] = c
+	}
+	return t, nil
+}
+
+// Draw returns an index with probability weights[i]/Σweights.
+func (t *Table) Draw(rng *rand.Rand) int {
+	c := rng.Intn(t.n)
+	if uint64(rng.Int63n(t.total)) < t.prob[c] {
+		return c
+	}
+	return int(t.alias[c])
+}
+
+// BigTable draws by binary search over precomputed big.Int cumulative
+// sums — the fallback when weights exceed the alias table's exact
+// range. For the same rng it consumes exactly one big.Int.Rand per
+// draw and returns exactly the index a linear subtract-and-scan over
+// the same weights would, so swapping a scan for a BigTable never
+// changes a deterministic stream.
+type BigTable struct {
+	cum   []*big.Int
+	total *big.Int
+}
+
+// NewBig builds the cumulative table. It fails when the vector is
+// empty or sums to zero (or negative — weights must be counts).
+func NewBig(weights []*big.Int) (*BigTable, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("alias: empty weight vector")
+	}
+	cum := make([]*big.Int, len(weights))
+	total := new(big.Int)
+	for i, w := range weights {
+		if w.Sign() < 0 {
+			return nil, fmt.Errorf("alias: negative weight at index %d", i)
+		}
+		total.Add(total, w)
+		cum[i] = new(big.Int).Set(total)
+	}
+	if total.Sign() <= 0 {
+		return nil, fmt.Errorf("alias: zero total weight")
+	}
+	return &BigTable{cum: cum, total: total}, nil
+}
+
+// Draw returns an index with probability weights[i]/Σweights.
+func (b *BigTable) Draw(rng *rand.Rand) int {
+	r := new(big.Int).Rand(rng, b.total)
+	// Smallest i with r < cum[i]; zero-weight indices have cum[i] equal
+	// to their predecessor and can never be returned.
+	return sort.Search(len(b.cum), func(i int) bool { return r.Cmp(b.cum[i]) < 0 })
+}
+
+// NewExact builds the cheapest exact chooser for a big.Int weight
+// vector: an alias Table when every weight and the scaled construction
+// fit machine words, a BigTable otherwise.
+func NewExact(weights []*big.Int) (Chooser, error) {
+	small := make([]uint64, len(weights))
+	fits := true
+	for i, w := range weights {
+		if w.Sign() < 0 {
+			return nil, fmt.Errorf("alias: negative weight at index %d", i)
+		}
+		if !w.IsUint64() {
+			fits = false
+			break
+		}
+		small[i] = w.Uint64()
+	}
+	if fits {
+		if t, err := New(small); err == nil {
+			return t, nil
+		}
+		// Fall through: sum overflow or scaled range too large for the
+		// exact alias construction — the BigTable handles any magnitude.
+	}
+	return NewBig(weights)
+}

@@ -1,0 +1,143 @@
+package alias
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refScan is the linear subtract-and-scan weighted draw the samplers
+// used before alias tables; the BigTable must be draw-for-draw
+// identical to it.
+func refScan(rng *rand.Rand, weights []*big.Int) int {
+	total := big.NewInt(0)
+	for _, w := range weights {
+		total.Add(total, w)
+	}
+	r := new(big.Int).Rand(rng, total)
+	for i, w := range weights {
+		if r.Cmp(w) < 0 {
+			return i
+		}
+		r.Sub(r, w)
+	}
+	panic("fell through")
+}
+
+func TestBigTableMatchesLinearScanExactly(t *testing.T) {
+	weights := []*big.Int{
+		big.NewInt(3), big.NewInt(0), big.NewInt(17), big.NewInt(1),
+		new(big.Int).Lsh(big.NewInt(1), 80), // force the big path
+		big.NewInt(0), big.NewInt(29),
+	}
+	bt, err := NewBig(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewSource(42))
+	rngB := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		want := refScan(rngA, weights)
+		got := bt.Draw(rngB)
+		if got != want {
+			t.Fatalf("draw %d: BigTable=%d, linear scan=%d", i, got, want)
+		}
+	}
+}
+
+// TestTableFrequencies checks the alias table empirically against the
+// exact distribution on a skewed vector, with a 5-sigma bound per
+// index.
+func TestTableFrequencies(t *testing.T) {
+	weights := []uint64{1, 0, 50, 9, 40, 0, 900}
+	tab, err := New(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range weights {
+		total += float64(w)
+	}
+	const draws = 200_000
+	counts := make([]int, len(weights))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < draws; i++ {
+		counts[tab.Draw(rng)]++
+	}
+	for i, w := range weights {
+		p := float64(w) / total
+		sigma := math.Sqrt(float64(draws) * p * (1 - p))
+		diff := math.Abs(float64(counts[i]) - float64(draws)*p)
+		if w == 0 {
+			if counts[i] != 0 {
+				t.Fatalf("index %d has zero weight but %d draws", i, counts[i])
+			}
+			continue
+		}
+		if diff > 5*sigma+1 {
+			t.Fatalf("index %d: %d draws, expected %.0f ± %.0f", i, counts[i], float64(draws)*p, 5*sigma)
+		}
+	}
+}
+
+// TestTableExhaustiveMass verifies exactness structurally rather than
+// statistically: summing the acceptance mass of every column must
+// reproduce each weight exactly (scaled by n).
+func TestTableExhaustiveMass(t *testing.T) {
+	cases := [][]uint64{
+		{1},
+		{1, 1},
+		{1, 2, 3},
+		{7, 0, 0, 1},
+		{1000000, 1, 999},
+		{5, 5, 5, 5, 5, 5, 5},
+	}
+	for _, weights := range cases {
+		tab, err := New(weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for _, w := range weights {
+			total += w
+		}
+		// mass[i] · 1/(n·total) is the exact probability of index i.
+		mass := make([]uint64, len(weights))
+		for c := range weights {
+			mass[c] += tab.prob[c]
+			mass[tab.alias[c]] += uint64(tab.total) - tab.prob[c]
+		}
+		for i, w := range weights {
+			if mass[i] != w*uint64(len(weights)) {
+				t.Fatalf("weights %v: index %d carries mass %d, want %d·n=%d",
+					weights, i, mass[i], w, w*uint64(len(weights)))
+			}
+		}
+	}
+}
+
+func TestNewExactSelectsRepresentation(t *testing.T) {
+	smallW := []*big.Int{big.NewInt(2), big.NewInt(5)}
+	c, err := NewExact(smallW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*Table); !ok {
+		t.Fatalf("small weights should build an alias Table, got %T", c)
+	}
+	bigW := []*big.Int{new(big.Int).Lsh(big.NewInt(1), 100), big.NewInt(1)}
+	c, err = NewExact(bigW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*BigTable); !ok {
+		t.Fatalf("huge weights should fall back to BigTable, got %T", c)
+	}
+	if _, err := NewExact([]*big.Int{big.NewInt(0)}); err == nil {
+		t.Fatal("zero total weight must be rejected")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty vector must be rejected")
+	}
+}

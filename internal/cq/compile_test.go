@@ -1,0 +1,137 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// randInstance builds a small random database and query for the
+// differential tests below.
+func randInstance(rng *rand.Rand) (*rel.Database, *Query) {
+	var facts []rel.Fact
+	n := 5 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		facts = append(facts, rel.NewFact(
+			fmt.Sprintf("R%d", rng.Intn(3)),
+			fmt.Sprintf("c%d", rng.Intn(6)),
+			fmt.Sprintf("c%d", rng.Intn(6)),
+		))
+	}
+	d := rel.NewDatabase(facts...)
+	mkTerm := func() Term {
+		switch rng.Intn(3) {
+		case 0:
+			return Const(fmt.Sprintf("c%d", rng.Intn(7)))
+		case 1:
+			return Var("x")
+		default:
+			return Var(fmt.Sprintf("y%d", rng.Intn(2)))
+		}
+	}
+	atoms := make([]Atom, 1+rng.Intn(2))
+	for i := range atoms {
+		atoms[i] = NewAtom(fmt.Sprintf("R%d", rng.Intn(4)), mkTerm(), mkTerm())
+	}
+	// Use "x" as the answer variable when it occurs in the body.
+	var ansVars []string
+	for _, a := range atoms {
+		for _, t := range a.Terms {
+			if t.IsVar && t.Value == "x" {
+				ansVars = []string{"x"}
+			}
+		}
+	}
+	return d, MustNew(ansVars, atoms...)
+}
+
+// TestCompiledMatchesPerCallAPI cross-checks the reusable Compiled plan
+// against the one-shot Query methods on random instances, subsets, and
+// tuples — the two paths must agree exactly, including on queries whose
+// relations or constants never occur in the database.
+func TestCompiledMatchesPerCallAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		d, q := randInstance(rng)
+		c := q.CompileFor(d)
+
+		if got, want := c.Entails(), q.Entails(d); got != want {
+			t.Fatalf("trial %d: Compiled.Entails=%v, Query.Entails=%v\nq=%v\nd=%v", trial, got, want, q, d)
+		}
+		s := rel.NewSubset(d.Len())
+		for i := 0; i < d.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+			}
+		}
+		if got, want := c.EntailsIn(s), q.EntailsIn(d, s); got != want {
+			t.Fatalf("trial %d: Compiled.EntailsIn=%v, Query.EntailsIn=%v", trial, got, want)
+		}
+		if len(q.AnswerVars) == 1 {
+			tup := Tuple{fmt.Sprintf("c%d", rng.Intn(7))}
+			if got, want := c.HasAnswerIn(s, tup), q.HasAnswerIn(d, s, tup); got != want {
+				t.Fatalf("trial %d: Compiled.HasAnswerIn(%v)=%v, Query=%v", trial, tup, got, want)
+			}
+			if got, want := c.HasAnswer(tup), q.HasAnswer(d, tup); got != want {
+				t.Fatalf("trial %d: Compiled.HasAnswer(%v)=%v, Query=%v", trial, tup, got, want)
+			}
+		}
+		full := d.FullSubset()
+		gotAns := c.AnswersIn(full, true)
+		wantAns := q.Answers(d)
+		if len(gotAns) != len(wantAns) {
+			t.Fatalf("trial %d: AnswersIn(full)=%v, Answers=%v", trial, gotAns, wantAns)
+		}
+		for i := range gotAns {
+			if !gotAns[i].Equal(wantAns[i]) {
+				t.Fatalf("trial %d: answer %d differs: %v vs %v", trial, i, gotAns[i], wantAns[i])
+			}
+		}
+	}
+}
+
+// TestCompiledConcurrentUse exercises one Compiled plan from many
+// goroutines: the plan is immutable shared state and every call carries
+// its own search state, so concurrent draws must agree with the serial
+// answer. Run with -race to make the check meaningful.
+func TestCompiledConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, q := randInstance(rng)
+	c := q.CompileFor(d)
+
+	subsets := make([]rel.Subset, 64)
+	want := make([]bool, len(subsets))
+	for i := range subsets {
+		s := rel.NewSubset(d.Len())
+		for j := 0; j < d.Len(); j++ {
+			if rng.Intn(2) == 0 {
+				s.Set(j)
+			}
+		}
+		subsets[i] = s
+		want[i] = q.EntailsIn(d, s)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, len(subsets))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, s := range subsets {
+				if got := c.EntailsIn(s); got != want[i] {
+					errs <- fmt.Sprintf("subset %d: concurrent EntailsIn=%v, want %v", i, got, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

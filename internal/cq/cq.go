@@ -188,128 +188,15 @@ func (q *Query) Image(h Homomorphism) *rel.Database {
 	return rel.NewDatabase(facts...)
 }
 
-// evalState carries the backtracking state of homomorphism search.
-type evalState struct {
-	q *Query
-	d *rel.Database
-	// mask, when useMask is set, restricts the search to the
-	// sub-database of d whose fact indices it contains — evaluation
-	// over D' ⊆ D without materialising D'.
-	mask    rel.Subset
-	useMask bool
-	// order is the atom evaluation order (most selective first).
-	order []int
-	// facts[i] is the global index (in d) of the fact body atom i is
-	// currently unified with; complete exactly when yield fires.
-	facts []int
-	yield func(Homomorphism, []int) bool // returns false to stop enumeration
-}
-
-// planOrder orders atoms so that atoms sharing variables with already
-// planned atoms come early, preferring atoms with more constants. This is
-// a greedy bound-variables-first join order.
-func planOrder(q *Query) []int {
-	n := len(q.Atoms)
-	used := make([]bool, n)
-	bound := make(map[string]bool)
-	order := make([]int, 0, n)
-	score := func(i int) int {
-		s := 0
-		for _, t := range q.Atoms[i].Terms {
-			if !t.IsVar || bound[t.Value] {
-				s++
-			}
-		}
-		return s
-	}
-	for len(order) < n {
-		best, bestScore := -1, -1
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			if sc := score(i); sc > bestScore {
-				best, bestScore = i, sc
-			}
-		}
-		used[best] = true
-		order = append(order, best)
-		for _, t := range q.Atoms[best].Terms {
-			if t.IsVar {
-				bound[t.Value] = true
-			}
-		}
-	}
-	return order
-}
-
-func (st *evalState) search(depth int, h Homomorphism) bool {
-	if depth == len(st.order) {
-		cp := make(Homomorphism, len(h))
-		for k, v := range h {
-			cp[k] = v
-		}
-		return st.yield(cp, st.facts)
-	}
-	ai := st.order[depth]
-	a := st.q.Atoms[ai]
-	lo, hi := st.d.RelRange(a.Rel)
-	for idx := lo; idx < hi; idx++ {
-		if st.useMask && !st.mask.Has(idx) {
-			continue
-		}
-		f := st.d.Fact(idx)
-		if len(f.Args) != len(a.Terms) {
-			continue
-		}
-		// Try to unify the atom with the fact under the current binding.
-		var newly []string
-		ok := true
-		for i, t := range a.Terms {
-			c := f.Arg(i)
-			if !t.IsVar {
-				if t.Value != c {
-					ok = false
-					break
-				}
-				continue
-			}
-			if prev, bound := h[t.Value]; bound {
-				if prev != c {
-					ok = false
-					break
-				}
-				continue
-			}
-			h[t.Value] = c
-			newly = append(newly, t.Value)
-		}
-		if ok {
-			st.facts[ai] = idx
-			if !st.search(depth+1, h) {
-				for _, v := range newly {
-					delete(h, v)
-				}
-				return false
-			}
-		}
-		for _, v := range newly {
-			delete(h, v)
-		}
-	}
-	return true
-}
-
 // homomorphisms is the shared enumeration driver behind every public
-// variant. It runs the backtracking search over the database's cached
-// per-relation fact runs (no per-call grouping), optionally restricted
-// to the facts of a subset mask.
+// variant. It compiles the query against the database's symbol table
+// and runs the interned backtracking search, materialising the
+// Homomorphism map only at yield.
 func (q *Query) homomorphisms(d *rel.Database, mask rel.Subset, useMask bool, yield func(Homomorphism, []int) bool) {
-	st := &evalState{
-		q: q, d: d, mask: mask, useMask: useMask,
-		order: planOrder(q), facts: make([]int, len(q.Atoms)), yield: yield,
-	}
-	st.search(0, Homomorphism{})
+	c := q.CompileFor(d)
+	c.bindings(mask, useMask, nil, func(binding []int32, facts []int) bool {
+		return yield(c.homomorphism(binding), facts)
+	})
 }
 
 // Homomorphisms enumerates every homomorphism from Q to D, invoking
@@ -339,24 +226,18 @@ func (q *Query) HomomorphismsMatched(d *rel.Database, yield func(h Homomorphism,
 
 // Entails reports whether D |= Q for a Boolean query (or, for a
 // non-Boolean query, whether Q has at least one answer over D).
+// Repeated callers should CompileFor the database once and use
+// Compiled.Entails.
 func (q *Query) Entails(d *rel.Database) bool {
-	found := false
-	q.Homomorphisms(d, func(Homomorphism) bool {
-		found = true
-		return false
-	})
-	return found
+	return q.CompileFor(d).Entails()
 }
 
 // EntailsIn reports whether D' |= Q for the sub-database of d
 // identified by s, evaluated against the subset mask directly.
+// Repeated callers (one entailment per Monte-Carlo draw) should
+// CompileFor the database once and use Compiled.EntailsIn.
 func (q *Query) EntailsIn(d *rel.Database, s rel.Subset) bool {
-	found := false
-	q.HomomorphismsIn(d, s, func(Homomorphism) bool {
-		found = true
-		return false
-	})
-	return found
+	return q.CompileFor(d).EntailsIn(s)
 }
 
 // Tuple is an answer tuple c̄ ∈ dom(D)^{|x̄|}.
@@ -383,77 +264,36 @@ func (t Tuple) String() string { return "(" + strings.Join(t, ",") + ")" }
 
 // Answers computes Q(D), the sorted set of answer tuples.
 func (q *Query) Answers(d *rel.Database) []Tuple {
-	seen := make(map[string]bool)
-	var out []Tuple
-	q.Homomorphisms(d, func(h Homomorphism) bool {
-		tup := make(Tuple, len(q.AnswerVars))
-		for i, v := range q.AnswerVars {
-			tup[i] = h[v]
-		}
-		if k := tup.Key(); !seen[k] {
-			seen[k] = true
-			out = append(out, tup)
-		}
-		return true
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out
+	return q.CompileFor(d).AnswersIn(rel.Subset{}, false)
 }
 
 // HasAnswer reports whether c̄ ∈ Q(D).
 func (q *Query) HasAnswer(d *rel.Database, c Tuple) bool {
-	if len(c) != len(q.AnswerVars) {
-		return false
-	}
-	found := false
-	q.Homomorphisms(d, func(h Homomorphism) bool {
-		for i, v := range q.AnswerVars {
-			if h[v] != c[i] {
-				return true // keep searching
-			}
-		}
-		found = true
-		return false
-	})
-	return found
+	return q.CompileFor(d).HasAnswer(c)
 }
 
 // HasAnswerIn reports whether c̄ ∈ Q(D') for the sub-database of d
-// identified by s, without materialising D'.
+// identified by s, without materialising D'. Repeated callers should
+// CompileFor the database once and use Compiled.HasAnswerIn.
 func (q *Query) HasAnswerIn(d *rel.Database, s rel.Subset, c Tuple) bool {
-	if len(c) != len(q.AnswerVars) {
-		return false
-	}
-	found := false
-	q.HomomorphismsIn(d, s, func(h Homomorphism) bool {
-		for i, v := range q.AnswerVars {
-			if h[v] != c[i] {
-				return true // keep searching
-			}
-		}
-		found = true
-		return false
-	})
-	return found
+	return q.CompileFor(d).HasAnswerIn(s, c)
 }
 
 // WitnessImages enumerates the distinct images h(Q) over all
 // homomorphisms h from Q to D with h(x̄) = c̄. The appendix lower-bound
 // proofs quantify over such images; the experiments use them to locate a
-// consistent witness (an h with h(Q) |= Σ).
+// consistent witness (an h with h(Q) |= Σ). The tuple's constants are
+// bound into their answer slots before the search starts.
 func (q *Query) WitnessImages(d *rel.Database, c Tuple) []*rel.Database {
-	if len(c) != len(q.AnswerVars) {
+	cc := q.CompileFor(d)
+	pre, ok := cc.compileTuple(c)
+	if !ok {
 		return nil
 	}
 	seen := make(map[string]bool)
 	var out []*rel.Database
-	q.Homomorphisms(d, func(h Homomorphism) bool {
-		for i, v := range q.AnswerVars {
-			if h[v] != c[i] {
-				return true
-			}
-		}
-		img := q.Image(h)
+	cc.bindings(rel.Subset{}, false, pre, func(binding []int32, _ []int) bool {
+		img := q.Image(cc.homomorphism(binding))
 		if k := img.String(); !seen[k] {
 			seen[k] = true
 			out = append(out, img)

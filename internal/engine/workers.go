@@ -1,0 +1,81 @@
+package engine
+
+// Adaptive worker selection. Callers historically hardcoded a worker
+// count, which lets a caller talk the engine into a slowdown: on a
+// single-core host 8 workers lose to 1 (goroutine churn, chunk
+// synchronisation), and even on big hosts a tiny draw budget never
+// amortises the spawn cost. Workers = 0 now means "auto": the engine
+// sizes the pool from the work it can actually see — the draw budget
+// times the per-draw cost proxy (block count) — and never exceeds
+// GOMAXPROCS.
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// AutoWorkers is the workers value that requests adaptive selection.
+const AutoWorkers = 0
+
+// autoWorkUnitsPerWorker calibrates the heuristic: one additional
+// worker per this many work units, where a unit is one block visited
+// by one draw (≈ a few ns of sampling work). The threshold corresponds
+// to several milliseconds of serial work per worker — well above the
+// per-run cost of spawning and merging a goroutine, so auto never
+// parallelises a run that would finish faster serially.
+const autoWorkUnitsPerWorker = 1 << 21
+
+var (
+	autoRuns        atomic.Int64
+	lastAutoWorkers atomic.Int64
+)
+
+// ChooseWorkers returns the adaptive worker count for a run expected
+// to perform `draws` draws over an instance whose per-draw cost is
+// proportional to `blocks` (conflict blocks for repair samplers, alive
+// pairs for operation walks). The result is in [1, GOMAXPROCS]: 1
+// whenever the work cannot amortise a second goroutine, the core count
+// when the work dwarfs the spawn cost.
+func ChooseWorkers(blocks int, draws int64) int {
+	maxW := runtime.GOMAXPROCS(0)
+	if maxW < 1 {
+		maxW = 1
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	if draws < 0 {
+		draws = 0
+	}
+	work := draws * int64(blocks)
+	w := int(work / autoWorkUnitsPerWorker)
+	if w < 1 {
+		return 1
+	}
+	if w > maxW {
+		return maxW
+	}
+	return w
+}
+
+// ResolveWorkers maps a caller-requested worker count to the count a
+// run will actually use: positive values are trusted verbatim,
+// AutoWorkers (or any non-positive value) engages ChooseWorkers. Auto
+// resolutions are counted for /varz.
+func ResolveWorkers(requested, blocks int, draws int64) int {
+	if requested > 0 {
+		return requested
+	}
+	w := ChooseWorkers(blocks, draws)
+	autoRuns.Add(1)
+	lastAutoWorkers.Store(int64(w))
+	return w
+}
+
+// AutoWorkerRuns returns how many runs resolved their worker count
+// adaptively process-wide.
+func AutoWorkerRuns() int64 { return autoRuns.Load() }
+
+// LastAutoWorkers returns the worker count chosen by the most recent
+// adaptive resolution (0 before the first one).
+func LastAutoWorkers() int64 { return lastAutoWorkers.Load() }

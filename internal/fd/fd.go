@@ -202,15 +202,12 @@ func (s *Set) Satisfies(d *rel.Database) bool {
 
 // SatisfiesFD reports whether D |= φ for a single FD.
 func SatisfiesFD(d *rel.Database, phi FD) bool {
-	facts := d.FactsOf(phi.Rel)
-	for i := 0; i < len(facts); i++ {
-		for j := i + 1; j < len(facts); j++ {
-			if phi.ViolatedBy(facts[i], facts[j]) {
-				return false
-			}
-		}
-	}
-	return true
+	ok := true
+	violationsOf(d, phi, func(_, _ int) bool {
+		ok = false
+		return false
+	})
+	return ok
 }
 
 // Violation is an element (φ, {f, g}) of V(D,Σ): the FD at index FDIndex
@@ -221,32 +218,17 @@ type Violation struct {
 }
 
 // Violations computes V(D,Σ) as pairs of fact indices of d, sorted by
-// (FDIndex, I, J). The quadratic pair scan is grouped per relation and,
-// for each FD, bucketed by the LHS values, so consistent relations cost
-// near-linear time.
+// (FDIndex, I, J). For each FD the scan covers only the relation's
+// fact span, bucketed by the interned LHS projection (id comparisons,
+// no key strings), so consistent relations cost near-linear time.
 func (s *Set) Violations(d *rel.Database) []Violation {
 	var out []Violation
 	for fi, phi := range s.fds {
-		// Bucket fact indices by their LHS projection; only facts in the
-		// same bucket can violate phi together.
-		buckets := make(map[string][]int)
-		for i := 0; i < d.Len(); i++ {
-			f := d.Fact(i)
-			if f.Rel != phi.Rel {
-				continue
-			}
-			k := lhsKey(phi, f)
-			buckets[k] = append(buckets[k], i)
-		}
-		for _, idxs := range buckets {
-			for x := 0; x < len(idxs); x++ {
-				for y := x + 1; y < len(idxs); y++ {
-					if phi.ViolatedBy(d.Fact(idxs[x]), d.Fact(idxs[y])) {
-						out = append(out, Violation{FDIndex: fi, I: idxs[x], J: idxs[y]})
-					}
-				}
-			}
-		}
+		fi := fi
+		violationsOf(d, phi, func(i, j int) bool {
+			out = append(out, Violation{FDIndex: fi, I: i, J: j})
+			return true
+		})
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].FDIndex != out[b].FDIndex {
@@ -319,28 +301,33 @@ func (s *Set) Blocks(d *rel.Database) []Block {
 	for _, f := range s.fds {
 		keyOf[f.Rel] = f
 	}
-	groups := make(map[string][]int)
-	for i := 0; i < d.Len(); i++ {
-		f := d.Fact(i)
-		phi, ok := keyOf[f.Rel]
-		var gk string
-		if !ok {
-			gk = fmt.Sprintf("#%d", i) // keyless relation: singleton block
-		} else {
-			var b strings.Builder
-			b.WriteString(f.Rel)
-			for _, a := range phi.LHS {
-				b.WriteByte(0)
-				b.WriteString(f.Arg(a))
-			}
-			gk = b.String()
+	var out []Block
+	// The sort order is relation-major, so each relation is one
+	// contiguous span; group each keyed span by its interned LHS
+	// projection, and emit singleton blocks for keyless relations.
+	n := d.Len()
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && d.RelID(hi) == d.RelID(lo) {
+			hi++
 		}
-		groups[gk] = append(groups[gk], i)
-	}
-	out := make([]Block, 0, len(groups))
-	for _, idxs := range groups {
-		sort.Ints(idxs)
-		out = append(out, Block{Rel: d.Fact(idxs[0]).Rel, Indices: idxs})
+		relName := d.Symbols().Str(d.RelID(lo))
+		phi, keyed := keyOf[relName]
+		if !keyed {
+			for i := lo; i < hi; i++ {
+				out = append(out, Block{Rel: relName, Indices: []int{i}})
+			}
+		} else {
+			g := newGrouper(d, phi.LHS, lo, hi)
+			for i := lo; i < hi; i++ {
+				g.add(i)
+			}
+			g.buckets(func(idxs []int) bool {
+				out = append(out, Block{Rel: relName, Indices: append([]int(nil), idxs...)})
+				return true
+			})
+		}
+		lo = hi
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Indices[0] < out[b].Indices[0] })
 	return out

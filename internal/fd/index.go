@@ -7,50 +7,41 @@ package fd
 // the conflict pairs of CG(D,Σ) by bucketing only the touched fact
 // against each FD's LHS groups instead of recomputing ConflictPairs
 // from scratch.
+//
+// Bucket keys are the packed interned LHS projections (4 bytes per
+// symbol id — fixed width, so no escaping or terminators). Symbol ids
+// are append-only across a copy-on-write mutation lineage, which makes
+// keys packed against the lineage's different databases comparable;
+// that is what lets WithInsert/WithRemove shift-copy the buckets
+// without re-deriving a single key.
 
 import (
 	"sort"
-	"strings"
 
 	"repro/internal/rel"
 )
 
-// lhsKey renders the LHS projection of f under phi as a bucket key. The
-// NUL separator cannot occur inside constants of the text format, and a
-// multi-byte constant containing NUL still cannot collide with a split
-// pair because every argument is terminated.
-func lhsKey(phi FD, f rel.Fact) string {
-	var b strings.Builder
-	for _, a := range phi.LHS {
-		b.WriteString(f.Arg(a))
-		b.WriteByte(0)
-	}
-	return b.String()
-}
-
 // Index is a per-FD LHS bucket index over a fixed database: for each FD
-// φ of Σ, a map from LHS-projection key to the (sorted) indices of the
-// facts of φ's relation carrying that projection. An Index is immutable
-// after construction; WithInsert/WithRemove produce shifted copies for
-// the mutated database, so instances sharing structure never observe
-// each other's mutations.
+// φ of Σ, a map from packed LHS-projection key to the (sorted) indices
+// of the facts of φ's relation carrying that projection. An Index is
+// immutable after construction; WithInsert/WithRemove produce shifted
+// copies for the mutated database, so instances sharing structure never
+// observe each other's mutations.
 type Index struct {
 	set     *Set
-	buckets []map[string][]int // one per FD of set, key → fact indices
+	buckets []map[string][]int // one per FD of set, packed key → fact indices
 }
 
 // NewIndex builds the LHS index of (d, Σ) in O(‖D‖·|Σ|).
 func NewIndex(s *Set, d *rel.Database) *Index {
 	ix := &Index{set: s, buckets: make([]map[string][]int, len(s.fds))}
+	var buf []byte
 	for fi, phi := range s.fds {
 		b := make(map[string][]int)
-		for i := 0; i < d.Len(); i++ {
-			f := d.Fact(i)
-			if f.Rel != phi.Rel {
-				continue
-			}
-			k := lhsKey(phi, f)
-			b[k] = append(b[k], i)
+		lo, hi := d.RelRange(phi.Rel)
+		for i := lo; i < hi; i++ {
+			buf = packLHS(buf, d, phi, i)
+			b[string(buf)] = append(b[string(buf)], i)
 		}
 		ix.buckets[fi] = b
 	}
@@ -65,18 +56,21 @@ func (ix *Index) Set() *Set { return ix.set }
 // the buckets the fact falls into are inspected, so the cost is
 // O(Σ_φ |block_φ(f_i)|) — independent of ‖D‖ outside f_i's blocks.
 func (ix *Index) ConflictsOf(d *rel.Database, i int) []int {
-	f := d.Fact(i)
+	rid := d.RelID(i)
 	seen := make(map[int]bool)
 	var out []int
+	var buf []byte
 	for fi, phi := range ix.set.fds {
-		if f.Rel != phi.Rel {
+		phiRID, ok := d.RelIDOf(phi.Rel)
+		if !ok || phiRID != rid {
 			continue
 		}
-		for _, j := range ix.buckets[fi][lhsKey(phi, f)] {
+		buf = packLHS(buf, d, phi, i)
+		for _, j := range ix.buckets[fi][string(buf)] {
 			if j == i || seen[j] {
 				continue
 			}
-			if phi.ViolatedBy(f, d.Fact(j)) {
+			if violatedRows(d, phi, i, j) {
 				seen[j] = true
 				out = append(out, j)
 			}
@@ -91,7 +85,8 @@ func (ix *Index) ConflictsOf(d *rel.Database, i int) []int {
 // new fact bucketed in). O(‖D‖) pure copying; no violation checks.
 func (ix *Index) WithInsert(nd *rel.Database, pos int) *Index {
 	out := &Index{set: ix.set, buckets: make([]map[string][]int, len(ix.buckets))}
-	f := nd.Fact(pos)
+	rid := nd.RelID(pos)
+	var buf []byte
 	for fi, phi := range ix.set.fds {
 		b := make(map[string][]int, len(ix.buckets[fi])+1)
 		for k, idxs := range ix.buckets[fi] {
@@ -104,9 +99,9 @@ func (ix *Index) WithInsert(nd *rel.Database, pos int) *Index {
 			}
 			b[k] = shifted
 		}
-		if f.Rel == phi.Rel {
-			k := lhsKey(phi, f)
-			b[k] = insertSorted(b[k], pos)
+		if phiRID, ok := nd.RelIDOf(phi.Rel); ok && phiRID == rid {
+			buf = packLHS(buf, nd, phi, pos)
+			b[string(buf)] = insertSorted(b[string(buf)], pos)
 		}
 		out.buckets[fi] = b
 	}

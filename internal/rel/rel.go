@@ -3,12 +3,21 @@
 // infinite domain of constants, together with the bitset sub-database
 // machinery the repair engines use to explore the space of databases
 // D' ⊆ D.
+//
+// Databases are stored columnar and dictionary-encoded: a per-database
+// symbol table interns every constant and relation name to a dense
+// int32 id, and the fact set lives in three flat columns (per-fact
+// relation id, argument offsets, argument ids) plus an open-addressing
+// hash index. The string-based Fact API remains for construction,
+// formatting, and the exact engines; the samplers, the homomorphism
+// search, and the conflict indexes operate on the id columns directly.
 package rel
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Relation describes a relation name R/n with an associated tuple of
@@ -137,6 +146,9 @@ func (f Fact) Equal(g Fact) bool {
 
 // Key returns a canonical string encoding of the fact, used as a map key.
 // The encoding escapes the separator so distinct facts cannot collide.
+// The data plane itself no longer uses Key — membership goes through the
+// interned hash index — but external consumers (oracles, tests, ad-hoc
+// dedup) still rely on it as a stable canonical form.
 func (f Fact) Key() string {
 	var b strings.Builder
 	b.WriteString(escape(f.Rel))
@@ -162,7 +174,10 @@ func (f Fact) String() string {
 
 // Less imposes a total order on facts (relation name, then arguments).
 // Databases keep their facts sorted in this order so that fact indices
-// are deterministic across runs.
+// are deterministic across runs — and across representations: the
+// columnar encoding preserves exactly this order, so indices, subsets,
+// and snapshots mean the same thing they did under the struct-per-fact
+// layout.
 func (f Fact) Less(g Fact) bool {
 	if f.Rel != g.Rel {
 		return f.Rel < g.Rel
@@ -182,72 +197,321 @@ func (f Fact) Less(g Fact) bool {
 // Database is a finite set of facts. It maintains set semantics and a
 // deterministic (sorted) iteration order, and assigns each fact a stable
 // index in [0, Len()) used by the bitset sub-database machinery.
+//
+// The representation is columnar: fact i is (rels[i],
+// args[offs[i]:offs[i+1]]) over the database's symbol table. The sort
+// order is relation-major string-lexicographic (Fact.Less), identical
+// to the pre-columnar layout.
 type Database struct {
-	facts []Fact
-	index map[string]int
-	// spans maps each relation name to its contiguous [lo, hi) index
-	// range in facts. The sort order is relation-major, so every
-	// relation's facts occupy one run; caching the runs makes FactsOf
-	// (and the per-relation iteration of the homomorphism search) a
+	syms *Symbols
+	// rels[i] is the relation id of fact i.
+	rels []int32
+	// offs has length Len()+1; the argument ids of fact i are
+	// args[offs[i]:offs[i+1]]. Arities can differ per relation name (the
+	// relational model here keys arity on the schema, but raw databases
+	// tolerate mixed arities, and the homomorphism search checks them),
+	// so offsets are explicit rather than derived.
+	offs []int32
+	args []int32
+	// table maps a row to its fact index without materialising strings.
+	table factTable
+	// spans maps each relation id to its contiguous [lo, hi) index
+	// range. The sort order is relation-major, so every relation's facts
+	// occupy one run; caching the runs makes per-relation iteration a
 	// lookup instead of a full scan, with the global fact index of the
 	// j-th fact of relation R available as lo+j.
-	spans map[string]span
+	spans map[int32]span
+
+	// factsOnce/factsAll lazily materialise the []Fact view for cold
+	// paths (formatting, the exact engines, the brute-force oracle). Hot
+	// paths read the columns and never pay for this.
+	factsOnce sync.Once
+	factsAll  []Fact
 }
 
-// span is a half-open index range [lo, hi) into Database.facts.
+// span is a half-open fact-index range [lo, hi).
 type span struct{ lo, hi int }
 
-// buildSpans derives the per-relation ranges from the sorted fact
-// slice. Every constructor ends with it.
+// argRow returns the argument ids of fact i (a view, not a copy).
+func (d *Database) argRow(i int) []int32 {
+	return d.args[d.offs[i]:d.offs[i+1]]
+}
+
+// buildSpans derives the per-relation ranges from the sorted relation
+// id column. Every constructor ends with it.
 func (d *Database) buildSpans() {
-	d.spans = make(map[string]span)
-	for i := 0; i < len(d.facts); {
+	d.spans = make(map[int32]span)
+	n := len(d.rels)
+	for i := 0; i < n; {
 		j := i + 1
-		for j < len(d.facts) && d.facts[j].Rel == d.facts[i].Rel {
+		for j < n && d.rels[j] == d.rels[i] {
 			j++
 		}
-		d.spans[d.facts[i].Rel] = span{i, j}
+		d.spans[d.rels[i]] = span{i, j}
 		i = j
+	}
+}
+
+// buildTable rebuilds the row hash index from the columns.
+func (d *Database) buildTable() {
+	d.table = newFactTable(len(d.rels))
+	for i := range d.rels {
+		d.table.insert(d, i)
+	}
+}
+
+// encodeFacts fills the columns from sorted, deduplicated facts,
+// interning into d.syms. Interning in sorted fact order keeps id
+// assignment deterministic for a given fact set.
+func (d *Database) encodeFacts(facts []Fact) {
+	d.rels = make([]int32, len(facts))
+	d.offs = make([]int32, len(facts)+1)
+	total := 0
+	for _, f := range facts {
+		total += len(f.Args)
+	}
+	d.args = make([]int32, 0, total)
+	for i, f := range facts {
+		d.rels[i] = d.syms.Intern(f.Rel)
+		for _, a := range f.Args {
+			d.args = append(d.args, d.syms.Intern(a))
+		}
+		d.offs[i+1] = int32(len(d.args))
 	}
 }
 
 // NewDatabase builds a database from the given facts, deduplicating and
 // sorting them.
 func NewDatabase(facts ...Fact) *Database {
-	d := &Database{index: make(map[string]int, len(facts))}
-	for _, f := range facts {
-		k := f.Key()
-		if _, dup := d.index[k]; dup {
-			continue
+	sorted := make([]Fact, len(facts))
+	copy(sorted, facts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	// Duplicates are adjacent after sorting; identical facts are
+	// interchangeable, so keeping the first preserves set semantics.
+	dedup := sorted[:0]
+	for i, f := range sorted {
+		if i == 0 || !f.Equal(sorted[i-1]) {
+			dedup = append(dedup, f)
 		}
-		d.index[k] = -1 // placeholder until sort
-		d.facts = append(d.facts, f)
 	}
-	sort.Slice(d.facts, func(i, j int) bool { return d.facts[i].Less(d.facts[j]) })
-	for i, f := range d.facts {
-		d.index[f.Key()] = i
-	}
+	d := &Database{syms: NewSymbols()}
+	d.encodeFacts(dedup)
+	d.buildTable()
 	d.buildSpans()
 	return d
 }
 
+// NewDatabaseColumnar adopts a ready-made columnar encoding: a symbol
+// table and the three fact columns, already in Fact.Less order with no
+// duplicate rows. This is the snapshot codec's O(columns) boot path —
+// no string parsing, no re-sort, no per-fact allocation. Order and
+// well-formedness are validated (cheap integer scans plus one adjacent
+// string comparison per fact); violations return an error rather than a
+// silently corrupt database.
+func NewDatabaseColumnar(syms *Symbols, rels, offs, args []int32) (*Database, error) {
+	d, err := newColumnar(syms, rels, offs, args)
+	if err != nil {
+		return nil, err
+	}
+	d.buildTable()
+	d.buildSpans()
+	return d, nil
+}
+
+// NewDatabaseFromParts is NewDatabaseColumnar plus a precomputed hash
+// slot array (as exposed by LookupSlots), the warm-boot path for
+// mmap-style snapshot loads: adopting the stored table avoids the O(n)
+// rehash, leaving only integer validation scans.
+func NewDatabaseFromParts(syms *Symbols, rels, offs, args, slots []int32) (*Database, error) {
+	d, err := newColumnar(syms, rels, offs, args)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := factTableFromSlots(slots)
+	if !ok {
+		return nil, fmt.Errorf("rel: lookup slot count %d is not a power of two", len(slots))
+	}
+	if len(slots) != tableSize(len(rels)) {
+		return nil, fmt.Errorf("rel: lookup slot count %d does not match %d facts", len(slots), len(rels))
+	}
+	for _, s := range t.slots {
+		if int(s) < 0 || int(s) > len(rels) {
+			return nil, fmt.Errorf("rel: lookup slot value %d out of range", s)
+		}
+	}
+	d.table = t
+	d.buildSpans()
+	return d, nil
+}
+
+func newColumnar(syms *Symbols, rels, offs, args []int32) (*Database, error) {
+	n := len(rels)
+	if n == 0 && len(offs) == 0 {
+		offs = []int32{0}
+	}
+	if len(offs) != n+1 {
+		return nil, fmt.Errorf("rel: offset column has %d entries for %d facts", len(offs), n)
+	}
+	if offs[0] != 0 || int(offs[n]) != len(args) {
+		return nil, fmt.Errorf("rel: offset column does not cover %d argument ids", len(args))
+	}
+	nsyms := int32(syms.Len())
+	for i := 0; i < n; i++ {
+		if offs[i] > offs[i+1] {
+			return nil, fmt.Errorf("rel: offset column decreases at fact %d", i)
+		}
+		if rels[i] < 0 || rels[i] >= nsyms {
+			return nil, fmt.Errorf("rel: relation id %d of fact %d out of range", rels[i], i)
+		}
+	}
+	for _, a := range args {
+		if a < 0 || a >= nsyms {
+			return nil, fmt.Errorf("rel: argument id %d out of range", a)
+		}
+	}
+	d := &Database{syms: syms, rels: rels, offs: offs, args: args}
+	for i := 1; i < n; i++ {
+		if !d.rowLess(i-1, i) {
+			return nil, fmt.Errorf("rel: facts %d and %d out of order or duplicated", i-1, i)
+		}
+	}
+	return d, nil
+}
+
+// rowLess is Fact.Less on two rows of d without materialising them.
+func (d *Database) rowLess(i, j int) bool {
+	if d.rels[i] != d.rels[j] {
+		return d.syms.Str(d.rels[i]) < d.syms.Str(d.rels[j])
+	}
+	a, b := d.argRow(i), d.argRow(j)
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for k := 0; k < n; k++ {
+		if a[k] != b[k] {
+			return d.syms.Str(a[k]) < d.syms.Str(b[k])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// factLessRow is f.Less(fact i) without materialising fact i.
+func (d *Database) factLessRow(f Fact, i int) bool {
+	rn := d.syms.Str(d.rels[i])
+	if f.Rel != rn {
+		return f.Rel < rn
+	}
+	row := d.argRow(i)
+	n := len(f.Args)
+	if len(row) < n {
+		n = len(row)
+	}
+	for k := 0; k < n; k++ {
+		if s := d.syms.Str(row[k]); f.Args[k] != s {
+			return f.Args[k] < s
+		}
+	}
+	return len(f.Args) < len(row)
+}
+
 // Len reports the number of facts |D|.
-func (d *Database) Len() int { return len(d.facts) }
+func (d *Database) Len() int { return len(d.rels) }
 
-// Fact returns the fact at index i.
-func (d *Database) Fact(i int) Fact { return d.facts[i] }
+// Fact materialises the fact at index i. The strings are shared with
+// the symbol table; only the headers are fresh. Hot paths should read
+// the id columns (RelID, ArgIDs) instead.
+func (d *Database) Fact(i int) Fact {
+	row := d.argRow(i)
+	args := make([]string, len(row))
+	for k, id := range row {
+		args[k] = d.syms.Str(id)
+	}
+	return Fact{Rel: d.syms.Str(d.rels[i]), Args: args}
+}
 
-// Facts returns the facts in sorted order. The returned slice must not
-// be modified.
-func (d *Database) Facts() []Fact { return d.facts }
+// Facts returns the facts in sorted order, materialising the []Fact
+// view on first use (cold paths only: formatting, exact engines, the
+// oracle). The returned slice must not be modified.
+func (d *Database) Facts() []Fact {
+	d.factsOnce.Do(func() {
+		if d.Len() == 0 {
+			return
+		}
+		out := make([]Fact, d.Len())
+		for i := range out {
+			out[i] = d.Fact(i)
+		}
+		d.factsAll = out
+	})
+	return d.factsAll
+}
 
-// IndexOf returns the index of the fact, or -1 if it is absent.
+// Symbols returns the database's symbol table. It is read-only from the
+// caller's perspective: interning into a live database's table corrupts
+// sharing.
+func (d *Database) Symbols() *Symbols { return d.syms }
+
+// RelID returns the interned relation id of fact i.
+func (d *Database) RelID(i int) int32 { return d.rels[i] }
+
+// ArgIDs returns the interned argument ids of fact i. The slice is a
+// view into the argument column and must not be modified.
+func (d *Database) ArgIDs(i int) []int32 { return d.argRow(i) }
+
+// Arity reports the number of arguments of fact i.
+func (d *Database) Arity(i int) int { return int(d.offs[i+1] - d.offs[i]) }
+
+// RelIDOf resolves a relation name to its id; ok is false when no fact
+// of the database uses the name.
+func (d *Database) RelIDOf(name string) (int32, bool) {
+	id, ok := d.syms.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	if _, hasSpan := d.spans[id]; !hasSpan {
+		return 0, false
+	}
+	return id, true
+}
+
+// Columns exposes the raw columnar encoding for the snapshot codec.
+// All three slices are backing arrays and must not be modified.
+func (d *Database) Columns() (syms *Symbols, rels, offs, args []int32) {
+	return d.syms, d.rels, d.offs, d.args
+}
+
+// LookupSlots exposes the open-addressing slot array (fact index + 1
+// per slot, 0 = empty) for the snapshot codec. Read-only.
+func (d *Database) LookupSlots() []int32 { return d.table.slots }
+
+// IndexOf returns the index of the fact, or -1 if it is absent. The
+// lookup translates the fact's strings through the symbol table and
+// probes the row hash — no allocation, no Key() escaping.
 func (d *Database) IndexOf(f Fact) int {
-	i, ok := d.index[f.Key()]
+	rid, ok := d.syms.Lookup(f.Rel)
 	if !ok {
 		return -1
 	}
-	return i
+	var buf [8]int32
+	ids := buf[:0]
+	if len(f.Args) > len(buf) {
+		ids = make([]int32, 0, len(f.Args))
+	}
+	for _, a := range f.Args {
+		id, ok := d.syms.Lookup(a)
+		if !ok {
+			return -1
+		}
+		ids = append(ids, id)
+	}
+	return d.table.lookup(d, rid, ids)
+}
+
+// IndexOfIDs returns the index of the row (rid, args) of interned ids,
+// or -1 if absent. Ids must come from this database's symbol table.
+func (d *Database) IndexOfIDs(rid int32, args []int32) int {
+	return d.table.lookup(d, rid, args)
 }
 
 // Contains reports whether the fact is in the database.
@@ -256,29 +520,28 @@ func (d *Database) Contains(f Fact) bool { return d.IndexOf(f) >= 0 }
 // ActiveDomain returns dom(D), the sorted set of constants occurring
 // in the database.
 func (d *Database) ActiveDomain() []string {
-	set := make(map[string]bool)
-	for _, f := range d.facts {
-		for _, a := range f.Args {
-			set[a] = true
+	seen := make([]bool, d.syms.Len())
+	out := make([]string, 0, d.syms.Len())
+	for _, id := range d.args {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, d.syms.Str(id))
 		}
-	}
-	out := make([]string, 0, len(set))
-	for c := range set {
-		out = append(out, c)
 	}
 	sort.Strings(out)
 	return out
 }
 
 // FactsOf returns the facts over the given relation name, in sorted
-// order — a sub-slice of the cached relation run, not a copy. The
+// order — a sub-slice of the materialised fact view, not a copy. The
 // returned slice must not be modified.
 func (d *Database) FactsOf(rel string) []Fact {
-	sp, ok := d.spans[rel]
+	id, ok := d.RelIDOf(rel)
 	if !ok {
 		return nil
 	}
-	return d.facts[sp.lo:sp.hi]
+	sp := d.spans[id]
+	return d.Facts()[sp.lo:sp.hi]
 }
 
 // RelRange returns the half-open fact-index range [lo, hi) of the
@@ -287,43 +550,59 @@ func (d *Database) FactsOf(rel string) []Fact {
 // consumers (the subset-restricted homomorphism search) use it to test
 // bitset membership without per-fact index lookups.
 func (d *Database) RelRange(rel string) (lo, hi int) {
-	sp := d.spans[rel]
+	id, ok := d.RelIDOf(rel)
+	if !ok {
+		return 0, 0
+	}
+	sp := d.spans[id]
+	return sp.lo, sp.hi
+}
+
+// RelRangeID is RelRange keyed on an interned relation id.
+func (d *Database) RelRangeID(rid int32) (lo, hi int) {
+	sp := d.spans[rid]
 	return sp.lo, sp.hi
 }
 
 // Restrict returns the database containing exactly the facts of d whose
-// indices are set in the subset.
+// indices are set in the subset. The result shares d's symbol table and
+// is assembled by copying column rows — selection preserves sort order
+// and distinctness, so there is nothing to re-sort or dedup.
 func (d *Database) Restrict(s Subset) *Database {
-	var facts []Fact
+	nd := &Database{syms: d.syms}
+	keep := s.Count()
+	nd.rels = make([]int32, 0, keep)
+	nd.offs = make([]int32, 1, keep+1)
+	nd.args = make([]int32, 0, len(d.args))
 	for i := 0; i < d.Len(); i++ {
 		if s.Has(i) {
-			facts = append(facts, d.facts[i])
+			nd.rels = append(nd.rels, d.rels[i])
+			nd.args = append(nd.args, d.argRow(i)...)
+			nd.offs = append(nd.offs, int32(len(nd.args)))
 		}
 	}
-	return NewDatabase(facts...)
+	nd.buildTable()
+	nd.buildSpans()
+	return nd
 }
 
 // Union returns a new database containing the facts of both databases.
 func (d *Database) Union(other *Database) *Database {
 	facts := make([]Fact, 0, d.Len()+other.Len())
-	facts = append(facts, d.facts...)
-	facts = append(facts, other.facts...)
+	facts = append(facts, d.Facts()...)
+	facts = append(facts, other.Facts()...)
 	return NewDatabase(facts...)
 }
 
 // Without returns a new database with the given facts removed.
 func (d *Database) Without(remove ...Fact) *Database {
-	drop := make(map[string]bool, len(remove))
+	mask := d.FullSubset()
 	for _, f := range remove {
-		drop[f.Key()] = true
-	}
-	var facts []Fact
-	for _, f := range d.facts {
-		if !drop[f.Key()] {
-			facts = append(facts, f)
+		if i := d.IndexOf(f); i >= 0 {
+			mask.Clear(i)
 		}
 	}
-	return NewDatabase(facts...)
+	return d.Restrict(mask)
 }
 
 // Equal reports whether two databases contain the same set of facts.
@@ -331,9 +610,28 @@ func (d *Database) Equal(other *Database) bool {
 	if d.Len() != other.Len() {
 		return false
 	}
-	for i := range d.facts {
-		if !d.facts[i].Equal(other.facts[i]) {
+	if d.syms == other.syms {
+		// Shared symbol table (Restrict/Insert lineage): ids are
+		// directly comparable.
+		for i := range d.rels {
+			if d.rels[i] != other.rels[i] || !eqIDs(d.argRow(i), other.argRow(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range d.rels {
+		if d.syms.Str(d.rels[i]) != other.syms.Str(other.rels[i]) {
 			return false
+		}
+		a, b := d.argRow(i), other.argRow(i)
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if d.syms.Str(a[k]) != other.syms.Str(b[k]) {
+				return false
+			}
 		}
 	}
 	return true
@@ -342,7 +640,7 @@ func (d *Database) Equal(other *Database) bool {
 // String renders the database as "{f1, f2, ...}" in sorted order.
 func (d *Database) String() string {
 	parts := make([]string, d.Len())
-	for i, f := range d.facts {
+	for i, f := range d.Facts() {
 		parts[i] = f.String()
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
@@ -358,16 +656,46 @@ func (d *Database) Insert(f Fact) (nd *Database, pos int, ok bool) {
 	if i := d.IndexOf(f); i >= 0 {
 		return d, i, false
 	}
-	f = NewFact(f.Rel, f.Args...) // defensive copy: Facts are immutable
-	pos = sort.Search(len(d.facts), func(i int) bool { return f.Less(d.facts[i]) })
-	facts := make([]Fact, 0, len(d.facts)+1)
-	facts = append(facts, d.facts[:pos]...)
-	facts = append(facts, f)
-	facts = append(facts, d.facts[pos:]...)
-	nd = &Database{facts: facts, index: make(map[string]int, len(facts))}
-	for i, g := range facts {
-		nd.index[g.Key()] = i
+	pos = sort.Search(d.Len(), func(i int) bool { return d.factLessRow(f, i) })
+	// Share the symbol table unless f mentions unseen strings; then
+	// clone before interning so d's table stays frozen.
+	syms := d.syms
+	needClone := false
+	if _, ok := syms.Lookup(f.Rel); !ok {
+		needClone = true
 	}
+	for _, a := range f.Args {
+		if _, ok := syms.Lookup(a); !ok {
+			needClone = true
+		}
+	}
+	if needClone {
+		syms = syms.Clone()
+	}
+	rid := syms.Intern(f.Rel)
+	ids := make([]int32, len(f.Args))
+	for k, a := range f.Args {
+		ids[k] = syms.Intern(a)
+	}
+
+	nd = &Database{syms: syms}
+	n := d.Len()
+	nd.rels = make([]int32, 0, n+1)
+	nd.rels = append(nd.rels, d.rels[:pos]...)
+	nd.rels = append(nd.rels, rid)
+	nd.rels = append(nd.rels, d.rels[pos:]...)
+	cut := d.offs[pos]
+	nd.args = make([]int32, 0, len(d.args)+len(ids))
+	nd.args = append(nd.args, d.args[:cut]...)
+	nd.args = append(nd.args, ids...)
+	nd.args = append(nd.args, d.args[cut:]...)
+	nd.offs = make([]int32, 0, n+2)
+	nd.offs = append(nd.offs, d.offs[:pos+1]...)
+	nd.offs = append(nd.offs, cut+int32(len(ids)))
+	for _, o := range d.offs[pos+1:] {
+		nd.offs = append(nd.offs, o+int32(len(ids)))
+	}
+	nd.buildTable()
 	nd.buildSpans()
 	return nd, pos, true
 }
@@ -377,16 +705,25 @@ func (d *Database) Insert(f Fact) (nd *Database, pos int, ok bool) {
 // > i moves to index−1 in the new database. It panics when i is out of
 // range, matching slice-index semantics.
 func (d *Database) Remove(i int) *Database {
-	if i < 0 || i >= len(d.facts) {
-		panic(fmt.Sprintf("rel: Remove index %d out of range [0,%d)", i, len(d.facts)))
+	if i < 0 || i >= d.Len() {
+		panic(fmt.Sprintf("rel: Remove index %d out of range [0,%d)", i, d.Len()))
 	}
-	facts := make([]Fact, 0, len(d.facts)-1)
-	facts = append(facts, d.facts[:i]...)
-	facts = append(facts, d.facts[i+1:]...)
-	nd := &Database{facts: facts, index: make(map[string]int, len(facts))}
-	for j, g := range facts {
-		nd.index[g.Key()] = j
+	nd := &Database{syms: d.syms}
+	n := d.Len()
+	nd.rels = make([]int32, 0, n-1)
+	nd.rels = append(nd.rels, d.rels[:i]...)
+	nd.rels = append(nd.rels, d.rels[i+1:]...)
+	lo, hi := d.offs[i], d.offs[i+1]
+	gap := hi - lo
+	nd.args = make([]int32, 0, int32(len(d.args))-gap)
+	nd.args = append(nd.args, d.args[:lo]...)
+	nd.args = append(nd.args, d.args[hi:]...)
+	nd.offs = make([]int32, 0, n)
+	nd.offs = append(nd.offs, d.offs[:i+1]...)
+	for _, o := range d.offs[i+2:] {
+		nd.offs = append(nd.offs, o-gap)
 	}
+	nd.buildTable()
 	nd.buildSpans()
 	return nd
 }
@@ -398,4 +735,15 @@ func (d *Database) FullSubset() Subset {
 		s.Set(i)
 	}
 	return s
+}
+
+// NewSymbolsFromStrings rebuilds a symbol table from its string column
+// in id order (the snapshot decode path). It fails on duplicates,
+// which would make ids ambiguous.
+func NewSymbolsFromStrings(strs []string) (*Symbols, error) {
+	s, ok := newSymbolsFromStrings(strs)
+	if !ok {
+		return nil, fmt.Errorf("rel: duplicate string in symbol column")
+	}
+	return s, nil
 }

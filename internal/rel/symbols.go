@@ -1,0 +1,84 @@
+package rel
+
+// Symbols is a per-database symbol table: every constant and relation
+// name that occurs in a Database is dictionary-encoded to a dense int32
+// id, so the hot paths (homomorphism search, conflict indexing,
+// sampling) compare and hash machine words instead of strings. Ids are
+// assigned in first-intern order; because every Database constructor
+// interns its facts in sorted order, the id assignment — and therefore
+// the whole columnar encoding — is deterministic for a given fact set.
+//
+// A Symbols value is append-only: existing ids never change, so a
+// Database produced by a copy-on-write mutation can share its parent's
+// table (cloning only when the mutation introduces an unseen string).
+// Sharing is read-only; Intern must not be called on a table that is
+// reachable from a live Database.
+type Symbols struct {
+	strs []string
+	ids  map[string]int32
+}
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols {
+	return &Symbols{ids: make(map[string]int32)}
+}
+
+// Len reports the number of interned symbols.
+func (s *Symbols) Len() int { return len(s.strs) }
+
+// Intern returns the id of str, assigning the next dense id on first
+// sight.
+func (s *Symbols) Intern(str string) int32 {
+	if id, ok := s.ids[str]; ok {
+		return id
+	}
+	id := int32(len(s.strs))
+	s.strs = append(s.strs, str)
+	s.ids[str] = id
+	return id
+}
+
+// Lookup returns the id of str without interning. The second result is
+// false when the string has never been interned — for a query constant
+// this means no fact of the database can mention it.
+func (s *Symbols) Lookup(str string) (int32, bool) {
+	id, ok := s.ids[str]
+	return id, ok
+}
+
+// Str returns the string for an id. Ids come from Intern/Lookup on the
+// same table; anything else panics like a slice bounds error.
+func (s *Symbols) Str(id int32) string { return s.strs[id] }
+
+// Strings exposes the id→string column in id order. The returned slice
+// is the table's backing array and must not be modified; it is the
+// snapshot codec's symbol section.
+func (s *Symbols) Strings() []string { return s.strs }
+
+// Clone returns an independent copy sharing the string contents. The
+// copy can be Interned into without affecting the original — the
+// copy-on-write escape hatch for Database.Insert.
+func (s *Symbols) Clone() *Symbols {
+	cp := &Symbols{
+		strs: append([]string(nil), s.strs...),
+		ids:  make(map[string]int32, len(s.ids)),
+	}
+	for k, v := range s.ids {
+		cp.ids[k] = v
+	}
+	return cp
+}
+
+// newSymbolsFromStrings rebuilds a table from its string column (the
+// snapshot decode path). Duplicate strings would make ids ambiguous, so
+// they are rejected by returning false.
+func newSymbolsFromStrings(strs []string) (*Symbols, bool) {
+	s := &Symbols{strs: strs, ids: make(map[string]int32, len(strs))}
+	for i, str := range strs {
+		if _, dup := s.ids[str]; dup {
+			return nil, false
+		}
+		s.ids[str] = int32(i)
+	}
+	return s, true
+}

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"math/rand"
 
+	"repro/internal/alias"
 	"repro/internal/core"
 	"repro/internal/count"
 	"repro/internal/fd"
@@ -39,6 +40,17 @@ type SequenceSampler struct {
 	w [][]*big.Int
 	// u[j][L] = weighted interleaving count over the first j blocks.
 	u [][]*big.Int
+	// lengthChooser draws the total length L ∝ U_n[L] — the weights are
+	// fixed at construction, so the draw is a precomputed alias table
+	// (or an exact cumulative search when the counts exceed uint64)
+	// instead of a per-draw linear scan over big.Ints.
+	lengthChooser alias.Chooser
+	// splits[m][ℓ] draws the non-empty/empty-result split of a block of
+	// m facts at sequence length ℓ (pair mode): the two weights
+	// S^{ne}_{m,i} and S^{e}_{m,i} depend only on (m, ℓ), so one table
+	// per distinct pair serves every block and every draw. nil entries
+	// mark lengths the interleaving DP can never assign (W_j[ℓ] = 0).
+	splits map[int][]alias.Chooser
 }
 
 // NewSequenceSampler precomputes the DP tables. It requires primary
@@ -78,6 +90,36 @@ func NewSequenceSampler(inst *core.Instance, singleton bool) (*SequenceSampler, 
 		}
 		ss.u[j+1] = nu
 	}
+	if n := len(ss.blocks); n > 0 {
+		ch, err := alias.NewExact(ss.u[n])
+		if err != nil {
+			return nil, fmt.Errorf("sampler: building length table: %w", err)
+		}
+		ss.lengthChooser = ch
+	}
+	if !singleton {
+		ss.splits = make(map[int][]alias.Chooser)
+		for j, block := range ss.blocks {
+			m := len(block)
+			if _, done := ss.splits[m]; done {
+				continue
+			}
+			perLen := make([]alias.Chooser, len(ss.w[j]))
+			for l, wl := range ss.w[j] {
+				if wl.Sign() == 0 {
+					continue
+				}
+				ne := count.SneBlock(m, m-l-1)
+				e := count.SeBlock(m, m-l)
+				ch, err := alias.NewExact([]*big.Int{ne, e})
+				if err != nil {
+					return nil, fmt.Errorf("sampler: building split table for block size %d length %d: %w", m, l, err)
+				}
+				perLen[l] = ch
+			}
+			ss.splits[m] = perLen
+		}
+	}
 	constructions.Add(1)
 	return ss, nil
 }
@@ -116,7 +158,7 @@ func (ss *SequenceSampler) Sample(rng *rand.Rand) (core.Sequence, rel.Subset) {
 	// 1. Total length L ∝ U_n[L].
 	lengths := make([]int, n)
 	if n > 0 {
-		bigL := weightedIndex(rng, ss.u[n])
+		bigL := ss.lengthChooser.Draw(rng)
 		// 2. Traceback per-block lengths.
 		for j := n; j >= 1; j-- {
 			wj := ss.w[j-1]
@@ -176,10 +218,9 @@ func (ss *SequenceSampler) sampleBlockSequence(rng *rand.Rand, block []int, leng
 		return ops
 	}
 	// Pair mode: length ℓ arises from a non-empty result with
-	// i = m−ℓ−1 pair removals, or an empty result with i = m−ℓ.
-	neCount := count.SneBlock(m, m-length-1)
-	eCount := count.SeBlock(m, m-length)
-	pick := weightedIndex(rng, []*big.Int{neCount, eCount})
+	// i = m−ℓ−1 pair removals, or an empty result with i = m−ℓ; the
+	// (m, ℓ)-indexed split table was precomputed at construction.
+	pick := ss.splits[m][length].Draw(rng)
 	perm := rng.Perm(m)
 	facts := make([]int, m)
 	for i, p := range perm {

@@ -298,9 +298,12 @@ func (s *Server) normalizeQuery(req *QueryRequest) {
 		}
 		// Per-query estimator parallelism is bounded by the same pool
 		// size that bounds batches; an unbounded client value would
-		// spawn that many goroutines inside fpras.
-		if req.Workers < 1 {
-			req.Workers = 1
+		// spawn that many goroutines inside fpras. A request that omits
+		// workers (or sends ≤ 0) gets the server default — itself 0
+		// unless the operator pinned one, meaning adaptive selection in
+		// the engine, bounded by GOMAXPROCS.
+		if req.Workers <= 0 {
+			req.Workers = s.opts.DefaultWorkers
 		}
 		if req.Workers > s.opts.BatchWorkers {
 			req.Workers = s.opts.BatchWorkers
@@ -772,10 +775,12 @@ func (s *Server) handleMarginals(w http.ResponseWriter, r *http.Request) {
 			}
 			draws = s.clampSamples(draws)
 			// Marginal estimation parallelises like a batch: bound the
-			// per-request workers by the same pool size.
+			// per-request workers by the same pool size. Omitted (≤ 0)
+			// falls back to the server default, 0 meaning adaptive
+			// selection in the engine.
 			workers := req.Workers
-			if workers < 1 {
-				workers = 1
+			if workers <= 0 {
+				workers = s.opts.DefaultWorkers
 			}
 			if workers > s.opts.BatchWorkers {
 				workers = s.opts.BatchWorkers

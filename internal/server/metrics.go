@@ -143,6 +143,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return float64(engine.MultiRuns()) })
 	r.NewCounterFunc("ocqa_engine_multi_targets_total", "Answer tuples served by shared-draw passes.",
 		func() float64 { return float64(engine.MultiTargets()) })
+	r.NewCounterFunc("ocqa_engine_auto_worker_runs_total", "Estimation runs whose worker count was resolved adaptively.",
+		func() float64 { return float64(engine.AutoWorkerRuns()) })
+	r.NewGaugeFunc("ocqa_engine_last_auto_workers", "Worker count chosen by the most recent adaptive resolution.",
+		func() float64 { return float64(engine.LastAutoWorkers()) })
 
 	if s.store != nil {
 		r.NewCounterFunc("ocqa_store_wal_appends_total", "WAL append batches.",
@@ -250,6 +254,13 @@ type varz struct {
 	// Monte-Carlo pass amortised.
 	EngineMultiRuns    int64 `json:"engine_multi_runs"`
 	EngineMultiTargets int64 `json:"engine_multi_targets"`
+	// EngineAutoWorkerRuns counts estimation runs whose worker count
+	// was resolved adaptively (request had workers ≤ 0);
+	// EngineLastAutoWorkers is the count the most recent such
+	// resolution chose, so an operator can see what "auto" currently
+	// means on this host and workload.
+	EngineAutoWorkerRuns  int64 `json:"engine_auto_worker_runs"`
+	EngineLastAutoWorkers int64 `json:"engine_last_auto_workers"`
 
 	// ResultCacheEvictions counts result-cache entries dropped by the
 	// LRU capacity bound (instance-scoped invalidations not included).
@@ -302,27 +313,29 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			NumCPU:     buildinfo.NumCPU(),
 			GoMaxProcs: buildinfo.MaxProcs(),
 		},
-		QueriesServed:        m.queriesServed.Value(),
-		ExactQueries:         m.exactQueries.Value(),
-		ApproxQueries:        m.approxQueries.Value(),
-		AnswersQueries:       m.answersQueries.Value(),
-		AnswerTuples:         m.answerTuples.Value(),
-		BatchRequests:        m.batchRequests.Value(),
-		CacheHits:            m.cacheHits.Value(),
-		CacheMisses:          m.cacheMisses.Value(),
-		Refusals:             m.refusals.Value(),
-		Timeouts:             m.timeouts.Value(),
-		Errors:               m.errors.Value(),
-		SampleDraws:          m.sampleDraws.Value(),
-		InstancesRegistered:  m.registered.Value(),
-		FactMutations:        m.mutations.Value(),
-		Evictions:            m.evictions.Value(),
-		SamplerConstructions: sampler.Constructions(),
-		EngineSamplesDrawn:   engine.SamplesDrawn(),
-		EngineCancelledRuns:  engine.CancelledRuns(),
-		EngineMultiRuns:      engine.MultiRuns(),
-		EngineMultiTargets:   engine.MultiTargets(),
-		ResultCacheEvictions: s.cache.evicted(),
+		QueriesServed:         m.queriesServed.Value(),
+		ExactQueries:          m.exactQueries.Value(),
+		ApproxQueries:         m.approxQueries.Value(),
+		AnswersQueries:        m.answersQueries.Value(),
+		AnswerTuples:          m.answerTuples.Value(),
+		BatchRequests:         m.batchRequests.Value(),
+		CacheHits:             m.cacheHits.Value(),
+		CacheMisses:           m.cacheMisses.Value(),
+		Refusals:              m.refusals.Value(),
+		Timeouts:              m.timeouts.Value(),
+		Errors:                m.errors.Value(),
+		SampleDraws:           m.sampleDraws.Value(),
+		InstancesRegistered:   m.registered.Value(),
+		FactMutations:         m.mutations.Value(),
+		Evictions:             m.evictions.Value(),
+		SamplerConstructions:  sampler.Constructions(),
+		EngineSamplesDrawn:    engine.SamplesDrawn(),
+		EngineCancelledRuns:   engine.CancelledRuns(),
+		EngineMultiRuns:       engine.MultiRuns(),
+		EngineMultiTargets:    engine.MultiTargets(),
+		EngineAutoWorkerRuns:  engine.AutoWorkerRuns(),
+		EngineLastAutoWorkers: engine.LastAutoWorkers(),
+		ResultCacheEvictions:  s.cache.evicted(),
 	}
 	m.coverageChecks.Each(func(_ []string, n int64) { v.CoverageChecks += n })
 	m.coverageWithin.Each(func(_ []string, n int64) { v.CoverageWithin += n })

@@ -60,6 +60,12 @@ type Options struct {
 	// BatchWorkers bounds the worker pool a batch request fans out
 	// over. Default: GOMAXPROCS.
 	BatchWorkers int
+	// DefaultWorkers is the estimation worker count applied to approx
+	// query and marginals requests that omit workers (or request ≤ 0).
+	// Default 0 means adaptive: the engine sizes each run's pool from
+	// the instance's conflict structure and draw budget, bounded by
+	// GOMAXPROCS. Set a positive value to pin a fixed count instead.
+	DefaultWorkers int
 	// CacheSize bounds the LRU result cache (entries). 0 picks the
 	// default of 1024; negative disables caching.
 	CacheSize int
@@ -137,6 +143,10 @@ func (o *Options) fill() {
 	// an unbuffered jobs channel no goroutine ever reads — a deadlock,
 	// not a slow batch.
 	o.BatchWorkers = max(o.BatchWorkers, 1)
+	// DefaultWorkers 0 is meaningful (adaptive), only negatives are
+	// normalised; a positive pin is still bounded by the batch pool.
+	o.DefaultWorkers = max(o.DefaultWorkers, 0)
+	o.DefaultWorkers = min(o.DefaultWorkers, o.BatchWorkers)
 	switch {
 	case o.CacheSize == 0:
 		o.CacheSize = 1024

@@ -22,9 +22,17 @@ import (
 	"repro/internal/rel"
 )
 
-// codecVersion is bumped on any incompatible change to the instance
-// payload encoding; decoders refuse versions they do not know.
-const codecVersion = 1
+// Instance payload versions. v1 is the row-oriented varint encoding
+// (one string per relation name and argument occurrence); v2 is the
+// columnar encoding of codec_v2.go, whose on-disk layout mirrors the
+// in-memory dictionary-encoded columns. Standalone snapshots are
+// written as v2 and read as either; WAL register records and store
+// snapshots embed the v1 payload unversioned, so existing logs replay
+// unchanged.
+const (
+	codecV1 = 1
+	codecV2 = 2
+)
 
 // instanceMagic introduces a standalone instance snapshot (the facade's
 // Instance.Snapshot writes exactly one of these).
@@ -101,10 +109,9 @@ func (rd reader) ints() ([]int, error) {
 
 // --- instance payload -----------------------------------------------------
 
-// encodeInstancePayload appends the versionless body: schema, FDs,
-// facts. Callers prepend magic+version (standalone snapshots) or embed
-// the body in a larger frame (WAL register records, store snapshots).
-func encodeInstancePayload(b *bytes.Buffer, d *rel.Database, sigma *fd.Set) {
+// encodeSchemaFDs appends the schema and FD blocks shared by both
+// payload versions.
+func encodeSchemaFDs(b *bytes.Buffer, sigma *fd.Set) {
 	sch := sigma.Schema()
 	rels := sch.Relations()
 	putUvarint(b, uint64(len(rels)))
@@ -122,6 +129,14 @@ func encodeInstancePayload(b *bytes.Buffer, d *rel.Database, sigma *fd.Set) {
 		putInts(b, f.LHS)
 		putInts(b, f.RHS)
 	}
+}
+
+// encodeInstancePayload appends the versionless v1 body: schema, FDs,
+// facts as strings. WAL register records and store snapshots embed
+// this body in their own frames; standalone snapshots now write the
+// columnar v2 payload instead (codec_v2.go).
+func encodeInstancePayload(b *bytes.Buffer, d *rel.Database, sigma *fd.Set) {
+	encodeSchemaFDs(b, sigma)
 	putUvarint(b, uint64(d.Len()))
 	for _, f := range d.Facts() {
 		putString(b, f.Rel)
@@ -132,56 +147,66 @@ func encodeInstancePayload(b *bytes.Buffer, d *rel.Database, sigma *fd.Set) {
 	}
 }
 
-func decodeInstancePayload(rd reader) (*rel.Database, *fd.Set, error) {
+// decodeSchemaFDs reads the schema and FD blocks shared by both
+// payload versions.
+func decodeSchemaFDs(rd reader) (*fd.Set, error) {
 	nRels, err := rd.count("relation", 1<<20)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	rels := make([]rel.Relation, 0, nRels)
 	for i := 0; i < nRels; i++ {
 		name, err := rd.string_()
 		if err != nil {
-			return nil, nil, fmt.Errorf("store: relation name: %w", err)
+			return nil, fmt.Errorf("store: relation name: %w", err)
 		}
 		nAttrs, err := rd.count("attribute", 1<<16)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		attrs := make([]string, nAttrs)
 		for j := range attrs {
 			if attrs[j], err = rd.string_(); err != nil {
-				return nil, nil, fmt.Errorf("store: attribute name: %w", err)
+				return nil, fmt.Errorf("store: attribute name: %w", err)
 			}
 		}
 		rels = append(rels, rel.Relation{Name: name, Attrs: attrs})
 	}
 	sch, err := rel.NewSchema(rels...)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: decoded schema invalid: %w", err)
+		return nil, fmt.Errorf("store: decoded schema invalid: %w", err)
 	}
 	nFDs, err := rd.count("FD", 1<<20)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	fds := make([]fd.FD, 0, nFDs)
 	for i := 0; i < nFDs; i++ {
 		relName, err := rd.string_()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		lhs, err := rd.ints()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		rhs, err := rd.ints()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		fds = append(fds, fd.New(relName, lhs, rhs))
 	}
 	sigma, err := fd.NewSet(sch, fds...)
 	if err != nil {
-		return nil, nil, fmt.Errorf("store: decoded FD set invalid: %w", err)
+		return nil, fmt.Errorf("store: decoded FD set invalid: %w", err)
+	}
+	return sigma, nil
+}
+
+func decodeInstancePayload(rd reader) (*rel.Database, *fd.Set, error) {
+	sigma, err := decodeSchemaFDs(rd)
+	if err != nil {
+		return nil, nil, err
 	}
 	nFacts, err := rd.count("fact", 1<<28)
 	if err != nil {
@@ -209,22 +234,42 @@ func decodeInstancePayload(rd reader) (*rel.Database, *fd.Set, error) {
 }
 
 // EncodeInstance writes a standalone versioned snapshot of one
-// (schema, database, FD set) triple.
+// (schema, database, FD set) triple in the columnar v2 format.
 func EncodeInstance(w io.Writer, d *rel.Database, sigma *fd.Set) error {
 	var b bytes.Buffer
 	b.Write(instanceMagic)
-	putUvarint(&b, codecVersion)
+	putUvarint(&b, codecV2)
+	encodeInstancePayloadV2(&b, d, sigma)
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// encodeInstanceV1 writes the legacy row-oriented snapshot — kept so
+// the migration tests (and any tool that needs to produce v1 for old
+// readers) exercise the exact bytes previous releases wrote.
+func encodeInstanceV1(w io.Writer, d *rel.Database, sigma *fd.Set) error {
+	var b bytes.Buffer
+	b.Write(instanceMagic)
+	putUvarint(&b, codecV1)
 	encodeInstancePayload(&b, d, sigma)
 	_, err := w.Write(b.Bytes())
 	return err
 }
 
-// DecodeInstance reads a standalone snapshot written by EncodeInstance.
+// DecodeInstance reads a standalone snapshot written by EncodeInstance:
+// the columnar v2 format or the legacy v1 row format.
 func DecodeInstance(r io.Reader) (*rel.Database, *fd.Set, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, nil, err
 	}
+	return decodeInstanceBytes(raw)
+}
+
+// decodeInstanceBytes decodes a standalone snapshot held in memory (or
+// in a file mapping — the v2 fast path lets the database columns alias
+// raw, see codec_v2.go).
+func decodeInstanceBytes(raw []byte) (*rel.Database, *fd.Set, error) {
 	if len(raw) < len(instanceMagic) || !bytes.Equal(raw[:len(instanceMagic)], instanceMagic) {
 		return nil, nil, fmt.Errorf("store: not an instance snapshot (bad magic)")
 	}
@@ -233,8 +278,12 @@ func DecodeInstance(r io.Reader) (*rel.Database, *fd.Set, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if v != codecVersion {
-		return nil, nil, fmt.Errorf("store: snapshot codec version %d not supported (have %d)", v, codecVersion)
+	switch v {
+	case codecV1:
+		return decodeInstancePayload(rd)
+	case codecV2:
+		return decodeInstancePayloadV2(raw, rd)
+	default:
+		return nil, nil, fmt.Errorf("store: snapshot codec version %d not supported (have %d)", v, codecV2)
 	}
-	return decodeInstancePayload(rd)
 }

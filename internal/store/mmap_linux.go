@@ -1,0 +1,46 @@
+//go:build linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// MapInstance opens a standalone snapshot file by memory-mapping it
+// and decoding in place: for a columnar v2 snapshot on a little-endian
+// host the database's integer columns alias the mapping, so booting a
+// million-fact instance faults in only the pages the workload touches
+// instead of copying and re-parsing the whole file. The returned close
+// function unmaps the file and MUST NOT be called while the database
+// is still in use. v1 snapshots decode by copy as usual (close is then
+// safe immediately, but the contract is the same).
+func MapInstance(path string) (*rel.Database, *fd.Set, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, nil, fmt.Errorf("store: snapshot %s has unusable size %d", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	db, sigma, err := decodeInstanceBytes(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, nil, nil, err
+	}
+	return db, sigma, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package store
+
+import (
+	"os"
+
+	"repro/internal/fd"
+	"repro/internal/rel"
+)
+
+// MapInstance falls back to a plain read + decode on platforms without
+// the mmap fast path. The close function exists for interface parity
+// and is always safe to call.
+func MapInstance(path string) (*rel.Database, *fd.Set, func() error, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	db, sigma, err := decodeInstanceBytes(raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return db, sigma, func() error { return nil }, nil
+}

@@ -220,9 +220,11 @@ func (in *Instance) DeleteFact(i int) (*Instance, error) {
 // --- Snapshots (durable single-instance persistence) ----------------------
 
 // Snapshot writes a versioned binary snapshot of the instance — schema,
-// FD set and database — readable by LoadSnapshot. It is the same codec
-// the server's durable store uses, so a snapshot taken from the library
-// round-trips through the service and vice versa.
+// FD set and database — readable by LoadSnapshot. Snapshots are written
+// in the columnar v2 format, whose integer sections mirror the
+// in-memory dictionary-encoded columns (large instances boot without
+// per-fact string parsing); v1 snapshots from earlier releases remain
+// readable.
 func (in *Instance) Snapshot(w io.Writer) error {
 	if err := store.EncodeInstance(w, in.db, in.sigma); err != nil {
 		return fmt.Errorf("ocqa: writing snapshot: %w", err)
@@ -359,13 +361,17 @@ type ApproxOptions struct {
 	// ApproximateFactMarginals it is the exact number of draws (≤ 0
 	// means DefaultMarginalSamples there).
 	MaxSamples int
-	// Workers parallelises estimation (default 1): the fixed-sample
-	// loops, the stopping rule and the marginal counter split their
-	// draws across this many goroutines, each on a deterministic
-	// substream derived centrally from (Seed, phase, worker). The
-	// parallel stopping rule reproduces the sequential rule's law
-	// exactly, and every estimate is deterministic in (Seed, Workers):
-	// same seed and worker count ⇒ identical result.
+	// Workers parallelises estimation: the fixed-sample loops, the
+	// stopping rule and the marginal counter split their draws across
+	// this many goroutines, each on a deterministic substream derived
+	// centrally from (Seed, phase, worker). The parallel stopping rule
+	// reproduces the sequential rule's law exactly, and every estimate
+	// is deterministic in (Seed, Workers): same seed and worker count ⇒
+	// identical result. 0 (the default) means adaptive: the engine
+	// picks the count from the instance's conflict structure and the
+	// draw budget, never exceeding GOMAXPROCS — so small runs stay
+	// serial and large ones use the machine. A positive value is
+	// honoured verbatim.
 	Workers int
 	// Force runs the sampler even when the pair's status is
 	// StatusHeuristic (sampler exists, guarantee does not).
@@ -391,9 +397,22 @@ func (o *ApproxOptions) fillDefaults(defaultSamples int) {
 	if o.MaxSamples <= 0 {
 		o.MaxSamples = defaultSamples
 	}
-	if o.Workers < 1 {
-		o.Workers = 1
+	if o.Workers < 0 {
+		// Any non-positive request means "adaptive"; normalise so the
+		// resolution sites and Accounting see the canonical sentinel.
+		o.Workers = engine.AutoWorkers
 	}
+}
+
+// parallelHint is the per-draw cost proxy handed to the engine's
+// adaptive worker selection: the cached conflict-pair count — the
+// block structure every sampler walks per draw — floored at 1 for
+// consistent instances.
+func (in *Instance) parallelHint() int {
+	if n := len(in.inner.ConflictPairs()); n > 0 {
+		return n
+	}
+	return 1
 }
 
 // ErrNotApproximable is wrapped by Approximate's refusals.
@@ -544,6 +563,9 @@ func (in *Instance) approximate(ctx context.Context, ps preparedSamplers, mode M
 		draw := newSubset()
 		return func(rng *rand.Rand) bool { return pred(draw(rng)) }
 	}
+	// Workers = 0 resolves adaptively from the conflict structure and
+	// the committed draw budget; an explicit request passes through.
+	opts.Workers = engine.ResolveWorkers(opts.Workers, in.parallelHint(), int64(opts.MaxSamples))
 
 	var est Estimate
 	switch {
@@ -655,6 +677,9 @@ func (in *Instance) approximateAnswers(ctx context.Context, ps preparedSamplers,
 			mp.EvalTargets(draw(rng), out, active)
 		}
 	}
+	// Same adaptive resolution as the single-tuple path; the shared
+	// pass has one pool for all targets.
+	opts.Workers = engine.ResolveWorkers(opts.Workers, in.parallelHint(), int64(opts.MaxSamples))
 	var ests []Estimate
 	if opts.UseChernoff {
 		pmin := in.worstCaseLowerBound(mode, q)
@@ -701,15 +726,25 @@ type ApproxAnswer struct {
 
 // Prepared is an Instance whose expensive per-query artifacts — the
 // block decomposition behind SampleRepair (Lemma 5.2) and the
-// sequence-sampler DP tables (Lemma C.1) — are built once, up front,
-// and reused by every subsequent call. All methods are safe for
-// concurrent use: the database, FD set, conflict structure and DP
-// tables are immutable after Prepare returns. It is the unit a
-// long-running service caches per registered instance.
+// sequence-sampler DP tables (Lemma C.1) — are built at most once each
+// and reused by every subsequent call. Prepare forces the affordable
+// subset eagerly (the linear block decomposition always; the quadratic
+// sequence DP only up to seqEagerMaxDeletable deletable facts); the
+// rest builds on the first query that needs it. All methods are safe
+// for concurrent use: the database, FD set, conflict structure and DP
+// tables are immutable once built. It is the unit a long-running
+// service caches per registered instance.
 type Prepared struct {
 	*Instance
-	once sync.Once
-	ps   preparedSamplers
+
+	// Each sampler artifact builds behind its own sync.Once, so a
+	// generator that needs only the block decomposition (M^ur) never
+	// waits on — or pays for — the quadratic sequence-sampler DP, and
+	// vice versa. Prepare eagerly forces the affordable subset.
+	blockOnce sync.Once
+	seqOnce   sync.Once
+	seq1Once  sync.Once
+	ps        preparedSamplers
 
 	// predMu guards preds, the compiled multi-tuple witness sets keyed
 	// by query fingerprint (the canonical rendering): each distinct
@@ -720,8 +755,9 @@ type Prepared struct {
 	preds     map[string]*compiledPred
 	predOrder []string
 
-	// built flips when the deferred sampler build completed; scrape-time
-	// introspection (BlockCount) reads it to avoid forcing a build.
+	// built flips when the deferred block-sampler build completed;
+	// scrape-time introspection (BlockCount) reads it to avoid forcing
+	// a build.
 	built atomic.Bool
 
 	// usage accumulates the instance's estimation totals across every
@@ -834,47 +870,104 @@ func (p *Prepared) multiPred(q *Query) *core.MultiPred {
 	return e.mp
 }
 
-// Prepare eagerly builds the shareable sampler artifacts. For
-// primary-key instances this constructs the BlockSampler and the two
-// SequenceSamplers (pairwise and singleton operation spaces); other
-// constraint classes have no poly-time DP sampler to prepare, so only
-// the conflict structure (already built by NewInstance) is reused and
+// seqEagerMaxDeletable bounds the instances whose sequence-sampler DP
+// tables Prepare builds eagerly: the interleaving DP is quadratic in
+// the number of deletable facts (facts inside non-singleton blocks) in
+// both time and big.Int table memory, so past a few thousand such
+// facts eager construction would dominate registration — a million-
+// fact instance would burn minutes and gigabytes preparing samplers
+// that M^ur workloads never touch. Above the bound the DP defers to
+// the first sequence-mode query.
+const seqEagerMaxDeletable = 4096
+
+// Prepare eagerly builds the shareable sampler artifacts that are
+// affordable at the instance's size. For primary-key instances this
+// always constructs the BlockSampler (linear work), and additionally
+// the two SequenceSamplers (pairwise and singleton operation spaces)
+// when at most seqEagerMaxDeletable facts sit in conflict blocks —
+// their interleaving DP is quadratic in that count, so at scale it is
+// deferred to the first sequence-mode query instead. Other constraint
+// classes have no poly-time DP sampler to prepare, so only the
+// conflict structure (already built by NewInstance) is reused and
 // construction-on-demand still applies where the matrix allows
 // sampling at all.
 func (in *Instance) Prepare() *Prepared {
 	p := in.PrepareLazy()
-	p.samplers()
+	if bs := p.blockSampler(); bs != nil {
+		deletable := 0
+		for _, size := range bs.Blocks() {
+			deletable += size
+		}
+		if deletable <= seqEagerMaxDeletable {
+			p.seqSampler(false)
+			p.seqSampler(true)
+		}
+	}
 	return p
 }
 
 // PrepareLazy returns a Prepared whose sampler artifacts are built on
-// first use instead of up front (a sync.Once makes the deferred build
-// concurrency-safe and at-most-once). This is the right shape after an
-// incremental mutation: a burst of InsertFact/DeleteFact calls then
-// pays for DP-table construction once, at the first query, rather than
-// per mutation.
+// first use instead of up front (per-artifact sync.Onces make each
+// deferred build concurrency-safe and at-most-once). This is the right
+// shape after an incremental mutation: a burst of
+// InsertFact/DeleteFact calls then pays for DP-table construction
+// once, at the first query, rather than per mutation.
 func (in *Instance) PrepareLazy() *Prepared {
 	return &Prepared{Instance: in}
 }
 
-// samplers returns the shared artifacts, building them on first call.
-func (p *Prepared) samplers() preparedSamplers {
-	p.once.Do(func() {
-		if p.class == fd.PrimaryKeys {
-			p.ps.block, _ = sampler.NewBlockSampler(p.inner)
-			p.ps.seq, _ = sampler.NewSequenceSampler(p.inner, false)
-			p.ps.seq1, _ = sampler.NewSequenceSampler(p.inner, true)
-		}
+// blockSampler returns the shared block sampler, building it at most
+// once; nil for constraint classes without one.
+func (p *Prepared) blockSampler() *sampler.BlockSampler {
+	if p.class != fd.PrimaryKeys {
+		return nil
+	}
+	p.blockOnce.Do(func() {
+		p.ps.block, _ = sampler.NewBlockSampler(p.inner)
 		p.built.Store(true)
 	})
-	return p.ps
+	return p.ps.block
+}
+
+// seqSampler returns the shared sequence sampler for the operation
+// space, building it at most once; nil for constraint classes without
+// one.
+func (p *Prepared) seqSampler(singleton bool) *sampler.SequenceSampler {
+	if p.class != fd.PrimaryKeys {
+		return nil
+	}
+	if singleton {
+		p.seq1Once.Do(func() { p.ps.seq1, _ = sampler.NewSequenceSampler(p.inner, true) })
+		return p.ps.seq1
+	}
+	p.seqOnce.Do(func() { p.ps.seq, _ = sampler.NewSequenceSampler(p.inner, false) })
+	return p.ps.seq
+}
+
+// samplersFor assembles the prepared artifacts the mode's estimation
+// path will consult, building only those: an M^ur marginals pass over
+// a million-fact instance never pays for the sequence DP, and a
+// sequence-mode query never waits on anything but its own table.
+func (p *Prepared) samplersFor(mode Mode) preparedSamplers {
+	var ps preparedSamplers
+	switch mode.Gen {
+	case UniformRepairs:
+		ps.block = p.blockSampler()
+	case UniformSequences:
+		if mode.Singleton {
+			ps.seq1 = p.seqSampler(true)
+		} else {
+			ps.seq = p.seqSampler(false)
+		}
+	}
+	return ps
 }
 
 // Approximate is Instance.Approximate backed by the prepared samplers:
 // for primary-key instances it performs zero sampler constructions
-// beyond the one deferred build.
+// beyond the one deferred build per artifact.
 func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
-	est, err := p.Instance.approximate(ctx, p.samplers(), mode, q, c, opts)
+	est, err := p.Instance.approximate(ctx, p.samplersFor(mode), mode, q, c, opts)
 	p.recordUsage(est.Acct)
 	return est, err
 }
@@ -891,7 +984,7 @@ func (p *Prepared) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, 
 // ApproximateAnswersAcct is ApproximateAnswers with the run-level cost
 // accounting of the shared pass (or the per-tuple sum under UseAA).
 func (p *Prepared) ApproximateAnswersAcct(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, Accounting, error) {
-	out, acct, err := p.Instance.approximateAnswers(ctx, p.samplers(), p.multiPred, mode, q, opts)
+	out, acct, err := p.Instance.approximateAnswers(ctx, p.samplersFor(mode), p.multiPred, mode, q, opts)
 	p.recordUsage(acct)
 	return out, acct, err
 }
@@ -913,14 +1006,14 @@ func (p *Prepared) ApproximateFactMarginals(ctx context.Context, mode Mode, opts
 // ApproximateFactMarginalsAcct is ApproximateFactMarginals with the
 // run's cost accounting.
 func (p *Prepared) ApproximateFactMarginalsAcct(ctx context.Context, mode Mode, opts ApproxOptions) ([]float64, Accounting, error) {
-	out, acct, err := p.Instance.approximateFactMarginals(ctx, p.samplers(), mode, opts)
+	out, acct, err := p.Instance.approximateFactMarginals(ctx, p.samplersFor(mode), mode, opts)
 	p.recordUsage(acct)
 	return out, acct, err
 }
 
 // CountRepairs reuses the prepared block decomposition where available.
 func (p *Prepared) CountRepairs(singleton bool) *big.Int {
-	if bs := p.samplers().block; bs != nil {
+	if bs := p.blockSampler(); bs != nil {
 		return bs.CountRepairs(singleton)
 	}
 	return p.Instance.CountRepairs(singleton)
@@ -930,7 +1023,7 @@ func (p *Prepared) CountRepairs(singleton bool) *big.Int {
 // available (no recomputation), falling back to the Instance path
 // otherwise.
 func (p *Prepared) CountSequences(singleton bool, limit int) (*big.Int, error) {
-	if ss := p.samplers().sequence(singleton); ss != nil {
+	if ss := p.seqSampler(singleton); ss != nil {
 		return ss.Count(), nil
 	}
 	return p.Instance.CountSequences(singleton, limit)
@@ -1039,6 +1132,7 @@ func (in *Instance) approximateFactMarginals(ctx context.Context, ps preparedSam
 	if err != nil {
 		return nil, Accounting{}, err
 	}
+	opts.Workers = engine.ResolveWorkers(opts.Workers, in.parallelHint(), int64(opts.MaxSamples))
 	counts, acct, err := engine.MarginalsAcct(ctx, newCounter, in.db.Len(), opts.MaxSamples, opts.Seed, opts.Workers)
 	if err != nil {
 		return nil, acct, fmt.Errorf("ocqa: marginal estimation stopped: %w", err)

@@ -145,12 +145,30 @@ func TestPrepareLazyDefersConstruction(t *testing.T) {
 	if afterFirst == before {
 		t.Fatal("first use did not build samplers")
 	}
+	if got := p.CountRepairs(false); got.Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("CountRepairs (repeat) = %v, want 3", got)
+	}
+	if sampler.Constructions() != afterFirst {
+		t.Fatal("repeated block use rebuilt samplers: laziness is not at-most-once")
+	}
+	// A sequence-mode query builds its own DP table on first use —
+	// artifacts are lazy per generator, so the block-only use above did
+	// not pay for it...
 	q, _ := ocqa.ParseQuery("Ans(n) :- Emp(i, n)")
 	if _, err := p.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Alice"),
 		ocqa.ApproxOptions{MaxSamples: 2000}); err != nil {
 		t.Fatal(err)
 	}
-	if sampler.Constructions() != afterFirst {
-		t.Fatal("second use rebuilt samplers: laziness is not at-most-once")
+	afterSeq := sampler.Constructions()
+	if afterSeq == afterFirst {
+		t.Fatal("first sequence-mode use did not build its sampler")
+	}
+	// ...and repeating it is free.
+	if _, err := p.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformSequences}, q, ocqa.ParseTuple("Alice"),
+		ocqa.ApproxOptions{MaxSamples: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if sampler.Constructions() != afterSeq {
+		t.Fatal("repeated sequence use rebuilt samplers: laziness is not at-most-once")
 	}
 }

@@ -149,7 +149,7 @@ func (p *Prepared) PlanApproximate(mode Mode, q *Query, single bool, opts Approx
 		Delta:   opts.Delta,
 		PMin:    p.worstCaseLowerBound(mode, q),
 	}
-	if bs := p.samplers().block; bs != nil {
+	if bs := p.blockSampler(); bs != nil {
 		plan.Blocks = len(bs.Blocks())
 	}
 	if !single {
