@@ -13,8 +13,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 )
@@ -98,6 +100,13 @@ func (f genericBenchFile) drawsPerOp(name string) int64 {
 		// Only the marginals results perform draws; the codec results
 		// (encode, cold/warm boot) are byte-throughput benchmarks.
 		if strings.HasPrefix(name, "ScaleMarginals") {
+			return f.Draws
+		}
+	case "delta":
+		// Only the cold approximate ops draw from scratch; the exact
+		// ops draw nothing and the warm stratified op reuses stored
+		// statistics (fresh draws ~0 by design).
+		if strings.HasPrefix(name, "DeltaColdApprox") {
 			return f.Draws
 		}
 	}
@@ -213,8 +222,13 @@ func rerunSuite(baseline genericBenchFile) (genericBenchFile, error) {
 			return f, fmt.Errorf("scale baseline records no fact count")
 		}
 		err = runScaleBenchmarks(out, baseline.Facts)
+	case "delta":
+		if baseline.Facts <= 0 {
+			return f, fmt.Errorf("delta baseline records no fact count")
+		}
+		err = runDeltaBenchmarks(out, baseline.Facts)
 	default:
-		return f, fmt.Errorf("unknown suite %q (want store, engine, answers or scale)", baseline.Suite)
+		return f, fmt.Errorf("unknown suite %q (want store, engine, answers, scale or delta)", baseline.Suite)
 	}
 	if err != nil {
 		return f, err
@@ -232,6 +246,7 @@ func runCheck(baselinePath string) error {
 	tol := suiteTolerance(baseline.Suite)
 	fmt.Printf("regression gate: baseline %s (suite %s, commit %s, %d CPU), tolerance %.0f%%\n",
 		baselinePath, baseline.Suite, orUnknown(baseline.GitCommit), baseline.NumCPU, 100*tol)
+	warnIfNotAncestor(baseline.GitCommit)
 	if v := workerInversions(baseline.Results); len(v) > 0 {
 		for _, line := range v {
 			fmt.Fprintln(os.Stderr, "worker inversion:", line)
@@ -262,6 +277,29 @@ func orUnknown(s string) string {
 		return "unknown"
 	}
 	return s
+}
+
+// warnIfNotAncestor warns when the baseline's recorded commit is not an
+// ancestor of the commit this gate runs on: a baseline recorded on a
+// divergent (or never-merged) line makes the comparison meaningless —
+// the delta may be a different code path, not a regression. Advisory
+// only: files from other hosts may name commits this clone never
+// fetched, and shallow CI clones may be unable to answer at all, so
+// anything but a definite "not an ancestor" stays quiet.
+func warnIfNotAncestor(baselineCommit string) {
+	strip := func(s string) string { return strings.TrimSuffix(s, "-dirty") }
+	base, cur := strip(baselineCommit), strip(gitCommit())
+	if base == "" || base == "unknown" || cur == "unknown" || base == cur {
+		return
+	}
+	// Exit status 1 means "definitely not an ancestor"; any other
+	// failure (unknown revision, no git, shallow clone) is inconclusive.
+	err := exec.Command("git", "merge-base", "--is-ancestor", base, cur).Run()
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && ee.ExitCode() == 1 {
+		fmt.Printf("warning: baseline commit %s is not an ancestor of build commit %s — regenerate the baseline on this line before trusting the gate\n",
+			base, cur)
+	}
 }
 
 // runCheckSelftest proves the gate discriminates, with no timing

@@ -19,6 +19,14 @@
 // cold-boot / warm-boot timings) and emits BENCH_scale.json;
 // -scale-facts shrinks the instance for CI smoke runs.
 //
+// With -delta it runs the incremental-estimation suite: mutate-then-
+// query throughput of the Prepared.ApplyInsert/ApplyDelete lineage
+// (per-block factor caching, stratified draw reuse) against cold
+// from-scratch recomputation on a 100k-fact instance, with an in-bench
+// big.Rat equality trace and a 5x speedup acceptance floor. Emits
+// BENCH_delta.json; -delta-facts shrinks the instance for CI smoke
+// runs.
+//
 // With -check BASELINE.json it reruns the suite named in the baseline
 // trajectory file and exits non-zero when any benchmark's ns_per_op
 // grew — or its draws/sec shrank — by more than the suite's tolerance
@@ -50,6 +58,7 @@
 //	ocqa-bench -engine [-engine-out BENCH_engine.json]
 //	ocqa-bench -answers [-answers-out BENCH_answers.json]
 //	ocqa-bench -scale [-scale-facts 1000000] [-scale-out BENCH_scale.json]
+//	ocqa-bench -delta [-delta-facts 100000] [-delta-out BENCH_delta.json]
 //	ocqa-bench -check BENCH_engine.json
 //	ocqa-bench -check-selftest BENCH_engine.json
 //	ocqa-bench -oracle [-seed N] [-oracle-scenarios 500]
@@ -78,6 +87,9 @@ func main() {
 		scaleRun   = flag.Bool("scale", false, "run the million-fact data-plane suite instead of the experiment suite")
 		scaleFacts = flag.Int("scale-facts", 1_000_000, "instance size for -scale (CI smoke runs use ~100k)")
 		scaleOut   = flag.String("scale-out", "BENCH_scale.json", "trajectory file for -scale results")
+		deltaRun   = flag.Bool("delta", false, "run the incremental-estimation mutate-then-query suite instead of the experiment suite")
+		deltaFacts = flag.Int("delta-facts", 100_000, "instance size for -delta (CI smoke runs use ~10k)")
+		deltaOut   = flag.String("delta-out", "BENCH_delta.json", "trajectory file for -delta results")
 		oracleRun  = flag.Bool("oracle", false, "run the oracle differential verification gate instead of the experiment suite")
 		oracleN    = flag.Int("oracle-scenarios", 500, "random scenarios for the -oracle gate (each checked under all six modes)")
 		check      = flag.String("check", "", "baseline BENCH_*.json: rerun its suite and exit non-zero on an ns/op or draws/sec regression past the suite's tolerance band")
@@ -128,6 +140,13 @@ func main() {
 	}
 	if *scaleRun {
 		if err := runScaleBenchmarks(*scaleOut, *scaleFacts); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *deltaRun {
+		if err := runDeltaBenchmarks(*deltaOut, *deltaFacts); err != nil {
 			fmt.Fprintln(os.Stderr, "ocqa-bench:", err)
 			os.Exit(1)
 		}

@@ -3,9 +3,10 @@ package main
 // The -oracle mode: the randomized differential verification gate. It
 // runs the full harness — brute-force oracle vs. every exact engine on
 // ≥500 random scenarios across all six modes, estimator (ε, δ)
-// envelope coverage, and durable-store trace replay — and exits
-// non-zero on any divergence. CI invokes it with a fixed seed; locally
-// vary -seed to sweep fresh scenario streams.
+// envelope coverage, durable-store trace replay, and incremental
+// delta-lineage traces (ApplyInsert/ApplyDelete vs. cold recomputation)
+// — and exits non-zero on any divergence. CI invokes it with a fixed
+// seed; locally vary -seed to sweep fresh scenario streams.
 
 import (
 	"fmt"

@@ -10,6 +10,7 @@
 //	           [-timeout 30s] [-exact-limit 2000000]
 //	           [-data-dir DIR] [-fsync] [-compact-every 4096]
 //	           [-access-log] [-pprof] [-debug-queries] [-slow-query 0]
+//	           [-delta-refresh 8] [-watch-wait 25s]
 //
 // Observability: GET /varz serves the JSON counter snapshot, GET
 // /metrics the same registry in Prometheus text format. Every response
@@ -77,6 +78,8 @@ func main() {
 		pprofEnable   = flag.Bool("pprof", false, "expose the Go profiler under /debug/pprof/ (trusted listeners only)")
 		debugQueries  = flag.Bool("debug-queries", false, "expose the slow-query flight recorder under /debug/queries (trusted listeners only)")
 		slowQuery     = flag.Duration("slow-query", 0, "log requests at or above this duration with their full trace (0 disables)")
+		deltaRefresh  = flag.Int("delta-refresh", 0, "cached results delta-refreshed per mutation (0 = default 8, negative disables)")
+		watchWait     = flag.Duration("watch-wait", 0, "GET /watch long-poll window (0 = default 25s, negative returns immediately)")
 	)
 	flag.Parse()
 	opts := server.Options{
@@ -89,6 +92,8 @@ func main() {
 		MaxConcurrentQueries: *maxConcurrent,
 		MaxInstances:         *maxInstances,
 		MaxBatchQueries:      *maxBatch,
+		DeltaRefreshLimit:    *deltaRefresh,
+		WatchWait:            *watchWait,
 		EnablePprof:          *pprofEnable,
 		EnableDebugQueries:   *debugQueries,
 		SlowQuery:            *slowQuery,

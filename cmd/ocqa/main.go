@@ -7,6 +7,8 @@
 //	     [-generator ur|us|uo] [-singleton] [-mode exact|approx] \
 //	     [-tuple "a,b"] [-eps 0.1] [-delta 0.05] [-seed 1] [-workers N] \
 //	     [-force] [-limit N] [-explain]
+//	ocqa -watch -server http://localhost:8080 -instance i1 \
+//	     -query "Ans(x) :- R(x,'v')" [-watch-max N] [query flags as above]
 //
 // With -tuple, the probability of that single tuple is computed;
 // otherwise every consistent answer is reported with its probability.
@@ -18,6 +20,12 @@
 // -explain prints the pre-sampling plan (estimation route, worst-case
 // draw budget for the requested (ε, δ), budget-capped verdict), then
 // the recorded phase spans and the convergence curve after the run.
+//
+// With -watch the command becomes a long-poll client of a running
+// ocqa-serve: it holds the query against the named server-side instance
+// and prints the refreshed answer each time a fact mutation lands
+// (served from the server's delta-refreshed cache when warm), until
+// interrupted or -watch-max updates have been printed.
 package main
 
 import (
@@ -47,10 +55,26 @@ func main() {
 		force     = flag.Bool("force", false, "approx: sample even without an FPRAS guarantee")
 		limit     = flag.Int("limit", 2_000_000, "exact: state budget (0 = unlimited)")
 		explain   = flag.Bool("explain", false, "print the query plan, phase spans and convergence curve")
+		watch     = flag.Bool("watch", false, "long-poll a running ocqa-serve, printing refreshed answers as mutations land")
+		server    = flag.String("server", "http://localhost:8080", "watch: base URL of the ocqa-serve instance")
+		instance  = flag.String("instance", "", "watch: server-side instance id (e.g. i1)")
+		watchMax  = flag.Int("watch-max", 0, "watch: stop after N updates (0 = until interrupted)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *watch {
+		if err := runWatch(ctx, watchParams{
+			server: *server, instance: *instance, query: *queryText, tuple: *tupleText,
+			generator: *genName, singleton: *singleton, mode: *mode,
+			eps: *eps, delta: *delta, seed: *seed, workers: *workers,
+			limit: *limit, force: *force, max: *watchMax, out: os.Stdout,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "ocqa:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(ctx, *factsPath, *fdsPath, *queryText, *tupleText, *genName,
 		*singleton, *mode, *eps, *delta, *seed, *workers, *force, *limit, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "ocqa:", err)

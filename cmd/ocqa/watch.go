@@ -1,0 +1,162 @@
+package main
+
+// The -watch mode: a long-poll client for ocqa-serve's GET .../watch
+// endpoint. It holds a standing query against a registered instance and
+// prints the refreshed answer every time a fact mutation lands on the
+// server, passing each response's generation back as ?since= so no
+// mutation is missed and no unchanged generation is re-reported. A
+// window with no mutation answers 204 No Content and the client simply
+// re-polls; -watch-max bounds the number of updates printed (0 = until
+// interrupted), which is what the smoke test drives.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// watchParams carries the standing query of one -watch session.
+type watchParams struct {
+	server    string
+	instance  string
+	query     string
+	tuple     string
+	generator string
+	singleton bool
+	mode      string
+	eps       float64
+	delta     float64
+	seed      int64
+	workers   int
+	limit     int
+	force     bool
+	max       int
+	out       io.Writer
+}
+
+// watchURL renders the long-poll URL for the generation the client has
+// already seen.
+func (wp watchParams) watchURL(since int64) (string, error) {
+	base, err := url.Parse(wp.server)
+	if err != nil {
+		return "", fmt.Errorf("server URL: %w", err)
+	}
+	base.Path, err = url.JoinPath(base.Path, "v1", "instances", wp.instance, "watch")
+	if err != nil {
+		return "", err
+	}
+	q := url.Values{}
+	q.Set("query", wp.query)
+	q.Set("generator", wp.generator)
+	q.Set("mode", wp.mode)
+	if wp.singleton {
+		q.Set("singleton", "1")
+	}
+	if wp.tuple != "" {
+		q.Set("tuple", wp.tuple)
+		q.Set("has_tuple", "1")
+	}
+	if wp.mode == "approx" {
+		q.Set("epsilon", strconv.FormatFloat(wp.eps, 'g', -1, 64))
+		q.Set("delta", strconv.FormatFloat(wp.delta, 'g', -1, 64))
+		q.Set("seed", strconv.FormatInt(wp.seed, 10))
+		if wp.workers != 0 {
+			q.Set("workers", strconv.Itoa(wp.workers))
+		}
+		if wp.force {
+			q.Set("force", "1")
+		}
+	} else if wp.limit != 0 {
+		q.Set("limit", strconv.Itoa(wp.limit))
+	}
+	q.Set("since", strconv.FormatInt(since, 10))
+	base.RawQuery = q.Encode()
+	return base.String(), nil
+}
+
+// runWatch loops the long poll until ctx is cancelled or max updates
+// were printed. The first response arrives immediately (since starts at
+// 0 and server generations start at 1); each later one arrives when a
+// mutation commits.
+func runWatch(ctx context.Context, wp watchParams) error {
+	if wp.instance == "" {
+		return fmt.Errorf("-watch needs -instance (the server-side instance id)")
+	}
+	if wp.query == "" {
+		return fmt.Errorf("-watch needs -query")
+	}
+	// No client-side timeout: the server bounds each poll with its own
+	// watch window (204 on expiry) and ctx covers interrupts.
+	client := &http.Client{}
+	since := int64(0)
+	updates := 0
+	for wp.max <= 0 || updates < wp.max {
+		u, err := wp.watchURL(since)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted: a clean end to watching
+			}
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var wr struct {
+				Gen    int64 `json:"gen"`
+				Result *struct {
+					Answers []struct {
+						Tuple []string `json:"tuple"`
+						Prob  string   `json:"prob,omitempty"`
+						Value float64  `json:"value"`
+					} `json:"answers"`
+					Cost *struct {
+						Draws       int64 `json:"draws"`
+						ReusedDraws int64 `json:"reused_draws,omitempty"`
+						Cached      bool  `json:"cached"`
+					} `json:"cost,omitempty"`
+				} `json:"result"`
+			}
+			if err := json.Unmarshal(body, &wr); err != nil {
+				return fmt.Errorf("decoding watch response: %w", err)
+			}
+			since = wr.Gen
+			updates++
+			fmt.Fprintf(wp.out, "gen %d  %s\n", wr.Gen, time.Now().Format(time.TimeOnly))
+			if wr.Result != nil {
+				for _, a := range wr.Result.Answers {
+					if a.Prob != "" {
+						fmt.Fprintf(wp.out, "  %v  %s ≈ %.6f\n", a.Tuple, a.Prob, a.Value)
+					} else {
+						fmt.Fprintf(wp.out, "  %v  ≈ %.6f\n", a.Tuple, a.Value)
+					}
+				}
+				if c := wr.Result.Cost; c != nil && (c.Draws > 0 || c.ReusedDraws > 0) {
+					fmt.Fprintf(wp.out, "  cost: %d draws, %d reused, cached=%v\n", c.Draws, c.ReusedDraws, c.Cached)
+				}
+			}
+		case http.StatusNoContent:
+			// Window expired without a mutation — re-poll at the same
+			// generation.
+		default:
+			return fmt.Errorf("watch: server answered %s: %s", resp.Status, string(body))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package main
+
+// Smoke test for the -watch long-poll client, driven against a real
+// in-process ocqa-serve handler: the first poll returns the current
+// answer immediately, a server-side fact mutation pushes a refreshed
+// answer to the standing watch, and -watch-max ends the loop.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// syncBuf is a goroutine-safe bytes.Buffer: runWatch writes from its
+// own goroutine while the test polls for progress.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestWatchStreamsRefreshedAnswers(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Options{WatchWait: 10 * time.Second}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/instances", "application/json",
+		strings.NewReader(`{"facts":"Emp(1,Alice)\nEmp(1,Tom)","fds":"Emp: A1 -> A2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var out syncBuf
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- runWatch(ctx, watchParams{
+			server: srv.URL, instance: reg.ID,
+			query: "Ans(n) :- Emp(i, n)", generator: "ur", mode: "exact",
+			max: 2, out: &out,
+		})
+	}()
+
+	// The first poll answers immediately with generation 1; wait for it
+	// so the second poll is provably standing when the mutation lands.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "gen 1") {
+		if time.Now().After(deadline) {
+			t.Fatalf("first watch update never arrived; output so far:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mresp, err := http.Post(srv.URL+"/v1/instances/"+reg.ID+"/facts", "application/json",
+		strings.NewReader(`{"fact":"Emp(2,Bob)"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runWatch: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("watch did not observe the mutation; output so far:\n%s", out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"gen 1", "gen 2", "Bob"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("watch output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	srv := httptest.NewServer(server.New(server.Options{}))
+	defer srv.Close()
+	base := watchParams{server: srv.URL, query: "Ans() :- R(x)", generator: "ur", mode: "exact", max: 1, out: &bytes.Buffer{}}
+
+	missing := base
+	missing.instance = ""
+	if err := runWatch(context.Background(), missing); err == nil {
+		t.Error("missing -instance must error")
+	}
+	noQuery := base
+	noQuery.instance, noQuery.query = "i1", ""
+	if err := runWatch(context.Background(), noQuery); err == nil {
+		t.Error("missing -query must error")
+	}
+	gone := base
+	gone.instance = "no-such-instance"
+	if err := runWatch(context.Background(), gone); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown instance should surface the server's 404, got %v", err)
+	}
+}

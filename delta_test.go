@@ -1,0 +1,403 @@
+package ocqa_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	ocqa "repro"
+)
+
+// deltaModes are the generator modes the delta engine serves.
+var deltaModes = []ocqa.Mode{
+	{Gen: ocqa.UniformRepairs},
+	{Gen: ocqa.UniformRepairs, Singleton: true},
+}
+
+func mustQuery(t *testing.T, s string) *ocqa.Query {
+	t.Helper()
+	q, err := ocqa.ParseQuery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestDeltaExactMatchesCore checks that the delta engine's factorized
+// exact probabilities are big.Rat-identical to the core enumeration
+// engines across witness shapes: certain (all-fixed witness),
+// impossible (two facts of one block), single-block, and multi-block
+// coupled clusters.
+func TestDeltaExactMatchesCore(t *testing.T) {
+	inst := mustInstance(t,
+		"Emp(1,Alice)\nEmp(1,Tom)\nEmp(1,Bob)\nEmp(2,Bob)\nEmp(3,Carol)\nEmp(3,Dan)",
+		"Emp: A1 -> A2")
+	p := inst.Prepare()
+	queries := []struct {
+		q     string
+		tuple ocqa.Tuple
+	}{
+		{"Ans() :- Emp(x, 'Bob')", ocqa.Tuple{}},                      // certain: Emp(2,Bob) is fixed
+		{"Ans() :- Emp('1', x), Emp('3', y)", ocqa.Tuple{}},           // coupled blocks 1 and 3
+		{"Ans() :- Emp('1', 'Alice'), Emp('1', 'Tom')", ocqa.Tuple{}}, // impossible
+		{"Ans(n) :- Emp(i, n)", ocqa.Tuple{"Tom"}},
+		{"Ans(n) :- Emp(i, n)", ocqa.Tuple{"Bob"}},
+		{"Ans(n) :- Emp(i, n)", ocqa.Tuple{"Nobody"}}, // absent tuple
+	}
+	for _, mode := range deltaModes {
+		for _, tc := range queries {
+			q := mustQuery(t, tc.q)
+			got, err := p.ExactProbability(mode, q, tc.tuple, 0)
+			if err != nil {
+				t.Fatalf("%s %s delta: %v", mode.Symbol(), tc.q, err)
+			}
+			want, err := inst.ExactProbability(mode, q, tc.tuple, 0)
+			if err != nil {
+				t.Fatalf("%s %s core: %v", mode.Symbol(), tc.q, err)
+			}
+			if got.Cmp(want) != 0 {
+				t.Errorf("%s %s @%v: delta %v, core %v", mode.Symbol(), tc.q, tc.tuple, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaConsistentAnswersMatchesCore checks the delta exact answers
+// pass against the core shared pass — including zero-probability
+// candidates, which must be listed with probability 0, in the same
+// sorted order.
+func TestDeltaConsistentAnswersMatchesCore(t *testing.T) {
+	inst := mustInstance(t,
+		"R(a,x)\nR(a,y)\nR(b,x)\nR(b,z)\nR(c,w)",
+		"R: A1 -> A2")
+	p := inst.Prepare()
+	q := mustQuery(t, "Ans(v) :- R(k, v)")
+	for _, mode := range deltaModes {
+		got, err := p.ConsistentAnswers(mode, q, 0)
+		if err != nil {
+			t.Fatalf("%s delta: %v", mode.Symbol(), err)
+		}
+		want, err := inst.ConsistentAnswers(mode, q, 0)
+		if err != nil {
+			t.Fatalf("%s core: %v", mode.Symbol(), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: delta %d answers, core %d", mode.Symbol(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Tuple.Key() != want[i].Tuple.Key() || got[i].Prob.Cmp(want[i].Prob) != 0 {
+				t.Errorf("%s answer %d: delta (%v, %v), core (%v, %v)",
+					mode.Symbol(), i, got[i].Tuple, got[i].Prob, want[i].Tuple, want[i].Prob)
+			}
+		}
+	}
+}
+
+// TestDeltaExactAcrossMutations drives a Prepared lineage through a
+// scripted mix of ApplyInsert/ApplyDelete — growing blocks, shrinking
+// blocks, making facts fixed and unfixed — and checks after every step
+// that the delta-refreshed exact results equal a from-scratch core
+// recomputation, big.Rat for big.Rat.
+func TestDeltaExactAcrossMutations(t *testing.T) {
+	inst := mustInstance(t,
+		"R(a,x)\nR(a,y)\nR(b,x)\nR(c,u)",
+		"R: A1 -> A2")
+	p := inst.Prepare()
+	queries := []*ocqa.Query{
+		mustQuery(t, "Ans() :- R(k, 'x')"),
+		mustQuery(t, "Ans(v) :- R(k, v)"),
+		mustQuery(t, "Ans() :- R('a', v), R('b', w)"),
+	}
+	// Warm the delta state for every fingerprint before mutating.
+	for _, q := range queries {
+		for _, mode := range deltaModes {
+			if _, err := p.ExactProbability(mode, q, make(ocqa.Tuple, len(q.AnswerVars)), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	type step struct {
+		insert string // fact text, or ""
+		delete int    // index, when insert == ""
+	}
+	steps := []step{
+		{insert: "R(b,v)"}, // grow block b to 2
+		{insert: "R(c,t)"}, // unfix c: block c becomes size 2
+		{delete: 0},        // shrink block a: R(a,x) gone
+		{insert: "R(a,z)"}, // regrow block a
+		{insert: "R(d,q)"}, // fresh singleton block
+		{delete: 2},        // indices shifted; exercise remap
+	}
+	for si, st := range steps {
+		var err error
+		if st.insert != "" {
+			f, ferr := ocqa.ParseFact(st.insert)
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			p, _, err = p.ApplyInsert(f)
+		} else {
+			p, err = p.ApplyDelete(st.delete)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", si, err)
+		}
+		fresh := ocqa.NewInstance(p.DB(), p.Sigma())
+		for _, q := range queries {
+			for _, mode := range deltaModes {
+				got, err := p.ConsistentAnswers(mode, q, 0)
+				if err != nil {
+					t.Fatalf("step %d %s %v delta: %v", si, mode.Symbol(), q, err)
+				}
+				want, err := fresh.ConsistentAnswers(mode, q, 0)
+				if err != nil {
+					t.Fatalf("step %d %s %v core: %v", si, mode.Symbol(), q, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("step %d %s %v: delta %d answers, core %d",
+						si, mode.Symbol(), q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Tuple.Key() != want[i].Tuple.Key() || got[i].Prob.Cmp(want[i].Prob) != 0 {
+						t.Errorf("step %d %s %v answer %d: delta (%v, %v), core (%v, %v)",
+							si, mode.Symbol(), q, i, got[i].Tuple, got[i].Prob, want[i].Tuple, want[i].Prob)
+					}
+				}
+			}
+		}
+	}
+}
+
+// stratifiedFixture builds an instance with two 64-fact blocks and a
+// query coupling them into one cluster whose outcome product (65²)
+// exceeds the exact enumeration cap — the minimal sampled-stratum
+// workload.
+func stratifiedFixture(t *testing.T) (*ocqa.Prepared, *ocqa.Query) {
+	t.Helper()
+	facts := ""
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 64; i++ {
+			facts += fmt.Sprintf("R(b%d,v%d)\n", b, i)
+		}
+	}
+	inst := mustInstance(t, facts, "R: A1 -> A2")
+	return inst.Prepare(), mustQuery(t, "Ans() :- R('b0', x), R('b1', y)")
+}
+
+// TestDeltaStratifiedReuse checks the stratified path end to end: a
+// warm generation draws its stratum fresh, a repeat query reuses the
+// carried statistics (zero fresh draws, identical value), an unrelated
+// mutation keeps reusing them, and a mutation into a coupled block
+// invalidates the stratum's signature and forces a redraw. Estimates
+// must stay inside the (ε, δ) envelope of the known exact probability
+// throughout.
+func TestDeltaStratifiedReuse(t *testing.T) {
+	p, q := stratifiedFixture(t)
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+	opts := ocqa.ApproxOptions{Epsilon: 0.2, Delta: 0.1, Seed: 7}
+	ctx := context.Background()
+
+	// Warm the lineage with an unrelated insert.
+	f, _ := ocqa.ParseFact("R(zz,w)")
+	p, _, err := p.ApplyInsert(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est1, err := p.Approximate(ctx, mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est1.Acct.Draws == 0 || est1.Acct.ReusedDraws != 0 {
+		t.Fatalf("first warm call: draws=%d reused=%d, want fresh draws only",
+			est1.Acct.Draws, est1.Acct.ReusedDraws)
+	}
+	pExact := (64.0 / 65.0) * (64.0 / 65.0)
+	if math.Abs(est1.Value-pExact) > opts.Epsilon*pExact {
+		t.Fatalf("estimate %v outside ε-envelope of %v", est1.Value, pExact)
+	}
+
+	// Repeat on the same generation: the stratum is reused verbatim.
+	est2, err := p.Approximate(ctx, mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Acct.Draws != 0 || est2.Acct.ReusedDraws != est1.Acct.Draws {
+		t.Fatalf("repeat call: draws=%d reused=%d, want 0 fresh and %d reused",
+			est2.Acct.Draws, est2.Acct.ReusedDraws, est1.Acct.Draws)
+	}
+	if est2.Value != est1.Value {
+		t.Fatalf("repeat call changed value: %v -> %v", est1.Value, est2.Value)
+	}
+
+	// An unrelated mutation leaves the stratum signature untouched.
+	f2, _ := ocqa.ParseFact("R(yy,w)")
+	p, _, err = p.ApplyInsert(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est3, err := p.Approximate(ctx, mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est3.Acct.Draws != 0 || est3.Acct.ReusedDraws == 0 {
+		t.Fatalf("post-unrelated-mutation: draws=%d reused=%d, want pure reuse",
+			est3.Acct.Draws, est3.Acct.ReusedDraws)
+	}
+
+	// Mutating a coupled block changes the signature: redraw.
+	f3, _ := ocqa.ParseFact("R(b0,v64)")
+	p, _, err = p.ApplyInsert(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est4, err := p.Approximate(ctx, mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est4.Acct.Draws == 0 {
+		t.Fatalf("post-touch mutation: no fresh draws, stale stratum served")
+	}
+	pExact = (65.0 / 66.0) * (64.0 / 65.0)
+	if math.Abs(est4.Value-pExact) > opts.Epsilon*pExact {
+		t.Fatalf("post-touch estimate %v outside ε-envelope of %v", est4.Value, pExact)
+	}
+}
+
+// TestDeltaStratifiedDeterminism replays an identical mutation history
+// with the same seed and expects bit-identical estimates.
+func TestDeltaStratifiedDeterminism(t *testing.T) {
+	run := func() float64 {
+		p, q := stratifiedFixture(t)
+		f, _ := ocqa.ParseFact("R(zz,w)")
+		p, _, err := p.ApplyInsert(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := p.Approximate(context.Background(), ocqa.Mode{Gen: ocqa.UniformRepairs}, q,
+			ocqa.Tuple{}, ocqa.ApproxOptions{Epsilon: 0.2, Delta: 0.1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.Value
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same history, same seed, different estimates: %v vs %v", a, b)
+	}
+}
+
+// TestDeltaColdApproximateUnchanged pins the cold-path contract: on a
+// first-generation Prepared (no mutation history) the classic
+// estimator answers, identical to the bare Instance path.
+func TestDeltaColdApproximateUnchanged(t *testing.T) {
+	inst := mustInstance(t,
+		"R(a,x)\nR(a,y)\nR(b,x)\nR(b,z)",
+		"R: A1 -> A2")
+	q := mustQuery(t, "Ans() :- R(k, 'x')")
+	opts := ocqa.ApproxOptions{Epsilon: 0.2, Delta: 0.1, Seed: 5}
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+	want, err := inst.Approximate(context.Background(), mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Prepare().Approximate(context.Background(), mode, q, ocqa.Tuple{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value || got.Samples != want.Samples {
+		t.Fatalf("cold Prepared diverged from Instance: (%v, %d) vs (%v, %d)",
+			got.Value, got.Samples, want.Value, want.Samples)
+	}
+	if got.Acct.ReusedDraws != 0 {
+		t.Fatalf("cold path reported reused draws: %d", got.Acct.ReusedDraws)
+	}
+}
+
+// TestDeltaPlanRoutes checks the planner's warm routing: delta-exact
+// for fully enumerable decompositions, delta-stratified when a cluster
+// must be sampled, and the classic DKLR route on cold generations.
+func TestDeltaPlanRoutes(t *testing.T) {
+	mode := ocqa.Mode{Gen: ocqa.UniformRepairs}
+	opts := ocqa.ApproxOptions{Epsilon: 0.2, Delta: 0.1, Seed: 1}
+
+	// Cold: classic route.
+	pCold, qBig := stratifiedFixture(t)
+	plan, err := pCold.PlanApproximate(mode, qBig, true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Route != ocqa.RouteDKLR {
+		t.Fatalf("cold route = %q, want %q", plan.Route, ocqa.RouteDKLR)
+	}
+
+	// Warm + sampled cluster: delta-stratified.
+	f, _ := ocqa.ParseFact("R(zz,w)")
+	pWarm, _, err := pCold.ApplyInsert(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err = pWarm.PlanApproximate(mode, qBig, true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Route != ocqa.RouteDeltaStratified {
+		t.Fatalf("warm sampled route = %q, want %q", plan.Route, ocqa.RouteDeltaStratified)
+	}
+
+	// Warm + small blocks: delta-exact, zero draws.
+	instSmall := mustInstance(t, "R(a,x)\nR(a,y)\nR(b,x)", "R: A1 -> A2")
+	pSmall, _, err := instSmall.Prepare().ApplyInsert(mustFact(t, "R(b,q)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSmall := mustQuery(t, "Ans() :- R(k, 'x')")
+	plan, err = pSmall.PlanApproximate(mode, qSmall, true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Route != ocqa.RouteDeltaExact {
+		t.Fatalf("warm enumerable route = %q, want %q", plan.Route, ocqa.RouteDeltaExact)
+	}
+	if plan.PredictedDraws != 0 || plan.RequiredDraws != 0 {
+		t.Fatalf("delta-exact plan predicts draws: required=%d predicted=%d",
+			plan.RequiredDraws, plan.PredictedDraws)
+	}
+}
+
+func mustFact(t *testing.T, s string) ocqa.Fact {
+	t.Helper()
+	f, err := ocqa.ParseFact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestDeltaExactAtScaleBeyondEnumeration pins the tentpole's exact
+// payoff: an instance far past any enumeration budget still answers
+// exact M^ur probabilities through the factorization, and the answer
+// matches the closed form 1 − Π(1 − p_c).
+func TestDeltaExactAtScaleBeyondEnumeration(t *testing.T) {
+	facts := ""
+	for b := 0; b < 2000; b++ {
+		for i := 0; i < 4; i++ {
+			facts += fmt.Sprintf("R(k%d,v%d)\n", b, i)
+		}
+	}
+	inst := mustInstance(t, facts, "R: A1 -> A2")
+	p := inst.Prepare()
+	q := mustQuery(t, "Ans() :- R('k0', 'v0')")
+	got, err := p.ExactProbability(ocqa.Mode{Gen: ocqa.UniformRepairs}, q, ocqa.Tuple{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := big.NewRat(1, 5); got.Cmp(want) != 0 {
+		t.Fatalf("P = %v, want %v", got, want)
+	}
+	// The bare core engine refuses this size; the Prepared path is the
+	// only exact route.
+	if _, err := inst.ExactProbability(ocqa.Mode{Gen: ocqa.UniformRepairs}, q, ocqa.Tuple{}, 100000); err == nil {
+		t.Fatal("core enumeration unexpectedly succeeded at 8000 facts")
+	}
+}

@@ -218,6 +218,124 @@ func (c *Compiled) bindings(mask rel.Subset, useMask bool, preBound [][2]int32, 
 	c.run(st, preBound)
 }
 
+// AnswerOf materialises the answer tuple of a complete binding, as
+// yielded by AnchoredMatches. Boolean queries answer the empty tuple.
+func (c *Compiled) AnswerOf(binding []int32) Tuple {
+	syms := c.d.Symbols()
+	tup := make(Tuple, len(c.ansSlots))
+	for i, slot := range c.ansSlots {
+		tup[i] = syms.Str(binding[slot])
+	}
+	return tup
+}
+
+// AnchoredMatches enumerates the homomorphic images whose atom ai maps
+// to the fact at global index fi — the incremental witness-discovery
+// primitive: after one fact is inserted, the new images are exactly the
+// ones anchored at it (for some atom), so witness maintenance costs an
+// anchored search per atom instead of a full re-enumeration. The
+// anchored atom is unified against the fact up front and skipped by the
+// search, so no scan of its relation happens; only the remaining atoms
+// are explored under the anchored binding. yield receives the slot
+// binding and per-atom matched fact indices under the same reuse rules
+// as bindings.
+func (c *Compiled) AnchoredMatches(ai, fi int, yield func(binding []int32, facts []int) bool) {
+	if c.unsat || ai < 0 || ai >= len(c.atoms) {
+		return
+	}
+	a := &c.atoms[ai]
+	d := c.d
+	if d.RelID(fi) != a.rid {
+		return
+	}
+	row := d.ArgIDs(fi)
+	if len(row) != len(a.terms) {
+		return
+	}
+	st := c.newState(yield)
+	// Unify the anchored atom against the fact: constants must agree,
+	// variables bind (repeated variables must agree with themselves).
+	for i, t := range a.terms {
+		cid := row[i]
+		if !t.isVar {
+			if t.id != cid {
+				return
+			}
+			continue
+		}
+		if prev := st.binding[t.id]; prev >= 0 {
+			if prev != cid {
+				return
+			}
+			continue
+		}
+		st.binding[t.id] = cid
+	}
+	st.facts[ai] = fi
+	order := make([]int, 0, len(c.order)-1)
+	for _, oi := range c.order {
+		if oi != ai {
+			order = append(order, oi)
+		}
+	}
+	c.searchOrder(st, order, 0)
+}
+
+// searchOrder is search over an explicit atom order — the anchored
+// search's walk over the non-anchored atoms.
+func (c *Compiled) searchOrder(st *searchState, order []int, depth int) bool {
+	if depth == len(order) {
+		return st.yield(st.binding, st.facts)
+	}
+	ai := order[depth]
+	a := &c.atoms[ai]
+	d := c.d
+	lo, hi := d.RelRangeID(a.rid)
+	for idx := lo; idx < hi; idx++ {
+		if st.useMask && !st.mask.Has(idx) {
+			continue
+		}
+		row := d.ArgIDs(idx)
+		if len(row) != len(a.terms) {
+			continue
+		}
+		mark := len(st.touched)
+		ok := true
+		for i, t := range a.terms {
+			cid := row[i]
+			if !t.isVar {
+				if t.id != cid {
+					ok = false
+					break
+				}
+				continue
+			}
+			if prev := st.binding[t.id]; prev >= 0 {
+				if prev != cid {
+					ok = false
+					break
+				}
+				continue
+			}
+			st.binding[t.id] = cid
+			st.touched = append(st.touched, t.id)
+		}
+		if ok {
+			st.facts[ai] = idx
+			if !c.searchOrder(st, order, depth+1) {
+				st.unbind(mark)
+				return false
+			}
+		}
+		st.unbind(mark)
+	}
+	return true
+}
+
+// NumAtoms reports the body size — the anchor positions AnchoredMatches
+// accepts.
+func (c *Compiled) NumAtoms() int { return len(c.atoms) }
+
 // homomorphism materialises the string view of a complete binding.
 func (c *Compiled) homomorphism(binding []int32) Homomorphism {
 	syms := c.d.Symbols()

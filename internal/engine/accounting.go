@@ -37,6 +37,13 @@ type Accounting struct {
 	// Cancelled reports that the run was stopped by its context before
 	// completing its budget or meeting its rule.
 	Cancelled bool
+	// ReusedDraws counts draws whose statistics were carried over from
+	// a previous generation's strata instead of being redrawn — the
+	// delta-stratified estimation path sets it; the engine's own loops
+	// never do. Draws remains the fresh work of THIS run, so
+	// Draws + ReusedDraws is the statistical weight behind the
+	// estimate.
+	ReusedDraws int64
 }
 
 // Wall returns the run's wall-clock duration.

@@ -1,7 +1,7 @@
 // Package harness is the randomized differential verification harness:
 // it machine-checks every operational semantics of the production
 // engines against the brute-force oracle on streams of random
-// scenarios. One run performs three audits:
+// scenarios. One run performs four audits:
 //
 //  1. Exact differential — core.ExactProbability, Semantics,
 //     ConsistentAnswers (the shared multi-tuple pass) and the facade's
@@ -19,6 +19,14 @@
 //     snapshot+WAL store; after close + reopen the reloaded instance
 //     must agree with the live one and with a fresh oracle built on
 //     the reloaded state.
+//  4. Delta traces — random insert/delete traces are played through the
+//     Prepared.ApplyInsert/ApplyDelete lineage (the incremental
+//     estimation layer: per-block factor caching, maintained witness
+//     sets, stratified draw reuse); after every mutation the lineage's
+//     exact answers must be big.Rat-equal to a cold from-scratch
+//     instance (and to the oracle, when in budget) under all six modes,
+//     and its warm stratified estimates must land inside the stated
+//     (ε, δ) envelope around the cold exact probability.
 //
 // The harness is deterministic in Config.Seed. It is invoked by
 // `ocqa-bench -oracle` (the CI differential gate) and, at reduced
@@ -68,6 +76,12 @@ type Config struct {
 	// the durable store (default 6); TraceOps the mutations per trace
 	// (default 24).
 	Traces, TraceOps int
+	// DeltaTraces is the number of mutation traces played through the
+	// Prepared.ApplyInsert/ApplyDelete incremental-estimation lineage
+	// (default 4); DeltaOps the mutations per trace (default 12). After
+	// every mutation the warm lineage is checked against a cold
+	// instance and the oracle under all six modes.
+	DeltaTraces, DeltaOps int
 	// Budget caps the oracle's sequence-tree walk per instance.
 	Budget int
 	// TraceDir hosts the store directories ("" = os.TempDir()).
@@ -98,6 +112,12 @@ func (c *Config) fill() {
 	if c.TraceOps <= 0 {
 		c.TraceOps = 24
 	}
+	if c.DeltaTraces <= 0 {
+		c.DeltaTraces = 4
+	}
+	if c.DeltaOps <= 0 {
+		c.DeltaOps = 12
+	}
 	if c.Budget <= 0 {
 		c.Budget = oracle.DefaultBudget
 	}
@@ -124,6 +144,15 @@ type Report struct {
 	EstZeroChecks      int
 	// Traces is the number of store replay traces completed.
 	Traces int
+	// DeltaTraces is the number of incremental-lineage traces completed;
+	// DeltaChecks counts (step, mode) comparisons against the cold
+	// instance and the oracle. DeltaEstRuns / DeltaEstMisses /
+	// DeltaEstAllowed are the warm stratified-estimate envelope trials,
+	// misses and miss budget, held separately from part 2 so a delta
+	// regression cannot hide inside the classic estimators' slack.
+	DeltaTraces, DeltaChecks     int
+	DeltaEstRuns, DeltaEstMisses int
+	DeltaEstAllowed              float64
 	// Failures lists every divergence with a reproducible description.
 	Failures []string
 }
@@ -147,6 +176,8 @@ func (r *Report) Format() string {
 	fmt.Fprintf(&b, "estimator envelopes: %d/%d misses (budget %.1f), %d zero-probability targets exact\n",
 		r.EstMisses, r.EstRuns, r.EstAllowed, r.EstZeroChecks)
 	fmt.Fprintf(&b, "store replay traces: %d\n", r.Traces)
+	fmt.Fprintf(&b, "delta traces: %d traces, %d mode checks, %d/%d estimate misses (budget %.1f)\n",
+		r.DeltaTraces, r.DeltaChecks, r.DeltaEstMisses, r.DeltaEstRuns, r.DeltaEstAllowed)
 	if r.OK() {
 		b.WriteString("PASS: every semantics agrees with the brute-force oracle\n")
 	} else {
@@ -162,7 +193,7 @@ func (r *Report) Format() string {
 // one genuine bug tends to fail thousands of comparisons.
 const maxFailures = 12
 
-// Run executes the three audits.
+// Run executes the four audits.
 func Run(cfg Config) (*Report, error) {
 	cfg.fill()
 	rep := &Report{Cells: map[string]int{}}
@@ -180,6 +211,9 @@ func Run(cfg Config) (*Report, error) {
 		if err := storeTraces(cfg, rep, logf); err != nil {
 			return rep, err
 		}
+	}
+	if len(rep.Failures) < maxFailures {
+		deltaTraces(cfg, rep, logf)
 	}
 	return rep, nil
 }
@@ -695,6 +729,203 @@ func replayTrace(cfg Config, rep *Report, rng *rand.Rand, sc workload.Scenario, 
 		}
 	}
 	return nil
+}
+
+// --- part 4: incremental-lineage (delta) traces ----------------------------
+
+func deltaTraces(cfg Config, rep *Report, logf func(string, ...any)) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	// Primary keys under M^ur are the delta fast path (per-block factor
+	// caching, stratified draw reuse); the Keys and general-FD entries
+	// ride along to pin the fallback — a Prepared that cannot route
+	// delta must still answer exactly like a cold instance.
+	rotation := []workload.ScenarioSpec{
+		{Class: fd.PrimaryKeys, Shape: workload.ShapeBlocks, AnswerVars: false},
+		{Class: fd.PrimaryKeys, Shape: workload.ShapeBlocks, AnswerVars: true},
+		{Class: fd.Keys},
+		{Class: fd.GeneralFDs},
+	}
+	for j := 0; j < cfg.DeltaTraces && len(rep.Failures) < maxFailures; j++ {
+		sc := workload.RandomScenario(rng, rotation[j%len(rotation)])
+		deltaTrace(cfg, rep, rng, sc, j)
+		rep.DeltaTraces++
+	}
+	rep.DeltaEstAllowed = cfg.Delta*float64(rep.DeltaEstRuns) +
+		3*math.Sqrt(cfg.Delta*(1-cfg.Delta)*float64(rep.DeltaEstRuns))
+	logf("delta traces: %d traces, %d mode checks, %d/%d estimate misses (allowed %.1f)",
+		rep.DeltaTraces, rep.DeltaChecks, rep.DeltaEstMisses, rep.DeltaEstRuns, rep.DeltaEstAllowed)
+	if float64(rep.DeltaEstMisses) > rep.DeltaEstAllowed {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"delta stratified coverage below stated confidence: %d/%d misses exceed δ=%v budget %.1f",
+			rep.DeltaEstMisses, rep.DeltaEstRuns, cfg.Delta, rep.DeltaEstAllowed))
+	}
+}
+
+// deltaTrace advances one Prepared lineage through random mutations via
+// ApplyInsert/ApplyDelete — never rebuilding it — and after every
+// mutation demands agreement with a cold from-scratch instance and the
+// oracle (deltaStep). The lineage accumulates warm factor caches,
+// witness images and draw strata across the whole trace, so a stale
+// cache entry surfaces as a divergence at the step that exposes it.
+func deltaTrace(cfg Config, rep *Report, rng *rand.Rand, sc workload.Scenario, trace int) {
+	p := ocqa.NewInstance(sc.DB, sc.Sigma).PrepareLazy()
+	rels := sc.Schema.Relations()
+	for k := 0; k < cfg.DeltaOps && len(rep.Failures) < maxFailures; k++ {
+		mutated := false
+		insert := p.DB().Len() == 0 || (p.DB().Len() < 9 && rng.Intn(2) == 0)
+		if insert {
+			if f, ok := insertableFact(rng, p.Instance, rels); ok {
+				np, _, err := p.ApplyInsert(f)
+				if err != nil {
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"delta trace %d: ApplyInsert(%v): %v\n  %s", trace, f, err, describe(sc, core.Mode{})))
+					return
+				}
+				p, mutated = np, true
+			} else {
+				insert = false
+			}
+		}
+		if !insert && p.DB().Len() > 0 {
+			idx := rng.Intn(p.DB().Len())
+			np, err := p.ApplyDelete(idx)
+			if err != nil {
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"delta trace %d: ApplyDelete(%d): %v\n  %s", trace, idx, err, describe(sc, core.Mode{})))
+				return
+			}
+			p, mutated = np, true
+		}
+		if mutated {
+			deltaStep(cfg, rep, p, sc, trace, int64(1000*trace+k))
+		}
+	}
+}
+
+// deltaStep demands three-way agreement at the lineage's current state:
+// the warm Prepared (delta-routed where eligible), a cold instance on
+// the same database, and the oracle — exact answers bitwise, warm
+// stratified estimates inside the (ε, δ) envelope.
+func deltaStep(cfg Config, rep *Report, p *ocqa.Prepared, sc workload.Scenario, trace int, estSalt int64) {
+	db := p.DB()
+	orc, err := oracle.NewWithBudget(db, sc.Sigma, cfg.Budget)
+	if err != nil {
+		return // mutated past brute-force reach; later steps may shrink back
+	}
+	cold := ocqa.NewInstance(db, sc.Sigma)
+	fail := func(mode core.Mode, format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(
+			"delta trace %d: %s\n  mode=%s class=%v q=%q Σ=%s D:\n%s",
+			trace, fmt.Sprintf(format, args...), mode.Symbol(), sc.Spec.Class,
+			sc.Query.String(), sc.Sigma, parse.FormatDatabase(db)))
+	}
+	for _, mode := range core.AllModes() {
+		wantAns, err := orc.Answers(mode, sc.Query)
+		if err != nil {
+			return
+		}
+		rep.DeltaChecks++
+
+		gotAns, err := p.ConsistentAnswers(mode, sc.Query, 0)
+		if err != nil {
+			fail(mode, "warm ConsistentAnswers error: %v", err)
+			continue
+		}
+		if msg := compareAnswers(wantAns, gotAns); msg != "" {
+			fail(mode, "warm ConsistentAnswers ≠ oracle: %s", msg)
+		}
+		coldAns, err := cold.ConsistentAnswers(mode, sc.Query, 0)
+		if err != nil {
+			fail(mode, "cold ConsistentAnswers error: %v", err)
+		} else if msg := compareAnswerLists(coldAns, gotAns); msg != "" {
+			fail(mode, "warm ConsistentAnswers ≠ cold recomputation: %s", msg)
+		}
+
+		// Single-tuple exact probabilities through the delta-routed
+		// facade: the present (or Boolean) tuple plus a certainly-absent
+		// one, which exercises the zero-witness short-circuit.
+		var tups []cq.Tuple
+		if len(sc.Query.AnswerVars) == 0 {
+			tups = append(tups, cq.Tuple{})
+		} else {
+			if len(wantAns) > 0 {
+				tups = append(tups, wantAns[0].Tuple)
+			}
+			absent := make(cq.Tuple, len(sc.Query.AnswerVars))
+			for i := range absent {
+				absent[i] = "@absent"
+			}
+			tups = append(tups, absent)
+		}
+		for _, tup := range tups {
+			want, err := orc.Probability(mode, sc.Query, tup)
+			if err != nil {
+				continue
+			}
+			got, err := p.ExactProbability(mode, sc.Query, tup, 0)
+			if err != nil {
+				fail(mode, "warm ExactProbability(%v) error: %v", tup, err)
+				continue
+			}
+			if got.Cmp(want) != 0 {
+				fail(mode, "warm ExactProbability ≠ oracle: tuple %v: warm %s, oracle %s",
+					tup, got.RatString(), want.RatString())
+			}
+		}
+	}
+
+	// Warm stratified estimates under the delta-eligible modes must keep
+	// the stated multiplicative envelope around oracle truth.
+	if sc.Spec.Class != fd.PrimaryKeys {
+		return // delta routing needs the primary-key product measure
+	}
+	for i, mode := range []core.Mode{{Gen: core.UniformRepairs}, {Gen: core.UniformRepairs, Singleton: true}} {
+		tup := cq.Tuple{}
+		if len(sc.Query.AnswerVars) > 0 {
+			ans, err := orc.Answers(mode, sc.Query)
+			if err != nil || len(ans) == 0 {
+				continue
+			}
+			tup = ans[0].Tuple
+		}
+		truth, err := orc.Probability(mode, sc.Query, tup)
+		if err != nil {
+			continue
+		}
+		pt, _ := truth.Float64()
+		if pt == 0 {
+			continue
+		}
+		est, err := p.Approximate(noCtx, mode, sc.Query, tup, ocqa.ApproxOptions{
+			Epsilon: cfg.Epsilon, Delta: cfg.Delta, Seed: cfg.Seed + 2*estSalt + int64(i) + 53,
+		})
+		if err != nil {
+			fail(mode, "warm Approximate error: %v", err)
+			continue
+		}
+		rep.DeltaEstRuns++
+		if !within(est.Value, pt, cfg.Epsilon) {
+			rep.DeltaEstMisses++
+		}
+	}
+}
+
+// compareAnswerLists compares two engine-produced answer lists (both
+// sorted by tuple key) for bitwise big.Rat agreement.
+func compareAnswerLists(want, got []core.ConsistentAnswer) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("%d tuples vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Tuple.Equal(want[i].Tuple) {
+			return fmt.Sprintf("tuple[%d] %v vs %v", i, got[i].Tuple, want[i].Tuple)
+		}
+		if got[i].Prob.Cmp(want[i].Prob) != 0 {
+			return fmt.Sprintf("tuple %v: %s vs %s",
+				got[i].Tuple, got[i].Prob.RatString(), want[i].Prob.RatString())
+		}
+	}
+	return ""
 }
 
 // insertableFact draws a fact not yet in the instance whose insertion

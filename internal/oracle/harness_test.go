@@ -20,6 +20,8 @@ func TestDifferentialHarnessReduced(t *testing.T) {
 		EstTrials:    6,
 		Traces:       3,
 		TraceOps:     18,
+		DeltaTraces:  3,
+		DeltaOps:     10,
 		TraceDir:     t.TempDir(),
 	}
 	if testing.Short() {
@@ -27,6 +29,7 @@ func TestDifferentialHarnessReduced(t *testing.T) {
 		cfg.EstScenarios = 1
 		cfg.EstTrials = 3
 		cfg.Traces = 1
+		cfg.DeltaTraces = 1
 	}
 	rep, err := harness.Run(cfg)
 	if err != nil {
@@ -44,6 +47,15 @@ func TestDifferentialHarnessReduced(t *testing.T) {
 	}
 	if rep.Traces != cfg.Traces {
 		t.Errorf("completed %d traces, wanted %d", rep.Traces, cfg.Traces)
+	}
+	if rep.DeltaTraces != cfg.DeltaTraces {
+		t.Errorf("completed %d delta traces, wanted %d", rep.DeltaTraces, cfg.DeltaTraces)
+	}
+	if rep.DeltaChecks == 0 {
+		t.Error("delta trace audit performed zero mode checks")
+	}
+	if !testing.Short() && rep.DeltaEstRuns == 0 {
+		t.Error("delta trace audit ran zero stratified-envelope trials")
 	}
 	// Coverage must span all three constraint classes (the cell string
 	// leads with the class name, before the per-mode tags).

@@ -121,6 +121,12 @@ type CostInfo struct {
 	Draws int64 `json:"draws"`
 	// Chunks counts the cancellation-check chunks the draw loop passed.
 	Chunks int64 `json:"chunks,omitempty"`
+	// ReusedDraws counts draws whose statistics were carried over from a
+	// previous generation's strata by the delta-stratified estimator
+	// instead of being redrawn. Draws stays the fresh work of this
+	// request, so Draws + ReusedDraws is the statistical weight behind
+	// the estimate.
+	ReusedDraws int64 `json:"reused_draws,omitempty"`
 	// Workers is the parallel fan-out of the sampling pass (0 when no
 	// sampling ran).
 	Workers int `json:"workers"`
@@ -176,6 +182,17 @@ type QueryResponse struct {
 	Cost *CostInfo `json:"cost,omitempty"`
 	// Explain is the introspection payload, present only with ?explain=1.
 	Explain *ExplainInfo `json:"explain,omitempty"`
+}
+
+// WatchResponse is the body of a successful GET .../watch long-poll:
+// the instance generation that satisfied the watch and the query result
+// computed against it. A watch that sees no mutation within the wait
+// window answers 204 No Content instead.
+type WatchResponse struct {
+	// Gen is the instance's mutation generation the result reflects;
+	// pass it back as ?since= to wait for the next change.
+	Gen    int64          `json:"gen"`
+	Result *QueryResponse `json:"result"`
 }
 
 // BatchRequest is the body of POST .../batch.

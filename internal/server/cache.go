@@ -30,6 +30,14 @@ type resultCache struct {
 type cacheItem struct {
 	key  string
 	resp QueryResponse
+	// req and gen are the normalized request and instance generation the
+	// entry was computed for — recorded only by putQuery, and what lets
+	// a mutation delta-refresh the entry (re-execute req against the new
+	// generation) instead of merely dropping it. hasReq distinguishes
+	// refreshable entries from plain puts.
+	req    QueryRequest
+	gen    int64
+	hasReq bool
 }
 
 // newResultCache returns a cache holding at most capacity entries;
@@ -109,19 +117,30 @@ func (c *resultCache) get(key string) (QueryResponse, bool) {
 // put stores a deep copy of resp, so later mutations by the caller
 // cannot reach the cached entry either.
 func (c *resultCache) put(key string, resp QueryResponse) {
+	c.putItem(&cacheItem{key: key, resp: resp})
+}
+
+// putQuery stores resp like put, additionally recording the normalized
+// request and the instance generation it was computed for, which makes
+// the entry delta-refreshable after a mutation (see takeRefreshable).
+func (c *resultCache) putQuery(key string, gen int64, req QueryRequest, resp QueryResponse) {
+	c.putItem(&cacheItem{key: key, resp: resp, req: req, gen: gen, hasReq: true})
+}
+
+func (c *resultCache) putItem(it *cacheItem) {
 	if c.cap <= 0 {
 		return
 	}
-	resp = cloneResponse(resp)
-	resp.Cached = false
+	it.resp = cloneResponse(it.resp)
+	it.resp.Cached = false
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	if el, ok := c.items[it.key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheItem).resp = resp
+		*el.Value.(*cacheItem) = *it
 		return
 	}
-	c.items[key] = c.ll.PushFront(&cacheItem{key: key, resp: resp})
+	c.items[it.key] = c.ll.PushFront(it)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -133,17 +152,33 @@ func (c *resultCache) put(key string, resp QueryResponse) {
 // invalidate drops every entry belonging to the instance (called when
 // the instance is deregistered).
 func (c *resultCache) invalidate(instanceID string) {
+	c.takeRefreshable(instanceID, 0, 0)
+}
+
+// takeRefreshable drops every entry belonging to the instance — exactly
+// what invalidate does — and additionally returns the normalized
+// requests of up to limit dropped entries whose generation predates
+// beforeGen, most recently used first. A mutation uses the returned
+// requests to re-execute (and re-cache, under the new generation's key)
+// the instance's hottest cached computations, so churned instances keep
+// answering warm instead of taking a full cold miss per entry.
+func (c *resultCache) takeRefreshable(instanceID string, beforeGen int64, limit int) []QueryRequest {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	prefix := instanceID + "\x00"
+	var reqs []QueryRequest
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		if it := el.Value.(*cacheItem); strings.HasPrefix(it.key, prefix) {
+			if it.hasReq && it.gen < beforeGen && len(reqs) < limit {
+				reqs = append(reqs, it.req)
+			}
 			c.ll.Remove(el)
 			delete(c.items, it.key)
 		}
 		el = next
 	}
+	return reqs
 }
 
 func (c *resultCache) len() int {

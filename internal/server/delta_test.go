@@ -1,0 +1,305 @@
+package server
+
+// Server-level tests of the delta-aware incremental estimation layer:
+// mutation handlers threading Prepared.ApplyInsert/ApplyDelete, the
+// result cache's post-mutation delta-refresh, the /watch long-poll, the
+// reused-draws cost accounting, and the delta counter families on
+// /varz and /metrics. The names deliberately match the metrics-lint CI
+// job's -run filter (Metrics|Varz|Cost|Cache), so the whole file runs
+// under -race there too.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stratifiedFixture builds the two-block fixture whose single witness
+// cluster is too large to enumerate (65×65 outcomes > the exact cap),
+// forcing the delta path onto a sampled stratum: blocks 'b0' and 'b1'
+// of 64 facts each under the key FD.
+func stratifiedFixture() string {
+	var b strings.Builder
+	for blk := 0; blk < 2; blk++ {
+		for i := 0; i < 64; i++ {
+			fmt.Fprintf(&b, "R(b%d,v%d_%d)\n", blk, blk, i)
+		}
+	}
+	return b.String()
+}
+
+const stratifiedQuery = "Ans() :- R('b0', x), R('b1', y)"
+
+func TestCacheDeltaRefreshAfterMutation(t *testing.T) {
+	ts, s := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	url := ts.URL + "/v1/instances/" + reg.ID
+
+	q := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var cold QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q, &cold); status != http.StatusOK {
+		t.Fatalf("cold query: status %d", status)
+	}
+	if cold.Cached {
+		t.Fatal("first query served from an empty cache")
+	}
+
+	var mut FactMutationResponse
+	if status := do(t, http.MethodPost, url+"/facts", InsertFactRequest{Fact: "Emp(2,Carol)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert: status %d", status)
+	}
+
+	// The mutation delta-refreshed the cached entry in place: the next
+	// lookup is a HIT, and its answers are the new generation's — equal
+	// bitwise to a from-scratch registration of the mutated database.
+	var warm QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q, &warm); status != http.StatusOK {
+		t.Fatalf("post-mutation query: status %d", status)
+	}
+	if !warm.Cached {
+		t.Fatal("post-mutation query missed the cache: delta-refresh did not re-cache the entry")
+	}
+	fresh := register(t, ts.URL, pkFacts+"Emp(2,Carol)\n", pkFDs)
+	var want QueryResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances/"+fresh.ID+"/query", q, &want); status != http.StatusOK {
+		t.Fatalf("fresh query: status %d", status)
+	}
+	if !reflect.DeepEqual(warm.Answers, want.Answers) {
+		t.Fatalf("refreshed answers %+v != from-scratch %+v", warm.Answers, want.Answers)
+	}
+	if reflect.DeepEqual(warm.Answers, cold.Answers) {
+		t.Fatalf("refreshed answers unchanged by a conflicting insert: %+v", warm.Answers)
+	}
+	if n := s.met.cacheRefreshes.Value(); n < 1 {
+		t.Fatalf("cacheRefreshes = %d, want >= 1", n)
+	}
+	if s.met.deltaRefreshLatency.Count() < 1 {
+		t.Fatal("delta-refresh latency histogram observed nothing")
+	}
+}
+
+func TestCacheDeltaRefreshDisabled(t *testing.T) {
+	ts, s := newTestServer(t, Options{DeltaRefreshLimit: -1})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	url := ts.URL + "/v1/instances/" + reg.ID
+	q := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var resp QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q, &resp); status != http.StatusOK {
+		t.Fatalf("query: status %d", status)
+	}
+	var mut FactMutationResponse
+	if status := do(t, http.MethodPost, url+"/facts", InsertFactRequest{Fact: "Emp(2,Carol)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert: status %d", status)
+	}
+	if status := do(t, http.MethodPost, url+"/query", q, &resp); status != http.StatusOK {
+		t.Fatalf("post-mutation query: status %d", status)
+	}
+	if resp.Cached {
+		t.Fatal("refresh disabled, yet the post-mutation query hit the cache")
+	}
+	if n := s.met.cacheRefreshes.Value(); n != 0 {
+		t.Fatalf("cacheRefreshes = %d with refresh disabled", n)
+	}
+}
+
+// TestCostReusedDrawsAcrossMutation drives the delta-stratified
+// estimator through the HTTP API: after a mutation warms the prepared
+// instance, the first approx query pays fresh draws for its sampled
+// stratum and a later query (different seed, so a different cache key)
+// reuses the stored stratum statistics — zero fresh draws, the reused
+// weight reported in cost.reused_draws.
+func TestCostReusedDrawsAcrossMutation(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	reg := register(t, ts.URL, stratifiedFixture(), "R: A1 -> A2\n")
+	url := ts.URL + "/v1/instances/" + reg.ID
+
+	// Warm the delta state: an insert into a third block leaves the
+	// query's witnesses (over b0 and b1) untouched.
+	var mut FactMutationResponse
+	if status := do(t, http.MethodPost, url+"/facts", InsertFactRequest{Fact: "R(b2,z)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert: status %d", status)
+	}
+
+	q := QueryRequest{Generator: "ur", Mode: "approx", Query: stratifiedQuery,
+		Epsilon: 0.25, Delta: 0.2, Seed: 5, Workers: 1}
+	var first QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q, &first); status != http.StatusOK {
+		t.Fatalf("first approx query: status %d", status)
+	}
+	if first.Cost == nil || first.Cost.Draws == 0 {
+		t.Fatalf("first warm query reported no fresh draws: %+v", first.Cost)
+	}
+	if first.Cost.ReusedDraws != 0 {
+		t.Fatalf("first warm query reused %d draws with no prior stratum", first.Cost.ReusedDraws)
+	}
+
+	q2 := q
+	q2.Seed = 6 // different cache key, same stratum signature
+	var second QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q2, &second); status != http.StatusOK {
+		t.Fatalf("second approx query: status %d", status)
+	}
+	if second.Cost == nil || second.Cost.ReusedDraws == 0 {
+		t.Fatalf("second query reused nothing: %+v", second.Cost)
+	}
+	if second.Cost.Draws != 0 {
+		t.Fatalf("second query drew %d fresh samples despite a reusable stratum", second.Cost.Draws)
+	}
+	if second.Cost.ReusedDraws != first.Cost.Draws {
+		t.Fatalf("reused_draws = %d, want the first run's fresh draws %d",
+			second.Cost.ReusedDraws, first.Cost.Draws)
+	}
+	if second.Answers[0].Value != first.Answers[0].Value {
+		t.Fatalf("reused estimate %v != original %v", second.Answers[0].Value, first.Answers[0].Value)
+	}
+}
+
+func TestDeltaVarzAndMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	url := ts.URL + "/v1/instances/" + reg.ID
+
+	q := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var resp QueryResponse
+	if status := do(t, http.MethodPost, url+"/query", q, &resp); status != http.StatusOK {
+		t.Fatalf("query: status %d", status)
+	}
+	var mut FactMutationResponse
+	if status := do(t, http.MethodPost, url+"/facts", InsertFactRequest{Fact: "Emp(2,Carol)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert: status %d", status)
+	}
+
+	var v map[string]any
+	if status := do(t, http.MethodGet, ts.URL+"/varz", nil, &v); status != http.StatusOK {
+		t.Fatalf("varz: status %d", status)
+	}
+	for _, field := range []string{
+		"delta_refreshes", "delta_factor_cache_hits", "delta_factor_cache_misses",
+		"delta_reused_draws", "result_cache_delta_refreshes",
+	} {
+		if _, ok := v[field]; !ok {
+			t.Errorf("varz missing %q", field)
+		}
+	}
+	// The mutation delta-refreshed one exact cached entry, which the
+	// always-on exact delta path serves: both layers must have moved.
+	if n, _ := v["result_cache_delta_refreshes"].(float64); n < 1 {
+		t.Errorf("result_cache_delta_refreshes = %v, want >= 1", v["result_cache_delta_refreshes"])
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"ocqa_delta_refreshes_total",
+		"ocqa_delta_factor_cache_hits_total",
+		"ocqa_delta_factor_cache_misses_total",
+		"ocqa_delta_reused_draws_total",
+		"ocqa_result_cache_delta_refreshes_total",
+		"ocqa_delta_refresh_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %q", family)
+		}
+	}
+}
+
+// TestWatchLongPollServesRefreshedCache covers the /watch endpoint:
+// since=0 answers immediately with the current generation, a watch at
+// the current generation blocks until a mutation lands and then returns
+// the refreshed answer, and an idle window answers 204.
+func TestWatchLongPollServesRefreshedCache(t *testing.T) {
+	ts, _ := newTestServer(t, Options{WatchWait: 5 * time.Second})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	url := ts.URL + "/v1/instances/" + reg.ID
+	watchURL := url + "/watch?generator=ur&mode=exact&query=" +
+		"Ans(n)%20:-%20Emp(i,%20n)"
+
+	var first WatchResponse
+	if status := do(t, http.MethodGet, watchURL, nil, &first); status != http.StatusOK {
+		t.Fatalf("initial watch: status %d", status)
+	}
+	if first.Gen != 1 || first.Result == nil || len(first.Result.Answers) == 0 {
+		t.Fatalf("initial watch = %+v, want gen 1 with answers", first)
+	}
+
+	// Long-poll at the current generation while a mutation lands.
+	type watchOut struct {
+		status int
+		resp   WatchResponse
+		err    error
+	}
+	ch := make(chan watchOut, 1)
+	go func() {
+		var out watchOut
+		r, err := http.Get(fmt.Sprintf("%s&since=%d", watchURL, first.Gen))
+		if err != nil {
+			out.err = err
+		} else {
+			defer r.Body.Close()
+			out.status = r.StatusCode
+			out.err = json.NewDecoder(r.Body).Decode(&out.resp)
+		}
+		ch <- out
+	}()
+	time.Sleep(50 * time.Millisecond) // let the watcher park
+	var mut FactMutationResponse
+	if status := do(t, http.MethodPost, url+"/facts", InsertFactRequest{Fact: "Emp(2,Carol)"}, &mut); status != http.StatusOK {
+		t.Fatalf("insert: status %d", status)
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil || out.status != http.StatusOK {
+			t.Fatalf("watch after mutation: status %d, err %v", out.status, out.err)
+		}
+		if out.resp.Gen != 2 {
+			t.Fatalf("watch gen = %d, want 2", out.resp.Gen)
+		}
+		if reflect.DeepEqual(out.resp.Result.Answers, first.Result.Answers) {
+			t.Fatal("watch returned the pre-mutation answers")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch did not wake after the mutation")
+	}
+
+	// An idle watch times out with 204 within the (short) wait window.
+	ts2, _ := newTestServer(t, Options{WatchWait: 50 * time.Millisecond})
+	reg2 := register(t, ts2.URL, pkFacts, pkFDs)
+	idle := ts2.URL + "/v1/instances/" + reg2.ID + "/watch?query=Ans(n)%20:-%20Emp(i,%20n)&generator=ur&mode=exact&since=1"
+	r, err := http.Get(idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNoContent {
+		t.Fatalf("idle watch: status %d, want 204", r.StatusCode)
+	}
+
+	// Malformed and missing parameters are 400s.
+	for _, bad := range []string{
+		url + "/watch",                         // no query
+		watchURL + "&since=x",                  // non-integer since
+		watchURL + "&epsilon=nope&mode=approx", // non-number epsilon
+	} {
+		r, err := http.Get(bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", bad, r.StatusCode)
+		}
+	}
+}

@@ -125,6 +125,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.cache.invalidate(id)
+	// Wake the instance's watchers: their next lookup 404s instead of
+	// blocking out the full wait window on a gone instance.
+	s.watch.changed(id)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted", "id": id})
 }
 
@@ -147,32 +150,36 @@ func mutationError(err error) *httpError {
 }
 
 // mutateInstance runs one copy-on-write mutation under the registry's
-// write lock: derive the new instance, journal the operation, install
-// a fresh entry whose sampler artifacts build lazily on first use, and
-// drop the instance's cached results. The WAL append happens inside
-// the critical section, so the log order is the order the registry
-// applied. Mutations deliberately do NOT run under runWithDeadline:
-// abandoning a write on timeout would report failure for an operation
-// that still commits (and journals) behind the client's back — for an
-// index-addressed API that is actively dangerous. The work is O(‖D‖)
-// bookkeeping, not engine computation, so the response always reflects
-// exactly what was applied; only the compute semaphore is held, to
-// bound simultaneous copy work.
-func (s *Server) mutateInstance(id string, op func(*ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error)) (FactMutationResponse, *httpError) {
+// write lock: derive the new prepared instance, journal the operation,
+// install a fresh entry, and delta-refresh (or drop) the instance's
+// cached results. The op receives — and returns — a *Prepared rather
+// than a bare instance: Prepared.ApplyInsert/ApplyDelete derive the
+// successor generation's estimation state incrementally (per-block
+// factor cache, stratified draw statistics, maintained witness sets),
+// so queries after the mutation pay only for the touched block instead
+// of a cold rebuild. The WAL append happens inside the critical
+// section, so the log order is the order the registry applied.
+// Mutations deliberately do NOT run under runWithDeadline: abandoning a
+// write on timeout would report failure for an operation that still
+// commits (and journals) behind the client's back — for an
+// index-addressed API that is actively dangerous. Only the compute
+// semaphore is held (by the handler), to bound simultaneous copy and
+// refresh work.
+func (s *Server) mutateInstance(id string, op func(*ocqa.Prepared) (*ocqa.Prepared, *FactMutationResponse, error)) (FactMutationResponse, *httpError) {
 	var out FactMutationResponse
-	_, err := s.reg.mutate(id, func(e *instanceEntry) (*instanceEntry, error) {
-		ni, resp, err := op(e.prepared.Instance)
+	ne, err := s.reg.mutate(id, func(e *instanceEntry) (*instanceEntry, error) {
+		np, resp, err := op(e.prepared)
 		if err != nil {
 			return nil, err
 		}
 		out = *resp
-		return &instanceEntry{id: e.id, name: e.name, prepared: ni.PrepareLazy(), created: e.created, gen: e.gen + 1}, nil
+		return &instanceEntry{id: e.id, name: e.name, prepared: np, created: e.created, gen: e.gen + 1}, nil
 	})
 	if err != nil {
 		return out, mutationError(err)
 	}
 	s.met.mutations.Inc()
-	s.cache.invalidate(id)
+	s.refreshAfterMutation(ne)
 	return out, nil
 }
 
@@ -190,8 +197,8 @@ func (s *Server) handleInsertFact(w http.ResponseWriter, r *http.Request) {
 	}
 	s.compute <- struct{}{}
 	defer func() { <-s.compute }()
-	resp, he := s.mutateInstance(id, func(in *ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error) {
-		ni, pos, err := in.InsertFact(f)
+	resp, he := s.mutateInstance(id, func(p *ocqa.Prepared) (*ocqa.Prepared, *FactMutationResponse, error) {
+		np, pos, err := p.ApplyInsert(f)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -200,14 +207,14 @@ func (s *Server) handleInsertFact(w http.ResponseWriter, r *http.Request) {
 				return nil, nil, fmt.Errorf("journalling insert: %w", err)
 			}
 		}
-		return ni, &FactMutationResponse{
+		return np, &FactMutationResponse{
 			ID:            id,
 			Op:            "insert",
 			Fact:          ocqa.FormatFact(f),
 			Index:         pos,
-			Facts:         ni.DB().Len(),
-			Consistent:    ni.IsConsistent(),
-			ConflictPairs: len(ni.Core().ConflictPairs()),
+			Facts:         np.DB().Len(),
+			Consistent:    np.IsConsistent(),
+			ConflictPairs: len(np.Core().ConflictPairs()),
 		}, nil
 	})
 	if he != nil {
@@ -226,12 +233,12 @@ func (s *Server) handleDeleteFact(w http.ResponseWriter, r *http.Request) {
 	}
 	s.compute <- struct{}{}
 	defer func() { <-s.compute }()
-	resp, he := s.mutateInstance(id, func(in *ocqa.Instance) (*ocqa.Instance, *FactMutationResponse, error) {
-		if idx < 0 || idx >= in.DB().Len() {
-			return nil, nil, fmt.Errorf("%w: %d not in [0,%d)", ocqa.ErrFactIndex, idx, in.DB().Len())
+	resp, he := s.mutateInstance(id, func(p *ocqa.Prepared) (*ocqa.Prepared, *FactMutationResponse, error) {
+		if idx < 0 || idx >= p.DB().Len() {
+			return nil, nil, fmt.Errorf("%w: %d not in [0,%d)", ocqa.ErrFactIndex, idx, p.DB().Len())
 		}
-		removed := in.DB().Fact(idx)
-		ni, err := in.DeleteFact(idx)
+		removed := p.DB().Fact(idx)
+		np, err := p.ApplyDelete(idx)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -240,14 +247,14 @@ func (s *Server) handleDeleteFact(w http.ResponseWriter, r *http.Request) {
 				return nil, nil, fmt.Errorf("journalling delete: %w", err)
 			}
 		}
-		return ni, &FactMutationResponse{
+		return np, &FactMutationResponse{
 			ID:            id,
 			Op:            "delete",
 			Fact:          ocqa.FormatFact(removed),
 			Index:         idx,
-			Facts:         ni.DB().Len(),
-			Consistent:    ni.IsConsistent(),
-			ConflictPairs: len(ni.Core().ConflictPairs()),
+			Facts:         np.DB().Len(),
+			Consistent:    np.IsConsistent(),
+			ConflictPairs: len(np.Core().ConflictPairs()),
 		}, nil
 	})
 	if he != nil {
@@ -360,6 +367,7 @@ func costFromAcct(a ocqa.Accounting, elapsed time.Duration) *CostInfo {
 	c := &CostInfo{
 		Draws:       a.Draws,
 		Chunks:      a.Chunks,
+		ReusedDraws: a.ReusedDraws,
 		Workers:     a.Workers,
 		WallSeconds: elapsed.Seconds(),
 		Cancelled:   a.Cancelled,
@@ -632,7 +640,7 @@ func (s *Server) executeQuery(ctx context.Context, e *instanceEntry, req QueryRe
 	// still slip one in; the stray entry is bounded — it occupies one
 	// LRU slot until capacity eviction.
 	if _, ok := s.reg.get(e.id); ok {
-		s.cache.put(key, resp)
+		s.cache.putQuery(key, e.gen, req, resp)
 	}
 	// Attached after the cache put on purpose: the cached entry never
 	// carries an explain payload, so a later hit (explain or not) starts

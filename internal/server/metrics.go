@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	ocqa "repro"
 	"repro/internal/buildinfo"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -37,6 +38,12 @@ type serverMetrics struct {
 	registered     *metrics.Counter
 	mutations      *metrics.Counter
 	evictions      *metrics.Counter
+	// cacheRefreshes counts result-cache entries delta-refreshed in
+	// place after a mutation; deltaRefreshLatency is the per-entry
+	// refresh latency (the mutate-then-requery cost a client no longer
+	// pays).
+	cacheRefreshes      *metrics.Counter
+	deltaRefreshLatency *metrics.Histogram
 
 	// Per-endpoint request observability, fed by ServeHTTP for every
 	// request (the classified endpoint label keeps cardinality fixed).
@@ -90,6 +97,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.registered = r.NewCounter("ocqa_instances_registered_total", "Instance registrations over the server's lifetime.")
 	m.mutations = r.NewCounter("ocqa_fact_mutations_total", "Applied insert-fact and delete-fact operations.")
 	m.evictions = r.NewCounter("ocqa_instance_evictions_total", "Instances evicted by over-capacity registrations.")
+	m.cacheRefreshes = r.NewCounter("ocqa_result_cache_delta_refreshes_total",
+		"Result-cache entries re-executed against the post-mutation generation and re-cached in place.")
+	m.deltaRefreshLatency = r.NewHistogram("ocqa_delta_refresh_seconds",
+		"Latency of one result-cache entry's delta-refresh after a fact mutation.",
+		metrics.ExponentialBuckets(0.0001, 4, 10))
 
 	m.httpRequests = r.NewCounterVec("ocqa_http_requests_total",
 		"HTTP requests by classified endpoint and status code.", "endpoint", "code")
@@ -145,6 +157,14 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return float64(engine.MultiTargets()) })
 	r.NewCounterFunc("ocqa_engine_auto_worker_runs_total", "Estimation runs whose worker count was resolved adaptively.",
 		func() float64 { return float64(engine.AutoWorkerRuns()) })
+	r.NewCounterFunc("ocqa_delta_refreshes_total", "Warm delta-path evaluations served by the incremental estimation layer process-wide.",
+		func() float64 { return float64(ocqa.DeltaRefreshes()) })
+	r.NewCounterFunc("ocqa_delta_factor_cache_hits_total", "Per-block exact factor cache hits in the delta estimation layer.",
+		func() float64 { return float64(ocqa.DeltaFactorCacheHits()) })
+	r.NewCounterFunc("ocqa_delta_factor_cache_misses_total", "Per-block exact factor cache misses (factors recomputed) in the delta estimation layer.",
+		func() float64 { return float64(ocqa.DeltaFactorCacheMisses()) })
+	r.NewCounterFunc("ocqa_delta_reused_draws_total", "Monte-Carlo draws whose statistics were reused from a previous generation's strata instead of being redrawn.",
+		func() float64 { return float64(ocqa.DeltaReusedDraws()) })
 	r.NewGaugeFunc("ocqa_engine_last_auto_workers", "Worker count chosen by the most recent adaptive resolution.",
 		func() float64 { return float64(engine.LastAutoWorkers()) })
 
@@ -265,6 +285,19 @@ type varz struct {
 	// ResultCacheEvictions counts result-cache entries dropped by the
 	// LRU capacity bound (instance-scoped invalidations not included).
 	ResultCacheEvictions int64 `json:"result_cache_evictions"`
+	// DeltaRefreshes counts warm delta-path evaluations served by the
+	// incremental estimation layer (library-wide). DeltaFactorCacheHits
+	// and DeltaFactorCacheMisses split the per-block exact factor cache
+	// lookups behind them; DeltaReusedDraws totals the Monte-Carlo draws
+	// whose statistics were carried over from a previous generation's
+	// strata instead of being redrawn. CacheDeltaRefreshes counts
+	// result-cache entries the server re-executed and re-cached in place
+	// after a mutation.
+	DeltaRefreshes         int64 `json:"delta_refreshes"`
+	DeltaFactorCacheHits   int64 `json:"delta_factor_cache_hits"`
+	DeltaFactorCacheMisses int64 `json:"delta_factor_cache_misses"`
+	DeltaReusedDraws       int64 `json:"delta_reused_draws"`
+	CacheDeltaRefreshes    int64 `json:"result_cache_delta_refreshes"`
 	// CoverageChecks / CoverageWithin total the empirical
 	// (ε, δ)-envelope checks across instances: approx results compared
 	// against a cached exact counterpart, and how many landed within
@@ -313,29 +346,34 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			NumCPU:     buildinfo.NumCPU(),
 			GoMaxProcs: buildinfo.MaxProcs(),
 		},
-		QueriesServed:         m.queriesServed.Value(),
-		ExactQueries:          m.exactQueries.Value(),
-		ApproxQueries:         m.approxQueries.Value(),
-		AnswersQueries:        m.answersQueries.Value(),
-		AnswerTuples:          m.answerTuples.Value(),
-		BatchRequests:         m.batchRequests.Value(),
-		CacheHits:             m.cacheHits.Value(),
-		CacheMisses:           m.cacheMisses.Value(),
-		Refusals:              m.refusals.Value(),
-		Timeouts:              m.timeouts.Value(),
-		Errors:                m.errors.Value(),
-		SampleDraws:           m.sampleDraws.Value(),
-		InstancesRegistered:   m.registered.Value(),
-		FactMutations:         m.mutations.Value(),
-		Evictions:             m.evictions.Value(),
-		SamplerConstructions:  sampler.Constructions(),
-		EngineSamplesDrawn:    engine.SamplesDrawn(),
-		EngineCancelledRuns:   engine.CancelledRuns(),
-		EngineMultiRuns:       engine.MultiRuns(),
-		EngineMultiTargets:    engine.MultiTargets(),
-		EngineAutoWorkerRuns:  engine.AutoWorkerRuns(),
-		EngineLastAutoWorkers: engine.LastAutoWorkers(),
-		ResultCacheEvictions:  s.cache.evicted(),
+		QueriesServed:          m.queriesServed.Value(),
+		ExactQueries:           m.exactQueries.Value(),
+		ApproxQueries:          m.approxQueries.Value(),
+		AnswersQueries:         m.answersQueries.Value(),
+		AnswerTuples:           m.answerTuples.Value(),
+		BatchRequests:          m.batchRequests.Value(),
+		CacheHits:              m.cacheHits.Value(),
+		CacheMisses:            m.cacheMisses.Value(),
+		Refusals:               m.refusals.Value(),
+		Timeouts:               m.timeouts.Value(),
+		Errors:                 m.errors.Value(),
+		SampleDraws:            m.sampleDraws.Value(),
+		InstancesRegistered:    m.registered.Value(),
+		FactMutations:          m.mutations.Value(),
+		Evictions:              m.evictions.Value(),
+		SamplerConstructions:   sampler.Constructions(),
+		EngineSamplesDrawn:     engine.SamplesDrawn(),
+		EngineCancelledRuns:    engine.CancelledRuns(),
+		EngineMultiRuns:        engine.MultiRuns(),
+		EngineMultiTargets:     engine.MultiTargets(),
+		EngineAutoWorkerRuns:   engine.AutoWorkerRuns(),
+		EngineLastAutoWorkers:  engine.LastAutoWorkers(),
+		ResultCacheEvictions:   s.cache.evicted(),
+		DeltaRefreshes:         ocqa.DeltaRefreshes(),
+		DeltaFactorCacheHits:   ocqa.DeltaFactorCacheHits(),
+		DeltaFactorCacheMisses: ocqa.DeltaFactorCacheMisses(),
+		DeltaReusedDraws:       ocqa.DeltaReusedDraws(),
+		CacheDeltaRefreshes:    m.cacheRefreshes.Value(),
 	}
 	m.coverageChecks.Each(func(_ []string, n int64) { v.CoverageChecks += n })
 	m.coverageWithin.Each(func(_ []string, n int64) { v.CoverageWithin += n })

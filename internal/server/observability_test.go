@@ -410,7 +410,10 @@ func TestRequestIDTracing(t *testing.T) {
 // the generation-keyed lifecycle: miss, hit, capacity eviction — in
 // the typed registry and on /varz.
 func TestCacheAndEvictionMetrics(t *testing.T) {
-	ts, srv := newTestServer(t, Options{CacheSize: 2})
+	// Delta refresh disabled: the post-mutation re-query below must be a
+	// genuine miss (refresh would re-execute the dropped entries itself,
+	// recording its own misses and turning the re-query into a hit).
+	ts, srv := newTestServer(t, Options{CacheSize: 2, DeltaRefreshLimit: -1})
 	reg := register(t, ts.URL, pkFacts, pkFDs)
 	base := ts.URL + "/v1/instances/" + reg.ID
 

@@ -127,7 +127,10 @@ func TestMutationMatchesFromScratch(t *testing.T) {
 }
 
 func TestMutationErrorsAndCacheInvalidation(t *testing.T) {
-	ts, _ := newTestServer(t, Options{})
+	// Delta refresh disabled: this test pins the bare invalidation
+	// semantics (post-mutation queries recompute, never replay); the
+	// refresh-enabled path is pinned by TestCacheDeltaRefreshAfterMutation.
+	ts, _ := newTestServer(t, Options{DeltaRefreshLimit: -1})
 	reg := register(t, ts.URL, pkFacts, pkFDs)
 	url := ts.URL + "/v1/instances/" + reg.ID
 
@@ -180,7 +183,11 @@ func TestMutationErrorsAndCacheInvalidation(t *testing.T) {
 // must land under the old generation's key, invisible to post-mutation
 // lookups.
 func TestStaleCachePutCannotMaskMutation(t *testing.T) {
-	ts, s := newTestServer(t, Options{})
+	// Delta refresh disabled so the post-mutation lookup must miss: with
+	// refresh on, the same lookup would legitimately hit the refreshed
+	// (new-generation, correct) entry and the race being replayed here
+	// would be invisible.
+	ts, s := newTestServer(t, Options{DeltaRefreshLimit: -1})
 	reg := register(t, ts.URL, pkFacts, pkFDs)
 	stale, ok := s.reg.get(reg.ID)
 	if !ok {

@@ -13,6 +13,7 @@
 //	POST   /v1/instances/{id}/facts           insert one fact (incremental)
 //	DELETE /v1/instances/{id}/facts/{index}   delete the fact at that index
 //	POST   /v1/instances/{id}/query           exact or approximate OCQA
+//	GET    /v1/instances/{id}/watch           long-poll a query across mutations
 //	POST   /v1/instances/{id}/batch           N queries over a bounded worker pool
 //	POST   /v1/instances/{id}/repairs/count   |CORep| / |CRS| (and ^1 variants)
 //	POST   /v1/instances/{id}/marginals       per-fact survival probabilities
@@ -99,6 +100,19 @@ type Options struct {
 	// journalling the eviction when a Store is configured.
 	// Default: 1024.
 	MaxInstances int
+	// DeltaRefreshLimit bounds how many of an instance's cached query
+	// results a fact mutation delta-refreshes in place: the
+	// most-recently-used previous-generation entries are re-executed
+	// against the mutated instance (riding its warm per-block factor
+	// cache and stratified draw reuse) and re-cached under the new
+	// generation, so hot queries stay cache-warm across churn. Entries
+	// beyond the limit are dropped as before. 0 picks the default of 8;
+	// negative disables refresh (mutations only invalidate).
+	DeltaRefreshLimit int
+	// WatchWait bounds how long GET .../watch long-polls for a mutation
+	// before answering 204 No Content. 0 picks the default of 25s;
+	// negative makes watches return immediately.
+	WatchWait time.Duration
 	// CancelGrace is how long a timed-out request waits for its
 	// computation to return cooperatively before giving up on it. The
 	// estimation engines stop within one sample chunk of cancellation
@@ -178,6 +192,18 @@ func (o *Options) fill() {
 		o.MaxInstances = 1024
 	}
 	switch {
+	case o.DeltaRefreshLimit == 0:
+		o.DeltaRefreshLimit = 8
+	case o.DeltaRefreshLimit < 0:
+		o.DeltaRefreshLimit = 0
+	}
+	switch {
+	case o.WatchWait == 0:
+		o.WatchWait = 25 * time.Second
+	case o.WatchWait < 0:
+		o.WatchWait = 0
+	}
+	switch {
 	case o.CancelGrace == 0:
 		o.CancelGrace = 250 * time.Millisecond
 	case o.CancelGrace < 0:
@@ -201,6 +227,9 @@ type Server struct {
 	// compute is the server-wide semaphore every engine computation
 	// holds while running; see Options.MaxConcurrentQueries.
 	compute chan struct{}
+	// watch wakes the long-poll watchers of an instance after every
+	// mutation (and deregistration) of it.
+	watch *watchHub
 }
 
 // New builds a Server with its routes installed. With opts.Store set,
@@ -218,6 +247,7 @@ func New(opts Options) *Server {
 		start:   time.Now(),
 		mux:     http.NewServeMux(),
 		compute: make(chan struct{}, opts.MaxConcurrentQueries),
+		watch:   newWatchHub(),
 	}
 	s.met = newServerMetrics(s)
 	// The engine reports every estimation run (cancelled ones included)
@@ -254,6 +284,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/facts", s.handleInsertFact)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}/facts/{index}", s.handleDeleteFact)
 	s.mux.HandleFunc("POST /v1/instances/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/instances/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("POST /v1/instances/{id}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/instances/{id}/repairs/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/instances/{id}/marginals", s.handleMarginals)

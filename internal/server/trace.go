@@ -151,6 +151,8 @@ func endpointLabel(method, path string) string {
 		return "insert_fact"
 	case parts[1] == "query":
 		return "query"
+	case parts[1] == "watch":
+		return "watch"
 	case parts[1] == "batch":
 		return "batch"
 	case parts[1] == "repairs":

@@ -1,0 +1,231 @@
+package server
+
+// Long-poll change notification and post-mutation cache refresh: the
+// serving half of the delta-aware estimation layer. Every committed
+// fact mutation (1) re-executes the instance's hottest cached queries
+// against the new generation — riding the prepared instance's warm
+// per-block factor cache and stratified draw statistics — and re-caches
+// them under the new generation's keys, and (2) wakes the instance's
+// watchers, so a GET .../watch long-poll returns the refreshed answer
+// within one mutation of it landing.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// watchHub is the per-instance mutation broadcast: waiters pick up the
+// instance's current signal channel, and a mutation closes it (waking
+// every waiter at once) and installs a fresh one. Close-and-recreate
+// keeps the hub allocation-free per waiter and naturally coalesces
+// bursts — a waiter that missed three mutations wakes once.
+type watchHub struct {
+	mu    sync.Mutex
+	chans map[string]chan struct{}
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{chans: make(map[string]chan struct{})}
+}
+
+// wait returns the channel the instance's next mutation will close.
+// Callers must obtain the channel BEFORE reading the state they wait
+// on (the entry's generation): a mutation landing between the two
+// closes this very channel, so the recheck cannot miss it.
+func (h *watchHub) wait(id string) <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.chans[id]
+	if !ok {
+		ch = make(chan struct{})
+		h.chans[id] = ch
+	}
+	return ch
+}
+
+// changed wakes every waiter of the instance (mutation committed or
+// instance deleted).
+func (h *watchHub) changed(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if ch, ok := h.chans[id]; ok {
+		close(ch)
+		delete(h.chans, id)
+	}
+}
+
+// refreshAfterMutation is the serving-path half of a committed fact
+// mutation: delta-refresh up to DeltaRefreshLimit of the instance's
+// most-recently-used cached query results in place (re-executed against
+// the new generation, re-cached under its keys), drop the rest, and
+// wake the instance's watchers. It runs on the mutation handler's
+// goroutine, which already holds a compute-semaphore slot, so refresh
+// work is bounded exactly like any other engine computation. A refresh
+// that fails (deadline, budget, refusal) is simply dropped — the entry
+// falls back to a cold miss, never to a stale answer.
+func (s *Server) refreshAfterMutation(e *instanceEntry) {
+	reqs := s.cache.takeRefreshable(e.id, e.gen, s.opts.DeltaRefreshLimit)
+	for _, req := range reqs {
+		start := time.Now()
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if s.opts.QueryTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		}
+		_, he := safeCall(func() (QueryResponse, *httpError) {
+			return s.executeQuery(ctx, e, req, false)
+		})
+		cancel()
+		if he == nil {
+			s.met.cacheRefreshes.Inc()
+			s.met.deltaRefreshLatency.Observe(time.Since(start).Seconds())
+		}
+	}
+	s.watch.changed(e.id)
+}
+
+// watchParam reads one URL query parameter as the named type, mapping
+// malformed values to a 400 naming the parameter.
+func watchInt(r *http.Request, name string, out *int) *httpError {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return badRequest("parameter %q: %q is not an integer", name, v)
+	}
+	*out = n
+	return nil
+}
+
+func watchInt64(r *http.Request, name string, out *int64) *httpError {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return badRequest("parameter %q: %q is not an integer", name, v)
+	}
+	*out = n
+	return nil
+}
+
+func watchFloat(r *http.Request, name string, out *float64) *httpError {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return badRequest("parameter %q: %q is not a number", name, v)
+	}
+	*out = f
+	return nil
+}
+
+func watchBool(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// parseWatchRequest maps the GET parameters onto the same QueryRequest
+// the POST query endpoint takes (a long-poll has no body), plus the
+// ?since= generation the client has already seen.
+func parseWatchRequest(r *http.Request) (QueryRequest, int64, *httpError) {
+	q := r.URL.Query()
+	req := QueryRequest{
+		Generator: q.Get("generator"),
+		Singleton: watchBool(r, "singleton"),
+		Mode:      q.Get("mode"),
+		Query:     q.Get("query"),
+		Tuple:     q.Get("tuple"),
+		HasTuple:  watchBool(r, "has_tuple"),
+		Force:     watchBool(r, "force"),
+	}
+	if req.Mode == "" {
+		req.Mode = "exact"
+	}
+	if req.Query == "" {
+		return req, 0, badRequest("missing required parameter \"query\"")
+	}
+	var since int64
+	for _, he := range []*httpError{
+		watchFloat(r, "epsilon", &req.Epsilon),
+		watchFloat(r, "delta", &req.Delta),
+		watchInt64(r, "seed", &req.Seed),
+		watchInt(r, "max_samples", &req.MaxSamples),
+		watchInt(r, "workers", &req.Workers),
+		watchInt(r, "limit", &req.Limit),
+		watchInt64(r, "since", &since),
+	} {
+		if he != nil {
+			return req, 0, he
+		}
+	}
+	return req, since, nil
+}
+
+// handleWatch is the long-poll endpoint: GET .../watch?query=...&since=N
+// answers as soon as the instance's generation exceeds N — immediately
+// when it already does (since defaults to 0 and generations start at 1,
+// so the first call returns the current answer), otherwise when the
+// next mutation lands — with the refreshed query result and the
+// generation it reflects. The client loops, passing each response's gen
+// back as since. A window with no mutation answers 204 No Content; the
+// client simply re-polls.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	req, since, he := parseWatchRequest(r)
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	deadline := time.Now().Add(s.opts.WatchWait)
+	for {
+		// Channel before generation: see watchHub.wait.
+		changed := s.watch.wait(e.id)
+		cur, ok := s.reg.get(e.id)
+		if !ok {
+			s.writeError(w, &httpError{status: http.StatusNotFound, msg: "instance " + strconv.Quote(e.id) + " deleted while watching"})
+			return
+		}
+		if cur.gen > since {
+			resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (QueryResponse, *httpError) {
+				return s.executeQuery(ctx, cur, req, false)
+			})
+			if he != nil {
+				s.writeError(w, he)
+				return
+			}
+			writeJSON(w, http.StatusOK, WatchResponse{Gen: cur.gen, Result: &resp})
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-changed:
+			t.Stop()
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		case <-t.C:
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}

@@ -760,6 +760,14 @@ type Prepared struct {
 	// a build.
 	built atomic.Bool
 
+	// deltaMu guards delta, the incremental-estimation state (see
+	// delta.go): per-query witness images, per-block factor caches and
+	// per-stratum draw statistics. ApplyInsert/ApplyDelete carry it —
+	// warm — into the derived Prepared; on a cold Prepared it builds
+	// lazily the first time a delta path runs.
+	deltaMu sync.Mutex
+	delta   *deltaState
+
 	// usage accumulates the instance's estimation totals across every
 	// sampling call routed through this Prepared — the per-instance
 	// accounting the serving layer reports.
@@ -966,7 +974,15 @@ func (p *Prepared) samplersFor(mode Mode) preparedSamplers {
 // Approximate is Instance.Approximate backed by the prepared samplers:
 // for primary-key instances it performs zero sampler constructions
 // beyond the one deferred build per artifact.
+// On a generation derived by ApplyInsert/ApplyDelete, eligible queries
+// route through the delta-stratified estimator (delta.go), which reuses
+// the previous generation's per-stratum draws; cold generations behave
+// exactly like the classic estimators.
 func (p *Prepared) Approximate(ctx context.Context, mode Mode, q *Query, c Tuple, opts ApproxOptions) (Estimate, error) {
+	if est, ok, err := p.deltaApproximate(ctx, mode, q, c, opts); ok {
+		p.recordUsage(est.Acct)
+		return est, err
+	}
 	est, err := p.Instance.approximate(ctx, p.samplersFor(mode), mode, q, c, opts)
 	p.recordUsage(est.Acct)
 	return est, err
@@ -984,6 +1000,10 @@ func (p *Prepared) ApproximateAnswers(ctx context.Context, mode Mode, q *Query, 
 // ApproximateAnswersAcct is ApproximateAnswers with the run-level cost
 // accounting of the shared pass (or the per-tuple sum under UseAA).
 func (p *Prepared) ApproximateAnswersAcct(ctx context.Context, mode Mode, q *Query, opts ApproxOptions) ([]ApproxAnswer, Accounting, error) {
+	if out, acct, ok, err := p.deltaApproximateAnswers(ctx, mode, q, opts); ok {
+		p.recordUsage(acct)
+		return out, acct, err
+	}
 	out, acct, err := p.Instance.approximateAnswers(ctx, p.samplersFor(mode), p.multiPred, mode, q, opts)
 	p.recordUsage(acct)
 	return out, acct, err
@@ -991,8 +1011,17 @@ func (p *Prepared) ApproximateAnswersAcct(ctx context.Context, mode Mode, q *Que
 
 // ConsistentAnswers is Instance.ConsistentAnswers over the cached
 // witness sets: the exact shared pass reuses the compiled multi-tuple
-// predicate across calls.
+// predicate across calls. For M^ur under primary keys it runs on the
+// delta engine's per-tuple factor decomposition where the witness
+// structure allows (delta.go) — polynomial, and refreshed per-block
+// across ApplyInsert/ApplyDelete — falling back to the shared exact
+// pass otherwise.
 func (p *Prepared) ConsistentAnswers(mode Mode, q *Query, limit int) ([]ConsistentAnswer, error) {
+	if p.deltaEligible(mode) {
+		if out, ok := p.deltaConsistentAnswers(mode, q); ok {
+			return out, nil
+		}
+	}
 	return p.inner.ConsistentAnswersWith(p.multiPred(q), mode, limit)
 }
 

@@ -51,6 +51,15 @@ const (
 	RouteSharedMultiDKLR     = "shared-multi-dklr"
 	// RouteCached: the result came from a cache; zero draws.
 	RouteCached = "cached"
+	// RouteDeltaExact: a warm prior generation exists and every cluster
+	// of the target's block decomposition is exactly enumerable — the
+	// delta engine answers from cached per-block factors with zero
+	// draws (delta.go).
+	RouteDeltaExact = "delta-exact"
+	// RouteDeltaStratified: a warm prior generation exists and the
+	// decomposition has sampled strata — carried stratum statistics are
+	// reused, only changed strata are redrawn.
+	RouteDeltaStratified = "delta-stratified"
 )
 
 // maxPlanDraws is the sentinel RequiredDraws saturates at when the
@@ -216,6 +225,28 @@ func (p *Prepared) PlanApproximate(mode Mode, q *Query, single bool, opts Approx
 			return plan, nil
 		}
 	default:
+		if strata, ok := p.deltaPlanRoute(mode, q, opts); ok {
+			// A warm prior generation exists and the delta engine will
+			// answer (see Prepared.Approximate): delta-exact is a pure
+			// factor-cache refresh with zero draws; delta-stratified
+			// redraws at most the changed strata, each under a
+			// (ε/S, δ/S) stopping rule.
+			if strata == 0 {
+				plan.Route = RouteDeltaExact
+				return plan, nil
+			}
+			plan.Route = RouteDeltaStratified
+			plan.MaxSamples = opts.MaxSamples
+			plan.Upsilon1 = upsilon1For(opts.Epsilon/float64(strata), opts.Delta/float64(strata))
+			// Coarse worst case across the S strata; warm runs that
+			// reuse carried statistics stop far below it.
+			if plan.PMin <= 0 {
+				plan.RequiredDraws = maxPlanDraws
+			} else {
+				plan.RequiredDraws = mulSaturating(saturatingDraws(plan.Upsilon1/plan.PMin), int64(strata))
+			}
+			break
+		}
 		plan.Route = RouteDKLR
 		if !single {
 			plan.Route = RouteSharedMultiDKLR
