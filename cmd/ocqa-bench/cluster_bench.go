@@ -1,0 +1,194 @@
+package main
+
+// The -cluster mode: the serving-tier macro benchmark. It stands up
+// the in-process cluster harness (real HTTP over loopback — the same
+// coordinator and backends the cmd binaries deploy), replays
+// deterministic loadgen traffic at each requested QPS level against
+// three topologies, and emits BENCH_cluster.json:
+//
+//	direct1 — one backend, no coordinator (the proxy-hop baseline)
+//	coord1  — the coordinator fronting a single backend
+//	coord3  — the coordinator fronting three backends with follower
+//	          replication, hedging and health checks all on
+//
+// Each (topology, qps) cell contributes three rows named
+// Cluster/<cfg>/qps=<q>/{p50,p99,throughput}. Latency rows carry the
+// quantile as ns_per_op; the throughput row carries seconds-per-request
+// (1e9/rps) so that, like every other suite, smaller is better and the
+// -check gate's ns_per_op comparison applies unchanged. Cluster rows
+// deliberately carry no Group/Workers: the worker-inversion gate is
+// about engine parallelism ladders, not topologies.
+//
+// The suite enforces the tier's own acceptance bar before writing the
+// file: at every QPS level the three-backend coordinator's p99 must
+// not exceed the single-backend coordinator's p99 by more than 25% +
+// 2ms (one retry absorbs a scheduler hiccup on shared runners). A
+// coordinator that makes adding backends a latency regression must not
+// produce a committed trajectory file.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+)
+
+// parseQPSLevels parses the -cluster-qps flag ("10,40").
+func parseQPSLevels(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		q, err := strconv.ParseFloat(part, 64)
+		if err != nil || q <= 0 {
+			return nil, fmt.Errorf("cluster bench: bad QPS level %q", part)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// clusterRun is one (topology, qps) cell's raw loadgen measurement,
+// embedded in the trajectory file next to the comparable rows.
+type clusterRun struct {
+	Config string `json:"config"`
+	cluster.LoadgenResult
+}
+
+type clusterBenchFile struct {
+	Suite string `json:"suite"`
+	benchStamp
+	// Backends is the backend count of the largest topology (the
+	// "coord3" rows); Seconds and QPS echo the run parameters so the
+	// -check gate reruns the suite at baseline scale.
+	Backends       int           `json:"backends"`
+	ClusterSeconds float64       `json:"cluster_seconds"`
+	ClusterQPS     []float64     `json:"cluster_qps"`
+	Runs           []clusterRun  `json:"runs"`
+	Results        []benchResult `json:"results"`
+}
+
+// clusterConfigs are the benchmarked topologies: backends is the
+// harness size, viaCoord picks the coordinator or backend 0 as target.
+var clusterConfigs = []struct {
+	name     string
+	backends int
+	viaCoord bool
+}{
+	{"direct1", 1, false},
+	{"coord1", 1, true},
+	{"coord3", 3, true},
+}
+
+// clusterP99Slack is the acceptance band for the backend-inversion
+// gate: p99(coord3) ≤ p99(coord1)·(1+slack) + clusterP99Floor.
+const (
+	clusterP99Slack = 0.25
+	clusterP99Floor = 2.0 // ms, absorbs loopback jitter at sub-ms p99s
+)
+
+// runClusterTopology stands up a fresh harness for one topology and
+// replays one loadgen run at qps. A fresh harness per cell keeps the
+// result caches of earlier cells from flattering later ones.
+func runClusterTopology(cfgName string, backends int, viaCoord bool, qps float64, dur time.Duration) (*cluster.LoadgenResult, error) {
+	h, err := cluster.NewHarness(backends, server.Options{}, cluster.Options{
+		HealthInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	target := h.Backends[0].URL
+	if viaCoord {
+		target = h.Coord.URL
+	}
+	res, err := cluster.RunLoadgen(context.Background(), cluster.LoadgenConfig{
+		Target:     target,
+		QPS:        qps,
+		Duration:   dur,
+		Seed:       42,
+		MutateFrac: 0.1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s at %g qps: %w", cfgName, qps, err)
+	}
+	if res.Requests == 0 {
+		return nil, fmt.Errorf("%s at %g qps: no requests completed", cfgName, qps)
+	}
+	if res.Errors > res.Requests/10 {
+		return nil, fmt.Errorf("%s at %g qps: %d/%d requests failed", cfgName, qps, res.Errors, res.Requests)
+	}
+	return res, nil
+}
+
+func runClusterBenchmarks(outPath string, qpsLevels []float64, dur time.Duration) error {
+	if len(qpsLevels) < 2 {
+		return fmt.Errorf("cluster bench: need at least two QPS levels, got %v", qpsLevels)
+	}
+	file := clusterBenchFile{
+		Suite:          "cluster",
+		benchStamp:     newBenchStamp(),
+		Backends:       3,
+		ClusterSeconds: dur.Seconds(),
+		ClusterQPS:     qpsLevels,
+	}
+
+	msNs := func(ms float64) float64 { return ms * 1e6 }
+	for _, qps := range qpsLevels {
+		// The inversion gate compares cells measured in the same pass;
+		// one retry of the whole QPS level absorbs a one-off host stall.
+		var byCfg map[string]*cluster.LoadgenResult
+		for attempt := 0; ; attempt++ {
+			byCfg = map[string]*cluster.LoadgenResult{}
+			for _, c := range clusterConfigs {
+				res, err := runClusterTopology(c.name, c.backends, c.viaCoord, qps, dur)
+				if err != nil {
+					return err
+				}
+				byCfg[c.name] = res
+				fmt.Printf("cluster %-7s qps=%-4g  %4d req  %5.1f rps  p50 %6.2fms  p99 %6.2fms\n",
+					c.name, qps, res.Requests, res.ThroughputRPS, res.P50Millis, res.P99Millis)
+			}
+			limit := byCfg["coord1"].P99Millis*(1+clusterP99Slack) + clusterP99Floor
+			if byCfg["coord3"].P99Millis <= limit {
+				break
+			}
+			if attempt >= 1 {
+				return fmt.Errorf(
+					"cluster bench: at %g qps the 3-backend coordinator's p99 (%.2fms) exceeds the 1-backend coordinator's band (%.2fms) — adding backends must not cost latency",
+					qps, byCfg["coord3"].P99Millis, limit)
+			}
+			fmt.Printf("cluster bench: p99 inversion at %g qps (coord3 %.2fms > %.2fms), retrying the level once\n",
+				qps, byCfg["coord3"].P99Millis, limit)
+		}
+		for _, c := range clusterConfigs {
+			res := byCfg[c.name]
+			file.Runs = append(file.Runs, clusterRun{Config: c.name, LoadgenResult: *res})
+			prefix := fmt.Sprintf("Cluster/%s/qps=%g/", c.name, qps)
+			file.Results = append(file.Results,
+				benchResult{Name: prefix + "p50", Iterations: res.Requests, NsPerOp: msNs(res.P50Millis)},
+				benchResult{Name: prefix + "p99", Iterations: res.Requests, NsPerOp: msNs(res.P99Millis)},
+				benchResult{Name: prefix + "throughput", Iterations: res.Requests, NsPerOp: 1e9 / res.ThroughputRPS},
+			)
+		}
+	}
+
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: wrote %s (%d rows over %d topologies × %d QPS levels)\n",
+		outPath, len(file.Results), len(clusterConfigs), len(qpsLevels))
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command ocqa-loadgen replays random operational-CQA traffic against
+// a coordinator or a single backend (the HTTP surface is identical)
+// and reports latency quantiles and achieved throughput.
+//
+// Usage:
+//
+//	ocqa-loadgen -target http://localhost:8090 [-qps 50] [-duration 10s]
+//	             [-instances 4] [-mutate-frac 0.1] [-concurrency 64]
+//	             [-seed 1] [-out result.json]
+//
+// The generator is open-loop: arrivals are paced by a fixed-interval
+// clock regardless of response latency, so a slow target accumulates
+// outstanding requests instead of quietly receiving less load; arrivals
+// past -concurrency are counted as dropped, never queued. Traffic is
+// deterministic in -seed: the same seed registers the same
+// workload.RandomScenario instances and replays the same operation
+// sequence. -mutate-frac makes that fraction of operations fact
+// inserts (each a fresh singleton block); the rest are exact
+// uniform-repair queries.
+//
+// The run's measurement is printed as a human summary on stderr and,
+// with -out, written as one JSON object (the same shape the
+// `ocqa-bench -cluster` suite embeds in BENCH_cluster.json).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL traffic is sent to (required)")
+		qps         = flag.Float64("qps", 50, "offered request rate")
+		duration    = flag.Duration("duration", 10*time.Second, "measurement window")
+		instances   = flag.Int("instances", 4, "random scenario instances to register and spread traffic over")
+		mutateFrac  = flag.Float64("mutate-frac", 0.1, "fraction of operations that are fact inserts")
+		concurrency = flag.Int("concurrency", 64, "outstanding-request cap (arrivals past it are dropped)")
+		seed        = flag.Int64("seed", 1, "traffic seed")
+		out         = flag.String("out", "", "write the measurement as JSON to this file")
+	)
+	flag.Parse()
+	if err := run(cluster.LoadgenConfig{
+		Target:      *target,
+		QPS:         *qps,
+		Duration:    *duration,
+		Instances:   *instances,
+		MutateFrac:  *mutateFrac,
+		Concurrency: *concurrency,
+		Seed:        *seed,
+	}, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ocqa-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg cluster.LoadgenConfig, out string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := cluster.RunLoadgen(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"ocqa-loadgen: %s: offered %.1f qps for %.1fs → %d requests (%d errors, %d dropped), %.1f rps, p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
+		res.Target, res.OfferedQPS, res.DurationSeconds, res.Requests, res.Errors, res.Dropped,
+		res.ThroughputRPS, res.P50Millis, res.P90Millis, res.P99Millis, res.MaxMillis)
+	if out == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(b, '\n'), 0o644)
+}

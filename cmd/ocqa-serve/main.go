@@ -10,7 +10,7 @@
 //	           [-timeout 30s] [-exact-limit 2000000]
 //	           [-data-dir DIR] [-fsync] [-compact-every 4096]
 //	           [-access-log] [-pprof] [-debug-queries] [-slow-query 0]
-//	           [-delta-refresh 8] [-watch-wait 25s]
+//	           [-delta-refresh 8] [-watch-wait 25s] [-shed-inflight 0]
 //
 // Observability: GET /varz serves the JSON counter snapshot, GET
 // /metrics the same registry in Prometheus text format. Every response
@@ -80,6 +80,7 @@ func main() {
 		slowQuery     = flag.Duration("slow-query", 0, "log requests at or above this duration with their full trace (0 disables)")
 		deltaRefresh  = flag.Int("delta-refresh", 0, "cached results delta-refreshed per mutation (0 = default 8, negative disables)")
 		watchWait     = flag.Duration("watch-wait", 0, "GET /watch long-poll window (0 = default 25s, negative returns immediately)")
+		shedInflight  = flag.Int("shed-inflight", 0, "shed query-path requests with 503 beyond this many in flight (0 disables; mutations and replication are never shed)")
 	)
 	flag.Parse()
 	opts := server.Options{
@@ -94,6 +95,7 @@ func main() {
 		MaxBatchQueries:      *maxBatch,
 		DeltaRefreshLimit:    *deltaRefresh,
 		WatchWait:            *watchWait,
+		ShedInflight:         *shedInflight,
 		EnablePprof:          *pprofEnable,
 		EnableDebugQueries:   *debugQueries,
 		SlowQuery:            *slowQuery,
@@ -144,8 +146,9 @@ func run(ctx context.Context, addr string, opts server.Options, ready chan<- net
 	if err != nil {
 		return err
 	}
+	srv := server.New(opts)
 	hs := &http.Server{
-		Handler:           server.New(opts),
+		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("ocqa-serve: listening on %s", ln.Addr())
@@ -162,6 +165,10 @@ func run(ctx context.Context, addr string, opts server.Options, ready chan<- net
 	case <-ctx.Done():
 	}
 	log.Printf("ocqa-serve: shutting down")
+	// Cancel server-owned background work (delta refreshes, long-poll
+	// watchers) first, so Shutdown's drain is not held hostage by
+	// computations no client is reading.
+	srv.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,65 @@
+// Package cluster is the sharded multi-node serving tier: a coordinator
+// that consistent-hashes instance ids across a static list of
+// ocqa-serve backends, proxies all /v1/instances/* traffic to the
+// owning backend, hedges straggling reads, passes backend load shedding
+// through (opening a circuit breaker on consecutive failures), and
+// keeps one warm follower per instance via the backends' replication
+// endpoints so a dead owner fails over without losing a single acked
+// mutation.
+//
+// Placement uses rendezvous (highest-random-weight) hashing: every
+// (backend, id) pair gets a deterministic score, and the id's ranking
+// of backends by descending score names its owner (rank 0) and its
+// follower (rank 1). Rendezvous hashing needs no virtual-node ring and
+// has the property the failover path leans on: removing a backend
+// reassigns only the ids it owned, and each one moves to exactly the
+// next backend in its own ranking — which is where the coordinator put
+// the warm replica.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the weight of backend for id: FNV-1a over
+// backend\x00id, pushed through a 64-bit finalizer. The separator keeps
+// ("ab","c") and ("a","bc") from colliding; the finalizer matters
+// because raw FNV-1a avalanches poorly on short keys differing only in
+// a trailing counter — enough to visibly skew owner assignment.
+func rendezvousScore(backend, id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backend))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective scrambler with full
+// avalanche, so every input bit flips each output bit with probability
+// ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Rank orders the backends by descending rendezvous score for id —
+// rank 0 is the owner, rank 1 the follower. Ties (astronomically rare
+// with distinct backend addresses) break lexicographically so every
+// coordinator computes the same placement.
+func Rank(backends []string, id string) []string {
+	out := make([]string, len(backends))
+	copy(out, backends)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := rendezvousScore(out[i], id), rendezvousScore(out[j], id)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

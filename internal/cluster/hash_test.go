@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRankDeterministicAndOrderIndependent(t *testing.T) {
+	a := []string{"http://a:1", "http://b:1", "http://c:1"}
+	b := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("c%d", i)
+		ra, rb := Rank(a, id), Rank(b, id)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("id %s: ranking depends on input order: %v vs %v", id, ra, rb)
+			}
+		}
+	}
+}
+
+func TestRankBalance(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[Rank(backends, fmt.Sprintf("c%d", i))[0]]++
+	}
+	for _, b := range backends {
+		frac := float64(counts[b]) / n
+		if frac < 0.25 || frac > 0.42 {
+			t.Fatalf("backend %s owns %.1f%% of ids — rendezvous balance broken (%v)", b, 100*frac, counts)
+		}
+	}
+}
+
+// TestRankStability pins the property failover depends on: removing a
+// backend moves ONLY the ids it owned, and each moves to exactly its
+// old rank-1 backend (where the coordinator put the warm replica).
+func TestRankStability(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:1", "http://c:1"}
+	dead := backends[1]
+	var survivors []string
+	for _, b := range backends {
+		if b != dead {
+			survivors = append(survivors, b)
+		}
+	}
+	moved := 0
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("c%d", i)
+		before := Rank(backends, id)
+		after := Rank(survivors, id)
+		if before[0] != dead {
+			if after[0] != before[0] {
+				t.Fatalf("id %s moved from %s to %s although its owner survived", id, before[0], after[0])
+			}
+			continue
+		}
+		moved++
+		if after[0] != before[1] {
+			t.Fatalf("id %s: new owner %s is not the old follower %s", id, after[0], before[1])
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no id was owned by the removed backend — test vacuous")
+	}
+}

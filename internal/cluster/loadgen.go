@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/parse"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// LoadgenConfig drives one open-loop load generation run against a
+// coordinator or a single backend (the surface is identical).
+type LoadgenConfig struct {
+	// Target is the base URL traffic is sent to.
+	Target string
+	// QPS is the offered request rate. Open-loop: arrivals are paced by
+	// a fixed-interval clock regardless of response latency, so a slow
+	// target accumulates outstanding requests instead of quietly
+	// receiving less load.
+	QPS float64
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Seed makes the traffic deterministic (scenarios, op mix, order).
+	Seed int64
+	// Instances is how many workload.RandomScenario instances the run
+	// registers up front and spreads traffic over. Default 4.
+	Instances int
+	// MutateFrac is the fraction of operations that are fact inserts
+	// (the rest are exact queries). Default 0 — read-only.
+	MutateFrac float64
+	// Concurrency caps outstanding requests; arrivals past the cap are
+	// counted as Dropped rather than queued (the generator must not
+	// become a closed loop under overload). Default 64.
+	Concurrency int
+	// Client overrides the HTTP client (default 30s timeout).
+	Client *http.Client
+}
+
+// LoadgenResult is one run's measurement.
+type LoadgenResult struct {
+	Target          string  `json:"target"`
+	OfferedQPS      float64 `json:"offered_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	Dropped         int     `json:"dropped"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	P50Millis       float64 `json:"p50_ms"`
+	P90Millis       float64 `json:"p90_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	MaxMillis       float64 `json:"max_ms"`
+}
+
+// lgInstance is one registered scenario's serving handle.
+type lgInstance struct {
+	id    string
+	query string
+	rel   string
+	arity int
+	seq   int
+}
+
+// RunLoadgen registers cfg.Instances random primary-key scenarios on
+// the target, then replays an open-loop request stream at cfg.QPS for
+// cfg.Duration and reports latency quantiles and achieved throughput.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target")
+	}
+	if cfg.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: QPS must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if cfg.Instances <= 0 {
+		cfg.Instances = 4
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 64
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	insts := make([]*lgInstance, 0, cfg.Instances)
+	for i := 0; i < cfg.Instances; i++ {
+		sc := workload.RandomScenario(rng, workload.ScenarioSpec{
+			Class: fd.PrimaryKeys, Shape: workload.ShapeBlocks, AnswerVars: i%2 == 1,
+		})
+		reg, err := lgRegister(ctx, client, cfg.Target, sc)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: registering scenario %d: %w", i, err)
+		}
+		r := sc.Schema.Relations()[0]
+		insts = append(insts, &lgInstance{
+			id: reg.ID, query: sc.Query.String(), rel: r.Name, arity: r.Arity(),
+		})
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      int
+		dropped   int
+		wg        sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.Concurrency)
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(cfg.Duration)
+	defer deadline.Stop()
+	start := time.Now()
+
+	// The rng is consumed only on the arrival clock goroutine, so op
+	// choice stays deterministic in the seed even though requests fly
+	// concurrently.
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			in := insts[rng.Intn(len(insts))]
+			mutate := cfg.MutateFrac > 0 && rng.Float64() < cfg.MutateFrac
+			var method, path string
+			var body []byte
+			if mutate {
+				in.seq++
+				args := make([]string, in.arity)
+				args[0] = fmt.Sprintf("lg%d", in.seq) // fresh key: a new singleton block
+				for k := 1; k < in.arity; k++ {
+					args[k] = "w"
+				}
+				fact := in.rel + "(" + strings.Join(args, ",") + ")"
+				body, _ = json.Marshal(server.InsertFactRequest{Fact: fact})
+				method, path = http.MethodPost, "/v1/instances/"+in.id+"/facts"
+			} else {
+				body, _ = json.Marshal(server.QueryRequest{
+					Generator: "ur", Mode: "exact", Query: in.query,
+				})
+				method, path = http.MethodPost, "/v1/instances/"+in.id+"/query"
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				mu.Lock()
+				dropped++
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				ok := lgDo(ctx, client, cfg.Target, method, path, body)
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				if !ok {
+					errs++
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadgenResult{
+		Target:          cfg.Target,
+		OfferedQPS:      cfg.QPS,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(latencies),
+		Errors:          errs,
+		Dropped:         dropped,
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(p float64) float64 {
+			idx := int(p*float64(len(latencies))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			return float64(latencies[idx].Microseconds()) / 1000
+		}
+		res.P50Millis = q(0.50)
+		res.P90Millis = q(0.90)
+		res.P99Millis = q(0.99)
+		res.MaxMillis = float64(latencies[len(latencies)-1].Microseconds()) / 1000
+	}
+	return res, nil
+}
+
+func lgRegister(ctx context.Context, client *http.Client, target string, sc workload.Scenario) (*server.RegisterResponse, error) {
+	body, _ := json.Marshal(server.RegisterRequest{
+		Facts: parse.FormatDatabase(sc.DB),
+		FDs:   parse.FormatFDs(sc.Sigma),
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/instances", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("register status %d: %s", resp.StatusCode, b)
+	}
+	var reg server.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, err
+	}
+	return &reg, nil
+}
+
+// lgDo fires one request; success is any 2xx.
+func lgDo(ctx context.Context, client *http.Client, target, method, path string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, method, target+path, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

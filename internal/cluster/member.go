@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRingSize bounds the per-backend latency sample ring the hedge
+// delay is computed from. 512 successes cover the recent past without
+// letting a one-off spike dominate for long.
+const latencyRingSize = 512
+
+// member is one backend as the coordinator sees it: its base URL, a
+// circuit breaker fed by consecutive failures (hard transport errors
+// and 503 sheds both count), and a ring of recent request latencies
+// whose tracked quantile sets the hedge delay.
+type member struct {
+	base string
+
+	mu sync.Mutex
+	// fails counts consecutive failures; threshold trips the breaker.
+	fails     int
+	openUntil time.Time
+	// probing marks a half-open breaker that has already admitted its
+	// single probe request; further requests stay rejected until the
+	// probe reports back.
+	probing bool
+	// ring is the latency sample buffer; pos/full implement the
+	// overwrite cursor.
+	ring [latencyRingSize]time.Duration
+	pos  int
+	full bool
+}
+
+// breaker tuning. Three consecutive failures open the circuit — low
+// enough that a dead backend stops eating hedge budget within a few
+// requests, high enough that one flaky response doesn't blackhole a
+// healthy node.
+const (
+	breakerThreshold       = 3
+	defaultBreakerCooldown = 2 * time.Second
+)
+
+// available reports whether the breaker admits a request at now. A
+// closed breaker always does; an open one admits a single half-open
+// probe once the cooldown elapses.
+func (m *member) available(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fails < breakerThreshold {
+		return true
+	}
+	if now.Before(m.openUntil) || m.probing {
+		return false
+	}
+	m.probing = true
+	return true
+}
+
+// open reports whether the breaker currently rejects requests (the
+// health loop uses this as "the backend is down").
+func (m *member) open(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fails >= breakerThreshold && (now.Before(m.openUntil) || m.probing)
+}
+
+// recordSuccess closes the breaker and feeds the latency ring.
+func (m *member) recordSuccess(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fails = 0
+	m.probing = false
+	m.ring[m.pos] = d
+	m.pos++
+	if m.pos == latencyRingSize {
+		m.pos, m.full = 0, true
+	}
+}
+
+// recordFailure counts one failure toward the breaker, (re)opening it
+// for cooldown once the streak reaches the threshold.
+func (m *member) recordFailure(now time.Time, cooldown time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fails++
+	m.probing = false
+	if m.fails >= breakerThreshold {
+		if cooldown <= 0 {
+			cooldown = defaultBreakerCooldown
+		}
+		m.openUntil = now.Add(cooldown)
+	}
+}
+
+// latencyQuantile returns the q-quantile (0 < q ≤ 1) of the ring, or 0
+// when no successes have been recorded yet — the caller then falls back
+// to its hedge floor.
+func (m *member) latencyQuantile(q float64) time.Duration {
+	m.mu.Lock()
+	n := m.pos
+	if m.full {
+		n = latencyRingSize
+	}
+	if n == 0 {
+		m.mu.Unlock()
+		return 0
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, m.ring[:n])
+	m.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return samples[idx]
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	m := &member{base: "http://x"}
+	now := time.Unix(1000, 0)
+	cooldown := 2 * time.Second
+
+	if !m.available(now) {
+		t.Fatal("fresh member must be available")
+	}
+	// Two failures stay under the threshold.
+	m.recordFailure(now, cooldown)
+	m.recordFailure(now, cooldown)
+	if !m.available(now) {
+		t.Fatal("breaker tripped below the threshold")
+	}
+	// The third opens the circuit.
+	m.recordFailure(now, cooldown)
+	if m.available(now.Add(time.Millisecond)) {
+		t.Fatal("breaker did not open after three consecutive failures")
+	}
+	if !m.open(now.Add(time.Millisecond)) {
+		t.Fatal("open() disagrees with available()")
+	}
+	// After the cooldown, exactly one half-open probe is admitted.
+	later := now.Add(cooldown + time.Millisecond)
+	if !m.available(later) {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	if m.available(later) {
+		t.Fatal("second request admitted while the probe is still out")
+	}
+	// A failing probe re-opens; a succeeding one closes.
+	m.recordFailure(later, cooldown)
+	if m.available(later.Add(time.Millisecond)) {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	later2 := later.Add(cooldown + time.Millisecond)
+	if !m.available(later2) {
+		t.Fatal("no probe after second cooldown")
+	}
+	m.recordSuccess(time.Millisecond)
+	if !m.available(later2) || !m.available(later2) {
+		t.Fatal("breaker did not close after a successful probe")
+	}
+}
+
+func TestLatencyQuantile(t *testing.T) {
+	m := &member{base: "http://x"}
+	if q := m.latencyQuantile(0.99); q != 0 {
+		t.Fatalf("empty ring p99 = %v, want 0", q)
+	}
+	for i := 1; i <= 100; i++ {
+		m.recordSuccess(time.Duration(i) * time.Millisecond)
+	}
+	if q := m.latencyQuantile(0.5); q != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", q)
+	}
+	if q := m.latencyQuantile(0.99); q != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", q)
+	}
+	// The ring overwrites: after 512 more fast samples the slow early
+	// ones are gone.
+	for i := 0; i < latencyRingSize; i++ {
+		m.recordSuccess(time.Millisecond)
+	}
+	if q := m.latencyQuantile(0.99); q != time.Millisecond {
+		t.Fatalf("p99 after overwrite = %v, want 1ms", q)
+	}
+}

@@ -10,6 +10,7 @@ package engine
 // GOMAXPROCS.
 
 import (
+	"math"
 	"runtime"
 	"sync/atomic"
 )
@@ -47,7 +48,15 @@ func ChooseWorkers(blocks int, draws int64) int {
 	if draws < 0 {
 		draws = 0
 	}
-	work := draws * int64(blocks)
+	// Saturate the work estimate: ~25k blocks times a multi-million draw
+	// budget overflows int64, and a negative product would auto-select 1
+	// worker on exactly the workloads that need the most. Past MaxInt64
+	// units the answer is GOMAXPROCS either way, so clamping loses
+	// nothing.
+	work := int64(math.MaxInt64)
+	if draws == 0 || int64(blocks) <= math.MaxInt64/draws {
+		work = draws * int64(blocks)
+	}
 	w := int(work / autoWorkUnitsPerWorker)
 	if w < 1 {
 		return 1

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"runtime"
 	"testing"
 )
@@ -46,6 +47,38 @@ func TestChooseWorkersMonotoneInWork(t *testing.T) {
 	}
 	if huge := ChooseWorkers(1<<20, 1<<40); huge != runtime.GOMAXPROCS(0) {
 		t.Fatalf("saturating work chose %d workers, want GOMAXPROCS=%d", huge, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestChooseWorkersOverflowSaturates(t *testing.T) {
+	// The work estimate draws×blocks used to be an unchecked int64
+	// multiply: ~25k blocks × a huge draw budget wrapped negative and
+	// auto-selected 1 worker on exactly the workloads that need the
+	// most. Pin GOMAXPROCS above 1 so the regression is visible on
+	// single-core CI hosts too (there the [1, GOMAXPROCS] clamp would
+	// mask the wrap).
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	maxW := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		blocks int
+		draws  int64
+	}{
+		{25_000, math.MaxInt64 / 2},    // wraps negative unchecked
+		{1 << 30, 1 << 40},             // wraps positive-but-garbage
+		{math.MaxInt32, math.MaxInt64}, // extreme corner
+		{2, math.MaxInt64},             // blocks > MaxInt64/draws boundary
+	}
+	for _, c := range cases {
+		if w := ChooseWorkers(c.blocks, c.draws); w != maxW {
+			t.Fatalf("ChooseWorkers(%d, %d) = %d, want GOMAXPROCS=%d (overflow must saturate, not wrap)",
+				c.blocks, c.draws, w, maxW)
+		}
+	}
+	// Just below the threshold the exact product is still used: the
+	// saturation path must not inflate small work.
+	if w := ChooseWorkers(1, 10); w != 1 {
+		t.Fatalf("tiny work chose %d workers after saturation change, want 1", w)
 	}
 }
 

@@ -16,6 +16,12 @@ type RegisterRequest struct {
 	FDs string `json:"fds"`
 	// Name optionally labels the instance.
 	Name string `json:"name,omitempty"`
+	// ID optionally pins the instance id instead of letting the server
+	// allocate one — the cluster coordinator mints cluster-unique ids
+	// this way so every backend names the instance identically. A
+	// collision with a live id is a 409. Same charset as request ids:
+	// [A-Za-z0-9._-], at most 64 characters.
+	ID string `json:"id,omitempty"`
 }
 
 // RegisterResponse describes a registered instance.
@@ -64,6 +70,10 @@ type FactMutationResponse struct {
 	Facts         int  `json:"facts"`
 	Consistent    bool `json:"consistent"`
 	ConflictPairs int  `json:"conflict_pairs"`
+	// Gen is the instance's mutation generation after this operation.
+	// The cluster coordinator acks a mutation only once the follower's
+	// replica has synced to at least this generation.
+	Gen int64 `json:"gen"`
 }
 
 // QueryRequest drives POST .../query and each element of a batch.

@@ -25,6 +25,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, badRequest("empty \"facts\": at least one fact is required"))
 		return
 	}
+	if req.ID != "" {
+		if !validRequestID(req.ID) {
+			s.writeError(w, badRequest("instance id %q: want at most %d characters of [A-Za-z0-9._-]", req.ID, maxRequestIDLen))
+			return
+		}
+		s.handleRegisterWithID(w, r, req)
+		return
+	}
 	// Parsing and eager preparation are engine work like any query, so
 	// they run under the same deadline and compute semaphore. A 504
 	// here abandons the registration from the client's view; the
@@ -52,9 +60,62 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		for _, v := range evicted {
 			s.met.evictions.Inc()
 			s.cache.invalidate(v.id)
+			s.repl.dropTail(v.id)
 			// Best-effort journalling of the eviction: on failure the
 			// evicted instance resurrects at the next boot and is
 			// evicted again once the registry refills — benign.
+			if s.store != nil {
+				if err := s.store.LogUnregister(v.id); err != nil {
+					s.met.errors.Inc()
+				}
+			}
+		}
+		s.met.registered.Inc()
+		info := e.info()
+		return RegisterResponse{
+			ID:         e.id,
+			Name:       e.name,
+			Facts:      info.Facts,
+			Class:      info.Class,
+			Consistent: info.Consistent,
+			Prepared:   info.Prepared,
+		}, nil
+	})
+	if he != nil {
+		s.writeError(w, he)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// handleRegisterWithID is the caller-named registration path the
+// cluster coordinator uses. The order differs from the auto-id path:
+// the registry install runs FIRST (it is the collision authority — a
+// 409 must not leave a journalled registration behind), and the WAL
+// record follows while the client still waits, rolled back from the
+// registry if journalling fails so the acknowledgement stays truthful.
+func (s *Server) handleRegisterWithID(w http.ResponseWriter, r *http.Request, req RegisterRequest) {
+	resp, he := runWithDeadline(s, r.Context(), func(context.Context) (RegisterResponse, *httpError) {
+		inst, err := ocqa.NewInstanceFromText(req.Facts, req.FDs)
+		if err != nil {
+			return RegisterResponse{}, badRequest("%v", err)
+		}
+		prepared := inst.Prepare()
+		now := time.Now()
+		e, evicted, err := s.reg.installExplicit(req.ID, req.Name, prepared, now, 1)
+		if err != nil {
+			return RegisterResponse{}, &httpError{status: http.StatusConflict, msg: err.Error()}
+		}
+		if s.store != nil {
+			if err := s.store.LogRegister(e.id, req.Name, now, inst.DB(), inst.Sigma()); err != nil {
+				s.reg.remove(e.id)
+				return RegisterResponse{}, &httpError{status: http.StatusInternalServerError, msg: fmt.Sprintf("journalling registration: %v", err)}
+			}
+		}
+		for _, v := range evicted {
+			s.met.evictions.Inc()
+			s.cache.invalidate(v.id)
+			s.repl.dropTail(v.id)
 			if s.store != nil {
 				if err := s.store.LogUnregister(v.id); err != nil {
 					s.met.errors.Inc()
@@ -125,6 +186,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.cache.invalidate(id)
+	s.repl.dropTail(id)
 	// Wake the instance's watchers: their next lookup 404s instead of
 	// blocking out the full wait window on a gone instance.
 	s.watch.changed(id)
@@ -178,6 +240,10 @@ func (s *Server) mutateInstance(id string, op func(*ocqa.Prepared) (*ocqa.Prepar
 	if err != nil {
 		return out, mutationError(err)
 	}
+	out.Gen = ne.gen
+	// Record the op in the replication tail so a follower inside the
+	// window syncs incrementally instead of re-transferring the state.
+	s.repl.appendOp(id, ReplOp{Gen: ne.gen, Op: out.Op, Fact: out.Fact, Index: out.Index})
 	s.met.mutations.Inc()
 	s.refreshAfterMutation(ne)
 	return out, nil

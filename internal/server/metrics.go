@@ -45,6 +45,16 @@ type serverMetrics struct {
 	cacheRefreshes      *metrics.Counter
 	deltaRefreshLatency *metrics.Histogram
 
+	// Replication counters: feed pulls served as an owner, incremental
+	// ops and full-state transfers applied as a follower, replicas
+	// promoted into the live registry, and query-path requests shed by
+	// the inflight gate.
+	replFeeds      *metrics.Counter
+	replOpsApplied *metrics.Counter
+	replFullSyncs  *metrics.Counter
+	replPromotes   *metrics.Counter
+	shedRequests   *metrics.Counter
+
 	// Per-endpoint request observability, fed by ServeHTTP for every
 	// request (the classified endpoint label keeps cardinality fixed).
 	httpRequests *metrics.CounterVec   // endpoint, code
@@ -103,6 +113,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Latency of one result-cache entry's delta-refresh after a fact mutation.",
 		metrics.ExponentialBuckets(0.0001, 4, 10))
 
+	m.replFeeds = r.NewCounter("ocqa_replication_feeds_total",
+		"Replication feed pulls served to follower backends.")
+	m.replOpsApplied = r.NewCounter("ocqa_replication_ops_applied_total",
+		"Incremental mutation ops applied to local replicas.")
+	m.replFullSyncs = r.NewCounter("ocqa_replication_full_syncs_total",
+		"Replica syncs that fell back to a full-state transfer.")
+	m.replPromotes = r.NewCounter("ocqa_replication_promotions_total",
+		"Replicas promoted into the live registry (failovers).")
+	m.shedRequests = r.NewCounter("ocqa_shed_requests_total",
+		"Query-path requests shed with HTTP 503 by the inflight load gate.")
+
 	m.httpRequests = r.NewCounterVec("ocqa_http_requests_total",
 		"HTTP requests by classified endpoint and status code.", "endpoint", "code")
 	m.httpLatency = r.NewHistogramVec("ocqa_http_request_duration_seconds",
@@ -141,6 +162,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return time.Since(s.start).Seconds() })
 	r.NewGaugeFunc("ocqa_instances", "Instances currently registered.",
 		func() float64 { return float64(s.reg.len()) })
+	r.NewGaugeFunc("ocqa_replicas", "Warm follower replicas currently held.",
+		func() float64 { return float64(len(s.repl.listReplicas())) })
 	r.NewGaugeFunc("ocqa_result_cache_entries", "Entries in the result cache.",
 		func() float64 { return float64(s.cache.len()) })
 	r.NewCounterFunc("ocqa_result_cache_evictions_total", "Result-cache entries evicted by the LRU capacity bound.",
@@ -298,6 +321,18 @@ type varz struct {
 	DeltaFactorCacheMisses int64 `json:"delta_factor_cache_misses"`
 	DeltaReusedDraws       int64 `json:"delta_reused_draws"`
 	CacheDeltaRefreshes    int64 `json:"result_cache_delta_refreshes"`
+	// Replication: ReplFeeds counts feed pulls served to followers,
+	// ReplOpsApplied incremental ops applied to local replicas,
+	// ReplFullSyncs syncs that fell back to a full-state transfer,
+	// ReplPromotes replicas promoted into the live registry (failovers),
+	// Replicas the warm replicas currently held, and ShedRequests
+	// query-path requests shed with 503 by the inflight load gate.
+	ReplFeeds      int64 `json:"replication_feeds"`
+	ReplOpsApplied int64 `json:"replication_ops_applied"`
+	ReplFullSyncs  int64 `json:"replication_full_syncs"`
+	ReplPromotes   int64 `json:"replication_promotions"`
+	Replicas       int   `json:"replicas"`
+	ShedRequests   int64 `json:"shed_requests"`
 	// CoverageChecks / CoverageWithin total the empirical
 	// (ε, δ)-envelope checks across instances: approx results compared
 	// against a cached exact counterpart, and how many landed within
@@ -374,6 +409,12 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		DeltaFactorCacheMisses: ocqa.DeltaFactorCacheMisses(),
 		DeltaReusedDraws:       ocqa.DeltaReusedDraws(),
 		CacheDeltaRefreshes:    m.cacheRefreshes.Value(),
+		ReplFeeds:              m.replFeeds.Value(),
+		ReplOpsApplied:         m.replOpsApplied.Value(),
+		ReplFullSyncs:          m.replFullSyncs.Value(),
+		ReplPromotes:           m.replPromotes.Value(),
+		Replicas:               len(s.repl.listReplicas()),
+		ShedRequests:           m.shedRequests.Value(),
 	}
 	m.coverageChecks.Each(func(_ []string, n int64) { v.CoverageChecks += n })
 	m.coverageWithin.Each(func(_ []string, n int64) { v.CoverageWithin += n })

@@ -100,6 +100,40 @@ func (r *registry) add(id, name string, prepared *ocqa.Prepared, now time.Time) 
 	return e, evicted
 }
 
+// installExplicit registers a prepared instance under a caller-chosen
+// id with an explicit starting generation: coordinator-minted ids at
+// gen 1, and replica promotions carrying their source's mutation count
+// so result-cache keys and watch ?since cursors stay monotone across a
+// failover. Unlike add, a collision with a live id is an error — the
+// caller owns naming, so silently overwriting would mask a split brain.
+// Evictions behave as in add.
+func (r *registry) installExplicit(id, name string, prepared *ocqa.Prepared, created time.Time, gen int64) (e *instanceEntry, evicted []*instanceEntry, err error) {
+	if gen < 1 {
+		gen = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[id]; dup {
+		return nil, nil, fmt.Errorf("instance id %q is already registered on this backend", id)
+	}
+	for len(r.entries) >= r.cap {
+		v := r.evictLRULocked()
+		if v == nil {
+			break
+		}
+		evicted = append(evicted, v)
+	}
+	e = &instanceEntry{id: id, name: name, prepared: prepared, created: created, gen: gen}
+	e.used.Store(r.clock.Add(1))
+	r.entries[id] = e
+	// Keep the auto-allocation sequence ahead of numeric explicit ids so
+	// allocID never collides with one.
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "i")); err == nil && n > r.seq {
+		r.seq = n
+	}
+	return e, evicted, nil
+}
+
 // evictLRU evicts the least-recently-used entry, if any; the boot path
 // uses it to shrink a replayed registry down to a lowered capacity.
 func (r *registry) evictLRU() *instanceEntry {

@@ -1,0 +1,502 @@
+package server
+
+// Backend-to-backend replication: the serving-tier half of the cluster
+// layer. Every live instance exposes a generation-sequenced feed
+// (GET /v1/replication/instances/{id}?after=GEN) that returns either
+// the exact mutation ops in (after, gen] — when the bounded per-instance
+// op tail still covers that window — or a full-state fallback (the
+// database and FD set in their text formats). A follower backend pulls
+// the feed with POST /v1/replication/sync and maintains a warm replica
+// in a map SEPARATE from the live registry: replicas never serve
+// queries, never appear in listings, and never journal — until
+// POST /v1/replication/promote installs one into the registry with its
+// generation intact, journalling the takeover so it survives a restart.
+// The durable store's raw files are also streamable
+// (GET /v1/replication/store/manifest + .../segments/{name}) for
+// whole-directory cloning.
+//
+// Replication applies the SAME copy-on-write mutations the owner
+// applied (Prepared.ApplyInsert/ApplyDelete, in generation order), so a
+// promoted replica's exact query answers are big.Rat-bitwise equal to
+// the owner's — the property the cluster failover audit checks.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	ocqa "repro"
+	"repro/internal/parse"
+)
+
+// replTailMax bounds each live instance's in-memory op tail. A follower
+// that lags by more than this many mutations falls back to a full-state
+// sync instead of an incremental one.
+const replTailMax = 256
+
+// ReplOp is one replicated mutation: the generation it produced and the
+// operation that produced it, in the same text encodings the public API
+// uses.
+type ReplOp struct {
+	// Gen is the instance generation AFTER this op applied.
+	Gen int64 `json:"gen"`
+	// Op is "insert" or "delete".
+	Op string `json:"op"`
+	// Fact is the inserted fact's canonical text (insert only).
+	Fact string `json:"fact,omitempty"`
+	// Index is the deleted fact's index in the pre-delete sorted fact
+	// order (delete only).
+	Index int `json:"index"`
+}
+
+// ReplInstanceInfo is one instance's replication cursor.
+type ReplInstanceInfo struct {
+	ID  string `json:"id"`
+	Gen int64  `json:"gen"`
+}
+
+// ReplFeedResponse is the owner's answer to a feed pull: ops covering
+// (after, gen] when the tail still holds them, the full state otherwise.
+// A follower already at gen receives neither.
+type ReplFeedResponse struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Created string `json:"created"`
+	Gen     int64  `json:"gen"`
+	// Full marks a full-state fallback: Facts/FDs carry the database and
+	// FD set in the text formats of package parse, and Ops is empty.
+	Full  bool     `json:"full,omitempty"`
+	Facts string   `json:"facts,omitempty"`
+	FDs   string   `json:"fds,omitempty"`
+	Ops   []ReplOp `json:"ops,omitempty"`
+}
+
+// ReplSyncRequest asks this backend to pull one instance from a source
+// backend and bring its local replica up to the source's generation.
+type ReplSyncRequest struct {
+	ID string `json:"id"`
+	// Source is the owning backend's base URL, e.g. "http://127.0.0.1:8081".
+	Source string `json:"source"`
+}
+
+// ReplSyncResponse reports the replica's state after the pull.
+type ReplSyncResponse struct {
+	ID  string `json:"id"`
+	Gen int64  `json:"gen"`
+	// Full reports whether the sync fell back to a full-state transfer.
+	Full bool `json:"full"`
+	// Applied counts incremental ops applied by this sync.
+	Applied int `json:"applied"`
+}
+
+// ReplPromoteRequest promotes this backend's replica of ID into its
+// live registry.
+type ReplPromoteRequest struct {
+	ID string `json:"id"`
+}
+
+// ReplPromoteResponse describes the promoted instance.
+type ReplPromoteResponse struct {
+	ID    string `json:"id"`
+	Gen   int64  `json:"gen"`
+	Facts int    `json:"facts"`
+}
+
+// replicaEntry is one warm follower copy: the same prepared artifacts a
+// live entry holds, advanced op-by-op in the owner's generation order,
+// but outside the registry — it serves no queries until promoted.
+type replicaEntry struct {
+	id       string
+	name     string
+	prepared *ocqa.Prepared
+	created  time.Time
+	gen      int64
+}
+
+// replState is the server's replication bookkeeping: per-live-instance
+// op tails (the feed's incremental source) and the replicas this
+// backend follows for other backends.
+type replState struct {
+	mu       sync.Mutex
+	tails    map[string][]ReplOp
+	replicas map[string]*replicaEntry
+}
+
+func newReplState() *replState {
+	return &replState{tails: make(map[string][]ReplOp), replicas: make(map[string]*replicaEntry)}
+}
+
+// appendOp records one committed mutation in the instance's tail,
+// keeping only the most recent replTailMax ops (older windows fall back
+// to full sync).
+func (rs *replState) appendOp(id string, op ReplOp) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	tail := append(rs.tails[id], op)
+	if len(tail) > replTailMax {
+		tail = tail[len(tail)-replTailMax:]
+	}
+	rs.tails[id] = tail
+}
+
+func (rs *replState) dropTail(id string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	delete(rs.tails, id)
+}
+
+// opsRange returns the contiguous ops covering exactly (after, upto],
+// or ok=false when the tail no longer holds that window (full sync
+// required). Ops newer than upto — a mutation that landed after the
+// caller snapshotted its entry — are excluded, keeping the feed
+// consistent with the entry it describes.
+func (rs *replState) opsRange(id string, after, upto int64) ([]ReplOp, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	next := after + 1
+	var out []ReplOp
+	for _, op := range rs.tails[id] {
+		if op.Gen <= after {
+			continue
+		}
+		if op.Gen > upto {
+			break
+		}
+		if op.Gen != next {
+			return nil, false
+		}
+		out = append(out, op)
+		next++
+	}
+	if next != upto+1 {
+		return nil, false
+	}
+	return out, true
+}
+
+func (rs *replState) replica(id string) (*replicaEntry, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	re, ok := rs.replicas[id]
+	return re, ok
+}
+
+func (rs *replState) setReplica(re *replicaEntry) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.replicas[re.id] = re
+}
+
+// takeReplica removes and returns the replica (promotion consumes it).
+func (rs *replState) takeReplica(id string) (*replicaEntry, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	re, ok := rs.replicas[id]
+	if ok {
+		delete(rs.replicas, id)
+	}
+	return re, ok
+}
+
+func (rs *replState) listReplicas() []ReplInstanceInfo {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]ReplInstanceInfo, 0, len(rs.replicas))
+	for _, re := range rs.replicas {
+		out = append(out, ReplInstanceInfo{ID: re.id, Gen: re.gen})
+	}
+	return out
+}
+
+// --- owner-side handlers ----------------------------------------------------
+
+// handleReplInstances lists the live instances' replication cursors.
+func (s *Server) handleReplInstances(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := make([]ReplInstanceInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ReplInstanceInfo{ID: e.id, Gen: e.gen})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleReplFeed serves one instance's replication feed.
+func (s *Server) handleReplFeed(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var after int64
+	if he := watchInt64(r, "after", &after); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	// Snapshot the entry first, then read the tail: entries are
+	// immutable (mutations install a successor), so e.gen and e.prepared
+	// agree, and opsRange filters out any op newer than e.gen.
+	resp := ReplFeedResponse{
+		ID:      e.id,
+		Name:    e.name,
+		Created: e.created.UTC().Format(time.RFC3339Nano),
+		Gen:     e.gen,
+	}
+	if after < e.gen {
+		if ops, ok := s.repl.opsRange(e.id, after, e.gen); ok {
+			resp.Ops = ops
+		} else {
+			resp.Full = true
+			resp.Facts = ocqa.FormatDatabase(e.prepared.DB())
+			resp.FDs = parse.FormatFDs(e.prepared.Sigma())
+		}
+	}
+	s.met.replFeeds.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplManifest lists the durable store's streamable files.
+func (s *Server) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "no durable store configured (-data-dir unset)"})
+		return
+	}
+	man, err := s.store.Manifest()
+	if err != nil {
+		s.writeError(w, &httpError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, man)
+}
+
+// handleReplSegment streams one store file at the manifest-listed size.
+// The bytes are staged in memory so a mid-stream store error can still
+// produce a clean HTTP error instead of a torn 200.
+func (s *Server) handleReplSegment(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "no durable store configured (-data-dir unset)"})
+		return
+	}
+	name := r.PathValue("name")
+	sizeStr := r.URL.Query().Get("size")
+	size, err := strconv.ParseInt(sizeStr, 10, 64)
+	if err != nil {
+		s.writeError(w, badRequest("parameter \"size\": %q is not an integer", sizeStr))
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.store.StreamFile(name, size, &buf); err != nil {
+		s.writeError(w, badRequest("%v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// --- follower-side handlers -------------------------------------------------
+
+// replClient is the backend-to-backend HTTP client. The timeout bounds
+// a feed pull end-to-end; individual requests also carry the inbound
+// request's context.
+var replClient = &http.Client{Timeout: 30 * time.Second}
+
+// fetchFeed pulls one instance's feed from a source backend.
+func fetchFeed(r *http.Request, source, id string, after int64) (*ReplFeedResponse, error) {
+	u := fmt.Sprintf("%s/v1/replication/instances/%s?after=%d", source, url.PathEscape(id), after)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := replClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var eb errorResponse
+		_ = json.NewDecoder(res.Body).Decode(&eb)
+		return nil, fmt.Errorf("source %s: status %d: %s", source, res.StatusCode, eb.Error)
+	}
+	var feed ReplFeedResponse
+	if err := json.NewDecoder(res.Body).Decode(&feed); err != nil {
+		return nil, fmt.Errorf("decoding feed: %w", err)
+	}
+	return &feed, nil
+}
+
+// handleReplSync pulls one instance from a source backend into this
+// backend's replica map, incrementally when the local replica's
+// generation is still inside the source's op tail, by full-state
+// transfer otherwise. Syncs are engine work (Prepare, ApplyInsert),
+// so they hold a compute-semaphore slot.
+func (s *Server) handleReplSync(w http.ResponseWriter, r *http.Request) {
+	var req ReplSyncRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	if req.ID == "" || req.Source == "" {
+		s.writeError(w, badRequest("\"id\" and \"source\" are both required"))
+		return
+	}
+	if _, live := s.reg.get(req.ID); live {
+		s.writeError(w, &httpError{status: http.StatusConflict,
+			msg: "instance " + strconv.Quote(req.ID) + " is served live by this backend; a backend cannot follow an instance it owns"})
+		return
+	}
+	s.compute <- struct{}{}
+	defer func() { <-s.compute }()
+
+	var after int64
+	cur, hasCur := s.repl.replica(req.ID)
+	if hasCur {
+		after = cur.gen
+	}
+	feed, err := fetchFeed(r, req.Source, req.ID, after)
+	if err != nil {
+		s.writeError(w, &httpError{status: http.StatusBadGateway, msg: fmt.Sprintf("pulling feed: %v", err)})
+		return
+	}
+	out := ReplSyncResponse{ID: req.ID, Gen: after}
+	if feed.Gen <= after {
+		// Already caught up (or the source regressed, which promotion's
+		// gen continuity makes impossible in one lineage).
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	if !feed.Full && hasCur {
+		applied, err := applyReplOps(cur, feed.Ops)
+		if err == nil {
+			s.repl.setReplica(applied)
+			s.met.replOpsApplied.Add(int64(len(feed.Ops)))
+			out.Gen, out.Applied = applied.gen, len(feed.Ops)
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		// Continuity broke (replica diverged or tail raced); fall through
+		// to a full transfer.
+		feed, err = fetchFeed(r, req.Source, req.ID, 0)
+		if err != nil {
+			s.writeError(w, &httpError{status: http.StatusBadGateway, msg: fmt.Sprintf("pulling full feed: %v", err)})
+			return
+		}
+		if !feed.Full {
+			s.writeError(w, &httpError{status: http.StatusBadGateway,
+				msg: fmt.Sprintf("source did not fall back to a full feed for %q after op-continuity loss", req.ID)})
+			return
+		}
+	}
+	if !feed.Full {
+		// No local replica and the feed sent ops: they cannot start at
+		// generation 1 (registration is not an op), so this is a protocol
+		// violation by the source.
+		s.writeError(w, &httpError{status: http.StatusBadGateway,
+			msg: fmt.Sprintf("source sent an incremental feed for %q but no replica exists here", req.ID)})
+		return
+	}
+	inst, err := ocqa.NewInstanceFromText(feed.Facts, feed.FDs)
+	if err != nil {
+		s.writeError(w, &httpError{status: http.StatusBadGateway, msg: fmt.Sprintf("rebuilding %q from full feed: %v", req.ID, err)})
+		return
+	}
+	created, _ := time.Parse(time.RFC3339Nano, feed.Created)
+	// Prepare eagerly: the whole point of a warm follower is that
+	// failover does not pay a cold DP-table build.
+	re := &replicaEntry{id: feed.ID, name: feed.Name, prepared: inst.Prepare(), created: created, gen: feed.Gen}
+	s.repl.setReplica(re)
+	s.met.replFullSyncs.Inc()
+	out.Gen, out.Full = re.gen, true
+	writeJSON(w, http.StatusOK, out)
+}
+
+// applyReplOps advances a replica through contiguous feed ops, applying
+// the same copy-on-write mutations the owner applied. Any gap or apply
+// failure aborts (the caller falls back to a full sync) — a replica
+// must never hold a state the owner never held.
+func applyReplOps(cur *replicaEntry, ops []ReplOp) (*replicaEntry, error) {
+	p, gen := cur.prepared, cur.gen
+	for _, op := range ops {
+		if op.Gen != gen+1 {
+			return nil, fmt.Errorf("op generation %d does not extend replica generation %d", op.Gen, gen)
+		}
+		switch op.Op {
+		case "insert":
+			f, err := ocqa.ParseFact(op.Fact)
+			if err != nil {
+				return nil, fmt.Errorf("op gen %d: %w", op.Gen, err)
+			}
+			np, _, err := p.ApplyInsert(f)
+			if err != nil {
+				return nil, fmt.Errorf("op gen %d: %w", op.Gen, err)
+			}
+			p = np
+		case "delete":
+			np, err := p.ApplyDelete(op.Index)
+			if err != nil {
+				return nil, fmt.Errorf("op gen %d: %w", op.Gen, err)
+			}
+			p = np
+		default:
+			return nil, fmt.Errorf("op gen %d: unknown op %q", op.Gen, op.Op)
+		}
+		gen++
+	}
+	return &replicaEntry{id: cur.id, name: cur.name, prepared: p, created: cur.created, gen: gen}, nil
+}
+
+// handleReplReplicas lists this backend's warm replicas.
+func (s *Server) handleReplReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.repl.listReplicas())
+}
+
+// handleReplPromote installs a warm replica into the live registry with
+// its generation intact, journalling the takeover. From this response
+// on, the backend serves the instance's queries and mutations exactly
+// as if it had owned it all along; result-cache keys stay monotone
+// because the generation carried over.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	var req ReplPromoteRequest
+	if he := s.decodeJSON(w, r, &req); he != nil {
+		s.writeError(w, he)
+		return
+	}
+	re, ok := s.repl.takeReplica(req.ID)
+	if !ok {
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "no replica of instance " + strconv.Quote(req.ID) + " on this backend"})
+		return
+	}
+	e, evicted, err := s.reg.installExplicit(re.id, re.name, re.prepared, re.created, re.gen)
+	if err != nil {
+		s.repl.setReplica(re) // promotion failed; keep following
+		s.writeError(w, &httpError{status: http.StatusConflict, msg: err.Error()})
+		return
+	}
+	if s.store != nil {
+		// Journal the takeover so a restart replays the instance. The
+		// journalled state is the promoted generation's database; earlier
+		// generations never existed on this backend.
+		if err := s.store.LogRegister(e.id, e.name, e.created, re.prepared.DB(), re.prepared.Sigma()); err != nil {
+			s.met.errors.Inc()
+		}
+	}
+	for _, v := range evicted {
+		s.met.evictions.Inc()
+		s.cache.invalidate(v.id)
+		s.repl.dropTail(v.id)
+		if s.store != nil {
+			if err := s.store.LogUnregister(v.id); err != nil {
+				s.met.errors.Inc()
+			}
+		}
+	}
+	// Drop any stale cached results under this id from a previous
+	// ownership period of this process.
+	s.cache.invalidate(e.id)
+	s.met.replPromotes.Inc()
+	writeJSON(w, http.StatusOK, ReplPromoteResponse{ID: e.id, Gen: e.gen, Facts: re.prepared.DB().Len()})
+}

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// insertFact posts one fact and returns the mutation response.
+func insertFact(t *testing.T, base, id, fact string) FactMutationResponse {
+	t.Helper()
+	var out FactMutationResponse
+	status := do(t, http.MethodPost, base+"/v1/instances/"+id+"/facts", InsertFactRequest{Fact: fact}, &out)
+	if status != http.StatusOK {
+		t.Fatalf("insert %q: status %d", fact, status)
+	}
+	return out
+}
+
+// syncReplica asks the follower to pull id from the source backend.
+func syncReplica(t *testing.T, follower, source, id string) ReplSyncResponse {
+	t.Helper()
+	var out ReplSyncResponse
+	status := do(t, http.MethodPost, follower+"/v1/replication/sync", ReplSyncRequest{ID: id, Source: source}, &out)
+	if status != http.StatusOK {
+		t.Fatalf("sync %q from %s: status %d", id, source, status)
+	}
+	return out
+}
+
+func TestMutationResponseCarriesGen(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+
+	if m := insertFact(t, ts.URL, reg.ID, "Emp(4,Dan)"); m.Gen != 2 {
+		t.Fatalf("gen after first insert = %d, want 2", m.Gen)
+	}
+	var del FactMutationResponse
+	status := do(t, http.MethodDelete, fmt.Sprintf("%s/v1/instances/%s/facts/%d", ts.URL, reg.ID, 0), nil, &del)
+	if status != http.StatusOK || del.Gen != 3 {
+		t.Fatalf("delete: status %d gen %d, want 200 gen 3", status, del.Gen)
+	}
+}
+
+func TestExplicitIDRegistration(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+
+	var reg RegisterResponse
+	req := RegisterRequest{Facts: pkFacts, FDs: pkFDs, ID: "node7-i42"}
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances", req, &reg); status != http.StatusCreated {
+		t.Fatalf("explicit-id register: status %d", status)
+	}
+	if reg.ID != "node7-i42" {
+		t.Fatalf("registered id = %q, want node7-i42", reg.ID)
+	}
+
+	// The id is now taken: a second registration under it must 409
+	// rather than silently overwrite.
+	var e errorResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances", req, &e); status != http.StatusConflict {
+		t.Fatalf("duplicate explicit id: status %d, want 409", status)
+	}
+
+	// Ill-formed ids are rejected before any engine work.
+	bad := RegisterRequest{Facts: pkFacts, FDs: pkFDs, ID: "has space"}
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances", bad, &e); status != http.StatusBadRequest {
+		t.Fatalf("bad explicit id: status %d, want 400", status)
+	}
+
+	// Auto-allocation must not collide with a numeric explicit id.
+	var reg2 RegisterResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances",
+		RegisterRequest{Facts: pkFacts, FDs: pkFDs, ID: "i7"}, &reg2); status != http.StatusCreated {
+		t.Fatalf("numeric explicit id: status %d", status)
+	}
+	auto := register(t, ts.URL, pkFacts, pkFDs)
+	if auto.ID == "i7" || auto.ID == "node7-i42" {
+		t.Fatalf("auto-allocated id %q collided with an explicit id", auto.ID)
+	}
+}
+
+func TestReplicationFeed(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	insertFact(t, ts.URL, reg.ID, "Emp(4,Dan)")
+	insertFact(t, ts.URL, reg.ID, "Emp(5,Fay)")
+
+	// A follower at gen 1 (registration) still has ops 2..3 in the tail:
+	// the feed is incremental.
+	var feed ReplFeedResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/instances/"+reg.ID+"?after=1", nil, &feed); status != http.StatusOK {
+		t.Fatalf("feed: status %d", status)
+	}
+	if feed.Full || len(feed.Ops) != 2 || feed.Gen != 3 {
+		t.Fatalf("incremental feed = %+v, want 2 ops up to gen 3", feed)
+	}
+	if feed.Ops[0].Gen != 2 || feed.Ops[0].Op != "insert" || feed.Ops[1].Gen != 3 {
+		t.Fatalf("feed ops = %+v", feed.Ops)
+	}
+
+	// after=0 asks for op 1, which never exists (registration is not an
+	// op): the feed must fall back to full state.
+	var full ReplFeedResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/instances/"+reg.ID+"?after=0", nil, &full); status != http.StatusOK {
+		t.Fatalf("full feed: status %d", status)
+	}
+	if !full.Full || full.Facts == "" || full.FDs == "" || len(full.Ops) != 0 {
+		t.Fatalf("full feed = %+v, want full-state fallback", full)
+	}
+
+	// A follower already at the head receives neither ops nor state.
+	var head ReplFeedResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/instances/"+reg.ID+"?after=3", nil, &head); status != http.StatusOK {
+		t.Fatalf("caught-up feed: status %d", status)
+	}
+	if head.Full || len(head.Ops) != 0 || head.Gen != 3 {
+		t.Fatalf("caught-up feed = %+v", head)
+	}
+
+	// Unknown instance: 404.
+	var e errorResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/instances/nope?after=0", nil, &e); status != http.StatusNotFound {
+		t.Fatalf("unknown instance feed: status %d, want 404", status)
+	}
+}
+
+func TestReplicationSyncAndPromote(t *testing.T) {
+	owner, _ := newTestServer(t, Options{})
+	follower, _ := newTestServer(t, Options{})
+
+	reg := register(t, owner.URL, pkFacts, pkFDs)
+
+	// First sync has no local replica: full-state transfer at gen 1.
+	sy := syncReplica(t, follower.URL, owner.URL, reg.ID)
+	if !sy.Full || sy.Gen != 1 {
+		t.Fatalf("initial sync = %+v, want full at gen 1", sy)
+	}
+
+	// Mutations on the owner, then an incremental catch-up.
+	insertFact(t, owner.URL, reg.ID, "Emp(4,Dan)")
+	insertFact(t, owner.URL, reg.ID, "Emp(4,Dana)")
+	sy = syncReplica(t, follower.URL, owner.URL, reg.ID)
+	if sy.Full || sy.Applied != 2 || sy.Gen != 3 {
+		t.Fatalf("incremental sync = %+v, want 2 ops applied to gen 3", sy)
+	}
+
+	// Replicas are invisible to the serving surface.
+	var listed []InstanceInfo
+	do(t, http.MethodGet, follower.URL+"/v1/instances", nil, &listed)
+	if len(listed) != 0 {
+		t.Fatalf("replica leaked into the live listing: %+v", listed)
+	}
+	var reps []ReplInstanceInfo
+	do(t, http.MethodGet, follower.URL+"/v1/replication/replicas", nil, &reps)
+	if len(reps) != 1 || reps[0].ID != reg.ID || reps[0].Gen != 3 {
+		t.Fatalf("replicas = %+v", reps)
+	}
+
+	// The owner's exact answers, as the oracle for the promoted copy.
+	q := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var want QueryResponse
+	if status := do(t, http.MethodPost, owner.URL+"/v1/instances/"+reg.ID+"/query", q, &want); status != http.StatusOK {
+		t.Fatalf("owner query failed")
+	}
+
+	// Promote: the follower now serves the instance at the same gen.
+	var pr ReplPromoteResponse
+	if status := do(t, http.MethodPost, follower.URL+"/v1/replication/promote", ReplPromoteRequest{ID: reg.ID}, &pr); status != http.StatusOK {
+		t.Fatalf("promote: status %d", status)
+	}
+	if pr.Gen != 3 || pr.Facts != 7 {
+		t.Fatalf("promote = %+v, want gen 3 with 7 facts", pr)
+	}
+
+	var got QueryResponse
+	if status := do(t, http.MethodPost, follower.URL+"/v1/instances/"+reg.ID+"/query", q, &got); status != http.StatusOK {
+		t.Fatalf("promoted query: status %d", status)
+	}
+	if !reflect.DeepEqual(got.Answers, want.Answers) {
+		t.Fatalf("promoted answers diverged:\n  owner:    %+v\n  follower: %+v", want.Answers, got.Answers)
+	}
+
+	// Promotion consumed the replica; a second promote is a 404.
+	var e errorResponse
+	if status := do(t, http.MethodPost, follower.URL+"/v1/replication/promote", ReplPromoteRequest{ID: reg.ID}, &e); status != http.StatusNotFound {
+		t.Fatalf("re-promote: status %d, want 404", status)
+	}
+
+	// And now that the follower owns the instance, it refuses to follow
+	// it again (split-brain guard).
+	if status := do(t, http.MethodPost, follower.URL+"/v1/replication/sync",
+		ReplSyncRequest{ID: reg.ID, Source: owner.URL}, &e); status != http.StatusConflict {
+		t.Fatalf("sync of live instance: status %d, want 409", status)
+	}
+
+	// Mutations keep the gen lineage going on the new owner.
+	if m := insertFact(t, follower.URL, reg.ID, "Emp(6,Gil)"); m.Gen != 4 {
+		t.Fatalf("post-promotion gen = %d, want 4", m.Gen)
+	}
+}
+
+func TestReplicationPromoteCollision(t *testing.T) {
+	owner, _ := newTestServer(t, Options{})
+	follower, _ := newTestServer(t, Options{})
+
+	reg := register(t, owner.URL, pkFacts, pkFDs) // "i1" on the owner
+	syncReplica(t, follower.URL, owner.URL, reg.ID)
+
+	// The follower registers its own live instance under the same id.
+	var dup RegisterResponse
+	if status := do(t, http.MethodPost, follower.URL+"/v1/instances",
+		RegisterRequest{Facts: fdFacts, FDs: fdFDs, ID: reg.ID}, &dup); status != http.StatusCreated {
+		t.Fatalf("conflicting live register: status %d", status)
+	}
+
+	// Promote must refuse — and must NOT lose the replica.
+	var e errorResponse
+	if status := do(t, http.MethodPost, follower.URL+"/v1/replication/promote", ReplPromoteRequest{ID: reg.ID}, &e); status != http.StatusConflict {
+		t.Fatalf("promote over live id: status %d, want 409", status)
+	}
+	var reps []ReplInstanceInfo
+	do(t, http.MethodGet, follower.URL+"/v1/replication/replicas", nil, &reps)
+	if len(reps) != 1 {
+		t.Fatalf("replica lost by failed promotion: %+v", reps)
+	}
+}
+
+func TestReplicationSyncAfterTailOverflow(t *testing.T) {
+	owner, _ := newTestServer(t, Options{})
+	follower, _ := newTestServer(t, Options{})
+
+	reg := register(t, owner.URL, pkFacts, pkFDs)
+	syncReplica(t, follower.URL, owner.URL, reg.ID)
+
+	// Push the owner past the bounded tail so the follower's window is
+	// gone; the sync must fall back to a full transfer and still land on
+	// the owner's generation.
+	for i := 0; i < replTailMax+8; i++ {
+		insertFact(t, owner.URL, reg.ID, fmt.Sprintf("Emp(%d,N%d)", 100+i, i))
+	}
+	sy := syncReplica(t, follower.URL, owner.URL, reg.ID)
+	if !sy.Full || sy.Gen != int64(1+replTailMax+8) {
+		t.Fatalf("post-overflow sync = %+v, want full at gen %d", sy, 1+replTailMax+8)
+	}
+}
+
+func TestReplicationStoreEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	ts, _ := newTestServer(t, Options{Store: st})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+	insertFact(t, ts.URL, reg.ID, "Emp(4,Dan)")
+
+	var man []store.SegmentInfo
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/store/manifest", nil, &man); status != http.StatusOK {
+		t.Fatalf("manifest: status %d", status)
+	}
+	if len(man) == 0 {
+		t.Fatalf("manifest is empty after a registration")
+	}
+	for _, f := range man {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/replication/store/segments/%s?size=%d", ts.URL, f.Name, f.Size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || int64(len(b)) != f.Size {
+			t.Fatalf("segment %s: status %d, %d bytes, want %d", f.Name, resp.StatusCode, len(b), f.Size)
+		}
+	}
+
+	// Path traversal and foreign names are rejected.
+	var e errorResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/store/segments/..%2F..%2Fetc%2Fpasswd?size=1", nil, &e); status != http.StatusBadRequest {
+		t.Fatalf("traversal segment name: status %d, want 400", status)
+	}
+
+	// Memory-only servers answer 404, not 500.
+	mem, _ := newTestServer(t, Options{})
+	if status := do(t, http.MethodGet, mem.URL+"/v1/replication/store/manifest", nil, &e); status != http.StatusNotFound {
+		t.Fatalf("memory-only manifest: status %d, want 404", status)
+	}
+}
+
+func TestLoadSheddingQueriesOnly(t *testing.T) {
+	ts, s := newTestServer(t, Options{ShedInflight: 1, WatchWait: time.Minute})
+	reg := register(t, ts.URL, pkFacts, pkFDs)
+
+	// Park a watcher to occupy the single inflight slot.
+	watchURL := ts.URL + "/v1/instances/" + reg.ID +
+		"/watch?generator=ur&mode=exact&query=Ans(n)%20:-%20Emp(i,%20n)&since=1"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(watchURL)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never became inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The query path sheds with 503...
+	q := QueryRequest{Generator: "ur", Mode: "exact", Query: "Ans(n) :- Emp(i, n)"}
+	var e errorResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/instances/"+reg.ID+"/query", q, &e); status != http.StatusServiceUnavailable {
+		t.Fatalf("query under pressure: status %d, want 503", status)
+	}
+	if e.Error == "" || e.RequestID == "" {
+		t.Fatalf("shed error body = %+v", e)
+	}
+
+	// ...while mutations, replication and control traffic pass.
+	if m := insertFact(t, ts.URL, reg.ID, "Emp(9,Zoe)"); m.Gen != 2 {
+		t.Fatalf("mutation under pressure: %+v", m)
+	}
+	var feed ReplFeedResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/replication/instances/"+reg.ID+"?after=1", nil, &feed); status != http.StatusOK {
+		t.Fatalf("replication feed under pressure: status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under pressure: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// The mutation above also wakes the parked watcher.
+	wg.Wait()
+}

@@ -48,6 +48,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	ocqa "repro"
@@ -113,6 +114,15 @@ type Options struct {
 	// before answering 204 No Content. 0 picks the default of 25s;
 	// negative makes watches return immediately.
 	WatchWait time.Duration
+	// ShedInflight, when positive, sheds query-path requests (query,
+	// batch, count, marginals, semantics) with HTTP 503 once that many
+	// requests are already inside the server — the backend half of the
+	// cluster tier's load shedding, whose coordinator passes the 503
+	// through and opens the backend's circuit breaker. Mutations and
+	// replication traffic are never shed: dropping an acked write or a
+	// follower sync would cost durability, not just latency. 0 (the
+	// default) disables shedding.
+	ShedInflight int
 	// CancelGrace is how long a timed-out request waits for its
 	// computation to return cooperatively before giving up on it. The
 	// estimation engines stop within one sample chunk of cancellation
@@ -230,6 +240,37 @@ type Server struct {
 	// watch wakes the long-poll watchers of an instance after every
 	// mutation (and deregistration) of it.
 	watch *watchHub
+	// repl holds the replication bookkeeping: per-instance op tails for
+	// the feed this backend serves as an owner, and the warm replicas it
+	// maintains as a follower.
+	repl *replState
+	// inflight counts requests currently inside ServeHTTP, for the
+	// ShedInflight load-shedding gate.
+	inflight atomic.Int64
+	// lifecycle is cancelled by Close: background work the server starts
+	// on its own authority — post-mutation delta refreshes above all —
+	// derives its context from it, so a graceful shutdown stops that
+	// work within one sample chunk instead of blocking behind up to
+	// DeltaRefreshLimit engine computations per in-flight mutation.
+	lifecycle context.Context
+	stop      context.CancelFunc
+}
+
+// Close cancels the server's lifecycle context: in-flight delta
+// refreshes stop at their next cancellation check and long-poll
+// watchers return immediately, so the HTTP listener's graceful
+// shutdown drains instead of waiting out engine computations no client
+// is reading. Close never blocks; calling it more than once is safe.
+// The server's store (if any) is still owned by the caller.
+func (s *Server) Close() {
+	s.stop()
+}
+
+// Inflight reports how many requests are currently inside ServeHTTP.
+// Cluster tests use it to know when a parked long-poll watcher has
+// actually occupied an inflight slot before provoking the shed gate.
+func (s *Server) Inflight() int64 {
+	return s.inflight.Load()
 }
 
 // New builds a Server with its routes installed. With opts.Store set,
@@ -239,15 +280,19 @@ type Server struct {
 // artifacts lazily on first use.
 func New(opts Options) *Server {
 	opts.fill()
+	lifecycle, stop := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    opts,
-		reg:     newRegistry(opts.MaxInstances),
-		cache:   newResultCache(opts.CacheSize),
-		store:   opts.Store,
-		start:   time.Now(),
-		mux:     http.NewServeMux(),
-		compute: make(chan struct{}, opts.MaxConcurrentQueries),
-		watch:   newWatchHub(),
+		opts:      opts,
+		reg:       newRegistry(opts.MaxInstances),
+		cache:     newResultCache(opts.CacheSize),
+		store:     opts.Store,
+		start:     time.Now(),
+		mux:       http.NewServeMux(),
+		compute:   make(chan struct{}, opts.MaxConcurrentQueries),
+		watch:     newWatchHub(),
+		repl:      newReplState(),
+		lifecycle: lifecycle,
+		stop:      stop,
 	}
 	s.met = newServerMetrics(s)
 	// The engine reports every estimation run (cancelled ones included)
@@ -289,6 +334,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/repairs/count", s.handleCount)
 	s.mux.HandleFunc("POST /v1/instances/{id}/marginals", s.handleMarginals)
 	s.mux.HandleFunc("POST /v1/instances/{id}/semantics", s.handleSemantics)
+	s.mux.HandleFunc("GET /v1/replication/instances", s.handleReplInstances)
+	s.mux.HandleFunc("GET /v1/replication/instances/{id}", s.handleReplFeed)
+	s.mux.HandleFunc("GET /v1/replication/replicas", s.handleReplReplicas)
+	s.mux.HandleFunc("POST /v1/replication/sync", s.handleReplSync)
+	s.mux.HandleFunc("POST /v1/replication/promote", s.handleReplPromote)
+	s.mux.HandleFunc("GET /v1/replication/store/manifest", s.handleReplManifest)
+	s.mux.HandleFunc("GET /v1/replication/store/segments/{name}", s.handleReplSegment)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -127,6 +127,9 @@ func endpointLabel(method, path string) string {
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "pprof"
 	}
+	if strings.HasPrefix(path, "/v1/replication") {
+		return "replication"
+	}
 	rest, ok := strings.CutPrefix(path, "/v1/instances")
 	if !ok {
 		return "other"
@@ -165,6 +168,19 @@ func endpointLabel(method, path string) string {
 	return "other"
 }
 
+// shedEndpoint reports whether an endpoint is eligible for load
+// shedding. Only the read/query path sheds: a shed query is a clean
+// retry for the caller, while a shed mutation or replication pull
+// would cost durability, and control endpoints (healthz, varz,
+// metrics) must answer precisely when the server is saturated.
+func shedEndpoint(ep string) bool {
+	switch ep {
+	case "query", "batch", "count", "marginals", "semantics":
+		return true
+	}
+	return false
+}
+
 // ServeHTTP implements http.Handler: the tracing and metrics wrapper
 // around the route mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +194,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-Id", id)
 	ri := &reqInfo{id: id}
 	ep := endpointLabel(r.Method, r.URL.Path)
+	// Load shedding: once the inflight gate trips, query-path requests
+	// get an immediate 503 instead of queueing behind the compute
+	// semaphore into a timeout. Mutations, replication and control
+	// endpoints pass — see Options.ShedInflight.
+	if cap := int64(s.opts.ShedInflight); cap > 0 {
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if n > cap && shedEndpoint(ep) {
+			s.met.shedRequests.Inc()
+			s.met.httpRequests.With(ep, strconv.Itoa(http.StatusServiceUnavailable)).Inc()
+			w.Header().Set("X-Request-Id", id)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+				Error:     "server is at its inflight capacity; retry against another backend",
+				RequestID: id,
+			})
+			return
+		}
+	}
 	// Arm the request-wide trace only when something will read it: the
 	// flight recorder rings or the slow-query log. Everywhere else the
 	// engine sees a nil trace and its hooks cost nothing.

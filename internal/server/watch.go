@@ -21,29 +21,56 @@ import (
 // instance's current signal channel, and a mutation closes it (waking
 // every waiter at once) and installs a fresh one. Close-and-recreate
 // keeps the hub allocation-free per waiter and naturally coalesces
-// bursts — a waiter that missed three mutations wakes once.
+// bursts — a waiter that missed three mutations wakes once. Entries are
+// refcounted: the map entry for a never-mutated instance disappears as
+// soon as its last waiter times out or disconnects, instead of living
+// until a mutation that may never come.
 type watchHub struct {
 	mu    sync.Mutex
-	chans map[string]chan struct{}
+	chans map[string]*watchEntry
+}
+
+type watchEntry struct {
+	ch   chan struct{}
+	refs int
 }
 
 func newWatchHub() *watchHub {
-	return &watchHub{chans: make(map[string]chan struct{})}
+	return &watchHub{chans: make(map[string]*watchEntry)}
 }
 
-// wait returns the channel the instance's next mutation will close.
+// wait returns the channel the instance's next mutation will close,
+// plus a release func the caller must invoke once it is done with the
+// channel (closed or not) so the hub can drop waiter-less entries.
 // Callers must obtain the channel BEFORE reading the state they wait
 // on (the entry's generation): a mutation landing between the two
 // closes this very channel, so the recheck cannot miss it.
-func (h *watchHub) wait(id string) <-chan struct{} {
+func (h *watchHub) wait(id string) (<-chan struct{}, func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	ch, ok := h.chans[id]
+	e, ok := h.chans[id]
 	if !ok {
-		ch = make(chan struct{})
-		h.chans[id] = ch
+		e = &watchEntry{ch: make(chan struct{})}
+		h.chans[id] = e
 	}
-	return ch
+	e.refs++
+	released := false
+	release := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		e.refs--
+		// Delete only if the map still holds THIS entry: changed() may
+		// have already removed it and a later waiter installed a fresh
+		// one under the same id.
+		if e.refs == 0 && h.chans[id] == e {
+			delete(h.chans, id)
+		}
+	}
+	return e.ch, release
 }
 
 // changed wakes every waiter of the instance (mutation committed or
@@ -51,10 +78,18 @@ func (h *watchHub) wait(id string) <-chan struct{} {
 func (h *watchHub) changed(id string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if ch, ok := h.chans[id]; ok {
-		close(ch)
+	if e, ok := h.chans[id]; ok {
+		close(e.ch)
 		delete(h.chans, id)
 	}
+}
+
+// size reports how many instances currently have live waiters; it must
+// return to zero once every watcher has disconnected or timed out.
+func (h *watchHub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.chans)
 }
 
 // refreshAfterMutation is the serving-path half of a committed fact
@@ -69,8 +104,16 @@ func (h *watchHub) changed(id string) {
 func (s *Server) refreshAfterMutation(e *instanceEntry) {
 	reqs := s.cache.takeRefreshable(e.id, e.gen, s.opts.DeltaRefreshLimit)
 	for _, req := range reqs {
+		// Refreshes run on the server's own authority, not a client
+		// request, so they derive from the lifecycle context: Close()
+		// cancels in-flight refresh computations and skips queued ones,
+		// instead of holding graceful shutdown hostage for up to
+		// DeltaRefreshLimit engine runs.
+		if s.lifecycle.Err() != nil {
+			break
+		}
 		start := time.Now()
-		ctx := context.Background()
+		ctx := s.lifecycle
 		cancel := context.CancelFunc(func() {})
 		if s.opts.QueryTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
@@ -194,13 +237,15 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(s.opts.WatchWait)
 	for {
 		// Channel before generation: see watchHub.wait.
-		changed := s.watch.wait(e.id)
+		changed, release := s.watch.wait(e.id)
 		cur, ok := s.reg.get(e.id)
 		if !ok {
+			release()
 			s.writeError(w, &httpError{status: http.StatusNotFound, msg: "instance " + strconv.Quote(e.id) + " deleted while watching"})
 			return
 		}
 		if cur.gen > since {
+			release()
 			resp, he := runWithDeadline(s, r.Context(), func(ctx context.Context) (QueryResponse, *httpError) {
 				return s.executeQuery(ctx, cur, req, false)
 			})
@@ -213,6 +258,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			release()
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
@@ -220,10 +266,18 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-changed:
 			t.Stop()
+			release()
 		case <-r.Context().Done():
 			t.Stop()
+			release()
+			return
+		case <-s.lifecycle.Done():
+			t.Stop()
+			release()
+			w.WriteHeader(http.StatusNoContent)
 			return
 		case <-t.C:
+			release()
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}

@@ -1,0 +1,108 @@
+package store
+
+// Segment streaming: the read side of backend-to-backend store
+// replication. A follower clones a backend's durable state by fetching
+// the Manifest and then streaming each listed file; replaying the
+// cloned directory with Open reconstructs the instances. The manifest
+// bounds every file at a size that was stable when it was captured —
+// the live WAL segment is cut at the last acknowledged frame — so a
+// stream racing concurrent appends never ships a torn tail.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SegmentInfo describes one file of a store directory as of a Manifest
+// call: the snapshot (if one exists) or a WAL segment, with the byte
+// size a reader may safely stream.
+type SegmentInfo struct {
+	// Name is the file's base name inside the data directory
+	// (snapshot.bin or wal.<gen>.bin). It never contains a path
+	// separator; StreamFile rejects anything else.
+	Name string `json:"name"`
+	// Size is the stable prefix of the file at manifest time. For the
+	// live WAL segment this is the offset just past the last
+	// acknowledged frame — bytes beyond it may belong to an append in
+	// flight and must not be streamed.
+	Size int64 `json:"size"`
+}
+
+// Manifest lists the store's durable files with sizes that are safe to
+// stream concurrently with appends: the snapshot and retired segments
+// at their full (immutable) sizes, the live segment cut at the last
+// acknowledged frame. The listing is a point-in-time view — a
+// compaction finishing between Manifest and StreamFile can retire a
+// listed segment, which StreamFile reports as a missing file; callers
+// handle it by re-fetching the manifest and starting over.
+func (st *Store) Manifest() ([]SegmentInfo, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	var out []SegmentInfo
+	if fi, err := os.Stat(filepath.Join(st.opts.Dir, snapshotFile)); err == nil {
+		// The snapshot is installed atomically (write temp + rename), so
+		// its full size is always a complete, checksummed file.
+		out = append(out, SegmentInfo{Name: snapshotFile, Size: fi.Size()})
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: stat snapshot: %w", err)
+	}
+	segs, err := listSegments(st.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing WAL segments: %w", err)
+	}
+	for _, sg := range segs {
+		if sg.gen == st.walGen {
+			// Live segment: cap at the acknowledged prefix. An append in
+			// flight may already have written part of its frame past it.
+			out = append(out, SegmentInfo{Name: segmentName(sg.gen), Size: st.walOff})
+			continue
+		}
+		fi, err := os.Stat(sg.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: stat WAL segment: %w", err)
+		}
+		out = append(out, SegmentInfo{Name: segmentName(sg.gen), Size: fi.Size()})
+	}
+	return out, nil
+}
+
+// StreamFile copies exactly size bytes of the named store file (a name
+// previously returned by Manifest) to w. The name must be the snapshot
+// or a well-formed segment name — anything else, including path
+// traversal attempts, is rejected before touching the filesystem. A
+// file shorter than the requested size (a snapshot replaced by a
+// smaller successor between manifest and stream) is an error, never a
+// silent short copy.
+func (st *Store) StreamFile(name string, size int64, w io.Writer) error {
+	if name != snapshotFile {
+		if _, ok := parseSegmentName(name); !ok {
+			return fmt.Errorf("store: %q is not a streamable store file", name)
+		}
+	}
+	if size < 0 {
+		return fmt.Errorf("store: negative stream size %d", size)
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return fmt.Errorf("store: closed")
+	}
+	dir := st.opts.Dir
+	st.mu.Unlock()
+
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("store: opening %s for streaming: %w", name, err)
+	}
+	defer f.Close()
+	n, err := io.CopyN(w, f, size)
+	if err != nil {
+		return fmt.Errorf("store: streaming %s (%d/%d bytes): %w", name, n, size, err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rel"
+)
+
+// cloneStore copies every manifest-listed file of src into dstDir via
+// StreamFile — the same sequence the replication endpoint drives over
+// HTTP.
+func cloneStore(t *testing.T, src *Store, dstDir string) {
+	t.Helper()
+	man, err := src.Manifest()
+	if err != nil {
+		t.Fatalf("Manifest: %v", err)
+	}
+	for _, e := range man {
+		f, err := os.Create(filepath.Join(dstDir, e.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.StreamFile(e.Name, e.Size, f); err != nil {
+			t.Fatalf("StreamFile(%s, %d): %v", e.Name, e.Size, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestManifestCloneRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	defer st.Close()
+	if err := st.LogRegister("i1", "one", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogInsertFact("i1", rel.NewFact("Emp", "3", "Eve")); err != nil {
+		t.Fatal(err)
+	}
+	// Compact so the clone carries a snapshot AND a live segment with
+	// post-snapshot records.
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogRegister("i2", "two", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogDeleteFact("i1", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cloneDir := t.TempDir()
+	cloneStore(t, st, cloneDir)
+
+	clone := openStore(t, cloneDir)
+	defer clone.Close()
+	want := st.Instances()
+	got := clone.Instances()
+	if len(got) != len(want) {
+		t.Fatalf("clone has %d instances, source has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Name != want[i].Name {
+			t.Fatalf("instance %d: clone %s/%s != source %s/%s", i, got[i].ID, got[i].Name, want[i].ID, want[i].Name)
+		}
+		if !got[i].DB.Equal(want[i].DB) {
+			t.Fatalf("instance %s: cloned database diverges", want[i].ID)
+		}
+		if got[i].Sigma.String() != want[i].Sigma.String() {
+			t.Fatalf("instance %s: cloned FD set diverges", want[i].ID)
+		}
+	}
+}
+
+// TestManifestCapsLiveSegment: the live segment's manifest size must be
+// the acknowledged prefix, never the raw file size — a concurrent
+// append may have written part of a frame past it.
+func TestManifestCapsLiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, sigma := fixture(t)
+	st := openStore(t, dir)
+	defer st.Close()
+	if err := st.LogRegister("i1", "", time.Now(), d, sigma); err != nil {
+		t.Fatal(err)
+	}
+	man, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := segmentName(st.walGen)
+	var found bool
+	for _, e := range man {
+		if e.Name == live {
+			found = true
+			if e.Size != st.walOff {
+				t.Fatalf("live segment size %d, want acknowledged offset %d", e.Size, st.walOff)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("manifest %v does not list the live segment %s", man, live)
+	}
+
+	// Simulate a torn in-flight append: garbage past the acknowledged
+	// offset must not change the manifest size, and a clone taken now
+	// must still open cleanly.
+	f, err := os.OpenFile(filepath.Join(dir, live), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	man2, err := st.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range man2 {
+		if e.Name == live && e.Size != st.walOff {
+			t.Fatalf("live segment size %d after torn write, want %d", e.Size, st.walOff)
+		}
+	}
+	cloneDir := t.TempDir()
+	cloneStore(t, st, cloneDir)
+	clone := openStore(t, cloneDir)
+	defer clone.Close()
+	if got := clone.Instances(); len(got) != 1 || got[0].ID != "i1" {
+		t.Fatalf("clone replayed %v, want [i1]", got)
+	}
+	if clone.Stats().TornTail {
+		t.Fatal("clone saw a torn tail: the manifest leaked unacknowledged bytes")
+	}
+}
+
+func TestStreamFileRejectsBadNames(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	defer st.Close()
+	for _, name := range []string{
+		"../outside.bin", "wal.abc.bin", "wal..bin", "other.bin",
+		"/etc/passwd", "wal.000001.bin/../../x",
+	} {
+		if err := st.StreamFile(name, 0, os.Stderr); err == nil {
+			t.Fatalf("StreamFile(%q) accepted a non-store name", name)
+		} else if !strings.Contains(err.Error(), "not a streamable") {
+			t.Fatalf("StreamFile(%q): %v, want name rejection", name, err)
+		}
+	}
+	if err := st.StreamFile(snapshotFile, -1, os.Stderr); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
